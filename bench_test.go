@@ -1,0 +1,146 @@
+// Benchmarks: one per paper table and figure, each regenerating its
+// experiment on the reduced quick configuration so `go test -bench=.`
+// exercises every reproduction path, plus ablation benches for the model
+// design choices called out in DESIGN.md. Run the full-scale numbers with
+// `go run ./cmd/sbsim -all` (see EXPERIMENTS.md).
+package superfast_test
+
+import (
+	"testing"
+
+	"superfast/internal/chamber"
+	"superfast/internal/core"
+	"superfast/internal/experiments"
+	"superfast/internal/flash"
+	"superfast/internal/profile"
+	"superfast/internal/pv"
+	"superfast/internal/ssd"
+)
+
+// benchConfig is the shared reduced configuration.
+func benchConfig() experiments.Config {
+	cfg := experiments.QuickConfig()
+	cfg.BlocksPerLane = 48
+	return cfg
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res == nil {
+			b.Fatal("nil result")
+		}
+	}
+}
+
+func BenchmarkFig5Characterize(b *testing.B)     { runExperiment(b, "fig5") }
+func BenchmarkFig6Random(b *testing.B)           { runExperiment(b, "fig6") }
+func BenchmarkTable1Directions(b *testing.B)     { runExperiment(b, "table1") }
+func BenchmarkTable2Window(b *testing.B)         { runExperiment(b, "table2") }
+func BenchmarkTable5Schemes(b *testing.B)        { runExperiment(b, "table5") }
+func BenchmarkFig12Improvement(b *testing.B)     { runExperiment(b, "fig12") }
+func BenchmarkFig13Distribution(b *testing.B)    { runExperiment(b, "fig13") }
+func BenchmarkFig14PerSB(b *testing.B)           { runExperiment(b, "fig14") }
+func BenchmarkFig15PECycles(b *testing.B)        { runExperiment(b, "fig15") }
+func BenchmarkOverheadCompute(b *testing.B)      { runExperiment(b, "overhead-compute") }
+func BenchmarkOverheadSpace(b *testing.B)        { runExperiment(b, "overhead-space") }
+func BenchmarkFTLHostWrites(b *testing.B)        { runExperiment(b, "ftl-host") }
+func BenchmarkReadHints(b *testing.B)            { runExperiment(b, "read-hints") }
+func BenchmarkSimThroughput(b *testing.B)        { runExperiment(b, "sim-throughput") }
+func BenchmarkRetention(b *testing.B)            { runExperiment(b, "retention") }
+func BenchmarkRAIDOverhead(b *testing.B)         { runExperiment(b, "raid-overhead") }
+func BenchmarkNCQ(b *testing.B)                  { runExperiment(b, "ncq") }
+func BenchmarkGCPolicy(b *testing.B)             { runExperiment(b, "gc-policy") }
+func BenchmarkTemperature(b *testing.B)          { runExperiment(b, "temperature") }
+func BenchmarkLoadSweep(b *testing.B)            { runExperiment(b, "load-sweep") }
+func BenchmarkDFTL(b *testing.B)                 { runExperiment(b, "dftl") }
+func BenchmarkAblationQuantization(b *testing.B) { runExperiment(b, "ablation-quant") }
+func BenchmarkAblationErsCorrelation(b *testing.B) {
+	runExperiment(b, "ablation-erscorr")
+}
+func BenchmarkAblationRemeasure(b *testing.B) { runExperiment(b, "ablation-remeasure") }
+func BenchmarkAblationWindow(b *testing.B)    { runExperiment(b, "ablation-window") }
+func BenchmarkAblationGlobal(b *testing.B)    { runExperiment(b, "ablation-global") }
+
+// BenchmarkQSTRMedAssembleOnly isolates the scheme's per-superblock cost:
+// the reference selection, 12 similarity checks, and free-list updates.
+func BenchmarkQSTRMedAssembleOnly(b *testing.B) {
+	g := flash.TestGeometry()
+	p := pv.DefaultParams()
+	p.Layers = g.Layers
+	p.Strings = g.Strings
+	arr := flash.MustNewArray(g, pv.New(p), flash.DefaultECC())
+	tb := chamber.New(arr)
+	type seedData struct {
+		addr  flash.BlockAddr
+		sum   float64
+		eigen profile.Eigen
+	}
+	var seeds []seedData
+	for lane := 0; lane < g.Lanes(); lane++ {
+		chip, plane := g.LaneChipPlane(lane)
+		for blk := 0; blk < g.BlocksPerPlane; blk++ {
+			prof := tb.FastProfile(lane, blk, 0)
+			seeds = append(seeds, seedData{
+				addr:  flash.BlockAddr{Chip: chip, Plane: plane, Block: blk},
+				sum:   prof.PgmSum,
+				eigen: profile.EigenFromProfile(prof),
+			})
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		scheme, err := core.NewScheme(g, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, sd := range seeds {
+			scheme.Seed(sd.addr, sd.sum, sd.eigen)
+			if err := scheme.AddFree(sd.addr); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		for scheme.FreeCount() > 0 {
+			if _, err := scheme.Assemble(core.Fast); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFTLChurn measures steady-state FTL write throughput under GC.
+func BenchmarkFTLChurn(b *testing.B) {
+	g := flash.TestGeometry()
+	g.BlocksPerPlane = 12
+	g.Layers = 12
+	p := pv.DefaultParams()
+	p.Layers = g.Layers
+	p.Strings = g.Strings
+	arr := flash.MustNewArray(g, pv.New(p), flash.DefaultECC())
+	cfg := ssd.DefaultConfig()
+	cfg.FTL.Overprovision = 0.25
+	dev, err := ssd.New(arr, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := dev.FillSequential(nil); err != nil {
+		b.Fatal(err)
+	}
+	capacity := dev.FTL().Capacity()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dev.Submit(ssd.Request{
+			Kind: ssd.OpWrite, LPN: int64(i*2654435761) % capacity, Data: []byte("bench"),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"fmt"
+
+	"superfast/internal/assembly"
+	"superfast/internal/chamber"
+	"superfast/internal/experiments"
+	"superfast/internal/flash"
+	"superfast/internal/pv"
+)
+
+// diagDeciles prints mean extra program latency per superblock-index decile
+// for each strategy, to expose depletion-order effects in window searches.
+func diagDeciles(cfg experiments.Config, strategies []assembly.Assembler) error {
+	p := cfg.PV
+	p.Seed = cfg.Seed
+	arr, err := flash.NewArray(cfg.Geometry, pv.New(p), flash.DefaultECC())
+	if err != nil {
+		return err
+	}
+	tb := chamber.New(arr)
+	grp := chamber.GroupLanes(cfg.Geometry, cfg.LanesPerGroup)[0]
+	lanes, err := tb.MeasureGroup(grp, chamber.BlockRange(0, cfg.BlocksPerLane), 0, true)
+	if err != nil {
+		return err
+	}
+	for _, s := range strategies {
+		res, err := s.Assemble(lanes)
+		if err != nil {
+			return err
+		}
+		m, err := assembly.Evaluate(lanes, res.Superblocks)
+		if err != nil {
+			return err
+		}
+		n := len(m.ExtraPgm)
+		fmt.Printf("%-14s", s.Name())
+		for d := 0; d < 10; d++ {
+			lo, hi := d*n/10, (d+1)*n/10
+			sum := 0.0
+			for _, v := range m.ExtraPgm[lo:hi] {
+				sum += v
+			}
+			fmt.Printf(" %7.0f", sum/float64(hi-lo))
+		}
+		fmt.Printf("  | mean %7.0f\n", mean(m.ExtraPgm))
+	}
+	return nil
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,160 @@
+// Command calibrate runs the assembly strategies under process-variation
+// model parameter overrides and prints improvement percentages against the
+// random baseline. It is the tool used to calibrate the model against the
+// paper's Tables I/II/V.
+//
+// Usage:
+//
+//	calibrate -blocks 200 -groups 2 -pe 0 -set PgmJitterSigma=0 -set StringScaleSigma=0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"strconv"
+	"strings"
+
+	"superfast/internal/assembly"
+	"superfast/internal/core"
+	"superfast/internal/experiments"
+	"superfast/internal/pv"
+	"superfast/internal/stats"
+)
+
+type overrides []string
+
+func (o *overrides) String() string     { return strings.Join(*o, ",") }
+func (o *overrides) Set(v string) error { *o = append(*o, v); return nil }
+
+func main() {
+	var (
+		blocks  = flag.Int("blocks", 200, "blocks per lane")
+		groups  = flag.Int("groups", 2, "lane groups")
+		peList  = flag.String("pe", "0", "P/E steps, comma separated")
+		window  = flag.Int("window", 8, "window for windowed strategies")
+		med     = flag.Int("med", 4, "window for STR-MED/QSTR-MED")
+		full    = flag.Bool("full", false, "run all nine directions (slower)")
+		deciles = flag.Bool("deciles", false, "print per-superblock-index decile means")
+		budget  = flag.Bool("budget", false, "print the model's per-word-line variance budget and exit")
+		sets    overrides
+	)
+	flag.Var(&sets, "set", "model parameter override Name=value (repeatable)")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.BlocksPerLane = *blocks
+	cfg.Groups = *groups
+	cfg.Window = *window
+	cfg.MedWindow = *med
+	cfg.PESteps = nil
+	for _, p := range strings.Split(*peList, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			fatalf("bad -pe: %v", err)
+		}
+		cfg.PESteps = append(cfg.PESteps, v)
+	}
+	for _, s := range sets {
+		if err := applyOverride(&cfg, s); err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	strategies := []assembly.Assembler{
+		assembly.Random{Seed: cfg.Seed + 1},
+		assembly.Sequential{},
+		assembly.Optimal{Window: cfg.Window},
+		assembly.Ranked{Kind: assembly.STRRank, Window: cfg.Window},
+		assembly.STRMedian{Window: cfg.MedWindow},
+		core.BatchAssembler{K: cfg.MedWindow},
+	}
+	if *full {
+		strategies = append(strategies,
+			assembly.ByErase{},
+			assembly.ByPgmSum{},
+			assembly.Ranked{Kind: assembly.LWLRank, Window: cfg.Window},
+			assembly.Ranked{Kind: assembly.PWLRank, Window: cfg.Window},
+		)
+	}
+	if *budget {
+		printBudget(cfg)
+		return
+	}
+	if *deciles {
+		if err := diagDeciles(cfg, strategies); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+	outcomes, err := experiments.SweepStrategies(cfg, strategies)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	base := outcomes[0]
+	t := stats.Table{Headers: []string{"Method", "Extra PGM", "PGM Imp.", "Extra ERS", "ERS Imp."}}
+	for _, o := range outcomes {
+		t.AddRow(o.Name,
+			stats.FmtUS(o.MeanPgm),
+			stats.FmtPct(stats.Improvement(base.MeanPgm, o.MeanPgm)),
+			stats.FmtUS(o.MeanErs),
+			stats.FmtPct(stats.Improvement(base.MeanErs, o.MeanErs)))
+	}
+	fmt.Print(t.String())
+}
+
+// applyOverride sets a pv.Params field by name on cfg.PV using reflection,
+// so every model knob is reachable without a dedicated flag.
+func applyOverride(cfg *experiments.Config, kv string) error {
+	name, valStr, ok := strings.Cut(kv, "=")
+	if !ok {
+		return fmt.Errorf("override %q not of form Name=value", kv)
+	}
+	v := reflect.ValueOf(&cfg.PV).Elem().FieldByName(name)
+	if !v.IsValid() {
+		return fmt.Errorf("unknown pv.Params field %q", name)
+	}
+	switch v.Kind() {
+	case reflect.Float64:
+		f, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return err
+		}
+		v.SetFloat(f)
+	case reflect.Int:
+		i, err := strconv.Atoi(valStr)
+		if err != nil {
+			return err
+		}
+		v.SetInt(int64(i))
+	case reflect.Uint64:
+		u, err := strconv.ParseUint(valStr, 0, 64)
+		if err != nil {
+			return err
+		}
+		v.SetUint(u)
+	default:
+		return fmt.Errorf("field %q has unsupported kind %s", name, v.Kind())
+	}
+	return nil
+}
+
+// printBudget renders the model's per-word-line variance decomposition.
+func printBudget(cfg experiments.Config) {
+	p := cfg.PV
+	p.Seed = cfg.Seed
+	m := pv.New(p)
+	t := stats.Table{Headers: []string{"Component", "Variance µs²", "Share"}}
+	for _, c := range m.VarianceBudget(6, 400) {
+		t.AddRow(c.Name, fmt.Sprintf("%.1f", c.Variance), stats.FmtPct(c.Share))
+	}
+	fmt.Print(t.String())
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "calibrate: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// runDiag is invoked via -deciles to print per-decile extra latency.

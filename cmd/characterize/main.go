@@ -1,0 +1,92 @@
+// Command characterize dumps raw latency characterization data from the
+// simulated flash chips in CSV form — the data behind the paper's Fig. 5:
+// per-block erase latency and per-word-line program latency.
+//
+// Usage:
+//
+//	characterize -kind erase -chips 2 -blocks 200 > erase.csv
+//	characterize -kind program -chips 2 -blocks 4 -pe 1000 > program.csv
+//	characterize -kind eigen -blocks 4
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"superfast/internal/chamber"
+	"superfast/internal/flash"
+	"superfast/internal/profile"
+	"superfast/internal/pv"
+)
+
+func main() {
+	var (
+		kind   = flag.String("kind", "erase", "what to dump: erase | program | eigen")
+		chips  = flag.Int("chips", 2, "chips to characterize")
+		blocks = flag.Int("blocks", 200, "blocks per chip")
+		pe     = flag.Int("pe", 0, "P/E cycle count at measurement")
+		seed   = flag.Uint64("seed", 0, "model seed override (0 = default)")
+	)
+	flag.Parse()
+
+	g := flash.PaperGeometry()
+	if *chips > g.Chips {
+		fatalf("at most %d chips", g.Chips)
+	}
+	if *blocks > g.BlocksPerPlane {
+		fatalf("at most %d blocks", g.BlocksPerPlane)
+	}
+	p := pv.DefaultParams()
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+	arr, err := flash.NewArray(g, pv.New(p), flash.DefaultECC())
+	if err != nil {
+		fatalf("%v", err)
+	}
+	tb := chamber.New(arr)
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	switch *kind {
+	case "erase":
+		fmt.Fprintln(w, "chip,block,tBERS_us")
+		for c := 0; c < *chips; c++ {
+			lane := c * g.PlanesPerChip
+			for b := 0; b < *blocks; b++ {
+				prof := tb.FastProfile(lane, b, *pe)
+				fmt.Fprintf(w, "%d,%d,%.1f\n", c, b, prof.Erase)
+			}
+		}
+	case "program":
+		fmt.Fprintln(w, "chip,block,wl,tPROG_us")
+		for c := 0; c < *chips; c++ {
+			lane := c * g.PlanesPerChip
+			for b := 0; b < *blocks; b++ {
+				prof := tb.FastProfile(lane, b, *pe)
+				for wl, v := range prof.LWL {
+					fmt.Fprintf(w, "%d,%d,%d,%.1f\n", c, b, wl, v)
+				}
+			}
+		}
+	case "eigen":
+		fmt.Fprintln(w, "chip,block,pgm_sum_us,eigen")
+		for c := 0; c < *chips; c++ {
+			lane := c * g.PlanesPerChip
+			for b := 0; b < *blocks; b++ {
+				prof := tb.FastProfile(lane, b, *pe)
+				e := profile.EigenFromProfile(prof)
+				fmt.Fprintf(w, "%d,%d,%.1f,%s\n", c, b, prof.PgmSum, e)
+			}
+		}
+	default:
+		fatalf("unknown -kind %q (erase | program | eigen)", *kind)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "characterize: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,213 @@
+// Command ftlsim runs a host workload through the full simulated SSD (flash
+// array + FTL + device queue) and prints latency/WAF statistics. It is the
+// end-to-end harness for comparing superblock organizers.
+//
+// Usage:
+//
+//	ftlsim -organizer qstr-med -workload hotcold -ops 20000
+//	ftlsim -organizer random -workload uniform
+//	ftlsim -workload trace -trace ops.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"superfast/internal/flash"
+	"superfast/internal/ftl"
+	"superfast/internal/pv"
+	"superfast/internal/ssd"
+	"superfast/internal/stats"
+	"superfast/internal/workload"
+)
+
+func main() {
+	var (
+		orgName  = flag.String("organizer", "qstr-med", "superblock organizer: qstr-med | sequential | random")
+		wlName   = flag.String("workload", "hotcold", "workload: seqfill | uniform | hotcold | mixed | trace | msr")
+		ops      = flag.Int64("ops", 0, "operation count (0 = one logical-space pass)")
+		tracePth = flag.String("trace", "", "trace file for -workload trace")
+		blocks   = flag.Int("blocks", 32, "blocks per plane")
+		chips    = flag.Int("chips", 4, "chips")
+		layers   = flag.Int("layers", 48, "word-line layers per block")
+		seed     = flag.Uint64("seed", 1, "seed")
+		raid     = flag.Bool("raid", false, "dedicate one lane per superblock to parity")
+		autoHint = flag.Bool("autohint", false, "detect hot pages and place them on fast superpages")
+		victim   = flag.String("victim", "greedy", "GC victim policy: greedy | cost-benefit | fifo")
+		queue    = flag.String("queue", "serialized", "device queue model: serialized | per-chip")
+	)
+	flag.Parse()
+
+	g := flash.Geometry{
+		Chips:          *chips,
+		PlanesPerChip:  1,
+		BlocksPerPlane: *blocks,
+		Layers:         *layers,
+		Strings:        4,
+		PageSize:       16 * 1024,
+		SpareSize:      2 * 1024,
+	}
+	p := pv.DefaultParams()
+	p.Seed = *seed
+	p.Layers = g.Layers
+	p.Strings = g.Strings
+	arr, err := flash.NewArray(g, pv.New(p), flash.DefaultECC())
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cfg := ssd.DefaultConfig()
+	cfg.FTL.Overprovision = 0.2
+	cfg.FTL.Seed = *seed
+	switch *orgName {
+	case "qstr-med":
+		cfg.FTL.Organizer = ftl.QSTRMed
+	case "sequential":
+		cfg.FTL.Organizer = ftl.SequentialOrg
+	case "random":
+		cfg.FTL.Organizer = ftl.RandomOrg
+	default:
+		fatalf("unknown organizer %q", *orgName)
+	}
+	cfg.FTL.RAID = *raid
+	cfg.FTL.AutoHint = *autoHint
+	switch *victim {
+	case "greedy":
+		cfg.FTL.Victim = ftl.Greedy
+	case "cost-benefit":
+		cfg.FTL.Victim = ftl.CostBenefit
+	case "fifo":
+		cfg.FTL.Victim = ftl.FIFO
+	default:
+		fatalf("unknown victim policy %q", *victim)
+	}
+	switch *queue {
+	case "serialized":
+		cfg.Queue = ssd.Serialized
+	case "per-chip":
+		cfg.Queue = ssd.PerChip
+	default:
+		fatalf("unknown queue model %q", *queue)
+	}
+	dev, err := ssd.New(arr, cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	capacity := dev.FTL().Capacity()
+	count := *ops
+	if count == 0 {
+		count = capacity
+	}
+
+	var completions []ssd.Completion
+	switch *wlName {
+	case "seqfill":
+		completions, err = workload.Run(dev, &workload.Sequential{N: min64(count, capacity), PageLen: 64})
+	case "uniform":
+		warm(dev)
+		completions, err = workload.Run(dev, &workload.Uniform{Space: capacity, Count: count, PageLen: 64, Seed: *seed})
+	case "hotcold":
+		warm(dev)
+		completions, err = workload.Run(dev, &workload.HotCold{
+			Space: capacity, Count: count, HotFrac: 0.8, HotSpace: 0.2, PageLen: 64, Seed: *seed,
+		})
+	case "mixed":
+		warm(dev)
+		completions, err = workload.Run(dev, &workload.Mixed{
+			Space: capacity, Count: count, ReadFrac: 0.5, PageLen: 64, Seed: *seed,
+		})
+	case "trace":
+		if *tracePth == "" {
+			fatalf("-workload trace needs -trace FILE")
+		}
+		f, ferr := os.Open(*tracePth)
+		if ferr != nil {
+			fatalf("%v", ferr)
+		}
+		defer f.Close()
+		reqs, perr := workload.ParseTrace(f, 64)
+		if perr != nil {
+			fatalf("%v", perr)
+		}
+		for _, req := range reqs {
+			c, serr := dev.Submit(req)
+			if serr != nil {
+				fatalf("trace op: %v", serr)
+			}
+			completions = append(completions, c)
+		}
+	case "msr":
+		if *tracePth == "" {
+			fatalf("-workload msr needs -trace FILE")
+		}
+		f, ferr := os.Open(*tracePth)
+		if ferr != nil {
+			fatalf("%v", ferr)
+		}
+		defer f.Close()
+		reqs, perr := workload.ParseMSRTrace(f, dev.PageSize(), capacity)
+		if perr != nil {
+			fatalf("%v", perr)
+		}
+		completions, err = workload.ReplayPrepared(dev, reqs)
+	default:
+		fatalf("unknown workload %q", *wlName)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	lats := make([]float64, len(completions))
+	for i, c := range completions {
+		lats[i] = c.Service
+	}
+	sm := stats.Summarize(lats)
+	fst := dev.FTL().Stats()
+	t := stats.Table{Title: fmt.Sprintf("ftlsim: %s / %s, %d ops", *orgName, *wlName, len(completions))}
+	t.Headers = []string{"Metric", "Value"}
+	t.AddRow("mean latency", stats.FmtUS(sm.Mean)+" µs")
+	t.AddRow("median latency", stats.FmtUS(sm.Median)+" µs")
+	t.AddRow("p95 latency", stats.FmtUS(sm.P95)+" µs")
+	t.AddRow("p99 latency", stats.FmtUS(sm.P99)+" µs")
+	t.AddRow("max latency", stats.FmtUS(sm.Max)+" µs")
+	t.AddRow("host writes", fmt.Sprintf("%d", fst.HostWrites))
+	t.AddRow("gc writes", fmt.Sprintf("%d", fst.GCWrites))
+	t.AddRow("WAF", fmt.Sprintf("%.3f", fst.WAF()))
+	t.AddRow("superblock flushes", fmt.Sprintf("%d", fst.Flushes))
+	t.AddRow("extra PGM per flush", stats.FmtUS(safeDiv(fst.ExtraPgm, float64(fst.Flushes)))+" µs")
+	t.AddRow("extra ERS per erase", stats.FmtUS(safeDiv(fst.ExtraErs, float64(fst.Erases)))+" µs")
+	t.AddRow("similarity checks", fmt.Sprintf("%d", dev.FTL().Scheme().PairChecks()))
+	if *raid {
+		t.AddRow("raid repairs", fmt.Sprintf("%d", fst.RAIDRepairs))
+	}
+	w := dev.FTL().Wear()
+	t.AddRow("wear (min/mean/max P/E)", fmt.Sprintf("%d / %.1f / %d", w.MinPE, w.MeanPE, w.MaxPE))
+	fmt.Print(t.String())
+}
+
+// warm fills the logical space once so subsequent workloads overwrite live
+// data and exercise garbage collection.
+func warm(dev *ssd.Device) {
+	if err := dev.FillSequential(nil); err != nil {
+		fatalf("warm: %v", err)
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ftlsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,129 @@
+// Command sbsim runs the paper-reproduction experiments: every table and
+// figure of the evaluation section, plus overhead analyses and ablations.
+//
+// Usage:
+//
+//	sbsim -list
+//	sbsim -id table5 [-quick] [-pe 0,1000,3000] [-blocks 400] [-groups 6] [-seed 1]
+//	sbsim -all -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"superfast/internal/experiments"
+	"superfast/internal/stats"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		id     = flag.String("id", "", "experiment id to run")
+		all    = flag.Bool("all", false, "run every experiment")
+		quick  = flag.Bool("quick", false, "use the reduced quick configuration")
+		seed   = flag.Uint64("seed", 0, "override model seed (0 = default)")
+		blocks = flag.Int("blocks", 0, "override blocks per lane (0 = default)")
+		groups = flag.Int("groups", 0, "override number of lane groups (0 = all)")
+		peList = flag.String("pe", "", "override P/E steps, comma separated (e.g. 0,1000,3000)")
+		csvDir = flag.String("csv", "", "also write tables and series as CSV files into this directory")
+		par    = flag.Int("parallel", 0, "run sweep tasks on N goroutines (0 = serial)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-20s %s\n", id, experiments.Describe(id))
+		}
+		return
+	}
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *blocks > 0 {
+		cfg.BlocksPerLane = *blocks
+	}
+	if *groups > 0 {
+		cfg.Groups = *groups
+	}
+	if *peList != "" {
+		steps, err := parseInts(*peList)
+		if err != nil {
+			fatalf("bad -pe: %v", err)
+		}
+		cfg.PESteps = steps
+	}
+	cfg.Parallel = *par
+
+	var ids []string
+	switch {
+	case *all:
+		ids = experiments.IDs()
+	case *id != "":
+		ids = []string{*id}
+	default:
+		fmt.Fprintln(os.Stderr, "sbsim: need -id, -all or -list")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, id := range ids {
+		res, err := experiments.Run(id, cfg)
+		if err != nil {
+			fatalf("%s: %v", id, err)
+		}
+		fmt.Println(res.String())
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, res); err != nil {
+				fatalf("%s: %v", id, err)
+			}
+		}
+	}
+}
+
+// writeCSV dumps every table and series of a result into dir.
+func writeCSV(dir string, res *experiments.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, t := range res.Tables {
+		name := filepath.Join(dir, fmt.Sprintf("%s-table%d.csv", res.ID, i))
+		if err := os.WriteFile(name, []byte(t.CSV()), 0o644); err != nil {
+			return err
+		}
+	}
+	for i, sb := range res.Series {
+		name := filepath.Join(dir, fmt.Sprintf("%s-series%d.csv", res.ID, i))
+		if err := os.WriteFile(name, []byte(stats.SeriesCSV(sb.XLabel, sb.Series)), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sbsim: "+format+"\n", args...)
+	os.Exit(1)
+}

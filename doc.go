@@ -1,0 +1,11 @@
+// Package superfast reproduces "Are Superpages Super-fast? Distilling Flash
+// Blocks to Unify Flash Pages of a Superpage in an SSD" (HPCA 2024): a
+// process-variation NAND flash model, the paper's eight superblock
+// organization strategies, the QSTR-MED runtime scheme, and a superblock
+// FTL + SSD simulator that exercises it end-to-end.
+//
+// The public surface lives in the commands (cmd/sbsim, cmd/characterize,
+// cmd/ftlsim, cmd/calibrate) and the runnable examples (examples/...); the
+// library packages are under internal/. See README.md for a map and
+// EXPERIMENTS.md for paper-versus-measured results.
+package superfast

@@ -1,0 +1,77 @@
+// Hostwrites: run the same skewed host write workload through three full
+// SSDs (flash + FTL + device queue) that differ only in how they organize
+// superblocks, and compare host-visible latency, write amplification and
+// extra program latency — the end-to-end view of §V-D's function-based
+// placement.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"superfast/internal/flash"
+	"superfast/internal/ftl"
+	"superfast/internal/pv"
+	"superfast/internal/ssd"
+	"superfast/internal/stats"
+	"superfast/internal/workload"
+)
+
+func main() {
+	for _, org := range []ftl.Organizer{ftl.RandomOrg, ftl.SequentialOrg, ftl.QSTRMed} {
+		run(org)
+	}
+}
+
+func run(org ftl.Organizer) {
+	geo := flash.Geometry{
+		Chips:          4,
+		PlanesPerChip:  1,
+		BlocksPerPlane: 32,
+		Layers:         48,
+		Strings:        4,
+		PageSize:       16 * 1024,
+		SpareSize:      2 * 1024,
+	}
+	params := pv.DefaultParams()
+	params.Layers = geo.Layers
+	params.Strings = geo.Strings
+	arr, err := flash.NewArray(geo, pv.New(params), flash.DefaultECC())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := ssd.DefaultConfig()
+	cfg.FTL.Organizer = org
+	cfg.FTL.Overprovision = 0.2
+	dev, err := ssd.New(arr, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fill once, then churn with an 80/20 hot/cold write mix. Hot writes
+	// carry HintSmall (they land on fast LSB superpages), cold writes
+	// HintBatch.
+	capacity := dev.FTL().Capacity()
+	if err := dev.FillSequential(nil); err != nil {
+		log.Fatal(err)
+	}
+	churn, err := workload.Run(dev, &workload.HotCold{
+		Space: capacity, Count: 2 * capacity,
+		HotFrac: 0.8, HotSpace: 0.2,
+		PageLen: 64, Seed: 99,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	lats := make([]float64, len(churn))
+	for i, c := range churn {
+		lats[i] = c.Service
+	}
+	s := stats.Summarize(lats)
+	fst := dev.FTL().Stats()
+	fmt.Printf("%-11s mean %9s µs  p99 %10s µs  WAF %.2f  extra PGM/flush %7s µs  extra ERS/erase %7s µs\n",
+		org, stats.FmtUS(s.Mean), stats.FmtUS(s.P99), fst.WAF(),
+		stats.FmtUS(fst.ExtraPgm/float64(fst.Flushes)),
+		stats.FmtUS(fst.ExtraErs/float64(fst.Erases)))
+}

@@ -1,0 +1,106 @@
+// Recovery: the resilience features working together — superblock RAID
+// reconstructs an uncorrectable page, a checkpoint carries the FTL's RAM
+// state (mapping tables + QSTR-MED metadata) across a power cycle, and the
+// restored device keeps serving.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"superfast/internal/flash"
+	"superfast/internal/ftl"
+	"superfast/internal/pv"
+)
+
+func main() {
+	geo := flash.Geometry{
+		Chips:          4,
+		PlanesPerChip:  1,
+		BlocksPerPlane: 16,
+		Layers:         24,
+		Strings:        4,
+		PageSize:       4096,
+		SpareSize:      256,
+	}
+	params := pv.DefaultParams()
+	params.Layers = geo.Layers
+	params.Strings = geo.Strings
+	arr, err := flash.NewArray(geo, pv.New(params), flash.DefaultECC())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := ftl.DefaultConfig()
+	cfg.Overprovision = 0.25
+	cfg.RAID = true // one lane of parity per superblock
+	f, err := ftl.New(arr, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("RAID device: %d logical pages (one of %d lanes holds parity)\n",
+		f.Capacity(), geo.Lanes())
+	for lpn := int64(0); lpn < 300; lpn++ {
+		if _, err := f.Write(lpn, []byte(fmt.Sprintf("record-%d", lpn))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := f.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	// A page goes bad: ECC gives up, parity brings it back.
+	addr, lwl, typ, _ := f.Locate(42)
+	if err := arr.InjectCorruption(flash.PageAddr{BlockAddr: addr, LWL: lwl, Type: typ}); err != nil {
+		log.Fatal(err)
+	}
+	r, err := f.Read(42)
+	if err != nil {
+		log.Fatalf("reconstruction failed: %v", err)
+	}
+	fmt.Printf("page 42 went uncorrectable; reconstructed from parity: %q (repairs: %d)\n",
+		r.Data, f.Stats().RAIDRepairs)
+
+	// Power cycle: checkpoint the FTL RAM state, drop the FTL, restore.
+	snap, err := f.Checkpoint()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpoint: %d bytes (mapping + superblock table + QSTR-MED metadata)\n", len(snap))
+	g, err := ftl.Restore(arr, cfg, snap)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err = g.Read(299)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after power cycle: page 299 = %q\n", r.Data)
+	if err := g.CheckInvariants(); err != nil {
+		log.Fatal(err)
+	}
+	// The restored device keeps absorbing writes (GC included).
+	for i := int64(0); i < 2*g.Capacity(); i++ {
+		if _, err := g.Write(i%300, []byte("rewritten")); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("post-restore churn: WAF %.2f, GC runs %d, invariants hold\n",
+		g.Stats().WAF(), g.Stats().GCRuns)
+
+	// Unclean power loss: no checkpoint survives. Rebuild the mapping by
+	// scanning the spare-area tags on flash.
+	h, err := ftl.RecoverByScan(arr, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err = h.Read(7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after UNCLEAN power loss, scan recovery: page 7 = %q\n", r.Data)
+	if err := h.CheckInvariants(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("scan-recovered FTL invariants hold")
+}

@@ -1,0 +1,3 @@
+module superfast
+
+go 1.22

@@ -1,0 +1,521 @@
+// Package assembly implements the paper's eight superblock-organization
+// directions (§IV-A): random (the baseline), sequential, erase-latency,
+// program-latency, local-optimal, LWL-rank, PWL-rank, STR-rank and
+// STR-median assembly, together with the combination/pair-check cost
+// accounting used in the paper's computing-overhead analysis (§VI-B2).
+//
+// All strategies consume per-lane lists of gathered block profiles and emit
+// superblocks: one block per lane. The window-based strategies walk each
+// lane's blocks sorted fast-to-slow and, per superblock, choose one block
+// per lane out of the leading W unassigned candidates.
+package assembly
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"superfast/internal/prng"
+	"superfast/internal/profile"
+)
+
+// Lane is the candidate block set of one plane lane.
+type Lane struct {
+	ID     int
+	Blocks []*profile.BlockProfile
+}
+
+// Result is the output of an assembler.
+type Result struct {
+	// Superblocks[k][lane] indexes into lanes[lane].Blocks.
+	Superblocks [][]int
+	// PairChecks counts similarity evaluations using the paper's
+	// accounting: every candidate combination charges one check per block
+	// pair (window 4, 4 lanes → 256·6 = 1,536 for STR-MED; 12 for
+	// QSTR-MED).
+	PairChecks int
+	// Combos counts candidate combinations considered (window 8, 4 lanes
+	// → up to 4,096 per superblock for the local-optimal search).
+	Combos int
+}
+
+// Assembler organizes the blocks of several lanes into superblocks.
+type Assembler interface {
+	Name() string
+	Assemble(lanes []Lane) (Result, error)
+}
+
+// ErrLaneShape reports lanes unsuitable for assembly.
+var ErrLaneShape = errors.New("assembly: lanes must be non-empty and equally sized")
+
+func checkLanes(lanes []Lane) error {
+	if len(lanes) == 0 || len(lanes[0].Blocks) == 0 {
+		return ErrLaneShape
+	}
+	n := len(lanes[0].Blocks)
+	wls := len(lanes[0].Blocks[0].LWL)
+	for _, l := range lanes {
+		if len(l.Blocks) != n {
+			return fmt.Errorf("%w: lane %d has %d blocks, lane %d has %d",
+				ErrLaneShape, lanes[0].ID, n, l.ID, len(l.Blocks))
+		}
+		for _, b := range l.Blocks {
+			if len(b.LWL) != wls {
+				return fmt.Errorf("%w: block profiles disagree on word-line count", ErrLaneShape)
+			}
+		}
+	}
+	return nil
+}
+
+// zip builds superblocks by pairing the i-th entry of each lane's order.
+func zip(orders [][]int) [][]int {
+	n := len(orders[0])
+	out := make([][]int, n)
+	for i := 0; i < n; i++ {
+		sb := make([]int, len(orders))
+		for l := range orders {
+			sb[l] = orders[l][i]
+		}
+		out[i] = sb
+	}
+	return out
+}
+
+func identityOrder(n int) []int {
+	o := make([]int, n)
+	for i := range o {
+		o[i] = i
+	}
+	return o
+}
+
+func orderByKey(blocks []*profile.BlockProfile, key func(*profile.BlockProfile) float64) []int {
+	o := identityOrder(len(blocks))
+	sort.SliceStable(o, func(a, b int) bool { return key(blocks[o[a]]) < key(blocks[o[b]]) })
+	return o
+}
+
+// Random assembles superblocks by shuffling every lane independently — the
+// paper's baseline.
+type Random struct {
+	Seed uint64
+}
+
+// Name implements Assembler.
+func (Random) Name() string { return "RANDOM" }
+
+// Assemble implements Assembler.
+func (r Random) Assemble(lanes []Lane) (Result, error) {
+	if err := checkLanes(lanes); err != nil {
+		return Result{}, err
+	}
+	orders := make([][]int, len(lanes))
+	for i, l := range lanes {
+		orders[i] = prng.New(r.Seed, 0x9a7d, l.ID).Perm(len(l.Blocks))
+	}
+	return Result{Superblocks: zip(orders)}, nil
+}
+
+// Sequential pairs blocks with the same sequence number on every lane —
+// the organization commonly implemented in modern SSDs (§IV-A1).
+type Sequential struct{}
+
+// Name implements Assembler.
+func (Sequential) Name() string { return "SEQUENTIAL" }
+
+// Assemble implements Assembler.
+func (Sequential) Assemble(lanes []Lane) (Result, error) {
+	if err := checkLanes(lanes); err != nil {
+		return Result{}, err
+	}
+	orders := make([][]int, len(lanes))
+	for i, l := range lanes {
+		orders[i] = orderByKey(l.Blocks, func(b *profile.BlockProfile) float64 { return float64(b.Block) })
+	}
+	return Result{Superblocks: zip(orders)}, nil
+}
+
+// ByErase pairs the i-th fastest-erasing block of every lane (§IV-A2).
+type ByErase struct{}
+
+// Name implements Assembler.
+func (ByErase) Name() string { return "ERS-LTN" }
+
+// Assemble implements Assembler.
+func (ByErase) Assemble(lanes []Lane) (Result, error) {
+	if err := checkLanes(lanes); err != nil {
+		return Result{}, err
+	}
+	orders := make([][]int, len(lanes))
+	for i, l := range lanes {
+		orders[i] = orderByKey(l.Blocks, func(b *profile.BlockProfile) float64 { return b.Erase })
+	}
+	return Result{Superblocks: zip(orders)}, nil
+}
+
+// ByPgmSum pairs the i-th fastest-programming block of every lane, using the
+// sum of word-line program latencies as the block latency (§IV-A3).
+type ByPgmSum struct{}
+
+// Name implements Assembler.
+func (ByPgmSum) Name() string { return "PGM-LTN" }
+
+// Assemble implements Assembler.
+func (ByPgmSum) Assemble(lanes []Lane) (Result, error) {
+	if err := checkLanes(lanes); err != nil {
+		return Result{}, err
+	}
+	orders := make([][]int, len(lanes))
+	for i, l := range lanes {
+		orders[i] = orderByKey(l.Blocks, func(b *profile.BlockProfile) float64 { return b.PgmSum })
+	}
+	return Result{Superblocks: zip(orders)}, nil
+}
+
+// windowed drives the shared window walk: lanes sorted fast-to-slow, and for
+// every superblock a picker chooses one candidate per lane out of the first
+// W unassigned blocks of each lane.
+type windowed struct {
+	window int
+	pick   func(cands [][]*profile.BlockProfile, res *Result) []int
+}
+
+func (w windowed) assemble(lanes []Lane) (Result, error) {
+	if err := checkLanes(lanes); err != nil {
+		return Result{}, err
+	}
+	if w.window <= 0 {
+		return Result{}, fmt.Errorf("assembly: window must be positive, got %d", w.window)
+	}
+	// remaining[l] holds unassigned block indices, fastest first.
+	remaining := make([][]int, len(lanes))
+	for i, l := range lanes {
+		remaining[i] = orderByKey(l.Blocks, func(b *profile.BlockProfile) float64 { return b.PgmSum })
+	}
+	n := len(lanes[0].Blocks)
+	res := Result{Superblocks: make([][]int, 0, n)}
+	cands := make([][]*profile.BlockProfile, len(lanes))
+	for sb := 0; sb < n; sb++ {
+		ws := w.window
+		if ws > n-sb {
+			ws = n - sb
+		}
+		for l := range lanes {
+			cs := make([]*profile.BlockProfile, ws)
+			for i := 0; i < ws; i++ {
+				cs[i] = lanes[l].Blocks[remaining[l][i]]
+			}
+			cands[l] = cs
+		}
+		choice := w.pick(cands, &res)
+		members := make([]int, len(lanes))
+		for l, ci := range choice {
+			members[l] = remaining[l][ci]
+			remaining[l] = append(remaining[l][:ci], remaining[l][ci+1:]...)
+		}
+		res.Superblocks = append(res.Superblocks, members)
+	}
+	return res, nil
+}
+
+// Optimal is the local-optimal assembly (§IV-A4): per window it brute-forces
+// every combination (with branch-and-bound pruning, which cannot change the
+// result) for the minimal superblock program latency — the sum over
+// word-lines of the slowest member's latency, which is what a multi-plane
+// program actually costs. Minimizing the total latency both pairs fast
+// blocks together and aligns their per-word-line patterns, so the extra
+// latency drops as a consequence. It is the impractical ground reference of
+// Tables I and V.
+type Optimal struct {
+	Window int
+}
+
+// Name implements Assembler.
+func (o Optimal) Name() string { return fmt.Sprintf("OPTIMAL (%d)", o.Window) }
+
+// Assemble implements Assembler.
+func (o Optimal) Assemble(lanes []Lane) (Result, error) {
+	return windowed{window: o.Window, pick: pickOptimal}.assemble(lanes)
+}
+
+// chargeNominal charges the paper's nominal cost of a window search: every
+// combination (the product of the lanes' candidate counts) checks every
+// block pair. Branch-and-bound pruning inside the pickers is a pure
+// implementation speed-up and must not change the reported overhead.
+func chargeNominal(cands [][]*profile.BlockProfile, res *Result) {
+	combos := 1
+	for _, cs := range cands {
+		combos *= len(cs)
+	}
+	res.Combos += combos
+	res.PairChecks += combos * len(cands) * (len(cands) - 1) / 2
+}
+
+// pickOptimal minimizes the superblock program latency (the sum over
+// word-lines of the running maximum) over the window combinations. It
+// enumerates lane by lane carrying the per-word-line running max; because
+// adding a lane can only raise each word-line's maximum, any partial sum at
+// or above the best total prunes the subtree without changing the result.
+func pickOptimal(cands [][]*profile.BlockProfile, res *Result) []int {
+	nWL := len(cands[0][0].LWL)
+	maxA := make([]float64, nWL)
+	saveMax := make([][]float64, len(cands))
+	for l := range cands {
+		saveMax[l] = make([]float64, nWL)
+	}
+	chargeNominal(cands, res)
+	best := math.Inf(1)
+	bestChoice := make([]int, len(cands))
+	choice := make([]int, len(cands))
+
+	var walk func(lane int, partial float64)
+	walk = func(lane int, partial float64) {
+		if lane == len(cands) {
+			if partial < best {
+				best = partial
+				copy(bestChoice, choice)
+			}
+			return
+		}
+		for ci, b := range cands[lane] {
+			newPartial := partial
+			if lane == 0 {
+				copy(maxA, b.LWL)
+				newPartial = b.PgmSum
+				if newPartial >= best {
+					continue
+				}
+			} else {
+				copy(saveMax[lane], maxA)
+				for wl, v := range b.LWL {
+					if v > maxA[wl] {
+						newPartial += v - maxA[wl]
+						maxA[wl] = v
+					}
+				}
+				if newPartial >= best {
+					copy(maxA, saveMax[lane])
+					continue
+				}
+			}
+			choice[lane] = ci
+			walk(lane+1, newPartial)
+			if lane > 0 {
+				copy(maxA, saveMax[lane])
+			}
+		}
+	}
+	walk(0, 0)
+	return bestChoice
+}
+
+// RankKind selects which rank vector a rank-based assembler compares.
+type RankKind int
+
+// The rank granularities of §IV-A5..7.
+const (
+	LWLRank RankKind = iota // all logical word-lines ranked 0..LWLs-1
+	PWLRank                 // per string, layers ranked 0..Layers-1
+	STRRank                 // per layer, strings ranked 0..Strings-1
+)
+
+func (k RankKind) String() string {
+	switch k {
+	case LWLRank:
+		return "LWL-RANK"
+	case PWLRank:
+		return "PWL-RANK"
+	case STRRank:
+		return "STR-RANK"
+	}
+	return fmt.Sprintf("RankKind(%d)", int(k))
+}
+
+// Ranked is the LWL-/PWL-/STR-rank assembly: per window it chooses the
+// combination with the minimal total pairwise rank distance (Equation 1).
+type Ranked struct {
+	Kind   RankKind
+	Window int
+}
+
+// Name implements Assembler.
+func (r Ranked) Name() string { return fmt.Sprintf("%s (%d)", r.Kind, r.Window) }
+
+// Assemble implements Assembler.
+func (r Ranked) Assemble(lanes []Lane) (Result, error) {
+	ranks := make(map[*profile.BlockProfile][]int)
+	rankOf := func(b *profile.BlockProfile) []int {
+		if v, ok := ranks[b]; ok {
+			return v
+		}
+		var v []int
+		switch r.Kind {
+		case LWLRank:
+			v = b.LWLRanks()
+		case PWLRank:
+			v = b.PWLRanks()
+		case STRRank:
+			v = b.STRRanks()
+		default:
+			panic(fmt.Sprintf("assembly: unknown rank kind %d", int(r.Kind)))
+		}
+		ranks[b] = v
+		return v
+	}
+	dist := func(a, b *profile.BlockProfile) float64 {
+		return float64(profile.RankDistance(rankOf(a), rankOf(b)))
+	}
+	return windowed{window: r.Window, pick: pairwisePicker(dist)}.assemble(lanes)
+}
+
+// STRMedian is the STR-median assembly (§IV-A8): 1-bit string ranks compared
+// with XOR + popcount.
+type STRMedian struct {
+	Window int
+}
+
+// Name implements Assembler.
+func (s STRMedian) Name() string { return fmt.Sprintf("STR-MED (%d)", s.Window) }
+
+// Assemble implements Assembler.
+func (s STRMedian) Assemble(lanes []Lane) (Result, error) {
+	eigens := make(map[*profile.BlockProfile]profile.Eigen)
+	eigenOf := func(b *profile.BlockProfile) profile.Eigen {
+		if v, ok := eigens[b]; ok {
+			return v
+		}
+		v := profile.EigenFromProfile(b)
+		eigens[b] = v
+		return v
+	}
+	dist := func(a, b *profile.BlockProfile) float64 {
+		return float64(eigenOf(a).Distance(eigenOf(b)))
+	}
+	return windowed{window: s.Window, pick: pairwisePicker(dist)}.assemble(lanes)
+}
+
+// pairwisePicker minimizes the total pairwise distance over all window
+// combinations. Distances are cached per candidate pair, but PairChecks is
+// charged per combination (the paper's accounting: every combination checks
+// every pair).
+func pairwisePicker(dist func(a, b *profile.BlockProfile) float64) func([][]*profile.BlockProfile, *Result) []int {
+	// The cache persists across windows: consecutive windows share most of
+	// their candidates, so distances are computed once per block pair over
+	// the whole assembly. PairChecks accounting is unaffected (chargeNominal
+	// counts the paper's nominal combination costs).
+	type pairKey struct{ a, b *profile.BlockProfile }
+	cache := make(map[pairKey]float64)
+	return func(cands [][]*profile.BlockProfile, res *Result) []int {
+		chargeNominal(cands, res)
+		nl := len(cands)
+		pair := func(l1, c1, l2, c2 int) float64 {
+			k := pairKey{cands[l1][c1], cands[l2][c2]}
+			if v, ok := cache[k]; ok {
+				return v
+			}
+			v := dist(k.a, k.b)
+			cache[k] = v
+			return v
+		}
+		best := math.Inf(1)
+		bestChoice := make([]int, nl)
+		choice := make([]int, nl)
+		var walk func(lane int, partial float64)
+		walk = func(lane int, partial float64) {
+			if lane == nl {
+				if partial < best {
+					best = partial
+					copy(bestChoice, choice)
+				}
+				return
+			}
+			for ci := range cands[lane] {
+				d := partial
+				for l2 := 0; l2 < lane; l2++ {
+					d += pair(l2, choice[l2], lane, ci)
+				}
+				if d >= best {
+					continue
+				}
+				choice[lane] = ci
+				walk(lane+1, d)
+			}
+		}
+		walk(0, 0)
+		return bestChoice
+	}
+}
+
+// Metrics summarizes the extra latency of an organized set of superblocks.
+type Metrics struct {
+	ExtraPgm []float64 // per superblock, µs
+	ExtraErs []float64
+	MeanPgm  float64
+	MeanErs  float64
+}
+
+// Evaluate measures the extra program and erase latency of each assembled
+// superblock against the given lanes (which may be a re-measurement of the
+// same blocks, so that strategies are scored on fresh observations rather
+// than the data they trained on).
+func Evaluate(lanes []Lane, superblocks [][]int) (Metrics, error) {
+	if err := checkLanes(lanes); err != nil {
+		return Metrics{}, err
+	}
+	m := Metrics{
+		ExtraPgm: make([]float64, len(superblocks)),
+		ExtraErs: make([]float64, len(superblocks)),
+	}
+	members := make([]*profile.BlockProfile, len(lanes))
+	for k, sb := range superblocks {
+		if len(sb) != len(lanes) {
+			return Metrics{}, fmt.Errorf("assembly: superblock %d has %d members for %d lanes", k, len(sb), len(lanes))
+		}
+		for l, bi := range sb {
+			if bi < 0 || bi >= len(lanes[l].Blocks) {
+				return Metrics{}, fmt.Errorf("assembly: superblock %d member %d out of range", k, bi)
+			}
+			members[l] = lanes[l].Blocks[bi]
+		}
+		m.ExtraPgm[k] = profile.ExtraProgram(members)
+		m.ExtraErs[k] = profile.ExtraErase(members)
+		m.MeanPgm += m.ExtraPgm[k]
+		m.MeanErs += m.ExtraErs[k]
+	}
+	if len(superblocks) > 0 {
+		m.MeanPgm /= float64(len(superblocks))
+		m.MeanErs /= float64(len(superblocks))
+	}
+	return m, nil
+}
+
+// CheckPartition verifies that the superblocks use every block of every lane
+// exactly once. It is the core correctness invariant of any assembler.
+func CheckPartition(lanes []Lane, superblocks [][]int) error {
+	if err := checkLanes(lanes); err != nil {
+		return err
+	}
+	n := len(lanes[0].Blocks)
+	if len(superblocks) != n {
+		return fmt.Errorf("assembly: %d superblocks for %d blocks per lane", len(superblocks), n)
+	}
+	for l := range lanes {
+		seen := make([]bool, n)
+		for k, sb := range superblocks {
+			if len(sb) != len(lanes) {
+				return fmt.Errorf("assembly: superblock %d has %d members", k, len(sb))
+			}
+			bi := sb[l]
+			if bi < 0 || bi >= n {
+				return fmt.Errorf("assembly: superblock %d lane %d index %d out of range", k, l, bi)
+			}
+			if seen[bi] {
+				return fmt.Errorf("assembly: lane %d block %d used twice", l, bi)
+			}
+			seen[bi] = true
+		}
+	}
+	return nil
+}

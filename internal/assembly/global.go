@@ -1,0 +1,129 @@
+package assembly
+
+import (
+	"fmt"
+	"math"
+
+	"superfast/internal/profile"
+)
+
+// Global is the true global-optimal organization for two lanes: a min-cost
+// perfect matching (Hungarian algorithm) over all block pairs, minimizing
+// total superblock program latency. It exists as the upper-bound reference
+// that bounds how much the paper's window-8 local search leaves on the
+// table; beyond two lanes the problem is the NP-hard multidimensional
+// assignment, which is exactly why the paper works with windows.
+type Global struct{}
+
+// Name implements Assembler.
+func (Global) Name() string { return "GLOBAL (2-lane)" }
+
+// Assemble implements Assembler.
+func (Global) Assemble(lanes []Lane) (Result, error) {
+	if err := checkLanes(lanes); err != nil {
+		return Result{}, err
+	}
+	if len(lanes) != 2 {
+		return Result{}, fmt.Errorf("assembly: global matching handles exactly 2 lanes, got %d", len(lanes))
+	}
+	n := len(lanes[0].Blocks)
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		a := lanes[0].Blocks[i]
+		for j := 0; j < n; j++ {
+			cost[i][j] = pairLatency(a, lanes[1].Blocks[j])
+		}
+	}
+	match := hungarian(cost)
+	res := Result{
+		Superblocks: make([][]int, n),
+		Combos:      n * n,
+		PairChecks:  n * n,
+	}
+	for i, j := range match {
+		res.Superblocks[i] = []int{i, j}
+	}
+	return res, nil
+}
+
+// pairLatency is the multi-plane program cost of pairing two blocks: the
+// per-word-line maximum, summed.
+func pairLatency(a, b *profile.BlockProfile) float64 {
+	total := 0.0
+	for wl := range a.LWL {
+		if a.LWL[wl] > b.LWL[wl] {
+			total += a.LWL[wl]
+		} else {
+			total += b.LWL[wl]
+		}
+	}
+	return total
+}
+
+// hungarian solves the n×n min-cost assignment problem and returns, for each
+// row, its assigned column. O(n³) shortest-augmenting-path formulation with
+// row/column potentials (the Jonker-Volgenant style commonly used for dense
+// matrices).
+func hungarian(cost [][]float64) []int {
+	n := len(cost)
+	// Potentials and matching are 1-indexed internally; index 0 is the
+	// virtual root of each augmenting search.
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1)   // p[j] = row matched to column j
+	way := make([]int, n+1) // way[j] = previous column on the path
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := 1; j <= n; j++ {
+			minv[j] = math.Inf(1)
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := math.Inf(1)
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	out := make([]int, n)
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			out[p[j]-1] = j - 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package assembly
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"superfast/internal/profile"
+)
+
+func TestHungarianSmallKnown(t *testing.T) {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	match := hungarian(cost)
+	total := 0.0
+	for i, j := range match {
+		total += cost[i][j]
+	}
+	// Optimal assignment: (0→1)=1, (1→0)=2, (2→2)=2 → 5.
+	if total != 5 {
+		t.Fatalf("assignment cost %v, want 5 (match %v)", total, match)
+	}
+}
+
+func TestHungarianIsPermutationAndOptimalBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		// Random 5×5 matrices, verified against brute force.
+		n := 5
+		cost := make([][]float64, n)
+		x := uint64(seed)
+		next := func() float64 {
+			x = x*6364136223846793005 + 1442695040888963407
+			return float64(x>>40) / 1000
+		}
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = next()
+			}
+		}
+		match := hungarian(cost)
+		seen := make([]bool, n)
+		total := 0.0
+		for i, j := range match {
+			if j < 0 || j >= n || seen[j] {
+				return false
+			}
+			seen[j] = true
+			total += cost[i][j]
+		}
+		// Brute force over all 120 permutations.
+		best := math.Inf(1)
+		perm := []int{0, 1, 2, 3, 4}
+		var rec func(k int)
+		rec = func(k int) {
+			if k == n {
+				s := 0.0
+				for i, j := range perm {
+					s += cost[i][j]
+				}
+				if s < best {
+					best = s
+				}
+				return
+			}
+			for i := k; i < n; i++ {
+				perm[k], perm[i] = perm[i], perm[k]
+				rec(k + 1)
+				perm[k], perm[i] = perm[i], perm[k]
+			}
+		}
+		rec(0)
+		return math.Abs(total-best) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGlobalBeatsOrTiesWindowedOptimal(t *testing.T) {
+	lanes := modelLanes(t, 2, 48, 123)
+	glob, err := Global{}.Assemble(lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckPartition(lanes, glob.Superblocks); err != nil {
+		t.Fatal(err)
+	}
+	win, err := Optimal{Window: 8}.Assemble(lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := func(sbs [][]int) float64 {
+		s := 0.0
+		for _, sb := range sbs {
+			s += pairLatency(lanes[0].Blocks[sb[0]], lanes[1].Blocks[sb[1]])
+		}
+		return s
+	}
+	if tg, tw := total(glob.Superblocks), total(win.Superblocks); tg > tw+1e-6 {
+		t.Fatalf("global total %v exceeds windowed %v", tg, tw)
+	}
+}
+
+func TestGlobalRejectsWrongLaneCount(t *testing.T) {
+	lanes := modelLanes(t, 3, 8, 3)
+	if _, err := (Global{}).Assemble(lanes); err == nil {
+		t.Fatal("3 lanes should be rejected")
+	}
+	if _, err := (Global{}).Assemble(nil); err == nil {
+		t.Fatal("nil lanes should be rejected")
+	}
+}
+
+func TestPairLatency(t *testing.T) {
+	a := profile.NewBlockProfile(0, 0, 1, 2, []float64{10, 30}, 0, 0)
+	b := profile.NewBlockProfile(1, 0, 1, 2, []float64{20, 25}, 0, 0)
+	if got := pairLatency(a, b); got != 20+30 {
+		t.Fatalf("pairLatency = %v, want 50", got)
+	}
+}

@@ -1,0 +1,191 @@
+// Package chamber is the characterization testbed that stands in for the
+// paper's hardware platform (four SMI SM2259XT controllers, 24 NAND packages
+// and a KSON thermal chamber): it cycles blocks to target P/E counts, applies
+// high-temperature data-retention bakes, and measures block erase and
+// word-line program latencies into block profiles.
+//
+// Two measurement paths exist. MeasureBlock drives the real flash state
+// machine (erase, then program every word-line), consuming one P/E cycle per
+// pass, exactly as the hardware testbed would. FastProfile queries the
+// variation model directly with a fresh jitter nonce; it produces the same
+// distribution (Program's latency comes straight from the model) without
+// mutating array state, which keeps the large parameter sweeps tractable.
+package chamber
+
+import (
+	"fmt"
+
+	"superfast/internal/assembly"
+	"superfast/internal/flash"
+	"superfast/internal/profile"
+	"superfast/internal/pv"
+)
+
+// Testbed measures a flash array.
+type Testbed struct {
+	arr   *flash.Array
+	nonce uint64
+}
+
+// New wraps an array in a testbed.
+func New(arr *flash.Array) *Testbed {
+	return &Testbed{arr: arr, nonce: 0x7e57_0000_0000_0000}
+}
+
+// NewSeeded wraps an array in a testbed whose measurement-jitter stream is
+// derived from the given seed. Parallel experiment harnesses give every
+// worker its own seeded testbed so results stay deterministic regardless of
+// scheduling.
+func NewSeeded(arr *flash.Array, seed uint64) *Testbed {
+	return &Testbed{arr: arr, nonce: 0x7e57_0000_0000_0000 ^ (seed * 0x9e3779b97f4a7c15)}
+}
+
+// Array returns the underlying array.
+func (t *Testbed) Array() *flash.Array { return t.arr }
+
+// CycleAllTo fast-forwards every block's wear state to the target P/E count
+// (blocks already beyond the target are left untouched), the equivalent of
+// the chamber's pre-cycling step.
+func (t *Testbed) CycleAllTo(pe int) error {
+	g := t.arr.Geometry()
+	for lane := 0; lane < g.Lanes(); lane++ {
+		chip, plane := g.LaneChipPlane(lane)
+		for b := 0; b < g.BlocksPerPlane; b++ {
+			addr := flash.BlockAddr{Chip: chip, Plane: plane, Block: b}
+			cur, err := t.arr.PECycles(addr)
+			if err != nil {
+				return err
+			}
+			if cur < pe {
+				if err := t.arr.SetPECycles(addr, pe); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Bake applies one high-temperature data-retention step to the whole array.
+func (t *Testbed) Bake(units float64) { t.arr.AddRetention(units) }
+
+// MeasureBlock characterizes one block through the real flash operations:
+// an erase (measuring tBERS) followed by programming every word-line
+// (measuring tPROG per word-line). It consumes one P/E cycle.
+func (t *Testbed) MeasureBlock(lane int, block int) (*profile.BlockProfile, error) {
+	g := t.arr.Geometry()
+	chip, plane := g.LaneChipPlane(lane)
+	addr := flash.BlockAddr{Chip: chip, Plane: plane, Block: block}
+	ers, err := t.arr.Erase(addr)
+	if err != nil {
+		return nil, fmt.Errorf("chamber: erase %v: %w", addr, err)
+	}
+	lwl := make([]float64, g.LWLsPerBlock())
+	for i := range lwl {
+		lat, err := t.arr.Program(addr, i, nil)
+		if err != nil {
+			return nil, fmt.Errorf("chamber: program %v lwl %d: %w", addr, i, err)
+		}
+		lwl[i] = lat
+	}
+	pe, err := t.arr.PECycles(addr)
+	if err != nil {
+		return nil, err
+	}
+	return profile.NewBlockProfile(lane, block, g.Layers, g.Strings, lwl, ers, pe), nil
+}
+
+// FastProfile characterizes one block by querying the variation model
+// directly at the given P/E count, without touching array state. Each call
+// draws a fresh measurement nonce, so repeated calls observe independent
+// temporal jitter — exactly like repeated hardware measurements.
+func (t *Testbed) FastProfile(lane, block, pe int) *profile.BlockProfile {
+	g := t.arr.Geometry()
+	m := t.arr.Model()
+	chip, plane := g.LaneChipPlane(lane)
+	lwl := make([]float64, g.LWLsPerBlock())
+	for layer := 0; layer < g.Layers; layer++ {
+		for s := 0; s < g.Strings; s++ {
+			t.nonce++
+			lwl[g.LWLIndex(layer, s)] = m.ProgramLatency(pv.Coord{
+				Chip: chip, Plane: plane, Block: block, Layer: layer, String: s,
+			}, pe, t.nonce)
+		}
+	}
+	t.nonce++
+	ers := m.EraseLatency(chip, plane, block, pe, t.nonce)
+	return profile.NewBlockProfile(lane, block, g.Layers, g.Strings, lwl, ers, pe)
+}
+
+// MeasureLane characterizes a range of blocks on one lane. With fast=true it
+// uses FastProfile; otherwise it drives the real operations.
+func (t *Testbed) MeasureLane(lane int, blocks []int, pe int, fast bool) ([]*profile.BlockProfile, error) {
+	out := make([]*profile.BlockProfile, len(blocks))
+	for i, b := range blocks {
+		if fast {
+			out[i] = t.FastProfile(lane, b, pe)
+			continue
+		}
+		p, err := t.MeasureBlock(lane, b)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// LaneGroup is a set of lanes organized into superblocks together. The paper
+// groups four chips; GroupLanes builds groups whose lanes come from distinct
+// chips whenever the geometry allows it.
+type LaneGroup struct {
+	Lanes []int
+}
+
+// GroupLanes partitions the array's lanes into groups of the given size.
+// Lanes are assigned round-robin over chips so a group's members sit on
+// different chips (cross-chip process variation is what assembly fights).
+// Leftover lanes that cannot fill a group are dropped.
+func GroupLanes(g flash.Geometry, size int) []LaneGroup {
+	if size <= 0 {
+		return nil
+	}
+	// Order lanes chip-major-rotated: plane 0 of every chip, then plane 1...
+	order := make([]int, 0, g.Lanes())
+	for plane := 0; plane < g.PlanesPerChip; plane++ {
+		for chip := 0; chip < g.Chips; chip++ {
+			order = append(order, chip*g.PlanesPerChip+plane)
+		}
+	}
+	var groups []LaneGroup
+	for i := 0; i+size <= len(order); i += size {
+		groups = append(groups, LaneGroup{Lanes: append([]int(nil), order[i:i+size]...)})
+	}
+	return groups
+}
+
+// MeasureGroup characterizes the given blocks on every lane of a group and
+// returns assembly-ready lanes.
+func (t *Testbed) MeasureGroup(grp LaneGroup, blocks []int, pe int, fast bool) ([]assembly.Lane, error) {
+	lanes := make([]assembly.Lane, len(grp.Lanes))
+	for i, lane := range grp.Lanes {
+		ps, err := t.MeasureLane(lane, blocks, pe, fast)
+		if err != nil {
+			return nil, err
+		}
+		lanes[i] = assembly.Lane{ID: lane, Blocks: ps}
+	}
+	return lanes, nil
+}
+
+// BlockRange returns the block indices [lo, hi).
+func BlockRange(lo, hi int) []int {
+	if hi <= lo {
+		return nil
+	}
+	out := make([]int, hi-lo)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}

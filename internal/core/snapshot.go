@@ -1,0 +1,130 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"superfast/internal/flash"
+	"superfast/internal/profile"
+)
+
+// Snapshot serializes the scheme's per-block metadata in exactly the layout
+// Equation 2 (§VI-D1) accounts for: per block, a 4-byte program-latency sum
+// (float32 µs) plus one eigen bit per logical word-line, preceded by a small
+// fixed header. Unknown blocks serialize as zero latency with empty eigen
+// bits; retired blocks carry a flag bit in the per-lane bitmap.
+//
+// The snapshot is what an FTL would keep in its metadata region so the
+// sorted lists and eigen space survive power cycles without a full
+// re-characterization.
+func (s *Scheme) Snapshot() []byte {
+	nWL := s.geo.LWLsPerBlock()
+	eigenBytes := (nWL + 7) / 8
+	perBlock := 4 + eigenBytes
+	flagBytes := (s.geo.BlocksPerPlane + 7) / 8 * 2 // known + retired bitmaps
+	size := 16 + len(s.lanes)*(flagBytes+s.geo.BlocksPerPlane*perBlock)
+	out := make([]byte, 0, size)
+
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], snapshotMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(s.lanes)))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(s.geo.BlocksPerPlane))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(nWL))
+	out = append(out, hdr[:]...)
+
+	for li := range s.lanes {
+		known := make([]byte, (s.geo.BlocksPerPlane+7)/8)
+		retired := make([]byte, (s.geo.BlocksPerPlane+7)/8)
+		body := make([]byte, 0, s.geo.BlocksPerPlane*perBlock)
+		for b := 0; b < s.geo.BlocksPerPlane; b++ {
+			bi := s.lanes[li].info[b]
+			var sum float32
+			eig := make([]byte, eigenBytes)
+			if bi != nil {
+				if bi.known {
+					known[b/8] |= 1 << (b % 8)
+					sum = float32(bi.pgmSum)
+					for i := 0; i < nWL; i++ {
+						if bi.eigen.Bit(i) {
+							eig[i/8] |= 1 << (i % 8)
+						}
+					}
+				}
+				if bi.retired {
+					retired[b/8] |= 1 << (b % 8)
+				}
+			}
+			var s4 [4]byte
+			binary.LittleEndian.PutUint32(s4[:], math.Float32bits(sum))
+			body = append(body, s4[:]...)
+			body = append(body, eig...)
+		}
+		out = append(out, known...)
+		out = append(out, retired...)
+		out = append(out, body...)
+	}
+	return out
+}
+
+const snapshotMagic = 0x51535452 // "QSTR"
+
+// RestoreSnapshot loads per-block metadata produced by Snapshot into the
+// scheme. Free pools are not part of the snapshot (block freeness is derived
+// from FTL mapping state on recovery); restored metadata keys future AddFree
+// calls. The snapshot geometry must match the scheme's.
+func (s *Scheme) RestoreSnapshot(data []byte) error {
+	if len(data) < 16 {
+		return fmt.Errorf("core: snapshot truncated (%d bytes)", len(data))
+	}
+	if binary.LittleEndian.Uint32(data[0:]) != snapshotMagic {
+		return fmt.Errorf("core: bad snapshot magic")
+	}
+	nLanes := int(binary.LittleEndian.Uint32(data[4:]))
+	nBlocks := int(binary.LittleEndian.Uint32(data[8:]))
+	nWL := int(binary.LittleEndian.Uint32(data[12:]))
+	if nLanes != len(s.lanes) || nBlocks != s.geo.BlocksPerPlane || nWL != s.geo.LWLsPerBlock() {
+		return fmt.Errorf("core: snapshot geometry %d lanes × %d blocks × %d WLs, scheme has %d × %d × %d",
+			nLanes, nBlocks, nWL, len(s.lanes), s.geo.BlocksPerPlane, s.geo.LWLsPerBlock())
+	}
+	eigenBytes := (nWL + 7) / 8
+	perBlock := 4 + eigenBytes
+	flagBytes := (nBlocks + 7) / 8
+	want := 16 + nLanes*(2*flagBytes+nBlocks*perBlock)
+	if len(data) != want {
+		return fmt.Errorf("core: snapshot is %d bytes, want %d", len(data), want)
+	}
+	off := 16
+	for li := 0; li < nLanes; li++ {
+		known := data[off : off+flagBytes]
+		retired := data[off+flagBytes : off+2*flagBytes]
+		body := data[off+2*flagBytes:]
+		for b := 0; b < nBlocks; b++ {
+			rec := body[b*perBlock : (b+1)*perBlock]
+			bi := &blockInfo{}
+			if known[b/8]&(1<<(b%8)) != 0 {
+				bi.known = true
+				bi.pgmSum = float64(math.Float32frombits(binary.LittleEndian.Uint32(rec[:4])))
+				e := profile.NewEigenBuilder(nWL)
+				for i := 0; i < nWL; i++ {
+					if rec[4+i/8]&(1<<(i%8)) != 0 {
+						e.SetBit(i)
+					}
+				}
+				bi.eigen = e
+			}
+			bi.retired = retired[b/8]&(1<<(b%8)) != 0
+			s.lanes[li].info[b] = bi
+		}
+		off += 2*flagBytes + nBlocks*perBlock
+	}
+	return nil
+}
+
+// SnapshotSizeBytes returns the serialized size for a geometry — the
+// Equation 2 footprint plus the bitmap/header overhead.
+func SnapshotSizeBytes(geo flash.Geometry) int {
+	eigenBytes := (geo.LWLsPerBlock() + 7) / 8
+	flagBytes := (geo.BlocksPerPlane + 7) / 8
+	return 16 + geo.Lanes()*(2*flagBytes+geo.BlocksPerPlane*(4+eigenBytes))
+}

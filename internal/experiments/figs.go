@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"fmt"
+
+	"superfast/internal/assembly"
+	"superfast/internal/chamber"
+	"superfast/internal/core"
+	"superfast/internal/stats"
+)
+
+func init() {
+	register("fig5", runFig5)
+	register("fig6", runFig6)
+	register("fig13", runFig13)
+	register("fig14", runFig14)
+	register("fig15", runFig15)
+}
+
+// runFig5 reproduces Fig. 5: the raw characterization. Top: per-block erase
+// latency (tBERS) for the first two chips. Bottom: per-word-line program
+// latency (tPROG) for one block on each of the first two chips. Long series
+// are decimated for readability; summary statistics accompany each chip.
+func runFig5(cfg Config) (*Result, error) {
+	tb, err := cfg.newTestbed()
+	if err != nil {
+		return nil, err
+	}
+	chips := 2
+	if cfg.Geometry.Chips < 2 {
+		chips = cfg.Geometry.Chips
+	}
+	res := &Result{ID: "fig5"}
+
+	// Top: block erase latency per chip (lane = chip's plane 0).
+	var ersSeries []stats.Series
+	sumTable := &stats.Table{
+		Title:   "Fig. 5 (top) — tBERS per block, two chips",
+		Headers: []string{"Chip", "Blocks", "Mean µs", "Std", "Min", "Max", "P99"},
+	}
+	step := cfg.BlocksPerLane / 64
+	if step < 1 {
+		step = 1
+	}
+	for c := 0; c < chips; c++ {
+		lane := c * cfg.Geometry.PlanesPerChip
+		ps, err := tb.MeasureLane(lane, chamber.BlockRange(0, cfg.BlocksPerLane), cfg.PESteps[0], cfg.FastMeasure)
+		if err != nil {
+			return nil, err
+		}
+		all := make([]float64, len(ps))
+		s := stats.Series{Name: fmt.Sprintf("chip%d", c)}
+		for i, p := range ps {
+			all[i] = p.Erase
+			if i%step == 0 {
+				s.X = append(s.X, float64(i))
+				s.Y = append(s.Y, p.Erase)
+			}
+		}
+		sm := stats.Summarize(all)
+		sumTable.AddRow(fmt.Sprintf("%d", c), fmt.Sprintf("%d", sm.N),
+			stats.FmtUS(sm.Mean), stats.FmtUS(sm.Std), stats.FmtUS(sm.Min), stats.FmtUS(sm.Max), stats.FmtUS(sm.P99))
+		ersSeries = append(ersSeries, s)
+	}
+	res.Tables = append(res.Tables, sumTable)
+	res.Series = append(res.Series, SeriesBlock{
+		Title: "tBERS per block (decimated)", XLabel: "block", Series: ersSeries,
+	})
+
+	// Bottom: word-line program latency of one block per chip.
+	var pgmSeries []stats.Series
+	for c := 0; c < chips; c++ {
+		lane := c * cfg.Geometry.PlanesPerChip
+		p := tb.FastProfile(lane, 0, cfg.PESteps[0])
+		s := stats.Series{Name: fmt.Sprintf("chip%d/blk0", c)}
+		wlStep := len(p.LWL) / 96
+		if wlStep < 1 {
+			wlStep = 1
+		}
+		for wl := 0; wl < len(p.LWL); wl += wlStep {
+			s.X = append(s.X, float64(wl))
+			s.Y = append(s.Y, p.LWL[wl])
+		}
+		pgmSeries = append(pgmSeries, s)
+	}
+	res.Series = append(res.Series, SeriesBlock{
+		Title: "tPROG per word-line (Fig. 5 bottom)", XLabel: "word-line", Series: pgmSeries,
+	})
+	return res, nil
+}
+
+// runFig6 reproduces Fig. 6: the extra program and erase latency of randomly
+// organized superblocks — the per-superblock series and the headline
+// averages (paper: 13,084.17 µs programming, 41.71 µs erasing).
+func runFig6(cfg Config) (*Result, error) {
+	out, err := SweepStrategies(cfg, []assembly.Assembler{baseline(cfg)})
+	if err != nil {
+		return nil, err
+	}
+	r := out[0]
+	t := &stats.Table{
+		Title:   "Fig. 6 — extra latency of random superblock organization",
+		Headers: []string{"Metric", "Avg", "Median", "P95", "Max"},
+	}
+	pg := stats.Summarize(r.ExtraPgm)
+	er := stats.Summarize(r.ExtraErs)
+	t.AddRow("Extra PGM LTN (µs)", stats.FmtUS(pg.Mean), stats.FmtUS(pg.Median), stats.FmtUS(pg.P95), stats.FmtUS(pg.Max))
+	t.AddRow("Extra ERS LTN (µs)", stats.FmtUS(er.Mean), stats.FmtUS(er.Median), stats.FmtUS(er.P95), stats.FmtUS(er.Max))
+
+	// Per-superblock series (decimated to ≤128 points).
+	n := len(r.ExtraPgm)
+	step := n / 128
+	if step < 1 {
+		step = 1
+	}
+	var sp, se stats.Series
+	sp.Name, se.Name = "extraPGM", "extraERS"
+	for i := 0; i < n; i += step {
+		sp.X = append(sp.X, float64(i))
+		sp.Y = append(sp.Y, r.ExtraPgm[i])
+		se.X = append(se.X, float64(i))
+		se.Y = append(se.Y, r.ExtraErs[i])
+	}
+	return &Result{
+		ID:     "fig6",
+		Tables: []*stats.Table{t},
+		Series: []SeriesBlock{
+			{Title: "extra program latency per superblock", XLabel: "superblock", Series: []stats.Series{sp}},
+			{Title: "extra erase latency per superblock", XLabel: "superblock", Series: []stats.Series{se}},
+		},
+	}, nil
+}
+
+// runFig13 reproduces Fig. 13: the distribution of extra program latency for
+// the random baseline versus QSTR-MED (plus the optimal reference). QSTR-MED
+// shifts the distribution left.
+func runFig13(cfg Config) (*Result, error) {
+	strategies := []assembly.Assembler{
+		baseline(cfg),
+		assembly.Optimal{Window: cfg.Window},
+		core.BatchAssembler{K: cfg.MedWindow},
+	}
+	out, err := SweepStrategies(cfg, strategies)
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := 0.0, 0.0
+	for _, o := range out {
+		s := stats.Summarize(o.ExtraPgm)
+		if s.Max > hi {
+			hi = s.Max
+		}
+	}
+	if hi == 0 {
+		hi = 1
+	}
+	text := ""
+	for _, o := range out {
+		h := stats.NewHistogram(o.ExtraPgm, lo, hi*1.0001, cfg.HistBins)
+		text += fmt.Sprintf("%s (mean %s µs):\n%s\n", o.Name, stats.FmtUS(stats.Summarize(o.ExtraPgm).Mean), h.Render(48))
+	}
+	return &Result{ID: "fig13", Text: text}, nil
+}
+
+// runFig14 reproduces Fig. 14: the per-superblock improvement of STR-MED and
+// QSTR-MED over random, showing the two schemes' trends mirror each other.
+func runFig14(cfg Config) (*Result, error) {
+	strategies := []assembly.Assembler{
+		baseline(cfg),
+		assembly.STRMedian{Window: cfg.MedWindow},
+		core.BatchAssembler{K: cfg.MedWindow},
+	}
+	out, err := SweepStrategies(cfg, strategies)
+	if err != nil {
+		return nil, err
+	}
+	base := out[0]
+	n := len(base.ExtraPgm)
+	step := n / 128
+	if step < 1 {
+		step = 1
+	}
+	var series []stats.Series
+	for _, o := range out[1:] {
+		s := stats.Series{Name: o.Name}
+		for i := 0; i < n && i < len(o.ExtraPgm); i += step {
+			s.X = append(s.X, float64(i))
+			s.Y = append(s.Y, o.ExtraPgm[i])
+		}
+		series = append(series, s)
+	}
+	// Correlation of the two schemes' per-superblock extra latencies.
+	a, b := out[1].ExtraPgm, out[2].ExtraPgm
+	t := &stats.Table{
+		Title:   "Fig. 14 — all superblocks improvement",
+		Headers: []string{"Method", "Mean extra PGM", "Pair checks"},
+	}
+	for _, o := range out[1:] {
+		t.AddRow(o.Name, stats.FmtUS(o.MeanPgm)+" µs", fmt.Sprintf("%d", o.PairChecks))
+	}
+	text := fmt.Sprintf("mean |STR-MED − QSTR-MED| per superblock: %s µs\n", stats.FmtUS(meanAbsDiff(a, b)))
+	return &Result{
+		ID:     "fig14",
+		Tables: []*stats.Table{t},
+		Series: []SeriesBlock{{Title: "extra PGM per superblock", XLabel: "superblock", Series: series}},
+		Text:   text,
+	}, nil
+}
+
+func meanAbsDiff(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if n == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := 0; i < n; i++ {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		s += d
+	}
+	return s / float64(n)
+}
+
+// runFig15 reproduces Fig. 15: average extra program and erase latency as a
+// function of P/E cycles, for random, optimal, STR-MED and QSTR-MED. The
+// QSTR-MED curves stay flat: the scheme keeps organizing minimal-extra
+// superblocks regardless of wear.
+func runFig15(cfg Config) (*Result, error) {
+	strategies := []assembly.Assembler{
+		baseline(cfg),
+		assembly.Optimal{Window: cfg.Window},
+		assembly.STRMedian{Window: cfg.MedWindow},
+		core.BatchAssembler{K: cfg.MedWindow},
+	}
+	pgmSeries := make([]stats.Series, len(strategies))
+	ersSeries := make([]stats.Series, len(strategies))
+	for i, s := range strategies {
+		pgmSeries[i].Name = s.Name()
+		ersSeries[i].Name = s.Name()
+	}
+	for _, pe := range cfg.PESteps {
+		stepCfg := cfg
+		stepCfg.PESteps = []int{pe}
+		out, err := SweepStrategies(stepCfg, strategies)
+		if err != nil {
+			return nil, err
+		}
+		for i, o := range out {
+			pgmSeries[i].X = append(pgmSeries[i].X, float64(pe))
+			pgmSeries[i].Y = append(pgmSeries[i].Y, o.MeanPgm)
+			ersSeries[i].X = append(ersSeries[i].X, float64(pe))
+			ersSeries[i].Y = append(ersSeries[i].Y, o.MeanErs)
+		}
+	}
+	return &Result{
+		ID: "fig15",
+		Series: []SeriesBlock{
+			{Title: "Fig. 15 (top) — extra program latency vs P/E cycles", XLabel: "P/E", Series: pgmSeries},
+			{Title: "Fig. 15 (bottom) — extra erase latency vs P/E cycles", XLabel: "P/E", Series: ersSeries},
+		},
+	}, nil
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+
+	"superfast/internal/flash"
+	"superfast/internal/ftl"
+	"superfast/internal/pv"
+	"superfast/internal/ssd"
+	"superfast/internal/stats"
+	"superfast/internal/workload"
+)
+
+func init() {
+	register("ftl-host", runFTLHost)
+}
+
+// deviceGeometry shrinks the experiment geometry to a device the FTL
+// simulation can churn end-to-end in reasonable time, keeping the lane
+// structure (one lane per group member) intact.
+func deviceGeometry(cfg Config) (flash.Geometry, pv.Params) {
+	g := flash.Geometry{
+		Chips:          cfg.LanesPerGroup,
+		PlanesPerChip:  1,
+		BlocksPerPlane: 24,
+		Layers:         24,
+		Strings:        cfg.Geometry.Strings,
+		PageSize:       cfg.Geometry.PageSize,
+		SpareSize:      cfg.Geometry.SpareSize,
+	}
+	if cfg.Geometry.BlocksPerPlane < g.BlocksPerPlane {
+		g.BlocksPerPlane = cfg.Geometry.BlocksPerPlane
+	}
+	p := cfg.PV
+	p.Seed = cfg.Seed
+	p.Layers = g.Layers
+	p.Strings = g.Strings
+	return g, p
+}
+
+// runFTLHost is the end-to-end validation of §V-D: the same hot/cold write
+// workload runs against three devices that differ only in superblock
+// organization (random, sequential, QSTR-MED with function-based
+// placement), and the host-visible write latency distribution is compared.
+func runFTLHost(cfg Config) (*Result, error) {
+	g, p := deviceGeometry(cfg)
+	t := &stats.Table{
+		Title:   "End-to-end host writes under GC (hot/cold 80/20)",
+		Headers: []string{"Organizer", "Mean µs", "P95 µs", "P99 µs", "WAF", "Extra PGM/flush"},
+	}
+	type row struct {
+		name  string
+		mean  float64
+		extra float64
+	}
+	var rows []row
+	for _, org := range []ftl.Organizer{ftl.RandomOrg, ftl.SequentialOrg, ftl.QSTRMed} {
+		arr, err := flash.NewArray(g, pv.New(p), flash.DefaultECC())
+		if err != nil {
+			return nil, err
+		}
+		dcfg := ssd.DefaultConfig()
+		dcfg.FTL.Organizer = org
+		dcfg.FTL.Overprovision = 0.25
+		dcfg.FTL.Seed = cfg.Seed
+		dev, err := ssd.New(arr, dcfg)
+		if err != nil {
+			return nil, err
+		}
+		cap := dev.FTL().Capacity()
+		// Warm: fill the logical space, then churn with a skewed write mix
+		// so GC interleaves with host traffic.
+		if _, err := workload.Run(dev, &workload.Sequential{N: cap, PageLen: 64}); err != nil {
+			return nil, err
+		}
+		churn, err := workload.Run(dev, &workload.HotCold{
+			Space: cap, Count: 2 * cap, HotFrac: 0.8, HotSpace: 0.2, PageLen: 64, Seed: cfg.Seed + 7,
+		})
+		if err != nil {
+			return nil, err
+		}
+		lats := make([]float64, len(churn))
+		for i, c := range churn {
+			lats[i] = c.Service
+		}
+		sm := stats.Summarize(lats)
+		fst := dev.FTL().Stats()
+		extraPerFlush := 0.0
+		if fst.Flushes > 0 {
+			extraPerFlush = fst.ExtraPgm / float64(fst.Flushes)
+		}
+		t.AddRow(org.String(), stats.FmtUS(sm.Mean), stats.FmtUS(sm.P95), stats.FmtUS(sm.P99),
+			fmt.Sprintf("%.2f", fst.WAF()), stats.FmtUS(extraPerFlush))
+		rows = append(rows, row{org.String(), sm.Mean, extraPerFlush})
+	}
+	text := ""
+	if len(rows) == 3 {
+		text = fmt.Sprintf("QSTR-MED vs random: extra program latency per flush %s lower, mean host write latency %s lower\n",
+			stats.FmtPct(stats.Improvement(rows[0].extra, rows[2].extra)),
+			stats.FmtPct(stats.Improvement(rows[0].mean, rows[2].mean)))
+	}
+	return &Result{ID: "ftl-host", Tables: []*stats.Table{t}, Text: text}, nil
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+
+	"superfast/internal/flash"
+	"superfast/internal/pv"
+	"superfast/internal/ssd"
+	"superfast/internal/stats"
+	"superfast/internal/workload"
+)
+
+func init() {
+	register("load-sweep", runLoadSweep)
+}
+
+// runLoadSweep draws the classic open-loop latency-throughput curve: random
+// reads arrive at increasing rates (Poisson interarrivals) and the mean and
+// tail response times are measured under both queue models. The per-chip
+// model saturates at roughly chips× the serialized model's rate — §II-B's
+// internal parallelism as a load curve.
+func runLoadSweep(cfg Config) (*Result, error) {
+	g, p := deviceGeometry(cfg)
+	t := &stats.Table{
+		Title:   "Open-loop load sweep — random reads, Poisson arrivals",
+		Headers: []string{"Mean gap µs", "Serialized mean µs", "Serialized P99", "Per-chip mean µs", "Per-chip P99"},
+	}
+	var series []stats.Series
+	for qi, q := range []ssd.QueueModel{ssd.Serialized, ssd.PerChip} {
+		series = append(series, stats.Series{Name: q.String()})
+		_ = qi
+	}
+	gaps := []float64{200, 100, 60, 40, 25}
+	rows := make([][]string, len(gaps))
+	for i := range rows {
+		rows[i] = []string{fmt.Sprintf("%.0f", gaps[i])}
+	}
+	for qi, q := range []ssd.QueueModel{ssd.Serialized, ssd.PerChip} {
+		for gi, gap := range gaps {
+			arr, err := flash.NewArray(g, pv.New(p), flash.DefaultECC())
+			if err != nil {
+				return nil, err
+			}
+			dcfg := ssd.DefaultConfig()
+			dcfg.FTL.Overprovision = 0.25
+			dcfg.Queue = q
+			dev, err := ssd.New(arr, dcfg)
+			if err != nil {
+				return nil, err
+			}
+			capacity := dev.FTL().Capacity()
+			if err := dev.FillSequential(nil); err != nil {
+				return nil, err
+			}
+			if _, err := dev.FTL().Flush(); err != nil {
+				return nil, err
+			}
+			base := dev.Now() + 1000
+			gen := &workload.Paced{
+				Gen:       &workload.Uniform{Space: capacity, Count: 1500, Seed: cfg.Seed + 11},
+				MeanGapUS: gap, Seed: cfg.Seed + 13,
+			}
+			var lats []float64
+			for {
+				req, ok := gen.Next()
+				if !ok {
+					break
+				}
+				req.Kind = ssd.OpRead
+				req.Data = nil
+				req.Arrival += base
+				c, err := dev.Submit(req)
+				if err != nil {
+					return nil, err
+				}
+				lats = append(lats, c.Latency)
+			}
+			sm := stats.Summarize(lats)
+			rows[gi] = append(rows[gi], stats.FmtUS(sm.Mean), stats.FmtUS(sm.P99))
+			series[qi].X = append(series[qi].X, gap)
+			series[qi].Y = append(series[qi].Y, sm.Mean)
+		}
+	}
+	for _, r := range rows {
+		t.AddRow(r...)
+	}
+	return &Result{
+		ID:     "load-sweep",
+		Tables: []*stats.Table{t},
+		Series: []SeriesBlock{{Title: "mean response vs interarrival gap", XLabel: "gap µs", Series: series}},
+	}, nil
+}

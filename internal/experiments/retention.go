@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"superfast/internal/flash"
+	"superfast/internal/pv"
+	"superfast/internal/ssd"
+	"superfast/internal/stats"
+)
+
+func init() {
+	register("retention", runRetention)
+}
+
+// retentionDevice builds a device whose error floor reaches the hard-decode
+// limit within the six-bake HTDR sweep, the way end-of-life silicon would,
+// and fills a cold-data sample.
+func retentionDevice(cfg Config) (*ssd.Device, int64, error) {
+	g, p := deviceGeometry(cfg)
+	p.RBERBase = 72.0 / (8 * float64(g.PageSize+g.SpareSize)) / 4
+	arr, err := flash.NewArray(g, pv.New(p), flash.DefaultECC())
+	if err != nil {
+		return nil, 0, err
+	}
+	dcfg := ssd.DefaultConfig()
+	dcfg.FTL.Overprovision = 0.25
+	dev, err := ssd.New(arr, dcfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	sample := dev.FTL().Capacity() / 4
+	for lpn := int64(0); lpn < sample; lpn++ {
+		if _, err := dev.Submit(ssd.Request{Kind: ssd.OpWrite, LPN: lpn, Data: []byte("cold")}); err != nil {
+			return nil, 0, err
+		}
+	}
+	if _, err := dev.FTL().Flush(); err != nil {
+		return nil, 0, err
+	}
+	return dev, sample, nil
+}
+
+// scanSample reads every sample page, tolerating uncorrectable pages, and
+// returns the ECC retry rate and the uncorrectable count.
+func scanSample(dev *ssd.Device, sample int64) (retriesPerRead float64, uncorrectable int, err error) {
+	before := dev.FTL().Array().Counters()
+	for lpn := int64(0); lpn < sample; lpn++ {
+		if _, rerr := dev.FTL().Read(lpn); rerr != nil {
+			if errors.Is(rerr, flash.ErrUncorrectable) {
+				uncorrectable++
+				continue
+			}
+			return 0, 0, rerr
+		}
+	}
+	after := dev.FTL().Array().Counters()
+	reads := after.Reads - before.Reads
+	if reads == 0 {
+		return 0, uncorrectable, nil
+	}
+	return float64(after.ReadRetries-before.ReadRetries) / float64(reads), uncorrectable, nil
+}
+
+// runRetention reproduces the platform's HTDR axis (§VI-A: measurements
+// under six high-temperature data-retention steps): cold data is aged bake
+// by bake while ECC retry rates and uncorrectable page counts are tracked —
+// once on a device left alone, once on a device whose patrol scrubber
+// refreshes drifting pages before each scan. It validates the reliability
+// substrate (RBER growth → retry reads → refresh) underneath the latency
+// experiments.
+func runRetention(cfg Config) (*Result, error) {
+	plain, sample, err := retentionDevice(cfg)
+	if err != nil {
+		return nil, err
+	}
+	scrubbed, _, err := retentionDevice(cfg)
+	if err != nil {
+		return nil, err
+	}
+	threshold := flash.DefaultECC().CorrectableBits / 2
+
+	t := &stats.Table{
+		Title: "HTDR sweep — ECC stress vs retention bakes (six bakes, §VI-A)",
+		Headers: []string{"Bake", "Retries/read", "Uncorr.",
+			"Scrubbed retries/read", "Refreshes", "Scrubbed uncorr."},
+	}
+	for bake := 0; bake <= 6; bake++ {
+		if bake > 0 {
+			plain.FTL().Array().AddRetention(1)
+			scrubbed.FTL().Array().AddRetention(1)
+		}
+		rr, uc, err := scanSample(plain, sample)
+		if err != nil {
+			return nil, fmt.Errorf("bake %d plain: %w", bake, err)
+		}
+		if _, _, err := scrubbed.FTL().Patrol(0, int(sample), threshold); err != nil {
+			return nil, fmt.Errorf("bake %d patrol: %w", bake, err)
+		}
+		srr, suc, err := scanSample(scrubbed, sample)
+		if err != nil {
+			return nil, fmt.Errorf("bake %d scrubbed: %w", bake, err)
+		}
+		t.AddRow(fmt.Sprintf("%d", bake),
+			fmt.Sprintf("%.3f", rr), fmt.Sprintf("%d", uc),
+			fmt.Sprintf("%.3f", srr), fmt.Sprintf("%d", scrubbed.FTL().Stats().Refreshes),
+			fmt.Sprintf("%d", suc))
+	}
+	text := "retry rates climb with retention until pages exceed even the retry decode;\nthe patrol scrubber refreshes drifting pages and keeps the device readable\n"
+	return &Result{ID: "retention", Tables: []*stats.Table{t}, Text: text}, nil
+}

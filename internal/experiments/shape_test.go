@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"testing"
+
+	"superfast/internal/assembly"
+	"superfast/internal/core"
+	"superfast/internal/stats"
+)
+
+// TestPaperShapeHolds is the regression net for the calibration: the
+// paper-defining orderings must survive any change to the variation model
+// or the strategies. Runs at a reduced scale; the cmd/reprocheck tool is
+// the full certification.
+func TestPaperShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape regression is not a -short test")
+	}
+	cfg := DefaultConfig()
+	cfg.BlocksPerLane = 150
+	cfg.Groups = 2
+	cfg.PESteps = []int{0}
+	strategies := []assembly.Assembler{
+		assembly.Random{Seed: cfg.Seed + 1},
+		assembly.Sequential{},
+		assembly.Optimal{Window: cfg.Window},
+		assembly.Ranked{Kind: assembly.STRRank, Window: cfg.Window},
+		assembly.STRMedian{Window: cfg.MedWindow},
+		core.BatchAssembler{K: cfg.MedWindow},
+	}
+	out, err := SweepStrategies(cfg, strategies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]StrategyOutcome{}
+	for _, o := range out {
+		byName[o.Name] = o
+	}
+	rnd := byName["RANDOM"]
+	imp := func(name string) float64 {
+		o, ok := byName[name]
+		if !ok {
+			t.Fatalf("missing strategy %q", name)
+		}
+		return stats.Improvement(rnd.MeanPgm, o.MeanPgm)
+	}
+	// Headline scale: random extra PGM within ±20% of the paper.
+	if rnd.MeanPgm < 13084*0.8 || rnd.MeanPgm > 13084*1.2 {
+		t.Errorf("random extra PGM %v drifted from the calibrated 13,084 µs", rnd.MeanPgm)
+	}
+	opt, str, med, qstr, seq :=
+		imp("OPTIMAL (8)"), imp("STR-RANK (8)"), imp("STR-MED (4)"), imp("QSTR-MED (4)"), imp("SEQUENTIAL")
+	if !(opt >= str) {
+		t.Errorf("OPTIMAL (%v) should lead STR-RANK (%v)", opt, str)
+	}
+	if !(str >= med) {
+		t.Errorf("STR-RANK (%v) should lead STR-MED (%v)", str, med)
+	}
+	if !(med-qstr <= 0.03) {
+		t.Errorf("QSTR-MED (%v) should track STR-MED (%v) within 3 pp", qstr, med)
+	}
+	if !(qstr > seq) {
+		t.Errorf("QSTR-MED (%v) should beat SEQUENTIAL (%v)", qstr, seq)
+	}
+	if opt < 0.14 || opt > 0.25 {
+		t.Errorf("OPTIMAL improvement %v drifted from the paper's ~19.5%%", opt)
+	}
+	// Erase gains are relatively larger than program gains.
+	if e := stats.Improvement(rnd.MeanErs, byName["QSTR-MED (4)"].MeanErs); e <= qstr {
+		t.Errorf("erase improvement (%v) should exceed program improvement (%v)", e, qstr)
+	}
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+
+	"superfast/internal/assembly"
+	"superfast/internal/core"
+	"superfast/internal/stats"
+)
+
+func init() {
+	register("table1", runTable1)
+	register("table2", runTable2)
+	register("table5", runTable5)
+	register("fig12", runFig12)
+}
+
+// baselineName is the name of the random assembler used as the baseline in
+// every comparison table.
+const baselineName = "RANDOM"
+
+func baseline(cfg Config) assembly.Assembler {
+	return assembly.Random{Seed: cfg.Seed + 1}
+}
+
+// directions returns the paper's eight organization directions (§IV-A) plus
+// the random baseline, using the configured windows.
+func directions(cfg Config) []assembly.Assembler {
+	return []assembly.Assembler{
+		baseline(cfg),
+		assembly.Sequential{},
+		assembly.ByErase{},
+		assembly.ByPgmSum{},
+		assembly.Optimal{Window: cfg.Window},
+		assembly.Ranked{Kind: assembly.LWLRank, Window: cfg.Window},
+		assembly.Ranked{Kind: assembly.PWLRank, Window: cfg.Window},
+		assembly.Ranked{Kind: assembly.STRRank, Window: cfg.Window},
+		assembly.STRMedian{Window: cfg.MedWindow},
+	}
+}
+
+// reductionTable renders a Table I-shaped table: per strategy, the average
+// extra-program-latency reduction versus random (µs) and the improvement %.
+func reductionTable(title string, aggs map[string]*agg, order []string) (*stats.Table, error) {
+	base, ok := aggs[baselineName]
+	if !ok {
+		return nil, fmt.Errorf("experiments: baseline %q missing", baselineName)
+	}
+	basePgm := base.meanPgm()
+	t := &stats.Table{
+		Title:   title,
+		Headers: []string{"Method", "PGM LTN ↓ (Avg.)", "Imp. %"},
+	}
+	for _, name := range order {
+		if name == baselineName {
+			continue
+		}
+		a, ok := aggs[name]
+		if !ok {
+			return nil, fmt.Errorf("experiments: strategy %q missing", name)
+		}
+		red := basePgm - a.meanPgm()
+		t.AddRow(name, stats.FmtUS(red)+" µs", stats.FmtPct(stats.Improvement(basePgm, a.meanPgm())))
+	}
+	return t, nil
+}
+
+func names(strategies []assembly.Assembler) []string {
+	out := make([]string, len(strategies))
+	for i, s := range strategies {
+		out[i] = s.Name()
+	}
+	return out
+}
+
+// runTable1 reproduces Table I: the average extra-program-latency reduction
+// of the eight directions over the random baseline, across all P/E steps.
+func runTable1(cfg Config) (*Result, error) {
+	strategies := directions(cfg)
+	aggs, err := sweep(cfg, strategies)
+	if err != nil {
+		return nil, err
+	}
+	t, err := reductionTable("Table I — the results of the eight directions", aggs, names(strategies))
+	if err != nil {
+		return nil, err
+	}
+	note := fmt.Sprintf("baseline %s extra PGM LTN: %s µs over %d superblocks\n",
+		baselineName, stats.FmtUS(aggs[baselineName].meanPgm()), aggs[baselineName].superblocks)
+	return &Result{ID: "table1", Tables: []*stats.Table{t}, Text: note}, nil
+}
+
+// runTable2 reproduces Table II: STR-RANK under window sizes 8, 6, 4, 2.
+func runTable2(cfg Config) (*Result, error) {
+	windows := []int{8, 6, 4, 2}
+	strategies := []assembly.Assembler{baseline(cfg)}
+	for _, w := range windows {
+		if w <= cfg.Window {
+			strategies = append(strategies, assembly.Ranked{Kind: assembly.STRRank, Window: w})
+		}
+	}
+	aggs, err := sweep(cfg, strategies)
+	if err != nil {
+		return nil, err
+	}
+	t, err := reductionTable("Table II — STR-RANK with different window sizes", aggs, names(strategies))
+	if err != nil {
+		return nil, err
+	}
+	return &Result{ID: "table2", Tables: []*stats.Table{t}}, nil
+}
+
+// table5Strategies returns the four schemes of Table V plus the baseline.
+func table5Strategies(cfg Config) []assembly.Assembler {
+	return []assembly.Assembler{
+		baseline(cfg),
+		assembly.Sequential{},
+		assembly.Optimal{Window: cfg.Window},
+		core.BatchAssembler{K: cfg.MedWindow},
+		assembly.STRMedian{Window: cfg.MedWindow},
+	}
+}
+
+// runTable5 reproduces Table V: absolute extra program and erase latency for
+// random, sequential, optimal, QSTR-MED and STR-MED.
+func runTable5(cfg Config) (*Result, error) {
+	strategies := table5Strategies(cfg)
+	aggs, err := sweep(cfg, strategies)
+	if err != nil {
+		return nil, err
+	}
+	t := &stats.Table{
+		Title:   "Table V — extra program and erase latency",
+		Headers: []string{"Methods", "Extra PGM LTN", "Extra ERS LTN"},
+	}
+	for _, name := range names(strategies) {
+		a := aggs[name]
+		t.AddRow(name, stats.FmtUS(a.meanPgm())+" µs", stats.FmtUS(a.meanErs())+" µs")
+	}
+	return &Result{ID: "table5", Tables: []*stats.Table{t}}, nil
+}
+
+// runFig12 reproduces Fig. 12: the percentage improvement of program and
+// erase latency versus the random baseline for the Table V schemes.
+func runFig12(cfg Config) (*Result, error) {
+	strategies := table5Strategies(cfg)
+	aggs, err := sweep(cfg, strategies)
+	if err != nil {
+		return nil, err
+	}
+	base := aggs[baselineName]
+	t := &stats.Table{
+		Title:   "Fig. 12 — improvement in program and erase latency vs random",
+		Headers: []string{"Method", "PGM Imp. %", "ERS Imp. %"},
+	}
+	for _, name := range names(strategies) {
+		if name == baselineName {
+			continue
+		}
+		a := aggs[name]
+		t.AddRow(name,
+			stats.FmtPct(stats.Improvement(base.meanPgm(), a.meanPgm())),
+			stats.FmtPct(stats.Improvement(base.meanErs(), a.meanErs())))
+	}
+	return &Result{ID: "fig12", Tables: []*stats.Table{t}}, nil
+}

@@ -1,0 +1,134 @@
+package flash
+
+import (
+	"errors"
+	"testing"
+
+	"superfast/internal/pv"
+)
+
+// wornArray builds an array whose blocks have a tiny endurance so erase
+// failures are easy to trigger.
+func wornArray(t testing.TB, endurance float64) *Array {
+	t.Helper()
+	g := TestGeometry()
+	p := pv.DefaultParams()
+	p.Layers = g.Layers
+	p.Strings = g.Strings
+	p.EnduranceBase = endurance
+	p.EnduranceSpan = 0
+	p.EnduranceQuality = 0
+	return MustNewArray(g, pv.New(p), DefaultECC())
+}
+
+func TestEraseFailsPastEndurance(t *testing.T) {
+	a := wornArray(t, 3)
+	addr := BlockAddr{Block: 1}
+	for i := 0; i < 3; i++ {
+		if _, err := a.Erase(addr); err != nil {
+			t.Fatalf("erase %d: %v", i, err)
+		}
+	}
+	lat, err := a.Erase(addr)
+	if !errors.Is(err, ErrBadBlock) {
+		t.Fatalf("4th erase: got %v, want ErrBadBlock", err)
+	}
+	if lat <= 0 {
+		t.Fatal("a failed erase still consumes time")
+	}
+	if !a.IsBad(addr) {
+		t.Fatal("block should be marked bad")
+	}
+	if a.Counters().EraseFails != 1 {
+		t.Fatalf("EraseFails = %d", a.Counters().EraseFails)
+	}
+}
+
+func TestProgramOnBadBlockFails(t *testing.T) {
+	a := wornArray(t, 1000)
+	addr := BlockAddr{Block: 2}
+	if err := a.MarkBad(addr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Program(addr, 0, nil); !errors.Is(err, ErrBadBlock) {
+		t.Fatalf("got %v, want ErrBadBlock", err)
+	}
+}
+
+func TestIsBadOnInvalidAddr(t *testing.T) {
+	a := wornArray(t, 1000)
+	if a.IsBad(BlockAddr{Chip: 99}) {
+		t.Fatal("invalid address should not read as bad")
+	}
+	if err := a.MarkBad(BlockAddr{Chip: 99}); err == nil {
+		t.Fatal("MarkBad on invalid address should fail")
+	}
+}
+
+func TestEraseMultiReportsFailedMembers(t *testing.T) {
+	a := wornArray(t, 1000)
+	addrs := []BlockAddr{
+		{Chip: 0, Plane: 0, Block: 1},
+		{Chip: 1, Plane: 0, Block: 1},
+		{Chip: 2, Plane: 0, Block: 1},
+	}
+	if err := a.MarkBad(addrs[1]); err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.EraseMulti(addrs)
+	if err != nil {
+		t.Fatalf("bad member should not abort: %v", err)
+	}
+	if len(res.Failed) != 1 || res.Failed[0] != 1 {
+		t.Fatalf("Failed = %v, want [1]", res.Failed)
+	}
+	// The healthy members actually erased.
+	if a.NextLWL(addrs[0]) != 0 || a.NextLWL(addrs[2]) != 0 {
+		t.Fatal("healthy members should have erased")
+	}
+}
+
+func TestEnduranceDistribution(t *testing.T) {
+	m := pv.New(pv.DefaultParams())
+	var sum float64
+	low := 0
+	const n = 2000
+	for b := 0; b < n; b++ {
+		e := m.Endurance(0, 0, b)
+		sum += float64(e)
+		if e < 3000 {
+			low++
+		}
+	}
+	mean := sum / n
+	base := pv.DefaultParams().EnduranceBase
+	if mean < base*0.8 || mean > base*1.3 {
+		t.Fatalf("mean endurance = %v, want near %v", mean, base)
+	}
+	// The paper's evaluation cycles to 3,000; default endurance must keep
+	// nearly all blocks alive through it.
+	if frac := float64(low) / n; frac > 0.01 {
+		t.Fatalf("%.2f%% of blocks die before 3,000 cycles; model too fragile", frac*100)
+	}
+}
+
+func TestEnduranceQualityCorrelation(t *testing.T) {
+	// Slow-program blocks must have lower endurance on average.
+	m := pv.New(pv.DefaultParams())
+	var slowSum, fastSum float64
+	var slowN, fastN int
+	for b := 0; b < 3000; b++ {
+		e := float64(m.Endurance(0, 0, b))
+		if m.BlockPgmOffset(0, 0, b) > 0 {
+			slowSum += e
+			slowN++
+		} else {
+			fastSum += e
+			fastN++
+		}
+	}
+	if slowSum/float64(slowN) >= fastSum/float64(fastN) {
+		t.Fatalf("slow blocks should have lower endurance: slow=%v fast=%v",
+			slowSum/float64(slowN), fastSum/float64(fastN))
+	}
+}

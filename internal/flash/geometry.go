@@ -1,0 +1,90 @@
+package flash
+
+import "fmt"
+
+// Geometry describes the physical organization of a NAND flash array.
+type Geometry struct {
+	Chips          int // independent chips (chip enables)
+	PlanesPerChip  int
+	BlocksPerPlane int
+	Layers         int // physical word-line layers per block
+	Strings        int // strings per block
+	PageSize       int // user-data bytes per page
+	SpareSize      int // spare-area bytes per page
+}
+
+// PaperGeometry returns the configuration of the paper's testbed: chips with
+// four planes of 954 blocks, 96 layers × 4 strings (384 logical word-lines,
+// 1,152 TLC pages per block), 16 KiB + 2 KiB pages.
+func PaperGeometry() Geometry {
+	return Geometry{
+		Chips:          24,
+		PlanesPerChip:  4,
+		BlocksPerPlane: 954,
+		Layers:         96,
+		Strings:        4,
+		PageSize:       16 * 1024,
+		SpareSize:      2 * 1024,
+	}
+}
+
+// TestGeometry returns a small array that keeps unit tests fast while
+// preserving all structural ratios.
+func TestGeometry() Geometry {
+	return Geometry{
+		Chips:          4,
+		PlanesPerChip:  2,
+		BlocksPerPlane: 32,
+		Layers:         24,
+		Strings:        4,
+		PageSize:       4096,
+		SpareSize:      256,
+	}
+}
+
+// Validate reports whether the geometry is usable.
+func (g Geometry) Validate() error {
+	switch {
+	case g.Chips <= 0:
+		return fmt.Errorf("flash: Chips must be positive, got %d", g.Chips)
+	case g.PlanesPerChip <= 0:
+		return fmt.Errorf("flash: PlanesPerChip must be positive, got %d", g.PlanesPerChip)
+	case g.BlocksPerPlane <= 0:
+		return fmt.Errorf("flash: BlocksPerPlane must be positive, got %d", g.BlocksPerPlane)
+	case g.Layers <= 0:
+		return fmt.Errorf("flash: Layers must be positive, got %d", g.Layers)
+	case g.Strings <= 0:
+		return fmt.Errorf("flash: Strings must be positive, got %d", g.Strings)
+	case g.PageSize <= 0:
+		return fmt.Errorf("flash: PageSize must be positive, got %d", g.PageSize)
+	case g.SpareSize < 0:
+		return fmt.Errorf("flash: SpareSize must be non-negative, got %d", g.SpareSize)
+	}
+	return nil
+}
+
+// LWLsPerBlock returns the number of logical word-lines in a block.
+func (g Geometry) LWLsPerBlock() int { return g.Layers * g.Strings }
+
+// PagesPerBlock returns the number of TLC pages in a block.
+func (g Geometry) PagesPerBlock() int { return g.LWLsPerBlock() * PagesPerLWL }
+
+// Lanes returns the number of independent plane lanes (chip × plane pairs)
+// available for superblock construction.
+func (g Geometry) Lanes() int { return g.Chips * g.PlanesPerChip }
+
+// TotalBlocks returns the number of blocks in the whole array.
+func (g Geometry) TotalBlocks() int { return g.Lanes() * g.BlocksPerPlane }
+
+// LaneChipPlane converts a lane index back to (chip, plane).
+func (g Geometry) LaneChipPlane(lane int) (chip, plane int) {
+	return lane / g.PlanesPerChip, lane % g.PlanesPerChip
+}
+
+// LWLIndex converts (layer, string) to a logical word-line index.
+func (g Geometry) LWLIndex(layer, str int) int { return layer*g.Strings + str }
+
+// LayerString converts a logical word-line index back to (layer, string).
+func (g Geometry) LayerString(lwl int) (layer, str int) {
+	return lwl / g.Strings, lwl % g.Strings
+}

@@ -1,0 +1,1114 @@
+// Package ftl implements a superblock-based page-mapping flash translation
+// layer on top of the simulated NAND array: logical-to-physical mapping,
+// super-word-line write buffering (one multi-plane program fills the same
+// word-line of every member block), greedy garbage collection, and the
+// QSTR-MED integration the paper describes — gathering per-word-line program
+// latencies in the write path, assembling fast/slow superblocks on demand,
+// and routing host writes to fast superblocks and GC traffic to slow ones
+// (function-based placement, §V-D).
+package ftl
+
+import (
+	"errors"
+	"fmt"
+
+	"superfast/internal/core"
+	"superfast/internal/flash"
+	"superfast/internal/prng"
+	"superfast/internal/profile"
+	"superfast/internal/pv"
+)
+
+// Errors returned by the FTL.
+var (
+	ErrUnmapped    = errors.New("ftl: logical page not mapped")
+	ErrOutOfRange  = errors.New("ftl: logical page out of range")
+	ErrDeviceFull  = errors.New("ftl: no reclaimable space left")
+	ErrPayloadSize = errors.New("ftl: payload exceeds page size")
+)
+
+// Organizer selects how free blocks are grouped into superblocks.
+type Organizer int
+
+// Organizer kinds. QSTRMed is the paper's scheme; the others are baselines
+// for end-to-end comparisons.
+const (
+	QSTRMed       Organizer = iota // similarity check + on-demand fast/slow assembly
+	SequentialOrg                  // lowest free block index on every lane
+	RandomOrg                      // arbitrary free block per lane
+)
+
+func (o Organizer) String() string {
+	switch o {
+	case QSTRMed:
+		return "qstr-med"
+	case SequentialOrg:
+		return "sequential"
+	case RandomOrg:
+		return "random"
+	}
+	return fmt.Sprintf("Organizer(%d)", int(o))
+}
+
+// Hint classifies a host write for page-type-aware placement inside the
+// super-word-line (§V-D: small random data to high-speed superpages, large
+// batch data to slower superpages).
+type Hint int
+
+// Write hints.
+const (
+	HintNone  Hint = iota
+	HintSmall      // prefer fast (LSB) page slots
+	HintBatch      // prefer slow (MSB) page slots
+)
+
+// VictimPolicy selects how GC chooses its victim superblock.
+type VictimPolicy int
+
+// Victim policies.
+const (
+	// Greedy takes the superblock with the fewest valid pages — optimal for
+	// uniform traffic, prone to moving hot data on skewed traffic.
+	Greedy VictimPolicy = iota
+	// CostBenefit weighs reclaimed space against copy cost and age
+	// ((1−u)·age / 2u): old, mostly-invalid superblocks win, so hot data
+	// gets time to invalidate itself before it is copied.
+	CostBenefit
+	// FIFO collects superblocks in sealing order regardless of contents.
+	FIFO
+)
+
+func (p VictimPolicy) String() string {
+	switch p {
+	case Greedy:
+		return "greedy"
+	case CostBenefit:
+		return "cost-benefit"
+	case FIFO:
+		return "fifo"
+	}
+	return fmt.Sprintf("VictimPolicy(%d)", int(p))
+}
+
+// Config parameterizes the FTL.
+type Config struct {
+	Overprovision float64   // fraction of pages withheld from the logical space
+	GCThreshold   int       // run GC when assemblable superblocks drop to this count
+	K             int       // QSTR-MED candidate window
+	Organizer     Organizer // superblock organization policy
+	Seed          uint64    // randomness for RandomOrg
+	// WearLambda biases GC victim selection away from worn-out superblocks:
+	// the victim score is validPages + WearLambda × meanPE, so heavily
+	// cycled blocks rest while fresher ones absorb erases. Zero disables
+	// wear-aware selection (pure greedy).
+	WearLambda float64
+	// RAID dedicates one rotating lane of every superblock to parity pages;
+	// a page whose ECC fails even after retries is reconstructed from its
+	// super-word-line peers. Costs 1/lanes of the capacity.
+	RAID bool
+	// AutoHint turns on write-frequency detection (§V-D: the scheme
+	// "detects the types of written data"): unhinted host writes to pages
+	// rewritten often are placed like HintSmall writes (fast LSB
+	// superpages) automatically.
+	AutoHint bool
+	// Victim selects the GC victim policy (default Greedy).
+	Victim VictimPolicy
+	// MapCachePages enables DFTL-style cached mapping: only this many
+	// translation pages stay in RAM; misses cost MapReadUS and dirty
+	// evictions MapProgramUS of extra latency. Zero keeps the whole table
+	// in RAM (no charge).
+	MapCachePages int
+	MapReadUS     float64
+	MapProgramUS  float64
+}
+
+// DefaultConfig returns a typical configuration: 12% overprovisioning,
+// GC at two free superblocks, the paper's K = 4 candidate window.
+func DefaultConfig() Config {
+	return Config{
+		Overprovision: 0.12, GCThreshold: 2, K: 4, Organizer: QSTRMed, Seed: 1,
+		MapReadUS: 60, MapProgramUS: 1700,
+	}
+}
+
+// Stats aggregates FTL activity.
+type Stats struct {
+	HostWrites   uint64 // pages written by the host
+	HostReads    uint64
+	GCWrites     uint64 // pages relocated by garbage collection
+	GCRuns       uint64
+	Flushes      uint64  // multi-plane super-word-line programs
+	Erases       uint64  // superblock erases
+	BadBlocks    uint64  // blocks retired after erase failure
+	PatrolReads  uint64  // pages scanned by Patrol
+	Refreshes    uint64  // pages relocated because their error count neared the ECC limit
+	FlushLatency float64 // µs spent in multi-plane programs
+	EraseLatency float64 // µs spent in multi-plane erases
+	ReadLatency  float64
+	ExtraPgm     float64 // extra latency accumulated across programs
+	ExtraErs     float64
+	RAIDRepairs  uint64 // pages reconstructed from parity
+}
+
+// WAF returns the write amplification factor.
+func (s Stats) WAF() float64 {
+	if s.HostWrites == 0 {
+		return 1
+	}
+	return float64(s.HostWrites+s.GCWrites) / float64(s.HostWrites)
+}
+
+type superblock struct {
+	id       int
+	members  []flash.BlockAddr
+	speed    core.Speed
+	valid    int
+	sealed   bool
+	sealedAt uint64 // flush sequence number at sealing time
+}
+
+type openState struct {
+	sb     *superblock
+	nextWL int
+	parity int        // parity member index, -1 without RAID
+	data   [][][]byte // pending payloads, [member][pageType]
+	lpns   [][]int64  // pending LPNs, -1 = empty slot
+	seqs   [][]uint64 // write sequence per pending slot
+	fill   int
+}
+
+// dataSlots returns the number of user-data slots per super word-line.
+func (st *openState) dataSlots() int {
+	n := len(st.sb.members)
+	if st.parity >= 0 {
+		n--
+	}
+	return n * flash.PagesPerLWL
+}
+
+// FlashOp records one chip-level flash operation the FTL issued, for
+// device-level timing models that schedule per-chip occupancy.
+type FlashOp struct {
+	Chip int
+	Dur  float64 // µs the chip is busy
+	Kind byte    // 'r' read, 'p' program, 'e' erase
+}
+
+// FTL is the flash translation layer. Not safe for concurrent use.
+type FTL struct {
+	arr    *flash.Array
+	geo    flash.Geometry
+	cfg    Config
+	scheme *core.Scheme
+
+	l2p    []int64 // LPN → PPN, -1 unmapped
+	p2l    []int64 // PPN → LPN, -1 invalid
+	sbs    map[int]*superblock
+	bySB   map[flash.BlockAddr]*superblock
+	open   map[core.Speed]*openState
+	logLen int64
+
+	nextSBID int
+	stats    Stats
+	rng      *prng.Source
+	journal  bool
+	ops      []FlashOp // journal of chip ops since the last TakeOps
+	hot      *hotness  // write-frequency detector (AutoHint)
+	mcache   *mapCache // DFTL translation cache (nil = full table in RAM)
+	writeSeq uint64    // global write sequence for spare-area tags
+}
+
+// New builds an FTL over the array. All blocks start free.
+func New(arr *flash.Array, cfg Config) (*FTL, error) {
+	geo := arr.Geometry()
+	if cfg.Overprovision < 0 || cfg.Overprovision >= 0.9 {
+		return nil, fmt.Errorf("ftl: overprovision %v out of range [0, 0.9)", cfg.Overprovision)
+	}
+	if cfg.GCThreshold < 1 {
+		return nil, fmt.Errorf("ftl: GC threshold must be at least 1, got %d", cfg.GCThreshold)
+	}
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("ftl: K must be positive, got %d", cfg.K)
+	}
+	scheme, err := core.NewScheme(geo, cfg.K)
+	if err != nil {
+		return nil, err
+	}
+	totalPages := geo.TotalBlocks() * geo.PagesPerBlock()
+	if cfg.RAID && geo.Lanes() < 2 {
+		return nil, fmt.Errorf("ftl: RAID needs at least 2 lanes")
+	}
+	dataFrac := 1.0
+	if cfg.RAID {
+		dataFrac = float64(geo.Lanes()-1) / float64(geo.Lanes())
+	}
+	logLen := int64(float64(totalPages) * dataFrac * (1 - cfg.Overprovision))
+	f := &FTL{
+		arr:    arr,
+		geo:    geo,
+		cfg:    cfg,
+		scheme: scheme,
+		l2p:    make([]int64, logLen),
+		p2l:    make([]int64, totalPages),
+		sbs:    make(map[int]*superblock),
+		bySB:   make(map[flash.BlockAddr]*superblock),
+		open:   make(map[core.Speed]*openState),
+		logLen: logLen,
+		rng:    prng.New(cfg.Seed, 0xf71),
+	}
+	if cfg.AutoHint {
+		f.hot = newHotness(logLen, uint64(4*logLen), 3)
+	}
+	if cfg.MapCachePages > 0 {
+		f.mcache = newMapCache(cfg.MapCachePages)
+	}
+	for i := range f.l2p {
+		f.l2p[i] = -1
+	}
+	for i := range f.p2l {
+		f.p2l[i] = -1
+	}
+	for lane := 0; lane < geo.Lanes(); lane++ {
+		chip, plane := geo.LaneChipPlane(lane)
+		for b := 0; b < geo.BlocksPerPlane; b++ {
+			if err := scheme.AddFree(flash.BlockAddr{Chip: chip, Plane: plane, Block: b}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return f, nil
+}
+
+// Capacity returns the number of logical pages the FTL exposes.
+func (f *FTL) Capacity() int64 { return f.logLen }
+
+// Geometry returns the geometry of the underlying array.
+func (f *FTL) Geometry() flash.Geometry { return f.geo }
+
+// Array returns the underlying flash array (for reliability inspection).
+func (f *FTL) Array() *flash.Array { return f.arr }
+
+// WearSummary reports the spread of erase counts across all blocks — the
+// wear-leveling view of the device.
+type WearSummary struct {
+	MinPE   int
+	MaxPE   int
+	MeanPE  float64
+	Retired int
+}
+
+// Wear computes the current wear summary.
+func (f *FTL) Wear() WearSummary {
+	w := WearSummary{MinPE: int(^uint(0) >> 1)}
+	total := 0
+	n := 0
+	for lane := 0; lane < f.geo.Lanes(); lane++ {
+		chip, plane := f.geo.LaneChipPlane(lane)
+		for b := 0; b < f.geo.BlocksPerPlane; b++ {
+			addr := flash.BlockAddr{Chip: chip, Plane: plane, Block: b}
+			pe, err := f.arr.PECycles(addr)
+			if err != nil {
+				continue
+			}
+			if f.scheme.Retired(addr) {
+				w.Retired++
+				continue
+			}
+			if pe < w.MinPE {
+				w.MinPE = pe
+			}
+			if pe > w.MaxPE {
+				w.MaxPE = pe
+			}
+			total += pe
+			n++
+		}
+	}
+	if n == 0 {
+		w.MinPE = 0
+		return w
+	}
+	w.MeanPE = float64(total) / float64(n)
+	return w
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (f *FTL) Stats() Stats { return f.stats }
+
+// EnableOpJournal turns on chip-level operation recording for TakeOps.
+// Off by default so direct FTL users don't accumulate an undrained journal.
+func (f *FTL) EnableOpJournal() { f.journal = true }
+
+// TakeOps drains and returns the chip-level operations issued since the
+// previous call. Device timing models use it to schedule per-chip busy time.
+func (f *FTL) TakeOps() []FlashOp {
+	ops := f.ops
+	f.ops = nil
+	return ops
+}
+
+func (f *FTL) noteOp(chip int, dur float64, kind byte) {
+	if !f.journal {
+		return
+	}
+	f.ops = append(f.ops, FlashOp{Chip: chip, Dur: dur, Kind: kind})
+}
+
+// Scheme returns the underlying QSTR-MED instance (also used by the
+// baseline organizers for free-pool bookkeeping).
+func (f *FTL) Scheme() *core.Scheme { return f.scheme }
+
+// ppn computes the flat physical page number of a block page.
+func (f *FTL) ppn(addr flash.BlockAddr, lwl int, typ pv.PageType) int64 {
+	blockIdx := addr.Lane(f.geo)*f.geo.BlocksPerPlane + addr.Block
+	return int64(blockIdx*f.geo.PagesPerBlock() + lwl*flash.PagesPerLWL + int(typ))
+}
+
+// ppnLocate inverts ppn.
+func (f *FTL) ppnLocate(ppn int64) (addr flash.BlockAddr, lwl int, typ pv.PageType) {
+	pages := int64(f.geo.PagesPerBlock())
+	blockIdx := int(ppn / pages)
+	in := int(ppn % pages)
+	lane := blockIdx / f.geo.BlocksPerPlane
+	chip, plane := f.geo.LaneChipPlane(lane)
+	return flash.BlockAddr{Chip: chip, Plane: plane, Block: blockIdx % f.geo.BlocksPerPlane},
+		in / flash.PagesPerLWL, pv.PageType(in % flash.PagesPerLWL)
+}
+
+// assembleSuperblock obtains a new superblock of the requested speed from
+// the configured organizer.
+func (f *FTL) assembleSuperblock(speed core.Speed) (*superblock, error) {
+	var members []flash.BlockAddr
+	var err error
+	switch f.cfg.Organizer {
+	case QSTRMed:
+		members, err = f.scheme.Assemble(speed)
+	case SequentialOrg:
+		members, err = f.assembleZip(false)
+	case RandomOrg:
+		members, err = f.assembleZip(true)
+	default:
+		return nil, fmt.Errorf("ftl: unknown organizer %v", f.cfg.Organizer)
+	}
+	if err != nil {
+		return nil, err
+	}
+	sb := &superblock{id: f.nextSBID, members: members, speed: speed}
+	f.nextSBID++
+	f.sbs[sb.id] = sb
+	for _, m := range members {
+		f.bySB[m] = sb
+	}
+	return sb, nil
+}
+
+// assembleZip implements the baseline organizers through the scheme's free
+// pools: sequential pairs the lowest free block index of every lane (the
+// organization common in shipping SSDs); random takes an arbitrary free
+// block per lane.
+func (f *FTL) assembleZip(random bool) ([]flash.BlockAddr, error) {
+	return f.scheme.AssembleArbitrary(func(entries []profile.Entry) int {
+		if random {
+			return f.rng.Intn(len(entries))
+		}
+		min := 0
+		for i, e := range entries {
+			if e.Block < entries[min].Block {
+				min = i
+			}
+		}
+		return min
+	})
+}
+
+// openFor returns the open superblock state for a speed class, assembling a
+// fresh superblock if needed (running GC first when free blocks are low).
+func (f *FTL) openFor(speed core.Speed) (*openState, error) {
+	if st := f.open[speed]; st != nil {
+		return st, nil
+	}
+	if err := f.ensureFree(); err != nil {
+		return nil, err
+	}
+	sb, err := f.assembleSuperblock(speed)
+	if err != nil {
+		return nil, err
+	}
+	nl := len(sb.members)
+	st := &openState{sb: sb, parity: f.parityLane(sb.id, nl), data: make([][][]byte, nl),
+		lpns: make([][]int64, nl), seqs: make([][]uint64, nl)}
+	for i := 0; i < nl; i++ {
+		st.data[i] = make([][]byte, flash.PagesPerLWL)
+		st.lpns[i] = make([]int64, flash.PagesPerLWL)
+		st.seqs[i] = make([]uint64, flash.PagesPerLWL)
+		for t := range st.lpns[i] {
+			st.lpns[i][t] = -1
+		}
+	}
+	f.open[speed] = st
+	return st, nil
+}
+
+// slotFor picks the next free buffer slot honoring the placement hint:
+// small-hinted data prefers LSB (fast) slots, batch-hinted data MSB (slow)
+// slots; otherwise slots fill lane-major in page-type order. The parity
+// lane (RAID) never takes user data.
+func (st *openState) slotFor(hint Hint) (lane, typ int, ok bool) {
+	typeOrder := [][]int{
+		HintNone:  {0, 1, 2},
+		HintSmall: {0, 1, 2},
+		HintBatch: {2, 1, 0},
+	}[hint]
+	if hint == HintSmall || hint == HintBatch {
+		// Scan type-major so hinted writes take every preferred slot first.
+		for _, t := range typeOrder {
+			for l := range st.lpns {
+				if l == st.parity {
+					continue
+				}
+				if st.lpns[l][t] == -1 {
+					return l, t, true
+				}
+			}
+		}
+		return 0, 0, false
+	}
+	for l := range st.lpns {
+		if l == st.parity {
+			continue
+		}
+		for t := 0; t < flash.PagesPerLWL; t++ {
+			if st.lpns[l][t] == -1 {
+				return l, t, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// WriteResult reports one host or GC page write.
+type WriteResult struct {
+	Latency  float64 // µs of flash work triggered by this write (flush + GC)
+	Flushed  bool    // a super-word-line program was issued
+	GCMoves  int     // pages relocated by GC triggered from this write
+	ExtraPgm float64 // extra latency of the flush's multi-plane program
+}
+
+// Write stores one logical page with default placement.
+func (f *FTL) Write(lpn int64, data []byte) (WriteResult, error) {
+	return f.WriteHinted(lpn, data, HintNone)
+}
+
+// WriteHinted stores one logical page with a placement hint.
+func (f *FTL) WriteHinted(lpn int64, data []byte, hint Hint) (WriteResult, error) {
+	if lpn < 0 || lpn >= f.logLen {
+		return WriteResult{}, fmt.Errorf("%w: %d", ErrOutOfRange, lpn)
+	}
+	if len(data) > f.geo.PageSize {
+		return WriteResult{}, fmt.Errorf("%w: %d > %d", ErrPayloadSize, len(data), f.geo.PageSize)
+	}
+	mapLat := f.chargeMapAccess(lpn, true)
+	if f.hot != nil && hint == HintNone {
+		// Detected-hot pages take the fast LSB slots; everything else
+		// yields them (batch placement), so the detector's classification
+		// decides the superpage speed class.
+		if f.hot.note(lpn) {
+			hint = HintSmall
+		} else {
+			hint = HintBatch
+		}
+	}
+	res, err := f.writeInternal(lpn, data, core.HostWrite, hint)
+	if err != nil {
+		return res, err
+	}
+	res.Latency += mapLat
+	f.stats.HostWrites++
+	return res, nil
+}
+
+func (f *FTL) writeInternal(lpn int64, data []byte, class core.WriteClass, hint Hint) (WriteResult, error) {
+	speed := core.SpeedFor(class)
+	st, err := f.openFor(speed)
+	if err != nil {
+		return WriteResult{}, err
+	}
+	lane, typ, ok := st.slotFor(hint)
+	if !ok {
+		return WriteResult{}, fmt.Errorf("ftl: open superblock buffer full (internal error)")
+	}
+	// Invalidate any previous mapping.
+	f.unmap(lpn)
+	st.data[lane][typ] = append([]byte(nil), data...)
+	st.lpns[lane][typ] = lpn
+	f.writeSeq++
+	st.seqs[lane][typ] = f.writeSeq
+	st.fill++
+	// Map immediately: the PPN is determined by the slot.
+	ppn := f.ppn(st.sb.members[lane], st.nextWL, pv.PageType(typ))
+	f.l2p[lpn] = ppn
+	f.p2l[ppn] = lpn
+	st.sb.valid++
+
+	var res WriteResult
+	if st.fill == st.dataSlots() {
+		flushLat, extra, err := f.flush(speed)
+		if err != nil {
+			return res, err
+		}
+		res.Latency += flushLat
+		res.ExtraPgm = extra
+		res.Flushed = true
+		// GC runs after flushes of host data, before space runs out.
+		if class == core.HostWrite {
+			moves, gcLat, err := f.maybeGC()
+			if err != nil {
+				return res, err
+			}
+			res.GCMoves = moves
+			res.Latency += gcLat
+		}
+	}
+	return res, nil
+}
+
+// flush programs the pending super word-line of the open superblock of the
+// given speed and advances (or seals) it. Gathering hooks fire here.
+func (f *FTL) flush(speed core.Speed) (latency, extra float64, err error) {
+	st := f.open[speed]
+	if st == nil || st.fill == 0 {
+		return 0, 0, nil
+	}
+	pages := make([][][]byte, len(st.sb.members))
+	for i := range pages {
+		pages[i] = st.data[i]
+	}
+	if st.parity >= 0 {
+		parityPages := make([][]byte, flash.PagesPerLWL)
+		for t := 0; t < flash.PagesPerLWL; t++ {
+			var members [][]byte
+			for l := range st.sb.members {
+				if l == st.parity {
+					continue
+				}
+				members = append(members, st.data[l][t])
+			}
+			parityPages[t] = buildParity(members)
+		}
+		pages[st.parity] = parityPages
+	}
+	// Spare-area tags: logical page + sequence + superblock identity, so a
+	// flash scan can rebuild the mapping (RecoverByScan).
+	oobs := make([][][]byte, len(st.sb.members))
+	for l := range st.sb.members {
+		oobs[l] = make([][]byte, flash.PagesPerLWL)
+		for t := 0; t < flash.PagesPerLWL; t++ {
+			lpn := int64(tagNoData)
+			var seq uint64
+			switch {
+			case l == st.parity:
+				lpn = tagParity
+			case st.lpns[l][t] >= 0:
+				lpn = st.lpns[l][t]
+				seq = st.seqs[l][t]
+			}
+			oobs[l][t] = encodeTag(lpn, seq, st.sb.id, st.sb.speed)
+		}
+	}
+	res, err := programMultiOOB(f.arr, st.sb.members, st.nextWL, pages, oobs)
+	if err != nil {
+		return 0, 0, fmt.Errorf("ftl: flush: %w", err)
+	}
+	for i, m := range st.sb.members {
+		if err := f.scheme.NoteProgram(m, st.nextWL, res.PerMember[i]); err != nil {
+			return 0, 0, err
+		}
+		f.noteOp(m.Chip, res.PerMember[i], 'p')
+	}
+	f.stats.Flushes++
+	f.stats.FlushLatency += res.Latency
+	f.stats.ExtraPgm += res.Extra
+	st.nextWL++
+	for i := range st.data {
+		for t := range st.data[i] {
+			st.data[i][t] = nil
+			st.lpns[i][t] = -1
+			st.seqs[i][t] = 0
+		}
+	}
+	st.fill = 0
+	if st.nextWL == f.geo.LWLsPerBlock() {
+		st.sb.sealed = true
+		st.sb.sealedAt = f.stats.Flushes
+		delete(f.open, speed)
+	}
+	return res.Latency, res.Extra, nil
+}
+
+// unmap invalidates the current mapping of lpn, if any.
+func (f *FTL) unmap(lpn int64) {
+	ppn := f.l2p[lpn]
+	if ppn < 0 {
+		return
+	}
+	f.l2p[lpn] = -1
+	f.p2l[ppn] = -1
+	addr, _, _ := f.ppnLocate(ppn)
+	if sb := f.bySB[addr]; sb != nil {
+		sb.valid--
+	}
+}
+
+// Locate reports where a logical page currently lives on flash. ok is false
+// for out-of-range or unmapped pages.
+func (f *FTL) Locate(lpn int64) (addr flash.BlockAddr, lwl int, typ pv.PageType, ok bool) {
+	if lpn < 0 || lpn >= f.logLen || f.l2p[lpn] < 0 {
+		return flash.BlockAddr{}, 0, 0, false
+	}
+	addr, lwl, typ = f.ppnLocate(f.l2p[lpn])
+	return addr, lwl, typ, true
+}
+
+// PageTypeOf returns the TLC page type the logical page currently occupies,
+// or -1 if unmapped.
+func (f *FTL) PageTypeOf(lpn int64) pv.PageType {
+	if lpn < 0 || lpn >= f.logLen || f.l2p[lpn] < 0 {
+		return -1
+	}
+	_, _, typ := f.ppnLocate(f.l2p[lpn])
+	return typ
+}
+
+// Trim discards a logical page.
+func (f *FTL) Trim(lpn int64) error {
+	if lpn < 0 || lpn >= f.logLen {
+		return fmt.Errorf("%w: %d", ErrOutOfRange, lpn)
+	}
+	f.unmap(lpn)
+	return nil
+}
+
+// ReadResult reports one host read.
+type ReadResult struct {
+	Data      []byte
+	Latency   float64 // µs
+	FromCache bool    // served from the open superblock's write buffer
+}
+
+// Read returns the current contents of a logical page.
+func (f *FTL) Read(lpn int64) (ReadResult, error) {
+	if lpn < 0 || lpn >= f.logLen {
+		return ReadResult{}, fmt.Errorf("%w: %d", ErrOutOfRange, lpn)
+	}
+	ppn := f.l2p[lpn]
+	if ppn < 0 {
+		return ReadResult{}, fmt.Errorf("%w: %d", ErrUnmapped, lpn)
+	}
+	f.stats.HostReads++
+	mapLat := f.chargeMapAccess(lpn, false)
+	addr, lwl, typ := f.ppnLocate(ppn)
+	// Pending pages live in the open superblock buffers.
+	if data, ok := f.bufferedPage(addr, lwl, typ, lpn); ok {
+		return ReadResult{Data: data, FromCache: true, Latency: mapLat}, nil
+	}
+	data, lat, err := f.readPage(addr, lwl, typ)
+	if err != nil {
+		return ReadResult{}, err
+	}
+	return ReadResult{Data: data, Latency: lat + mapLat}, nil
+}
+
+// readPage reads one flash page, reconstructing it from parity when the ECC
+// gives up and RAID is enabled.
+func (f *FTL) readPage(addr flash.BlockAddr, lwl int, typ pv.PageType) ([]byte, float64, error) {
+	r, err := f.arr.Read(flash.PageAddr{BlockAddr: addr, LWL: lwl, Type: typ})
+	f.stats.ReadLatency += r.Latency
+	f.noteOp(addr.Chip, r.Latency, 'r')
+	if err == nil {
+		return r.Data, r.Latency, nil
+	}
+	if !errors.Is(err, flash.ErrUncorrectable) || !f.cfg.RAID {
+		return nil, r.Latency, err
+	}
+	sb := f.bySB[addr]
+	if sb == nil {
+		return nil, r.Latency, err
+	}
+	lane := -1
+	for i, m := range sb.members {
+		if m == addr {
+			lane = i
+			break
+		}
+	}
+	if lane < 0 {
+		return nil, r.Latency, err
+	}
+	before := f.stats.ReadLatency
+	data, rerr := f.reconstruct(sb, lane, lwl, typ)
+	lat := r.Latency + (f.stats.ReadLatency - before)
+	if rerr != nil {
+		return nil, lat, rerr
+	}
+	return data, lat, nil
+}
+
+// ReadRange reads n consecutive logical pages starting at lpn, exploiting
+// superpage parallelism: pages that live on the same super word-line of the
+// same superblock are sensed with one parallel multi-plane read whose cost
+// is the slowest member, not the sum (§II-B). It returns the payloads and
+// the total flash latency.
+func (f *FTL) ReadRange(lpn int64, n int) ([][]byte, float64, error) {
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("ftl: ReadRange length %d", n)
+	}
+	if lpn < 0 || lpn+int64(n) > f.logLen {
+		return nil, 0, fmt.Errorf("%w: [%d, %d)", ErrOutOfRange, lpn, lpn+int64(n))
+	}
+	out := make([][]byte, n)
+	var latency float64
+
+	// Group flash-resident pages by (superblock, word-line); everything
+	// else (buffered pages) is served instantly, and unmapped pages fail.
+	type groupKey struct {
+		sb  int
+		lwl int
+	}
+	type member struct {
+		idx  int
+		addr flash.PageAddr
+	}
+	groups := make(map[groupKey][]member)
+	var orderedKeys []groupKey
+	for i := 0; i < n; i++ {
+		cur := lpn + int64(i)
+		ppn := f.l2p[cur]
+		if ppn < 0 {
+			return nil, latency, fmt.Errorf("%w: %d", ErrUnmapped, cur)
+		}
+		addr, lwl, typ := f.ppnLocate(ppn)
+		if data, ok := f.bufferedPage(addr, lwl, typ, cur); ok {
+			out[i] = data
+			continue
+		}
+		sb := f.bySB[addr]
+		if sb == nil {
+			return nil, latency, fmt.Errorf("ftl: page %d outside any superblock", ppn)
+		}
+		k := groupKey{sb: sb.id, lwl: lwl}
+		if _, seen := groups[k]; !seen {
+			orderedKeys = append(orderedKeys, k)
+		}
+		groups[k] = append(groups[k], member{idx: i, addr: flash.PageAddr{BlockAddr: addr, LWL: lwl, Type: typ}})
+	}
+	for _, k := range orderedKeys {
+		ms := groups[k]
+		// Page-type siblings share a lane; a multi-plane read takes one
+		// page per lane, so split the group by page type.
+		byType := map[pv.PageType][]member{}
+		for _, m := range ms {
+			byType[m.addr.Type] = append(byType[m.addr.Type], m)
+		}
+		for _, sub := range byType {
+			addrs := make([]flash.PageAddr, len(sub))
+			for i, m := range sub {
+				addrs[i] = m.addr
+			}
+			results, op, err := f.arr.ReadMulti(addrs)
+			if err != nil {
+				// Fall back to per-page reads (with RAID reconstruction).
+				for _, m := range sub {
+					data, lat, rerr := f.readPage(m.addr.BlockAddr, m.addr.LWL, m.addr.Type)
+					if rerr != nil {
+						return nil, latency, rerr
+					}
+					latency += lat
+					f.stats.HostReads++
+					out[m.idx] = data
+				}
+				continue
+			}
+			latency += op.Latency
+			f.stats.HostReads += uint64(len(sub))
+			f.stats.ReadLatency += op.Latency
+			for i, m := range sub {
+				out[m.idx] = results[i].Data
+				f.noteOp(m.addr.Chip, results[i].Latency, 'r')
+			}
+		}
+	}
+	return out, latency, nil
+}
+
+// bufferedPage serves a page from an open superblock's write buffer.
+func (f *FTL) bufferedPage(addr flash.BlockAddr, lwl int, typ pv.PageType, lpn int64) ([]byte, bool) {
+	for _, st := range f.open {
+		if st.sb != f.bySB[addr] || lwl != st.nextWL {
+			continue
+		}
+		for lane, m := range st.sb.members {
+			if m == addr && st.lpns[lane][typ] == lpn {
+				return st.data[lane][typ], true
+			}
+		}
+	}
+	return nil, false
+}
+
+// maybeGC reclaims space until the free pool can assemble at least
+// GCThreshold superblocks. It returns the number of relocated pages and the
+// flash latency spent.
+func (f *FTL) maybeGC() (moves int, latency float64, err error) {
+	for f.scheme.FreeCount() < f.cfg.GCThreshold {
+		victim := f.pickVictim()
+		if victim == nil {
+			if f.scheme.FreeCount() == 0 {
+				return moves, latency, ErrDeviceFull
+			}
+			return moves, latency, nil
+		}
+		f.stats.GCRuns++
+		m, lat, err := f.collect(victim)
+		moves += m
+		latency += lat
+		if err != nil {
+			return moves, latency, err
+		}
+	}
+	return moves, latency, nil
+}
+
+// victimScore is the GC selection cost of a superblock under the configured
+// policy (lower is better), plus an optional wear penalty — heavily cycled
+// superblocks are avoided so their blocks rest while less-worn blocks absorb
+// the erases.
+func (f *FTL) victimScore(sb *superblock) float64 {
+	total := float64(len(sb.members) * f.geo.PagesPerBlock())
+	var score float64
+	switch f.cfg.Victim {
+	case CostBenefit:
+		u := float64(sb.valid) / total
+		age := float64(f.stats.Flushes-sb.sealedAt) + 1
+		// Classical cost-benefit: maximize (1−u)·age / 2u; negate for a
+		// lower-is-better score.
+		score = -(1 - u) * age / (2*u + 1e-9)
+	case FIFO:
+		score = float64(sb.sealedAt)
+	default: // Greedy
+		score = float64(sb.valid)
+	}
+	if f.cfg.WearLambda > 0 {
+		var meanPE float64
+		for _, m := range sb.members {
+			pe, err := f.arr.PECycles(m)
+			if err == nil {
+				meanPE += float64(pe)
+			}
+		}
+		meanPE /= float64(len(sb.members))
+		score += f.cfg.WearLambda * meanPE
+	}
+	return score
+}
+
+// pickVictim selects the sealed superblock with the lowest victim score that
+// can reclaim space (greedy, optionally wear-aware).
+func (f *FTL) pickVictim() *superblock {
+	var best *superblock
+	bestScore := 0.0
+	for _, sb := range f.sbs {
+		if !sb.sealed {
+			continue
+		}
+		if sb.valid >= len(sb.members)*f.geo.PagesPerBlock() {
+			continue // full of valid data: collecting it frees nothing
+		}
+		score := f.victimScore(sb)
+		if best == nil || score < bestScore ||
+			(score == bestScore && sb.id < best.id) {
+			best = sb
+			bestScore = score
+		}
+	}
+	return best
+}
+
+// ensureFree guarantees the free pool can assemble at least one superblock,
+// collecting garbage if necessary.
+func (f *FTL) ensureFree() error {
+	if f.scheme.FreeCount() > 0 {
+		return nil
+	}
+	if _, _, err := f.maybeGC(); err != nil {
+		return err
+	}
+	if f.scheme.FreeCount() == 0 {
+		return ErrDeviceFull
+	}
+	return nil
+}
+
+// collect relocates the victim's valid pages into the slow (GC) stream,
+// erases its members with one multi-plane erase, and returns the blocks to
+// the free pool. The victim leaves the superblock table first, so GC work
+// triggered by the relocation writes can never pick it again.
+func (f *FTL) collect(victim *superblock) (moves int, latency float64, err error) {
+	delete(f.sbs, victim.id)
+	for _, m := range victim.members {
+		base := f.ppn(m, 0, 0)
+		for i := 0; i < f.geo.PagesPerBlock(); i++ {
+			ppn := base + int64(i)
+			lpn := f.p2l[ppn]
+			if lpn < 0 {
+				continue
+			}
+			addr, lwl, typ := f.ppnLocate(ppn)
+			data, rlat, err := f.readPage(addr, lwl, typ)
+			if err != nil {
+				return moves, latency, fmt.Errorf("ftl: gc read: %w", err)
+			}
+			latency += rlat
+			wr, err := f.writeInternal(lpn, data, core.GCWrite, HintNone)
+			if err != nil {
+				return moves, latency, fmt.Errorf("ftl: gc write: %w", err)
+			}
+			latency += wr.Latency
+			f.stats.GCWrites++
+			moves++
+		}
+	}
+	res, err := f.arr.EraseMulti(victim.members)
+	if err != nil {
+		return moves, latency, fmt.Errorf("ftl: gc erase: %w", err)
+	}
+	latency += res.Latency
+	f.stats.Erases++
+	f.stats.EraseLatency += res.Latency
+	f.stats.ExtraErs += res.Extra
+	for i, m := range victim.members {
+		f.noteOp(m.Chip, res.PerMember[i], 'e')
+	}
+	failed := make(map[int]bool, len(res.Failed))
+	for _, i := range res.Failed {
+		failed[i] = true
+	}
+	for i, m := range victim.members {
+		delete(f.bySB, m)
+		if failed[i] {
+			// Endurance exhausted: retire the block instead of freeing it.
+			f.stats.BadBlocks++
+			if err := f.scheme.Retire(m); err != nil {
+				return moves, latency, err
+			}
+			continue
+		}
+		if err := f.scheme.AddFree(m); err != nil {
+			return moves, latency, err
+		}
+	}
+	return moves, latency, nil
+}
+
+// Patrol scans up to maxPages mapped pages starting at the given logical
+// page, reads each, and refreshes (relocates through the GC stream) any page
+// whose raw error count exceeds the refresh threshold — the retention-loss
+// management that keeps long-lived cold data readable. It returns the next
+// logical page to resume from and the flash latency spent.
+func (f *FTL) Patrol(startLPN int64, maxPages int, refreshAtBits int) (next int64, latency float64, err error) {
+	if startLPN < 0 || startLPN >= f.logLen {
+		startLPN = 0
+	}
+	lpn := startLPN
+	scanned := 0
+	for scanned < maxPages {
+		if f.l2p[lpn] >= 0 {
+			addr, lwl, typ := f.ppnLocate(f.l2p[lpn])
+			if _, buffered := f.bufferedPage(addr, lwl, typ, lpn); !buffered {
+				r, rerr := f.arr.Read(flash.PageAddr{BlockAddr: addr, LWL: lwl, Type: typ})
+				f.stats.PatrolReads++
+				scanned++
+				latency += r.Latency
+				data := r.Data
+				refresh := rerr == nil && r.ErrBits >= refreshAtBits
+				if rerr != nil {
+					// Uncorrectable during patrol: reconstruct if possible
+					// and refresh unconditionally.
+					var rlat float64
+					data, rlat, rerr = f.readPage(addr, lwl, typ)
+					latency += rlat
+					if rerr != nil {
+						return lpn, latency, fmt.Errorf("ftl: patrol read lpn %d: %w", lpn, rerr)
+					}
+					refresh = true
+				}
+				if refresh {
+					wr, werr := f.writeInternal(lpn, data, core.GCWrite, HintNone)
+					if werr != nil {
+						return lpn, latency, fmt.Errorf("ftl: patrol refresh lpn %d: %w", lpn, werr)
+					}
+					latency += wr.Latency
+					f.stats.Refreshes++
+					f.stats.GCWrites++
+				}
+			}
+		}
+		lpn++
+		if lpn == f.logLen {
+			lpn = 0
+		}
+		if lpn == startLPN {
+			break
+		}
+	}
+	return lpn, latency, nil
+}
+
+// Flush forces the pending super word-lines of both streams to flash.
+// Partially filled word-lines are padded with empty pages.
+func (f *FTL) Flush() (float64, error) {
+	total := 0.0
+	for _, speed := range []core.Speed{core.Fast, core.Slow} {
+		st := f.open[speed]
+		if st == nil || st.fill == 0 {
+			continue
+		}
+		lat, _, err := f.flush(speed)
+		if err != nil {
+			return total, err
+		}
+		total += lat
+	}
+	return total, nil
+}
+
+// CheckInvariants verifies the FTL's internal consistency: mapping tables
+// are mutually inverse and per-superblock valid counters agree with the
+// mapping. Tests call it after workloads.
+func (f *FTL) CheckInvariants() error {
+	counts := make(map[int]int)
+	for lpn, ppn := range f.l2p {
+		if ppn < 0 {
+			continue
+		}
+		if f.p2l[ppn] != int64(lpn) {
+			return fmt.Errorf("ftl: l2p[%d]=%d but p2l[%d]=%d", lpn, ppn, ppn, f.p2l[ppn])
+		}
+		addr, _, _ := f.ppnLocate(ppn)
+		sb := f.bySB[addr]
+		if sb == nil {
+			return fmt.Errorf("ftl: mapped page %d in block %v outside any superblock", ppn, addr)
+		}
+		counts[sb.id]++
+	}
+	for ppn, lpn := range f.p2l {
+		if lpn >= 0 && f.l2p[lpn] != int64(ppn) {
+			return fmt.Errorf("ftl: p2l[%d]=%d but l2p[%d]=%d", ppn, lpn, lpn, f.l2p[lpn])
+		}
+	}
+	for id, sb := range f.sbs {
+		if sb.valid != counts[id] {
+			return fmt.Errorf("ftl: superblock %d valid=%d but mapping says %d", id, sb.valid, counts[id])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,564 @@
+package ftl
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"superfast/internal/flash"
+	"superfast/internal/prng"
+	"superfast/internal/pv"
+)
+
+func testArray(t testing.TB) *flash.Array {
+	t.Helper()
+	g := flash.TestGeometry()
+	// Shrink further: FTL tests churn the whole logical space repeatedly.
+	g.BlocksPerPlane = 12
+	g.Layers = 12
+	p := pv.DefaultParams()
+	p.Layers = g.Layers
+	p.Strings = g.Strings
+	arr, err := flash.NewArray(g, pv.New(p), flash.DefaultECC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return arr
+}
+
+// testConfig returns DefaultConfig with enough overprovisioning headroom
+// for the tiny test array (12 superblocks need a few spare ones for GC).
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Overprovision = 0.25
+	return cfg
+}
+
+func newFTL(t testing.TB, cfg Config) *FTL {
+	t.Helper()
+	f, err := New(testArray(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func payload(lpn int64, gen int) []byte {
+	return []byte(fmt.Sprintf("lpn-%d-gen-%d", lpn, gen))
+}
+
+func TestNewValidation(t *testing.T) {
+	arr := testArray(t)
+	bad := []Config{
+		{Overprovision: -0.1, GCThreshold: 2, K: 4},
+		{Overprovision: 0.95, GCThreshold: 2, K: 4},
+		{Overprovision: 0.1, GCThreshold: 0, K: 4},
+		{Overprovision: 0.1, GCThreshold: 2, K: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := New(arr, cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	f := newFTL(t, testConfig())
+	for lpn := int64(0); lpn < 50; lpn++ {
+		if _, err := f.Write(lpn, payload(lpn, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for lpn := int64(0); lpn < 50; lpn++ {
+		r, err := f.Read(lpn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(r.Data) != string(payload(lpn, 0)) {
+			t.Fatalf("lpn %d: got %q", lpn, r.Data)
+		}
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadFromBufferBeforeFlush(t *testing.T) {
+	f := newFTL(t, testConfig())
+	if _, err := f.Write(7, payload(7, 0)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := f.Read(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.FromCache {
+		t.Fatal("first page of an open super word-line should be served from buffer")
+	}
+	if string(r.Data) != string(payload(7, 0)) {
+		t.Fatalf("got %q", r.Data)
+	}
+}
+
+func TestOverwriteSupersedes(t *testing.T) {
+	f := newFTL(t, testConfig())
+	if _, err := f.Write(3, payload(3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(3, payload(3, 1)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := f.Read(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(r.Data) != string(payload(3, 1)) {
+		t.Fatalf("got %q, want generation 1", r.Data)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	f := newFTL(t, testConfig())
+	if _, err := f.Read(-1); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("got %v", err)
+	}
+	if _, err := f.Read(f.Capacity()); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("got %v", err)
+	}
+	if _, err := f.Read(0); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestWriteErrors(t *testing.T) {
+	f := newFTL(t, testConfig())
+	if _, err := f.Write(-1, nil); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("got %v", err)
+	}
+	big := make([]byte, f.geo.PageSize+1)
+	if _, err := f.Write(0, big); !errors.Is(err, ErrPayloadSize) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestTrim(t *testing.T) {
+	f := newFTL(t, testConfig())
+	if _, err := f.Write(5, payload(5, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Trim(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Read(5); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("got %v", err)
+	}
+	if err := f.Trim(-1); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("got %v", err)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlushPersists(t *testing.T) {
+	f := newFTL(t, testConfig())
+	if _, err := f.Write(9, payload(9, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := f.Read(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FromCache {
+		t.Fatal("after Flush the page should come from flash")
+	}
+	if string(r.Data) != string(payload(9, 0)) {
+		t.Fatalf("got %q", r.Data)
+	}
+}
+
+// fillAndChurn writes the whole logical space once and then overwrites a
+// fraction again, forcing garbage collection.
+func fillAndChurn(t testing.TB, f *FTL, churn float64, seed uint64) map[int64]int {
+	t.Helper()
+	gen := make(map[int64]int)
+	cap := f.Capacity()
+	for lpn := int64(0); lpn < cap; lpn++ {
+		if _, err := f.Write(lpn, payload(lpn, 0)); err != nil {
+			t.Fatalf("fill lpn %d: %v", lpn, err)
+		}
+		gen[lpn] = 0
+	}
+	src := prng.New(seed, 0xc4)
+	n := int(float64(cap) * churn)
+	for i := 0; i < n; i++ {
+		lpn := int64(src.Intn(int(cap)))
+		gen[lpn]++
+		if _, err := f.Write(lpn, payload(lpn, gen[lpn])); err != nil {
+			t.Fatalf("churn write %d (lpn %d): %v", i, lpn, err)
+		}
+	}
+	return gen
+}
+
+func TestGCPreservesData(t *testing.T) {
+	for _, org := range []Organizer{QSTRMed, SequentialOrg, RandomOrg} {
+		org := org
+		t.Run(org.String(), func(t *testing.T) {
+			cfg := testConfig()
+			cfg.Organizer = org
+			f := newFTL(t, cfg)
+			gen := fillAndChurn(t, f, 1.5, 42)
+			if f.Stats().GCRuns == 0 {
+				t.Fatal("workload should have triggered GC")
+			}
+			if err := f.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			// Spot check a deterministic sample of pages.
+			src := prng.New(99)
+			for i := 0; i < 200; i++ {
+				lpn := int64(src.Intn(int(f.Capacity())))
+				r, err := f.Read(lpn)
+				if err != nil {
+					t.Fatalf("read lpn %d: %v", lpn, err)
+				}
+				if string(r.Data) != string(payload(lpn, gen[lpn])) {
+					t.Fatalf("lpn %d: got %q, want gen %d", lpn, r.Data, gen[lpn])
+				}
+			}
+		})
+	}
+}
+
+func TestWAFAboveOne(t *testing.T) {
+	f := newFTL(t, testConfig())
+	fillAndChurn(t, f, 1.0, 7)
+	st := f.Stats()
+	if st.WAF() <= 1 {
+		t.Fatalf("WAF = %v, want > 1 after churn", st.WAF())
+	}
+	if st.WAF() > 10 {
+		t.Fatalf("WAF = %v, implausibly high", st.WAF())
+	}
+}
+
+func TestFunctionBasedPlacement(t *testing.T) {
+	// Host data must land in fast superblocks and GC data in slow ones.
+	f := newFTL(t, testConfig())
+	fillAndChurn(t, f, 1.0, 11)
+	fast, slow := 0, 0
+	for _, sb := range f.sbs {
+		switch sb.speed {
+		case 0: // core.Fast
+			fast++
+		default:
+			slow++
+		}
+	}
+	if fast == 0 || slow == 0 {
+		t.Fatalf("expected both fast (%d) and slow (%d) superblocks", fast, slow)
+	}
+}
+
+func TestExtraLatencyLowerWithQSTRMed(t *testing.T) {
+	// End-to-end: after identical workloads, the QSTR-MED-organized FTL
+	// accumulates less extra program latency per flush than random.
+	perFlush := func(org Organizer) float64 {
+		cfg := testConfig()
+		cfg.Organizer = org
+		f := newFTL(t, cfg)
+		fillAndChurn(t, f, 1.2, 21)
+		st := f.Stats()
+		return st.ExtraPgm / float64(st.Flushes)
+	}
+	q := perFlush(QSTRMed)
+	r := perFlush(RandomOrg)
+	if q >= r {
+		t.Fatalf("QSTR-MED extra/flush (%v) should beat random (%v)", q, r)
+	}
+}
+
+func TestHintPlacement(t *testing.T) {
+	f := newFTL(t, testConfig())
+	// A small-hinted write must take an LSB slot.
+	if _, err := f.WriteHinted(0, payload(0, 0), HintSmall); err != nil {
+		t.Fatal(err)
+	}
+	_, _, typ := f.ppnLocate(f.l2p[0])
+	if typ != pv.LSB {
+		t.Fatalf("small write landed on %v, want LSB", typ)
+	}
+	// A batch-hinted write must take an MSB slot.
+	if _, err := f.WriteHinted(1, payload(1, 0), HintBatch); err != nil {
+		t.Fatal(err)
+	}
+	_, _, typ = f.ppnLocate(f.l2p[1])
+	if typ != pv.MSB {
+		t.Fatalf("batch write landed on %v, want MSB", typ)
+	}
+}
+
+func TestDeviceFullReported(t *testing.T) {
+	cfg := testConfig()
+	cfg.Overprovision = 0 // no spare space: the device must eventually fail
+	f := newFTL(t, cfg)
+	var err error
+	for lpn := int64(0); lpn < f.Capacity(); lpn++ {
+		if _, err = f.Write(lpn, payload(lpn, 0)); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		// Filling exactly to capacity can succeed; the next overwrite must
+		// fail because nothing is reclaimable.
+		for lpn := int64(0); lpn < f.Capacity(); lpn++ {
+			if _, err = f.Write(lpn, payload(lpn, 1)); err != nil {
+				break
+			}
+		}
+	}
+	if !errors.Is(err, ErrDeviceFull) {
+		t.Fatalf("got %v, want ErrDeviceFull", err)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	f := newFTL(t, testConfig())
+	fillAndChurn(t, f, 0.5, 31)
+	st := f.Stats()
+	if st.HostWrites == 0 || st.Flushes == 0 {
+		t.Fatalf("stats not accumulated: %+v", st)
+	}
+	if st.FlushLatency <= 0 {
+		t.Fatal("flush latency missing")
+	}
+	if st.GCRuns > 0 && (st.EraseLatency <= 0 || st.GCWrites == 0) {
+		t.Fatalf("GC stats inconsistent: %+v", st)
+	}
+}
+
+func TestSchemeGathersDuringWrites(t *testing.T) {
+	f := newFTL(t, testConfig())
+	fillAndChurn(t, f, 0.2, 41)
+	known := 0
+	g := f.geo
+	for lane := 0; lane < g.Lanes(); lane++ {
+		chip, plane := g.LaneChipPlane(lane)
+		for b := 0; b < g.BlocksPerPlane; b++ {
+			if f.scheme.Known(flash.BlockAddr{Chip: chip, Plane: plane, Block: b}) {
+				known++
+			}
+		}
+	}
+	if known == 0 {
+		t.Fatal("the write path should have characterized some blocks")
+	}
+}
+
+func TestOrganizerString(t *testing.T) {
+	if QSTRMed.String() != "qstr-med" || SequentialOrg.String() != "sequential" || RandomOrg.String() != "random" {
+		t.Fatal("organizer names wrong")
+	}
+	if Organizer(9).String() != "Organizer(9)" {
+		t.Fatal("unknown organizer formatting wrong")
+	}
+}
+
+func TestRandomWritesProperty(t *testing.T) {
+	f := newFTL(t, testConfig())
+	shadow := map[int64][]byte{}
+	fn := func(ops []uint16) bool {
+		for _, op := range ops {
+			lpn := int64(op) % f.Capacity()
+			data := payload(lpn, int(op))
+			if _, err := f.Write(lpn, data); err != nil {
+				return false
+			}
+			shadow[lpn] = data
+			r, err := f.Read(lpn)
+			if err != nil || string(r.Data) != string(data) {
+				return false
+			}
+		}
+		// All previously written pages still read back.
+		for lpn, want := range shadow {
+			r, err := f.Read(lpn)
+			if err != nil || string(r.Data) != string(want) {
+				return false
+			}
+		}
+		return f.CheckInvariants() == nil
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFTLWrite(b *testing.B) {
+	f := newFTL(b, testConfig())
+	data := payload(0, 0)
+	cap := f.Capacity()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Write(int64(i)%cap, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestWearSummary(t *testing.T) {
+	f := newFTL(t, testConfig())
+	fillAndChurn(t, f, 1.0, 61)
+	w := f.Wear()
+	if w.MaxPE == 0 {
+		t.Fatal("churn should have erased blocks")
+	}
+	if w.MinPE > w.MaxPE {
+		t.Fatalf("wear summary inconsistent: %+v", w)
+	}
+	if w.MeanPE < float64(w.MinPE) || w.MeanPE > float64(w.MaxPE) {
+		t.Fatalf("mean outside [min,max]: %+v", w)
+	}
+}
+
+func TestReadRangeParallelCheaperThanSerial(t *testing.T) {
+	f := newFTL(t, testConfig())
+	// Write one full super word-line's worth of consecutive pages and flush.
+	n := f.geo.Lanes() * flash.PagesPerLWL
+	for lpn := 0; lpn < n; lpn++ {
+		if _, err := f.Write(int64(lpn), payload(int64(lpn), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Serial read cost.
+	var serial float64
+	for lpn := 0; lpn < n; lpn++ {
+		r, err := f.Read(int64(lpn))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(r.Data) != string(payload(int64(lpn), 0)) {
+			t.Fatalf("lpn %d corrupted", lpn)
+		}
+		serial += r.Latency
+	}
+	// Parallel superpage read cost.
+	data, parallel, err := f.ReadRange(0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lpn := 0; lpn < n; lpn++ {
+		if string(data[lpn]) != string(payload(int64(lpn), 0)) {
+			t.Fatalf("ReadRange lpn %d corrupted", lpn)
+		}
+	}
+	if parallel >= serial/2 {
+		t.Fatalf("superpage read (%v) should cost far less than serial (%v)", parallel, serial)
+	}
+}
+
+func TestReadRangeBufferedAndErrors(t *testing.T) {
+	f := newFTL(t, testConfig())
+	if _, err := f.Write(0, payload(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Page 0 is still buffered: served with zero flash latency.
+	data, lat, err := f.ReadRange(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat != 0 || string(data[0]) != string(payload(0, 0)) {
+		t.Fatalf("buffered range read: lat=%v data=%q", lat, data[0])
+	}
+	if _, _, err := f.ReadRange(0, 0); err == nil {
+		t.Fatal("zero length should fail")
+	}
+	if _, _, err := f.ReadRange(-1, 2); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("got %v", err)
+	}
+	if _, _, err := f.ReadRange(1, 2); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("unmapped page: got %v", err)
+	}
+}
+
+func TestVictimPolicyString(t *testing.T) {
+	if Greedy.String() != "greedy" || CostBenefit.String() != "cost-benefit" || FIFO.String() != "fifo" {
+		t.Fatal("policy names wrong")
+	}
+	if VictimPolicy(9).String() != "VictimPolicy(9)" {
+		t.Fatal("unknown policy formatting wrong")
+	}
+}
+
+func TestVictimPoliciesPreserveData(t *testing.T) {
+	for _, pol := range []VictimPolicy{Greedy, CostBenefit, FIFO} {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			cfg := testConfig()
+			cfg.Victim = pol
+			f := newFTL(t, cfg)
+			gen := fillAndChurn(t, f, 1.5, 83)
+			if f.Stats().GCRuns == 0 {
+				t.Fatal("churn should trigger GC")
+			}
+			if err := f.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			src := prng.New(3)
+			for i := 0; i < 100; i++ {
+				lpn := int64(src.Intn(int(f.Capacity())))
+				r, err := f.Read(lpn)
+				if err != nil {
+					t.Fatalf("lpn %d: %v", lpn, err)
+				}
+				if string(r.Data) != string(payload(lpn, gen[lpn])) {
+					t.Fatalf("lpn %d corrupted under %s", lpn, pol)
+				}
+			}
+		})
+	}
+}
+
+// skewedChurnWAF measures write amplification after hot/cold churn.
+func skewedChurnWAF(t *testing.T, pol VictimPolicy) float64 {
+	t.Helper()
+	cfg := testConfig()
+	cfg.Victim = pol
+	f := newFTL(t, cfg)
+	capacity := f.Capacity()
+	for lpn := int64(0); lpn < capacity; lpn++ {
+		if _, err := f.Write(lpn, payload(lpn, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src := prng.New(91, 0x6c)
+	hot := capacity / 10
+	for i := 0; i < int(3*capacity); i++ {
+		lpn := int64(src.Intn(int(hot)))
+		if src.Float64() < 0.1 {
+			lpn = hot + int64(src.Intn(int(capacity-hot)))
+		}
+		if _, err := f.Write(lpn, payload(lpn, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f.Stats().WAF()
+}
+
+func TestCostBenefitBeatsFIFOOnSkew(t *testing.T) {
+	// On hot/cold traffic the cost-benefit policy should not amplify more
+	// than FIFO (which copies hot data indiscriminately).
+	cb := skewedChurnWAF(t, CostBenefit)
+	fifo := skewedChurnWAF(t, FIFO)
+	if cb > fifo*1.05 {
+		t.Fatalf("cost-benefit WAF %v should not exceed FIFO WAF %v", cb, fifo)
+	}
+}

@@ -1,0 +1,72 @@
+package ftl
+
+// hotness detects frequently rewritten logical pages with 4-bit saturating
+// counters and periodic exponential decay — the "detects the types of
+// written data" half of the paper's function-based placement (§V-D). Hot
+// pages get HintSmall automatically, steering them to fast (LSB) superpage
+// slots; everything else keeps the caller's hint.
+type hotness struct {
+	counts     []uint8 // two 4-bit counters per byte
+	writes     uint64
+	decayEvery uint64
+	threshold  uint8
+}
+
+// newHotness sizes the counter array for n logical pages. decayEvery halves
+// every counter after that many recorded writes; threshold is the counter
+// value at which a page counts as hot.
+func newHotness(n int64, decayEvery uint64, threshold uint8) *hotness {
+	if decayEvery == 0 {
+		decayEvery = uint64(n)
+	}
+	if threshold == 0 || threshold > 15 {
+		threshold = 4
+	}
+	return &hotness{
+		counts:     make([]uint8, (n+1)/2),
+		decayEvery: decayEvery,
+		threshold:  threshold,
+	}
+}
+
+func (h *hotness) get(lpn int64) uint8 {
+	b := h.counts[lpn/2]
+	if lpn%2 == 0 {
+		return b & 0x0f
+	}
+	return b >> 4
+}
+
+func (h *hotness) set(lpn int64, v uint8) {
+	i := lpn / 2
+	if lpn%2 == 0 {
+		h.counts[i] = h.counts[i]&0xf0 | v&0x0f
+	} else {
+		h.counts[i] = h.counts[i]&0x0f | v<<4
+	}
+}
+
+// note records one write to lpn and returns whether the page is now hot.
+func (h *hotness) note(lpn int64) bool {
+	if c := h.get(lpn); c < 15 {
+		h.set(lpn, c+1)
+	}
+	h.writes++
+	if h.writes%h.decayEvery == 0 {
+		h.decay()
+	}
+	return h.hot(lpn)
+}
+
+// hot reports whether lpn's write frequency is above the threshold.
+func (h *hotness) hot(lpn int64) bool { return h.get(lpn) >= h.threshold }
+
+// decay halves every counter (both nibbles at once).
+func (h *hotness) decay() {
+	for i, b := range h.counts {
+		h.counts[i] = (b >> 1) & 0x77
+	}
+}
+
+// footprintBytes returns the detector's memory cost.
+func (h *hotness) footprintBytes() int { return len(h.counts) }

@@ -1,0 +1,93 @@
+package ftl
+
+import (
+	"testing"
+
+	"superfast/internal/pv"
+)
+
+func TestHotnessCountersAndDecay(t *testing.T) {
+	h := newHotness(10, 8, 4)
+	if h.hot(3) {
+		t.Fatal("fresh page should be cold")
+	}
+	for i := 0; i < 4; i++ {
+		h.note(3)
+	}
+	if !h.hot(3) {
+		t.Fatal("page written 4 times should be hot")
+	}
+	// Counters saturate at 15.
+	for i := 0; i < 30; i++ {
+		h.note(3)
+	}
+	if h.get(3) > 15 {
+		t.Fatalf("counter overflowed: %d", h.get(3))
+	}
+	// Nibble isolation: neighbors don't leak.
+	if h.get(2) != 0 {
+		t.Fatalf("neighbor counter leaked: %d", h.get(2))
+	}
+	// Decay halves counters.
+	before := h.get(3)
+	h.decay()
+	if got := h.get(3); got != before/2 {
+		t.Fatalf("decay %d -> %d, want %d", before, got, before/2)
+	}
+}
+
+func TestHotnessDecayTriggersByWrites(t *testing.T) {
+	h := newHotness(4, 4, 4)
+	for i := 0; i < 4; i++ {
+		h.note(1)
+	}
+	// The 4th write triggered a decay: count = (4 >> 1) = 2.
+	if got := h.get(1); got != 2 {
+		t.Fatalf("count after decay = %d, want 2", got)
+	}
+}
+
+func TestHotnessFootprint(t *testing.T) {
+	h := newHotness(1000, 0, 0)
+	if h.footprintBytes() != 500 {
+		t.Fatalf("footprint %d, want 500 (4 bits per page)", h.footprintBytes())
+	}
+}
+
+func TestAutoHintSteersHotPagesToLSB(t *testing.T) {
+	cfg := testConfig()
+	cfg.AutoHint = true
+	f := newFTL(t, cfg)
+	capacity := f.Capacity()
+	// Interleave 1:3 hot:cold, like the read-hints experiment but without
+	// explicit hints — the detector must discover the hot set. Total volume
+	// stays under capacity so GC relocation doesn't disturb placements.
+	hotN := capacity / 32
+	cold := hotN
+	for round := 0; round < 6; round++ {
+		for lpn := int64(0); lpn < hotN; lpn++ {
+			if _, err := f.Write(lpn, payload(lpn, round)); err != nil {
+				t.Fatal(err)
+			}
+			for j := 0; j < 3; j++ {
+				if _, err := f.Write(cold, payload(cold, 0)); err != nil {
+					t.Fatal(err)
+				}
+				cold++
+			}
+		}
+	}
+	if _, err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lsb := 0
+	for lpn := int64(0); lpn < hotN; lpn++ {
+		if f.PageTypeOf(lpn) == pv.LSB {
+			lsb++
+		}
+	}
+	frac := float64(lsb) / float64(hotN)
+	if frac < 0.6 {
+		t.Fatalf("only %.0f%% of detected-hot pages on LSB, want > 60%%", frac*100)
+	}
+}

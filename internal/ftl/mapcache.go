@@ -1,0 +1,115 @@
+package ftl
+
+import "container/list"
+
+// DFTL-style cached mapping: a real controller cannot hold the whole
+// LPN→PPN table in RAM, so it keeps translation pages on flash and caches
+// the hot ones (Gupta et al.'s DFTL design). This layer models the timing
+// and traffic of that choice: every host read/write consults the cache; a
+// miss charges one flash read of the translation page, and evicting a dirty
+// translation page charges one program. The logical mapping itself stays in
+// memory (the simulator needs it for correctness) — only the cost model is
+// affected, which is what the latency experiments measure.
+
+// mapCache is an LRU of translation-page ids with dirty tracking.
+type mapCache struct {
+	capacity int
+	entries  map[int64]*list.Element
+	order    *list.List // front = most recent
+
+	hits   uint64
+	misses uint64
+	evicts uint64 // dirty evictions (translation-page writebacks)
+}
+
+type mapCacheEntry struct {
+	tpage int64
+	dirty bool
+}
+
+func newMapCache(capacity int) *mapCache {
+	return &mapCache{
+		capacity: capacity,
+		entries:  make(map[int64]*list.Element, capacity),
+		order:    list.New(),
+	}
+}
+
+// access touches the translation page; dirty marks it modified (a write).
+// It reports (miss, writeback): whether the page had to be fetched from
+// flash, and whether a dirty page had to be written back to make room.
+func (c *mapCache) access(tpage int64, dirty bool) (miss, writeback bool) {
+	if el, ok := c.entries[tpage]; ok {
+		c.hits++
+		c.order.MoveToFront(el)
+		if dirty {
+			el.Value.(*mapCacheEntry).dirty = true
+		}
+		return false, false
+	}
+	c.misses++
+	if c.order.Len() >= c.capacity {
+		back := c.order.Back()
+		victim := back.Value.(*mapCacheEntry)
+		if victim.dirty {
+			c.evicts++
+			writeback = true
+		}
+		delete(c.entries, victim.tpage)
+		c.order.Remove(back)
+	}
+	el := c.order.PushFront(&mapCacheEntry{tpage: tpage, dirty: dirty})
+	c.entries[tpage] = el
+	return true, writeback
+}
+
+// MapCacheStats reports the translation-cache activity.
+type MapCacheStats struct {
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+// HitRate returns the cache hit fraction.
+func (s MapCacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 1
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// MapCacheStats returns the translation-cache counters (zero value when the
+// cache is disabled).
+func (f *FTL) MapCacheStats() MapCacheStats {
+	if f.mcache == nil {
+		return MapCacheStats{}
+	}
+	return MapCacheStats{Hits: f.mcache.hits, Misses: f.mcache.misses, Writebacks: f.mcache.evicts}
+}
+
+// translationPageEntries is how many LPN→PPN entries one flash page holds
+// (8-byte entries).
+func (f *FTL) translationPageEntries() int64 {
+	return int64(f.geo.PageSize / 8)
+}
+
+// chargeMapAccess models the DFTL cost of touching the mapping for lpn:
+// zero when the whole table fits in RAM, otherwise a translation-page read
+// on a miss plus a program for a dirty eviction. The charged latency is
+// returned so callers fold it into the host-visible service time.
+func (f *FTL) chargeMapAccess(lpn int64, dirty bool) float64 {
+	if f.mcache == nil {
+		return 0
+	}
+	tpage := lpn / f.translationPageEntries()
+	miss, writeback := f.mcache.access(tpage, dirty)
+	var lat float64
+	if miss {
+		lat += f.cfg.MapReadUS
+	}
+	if writeback {
+		lat += f.cfg.MapProgramUS
+	}
+	return lat
+}

@@ -1,0 +1,110 @@
+package ftl
+
+import (
+	"testing"
+)
+
+func TestMapCacheLRUAndDirty(t *testing.T) {
+	c := newMapCache(2)
+	if miss, wb := c.access(1, false); !miss || wb {
+		t.Fatalf("first access: miss=%v wb=%v", miss, wb)
+	}
+	if miss, _ := c.access(1, false); miss {
+		t.Fatal("second access should hit")
+	}
+	c.access(2, true)  // miss, cache {1,2}, 2 dirty
+	c.access(3, false) // evicts 1 (clean) → no writeback
+	if c.evicts != 0 {
+		t.Fatalf("clean eviction counted as writeback: %d", c.evicts)
+	}
+	// Now {2 dirty, 3}; touch 3 so 2 is LRU, then insert 4 → dirty eviction.
+	c.access(3, false)
+	if _, wb := c.access(4, false); !wb {
+		t.Fatal("evicting a dirty page should write back")
+	}
+	if c.evicts != 1 {
+		t.Fatalf("evicts = %d, want 1", c.evicts)
+	}
+}
+
+func TestMapCacheDirtyUpgrade(t *testing.T) {
+	c := newMapCache(1)
+	c.access(5, false)
+	c.access(5, true) // hit, upgrades to dirty
+	if _, wb := c.access(6, false); !wb {
+		t.Fatal("upgraded-dirty page should write back on eviction")
+	}
+}
+
+func TestMapCacheStatsHitRate(t *testing.T) {
+	s := MapCacheStats{Hits: 3, Misses: 1}
+	if s.HitRate() != 0.75 {
+		t.Fatalf("HitRate = %v", s.HitRate())
+	}
+	if (MapCacheStats{}).HitRate() != 1 {
+		t.Fatal("empty stats should report hit rate 1")
+	}
+}
+
+func TestDFTLChargesMisses(t *testing.T) {
+	cfg := testConfig()
+	cfg.MapCachePages = 2
+	f := newFTL(t, cfg)
+	entries := f.translationPageEntries()
+	if entries <= 0 {
+		t.Fatal("translation page entries must be positive")
+	}
+	// First write in a region misses; the next in the same region hits.
+	w1, err := f.Write(0, payload(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := f.Write(1, payload(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.Latency < cfg.MapReadUS {
+		t.Fatalf("first access should charge a translation read: %v", w1.Latency)
+	}
+	if w2.Latency >= cfg.MapReadUS {
+		t.Fatalf("hit should not charge: %v", w2.Latency)
+	}
+	st := f.MapCacheStats()
+	if st.Misses == 0 || st.Hits == 0 {
+		t.Fatalf("cache stats %+v", st)
+	}
+	// Disabled cache charges nothing and reports zero stats.
+	g := newFTL(t, testConfig())
+	if g.MapCacheStats() != (MapCacheStats{}) {
+		t.Fatal("disabled cache should report zero stats")
+	}
+	if lat := g.chargeMapAccess(0, true); lat != 0 {
+		t.Fatalf("disabled cache charged %v", lat)
+	}
+}
+
+func TestDFTLThrashingVsResident(t *testing.T) {
+	// A wide uniform scan over many translation pages with a tiny cache
+	// must show a lower hit rate than a narrow scan.
+	run := func(span int64) float64 {
+		cfg := testConfig()
+		cfg.MapCachePages = 2
+		f := newFTL(t, cfg)
+		entries := f.translationPageEntries()
+		for i := int64(0); i < 200; i++ {
+			lpn := (i * entries) % (span * entries)
+			if lpn >= f.Capacity() {
+				lpn = lpn % f.Capacity()
+			}
+			if _, err := f.Write(lpn, payload(lpn, 0)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return f.MapCacheStats().HitRate()
+	}
+	narrow := run(2)
+	wide := run(8)
+	if wide >= narrow {
+		t.Fatalf("wide scan hit rate (%v) should be below narrow (%v)", wide, narrow)
+	}
+}

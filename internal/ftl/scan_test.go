@@ -1,0 +1,171 @@
+package ftl
+
+import (
+	"testing"
+
+	"superfast/internal/core"
+	"superfast/internal/prng"
+)
+
+func TestTagCodecRoundTrip(t *testing.T) {
+	cases := []struct {
+		lpn   int64
+		seq   uint64
+		sbID  int
+		speed core.Speed
+	}{
+		{0, 0, 0, core.Fast},
+		{123456, 99, 7, core.Slow},
+		{tagParity, 0, 3, core.Fast},
+		{tagNoData, 0, 12, core.Slow},
+	}
+	for _, c := range cases {
+		lpn, seq, sbID, speed, ok := decodeTag(encodeTag(c.lpn, c.seq, c.sbID, c.speed))
+		if !ok || lpn != c.lpn || seq != c.seq || sbID != c.sbID || speed != c.speed {
+			t.Fatalf("roundtrip %+v -> (%d %d %d %v %v)", c, lpn, seq, sbID, speed, ok)
+		}
+	}
+	if _, _, _, _, ok := decodeTag(nil); ok {
+		t.Fatal("nil tag should not decode")
+	}
+	if _, _, _, _, ok := decodeTag(make([]byte, tagBytes)); ok {
+		t.Fatal("zero tag should not decode")
+	}
+}
+
+func TestRecoverByScanRebuildsMapping(t *testing.T) {
+	arr := testArray(t)
+	cfg := testConfig()
+	f, err := New(arr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := fillAndChurn(t, f, 1.2, 201)
+	if _, err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Unclean power loss: no checkpoint; rebuild purely from flash tags.
+	g, err := RecoverByScan(arr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	src := prng.New(17)
+	for i := 0; i < 300; i++ {
+		lpn := int64(src.Intn(int(g.Capacity())))
+		r, err := g.Read(lpn)
+		if err != nil {
+			t.Fatalf("lpn %d after scan recovery: %v", lpn, err)
+		}
+		if string(r.Data) != string(payload(lpn, gen[lpn])) {
+			t.Fatalf("lpn %d: stale copy won (%q)", lpn, r.Data)
+		}
+	}
+	// The recovered FTL keeps working, including GC.
+	for i := 0; i < int(g.Capacity()); i++ {
+		lpn := int64(src.Intn(int(g.Capacity())))
+		gen[lpn]++
+		if _, err := g.Write(lpn, payload(lpn, gen[lpn])); err != nil {
+			t.Fatalf("post-recovery write: %v", err)
+		}
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoverByScanReopensPartialSuperblock(t *testing.T) {
+	arr := testArray(t)
+	cfg := testConfig()
+	f, err := New(arr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write a couple of super word-lines' worth and flush, leaving the fast
+	// superblock open (partially programmed).
+	n := f.geo.Lanes() * 6 // two super word-lines in the RAID-less layout
+	for lpn := 0; lpn < n; lpn++ {
+		if _, err := f.Write(int64(lpn), payload(int64(lpn), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := RecoverByScan(arr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.open) == 0 {
+		t.Fatal("partially written superblock should reopen")
+	}
+	// Writing continues into the reopened superblock without errors.
+	for lpn := 0; lpn < n; lpn++ {
+		if _, err := g.Write(int64(lpn+n), payload(int64(lpn+n), 0)); err != nil {
+			t.Fatalf("write into reopened superblock: %v", err)
+		}
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for lpn := 0; lpn < 2*n; lpn++ {
+		r, err := g.Read(int64(lpn))
+		if err != nil {
+			t.Fatalf("lpn %d: %v", lpn, err)
+		}
+		if string(r.Data) != string(payload(int64(lpn), 0)) {
+			t.Fatalf("lpn %d corrupted", lpn)
+		}
+	}
+}
+
+func TestRecoverByScanWithRAID(t *testing.T) {
+	arr := testArray(t)
+	cfg := raidConfig()
+	f, err := New(arr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lpn := int64(0); lpn < 200; lpn++ {
+		if _, err := f.Write(lpn, payload(lpn, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := RecoverByScan(arr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Parity pages must not appear in the mapping, and reconstruction still
+	// works after recovery.
+	corruptPageOf(t, g, 50)
+	r, err := g.Read(50)
+	if err != nil {
+		t.Fatalf("post-recovery reconstruction: %v", err)
+	}
+	if string(r.Data) != string(payload(50, 0)) {
+		t.Fatalf("lpn 50 = %q", r.Data)
+	}
+}
+
+func TestRecoverByScanEmptyDevice(t *testing.T) {
+	arr := testArray(t)
+	cfg := testConfig()
+	g, err := RecoverByScan(arr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Scheme().FreeCount() != g.geo.BlocksPerPlane {
+		t.Fatalf("empty device should have everything free, got %d", g.Scheme().FreeCount())
+	}
+	if _, err := g.Write(0, payload(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+}

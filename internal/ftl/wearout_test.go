@@ -1,0 +1,217 @@
+package ftl
+
+import (
+	"errors"
+	"testing"
+
+	"superfast/internal/flash"
+	"superfast/internal/prng"
+	"superfast/internal/pv"
+)
+
+// wornFTL builds an FTL over chips whose blocks wear out after very few
+// erases, so bad-block retirement is exercised quickly.
+func wornFTL(t testing.TB, endurance float64) *FTL {
+	t.Helper()
+	g := flash.TestGeometry()
+	g.BlocksPerPlane = 12
+	g.Layers = 12
+	p := pv.DefaultParams()
+	p.Layers = g.Layers
+	p.Strings = g.Strings
+	p.EnduranceBase = endurance
+	p.EnduranceSpan = 0.1
+	arr, err := flash.NewArray(g, pv.New(p), flash.DefaultECC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	f, err := New(arr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestWearOutRetiresBlocksAndSurvives(t *testing.T) {
+	f := wornFTL(t, 8)
+	// Churn until either the write budget is spent or the dying device
+	// legitimately reports that nothing is reclaimable.
+	gen := make(map[int64]int)
+	capacity := f.Capacity()
+	for lpn := int64(0); lpn < capacity; lpn++ {
+		if _, err := f.Write(lpn, payload(lpn, 0)); err != nil {
+			t.Fatalf("fill lpn %d: %v", lpn, err)
+		}
+		gen[lpn] = 0
+	}
+	src := prng.New(17, 0xc4)
+	for i := 0; i < int(2*capacity); i++ {
+		lpn := int64(src.Intn(int(capacity)))
+		if _, err := f.Write(lpn, payload(lpn, gen[lpn]+1)); err != nil {
+			if errors.Is(err, ErrDeviceFull) {
+				break // the worn-out device ran out of reclaimable space
+			}
+			t.Fatalf("churn write %d: %v", i, err)
+		}
+		gen[lpn]++
+	}
+	st := f.Stats()
+	if st.BadBlocks == 0 {
+		t.Fatal("endurance-6 blocks should have started failing under churn")
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Data written before and after retirement still reads back.
+	for lpn := int64(0); lpn < 100; lpn++ {
+		r, err := f.Read(lpn)
+		if err != nil {
+			t.Fatalf("read lpn %d: %v", lpn, err)
+		}
+		if string(r.Data) != string(payload(lpn, gen[lpn])) {
+			t.Fatalf("lpn %d corrupted after wear-out", lpn)
+		}
+	}
+	// Retired blocks are out of circulation.
+	g := f.geo
+	retired := 0
+	for lane := 0; lane < g.Lanes(); lane++ {
+		chip, plane := g.LaneChipPlane(lane)
+		for b := 0; b < g.BlocksPerPlane; b++ {
+			if f.scheme.Retired(flash.BlockAddr{Chip: chip, Plane: plane, Block: b}) {
+				retired++
+			}
+		}
+	}
+	if uint64(retired) != st.BadBlocks {
+		t.Fatalf("retired count %d disagrees with BadBlocks stat %d", retired, st.BadBlocks)
+	}
+}
+
+func TestHealthyEnduranceNoBadBlocks(t *testing.T) {
+	f := newFTL(t, testConfig())
+	fillAndChurn(t, f, 1.0, 19)
+	if f.Stats().BadBlocks != 0 {
+		t.Fatalf("default endurance should survive a short churn, got %d bad blocks", f.Stats().BadBlocks)
+	}
+}
+
+func TestWearAwareVictimSelectionNarrowsSpread(t *testing.T) {
+	// Skewed churn concentrates erases on a few superblocks; the wear
+	// penalty should spread them out.
+	spread := func(lambda float64) int {
+		cfg := testConfig()
+		cfg.WearLambda = lambda
+		f := newFTL(t, cfg)
+		capacity := f.Capacity()
+		for lpn := int64(0); lpn < capacity; lpn++ {
+			if _, err := f.Write(lpn, payload(lpn, 0)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		src := prng.New(23, 0x11)
+		hot := capacity / 5
+		for i := 0; i < int(3*capacity); i++ {
+			lpn := int64(src.Intn(int(hot)))
+			if _, err := f.Write(lpn, payload(lpn, i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := f.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		w := f.Wear()
+		return w.MaxPE - w.MinPE
+	}
+	greedy := spread(0)
+	aware := spread(5)
+	if aware > greedy {
+		t.Fatalf("wear-aware spread (%d) should not exceed greedy spread (%d)", aware, greedy)
+	}
+}
+
+func TestPatrolRefreshesAgedPages(t *testing.T) {
+	g := flash.TestGeometry()
+	g.BlocksPerPlane = 12
+	g.Layers = 12
+	p := pv.DefaultParams()
+	p.Layers = g.Layers
+	p.Strings = g.Strings
+	p.RBERBase = 4e-5 // errors visible but correctable
+	arr, err := flash.NewArray(g, pv.New(p), flash.DefaultECC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(arr, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 300
+	for lpn := int64(0); lpn < n; lpn++ {
+		if _, err := f.Write(lpn, payload(lpn, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Age the data far enough that raw error counts approach the hard
+	// decode limit, then patrol with a low refresh threshold.
+	arr.AddRetention(8)
+	next, lat, err := f.Patrol(0, n, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	if st.PatrolReads == 0 {
+		t.Fatal("patrol should have scanned pages")
+	}
+	if st.Refreshes == 0 {
+		t.Fatal("aged pages should have been refreshed")
+	}
+	if lat <= 0 || next < 0 {
+		t.Fatalf("patrol result next=%d lat=%v", next, lat)
+	}
+	// Refreshed data still reads back correctly and invariants hold.
+	for lpn := int64(0); lpn < n; lpn++ {
+		r, err := f.Read(lpn)
+		if err != nil {
+			t.Fatalf("read lpn %d: %v", lpn, err)
+		}
+		if string(r.Data) != string(payload(lpn, 0)) {
+			t.Fatalf("lpn %d corrupted by refresh", lpn)
+		}
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPatrolSkipsUnmappedAndWraps(t *testing.T) {
+	f := newFTL(t, testConfig())
+	if _, err := f.Write(5, payload(5, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Start past the only mapped page: the scan must wrap around and find it.
+	next, _, err := f.Patrol(6, 10, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Stats().PatrolReads != 1 {
+		t.Fatalf("PatrolReads = %d, want 1", f.Stats().PatrolReads)
+	}
+	if f.Stats().Refreshes != 0 {
+		t.Fatal("huge threshold should never refresh")
+	}
+	if next < 0 || next >= f.Capacity() {
+		t.Fatalf("next = %d", next)
+	}
+	// Out-of-range start is clamped.
+	if _, _, err := f.Patrol(-5, 1, 1<<30); err != nil {
+		t.Fatal(err)
+	}
+}

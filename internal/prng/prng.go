@@ -1,0 +1,94 @@
+// Package prng provides deterministic, hash-based pseudo-random draws.
+//
+// The process-variation model needs a stable value for every physical entity
+// (chip, plane, block, layer, string, word-line): asking twice for the same
+// entity must return the same draw, and the draw must not depend on the order
+// in which entities are visited. A sequential generator cannot give that, so
+// prng derives every value by hashing the entity coordinates with SplitMix64.
+package prng
+
+import "math"
+
+// SplitMix64 advances the state x by the SplitMix64 step and returns the
+// mixed output. It is the core primitive for all derived draws.
+func SplitMix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Hash folds an arbitrary list of integer coordinates into a single 64-bit
+// value. Different argument lists yield (with overwhelming probability)
+// different values; the same list always yields the same value.
+func Hash(seed uint64, coords ...int) uint64 {
+	h := SplitMix64(seed ^ 0x5851f42d4c957f2d)
+	for _, c := range coords {
+		h = SplitMix64(h ^ uint64(uint(c))*0x2545f4914f6cdd1d)
+	}
+	return h
+}
+
+// Source is a deterministic stream of draws keyed by a fixed identity.
+// The zero value is a valid stream keyed by zero.
+type Source struct {
+	state uint64
+}
+
+// New returns a Source whose stream is fully determined by seed and coords.
+func New(seed uint64, coords ...int) *Source {
+	return &Source{state: Hash(seed, coords...)}
+}
+
+// Uint64 returns the next 64-bit draw.
+func (s *Source) Uint64() uint64 {
+	s.state = SplitMix64(s.state)
+	return s.state
+}
+
+// Float64 returns the next draw in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns the next draw in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("prng: Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Normal returns the next standard-normal draw (Box–Muller).
+func (s *Source) Normal() float64 {
+	// Avoid u1 == 0 so the log is finite.
+	u1 := 1 - s.Float64()
+	u2 := s.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Perm returns a deterministic permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// UnitFromHash maps a hash value to [0, 1).
+func UnitFromHash(h uint64) float64 {
+	return float64(h>>11) / (1 << 53)
+}
+
+// NormalFromHash derives a standard-normal draw from a single hash value by
+// splitting it into two streams. The result is stable for a given h.
+func NormalFromHash(h uint64) float64 {
+	u1 := 1 - UnitFromHash(SplitMix64(h^0xa0761d6478bd642f))
+	u2 := UnitFromHash(SplitMix64(h ^ 0xe7037ed1a0b428db))
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}

@@ -1,0 +1,190 @@
+package prng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashDeterministic(t *testing.T) {
+	a := Hash(1, 2, 3, 4)
+	b := Hash(1, 2, 3, 4)
+	if a != b {
+		t.Fatalf("Hash not deterministic: %x vs %x", a, b)
+	}
+}
+
+func TestHashCoordSensitivity(t *testing.T) {
+	base := Hash(7, 1, 2, 3)
+	variants := []uint64{
+		Hash(8, 1, 2, 3),
+		Hash(7, 0, 2, 3),
+		Hash(7, 1, 3, 3),
+		Hash(7, 1, 2, 4),
+		Hash(7, 1, 2),
+		Hash(7, 1, 2, 3, 0),
+	}
+	for i, v := range variants {
+		if v == base {
+			t.Errorf("variant %d collides with base", i)
+		}
+	}
+}
+
+func TestHashOrderMatters(t *testing.T) {
+	if Hash(1, 2, 3) == Hash(1, 3, 2) {
+		t.Fatal("Hash should be order-sensitive")
+	}
+}
+
+func TestSourceStreamIndependence(t *testing.T) {
+	s1 := New(42, 0)
+	s2 := New(42, 1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if s1.Uint64() == s2.Uint64() {
+			same++
+		}
+	}
+	if same != 0 {
+		t.Fatalf("streams with different coords overlapped %d times", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(2)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := s.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) should hit all 7 values over 1000 draws, got %d", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(3)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.Normal()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("Normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("Normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestNormalFromHashMoments(t *testing.T) {
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := NormalFromHash(Hash(9, i))
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("NormalFromHash mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("NormalFromHash variance = %v, want ~1", variance)
+	}
+}
+
+func TestNormalFromHashFinite(t *testing.T) {
+	f := func(h uint64) bool {
+		v := NormalFromHash(h)
+		return !math.IsNaN(v) && !math.IsInf(v, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 1 + int(seed%50)
+		p := New(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermDeterministic(t *testing.T) {
+	a := New(5, 1).Perm(20)
+	b := New(5, 1).Perm(20)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Perm not deterministic at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestUnitFromHashRange(t *testing.T) {
+	f := func(h uint64) bool {
+		v := UnitFromHash(h)
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkHash(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= Hash(42, i, i*3, i*7)
+	}
+	_ = sink
+}
+
+func BenchmarkNormalFromHash(b *testing.B) {
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += NormalFromHash(uint64(i))
+	}
+	_ = sink
+}

@@ -1,0 +1,43 @@
+package profile
+
+import (
+	"testing"
+)
+
+// FuzzEigenDistance feeds arbitrary latency bytes into profile construction
+// and checks the eigen metric properties hold for any input.
+func FuzzEigenDistance(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, []byte{8, 7, 6, 5, 4, 3, 2, 1})
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		const layers, strs = 3, 4
+		n := layers * strs
+		mk := func(raw []byte) *BlockProfile {
+			lwl := make([]float64, n)
+			for i := range lwl {
+				v := 0
+				if len(raw) > 0 {
+					v = int(raw[i%len(raw)])
+				}
+				lwl[i] = 1600 + float64(v)
+			}
+			return NewBlockProfile(0, 0, layers, strs, lwl, 0, 0)
+		}
+		ea := EigenFromProfile(mk(a))
+		eb := EigenFromProfile(mk(b))
+		dab := ea.Distance(eb)
+		if dab != eb.Distance(ea) {
+			t.Fatal("distance not symmetric")
+		}
+		if ea.Distance(ea) != 0 {
+			t.Fatal("self distance nonzero")
+		}
+		if dab < 0 || dab > n {
+			t.Fatalf("distance %d out of bounds", dab)
+		}
+		// Rank distances share the bounds.
+		ra, rb := mk(a).STRRanks(), mk(b).STRRanks()
+		if d := RankDistance(ra, rb); d < 0 || d > n {
+			t.Fatalf("rank distance %d out of bounds", d)
+		}
+	})
+}

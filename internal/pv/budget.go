@@ -1,0 +1,93 @@
+package pv
+
+import "superfast/internal/prng"
+
+// Component is one entry of a variance budget: how much of the per-word-line
+// program-latency variance a model component contributes.
+type Component struct {
+	Name     string
+	Variance float64 // µs²
+	Share    float64 // fraction of the total
+}
+
+// VarianceBudget estimates, by sampling the model over nChips chips and
+// nBlocks blocks per chip, the per-word-line variance contributed by each
+// program-latency component. It is the calibration view used to reason about
+// which organization strategies can harvest which share (DESIGN.md §5):
+// chip-level terms are irreducible for a fixed chip set, block terms are
+// matched by latency sorting, string/layer patterns by similarity checks,
+// and the static word-line noise by nothing.
+func (m *Model) VarianceBudget(nChips, nBlocks int) []Component {
+	if nChips <= 0 {
+		nChips = 4
+	}
+	if nBlocks <= 0 {
+		nBlocks = 200
+	}
+	var chipLayer, str, block, blockLayer, wl sampler
+	for c := 0; c < nChips; c++ {
+		for l := 0; l < m.p.Layers; l++ {
+			chipLayer.add(m.chipLayerOffset(c, l))
+		}
+		for b := 0; b < nBlocks; b++ {
+			block.add(m.BlockPgmOffset(c, 0, b))
+			for s := 0; s < m.p.Strings; s++ {
+				str.add(m.stringOffset(Coord{Chip: c, Block: b, String: s}))
+			}
+			for g := 0; g < (m.p.Layers+m.p.LayerGroupSize-1)/m.p.LayerGroupSize; g++ {
+				blockLayer.add(m.blockLayerOffset(Coord{Chip: c, Block: b, Layer: g * m.p.LayerGroupSize}))
+			}
+			// Sample a subset of word-lines for the static noise.
+			for i := 0; i < 8; i++ {
+				layer := int(prng.Hash(m.p.Seed, 0x77, c, b, i) % uint64(m.p.Layers))
+				s := int(prng.Hash(m.p.Seed, 0x78, c, b, i) % uint64(m.p.Strings))
+				wl.add(m.wlStatic(Coord{Chip: c, Block: b, Layer: layer, String: s}))
+			}
+		}
+	}
+	quant := m.p.PgmStep * m.p.PgmStep / 12
+	jitter := m.p.PgmJitterSigma * m.p.PgmJitterSigma
+	comps := []Component{
+		{Name: "chip+layer (irreducible)", Variance: chipLayer.variance()},
+		{Name: "string pattern (similarity-matchable)", Variance: str.variance()},
+		{Name: "block offset (sort-matchable)", Variance: block.variance()},
+		{Name: "layer pattern (latency-matchable)", Variance: blockLayer.variance()},
+		{Name: "static word-line noise (floor)", Variance: wl.variance()},
+		{Name: "ISPP quantization (floor)", Variance: quant},
+		{Name: "temporal jitter (floor)", Variance: jitter},
+	}
+	total := 0.0
+	for _, c := range comps {
+		total += c.Variance
+	}
+	if total > 0 {
+		for i := range comps {
+			comps[i].Share = comps[i].Variance / total
+		}
+	}
+	return comps
+}
+
+// sampler accumulates mean/variance online.
+type sampler struct {
+	n          int
+	sum, sumSq float64
+}
+
+func (s *sampler) add(v float64) {
+	s.n++
+	s.sum += v
+	s.sumSq += v * v
+}
+
+func (s *sampler) variance() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	mean := s.sum / float64(s.n)
+	v := s.sumSq/float64(s.n) - mean*mean
+	if v < 0 {
+		return 0
+	}
+	return v
+}

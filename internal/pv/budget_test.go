@@ -1,0 +1,57 @@
+package pv
+
+import (
+	"math"
+	"testing"
+)
+
+func TestVarianceBudgetSharesSumToOne(t *testing.T) {
+	m := testModel()
+	comps := m.VarianceBudget(4, 100)
+	if len(comps) != 7 {
+		t.Fatalf("%d components", len(comps))
+	}
+	total := 0.0
+	for _, c := range comps {
+		if c.Variance < 0 {
+			t.Fatalf("%s: negative variance", c.Name)
+		}
+		total += c.Share
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("shares sum to %v", total)
+	}
+}
+
+func TestVarianceBudgetMatchesConfiguredSigmas(t *testing.T) {
+	m := testModel()
+	p := m.Params()
+	comps := m.VarianceBudget(6, 400)
+	byName := map[string]Component{}
+	for _, c := range comps {
+		byName[c.Name] = c
+	}
+	// Static WL noise variance should track the configured sigma².
+	want := p.WLStaticSigma * p.WLStaticSigma
+	got := byName["static word-line noise (floor)"].Variance
+	if got < want*0.8 || got > want*1.2 {
+		t.Fatalf("wl noise variance %v, want ≈%v", got, want)
+	}
+	// Block offset variance ≈ shared² + local².
+	wantB := p.BlockSharedSig*p.BlockSharedSig + p.BlockLocalSig*p.BlockLocalSig
+	gotB := byName["block offset (sort-matchable)"].Variance
+	if gotB < wantB*0.7 || gotB > wantB*1.3 {
+		t.Fatalf("block variance %v, want ≈%v", gotB, wantB)
+	}
+	// Quantization term is the analytic step²/12.
+	if q := byName["ISPP quantization (floor)"].Variance; math.Abs(q-p.PgmStep*p.PgmStep/12) > 1e-9 {
+		t.Fatalf("quantization variance %v", q)
+	}
+}
+
+func TestVarianceBudgetDefaults(t *testing.T) {
+	m := testModel()
+	if comps := m.VarianceBudget(0, 0); len(comps) == 0 {
+		t.Fatal("defaults should sample")
+	}
+}

@@ -1,0 +1,247 @@
+package pv
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStringClassRange(t *testing.T) {
+	m := testModel()
+	k := m.Params().StringClasses
+	for b := 0; b < 500; b++ {
+		c := m.StringClass(0, 0, b)
+		if c < 0 || c >= k {
+			t.Fatalf("class %d out of [0, %d)", c, k)
+		}
+	}
+}
+
+func TestStringClassSharedAcrossChips(t *testing.T) {
+	// With StringSharedProb = 0.8, two chips share a block's class with
+	// probability ≥ p² (both follow the shared index).
+	m := testModel()
+	match := 0
+	const n = 3000
+	for b := 0; b < n; b++ {
+		if m.StringClass(0, 0, b) == m.StringClass(1, 0, b) {
+			match++
+		}
+	}
+	p := m.Params().StringSharedProb
+	k := float64(m.Params().StringClasses)
+	wantMin := p*p + (1-p*p)/k - 0.04
+	if frac := float64(match) / n; frac < wantMin {
+		t.Fatalf("cross-chip class match %.3f, want ≥ %.3f", frac, wantMin)
+	}
+}
+
+func TestStringClassSingleClassDegenerate(t *testing.T) {
+	p := DefaultParams()
+	p.StringClasses = 1
+	m := New(p)
+	if m.StringClass(3, 1, 17) != 0 {
+		t.Fatal("single class should always be 0")
+	}
+}
+
+func TestLayerClassRange(t *testing.T) {
+	m := testModel()
+	k := m.Params().LayerClasses
+	for b := 0; b < 500; b++ {
+		c := m.LayerClass(1, 0, b)
+		if c < 0 || c >= k {
+			t.Fatalf("layer class %d out of [0, %d)", c, k)
+		}
+	}
+}
+
+func TestStringOffsetsCenteredPerBlock(t *testing.T) {
+	// The string offsets of one block sum to ~0: their mean belongs to the
+	// block offset, not the pattern.
+	m := testModel()
+	for b := 0; b < 50; b++ {
+		sum := 0.0
+		for s := 0; s < m.Params().Strings; s++ {
+			sum += m.stringOffset(Coord{Chip: 1, Plane: 0, Block: b, String: s})
+		}
+		if math.Abs(sum) > 1e-9 {
+			t.Fatalf("block %d string offsets sum to %v, want 0", b, sum)
+		}
+	}
+}
+
+func TestSameClassBlocksShareStringOrdering(t *testing.T) {
+	// Two same-class blocks must order their strings identically up to the
+	// small idiosyncratic deviation — the signal STR-rank and the eigen
+	// sequences exploit.
+	m := testModel()
+	order := func(chip, block int) [4]int {
+		var offs [4]float64
+		for s := 0; s < 4; s++ {
+			offs[s] = m.stringOffset(Coord{Chip: chip, Block: block, String: s})
+		}
+		var ord [4]int
+		for i := range ord {
+			ord[i] = i
+		}
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				if offs[ord[j]] < offs[ord[i]] {
+					ord[i], ord[j] = ord[j], ord[i]
+				}
+			}
+		}
+		return ord
+	}
+	matches, total := 0, 0
+	for b1 := 0; b1 < 60; b1++ {
+		for b2 := b1 + 1; b2 < 60; b2++ {
+			if m.StringClass(0, 0, b1) != m.StringClass(0, 0, b2) {
+				continue
+			}
+			total++
+			if order(0, b1) == order(0, b2) {
+				matches++
+			}
+		}
+	}
+	if total == 0 {
+		t.Skip("no same-class pairs in sample")
+	}
+	// Exact 4-string order agreement by chance is 1/4! ≈ 4%; same-class
+	// blocks agree far more often (idiosyncratic noise flips near-ties).
+	if frac := float64(matches) / float64(total); frac < 0.35 {
+		t.Fatalf("same-class string-order agreement %.2f, want ≥ 0.35", frac)
+	}
+}
+
+func TestChipPgmFlatOffsetConstantPerChip(t *testing.T) {
+	// The flat chip offset must shift all of a chip's word-lines equally:
+	// the difference between two chips' chipLayerOffset has a constant
+	// component across layers.
+	m := testModel()
+	p := m.Params()
+	if p.ChipPgmSigma == 0 {
+		t.Skip("flat chip offset disabled")
+	}
+	d0 := m.chipLayerOffset(0, 0) - m.chipLayerOffset(1, 0)
+	var minD, maxD = math.Inf(1), math.Inf(-1)
+	for l := 0; l < p.Layers; l++ {
+		d := m.chipLayerOffset(0, l) - m.chipLayerOffset(1, l)
+		if d < minD {
+			minD = d
+		}
+		if d > maxD {
+			maxD = d
+		}
+	}
+	// The per-layer noise bounds the spread; the flat part keeps the sign
+	// pattern coherent when the flat offset dominates. Just check the
+	// spread is finite and d0 participates.
+	if math.IsInf(minD, 0) || math.IsInf(maxD, 0) || d0 < minD || d0 > maxD {
+		t.Fatalf("chip layer offset differences inconsistent: d0=%v range=[%v, %v]", d0, minD, maxD)
+	}
+}
+
+func TestBlockLayerOffsetDeterministicAndGrouped(t *testing.T) {
+	m := testModel()
+	p := m.Params()
+	c := Coord{Chip: 2, Plane: 0, Block: 7}
+	// Same layer group → same offset.
+	a := m.blockLayerOffset(Coord{Chip: 2, Plane: 0, Block: 7, Layer: 0})
+	b := m.blockLayerOffset(Coord{Chip: 2, Plane: 0, Block: 7, Layer: p.LayerGroupSize - 1})
+	if a != b {
+		t.Fatalf("offsets within one layer group differ: %v vs %v", a, b)
+	}
+	// Different groups should (almost surely) differ.
+	c.Layer = p.LayerGroupSize
+	if m.blockLayerOffset(c) == a {
+		t.Fatal("offsets across layer groups should differ")
+	}
+}
+
+func TestBlockLayerOffsetDisabled(t *testing.T) {
+	p := DefaultParams()
+	p.BlockLayerSigma = 0
+	p.LayerClassSigma = 0
+	m := New(p)
+	if got := m.blockLayerOffset(Coord{Block: 3, Layer: 10}); got != 0 {
+		t.Fatalf("disabled block-layer offset = %v, want 0", got)
+	}
+}
+
+func TestEnduranceDisabled(t *testing.T) {
+	p := DefaultParams()
+	p.EnduranceBase = 0
+	m := New(p)
+	if e := m.Endurance(0, 0, 0); e < math.MaxInt32 {
+		t.Fatalf("disabled endurance = %d, want effectively infinite", e)
+	}
+}
+
+func TestErsSpikeZeroSigma(t *testing.T) {
+	p := DefaultParams()
+	p.BlockSharedSig = 0
+	p.BlockLocalSig = 0
+	m := New(p)
+	if s := m.ErsSpike(0, 0, 0); s != 0 {
+		t.Fatalf("spike with zero block sigma = %v", s)
+	}
+}
+
+func TestErsSpikeClampedAtMax(t *testing.T) {
+	m := testModel()
+	p := m.Params()
+	found := false
+	for b := 0; b < 20000 && !found; b++ {
+		if s := m.ErsSpike(0, 0, b); s > 0 {
+			if s > p.ErsSpikeMax {
+				t.Fatalf("spike %v exceeds max %v", s, p.ErsSpikeMax)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Skip("no spikes in sample")
+	}
+}
+
+func TestTemperatureShiftsLatency(t *testing.T) {
+	cold := DefaultParams()
+	cold.Temperature = 0
+	hot := DefaultParams()
+	hot.Temperature = 70
+	mc, mh := New(cold), New(hot)
+	c := Coord{Block: 5, Layer: 20, String: 1}
+	pc, ph := mc.ProgramLatency(c, 0, 1), mh.ProgramLatency(c, 0, 1)
+	if ph >= pc {
+		t.Fatalf("hot program (%v) should be faster than cold (%v)", ph, pc)
+	}
+	ec, eh := mc.EraseLatency(0, 0, 5, 0, 1), mh.EraseLatency(0, 0, 5, 0, 1)
+	if eh <= ec {
+		t.Fatalf("hot erase (%v) should be slower than cold (%v)", eh, ec)
+	}
+}
+
+func TestTemperatureSensitivityVariesPerChip(t *testing.T) {
+	p := DefaultParams()
+	p.Temperature = 80
+	m := New(p)
+	a := m.tempShift(0, p.PgmTempCoeff)
+	diff := false
+	for chip := 1; chip < 8; chip++ {
+		if m.tempShift(chip, p.PgmTempCoeff) != a {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("chips should differ in temperature sensitivity")
+	}
+}
+
+func TestTemperatureAtReferenceIsNeutral(t *testing.T) {
+	m := testModel() // Temperature == TempRef
+	if m.tempShift(3, m.Params().PgmTempCoeff) != 0 {
+		t.Fatal("reference temperature should not shift latency")
+	}
+}

@@ -1,0 +1,531 @@
+// Package pv models process variation of 3D NAND flash memory.
+//
+// The model replaces the paper's 24 real SKH 3D-TLC chips. It is built so
+// that every effect the paper's superblock-organization strategies exploit is
+// present with a controllable magnitude:
+//
+//   - a V-shaped per-layer base profile (etching aperture, Fig. 3), shared by
+//     all chips, with vendor-style word-line-layer groups;
+//   - chip-specific layer perturbations (cross-chip process variation, the
+//     "distinct patterns" of Fig. 5 bottom);
+//   - a block-index component shared across chips (spatial similarity that
+//     the paper's sequential assembly exploits);
+//   - a per-block local quality offset (what PGM-LTN sorting matches);
+//   - per-string offsets with shared-index and local parts (what STR-rank
+//     and the eigen sequences match);
+//   - static per-word-line noise (the irreducible floor that bounds even the
+//     local-optimal assembly near the paper's 19.49% ceiling);
+//   - ISPP-style quantization of program latency (Fig. 9 shows repeated
+//     discrete values such as 1898.6 µs; ties are what make rank-equality
+//     distances meaningful);
+//   - erase latency correlated with the block's program-quality offset plus
+//     rare slow-block spikes, so that grouping by program similarity also
+//     shrinks extra erase latency (Table V);
+//   - wear drift and jitter so measurements at different P/E cycles differ
+//     the way Fig. 15 expects.
+//
+// All draws are hash-derived from (seed, coordinates), so the model is pure:
+// the same coordinate always has the same latency, regardless of visit order.
+package pv
+
+import (
+	"fmt"
+	"math"
+
+	"superfast/internal/prng"
+)
+
+// Coord addresses one logical word-line inside the flash array.
+type Coord struct {
+	Chip   int
+	Plane  int
+	Block  int
+	Layer  int // physical word-line layer, 0..Layers-1
+	String int // 0..Strings-1
+}
+
+// PageType enumerates the pages of a TLC logical word-line.
+type PageType int
+
+// Page types of a TLC word-line, ordered fastest-read to slowest-read.
+const (
+	LSB PageType = iota
+	CSB
+	MSB
+	NumPageTypes
+)
+
+func (t PageType) String() string {
+	switch t {
+	case LSB:
+		return "LSB"
+	case CSB:
+		return "CSB"
+	case MSB:
+		return "MSB"
+	}
+	return fmt.Sprintf("PageType(%d)", int(t))
+}
+
+// Params controls every component of the variation model. All latencies are
+// in microseconds. The defaults are calibrated so that random superblock
+// assembly over four lanes shows ≈13,000 µs extra program latency and
+// ≈42 µs extra erase latency per superblock, matching the paper's Fig. 6.
+type Params struct {
+	Seed uint64
+
+	Layers  int // physical word-line layers per block (paper: 96)
+	Strings int // strings per block (paper: 4)
+
+	// Operating temperature in °C (the KSON chamber's knob). Program is
+	// slightly faster and erase slightly slower when hot; each chip has its
+	// own small sensitivity so cross-temperature behaviour is not a pure
+	// global shift.
+	Temperature   float64
+	TempRef       float64 // reference temperature of the base latencies
+	PgmTempCoeff  float64 // µs per °C (negative: hotter programs faster)
+	ErsTempCoeff  float64 // µs per °C
+	TempChipSigma float64 // per-chip spread of the temperature sensitivity
+
+	// Program latency components.
+	PgmBase          float64 // mean word-line program latency
+	LayerAmp         float64 // amplitude of the V-shape layer profile
+	LayerEdgePenalty float64 // extra latency on the first/last layers
+	LayerGroupSize   int     // vendor word-line-layer group width
+	LayerGroupSigma  float64 // per-(chip,group) offset sigma
+	ChipLayerSigma   float64 // per-(chip,layer) offset sigma
+	ChipPgmSigma     float64 // flat per-chip program offset (irreducible across a fixed chip set)
+	StringClasses    int     // number of discrete string-pattern classes
+	StringClassSigma float64 // magnitude of a class's per-string pattern
+	StringIdioSigma  float64 // per-block idiosyncratic string deviation
+	StringSharedProb float64 // probability a block's class follows its block index across chips
+	StringScaleSigma float64 // per-block log-normal scale of the string offsets
+	BlockSharedSig   float64 // per-blockIndex offset shared across chips
+	BlockLocalSig    float64 // per-(chip,plane,block) offset
+	BlockLayerSigma  float64 // per-(block,layer-group) idiosyncratic offset
+	LayerClasses     int     // discrete per-block layer-profile classes
+	LayerClassSigma  float64 // magnitude of a layer class's per-group pattern
+	LayerClassShared float64 // probability a block's layer class follows its block index
+	WLStaticSigma    float64 // static per-word-line noise
+	PgmJitterSigma   float64 // temporal measurement jitter
+	PgmStep          float64 // ISPP quantization grid
+	PgmWearCoeff     float64 // µs drift per P/E cycle (negative: wears faster)
+	PgmWearNoise     float64 // extra per-op noise sigma per 1000 P/E cycles
+
+	// Erase latency components.
+	ErsBase        float64
+	ChipErsSigma   float64 // per-chip erase offset
+	ErsCorrCoeff   float64 // coupling of erase offset to block program offset
+	ErsLocalSigma  float64 // erase-only per-block offset
+	ErsSpikeQuant  float64 // block program offset z-score above which a block is a slow-erase spike
+	ErsSpikeMin    float64
+	ErsSpikeMax    float64
+	ErsSpikeSlope  float64 // spike µs per z-score unit beyond the threshold
+	ErsJitterSigma float64
+	ErsStep        float64 // erase-loop quantization grid
+	ErsWearCoeff   float64 // µs drift per P/E cycle (positive: erase slows)
+
+	// Read latency.
+	ReadBase   [NumPageTypes]float64
+	ReadSigma  float64
+	ReadJitter float64
+
+	// Reliability: raw bit error rate model.
+	RBERBase      float64 // at P/E 0, no retention
+	RBERPECoeff   float64 // multiplicative growth per 1000 P/E cycles
+	RBERRetCoeff  float64 // multiplicative growth per retention unit
+	RBERBlockSpan float64 // per-block multiplier spread (log-normal sigma)
+
+	// Endurance: the P/E count at which a block's erase starts failing.
+	EnduranceBase    float64 // median endurance, cycles
+	EnduranceSpan    float64 // log-normal sigma of per-block endurance
+	EnduranceQuality float64 // endurance reduction per z of program offset (slow blocks die sooner)
+}
+
+// DefaultParams returns the calibrated model used throughout the repository.
+func DefaultParams() Params {
+	return Params{
+		Seed:    0x5eed_0001,
+		Layers:  96,
+		Strings: 4,
+
+		Temperature:   25,
+		TempRef:       25,
+		PgmTempCoeff:  -0.6,
+		ErsTempCoeff:  0.35,
+		TempChipSigma: 0.15,
+
+		PgmBase:          1660,
+		LayerAmp:         130,
+		LayerEdgePenalty: 180,
+		LayerGroupSize:   8,
+		LayerGroupSigma:  4,
+		ChipLayerSigma:   4,
+		ChipPgmSigma:     8,
+		StringClasses:    8,
+		StringClassSigma: 7.8,
+		StringIdioSigma:  2.5,
+		StringSharedProb: 0.8,
+		StringScaleSigma: 0.3,
+		BlockSharedSig:   3.2,
+		BlockLocalSig:    5.9,
+		BlockLayerSigma:  3,
+		LayerClasses:     6,
+		LayerClassSigma:  6,
+		LayerClassShared: 0.3,
+		WLStaticSigma:    5.5,
+		PgmJitterSigma:   1.5,
+		PgmStep:          6.1,
+		PgmWearCoeff:     -0.015,
+		PgmWearNoise:     1.0,
+
+		ErsBase:        3400,
+		ChipErsSigma:   5,
+		ErsCorrCoeff:   2.2,
+		ErsLocalSigma:  7.3,
+		ErsSpikeQuant:  1.88,
+		ErsSpikeMin:    40,
+		ErsSpikeMax:    140,
+		ErsSpikeSlope:  80,
+		ErsJitterSigma: 1.0,
+		ErsStep:        10,
+		ErsWearCoeff:   0.02,
+
+		ReadBase:   [NumPageTypes]float64{45, 62, 80},
+		ReadSigma:  2.5,
+		ReadJitter: 0.8,
+
+		RBERBase:      2e-5,
+		RBERPECoeff:   0.9,
+		RBERRetCoeff:  0.35,
+		RBERBlockSpan: 0.25,
+
+		EnduranceBase:    9000,
+		EnduranceSpan:    0.22,
+		EnduranceQuality: 0.18,
+	}
+}
+
+// Validate reports whether the parameters describe a usable model.
+func (p Params) Validate() error {
+	switch {
+	case p.Layers <= 0:
+		return fmt.Errorf("pv: Layers must be positive, got %d", p.Layers)
+	case p.Strings <= 0:
+		return fmt.Errorf("pv: Strings must be positive, got %d", p.Strings)
+	case p.LayerGroupSize <= 0:
+		return fmt.Errorf("pv: LayerGroupSize must be positive, got %d", p.LayerGroupSize)
+	case p.PgmBase <= 0 || p.ErsBase <= 0:
+		return fmt.Errorf("pv: base latencies must be positive")
+	case p.PgmStep < 0 || p.ErsStep < 0:
+		return fmt.Errorf("pv: quantization steps must be non-negative")
+	}
+	return nil
+}
+
+// Domain tags keep the hash streams of independent components disjoint.
+const (
+	domLayerGroup = iota + 1
+	domChipLayer
+	domStringShared
+	domStringLocal
+	domBlockShared
+	domBlockLocal
+	domWLStatic
+	domPgmJitter
+	domChipErs
+	domErsLocal
+	domErsSpike
+	domErsJitter
+	domRead
+	domReadJitter
+	domRBER
+	domWearNoise
+	domStringScale
+	domBlockLayer
+	domStringClassShared
+	domStringClassLocal
+	domStringClassPick
+	domStringClassPattern
+	domLayerClassShared
+	domLayerClassLocal
+	domLayerClassPick
+	domLayerClassPattern
+	domChipPgm
+	domEndurance
+	domTempChip
+)
+
+// Model evaluates the variation model. It is safe for concurrent use.
+type Model struct {
+	p Params
+}
+
+// New returns a model for the given parameters.
+// It panics if the parameters are invalid; use Params.Validate to check.
+func New(p Params) *Model {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &Model{p: p}
+}
+
+// Params returns the model parameters.
+func (m *Model) Params() Params { return m.p }
+
+// layerProfile is the V-shape base profile common to all chips: large
+// apertures (fast cells) in the middle layers, slow cells near the edges.
+func (m *Model) layerProfile(layer int) float64 {
+	n := m.p.Layers
+	if n == 1 {
+		return 0
+	}
+	x := 2*float64(layer)/float64(n-1) - 1 // -1 .. 1
+	v := m.p.LayerAmp * x * x
+	// Edge layers (dummy-adjacent word-lines) carry an extra penalty.
+	switch layer {
+	case 0, n - 1:
+		v += m.p.LayerEdgePenalty
+	case 1, n - 2:
+		v += m.p.LayerEdgePenalty * 0.35
+	}
+	return v
+}
+
+func (m *Model) chipLayerOffset(chip, layer int) float64 {
+	g := layer / m.p.LayerGroupSize
+	flat := m.p.ChipPgmSigma * prng.NormalFromHash(prng.Hash(m.p.Seed, domChipPgm, chip))
+	group := m.p.LayerGroupSigma * prng.NormalFromHash(prng.Hash(m.p.Seed, domLayerGroup, chip, g))
+	fine := m.p.ChipLayerSigma * prng.NormalFromHash(prng.Hash(m.p.Seed, domChipLayer, chip, layer))
+	return flat + group + fine
+}
+
+// StringClass returns the discrete string-pattern class of a block. NAND
+// vendors program word-line groups with one of a few discrete operating
+// parameter sets (§III), so blocks fall into pattern classes rather than
+// having fully idiosyncratic string behaviour; class populations are what
+// keeps similarity matching sustainable across a whole chip. With
+// probability StringSharedProb the class follows the block index (shared
+// across chips — the locality that sequential assembly exploits); otherwise
+// it is chip-local.
+func (m *Model) StringClass(chip, plane, block int) int {
+	if m.p.StringClasses <= 1 {
+		return 0
+	}
+	pick := prng.UnitFromHash(prng.Hash(m.p.Seed, domStringClassPick, chip, plane, block))
+	if pick < m.p.StringSharedProb {
+		return int(prng.Hash(m.p.Seed, domStringClassShared, block) % uint64(m.p.StringClasses))
+	}
+	return int(prng.Hash(m.p.Seed, domStringClassLocal, chip, plane, block) % uint64(m.p.StringClasses))
+}
+
+// stringOffset is the per-string program-latency deviation of one block:
+// the block's class pattern plus a small idiosyncratic deviation, centered
+// per block (the mean is part of the block offset, not the pattern) and
+// stretched by a per-block log-normal scale. Two same-class blocks share the
+// string *ordering*; the scale and the idiosyncratic part are the magnitude
+// detail that the 1-bit eigen sequence and the rank vectors discard but the
+// local-optimal search keeps.
+func (m *Model) stringOffset(c Coord) float64 {
+	class := m.StringClass(c.Chip, c.Plane, c.Block)
+	raw := func(s int) float64 {
+		base := m.p.StringClassSigma * prng.NormalFromHash(prng.Hash(m.p.Seed, domStringClassPattern, class, s))
+		idio := m.p.StringIdioSigma * prng.NormalFromHash(prng.Hash(m.p.Seed, domStringLocal, c.Chip, c.Plane, c.Block, s))
+		return base + idio
+	}
+	sum := 0.0
+	for s := 0; s < m.p.Strings; s++ {
+		sum += raw(s)
+	}
+	centered := raw(c.String) - sum/float64(m.p.Strings)
+	if m.p.StringScaleSigma > 0 {
+		scale := math.Exp(m.p.StringScaleSigma * prng.NormalFromHash(prng.Hash(m.p.Seed, domStringScale, c.Chip, c.Plane, c.Block)))
+		centered *= scale
+	}
+	return centered
+}
+
+// BlockPgmOffset is the block-constant program-latency offset: the shared
+// block-index component plus the per-block local quality. The erase model
+// couples to it, which is why grouping blocks by program similarity also
+// shrinks extra erase latency.
+func (m *Model) BlockPgmOffset(chip, plane, block int) float64 {
+	shared := m.p.BlockSharedSig * prng.NormalFromHash(prng.Hash(m.p.Seed, domBlockShared, block))
+	local := m.p.BlockLocalSig * prng.NormalFromHash(prng.Hash(m.p.Seed, domBlockLocal, chip, plane, block))
+	return shared + local
+}
+
+// LayerClass returns the discrete layer-profile class of a block: which of
+// the vendor's per-layer-group operating-parameter shapes the block follows
+// (§III). Like string classes, layer classes make layer-pattern similarity a
+// population property rather than a per-block accident.
+func (m *Model) LayerClass(chip, plane, block int) int {
+	if m.p.LayerClasses <= 1 {
+		return 0
+	}
+	pick := prng.UnitFromHash(prng.Hash(m.p.Seed, domLayerClassPick, chip, plane, block))
+	if pick < m.p.LayerClassShared {
+		return int(prng.Hash(m.p.Seed, domLayerClassShared, block) % uint64(m.p.LayerClasses))
+	}
+	return int(prng.Hash(m.p.Seed, domLayerClassLocal, chip, plane, block) % uint64(m.p.LayerClasses))
+}
+
+// blockLayerOffset is the per-(block, layer-group) latency component: the
+// block's layer-class pattern plus a small idiosyncratic part. Blocks differ
+// in *which layer bands* run slow — a pattern that full latency matching
+// (the local-optimal search) and per-string layer ranks (PWL-rank) can
+// align, but per-layer string ranks (STR-rank) and the eigen bits cannot
+// see, because it shifts all strings of a layer together.
+func (m *Model) blockLayerOffset(c Coord) float64 {
+	g := c.Layer / m.p.LayerGroupSize
+	v := 0.0
+	if m.p.LayerClassSigma > 0 && m.p.LayerClasses > 1 {
+		class := m.LayerClass(c.Chip, c.Plane, c.Block)
+		v += m.p.LayerClassSigma * prng.NormalFromHash(prng.Hash(m.p.Seed, domLayerClassPattern, class, g))
+	}
+	if m.p.BlockLayerSigma > 0 {
+		v += m.p.BlockLayerSigma * prng.NormalFromHash(prng.Hash(m.p.Seed, domBlockLayer, c.Chip, c.Plane, c.Block, g))
+	}
+	return v
+}
+
+func (m *Model) wlStatic(c Coord) float64 {
+	return m.p.WLStaticSigma * prng.NormalFromHash(prng.Hash(m.p.Seed, domWLStatic, c.Chip, c.Plane, c.Block, c.Layer, c.String))
+}
+
+func quantize(v, step float64) float64 {
+	if step <= 0 {
+		return v
+	}
+	return math.Round(v/step) * step
+}
+
+// tempShift is the latency shift of the current operating temperature for
+// one chip: the global coefficient scaled by the chip's own sensitivity.
+func (m *Model) tempShift(chip int, coeff float64) float64 {
+	dt := m.p.Temperature - m.p.TempRef
+	if dt == 0 || coeff == 0 {
+		return 0
+	}
+	sens := 1 + m.p.TempChipSigma*prng.NormalFromHash(prng.Hash(m.p.Seed, domTempChip, chip))
+	return coeff * dt * sens
+}
+
+// ProgramLatency returns the program latency in µs for one logical word-line
+// at the given P/E cycle count. nonce distinguishes repeated measurements of
+// the same word-line (temporal jitter); pass the chip's operation counter.
+func (m *Model) ProgramLatency(c Coord, pe int, nonce uint64) float64 {
+	v := m.p.PgmBase +
+		m.layerProfile(c.Layer) +
+		m.chipLayerOffset(c.Chip, c.Layer) +
+		m.stringOffset(c) +
+		m.BlockPgmOffset(c.Chip, c.Plane, c.Block) +
+		m.blockLayerOffset(c) +
+		m.wlStatic(c)
+	v += m.p.PgmWearCoeff * float64(pe)
+	v += m.tempShift(c.Chip, m.p.PgmTempCoeff)
+	if m.p.PgmJitterSigma > 0 || m.p.PgmWearNoise > 0 {
+		sig := m.p.PgmJitterSigma + m.p.PgmWearNoise*float64(pe)/1000
+		h := prng.Hash(m.p.Seed, domPgmJitter, c.Chip, c.Plane, c.Block, c.Layer, c.String)
+		v += sig * prng.NormalFromHash(prng.SplitMix64(h^nonce))
+	}
+	v = quantize(v, m.p.PgmStep)
+	if min := m.p.PgmBase * 0.5; v < min {
+		v = min
+	}
+	return v
+}
+
+// ErsSpike returns the deterministic slow-erase spike of a block, or 0.
+// Blocks whose program-quality offset is far in the slow tail are also slow
+// to erase: they are the spike points of Fig. 5 (top). The spike magnitude
+// grows monotonically with the program offset, so pairing blocks by program
+// latency also pairs spikes of similar size.
+func (m *Model) ErsSpike(chip, plane, block int) float64 {
+	sigma := math.Hypot(m.p.BlockSharedSig, m.p.BlockLocalSig)
+	if sigma == 0 {
+		return 0
+	}
+	z := m.BlockPgmOffset(chip, plane, block) / sigma
+	if z < m.p.ErsSpikeQuant {
+		return 0
+	}
+	v := m.p.ErsSpikeMin + (z-m.p.ErsSpikeQuant)*m.p.ErsSpikeSlope
+	if v > m.p.ErsSpikeMax {
+		v = m.p.ErsSpikeMax
+	}
+	return v
+}
+
+// EraseLatency returns the block erase latency in µs at the given P/E count.
+func (m *Model) EraseLatency(chip, plane, block, pe int, nonce uint64) float64 {
+	v := m.p.ErsBase +
+		m.p.ChipErsSigma*prng.NormalFromHash(prng.Hash(m.p.Seed, domChipErs, chip)) +
+		m.p.ErsCorrCoeff*m.BlockPgmOffset(chip, plane, block) +
+		m.p.ErsLocalSigma*prng.NormalFromHash(prng.Hash(m.p.Seed, domErsLocal, chip, plane, block)) +
+		m.ErsSpike(chip, plane, block)
+	v += m.p.ErsWearCoeff * float64(pe)
+	v += m.tempShift(chip, m.p.ErsTempCoeff)
+	if m.p.ErsJitterSigma > 0 {
+		h := prng.Hash(m.p.Seed, domErsJitter, chip, plane, block)
+		v += m.p.ErsJitterSigma * prng.NormalFromHash(prng.SplitMix64(h^nonce))
+	}
+	v = quantize(v, m.p.ErsStep)
+	if min := m.p.ErsBase * 0.5; v < min {
+		v = min
+	}
+	return v
+}
+
+// ReadLatency returns the sense latency in µs of one page (no ECC retries;
+// the flash package adds retry penalties from the RBER model).
+func (m *Model) ReadLatency(c Coord, t PageType, nonce uint64) float64 {
+	if t < 0 || t >= NumPageTypes {
+		panic(fmt.Sprintf("pv: invalid page type %d", int(t)))
+	}
+	v := m.p.ReadBase[t] +
+		m.p.ReadSigma*prng.NormalFromHash(prng.Hash(m.p.Seed, domRead, c.Chip, c.Plane, c.Block, c.Layer, c.String, int(t)))
+	if m.p.ReadJitter > 0 {
+		h := prng.Hash(m.p.Seed, domReadJitter, c.Chip, c.Plane, c.Block)
+		v += m.p.ReadJitter * prng.NormalFromHash(prng.SplitMix64(h^nonce))
+	}
+	if min := m.p.ReadBase[t] * 0.5; v < min {
+		v = min
+	}
+	return v
+}
+
+// Endurance returns the block's P/E endurance limit: the cycle count at
+// which its erase begins to fail and the block must be retired. Endurance is
+// log-normally distributed and anti-correlated with the block's program
+// offset — slow blocks wear out sooner, consistent with the 6.69× cross-chip
+// endurance variability the paper cites from prior characterization.
+func (m *Model) Endurance(chip, plane, block int) int {
+	if m.p.EnduranceBase <= 0 {
+		return math.MaxInt32
+	}
+	sigma := math.Hypot(m.p.BlockSharedSig, m.p.BlockLocalSig)
+	z := 0.0
+	if sigma > 0 {
+		z = m.BlockPgmOffset(chip, plane, block) / sigma
+	}
+	span := m.p.EnduranceSpan * prng.NormalFromHash(prng.Hash(m.p.Seed, domEndurance, chip, plane, block))
+	e := m.p.EnduranceBase * math.Exp(span-m.p.EnduranceQuality*z)
+	if e < 1 {
+		e = 1
+	}
+	return int(e)
+}
+
+// RBER returns the raw bit error rate of a page given the block's wear and
+// retention age (in arbitrary retention units; one HTDR bake step = 1).
+func (m *Model) RBER(c Coord, pe int, retention float64) float64 {
+	blk := math.Exp(m.p.RBERBlockSpan * prng.NormalFromHash(prng.Hash(m.p.Seed, domRBER, c.Chip, c.Plane, c.Block)))
+	r := m.p.RBERBase * blk *
+		math.Exp(m.p.RBERPECoeff*float64(pe)/1000) *
+		math.Exp(m.p.RBERRetCoeff*retention)
+	if r > 0.5 {
+		r = 0.5
+	}
+	return r
+}

@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"superfast/internal/prng"
+)
+
+func uniformJob(cfg Config, nWL int, lat float64) Job {
+	j := Job{MemberLat: make([][]float64, cfg.Lanes())}
+	for l := range j.MemberLat {
+		j.MemberLat[l] = make([]float64, nWL)
+		for w := range j.MemberLat[l] {
+			j.MemberLat[l][w] = lat
+		}
+	}
+	return j
+}
+
+func noisyJob(cfg Config, nWL int, base, spread float64, seed uint64) Job {
+	src := prng.New(seed, 0x51)
+	j := Job{MemberLat: make([][]float64, cfg.Lanes())}
+	for l := range j.MemberLat {
+		j.MemberLat[l] = make([]float64, nWL)
+		for w := range j.MemberLat[l] {
+			j.MemberLat[l][w] = base + spread*src.Float64()
+		}
+	}
+	return j
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Channels = 0 },
+		func(c *Config) { c.ChipsPerChannel = -1 },
+		func(c *Config) { c.PlanesPerChip = 0 },
+		func(c *Config) { c.BusMBps = 0 },
+		func(c *Config) { c.PageBytes = 0 },
+		func(c *Config) { c.QueueDepth = 0 },
+	}
+	for i, mutate := range bad {
+		c := DefaultConfig()
+		mutate(&c)
+		if c.Validate() == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+	}
+}
+
+func TestRunRejectsBadJobs(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := Run(cfg, nil); err == nil {
+		t.Fatal("no jobs should fail")
+	}
+	j := uniformJob(cfg, 4, 1000)
+	j.MemberLat = j.MemberLat[:2]
+	if _, err := Run(cfg, []Job{j}); err == nil {
+		t.Fatal("wrong lane count should fail")
+	}
+	j2 := uniformJob(cfg, 4, 1000)
+	j2.MemberLat[3] = j2.MemberLat[3][:1]
+	if _, err := Run(cfg, []Job{j2}); err == nil {
+		t.Fatal("ragged word-lines should fail")
+	}
+	if _, err := Run(cfg, []Job{uniformJob(cfg, 0, 1000)}); err == nil {
+		t.Fatal("zero word-lines should fail")
+	}
+}
+
+func TestUniformLatencyPerfectUtilizationShape(t *testing.T) {
+	cfg := DefaultConfig()
+	rep, err := Run(cfg, []Job{uniformJob(cfg, 8, 1600)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WordLines != 8 {
+		t.Fatalf("WordLines = %d", rep.WordLines)
+	}
+	// With identical latencies there is no word-line skew; the makespan is
+	// at least 8 programs plus the first transfer.
+	if rep.Makespan < 8*1600 {
+		t.Fatalf("makespan %v too small", rep.Makespan)
+	}
+	if rep.SuperWLLatency < 1600 {
+		t.Fatalf("super-WL latency %v < program time", rep.SuperWLLatency)
+	}
+	if rep.ThroughputMBps <= 0 {
+		t.Fatal("throughput must be positive")
+	}
+}
+
+func TestSkewReducesThroughput(t *testing.T) {
+	cfg := DefaultConfig()
+	const nWL = 16
+	flat, err := Run(cfg, []Job{uniformJob(cfg, nWL, 1700)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same mean latency but spread across members: multi-plane maxima grow,
+	// so throughput drops.
+	skewed, err := Run(cfg, []Job{noisyJob(cfg, nWL, 1500, 400, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skewed.ThroughputMBps >= flat.ThroughputMBps {
+		t.Fatalf("skewed throughput (%v) should be below flat (%v)",
+			skewed.ThroughputMBps, flat.ThroughputMBps)
+	}
+}
+
+func TestQueueDepthHidesSyncIdle(t *testing.T) {
+	cfg := DefaultConfig()
+	jobs := func() []Job {
+		out := make([]Job, 6)
+		for i := range out {
+			out[i] = noisyJob(cfg, 8, 1500, 300, uint64(i+1))
+		}
+		return out
+	}
+	cfg.QueueDepth = 1
+	qd1, err := Run(cfg, jobs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.QueueDepth = 3
+	qd3, err := Run(cfg, jobs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qd3.Makespan >= qd1.Makespan {
+		t.Fatalf("deeper queue should shorten makespan: qd1=%v qd3=%v", qd1.Makespan, qd3.Makespan)
+	}
+	if qd3.ChipUtilization <= qd1.ChipUtilization {
+		t.Fatalf("deeper queue should raise utilization: qd1=%v qd3=%v",
+			qd1.ChipUtilization, qd3.ChipUtilization)
+	}
+}
+
+func TestUtilizationBounded(t *testing.T) {
+	f := func(seed uint64, qd uint8) bool {
+		cfg := DefaultConfig()
+		cfg.QueueDepth = 1 + int(qd)%4
+		jobs := []Job{
+			noisyJob(cfg, 6, 1400, 500, seed),
+			noisyJob(cfg, 6, 1400, 500, seed+1),
+		}
+		rep, err := Run(cfg, jobs)
+		if err != nil {
+			return false
+		}
+		return rep.ChipUtilization > 0 && rep.ChipUtilization <= 1.0+1e-9 &&
+			rep.Makespan > 0 && !math.IsNaN(rep.ThroughputMBps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	jobs := []Job{noisyJob(cfg, 10, 1500, 300, 7), noisyJob(cfg, 10, 1500, 300, 8)}
+	a, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("simulation not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func BenchmarkRun(b *testing.B) {
+	cfg := DefaultConfig()
+	jobs := make([]Job, 8)
+	for i := range jobs {
+		jobs[i] = noisyJob(cfg, 48, 1500, 300, uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg, jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,257 @@
+// Package ssd models the device level of the storage stack: a host
+// interface in front of the FTL with a simulated microsecond clock, bus
+// transfer costs and queueing delay, producing host-visible response times.
+// It is the layer on which the end-to-end effect of superblock organization
+// (host writes stalling on the slowest member of a multi-plane program)
+// becomes visible as I/O latency.
+package ssd
+
+import (
+	"fmt"
+
+	"superfast/internal/flash"
+	"superfast/internal/ftl"
+)
+
+// QueueModel selects how the device turns the FTL's flash work into time.
+type QueueModel int
+
+// Queue models.
+const (
+	// Serialized executes requests strictly in order: each request's flash
+	// work occupies the whole device (the pessimistic bound, and the right
+	// model for a queue-depth-1 host).
+	Serialized QueueModel = iota
+	// PerChip schedules each request's chip operations on per-chip queues:
+	// requests touching different chips overlap, as with NCQ. Operation
+	// order is preserved per chip; cross-chip dependencies inside one
+	// request are approximated as independent (an optimistic bound).
+	PerChip
+)
+
+func (q QueueModel) String() string {
+	if q == PerChip {
+		return "per-chip"
+	}
+	return "serialized"
+}
+
+// Config parameterizes the device.
+type Config struct {
+	FTL     ftl.Config
+	BusMBps float64 // host interface bandwidth (SATA 3: ~550 MB/s)
+	Queue   QueueModel
+}
+
+// DefaultConfig returns a SATA-3-like device over the default FTL.
+func DefaultConfig() Config {
+	return Config{FTL: ftl.DefaultConfig(), BusMBps: 550}
+}
+
+// OpKind enumerates host operations.
+type OpKind int
+
+// Host operation kinds.
+const (
+	OpWrite OpKind = iota
+	OpRead
+	OpTrim
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpWrite:
+		return "write"
+	case OpRead:
+		return "read"
+	case OpTrim:
+		return "trim"
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// Request is one host command.
+type Request struct {
+	Kind    OpKind
+	LPN     int64
+	Data    []byte   // writes only; nil writes a zero-length payload
+	Hint    ftl.Hint // placement hint for writes
+	Arrival float64  // µs on the simulated clock; 0 = now
+}
+
+// Completion reports a serviced request.
+type Completion struct {
+	Start   float64 // service start time (after queueing)
+	Finish  float64
+	Wait    float64 // time spent queued
+	Service float64 // flash + bus time
+	Latency float64 // Wait + Service (host-visible response time)
+	Data    []byte  // read payloads
+}
+
+// Stats aggregates device activity.
+type Stats struct {
+	Requests  uint64
+	Reads     uint64
+	Writes    uint64
+	Trims     uint64
+	Latencies []float64 // response time per request, µs
+}
+
+// Device is the simulated SSD. Not safe for concurrent use.
+type Device struct {
+	f        *ftl.FTL
+	cfg      Config
+	now      float64 // simulated clock, µs
+	busy     float64 // device busy until
+	chipBusy []float64
+
+	stats Stats
+}
+
+// New builds a device over the given flash array.
+func New(arr *flash.Array, cfg Config) (*Device, error) {
+	if cfg.BusMBps <= 0 {
+		return nil, fmt.Errorf("ssd: bus bandwidth must be positive, got %v", cfg.BusMBps)
+	}
+	f, err := ftl.New(arr, cfg.FTL)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Queue == PerChip {
+		f.EnableOpJournal()
+	}
+	return &Device{f: f, cfg: cfg, chipBusy: make([]float64, arr.Geometry().Chips)}, nil
+}
+
+// FTL exposes the underlying translation layer.
+func (d *Device) FTL() *ftl.FTL { return d.f }
+
+// Now returns the simulated clock.
+func (d *Device) Now() float64 { return d.now }
+
+// Stats returns a copy of the device statistics.
+func (d *Device) Stats() Stats {
+	s := d.stats
+	s.Latencies = append([]float64(nil), d.stats.Latencies...)
+	return s
+}
+
+// transferTime is the host-bus cost of moving one page.
+func (d *Device) transferTime(bytes int) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return float64(bytes) / d.cfg.BusMBps // bytes / (MB/s) = µs
+}
+
+// Submit services one request on the simulated clock and returns its
+// completion. Requests are serviced in submission order (one deep queue:
+// the FTL serializes flash work; queueing delay models a busy device).
+func (d *Device) Submit(req Request) (Completion, error) {
+	if req.Arrival > d.now {
+		d.now = req.Arrival
+	}
+	start := d.now
+	if d.busy > start {
+		start = d.busy
+	}
+	d.f.TakeOps() // discard anything a prior failed call left behind
+	var service float64
+	var data []byte
+	switch req.Kind {
+	case OpWrite:
+		res, err := d.f.WriteHinted(req.LPN, req.Data, req.Hint)
+		if err != nil {
+			return Completion{}, err
+		}
+		service = d.transferTime(len(req.Data)) + res.Latency
+		d.stats.Writes++
+	case OpRead:
+		res, err := d.f.Read(req.LPN)
+		if err != nil {
+			return Completion{}, err
+		}
+		data = res.Data
+		service = res.Latency + d.transferTime(len(res.Data))
+		d.stats.Reads++
+	case OpTrim:
+		if err := d.f.Trim(req.LPN); err != nil {
+			return Completion{}, err
+		}
+		service = 1 // command overhead only
+		d.stats.Trims++
+	default:
+		return Completion{}, fmt.Errorf("ssd: unknown op kind %v", req.Kind)
+	}
+	var finish float64
+	if d.cfg.Queue == PerChip {
+		// Schedule this request's chip work on per-chip queues: it starts
+		// at its arrival (not behind unrelated requests) and completes when
+		// the last of its chip operations completes.
+		reqStart := req.Arrival
+		if reqStart > d.now {
+			d.now = reqStart
+		}
+		end := reqStart
+		for _, op := range d.f.TakeOps() {
+			s := reqStart
+			if d.chipBusy[op.Chip] > s {
+				s = d.chipBusy[op.Chip]
+			}
+			e := s + op.Dur
+			d.chipBusy[op.Chip] = e
+			if e > end {
+				end = e
+			}
+		}
+		xfer := d.transferTime(len(req.Data)) + d.transferTime(len(data))
+		if req.Kind == OpTrim {
+			xfer = 1
+		}
+		finish = end + xfer
+		start = reqStart
+		service = finish - reqStart
+	} else {
+		finish = start + service
+	}
+	d.busy = finish
+	if finish > d.now {
+		// The simulated clock follows completions: submitting work takes
+		// the device (and the caller issuing sequentially) to its finish.
+		d.now = finish
+	}
+	c := Completion{
+		Start:   start,
+		Finish:  finish,
+		Wait:    start - req.Arrival,
+		Service: service,
+		Latency: finish - req.Arrival,
+		Data:    data,
+	}
+	if req.Arrival == 0 {
+		c.Wait = 0
+		c.Latency = service
+	}
+	d.stats.Requests++
+	d.stats.Latencies = append(d.stats.Latencies, c.Latency)
+	return c, nil
+}
+
+// PageSize returns the device's page size in bytes.
+func (d *Device) PageSize() int { return d.f.Geometry().PageSize }
+
+// FillSequential writes every logical page once with the given payload
+// generator — a convenience for warming the device before measurements.
+func (d *Device) FillSequential(payload func(lpn int64) []byte) error {
+	for lpn := int64(0); lpn < d.f.Capacity(); lpn++ {
+		var data []byte
+		if payload != nil {
+			data = payload(lpn)
+		}
+		if _, err := d.Submit(Request{Kind: OpWrite, LPN: lpn, Data: data}); err != nil {
+			return fmt.Errorf("ssd: fill at lpn %d: %w", lpn, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,272 @@
+package ssd
+
+import (
+	"testing"
+
+	"superfast/internal/flash"
+	"superfast/internal/pv"
+)
+
+func testDevice(t testing.TB) *Device {
+	t.Helper()
+	g := flash.TestGeometry()
+	g.BlocksPerPlane = 12
+	g.Layers = 12
+	p := pv.DefaultParams()
+	p.Layers = g.Layers
+	p.Strings = g.Strings
+	arr, err := flash.NewArray(g, pv.New(p), flash.DefaultECC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.FTL.Overprovision = 0.25
+	d, err := New(arr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewValidation(t *testing.T) {
+	g := flash.TestGeometry()
+	p := pv.DefaultParams()
+	p.Layers = g.Layers
+	p.Strings = g.Strings
+	arr := flash.MustNewArray(g, pv.New(p), flash.DefaultECC())
+	cfg := DefaultConfig()
+	cfg.BusMBps = 0
+	if _, err := New(arr, cfg); err == nil {
+		t.Fatal("zero bandwidth should fail")
+	}
+}
+
+func TestWriteReadRequest(t *testing.T) {
+	d := testDevice(t)
+	w, err := d.Submit(Request{Kind: OpWrite, LPN: 1, Data: []byte("hello")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Latency < 0 {
+		t.Fatalf("latency %v", w.Latency)
+	}
+	r, err := d.Submit(Request{Kind: OpRead, LPN: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(r.Data) != "hello" {
+		t.Fatalf("read %q", r.Data)
+	}
+}
+
+func TestTrimRequest(t *testing.T) {
+	d := testDevice(t)
+	if _, err := d.Submit(Request{Kind: OpWrite, LPN: 2, Data: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Submit(Request{Kind: OpTrim, LPN: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Submit(Request{Kind: OpRead, LPN: 2}); err == nil {
+		t.Fatal("read after trim should fail")
+	}
+}
+
+func TestUnknownOp(t *testing.T) {
+	d := testDevice(t)
+	if _, err := d.Submit(Request{Kind: OpKind(9)}); err == nil {
+		t.Fatal("unknown op should fail")
+	}
+}
+
+func TestQueueingDelay(t *testing.T) {
+	d := testDevice(t)
+	// Two requests arriving at the same instant: the second waits for the
+	// first to finish.
+	a, err := d.Submit(Request{Kind: OpWrite, LPN: 0, Data: []byte("a"), Arrival: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.Submit(Request{Kind: OpWrite, LPN: 1, Data: []byte("b"), Arrival: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Start < a.Finish {
+		t.Fatalf("second request started at %v before first finished at %v", b.Start, a.Finish)
+	}
+	if b.Wait <= 0 {
+		t.Fatalf("second request should have queued, wait = %v", b.Wait)
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	d := testDevice(t)
+	if _, err := d.Submit(Request{Kind: OpWrite, LPN: 0, Data: []byte("x"), Arrival: 500}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Now() < 500 {
+		t.Fatalf("clock %v should be at least the arrival time", d.Now())
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	d := testDevice(t)
+	if _, err := d.Submit(Request{Kind: OpWrite, LPN: 0, Data: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Submit(Request{Kind: OpRead, LPN: 0}); err != nil {
+		t.Fatal(err)
+	}
+	s := d.Stats()
+	if s.Requests != 2 || s.Writes != 1 || s.Reads != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	if len(s.Latencies) != 2 {
+		t.Fatalf("latencies %v", s.Latencies)
+	}
+}
+
+func TestFillSequential(t *testing.T) {
+	d := testDevice(t)
+	if err := d.FillSequential(func(lpn int64) []byte { return []byte{byte(lpn)} }); err != nil {
+		t.Fatal(err)
+	}
+	r, err := d.Submit(Request{Kind: OpRead, LPN: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Data) != 1 || r.Data[0] != 5 {
+		t.Fatalf("read %v", r.Data)
+	}
+	if err := d.FTL().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteFlushLatencySpikes(t *testing.T) {
+	// Most writes buffer quickly; every (lanes × 3)-th write triggers a
+	// multi-plane program whose latency dominates.
+	d := testDevice(t)
+	perWL := d.FTL().Geometry().Lanes() * flash.PagesPerLWL
+	var flushLat, bufLat float64
+	for i := 0; i < perWL*3; i++ {
+		c, err := d.Submit(Request{Kind: OpWrite, LPN: int64(i), Data: []byte("x")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (i+1)%perWL == 0 {
+			flushLat += c.Service
+		} else {
+			bufLat += c.Service
+		}
+	}
+	if flushLat <= bufLat {
+		t.Fatalf("flush writes (%v) should cost more than buffered writes (%v)", flushLat, bufLat)
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpWrite.String() != "write" || OpRead.String() != "read" || OpTrim.String() != "trim" {
+		t.Fatal("op names wrong")
+	}
+	if OpKind(7).String() != "OpKind(7)" {
+		t.Fatal("unknown op formatting wrong")
+	}
+}
+
+func TestPageSize(t *testing.T) {
+	d := testDevice(t)
+	if d.PageSize() != d.FTL().Geometry().PageSize {
+		t.Fatal("PageSize mismatch")
+	}
+}
+
+func perChipDevice(t testing.TB) *Device {
+	t.Helper()
+	g := flash.TestGeometry()
+	g.BlocksPerPlane = 12
+	g.Layers = 12
+	p := pv.DefaultParams()
+	p.Layers = g.Layers
+	p.Strings = g.Strings
+	arr := flash.MustNewArray(g, pv.New(p), flash.DefaultECC())
+	cfg := DefaultConfig()
+	cfg.FTL.Overprovision = 0.25
+	cfg.Queue = PerChip
+	d, err := New(arr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestPerChipReadsOverlap(t *testing.T) {
+	// Two reads hitting different chips at the same arrival time should
+	// overlap under the per-chip model but serialize under the default.
+	prepare := func(d *Device) (lpnA, lpnB int64) {
+		if err := d.FillSequential(nil); err != nil {
+			t.Fatal(err)
+		}
+		// LPNs stripe lane-major with 3 pages per lane; the test geometry
+		// has 2 planes per chip, so LPN 0 is on chip 0 and LPN 6 (lane 2)
+		// on chip 1.
+		return 0, 6
+	}
+	serial := testDevice(t)
+	a, b := prepare(serial)
+	c1, err := serial.Submit(Request{Kind: OpRead, LPN: a, Arrival: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := serial.Submit(Request{Kind: OpRead, LPN: b, Arrival: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialSpan := c2.Finish - 1e9
+
+	par := perChipDevice(t)
+	a, b = prepare(par)
+	p1, err := par.Submit(Request{Kind: OpRead, LPN: a, Arrival: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := par.Submit(Request{Kind: OpRead, LPN: b, Arrival: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parSpan := p2.Finish - 1e9
+	if p1.Finish <= 1e9 {
+		t.Fatalf("read finished before arrival: %v", p1.Finish)
+	}
+	if parSpan >= serialSpan {
+		t.Fatalf("per-chip span (%v) should beat serialized span (%v)", parSpan, serialSpan)
+	}
+	if c1.Latency <= 0 {
+		t.Fatal("serialized latency missing")
+	}
+}
+
+func TestPerChipSameChipSerializes(t *testing.T) {
+	d := perChipDevice(t)
+	if err := d.FillSequential(nil); err != nil {
+		t.Fatal(err)
+	}
+	// Two reads of the same LPN hit the same chip: the second queues.
+	c1, err := d.Submit(Request{Kind: OpRead, LPN: 0, Arrival: 2e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := d.Submit(Request{Kind: OpRead, LPN: 0, Arrival: 2e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Finish <= c1.Finish {
+		t.Fatalf("same-chip reads should serialize: %v vs %v", c2.Finish, c1.Finish)
+	}
+}
+
+func TestQueueModelString(t *testing.T) {
+	if Serialized.String() != "serialized" || PerChip.String() != "per-chip" {
+		t.Fatal("queue model names wrong")
+	}
+}

@@ -1,0 +1,315 @@
+// Package stats provides the small statistics and rendering toolkit the
+// experiment harness uses: summaries, histograms, CDF points, and plain-text
+// / CSV table rendering in the shape of the paper's tables and figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds the moments and order statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64
+	Min    float64
+	Max    float64
+	Median float64
+	P95    float64
+	P99    float64
+}
+
+// Summarize computes a Summary of the sample. An empty sample yields zeros.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum, sumSq float64
+	for _, v := range xs {
+		sum += v
+		sumSq += v * v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	n := float64(len(xs))
+	s.Mean = sum / n
+	variance := sumSq/n - s.Mean*s.Mean
+	if variance < 0 {
+		variance = 0
+	}
+	s.Std = math.Sqrt(variance)
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Median = Quantile(sorted, 0.5)
+	s.P95 = Quantile(sorted, 0.95)
+	s.P99 = Quantile(sorted, 0.99)
+	return s
+}
+
+// Quantile returns the q-quantile (0..1) of an ascending-sorted sample,
+// with linear interpolation.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Histogram is a fixed-width-bin histogram.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	Under  int // samples below Lo
+	Over   int // samples at or above Hi
+}
+
+// NewHistogram builds a histogram of xs with the given number of bins over
+// [lo, hi). It panics if bins <= 0 or hi <= lo.
+func NewHistogram(xs []float64, lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic(fmt.Sprintf("stats: %d bins", bins))
+	}
+	if hi <= lo {
+		panic(fmt.Sprintf("stats: histogram range [%v, %v)", lo, hi))
+	}
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+	width := (hi - lo) / float64(bins)
+	for _, v := range xs {
+		switch {
+		case v < lo:
+			h.Under++
+		case v >= hi:
+			h.Over++
+		default:
+			h.Counts[int((v-lo)/width)]++
+		}
+	}
+	return h
+}
+
+// BinCenter returns the center value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*width
+}
+
+// Total returns the number of samples inside the histogram range.
+func (h *Histogram) Total() int {
+	t := 0
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// Render draws the histogram as rows of "center count bar" text, the shape
+// of the paper's Fig. 13 distribution plot.
+func (h *Histogram) Render(width int) string {
+	max := 0
+	for _, c := range h.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.Counts {
+		bar := 0
+		if max > 0 {
+			bar = c * width / max
+		}
+		fmt.Fprintf(&b, "%12.1f %6d %s\n", h.BinCenter(i), c, strings.Repeat("#", bar))
+	}
+	return b.String()
+}
+
+// Table is a simple column-aligned text table with a CSV rendering.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header row.
+// Cells containing commas or quotes are quoted.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteString(`"` + strings.ReplaceAll(c, `"`, `""`) + `"`)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// FmtUS formats a microsecond quantity the way the paper prints it
+// (thousands separators, two decimals): 13,084.17.
+func FmtUS(v float64) string {
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	whole := int64(v)
+	frac := v - float64(whole)
+	digits := fmt.Sprintf("%d", whole)
+	var b strings.Builder
+	if neg {
+		b.WriteByte('-')
+	}
+	for i, d := range digits {
+		if i > 0 && (len(digits)-i)%3 == 0 {
+			b.WriteByte(',')
+		}
+		b.WriteRune(d)
+	}
+	fmt.Fprintf(&b, ".%02d", int(math.Round(frac*100))%100)
+	return b.String()
+}
+
+// FmtPct formats a ratio as a percentage with two decimals: 16.61%.
+func FmtPct(ratio float64) string {
+	return fmt.Sprintf("%.2f%%", ratio*100)
+}
+
+// Improvement returns the relative reduction of v versus the baseline:
+// (baseline − v) / baseline. A zero baseline yields 0.
+func Improvement(baseline, v float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return (baseline - v) / baseline
+}
+
+// Series is a named (x, y) sequence — one line of a paper figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// SeriesCSV renders the series as CSV with a header row.
+func SeriesCSV(xLabel string, series []Series) string {
+	var b strings.Builder
+	b.WriteString(xLabel)
+	for _, s := range series {
+		b.WriteByte(',')
+		b.WriteString(strings.ReplaceAll(s.Name, ",", ";"))
+	}
+	b.WriteByte('\n')
+	if len(series) == 0 {
+		return b.String()
+	}
+	for i := range series[0].X {
+		fmt.Fprintf(&b, "%g", series[0].X[i])
+		for _, s := range series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, ",%.4f", s.Y[i])
+			} else {
+				b.WriteByte(',')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderSeries prints one row per x with a column per series, the shape used
+// for the paper's line figures (Fig. 14, Fig. 15).
+func RenderSeries(xLabel string, series []Series) string {
+	var b strings.Builder
+	b.WriteString(xLabel)
+	for _, s := range series {
+		fmt.Fprintf(&b, "\t%s", s.Name)
+	}
+	b.WriteByte('\n')
+	if len(series) == 0 {
+		return b.String()
+	}
+	for i := range series[0].X {
+		fmt.Fprintf(&b, "%g", series[0].X[i])
+		for _, s := range series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, "\t%.2f", s.Y[i])
+			} else {
+				b.WriteString("\t")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,229 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("unexpected summary %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2)) > 1e-9 {
+		t.Fatalf("Std = %v, want sqrt(2)", s.Std)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary should be zero: %+v", s)
+	}
+}
+
+func TestSummarizeProperties(t *testing.T) {
+	f := func(xs []float64) bool {
+		for i, v := range xs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				xs[i] = 0
+			}
+			// Keep magnitudes where sumSq cannot overflow.
+			xs[i] = math.Mod(xs[i], 1e6)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Mean+1e-9*math.Abs(s.Mean)+1e-9 &&
+			s.Mean <= s.Max+1e-9*math.Abs(s.Max)+1e-9 &&
+			s.Min <= s.Median && s.Median <= s.Max &&
+			s.Std >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if q := Quantile(xs, 0); q != 10 {
+		t.Errorf("q0 = %v", q)
+	}
+	if q := Quantile(xs, 1); q != 40 {
+		t.Errorf("q1 = %v", q)
+	}
+	if q := Quantile(xs, 0.5); q != 25 {
+		t.Errorf("q0.5 = %v, want 25", q)
+	}
+	if q := Quantile(nil, 0.5); q != 0 {
+		t.Errorf("empty quantile = %v", q)
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	f := func(xs []float64, a, b float64) bool {
+		for i, v := range xs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				xs[i] = 0
+			}
+		}
+		sort.Float64s(xs)
+		qa, qb := math.Abs(math.Mod(a, 1)), math.Abs(math.Mod(b, 1))
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return Quantile(xs, qa) <= Quantile(xs, qb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram([]float64{0.5, 1.5, 1.6, 9.9, -1, 10, 11}, 0, 10, 10)
+	if h.Counts[0] != 1 || h.Counts[1] != 2 || h.Counts[9] != 1 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Fatalf("under/over = %d/%d", h.Under, h.Over)
+	}
+	if h.Total() != 4 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if c := h.BinCenter(0); c != 0.5 {
+		t.Fatalf("BinCenter(0) = %v", c)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, tc := range []func(){
+		func() { NewHistogram(nil, 0, 10, 0) },
+		func() { NewHistogram(nil, 10, 10, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			tc()
+		}()
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram([]float64{1, 1, 1, 5}, 0, 10, 2)
+	out := h.Render(10)
+	if !strings.Contains(out, "##########") {
+		t.Fatalf("largest bin should have a full bar:\n%s", out)
+	}
+	lines := strings.Count(out, "\n")
+	if lines != 2 {
+		t.Fatalf("got %d lines, want 2", lines)
+	}
+}
+
+func TestHistogramConservation(t *testing.T) {
+	f := func(xs []float64) bool {
+		for i, v := range xs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				xs[i] = 0
+			}
+		}
+		h := NewHistogram(xs, -100, 100, 7)
+		return h.Total()+h.Under+h.Over == len(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tb := Table{Title: "T", Headers: []string{"Method", "Value"}}
+	tb.AddRow("RANDOM", "13,084.17")
+	tb.AddRow("OPTIMAL", "10,533.44")
+	out := tb.String()
+	if !strings.Contains(out, "T\n") || !strings.Contains(out, "RANDOM") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := Table{Headers: []string{"a", "b"}}
+	tb.AddRow("x,y", `q"r`)
+	csv := tb.CSV()
+	want := "a,b\n\"x,y\",\"q\"\"r\"\n"
+	if csv != want {
+		t.Fatalf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestFmtUS(t *testing.T) {
+	cases := map[float64]string{
+		13084.17:  "13,084.17",
+		41.71:     "41.71",
+		0:         "0.00",
+		1234567.5: "1,234,567.50",
+		-12.5:     "-12.50",
+	}
+	for in, want := range cases {
+		if got := FmtUS(in); got != want {
+			t.Errorf("FmtUS(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFmtPct(t *testing.T) {
+	if got := FmtPct(0.1661); got != "16.61%" {
+		t.Fatalf("FmtPct = %q", got)
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	if got := Improvement(13084.17, 10911.53); math.Abs(got-0.1661) > 0.0001 {
+		t.Fatalf("Improvement = %v, want ≈0.1661", got)
+	}
+	if Improvement(0, 5) != 0 {
+		t.Fatal("zero baseline should yield 0")
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	out := RenderSeries("pe", []Series{
+		{Name: "random", X: []float64{0, 200}, Y: []float64{41.7, 42.0}},
+		{Name: "qstr", X: []float64{0, 200}, Y: []float64{25.1, 25.3}},
+	})
+	if !strings.Contains(out, "pe\trandom\tqstr") {
+		t.Fatalf("header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "0\t41.70\t25.10") {
+		t.Fatalf("row wrong:\n%s", out)
+	}
+	if got := RenderSeries("x", nil); got != "x\n" {
+		t.Fatalf("empty series render = %q", got)
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	out := SeriesCSV("pe", []Series{
+		{Name: "a,b", X: []float64{0, 200}, Y: []float64{1.5, 2.5}},
+		{Name: "c", X: []float64{0, 200}, Y: []float64{3}},
+	})
+	if !strings.Contains(out, "pe,a;b,c") {
+		t.Fatalf("header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "0,1.5000,3.0000") {
+		t.Fatalf("row wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "200,2.5000,\n") {
+		t.Fatalf("short series padding wrong:\n%s", out)
+	}
+}

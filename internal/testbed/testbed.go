@@ -1,0 +1,200 @@
+// Package testbed describes the paper's exact hardware platform (Tables III
+// and IV): four SMI SM2259XT SATA controllers driving eight NAND packages —
+// four double-die (DDP) and four quad-die (QDP) — across channels and chip
+// enables, with the per-package block ranges the authors characterized. It
+// maps that physical inventory onto the simulator's flat chip space so
+// experiments can be run against the faithful configuration.
+package testbed
+
+import (
+	"fmt"
+
+	"superfast/internal/chamber"
+	"superfast/internal/flash"
+)
+
+// PackageKind distinguishes die stacking.
+type PackageKind int
+
+// Package kinds.
+const (
+	DDP PackageKind = iota // double-die package (2 chip enables)
+	QDP                    // quad-die package (4 chip enables)
+)
+
+func (k PackageKind) String() string {
+	if k == DDP {
+		return "DDP"
+	}
+	return "QDP"
+}
+
+// Dies returns the number of dies (chip enables) in a package of this kind.
+func (k PackageKind) Dies() int {
+	if k == DDP {
+		return 2
+	}
+	return 4
+}
+
+// Package is one NAND package on the testbed.
+type Package struct {
+	Name       string
+	Kind       PackageKind
+	Controller int // SM2259XT index
+	Channel    int
+	BlockLo    int // first characterized block (inclusive)
+	BlockHi    int // last characterized block (inclusive)
+}
+
+// Dies returns the package's die count.
+func (p Package) Dies() int { return p.Kind.Dies() }
+
+// Testbed is a set of packages with a mapping onto simulator chips.
+type Testbed struct {
+	Packages []Package
+}
+
+// Paper returns the configuration of Table IV: two DDP and two QDP packages
+// per block-range group, 24 chips total, characterized over the first 1,600
+// blocks (group 1) and the last 1,600 blocks (group 2).
+func Paper() Testbed {
+	return Testbed{Packages: []Package{
+		{Name: "DDP #1-1", Kind: DDP, Controller: 0, Channel: 0, BlockLo: 4, BlockHi: 1603},
+		{Name: "DDP #1-2", Kind: DDP, Controller: 0, Channel: 2, BlockLo: 1604, BlockHi: 3275},
+		{Name: "DDP #2-1", Kind: DDP, Controller: 1, Channel: 0, BlockLo: 4, BlockHi: 1603},
+		{Name: "DDP #2-2", Kind: DDP, Controller: 1, Channel: 2, BlockLo: 1604, BlockHi: 3275},
+		{Name: "QDP #1-1", Kind: QDP, Controller: 2, Channel: 0, BlockLo: 4, BlockHi: 1603},
+		{Name: "QDP #1-2", Kind: QDP, Controller: 2, Channel: 2, BlockLo: 1604, BlockHi: 3203},
+		{Name: "QDP #2-1", Kind: QDP, Controller: 3, Channel: 0, BlockLo: 4, BlockHi: 1603},
+		{Name: "QDP #2-2", Kind: QDP, Controller: 3, Channel: 2, BlockLo: 1604, BlockHi: 3203},
+	}}
+}
+
+// Validate checks the inventory for consistency.
+func (t Testbed) Validate() error {
+	if len(t.Packages) == 0 {
+		return fmt.Errorf("testbed: no packages")
+	}
+	seen := map[string]bool{}
+	for _, p := range t.Packages {
+		if p.Name == "" {
+			return fmt.Errorf("testbed: unnamed package")
+		}
+		if seen[p.Name] {
+			return fmt.Errorf("testbed: duplicate package %q", p.Name)
+		}
+		seen[p.Name] = true
+		if p.BlockHi < p.BlockLo || p.BlockLo < 0 {
+			return fmt.Errorf("testbed: package %q has block range [%d, %d]", p.Name, p.BlockLo, p.BlockHi)
+		}
+		if p.Kind != DDP && p.Kind != QDP {
+			return fmt.Errorf("testbed: package %q has unknown kind", p.Name)
+		}
+	}
+	return nil
+}
+
+// Chips returns the total die count — the simulator chip count.
+func (t Testbed) Chips() int {
+	n := 0
+	for _, p := range t.Packages {
+		n += p.Dies()
+	}
+	return n
+}
+
+// Die identifies one die of one package, with its simulator chip id.
+type Die struct {
+	Package Package
+	CE      int // chip enable within the package
+	Chip    int // flat simulator chip index
+}
+
+// Dies enumerates every die in inventory order.
+func (t Testbed) Dies() []Die {
+	var out []Die
+	chip := 0
+	for _, p := range t.Packages {
+		for ce := 0; ce < p.Dies(); ce++ {
+			out = append(out, Die{Package: p, CE: ce, Chip: chip})
+			chip++
+		}
+	}
+	return out
+}
+
+// Geometry builds the flash geometry covering the testbed: one simulator
+// chip per die, block space large enough for the highest characterized
+// block, and the paper's 96-layer × 4-string TLC blocks.
+func (t Testbed) Geometry(planes int) flash.Geometry {
+	maxBlock := 0
+	for _, p := range t.Packages {
+		if p.BlockHi > maxBlock {
+			maxBlock = p.BlockHi
+		}
+	}
+	return flash.Geometry{
+		Chips:          t.Chips(),
+		PlanesPerChip:  planes,
+		BlocksPerPlane: maxBlock + 1,
+		Layers:         96,
+		Strings:        4,
+		PageSize:       16 * 1024,
+		SpareSize:      2 * 1024,
+	}
+}
+
+// MeasurementGroup is a set of dies characterized over a common block range
+// (the paper's two chip groups, §VI-A).
+type MeasurementGroup struct {
+	Dies    []Die
+	BlockLo int
+	BlockHi int // inclusive
+}
+
+// Blocks returns the group's block indices.
+func (g MeasurementGroup) Blocks() []int {
+	return chamber.BlockRange(g.BlockLo, g.BlockHi+1)
+}
+
+// Groups partitions the dies by their package block ranges: all dies that
+// share a characterization range measure together. The common range of a
+// group is the intersection of its packages' ranges.
+func (t Testbed) Groups() []MeasurementGroup {
+	byRange := map[[2]int]*MeasurementGroup{}
+	var order [][2]int
+	for _, d := range t.Dies() {
+		key := [2]int{d.Package.BlockLo, d.Package.BlockHi}
+		grp := byRange[key]
+		if grp == nil {
+			grp = &MeasurementGroup{BlockLo: d.Package.BlockLo, BlockHi: d.Package.BlockHi}
+			byRange[key] = grp
+			order = append(order, key)
+		}
+		grp.Dies = append(grp.Dies, d)
+	}
+	out := make([]MeasurementGroup, 0, len(byRange))
+	for _, key := range order {
+		out = append(out, *byRange[key])
+	}
+	return out
+}
+
+// LaneGroups converts a measurement group into chamber lane groups of the
+// given size over the dies' plane-0 lanes, keeping dies of distinct
+// packages together where possible (cross-chip variation is the target).
+func (g MeasurementGroup) LaneGroups(geo flash.Geometry, size int) []chamber.LaneGroup {
+	if size <= 0 {
+		return nil
+	}
+	lanes := make([]int, len(g.Dies))
+	for i, d := range g.Dies {
+		lanes[i] = d.Chip * geo.PlanesPerChip
+	}
+	var groups []chamber.LaneGroup
+	for i := 0; i+size <= len(lanes); i += size {
+		groups = append(groups, chamber.LaneGroup{Lanes: append([]int(nil), lanes[i:i+size]...)})
+	}
+	return groups
+}

@@ -1,0 +1,149 @@
+package testbed
+
+import (
+	"testing"
+)
+
+func TestPaperInventory(t *testing.T) {
+	tb := Paper()
+	if err := tb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Table IV: 4 DDP packages (2 dies) + 4 QDP packages (4 dies) = 24
+	// chips, matching §VI-A's "24 3D NAND flash memory chips".
+	if got := tb.Chips(); got != 24 {
+		t.Fatalf("Chips = %d, want 24", got)
+	}
+	if len(tb.Packages) != 8 {
+		t.Fatalf("%d packages, want 8", len(tb.Packages))
+	}
+	ddp, qdp := 0, 0
+	for _, p := range tb.Packages {
+		switch p.Kind {
+		case DDP:
+			ddp++
+			if p.Dies() != 2 {
+				t.Errorf("%s: DDP should have 2 dies", p.Name)
+			}
+		case QDP:
+			qdp++
+			if p.Dies() != 4 {
+				t.Errorf("%s: QDP should have 4 dies", p.Name)
+			}
+		}
+	}
+	if ddp != 4 || qdp != 4 {
+		t.Fatalf("ddp=%d qdp=%d, want 4/4", ddp, qdp)
+	}
+}
+
+func TestDiesFlatMapping(t *testing.T) {
+	tb := Paper()
+	dies := tb.Dies()
+	if len(dies) != 24 {
+		t.Fatalf("%d dies", len(dies))
+	}
+	for i, d := range dies {
+		if d.Chip != i {
+			t.Fatalf("die %d has chip id %d", i, d.Chip)
+		}
+	}
+	// First package's dies come first.
+	if dies[0].Package.Name != "DDP #1-1" || dies[0].CE != 0 || dies[1].CE != 1 {
+		t.Fatalf("unexpected die order: %+v", dies[:2])
+	}
+}
+
+func TestGeometryCoversBlockRanges(t *testing.T) {
+	tb := Paper()
+	g := tb.Geometry(1)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Chips != 24 {
+		t.Fatalf("Chips = %d", g.Chips)
+	}
+	if g.BlocksPerPlane != 3276 { // highest BlockHi is 3275
+		t.Fatalf("BlocksPerPlane = %d, want 3276", g.BlocksPerPlane)
+	}
+	if g.LWLsPerBlock() != 384 {
+		t.Fatalf("LWLs = %d", g.LWLsPerBlock())
+	}
+}
+
+func TestGroupsByBlockRange(t *testing.T) {
+	tb := Paper()
+	groups := tb.Groups()
+	// Table IV has three distinct ranges: 4..1603 (12 dies),
+	// 1604..3275 (DDP group 2, 4 dies), 1604..3203 (QDP group 2, 8 dies).
+	if len(groups) != 3 {
+		t.Fatalf("%d groups, want 3", len(groups))
+	}
+	sizes := map[int]int{}
+	for _, g := range groups {
+		sizes[len(g.Dies)]++
+		if g.BlockHi < g.BlockLo {
+			t.Fatalf("bad range %d..%d", g.BlockLo, g.BlockHi)
+		}
+		blocks := g.Blocks()
+		if len(blocks) != g.BlockHi-g.BlockLo+1 {
+			t.Fatalf("Blocks() length %d", len(blocks))
+		}
+		if blocks[0] != g.BlockLo {
+			t.Fatalf("Blocks() starts at %d", blocks[0])
+		}
+	}
+	if sizes[12] != 1 || sizes[4] != 1 || sizes[8] != 1 {
+		t.Fatalf("group sizes wrong: %v", sizes)
+	}
+}
+
+func TestLaneGroups(t *testing.T) {
+	tb := Paper()
+	geo := tb.Geometry(2)
+	groups := tb.Groups()
+	var big MeasurementGroup
+	for _, g := range groups {
+		if len(g.Dies) == 12 {
+			big = g
+		}
+	}
+	lg := big.LaneGroups(geo, 4)
+	if len(lg) != 3 {
+		t.Fatalf("%d lane groups from 12 dies, want 3", len(lg))
+	}
+	for _, grp := range lg {
+		if len(grp.Lanes) != 4 {
+			t.Fatalf("lane group size %d", len(grp.Lanes))
+		}
+		for _, lane := range grp.Lanes {
+			if lane%geo.PlanesPerChip != 0 {
+				t.Fatalf("lane %d is not a plane-0 lane", lane)
+			}
+		}
+	}
+	if got := big.LaneGroups(geo, 0); got != nil {
+		t.Fatal("size 0 should yield nil")
+	}
+}
+
+func TestValidateRejectsBadInventory(t *testing.T) {
+	cases := []Testbed{
+		{},
+		{Packages: []Package{{Name: "", Kind: DDP, BlockHi: 1}}},
+		{Packages: []Package{{Name: "a", Kind: DDP, BlockLo: 5, BlockHi: 1}}},
+		{Packages: []Package{{Name: "a", Kind: DDP, BlockHi: 1}, {Name: "a", Kind: DDP, BlockHi: 1}}},
+		{Packages: []Package{{Name: "a", Kind: PackageKind(9), BlockHi: 1}}},
+	}
+	for i, tb := range cases {
+		if tb.Validate() == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if DDP.String() != "DDP" || QDP.String() != "QDP" {
+		t.Fatal("kind names wrong")
+	}
+}

@@ -1,0 +1,34 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"superfast/internal/ssd"
+)
+
+// FuzzParseTrace checks the trace parser never panics and that every parsed
+// request is structurally valid.
+func FuzzParseTrace(f *testing.F) {
+	f.Add("w,1\nr,1\nt,1\n")
+	f.Add("# comment\n\nw, 42\n")
+	f.Add("x,1")
+	f.Add("w,abc")
+	f.Add("w")
+	f.Fuzz(func(t *testing.T, input string) {
+		reqs, err := ParseTrace(strings.NewReader(input), 16)
+		if err != nil {
+			return
+		}
+		for i, r := range reqs {
+			switch r.Kind {
+			case ssd.OpWrite, ssd.OpRead, ssd.OpTrim:
+			default:
+				t.Fatalf("request %d has invalid kind %v", i, r.Kind)
+			}
+			if r.Kind == ssd.OpWrite && r.Data == nil {
+				t.Fatalf("write %d without payload", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"superfast/internal/ssd"
+)
+
+// ParseMSRTrace reads an MSR-Cambridge-style block trace:
+//
+//	Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
+//
+// where Type is "Read" or "Write" (case-insensitive), Offset and Size are in
+// bytes, and Timestamp is either a Windows FILETIME (100 ns ticks; values
+// above ~1e14) or plain seconds. Each record expands into one request per
+// page it covers; byte offsets fold into [0, maxLPN) so traces captured from
+// larger disks replay onto the simulated device. Arrival times are rebased
+// so the first record arrives at 0 µs.
+func ParseMSRTrace(r io.Reader, pageSize int, maxLPN int64) ([]ssd.Request, error) {
+	if pageSize <= 0 {
+		return nil, fmt.Errorf("workload: page size %d", pageSize)
+	}
+	if maxLPN <= 0 {
+		return nil, fmt.Errorf("workload: maxLPN %d", maxLPN)
+	}
+	var out []ssd.Request
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	line := 0
+	first := -1.0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) < 6 {
+			return nil, fmt.Errorf("workload: msr line %d: %d fields, want ≥6", line, len(parts))
+		}
+		ts, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: msr line %d timestamp: %v", line, err)
+		}
+		// FILETIME ticks are 100 ns; plain timestamps are seconds.
+		arrivalUS := ts * 1e6
+		if ts > 1e14 {
+			arrivalUS = ts / 10
+		}
+		if first < 0 {
+			first = arrivalUS
+		}
+		arrivalUS -= first
+
+		var kind ssd.OpKind
+		switch strings.ToLower(strings.TrimSpace(parts[3])) {
+		case "read", "r":
+			kind = ssd.OpRead
+		case "write", "w":
+			kind = ssd.OpWrite
+		default:
+			return nil, fmt.Errorf("workload: msr line %d: unknown type %q", line, parts[3])
+		}
+		offset, err := strconv.ParseInt(strings.TrimSpace(parts[4]), 10, 64)
+		if err != nil || offset < 0 {
+			return nil, fmt.Errorf("workload: msr line %d offset: %v", line, parts[4])
+		}
+		size, err := strconv.ParseInt(strings.TrimSpace(parts[5]), 10, 64)
+		if err != nil || size <= 0 {
+			return nil, fmt.Errorf("workload: msr line %d size: %v", line, parts[5])
+		}
+		firstPage := offset / int64(pageSize)
+		lastPage := (offset + size - 1) / int64(pageSize)
+		for p := firstPage; p <= lastPage; p++ {
+			lpn := p % maxLPN
+			req := ssd.Request{Kind: kind, LPN: lpn, Arrival: arrivalUS}
+			if kind == ssd.OpWrite {
+				req.Data = fill(lpn, 16)
+			}
+			out = append(out, req)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReplayPrepared replays requests against a device, first writing any page
+// that a read would touch before its first write (traces begin mid-life, so
+// cold reads need backing data). Returns the completions of the trace
+// requests only.
+func ReplayPrepared(dev *ssd.Device, reqs []ssd.Request) ([]ssd.Completion, error) {
+	seen := make(map[int64]bool)
+	for _, req := range reqs {
+		switch req.Kind {
+		case ssd.OpWrite:
+			seen[req.LPN] = true
+		case ssd.OpRead:
+			if !seen[req.LPN] {
+				if _, err := dev.Submit(ssd.Request{Kind: ssd.OpWrite, LPN: req.LPN, Data: fill(req.LPN, 16)}); err != nil {
+					return nil, fmt.Errorf("workload: prepare lpn %d: %w", req.LPN, err)
+				}
+				seen[req.LPN] = true
+			}
+		}
+	}
+	out := make([]ssd.Completion, 0, len(reqs))
+	for i, req := range reqs {
+		c, err := dev.Submit(req)
+		if err != nil {
+			return out, fmt.Errorf("workload: msr op %d: %w", i, err)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}

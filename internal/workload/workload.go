@@ -1,0 +1,241 @@
+// Package workload generates deterministic host I/O streams for the SSD
+// simulator: sequential and uniform-random writes, hot/cold (zipf-like)
+// mixes, read/write blends with placement hints, and a tiny CSV trace
+// format for replaying captured access patterns.
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"superfast/internal/ftl"
+	"superfast/internal/prng"
+	"superfast/internal/ssd"
+)
+
+// Generator produces host requests until exhausted.
+type Generator interface {
+	// Next returns the next request; ok is false when the stream ends.
+	Next() (req ssd.Request, ok bool)
+}
+
+// Sequential writes pages 0..N-1 in order.
+type Sequential struct {
+	N       int64
+	PageLen int // payload bytes per page
+	next    int64
+}
+
+// Next implements Generator.
+func (s *Sequential) Next() (ssd.Request, bool) {
+	if s.next >= s.N {
+		return ssd.Request{}, false
+	}
+	lpn := s.next
+	s.next++
+	return ssd.Request{Kind: ssd.OpWrite, LPN: lpn, Data: fill(lpn, s.PageLen)}, true
+}
+
+// Uniform writes Count pages uniformly at random in [0, Space).
+type Uniform struct {
+	Space   int64
+	Count   int64
+	PageLen int
+	Seed    uint64
+	src     *prng.Source
+	done    int64
+}
+
+// Next implements Generator.
+func (u *Uniform) Next() (ssd.Request, bool) {
+	if u.done >= u.Count {
+		return ssd.Request{}, false
+	}
+	if u.src == nil {
+		u.src = prng.New(u.Seed, 0x10ad)
+	}
+	u.done++
+	lpn := int64(u.src.Intn(int(u.Space)))
+	return ssd.Request{Kind: ssd.OpWrite, LPN: lpn, Data: fill(lpn, u.PageLen)}, true
+}
+
+// HotCold sends HotFrac of the operations to the hottest HotSpace fraction
+// of the address space (the classic 80/20 skew), marking hot writes as
+// small-random (HintSmall) and cold writes as batch (HintBatch) — the
+// workload shape that §V-D's page-type-aware placement targets.
+type HotCold struct {
+	Space    int64
+	Count    int64
+	HotFrac  float64 // fraction of ops hitting the hot region (e.g. 0.8)
+	HotSpace float64 // fraction of the space that is hot (e.g. 0.2)
+	PageLen  int
+	Seed     uint64
+	src      *prng.Source
+	done     int64
+}
+
+// Next implements Generator.
+func (h *HotCold) Next() (ssd.Request, bool) {
+	if h.done >= h.Count {
+		return ssd.Request{}, false
+	}
+	if h.src == nil {
+		h.src = prng.New(h.Seed, 0x407c)
+	}
+	h.done++
+	hotN := int64(float64(h.Space) * h.HotSpace)
+	if hotN < 1 {
+		hotN = 1
+	}
+	var lpn int64
+	var hint ftl.Hint
+	if h.src.Float64() < h.HotFrac {
+		lpn = int64(h.src.Intn(int(hotN)))
+		hint = ftl.HintSmall
+	} else {
+		lpn = hotN + int64(h.src.Intn(int(h.Space-hotN)))
+		hint = ftl.HintBatch
+	}
+	return ssd.Request{Kind: ssd.OpWrite, LPN: lpn, Data: fill(lpn, h.PageLen), Hint: hint}, true
+}
+
+// Mixed interleaves reads and writes over a pre-filled address space.
+type Mixed struct {
+	Space     int64
+	Count     int64
+	ReadFrac  float64
+	PageLen   int
+	Seed      uint64
+	src       *prng.Source
+	done      int64
+	written   map[int64]bool
+	writeSeen []int64
+}
+
+// Next implements Generator.
+func (m *Mixed) Next() (ssd.Request, bool) {
+	if m.done >= m.Count {
+		return ssd.Request{}, false
+	}
+	if m.src == nil {
+		m.src = prng.New(m.Seed, 0x3413)
+		m.written = make(map[int64]bool)
+	}
+	m.done++
+	if m.src.Float64() < m.ReadFrac && len(m.writeSeen) > 0 {
+		lpn := m.writeSeen[m.src.Intn(len(m.writeSeen))]
+		return ssd.Request{Kind: ssd.OpRead, LPN: lpn}, true
+	}
+	lpn := int64(m.src.Intn(int(m.Space)))
+	if !m.written[lpn] {
+		m.written[lpn] = true
+		m.writeSeen = append(m.writeSeen, lpn)
+	}
+	return ssd.Request{Kind: ssd.OpWrite, LPN: lpn, Data: fill(lpn, m.PageLen)}, true
+}
+
+// fill builds a small deterministic payload for a page.
+func fill(lpn int64, n int) []byte {
+	if n <= 0 {
+		n = 16
+	}
+	b := make([]byte, n)
+	copy(b, fmt.Sprintf("pg-%d", lpn))
+	return b
+}
+
+// Run drives a generator through a device, returning the completions.
+// It stops at the first error.
+func Run(dev *ssd.Device, g Generator) ([]ssd.Completion, error) {
+	var out []ssd.Completion
+	for {
+		req, ok := g.Next()
+		if !ok {
+			return out, nil
+		}
+		c, err := dev.Submit(req)
+		if err != nil {
+			return out, fmt.Errorf("workload: op %d: %w", len(out), err)
+		}
+		out = append(out, c)
+	}
+}
+
+// ParseTrace reads a CSV trace of "op,lpn" lines (op: w/r/t; '#' comments
+// and blank lines ignored) and returns the requests.
+func ParseTrace(r io.Reader, pageLen int) ([]ssd.Request, error) {
+	var out []ssd.Request
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("workload: trace line %d: want \"op,lpn\", got %q", line, text)
+		}
+		lpn, err := strconv.ParseInt(strings.TrimSpace(parts[1]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %v", line, err)
+		}
+		switch strings.TrimSpace(parts[0]) {
+		case "w":
+			out = append(out, ssd.Request{Kind: ssd.OpWrite, LPN: lpn, Data: fill(lpn, pageLen)})
+		case "r":
+			out = append(out, ssd.Request{Kind: ssd.OpRead, LPN: lpn})
+		case "t":
+			out = append(out, ssd.Request{Kind: ssd.OpTrim, LPN: lpn})
+		default:
+			return nil, fmt.Errorf("workload: trace line %d: unknown op %q", line, parts[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Paced wraps a generator with open-loop arrivals: requests are spaced by
+// exponential interarrival times with the given mean (µs), the standard
+// Poisson arrival model for device-level queueing studies.
+type Paced struct {
+	Gen       Generator
+	MeanGapUS float64
+	Seed      uint64
+	src       *prng.Source
+	clock     float64
+}
+
+// Next implements Generator.
+func (p *Paced) Next() (ssd.Request, bool) {
+	req, ok := p.Gen.Next()
+	if !ok {
+		return req, false
+	}
+	if p.src == nil {
+		p.src = prng.New(p.Seed, 0x9ace)
+	}
+	gap := p.MeanGapUS
+	if gap <= 0 {
+		gap = 100
+	}
+	p.clock += exponential(p.src, gap)
+	req.Arrival = p.clock
+	return req, true
+}
+
+// exponential draws from an exponential distribution with the given mean.
+func exponential(src *prng.Source, mean float64) float64 {
+	u := src.Float64()
+	if u <= 0 {
+		u = 1e-12
+	}
+	return -mean * math.Log(1-u)
+}

@@ -1,0 +1,343 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"superfast/internal/flash"
+	"superfast/internal/ftl"
+	"superfast/internal/pv"
+	"superfast/internal/ssd"
+)
+
+func testDevice(t testing.TB) *ssd.Device {
+	t.Helper()
+	g := flash.TestGeometry()
+	g.BlocksPerPlane = 12
+	g.Layers = 12
+	p := pv.DefaultParams()
+	p.Layers = g.Layers
+	p.Strings = g.Strings
+	arr := flash.MustNewArray(g, pv.New(p), flash.DefaultECC())
+	cfg := ssd.DefaultConfig()
+	cfg.FTL.Overprovision = 0.25
+	d, err := ssd.New(arr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestSequentialGenerator(t *testing.T) {
+	g := &Sequential{N: 5, PageLen: 8}
+	var lpns []int64
+	for {
+		req, ok := g.Next()
+		if !ok {
+			break
+		}
+		if req.Kind != ssd.OpWrite {
+			t.Fatal("sequential should write")
+		}
+		lpns = append(lpns, req.LPN)
+	}
+	if len(lpns) != 5 {
+		t.Fatalf("got %d ops", len(lpns))
+	}
+	for i, lpn := range lpns {
+		if lpn != int64(i) {
+			t.Fatalf("op %d: lpn %d", i, lpn)
+		}
+	}
+}
+
+func TestUniformGeneratorBounds(t *testing.T) {
+	g := &Uniform{Space: 100, Count: 500, Seed: 1}
+	n := 0
+	for {
+		req, ok := g.Next()
+		if !ok {
+			break
+		}
+		if req.LPN < 0 || req.LPN >= 100 {
+			t.Fatalf("lpn %d out of space", req.LPN)
+		}
+		n++
+	}
+	if n != 500 {
+		t.Fatalf("got %d ops, want 500", n)
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	a := &Uniform{Space: 100, Count: 50, Seed: 7}
+	b := &Uniform{Space: 100, Count: 50, Seed: 7}
+	for {
+		ra, oka := a.Next()
+		rb, okb := b.Next()
+		if oka != okb {
+			t.Fatal("lengths differ")
+		}
+		if !oka {
+			break
+		}
+		if ra.LPN != rb.LPN {
+			t.Fatal("same seed should reproduce")
+		}
+	}
+}
+
+func TestHotColdSkewAndHints(t *testing.T) {
+	g := &HotCold{Space: 1000, Count: 4000, HotFrac: 0.8, HotSpace: 0.2, Seed: 3}
+	hot, cold := 0, 0
+	for {
+		req, ok := g.Next()
+		if !ok {
+			break
+		}
+		if req.LPN < 200 {
+			hot++
+			if req.Hint != ftl.HintSmall {
+				t.Fatal("hot writes should be small-hinted")
+			}
+		} else {
+			cold++
+			if req.Hint != ftl.HintBatch {
+				t.Fatal("cold writes should be batch-hinted")
+			}
+		}
+	}
+	frac := float64(hot) / float64(hot+cold)
+	if frac < 0.75 || frac > 0.85 {
+		t.Fatalf("hot fraction = %v, want ≈0.8", frac)
+	}
+}
+
+func TestMixedReadsAfterWrites(t *testing.T) {
+	g := &Mixed{Space: 50, Count: 400, ReadFrac: 0.5, Seed: 9}
+	written := map[int64]bool{}
+	reads := 0
+	for {
+		req, ok := g.Next()
+		if !ok {
+			break
+		}
+		switch req.Kind {
+		case ssd.OpWrite:
+			written[req.LPN] = true
+		case ssd.OpRead:
+			reads++
+			if !written[req.LPN] {
+				t.Fatalf("read of never-written lpn %d", req.LPN)
+			}
+		}
+	}
+	if reads == 0 {
+		t.Fatal("mixed workload produced no reads")
+	}
+}
+
+func TestRunAgainstDevice(t *testing.T) {
+	d := testDevice(t)
+	cap := d.FTL().Capacity()
+	cs, err := Run(d, &Sequential{N: cap / 2, PageLen: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(cs)) != cap/2 {
+		t.Fatalf("got %d completions", len(cs))
+	}
+	cs, err = Run(d, &Mixed{Space: cap / 2, Count: 500, ReadFrac: 0.3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 500 {
+		t.Fatalf("got %d completions", len(cs))
+	}
+	if err := d.FTL().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseTrace(t *testing.T) {
+	trace := `# a comment
+w,5
+r, 5
+t,5
+
+w,6
+`
+	reqs, err := ParseTrace(strings.NewReader(trace), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 4 {
+		t.Fatalf("got %d requests", len(reqs))
+	}
+	if reqs[0].Kind != ssd.OpWrite || reqs[1].Kind != ssd.OpRead || reqs[2].Kind != ssd.OpTrim {
+		t.Fatalf("kinds wrong: %+v", reqs)
+	}
+	if reqs[1].LPN != 5 {
+		t.Fatalf("lpn = %d", reqs[1].LPN)
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	cases := []string{"x,1", "w", "w,abc"}
+	for _, c := range cases {
+		if _, err := ParseTrace(strings.NewReader(c), 8); err == nil {
+			t.Errorf("trace %q should fail", c)
+		}
+	}
+}
+
+func TestParseMSRTrace(t *testing.T) {
+	trace := `# msr sample
+128166372003061629,host,0,Write,0,8192,100
+128166372003061629,host,0,Read,4096,4096,50
+128166372013061629,host,0,Write,1048576,4096,80
+`
+	reqs, err := ParseMSRTrace(strings.NewReader(trace), 4096, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record 1: 8192 bytes at 0 → pages 0,1. Record 2: read page 1.
+	// Record 3: write page 256.
+	if len(reqs) != 4 {
+		t.Fatalf("got %d requests: %+v", len(reqs), reqs)
+	}
+	if reqs[0].Kind != ssd.OpWrite || reqs[0].LPN != 0 {
+		t.Fatalf("req0 %+v", reqs[0])
+	}
+	if reqs[1].LPN != 1 {
+		t.Fatalf("req1 %+v", reqs[1])
+	}
+	if reqs[2].Kind != ssd.OpRead || reqs[2].LPN != 1 {
+		t.Fatalf("req2 %+v", reqs[2])
+	}
+	if reqs[3].LPN != 256 {
+		t.Fatalf("req3 %+v", reqs[3])
+	}
+	// Arrivals rebase to 0; the third record is 1e7 ticks (1 s) later.
+	if reqs[0].Arrival != 0 {
+		t.Fatalf("first arrival %v", reqs[0].Arrival)
+	}
+	if got := reqs[3].Arrival; got < 0.9e6 || got > 1.1e6 {
+		t.Fatalf("third record arrival %v µs, want ≈1e6", got)
+	}
+}
+
+func TestParseMSRTraceSecondsAndFolding(t *testing.T) {
+	trace := "0.5,h,0,read,8192000,4096,1\n"
+	reqs, err := ParseMSRTrace(strings.NewReader(trace), 4096, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 1 {
+		t.Fatalf("got %d", len(reqs))
+	}
+	// Page 2000 folds into LPN space 100 → 0.
+	if reqs[0].LPN != 0 {
+		t.Fatalf("folded lpn %d", reqs[0].LPN)
+	}
+}
+
+func TestParseMSRTraceErrors(t *testing.T) {
+	cases := []string{
+		"1,h,0,Write,0",         // too few fields
+		"x,h,0,Write,0,4096,1",  // bad timestamp
+		"1,h,0,Zap,0,4096,1",    // bad type
+		"1,h,0,Write,-1,4096,1", // bad offset
+		"1,h,0,Write,0,0,1",     // bad size
+	}
+	for _, c := range cases {
+		if _, err := ParseMSRTrace(strings.NewReader(c), 4096, 100); err == nil {
+			t.Errorf("trace %q should fail", c)
+		}
+	}
+	if _, err := ParseMSRTrace(strings.NewReader(""), 0, 100); err == nil {
+		t.Error("zero page size should fail")
+	}
+	if _, err := ParseMSRTrace(strings.NewReader(""), 4096, 0); err == nil {
+		t.Error("zero maxLPN should fail")
+	}
+}
+
+func TestReplayPreparedColdReads(t *testing.T) {
+	d := testDevice(t)
+	capacity := d.FTL().Capacity()
+	trace := fmt.Sprintf("1,h,0,Read,%d,4096,1\n2,h,0,Write,0,4096,1\n", 0)
+	reqs, err := ParseMSRTrace(strings.NewReader(trace), d.PageSize(), capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := ReplayPrepared(d, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != len(reqs) {
+		t.Fatalf("got %d completions for %d requests", len(cs), len(reqs))
+	}
+	if err := d.FTL().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPacedArrivalsMonotoneAndMean(t *testing.T) {
+	g := &Paced{Gen: &Sequential{N: 4000, PageLen: 8}, MeanGapUS: 50, Seed: 5}
+	prev := -1.0
+	var last float64
+	n := 0
+	for {
+		req, ok := g.Next()
+		if !ok {
+			break
+		}
+		if req.Arrival <= prev {
+			t.Fatalf("arrivals must be strictly increasing: %v after %v", req.Arrival, prev)
+		}
+		prev = req.Arrival
+		last = req.Arrival
+		n++
+	}
+	mean := last / float64(n)
+	if mean < 40 || mean > 60 {
+		t.Fatalf("mean interarrival %v, want ≈50", mean)
+	}
+}
+
+func TestPacedDefaultGap(t *testing.T) {
+	g := &Paced{Gen: &Sequential{N: 2, PageLen: 8}, Seed: 1}
+	r1, _ := g.Next()
+	r2, _ := g.Next()
+	if r2.Arrival <= r1.Arrival {
+		t.Fatal("default gap should still space arrivals")
+	}
+}
+
+func TestPacedDrivesDeviceQueueing(t *testing.T) {
+	d := testDevice(t)
+	if err := d.FillSequential(nil); err != nil {
+		t.Fatal(err)
+	}
+	base := d.Now()
+	g := &Paced{Gen: &Uniform{Space: d.FTL().Capacity(), Count: 50, Seed: 2}, MeanGapUS: 5, Seed: 3}
+	// Rebase arrivals onto the current clock.
+	for {
+		req, ok := g.Next()
+		if !ok {
+			break
+		}
+		req.Kind = ssd.OpRead
+		req.Data = nil
+		req.Arrival += base
+		c, err := d.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Latency < 0 || c.Wait < 0 {
+			t.Fatalf("bad completion %+v", c)
+		}
+	}
+}
