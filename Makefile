@@ -1,0 +1,26 @@
+# Tier-1 gate: everything a change must pass before it lands. `make check`
+# vets, builds and runs the full test suite under the race detector — the
+# concurrent device front end and the parallel experiment sweep
+# (`go run ./cmd/sbsim -all -quick -parallel 4`) are only trustworthy
+# race-clean.
+
+GO ?= go
+
+.PHONY: check build test race bench
+
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run XXX .

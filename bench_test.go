@@ -6,6 +6,7 @@
 package superfast_test
 
 import (
+	"fmt"
 	"testing"
 
 	"superfast/internal/chamber"
@@ -15,6 +16,7 @@ import (
 	"superfast/internal/profile"
 	"superfast/internal/pv"
 	"superfast/internal/ssd"
+	"superfast/internal/workload"
 )
 
 // benchConfig is the shared reduced configuration.
@@ -113,6 +115,80 @@ func BenchmarkQSTRMedAssembleOnly(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	}
+}
+
+// BenchmarkConcurrentDevice replays a stamped read burst through the
+// thread-safe multi-queue front end at several queue depths (plus the
+// serialized Device as the depth-0 baseline) and reports the simulated read
+// throughput of each — the load-sweep view of the concurrency model.
+func BenchmarkConcurrentDevice(b *testing.B) {
+	g := flash.TestGeometry()
+	g.BlocksPerPlane = 8
+	g.Layers = 12
+	p := pv.DefaultParams()
+	p.Layers = g.Layers
+	p.Strings = g.Strings
+	cfg := ssd.DefaultConfig()
+	cfg.FTL.Overprovision = 0.25
+	const burst = 64
+
+	b.Run("serialized", func(b *testing.B) {
+		var span float64
+		for i := 0; i < b.N; i++ {
+			dev, err := ssd.New(flash.MustNewArray(g, pv.New(p), flash.DefaultECC()), cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := dev.FillSequential(nil); err != nil {
+				b.Fatal(err)
+			}
+			base := dev.Now() + 1000
+			var finish float64
+			for lpn := int64(0); lpn < burst; lpn++ {
+				c, err := dev.Submit(ssd.Request{Kind: ssd.OpRead, LPN: lpn, Arrival: base})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if c.Finish > finish {
+					finish = c.Finish
+				}
+			}
+			span = finish - base
+		}
+		b.ReportMetric(float64(burst)/span*1e6, "simreads/s")
+	})
+	for _, depth := range []int{1, 4, 8, 16} {
+		b.Run(fmt.Sprintf("depth%d", depth), func(b *testing.B) {
+			var span float64
+			for i := 0; i < b.N; i++ {
+				dev, err := ssd.NewConcurrent(flash.MustNewArray(g, pv.New(p), flash.DefaultECC()), cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := dev.FillSequential(nil); err != nil {
+					b.Fatal(err)
+				}
+				base := dev.Now() + 1000
+				reqs := make([]ssd.Request, burst)
+				for j := range reqs {
+					reqs[j] = ssd.Request{Kind: ssd.OpRead, LPN: int64(j), Arrival: base}
+				}
+				comps, err := workload.RunConcurrent(dev, reqs, depth)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var finish float64
+				for _, c := range comps {
+					if c.Finish > finish {
+						finish = c.Finish
+					}
+				}
+				span = finish - base
+				dev.Close()
+			}
+			b.ReportMetric(float64(burst)/span*1e6, "simreads/s")
+		})
 	}
 }
 

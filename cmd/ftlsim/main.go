@@ -7,6 +7,11 @@
 //	ftlsim -organizer qstr-med -workload hotcold -ops 20000
 //	ftlsim -organizer random -workload uniform
 //	ftlsim -workload trace -trace ops.csv
+//	ftlsim -workload mixed -workers 8
+//
+// With -workers N (N > 1) the workload is materialized and replayed through
+// the thread-safe multi-queue front end by N concurrent submitters; tickets
+// pin the trace order, so the results match a single-submitter run.
 package main
 
 import (
@@ -36,6 +41,7 @@ func main() {
 		autoHint = flag.Bool("autohint", false, "detect hot pages and place them on fast superpages")
 		victim   = flag.String("victim", "greedy", "GC victim policy: greedy | cost-benefit | fifo")
 		queue    = flag.String("queue", "serialized", "device queue model: serialized | per-chip")
+		workers  = flag.Int("workers", 1, "concurrent submitters (>1 drives the thread-safe multi-queue front end)")
 	)
 	flag.Parse()
 
@@ -89,72 +95,105 @@ func main() {
 	default:
 		fatalf("unknown queue model %q", *queue)
 	}
-	dev, err := ssd.New(arr, cfg)
-	if err != nil {
-		fatalf("%v", err)
+	if *workers < 1 {
+		fatalf("-workers must be at least 1, got %d", *workers)
 	}
-	capacity := dev.FTL().Capacity()
+
+	var dev *ssd.Device
+	var cdev *ssd.ConcurrentDevice
+	var f *ftl.FTL
+	if *workers > 1 {
+		cdev, err = ssd.NewConcurrent(arr, cfg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer cdev.Close()
+		f = cdev.FTL()
+	} else {
+		dev, err = ssd.New(arr, cfg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		f = dev.FTL()
+	}
+	capacity := f.Capacity()
 	count := *ops
 	if count == 0 {
 		count = capacity
 	}
+	warm := func() {
+		var werr error
+		if cdev != nil {
+			werr = cdev.FillSequential(nil)
+		} else {
+			werr = dev.FillSequential(nil)
+		}
+		if werr != nil {
+			fatalf("warm: %v", werr)
+		}
+	}
 
-	var completions []ssd.Completion
+	// Materialize the request stream (and its index map, when trace priming
+	// inserts extra writes whose completions should not be reported).
+	var reqs []ssd.Request
+	var keep []int
 	switch *wlName {
 	case "seqfill":
-		completions, err = workload.Run(dev, &workload.Sequential{N: min64(count, capacity), PageLen: 64})
+		reqs = workload.Collect(&workload.Sequential{N: min64(count, capacity), PageLen: 64})
 	case "uniform":
-		warm(dev)
-		completions, err = workload.Run(dev, &workload.Uniform{Space: capacity, Count: count, PageLen: 64, Seed: *seed})
+		warm()
+		reqs = workload.Collect(&workload.Uniform{Space: capacity, Count: count, PageLen: 64, Seed: *seed})
 	case "hotcold":
-		warm(dev)
-		completions, err = workload.Run(dev, &workload.HotCold{
+		warm()
+		reqs = workload.Collect(&workload.HotCold{
 			Space: capacity, Count: count, HotFrac: 0.8, HotSpace: 0.2, PageLen: 64, Seed: *seed,
 		})
 	case "mixed":
-		warm(dev)
-		completions, err = workload.Run(dev, &workload.Mixed{
+		warm()
+		reqs = workload.Collect(&workload.Mixed{
 			Space: capacity, Count: count, ReadFrac: 0.5, PageLen: 64, Seed: *seed,
 		})
 	case "trace":
-		if *tracePth == "" {
-			fatalf("-workload trace needs -trace FILE")
-		}
-		f, ferr := os.Open(*tracePth)
-		if ferr != nil {
-			fatalf("%v", ferr)
-		}
-		defer f.Close()
-		reqs, perr := workload.ParseTrace(f, 64)
-		if perr != nil {
-			fatalf("%v", perr)
-		}
-		for _, req := range reqs {
-			c, serr := dev.Submit(req)
-			if serr != nil {
-				fatalf("trace op: %v", serr)
-			}
-			completions = append(completions, c)
+		reqs, err = parseTraceFile(*tracePth, func(r *os.File) ([]ssd.Request, error) {
+			return workload.ParseTrace(r, 64)
+		})
+		if err != nil {
+			fatalf("%v", err)
 		}
 	case "msr":
-		if *tracePth == "" {
-			fatalf("-workload msr needs -trace FILE")
+		reqs, err = parseTraceFile(*tracePth, func(r *os.File) ([]ssd.Request, error) {
+			return workload.ParseMSRTrace(r, g.PageSize, capacity)
+		})
+		if err != nil {
+			fatalf("%v", err)
 		}
-		f, ferr := os.Open(*tracePth)
-		if ferr != nil {
-			fatalf("%v", ferr)
-		}
-		defer f.Close()
-		reqs, perr := workload.ParseMSRTrace(f, dev.PageSize(), capacity)
-		if perr != nil {
-			fatalf("%v", perr)
-		}
-		completions, err = workload.ReplayPrepared(dev, reqs)
+		reqs, keep = workload.PrepareForReplay(reqs)
 	default:
 		fatalf("unknown workload %q", *wlName)
 	}
+
+	var completions []ssd.Completion
+	if cdev != nil {
+		completions, err = workload.RunConcurrent(cdev, reqs, *workers)
+	} else {
+		for i, req := range reqs {
+			c, serr := dev.Submit(req)
+			if serr != nil {
+				err = fmt.Errorf("op %d: %w", i, serr)
+				break
+			}
+			completions = append(completions, c)
+		}
+	}
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if keep != nil {
+		trace := make([]ssd.Completion, len(keep))
+		for i, j := range keep {
+			trace[i] = completions[j]
+		}
+		completions = trace
 	}
 
 	lats := make([]float64, len(completions))
@@ -162,7 +201,7 @@ func main() {
 		lats[i] = c.Service
 	}
 	sm := stats.Summarize(lats)
-	fst := dev.FTL().Stats()
+	fst := f.Stats()
 	t := stats.Table{Title: fmt.Sprintf("ftlsim: %s / %s, %d ops", *orgName, *wlName, len(completions))}
 	t.Headers = []string{"Metric", "Value"}
 	t.AddRow("mean latency", stats.FmtUS(sm.Mean)+" µs")
@@ -176,21 +215,26 @@ func main() {
 	t.AddRow("superblock flushes", fmt.Sprintf("%d", fst.Flushes))
 	t.AddRow("extra PGM per flush", stats.FmtUS(safeDiv(fst.ExtraPgm, float64(fst.Flushes)))+" µs")
 	t.AddRow("extra ERS per erase", stats.FmtUS(safeDiv(fst.ExtraErs, float64(fst.Erases)))+" µs")
-	t.AddRow("similarity checks", fmt.Sprintf("%d", dev.FTL().Scheme().PairChecks()))
+	t.AddRow("similarity checks", fmt.Sprintf("%d", f.Scheme().PairChecks()))
 	if *raid {
 		t.AddRow("raid repairs", fmt.Sprintf("%d", fst.RAIDRepairs))
 	}
-	w := dev.FTL().Wear()
+	w := f.Wear()
 	t.AddRow("wear (min/mean/max P/E)", fmt.Sprintf("%d / %.1f / %d", w.MinPE, w.MeanPE, w.MaxPE))
 	fmt.Print(t.String())
 }
 
-// warm fills the logical space once so subsequent workloads overwrite live
-// data and exercise garbage collection.
-func warm(dev *ssd.Device) {
-	if err := dev.FillSequential(nil); err != nil {
-		fatalf("warm: %v", err)
+// parseTraceFile opens path and parses it with the given reader.
+func parseTraceFile(path string, parse func(*os.File) ([]ssd.Request, error)) ([]ssd.Request, error) {
+	if path == "" {
+		return nil, fmt.Errorf("workload needs -trace FILE")
 	}
+	r, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return parse(r)
 }
 
 func min64(a, b int64) int64 {

@@ -6,6 +6,13 @@
 //	sbsim -list
 //	sbsim -id table5 [-quick] [-pe 0,1000,3000] [-blocks 400] [-groups 6] [-seed 1]
 //	sbsim -all -quick
+//	sbsim -all -quick -parallel 4
+//
+// -parallel N runs the sweep's (P/E step × lane group) tasks on N
+// goroutines; each task's jitter stream is offset to where the serial run
+// would have it, so the results are byte-identical to -parallel 0. The
+// `make check` gate runs the suite under the race detector to keep this
+// path (and the concurrent device front end) race-clean.
 package main
 
 import (

@@ -27,17 +27,28 @@ type Testbed struct {
 	nonce uint64
 }
 
+// nonceBase is where a fresh testbed's measurement-jitter stream starts.
+const nonceBase = 0x7e57_0000_0000_0000
+
 // New wraps an array in a testbed.
 func New(arr *flash.Array) *Testbed {
-	return &Testbed{arr: arr, nonce: 0x7e57_0000_0000_0000}
+	return &Testbed{arr: arr, nonce: nonceBase}
 }
 
 // NewSeeded wraps an array in a testbed whose measurement-jitter stream is
-// derived from the given seed. Parallel experiment harnesses give every
-// worker its own seeded testbed so results stay deterministic regardless of
-// scheduling.
+// derived from the given seed — an independent stream per seed, for
+// harnesses that want decorrelated repeat measurements.
 func NewSeeded(arr *flash.Array, seed uint64) *Testbed {
-	return &Testbed{arr: arr, nonce: 0x7e57_0000_0000_0000 ^ (seed * 0x9e3779b97f4a7c15)}
+	return &Testbed{arr: arr, nonce: nonceBase ^ (seed * 0x9e3779b97f4a7c15)}
+}
+
+// NewOffset wraps an array in a testbed whose jitter stream starts skip
+// draws into the stream of New — fast-forwarding past measurements another
+// testbed already consumed. Parallel experiment harnesses hand each task
+// the offset a serial run would have reached, which makes concurrent
+// results byte-identical to serial ones.
+func NewOffset(arr *flash.Array, skip uint64) *Testbed {
+	return &Testbed{arr: arr, nonce: nonceBase + skip}
 }
 
 // Array returns the underlying array.

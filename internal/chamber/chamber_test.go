@@ -264,3 +264,29 @@ func TestSeededTestbedsDifferButAreDeterministic(t *testing.T) {
 		t.Fatal("different seeds should draw different jitter")
 	}
 }
+
+func TestNewOffsetResumesStream(t *testing.T) {
+	// A testbed offset by the draws one FastProfile consumes must produce
+	// exactly the profile a fresh testbed produces on its second call — the
+	// property the parallel experiment sweep relies on for serial/parallel
+	// equivalence.
+	g := flash.TestGeometry()
+	p := pv.DefaultParams()
+	p.Layers = g.Layers
+	p.Strings = g.Strings
+	arr := flash.MustNewArray(g, pv.New(p), flash.DefaultECC())
+	serial := New(arr)
+	serial.FastProfile(0, 0, 0)
+	second := serial.FastProfile(1, 1, 0)
+
+	perCall := uint64(g.Layers*g.Strings + 1)
+	resumed := NewOffset(arr, perCall).FastProfile(1, 1, 0)
+	if resumed.Erase != second.Erase {
+		t.Fatalf("erase %v, want %v", resumed.Erase, second.Erase)
+	}
+	for i := range second.LWL {
+		if resumed.LWL[i] != second.LWL[i] {
+			t.Fatalf("lwl %d: %v, want %v", i, resumed.LWL[i], second.LWL[i])
+		}
+	}
+}

@@ -39,9 +39,10 @@ type Config struct {
 	// Remeasure defaults to false; the robustness ablation turns it on.
 	Remeasure bool
 	// Parallel runs the sweep's (P/E step × lane group) tasks on this many
-	// goroutines (0 or 1 = serial). Requires FastMeasure; every task uses
-	// its own deterministically seeded testbed, so results do not depend on
-	// scheduling (but differ slightly from a serial run's jitter stream).
+	// goroutines (0 or 1 = serial). Requires FastMeasure; every task's
+	// testbed resumes the jitter stream at the exact offset a serial run
+	// would have reached, so parallel and serial sweeps produce
+	// byte-identical results regardless of scheduling.
 	Parallel int
 }
 
@@ -366,7 +367,8 @@ func runTask(cfg Config, tb *chamber.Testbed, grp chamber.LaneGroup, pe int,
 // by default on the same characterization pass (the paper's methodology),
 // or on an independent second pass when cfg.Remeasure is set. With
 // cfg.Parallel > 1 (and FastMeasure) the (step × group) tasks run
-// concurrently on per-task seeded testbeds.
+// concurrently on testbeds whose jitter streams are offset to match the
+// serial iteration exactly.
 func sweep(cfg Config, strategies []assembly.Assembler) (map[string]*agg, error) {
 	groups := cfg.groups()
 	if len(groups) == 0 {
@@ -391,15 +393,27 @@ func sweep(cfg Config, strategies []assembly.Assembler) (map[string]*agg, error)
 	}
 
 	if cfg.Parallel > 1 && cfg.FastMeasure {
+		// One task per (P/E step × lane group), in the serial iteration
+		// order. Each task's testbed starts its jitter stream exactly where
+		// a serial run would have it — the task index (dense, never derived
+		// from the P/E cycle value) times the draws one task consumes — so
+		// a parallel sweep is byte-identical to a serial one regardless of
+		// goroutine scheduling.
+		passes := 1
+		if cfg.Remeasure {
+			passes = 2
+		}
+		drawsPerTask := uint64(passes) * uint64(cfg.LanesPerGroup) * uint64(cfg.BlocksPerLane) *
+			uint64(cfg.Geometry.Layers*cfg.Geometry.Strings+1)
 		type task struct {
-			pe  int
-			grp chamber.LaneGroup
-			idx int
+			pe   int
+			grp  chamber.LaneGroup
+			skip uint64 // jitter draws consumed by the tasks before this one
 		}
 		var tasks []task
 		for _, pe := range cfg.PESteps {
-			for gi, grp := range groups {
-				tasks = append(tasks, task{pe: pe, grp: grp, idx: len(cfg.PESteps)*gi + pe})
+			for _, grp := range groups {
+				tasks = append(tasks, task{pe: pe, grp: grp, skip: uint64(len(tasks)) * drawsPerTask})
 			}
 		}
 		results := make([][]taskOutcome, len(tasks))
@@ -416,7 +430,7 @@ func sweep(cfg Config, strategies []assembly.Assembler) (map[string]*agg, error)
 					errs[ti] = err
 					return
 				}
-				tb := chamber.NewSeeded(arr, uint64(tk.idx)+1)
+				tb := chamber.NewOffset(arr, tk.skip)
 				results[ti], errs[ti] = runTask(cfg, tb, tk.grp, tk.pe, strategies)
 			}()
 		}

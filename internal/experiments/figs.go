@@ -156,7 +156,10 @@ func runFig13(cfg Config) (*Result, error) {
 	}
 	text := ""
 	for _, o := range out {
-		h := stats.NewHistogram(o.ExtraPgm, lo, hi*1.0001, cfg.HistBins)
+		h, err := stats.NewHistogram(o.ExtraPgm, lo, hi*1.0001, cfg.HistBins)
+		if err != nil {
+			return nil, err
+		}
 		text += fmt.Sprintf("%s (mean %s µs):\n%s\n", o.Name, stats.FmtUS(stats.Summarize(o.ExtraPgm).Mean), h.Render(48))
 	}
 	return &Result{ID: "fig13", Text: text}, nil

@@ -347,6 +347,21 @@ func (f *FTL) TakeOps() []FlashOp {
 	return ops
 }
 
+// CollectOps runs fn with a clean operation journal and returns exactly the
+// chip-level operations fn issued, passing ownership of the slice to the
+// caller. Device front-ends use it to tie journal entries to one request:
+// unlike bare TakeOps bracketing, operations left behind by an earlier
+// failed call can never leak into the next request's schedule. fn's error is
+// returned alongside whatever operations were journalled before it failed.
+// Recording must be enabled with EnableOpJournal for ops to be collected.
+func (f *FTL) CollectOps(fn func() error) ([]FlashOp, error) {
+	f.ops = nil
+	err := fn()
+	ops := f.ops
+	f.ops = nil
+	return ops, err
+}
+
 func (f *FTL) noteOp(chip int, dur float64, kind byte) {
 	if !f.journal {
 		return
@@ -831,9 +846,21 @@ func (f *FTL) ReadRange(lpn int64, n int) ([][]byte, float64, error) {
 			latency += op.Latency
 			f.stats.HostReads += uint64(len(sub))
 			f.stats.ReadLatency += op.Latency
+			// One multi-plane command occupies each chip once, for its
+			// slowest plane — not once per member, which would serialize
+			// planes the command reads concurrently.
+			chipLat := map[int]float64{}
 			for i, m := range sub {
 				out[m.idx] = results[i].Data
-				f.noteOp(m.addr.Chip, results[i].Latency, 'r')
+				if results[i].Latency > chipLat[m.addr.Chip] {
+					chipLat[m.addr.Chip] = results[i].Latency
+				}
+			}
+			for _, m := range sub {
+				if lat, ok := chipLat[m.addr.Chip]; ok {
+					f.noteOp(m.addr.Chip, lat, 'r')
+					delete(chipLat, m.addr.Chip)
+				}
 			}
 		}
 	}

@@ -1,0 +1,464 @@
+package ssd
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"superfast/internal/flash"
+	"superfast/internal/ftl"
+)
+
+// ConcurrentDevice is a thread-safe, event-driven front end over the FTL:
+// submissions may come from many goroutines, each request's flash work is
+// sharded onto per-chip worker queues (the PerChip queue model generalized
+// to a real multi-queue scheduler), adjacent-LPN requests submitted in one
+// batch coalesce into super-word-line submissions, and statistics merge
+// deterministically — stable arrival order, never completion race order.
+//
+// Ordering discipline: every submission holds a ticket. The FTL stage
+// (mapping, GC, op-journal drain) executes in strict ticket order under one
+// lock, then hands the journalled chip operations to the per-chip workers;
+// chip-time scheduling and completion bookkeeping run outside the lock.
+// Given pre-stamped arrival times and a fixed ticket order (see
+// ReserveBatch), results are bit-for-bit independent of how many goroutines
+// submit — a depth-16 replay produces exactly the depth-1 completions.
+//
+// The "0 = now" arrival convention resolves against the latest admitted
+// arrival (the deterministic choice under concurrency), not against
+// completions as the serial Device's clock does.
+type ConcurrentDevice struct {
+	f   *ftl.FTL
+	cfg Config
+
+	mu     sync.Mutex // serializes the FTL stage and admission state
+	admit  *sync.Cond // wakes submitters waiting for their ticket
+	issued uint64     // tickets handed out
+	next   uint64     // next ticket allowed into the FTL stage
+	clock  float64    // latest admitted arrival, µs
+
+	chips []*chipWorker
+
+	statsMu sync.Mutex
+	records []latencyRecord
+	counts  Stats   // scalar counters; Latencies are merged from records
+	horizon float64 // latest completion observed, µs
+
+	closeOnce sync.Once
+}
+
+// latencyRecord keys one completion for the deterministic stats merge.
+type latencyRecord struct {
+	arrival float64
+	ticket  uint64
+	slot    int // position within the ticket's batch
+	latency float64
+}
+
+// chipJob is one flash operation handed to a chip worker.
+type chipJob struct {
+	earliest float64 // the op may not start before this (request arrival)
+	dur      float64
+	reply    chan<- float64 // receives the op's end time; buffered by sender
+}
+
+// ChipStats reports one chip worker's activity.
+type ChipStats struct {
+	Chip int
+	Ops  uint64
+	Busy float64 // µs of occupied chip time
+	Till float64 // busy-until watermark, µs
+}
+
+// chipWorker owns one chip's simulated timeline. It consumes operations in
+// dispatch (= ticket) order, so its busy-until schedule is deterministic.
+type chipWorker struct {
+	ch   chan chipJob
+	done chan struct{}
+
+	mu    sync.Mutex
+	stats ChipStats
+}
+
+func (w *chipWorker) run() {
+	defer close(w.done)
+	for job := range w.ch {
+		w.mu.Lock()
+		s := job.earliest
+		if w.stats.Till > s {
+			s = w.stats.Till
+		}
+		e := s + job.dur
+		w.stats.Till = e
+		w.stats.Ops++
+		w.stats.Busy += job.dur
+		w.mu.Unlock()
+		job.reply <- e
+	}
+}
+
+// NewConcurrent builds a thread-safe device over the given flash array and
+// starts one worker per chip. Close releases the workers; the Queue field of
+// the configuration is ignored (the front end always shards per chip).
+func NewConcurrent(arr *flash.Array, cfg Config) (*ConcurrentDevice, error) {
+	if cfg.BusMBps <= 0 {
+		return nil, fmt.Errorf("ssd: bus bandwidth must be positive, got %v", cfg.BusMBps)
+	}
+	f, err := ftl.New(arr, cfg.FTL)
+	if err != nil {
+		return nil, err
+	}
+	f.EnableOpJournal()
+	c := &ConcurrentDevice{f: f, cfg: cfg}
+	c.admit = sync.NewCond(&c.mu)
+	for chip := 0; chip < arr.Geometry().Chips; chip++ {
+		w := &chipWorker{
+			ch:    make(chan chipJob, 128),
+			done:  make(chan struct{}),
+			stats: ChipStats{Chip: chip},
+		}
+		c.chips = append(c.chips, w)
+		go w.run()
+	}
+	return c, nil
+}
+
+// Close stops the chip workers. The device must be idle (no submission in
+// flight); submitting after Close panics.
+func (c *ConcurrentDevice) Close() {
+	c.closeOnce.Do(func() {
+		for _, w := range c.chips {
+			close(w.ch)
+		}
+		for _, w := range c.chips {
+			<-w.done
+		}
+	})
+}
+
+// FTL exposes the underlying translation layer. Only touch it while no
+// submission is in flight — the FTL itself is not thread-safe.
+func (c *ConcurrentDevice) FTL() *ftl.FTL { return c.f }
+
+// PageSize returns the device's page size in bytes.
+func (c *ConcurrentDevice) PageSize() int { return c.f.Geometry().PageSize }
+
+// Now returns the simulated clock: the later of the latest admitted arrival
+// and the latest completion.
+func (c *ConcurrentDevice) Now() float64 {
+	c.mu.Lock()
+	t := c.clock
+	c.mu.Unlock()
+	c.statsMu.Lock()
+	if c.horizon > t {
+		t = c.horizon
+	}
+	c.statsMu.Unlock()
+	return t
+}
+
+// Reserve allocates the next submission ticket. SubmitTicket admits tickets
+// strictly in order, so every reserved ticket must eventually be submitted.
+// Plain Submit/SubmitBatch reserve internally; use Reserve/ReserveBatch only
+// to pin an externally defined order (e.g. trace order) onto concurrent
+// submitters, and do not mix the two styles on one device.
+func (c *ConcurrentDevice) Reserve() uint64 {
+	c.mu.Lock()
+	t := c.issued
+	c.issued++
+	c.mu.Unlock()
+	return t
+}
+
+// ReserveBatch allocates n consecutive tickets and returns the first.
+func (c *ConcurrentDevice) ReserveBatch(n int) uint64 {
+	c.mu.Lock()
+	t := c.issued
+	c.issued += uint64(n)
+	c.mu.Unlock()
+	return t
+}
+
+// Submit services one request. Safe for concurrent use; the request enters
+// the FTL in ticket (submission) order.
+func (c *ConcurrentDevice) Submit(req Request) (Completion, error) {
+	return c.SubmitTicket(c.Reserve(), req)
+}
+
+// SubmitTicket services one request under a previously reserved ticket,
+// blocking until all earlier tickets have entered the FTL stage.
+func (c *ConcurrentDevice) SubmitTicket(ticket uint64, req Request) (Completion, error) {
+	comps, err := c.submit(ticket, []Request{req})
+	if err != nil {
+		return Completion{}, err
+	}
+	return comps[0], nil
+}
+
+// SubmitBatch services several requests as one submission. Runs of
+// adjacent-LPN writes coalesce into back-to-back super-word-line buffer
+// fills (sharing their multi-plane program), and runs of adjacent-LPN reads
+// into multi-plane range reads whose cost is the slowest member, not the
+// sum. Completions are returned in request order.
+func (c *ConcurrentDevice) SubmitBatch(reqs []Request) ([]Completion, error) {
+	return c.submit(c.Reserve(), reqs)
+}
+
+// SubmitBatchTicket is SubmitBatch under a previously reserved ticket.
+func (c *ConcurrentDevice) SubmitBatchTicket(ticket uint64, reqs []Request) ([]Completion, error) {
+	return c.submit(ticket, reqs)
+}
+
+// run is one coalesced unit of a batch: [first, first+n) of the request
+// slice, serviced as a single flash submission.
+type run struct {
+	first, n int
+	arrival  float64   // service start: max member arrival (0 resolved to the clock)
+	arrivals []float64 // resolved per-member arrivals
+	xfer     float64   // host-bus time of the whole run (or command overhead)
+	nops     int
+	reply    chan float64
+	data     [][]byte // read payloads per member, nil otherwise
+}
+
+func (c *ConcurrentDevice) submit(ticket uint64, reqs []Request) ([]Completion, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	c.mu.Lock()
+	for c.next != ticket {
+		c.admit.Wait()
+	}
+	runs, err := c.ftlStage(reqs)
+	// The ticket advances even on error so later submitters are never
+	// deadlocked behind a failed request.
+	c.next = ticket + 1
+	c.admit.Broadcast()
+	c.mu.Unlock()
+
+	// Completion stage, outside the lock: wait for the chip workers.
+	comps := make([]Completion, len(reqs))
+	for _, r := range runs {
+		end := r.arrival
+		for i := 0; i < r.nops; i++ {
+			if e := <-r.reply; e > end {
+				end = e
+			}
+		}
+		finish := end + r.xfer
+		for i := 0; i < r.n; i++ {
+			arr := r.arrivals[i]
+			comps[r.first+i] = Completion{
+				Start:   r.arrival,
+				Finish:  finish,
+				Wait:    r.arrival - arr,
+				Service: finish - r.arrival,
+				Latency: finish - arr,
+				Data:    r.data[i],
+			}
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	c.statsMu.Lock()
+	for _, r := range runs {
+		for i := 0; i < r.n; i++ {
+			cp := comps[r.first+i]
+			c.counts.Requests++
+			switch reqs[r.first+i].Kind {
+			case OpWrite:
+				c.counts.Writes++
+			case OpRead:
+				c.counts.Reads++
+			case OpTrim:
+				c.counts.Trims++
+			}
+			c.records = append(c.records, latencyRecord{
+				arrival: r.arrivals[i], ticket: ticket, slot: r.first + i, latency: cp.Latency,
+			})
+			if cp.Finish > c.horizon {
+				c.horizon = cp.Finish
+			}
+		}
+	}
+	c.statsMu.Unlock()
+	return comps, nil
+}
+
+// ftlStage executes a batch against the FTL in run-sized units and
+// dispatches the journalled chip work. Caller holds c.mu. On error the runs
+// executed so far are returned so their replies can still be drained.
+func (c *ConcurrentDevice) ftlStage(reqs []Request) ([]run, error) {
+	var runs []run
+	for first := 0; first < len(reqs); {
+		n := runLen(reqs[first:])
+		r := run{
+			first:    first,
+			n:        n,
+			arrivals: make([]float64, n),
+			data:     make([][]byte, n),
+		}
+		for i := 0; i < n; i++ {
+			a := reqs[first+i].Arrival
+			if a == 0 {
+				a = c.clock
+			}
+			r.arrivals[i] = a
+			if a > r.arrival {
+				r.arrival = a
+			}
+		}
+		if r.arrival > c.clock {
+			c.clock = r.arrival
+		}
+		ops, err := c.f.CollectOps(func() error {
+			for i := 0; i < n; i++ {
+				req := reqs[first+i]
+				switch req.Kind {
+				case OpWrite:
+					if _, err := c.f.WriteHinted(req.LPN, req.Data, req.Hint); err != nil {
+						return err
+					}
+					r.xfer += c.transferTime(len(req.Data))
+				case OpRead:
+					if n > 1 {
+						// An adjacent-LPN read run: one multi-plane range
+						// read covers every member.
+						datas, _, err := c.f.ReadRange(req.LPN, n)
+						if err != nil {
+							return err
+						}
+						for j, d := range datas {
+							r.data[j] = d
+							r.xfer += c.transferTime(len(d))
+						}
+						return nil
+					}
+					res, err := c.f.Read(req.LPN)
+					if err != nil {
+						return err
+					}
+					r.data[i] = res.Data
+					r.xfer += c.transferTime(len(res.Data))
+				case OpTrim:
+					if err := c.f.Trim(req.LPN); err != nil {
+						return err
+					}
+					r.xfer += 1 // command overhead only
+				default:
+					return fmt.Errorf("ssd: unknown op kind %v", req.Kind)
+				}
+			}
+			return nil
+		})
+		r.nops = len(ops)
+		r.reply = make(chan float64, len(ops)) // buffered: workers never block
+		for _, op := range ops {
+			c.chips[op.Chip].ch <- chipJob{earliest: r.arrival, dur: op.Dur, reply: r.reply}
+		}
+		runs = append(runs, r)
+		if err != nil {
+			return runs, err
+		}
+		first += n
+	}
+	return runs, nil
+}
+
+// runLen returns the length of the coalescible run at the head of reqs: a
+// maximal sequence of same-kind read or write requests whose LPNs ascend by
+// exactly one (writes must also share a hint). Anything else is a singleton.
+func runLen(reqs []Request) int {
+	head := reqs[0]
+	if head.Kind != OpWrite && head.Kind != OpRead {
+		return 1
+	}
+	n := 1
+	for n < len(reqs) {
+		next := reqs[n]
+		if next.Kind != head.Kind || next.LPN != head.LPN+int64(n) {
+			break
+		}
+		if head.Kind == OpWrite && next.Hint != head.Hint {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+func (c *ConcurrentDevice) transferTime(bytes int) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return float64(bytes) / c.cfg.BusMBps // bytes / (MB/s) = µs
+}
+
+// Stats returns the merged device statistics. Latencies are ordered by
+// (arrival, ticket, batch slot) — a stable, deterministic merge that does
+// not depend on which worker finished first.
+func (c *ConcurrentDevice) Stats() Stats {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	recs := append([]latencyRecord(nil), c.records...)
+	sort.SliceStable(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.arrival != b.arrival {
+			return a.arrival < b.arrival
+		}
+		if a.ticket != b.ticket {
+			return a.ticket < b.ticket
+		}
+		return a.slot < b.slot
+	})
+	s := c.counts
+	s.Latencies = make([]float64, len(recs))
+	for i, r := range recs {
+		s.Latencies[i] = r.latency
+	}
+	return s
+}
+
+// ChipStats returns a snapshot of every chip worker's activity, in chip
+// order.
+func (c *ConcurrentDevice) ChipStats() []ChipStats {
+	out := make([]ChipStats, len(c.chips))
+	for i, w := range c.chips {
+		w.mu.Lock()
+		out[i] = w.stats
+		w.mu.Unlock()
+	}
+	return out
+}
+
+// FillSequential writes every logical page once, submitting in super-word-
+// line-sized adjacent-LPN batches so the fill exercises the coalescing path.
+func (c *ConcurrentDevice) FillSequential(payload func(lpn int64) []byte) error {
+	batch := c.f.Geometry().Lanes() * flash.PagesPerLWL
+	reqs := make([]Request, 0, batch)
+	flushBatch := func() error {
+		if len(reqs) == 0 {
+			return nil
+		}
+		_, err := c.SubmitBatch(reqs)
+		reqs = reqs[:0]
+		return err
+	}
+	for lpn := int64(0); lpn < c.f.Capacity(); lpn++ {
+		var data []byte
+		if payload != nil {
+			data = payload(lpn)
+		}
+		reqs = append(reqs, Request{Kind: OpWrite, LPN: lpn, Data: data})
+		if len(reqs) == batch {
+			if err := flushBatch(); err != nil {
+				return fmt.Errorf("ssd: fill at lpn %d: %w", lpn, err)
+			}
+		}
+	}
+	if err := flushBatch(); err != nil {
+		return fmt.Errorf("ssd: fill tail: %w", err)
+	}
+	return nil
+}

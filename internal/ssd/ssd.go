@@ -98,7 +98,8 @@ type Stats struct {
 	Latencies []float64 // response time per request, µs
 }
 
-// Device is the simulated SSD. Not safe for concurrent use.
+// Device is the simulated SSD. Not safe for concurrent use; wrap the same
+// configuration in a ConcurrentDevice to submit from many goroutines.
 type Device struct {
 	f        *ftl.FTL
 	cfg      Config
@@ -156,33 +157,38 @@ func (d *Device) Submit(req Request) (Completion, error) {
 	if d.busy > start {
 		start = d.busy
 	}
-	d.f.TakeOps() // discard anything a prior failed call left behind
 	var service float64
 	var data []byte
-	switch req.Kind {
-	case OpWrite:
-		res, err := d.f.WriteHinted(req.LPN, req.Data, req.Hint)
-		if err != nil {
-			return Completion{}, err
+	ops, err := d.f.CollectOps(func() error {
+		switch req.Kind {
+		case OpWrite:
+			res, err := d.f.WriteHinted(req.LPN, req.Data, req.Hint)
+			if err != nil {
+				return err
+			}
+			service = d.transferTime(len(req.Data)) + res.Latency
+			d.stats.Writes++
+		case OpRead:
+			res, err := d.f.Read(req.LPN)
+			if err != nil {
+				return err
+			}
+			data = res.Data
+			service = res.Latency + d.transferTime(len(res.Data))
+			d.stats.Reads++
+		case OpTrim:
+			if err := d.f.Trim(req.LPN); err != nil {
+				return err
+			}
+			service = 1 // command overhead only
+			d.stats.Trims++
+		default:
+			return fmt.Errorf("ssd: unknown op kind %v", req.Kind)
 		}
-		service = d.transferTime(len(req.Data)) + res.Latency
-		d.stats.Writes++
-	case OpRead:
-		res, err := d.f.Read(req.LPN)
-		if err != nil {
-			return Completion{}, err
-		}
-		data = res.Data
-		service = res.Latency + d.transferTime(len(res.Data))
-		d.stats.Reads++
-	case OpTrim:
-		if err := d.f.Trim(req.LPN); err != nil {
-			return Completion{}, err
-		}
-		service = 1 // command overhead only
-		d.stats.Trims++
-	default:
-		return Completion{}, fmt.Errorf("ssd: unknown op kind %v", req.Kind)
+		return nil
+	})
+	if err != nil {
+		return Completion{}, err
 	}
 	var finish float64
 	if d.cfg.Queue == PerChip {
@@ -190,11 +196,16 @@ func (d *Device) Submit(req Request) (Completion, error) {
 		// at its arrival (not behind unrelated requests) and completes when
 		// the last of its chip operations completes.
 		reqStart := req.Arrival
-		if reqStart > d.now {
-			d.now = reqStart
+		if reqStart == 0 {
+			// The documented "0 = now" convention: an unstamped request
+			// starts at the current clock. Without this clamp it would be
+			// scheduled at absolute time zero — its chip work lands in the
+			// past and the reported service time spans the whole simulated
+			// history instead of this request's own flash work.
+			reqStart = d.now
 		}
 		end := reqStart
-		for _, op := range d.f.TakeOps() {
+		for _, op := range ops {
 			s := reqStart
 			if d.chipBusy[op.Chip] > s {
 				s = d.chipBusy[op.Chip]

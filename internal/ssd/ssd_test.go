@@ -265,6 +265,33 @@ func TestPerChipSameChipSerializes(t *testing.T) {
 	}
 }
 
+func TestPerChipArrivalZeroIsNow(t *testing.T) {
+	// Regression: an unstamped request (Arrival 0) under the per-chip model
+	// used to be scheduled at absolute time zero, so its reported latency
+	// spanned the whole simulated history instead of its own flash work.
+	d := perChipDevice(t)
+	if err := d.FillSequential(nil); err != nil {
+		t.Fatal(err)
+	}
+	before := d.Now()
+	if before <= 0 {
+		t.Fatal("fill should have advanced the clock")
+	}
+	c, err := d.Submit(Request{Kind: OpRead, LPN: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Start < before {
+		t.Fatalf("unstamped read started at %v, before the clock %v", c.Start, before)
+	}
+	if c.Wait != 0 {
+		t.Fatalf("unstamped read should not report queueing, wait = %v", c.Wait)
+	}
+	if c.Latency <= 0 || c.Latency >= before {
+		t.Fatalf("latency %v should cover only this read's flash work (clock was %v)", c.Latency, before)
+	}
+}
+
 func TestQueueModelString(t *testing.T) {
 	if Serialized.String() != "serialized" || PerChip.String() != "per-chip" {
 		t.Fatal("queue model names wrong")

@@ -85,13 +85,18 @@ type Histogram struct {
 }
 
 // NewHistogram builds a histogram of xs with the given number of bins over
-// [lo, hi). It panics if bins <= 0 or hi <= lo.
-func NewHistogram(xs []float64, lo, hi float64, bins int) *Histogram {
+// [lo, hi). Bad parameters (bins <= 0, an empty or inverted range, or
+// non-finite bounds) return an error rather than panicking, so a malformed
+// experiment configuration cannot crash a long sweep.
+func NewHistogram(xs []float64, lo, hi float64, bins int) (*Histogram, error) {
 	if bins <= 0 {
-		panic(fmt.Sprintf("stats: %d bins", bins))
+		return nil, fmt.Errorf("stats: histogram needs a positive bin count, got %d", bins)
+	}
+	if math.IsNaN(lo) || math.IsNaN(hi) || math.IsInf(lo, 0) || math.IsInf(hi, 0) {
+		return nil, fmt.Errorf("stats: histogram range [%v, %v) is not finite", lo, hi)
 	}
 	if hi <= lo {
-		panic(fmt.Sprintf("stats: histogram range [%v, %v)", lo, hi))
+		return nil, fmt.Errorf("stats: histogram range [%v, %v) is empty", lo, hi)
 	}
 	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
 	width := (hi - lo) / float64(bins)
@@ -105,7 +110,7 @@ func NewHistogram(xs []float64, lo, hi float64, bins int) *Histogram {
 			h.Counts[int((v-lo)/width)]++
 		}
 	}
-	return h
+	return h, nil
 }
 
 // BinCenter returns the center value of bin i.
@@ -247,9 +252,10 @@ func FmtPct(ratio float64) string {
 }
 
 // Improvement returns the relative reduction of v versus the baseline:
-// (baseline − v) / baseline. A zero baseline yields 0.
+// (baseline − v) / baseline. A zero or non-finite baseline yields 0 instead
+// of dividing by it.
 func Improvement(baseline, v float64) float64 {
-	if baseline == 0 {
+	if baseline == 0 || math.IsNaN(baseline) || math.IsInf(baseline, 0) {
 		return 0
 	}
 	return (baseline - v) / baseline

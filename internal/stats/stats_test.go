@@ -84,7 +84,10 @@ func TestQuantileMonotone(t *testing.T) {
 }
 
 func TestHistogramBinning(t *testing.T) {
-	h := NewHistogram([]float64{0.5, 1.5, 1.6, 9.9, -1, 10, 11}, 0, 10, 10)
+	h, err := NewHistogram([]float64{0.5, 1.5, 1.6, 9.9, -1, 10, 11}, 0, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if h.Counts[0] != 1 || h.Counts[1] != 2 || h.Counts[9] != 1 {
 		t.Fatalf("counts = %v", h.Counts)
 	}
@@ -99,24 +102,32 @@ func TestHistogramBinning(t *testing.T) {
 	}
 }
 
-func TestHistogramPanics(t *testing.T) {
-	for _, tc := range []func(){
-		func() { NewHistogram(nil, 0, 10, 0) },
-		func() { NewHistogram(nil, 10, 10, 5) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("expected panic")
-				}
-			}()
-			tc()
-		}()
+func TestHistogramErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		lo, hi float64
+		bins   int
+	}{
+		{"zero bins", 0, 10, 0},
+		{"negative bins", 0, 10, -3},
+		{"empty range", 10, 10, 5},
+		{"inverted range", 10, 0, 5},
+		{"nan bound", math.NaN(), 10, 5},
+		{"infinite bound", 0, math.Inf(1), 5},
+	}
+	for _, tc := range cases {
+		h, err := NewHistogram(nil, tc.lo, tc.hi, tc.bins)
+		if err == nil {
+			t.Errorf("%s: expected error, got histogram %+v", tc.name, h)
+		}
 	}
 }
 
 func TestHistogramRender(t *testing.T) {
-	h := NewHistogram([]float64{1, 1, 1, 5}, 0, 10, 2)
+	h, err := NewHistogram([]float64{1, 1, 1, 5}, 0, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	out := h.Render(10)
 	if !strings.Contains(out, "##########") {
 		t.Fatalf("largest bin should have a full bar:\n%s", out)
@@ -134,8 +145,8 @@ func TestHistogramConservation(t *testing.T) {
 				xs[i] = 0
 			}
 		}
-		h := NewHistogram(xs, -100, 100, 7)
-		return h.Total()+h.Under+h.Over == len(xs)
+		h, err := NewHistogram(xs, -100, 100, 7)
+		return err == nil && h.Total()+h.Under+h.Over == len(xs)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
@@ -193,6 +204,9 @@ func TestImprovement(t *testing.T) {
 	}
 	if Improvement(0, 5) != 0 {
 		t.Fatal("zero baseline should yield 0")
+	}
+	if Improvement(math.NaN(), 5) != 0 || Improvement(math.Inf(1), 5) != 0 {
+		t.Fatal("non-finite baseline should yield 0")
 	}
 }
 

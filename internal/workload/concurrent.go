@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"superfast/internal/ssd"
+)
+
+// Collect materializes a generator's stream so it can be replayed through
+// the concurrent driver (generators themselves are single-goroutine state
+// machines).
+func Collect(g Generator) []ssd.Request {
+	var out []ssd.Request
+	for {
+		req, ok := g.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, req)
+	}
+}
+
+// RunConcurrent replays prepared requests through a thread-safe device at
+// the given queue depth: up to depth goroutines keep submissions in flight
+// while tickets pin the FTL admission order to the trace order, so the
+// returned completions are identical for every depth ≥ 1. On error the
+// remaining requests are still driven through the device (tickets must be
+// consumed in order); the first error is returned.
+func RunConcurrent(dev *ssd.ConcurrentDevice, reqs []ssd.Request, depth int) ([]ssd.Completion, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	if depth > len(reqs) {
+		depth = len(reqs)
+	}
+	first := dev.ReserveBatch(len(reqs))
+	out := make([]ssd.Completion, len(reqs))
+	var next int64 = -1
+	var errOnce sync.Once
+	var firstErr error
+	var wg sync.WaitGroup
+	for w := 0; w < depth; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := atomic.AddInt64(&next, 1)
+				if i >= int64(len(reqs)) {
+					return
+				}
+				c, err := dev.SubmitTicket(first+uint64(i), reqs[i])
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					continue
+				}
+				out[i] = c
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// PrepareForReplay returns reqs with a priming write inserted before the
+// first read of any LPN the trace never wrote earlier, so a replay on a
+// fresh device cannot fail with an unmapped read. The priming writes carry
+// the arrival time of the read they unblock. The second return value maps
+// each original request to its position in the prepared slice, so callers
+// can report trace-only completions.
+func PrepareForReplay(reqs []ssd.Request) ([]ssd.Request, []int) {
+	seen := make(map[int64]bool)
+	out := make([]ssd.Request, 0, len(reqs))
+	idx := make([]int, len(reqs))
+	for i, req := range reqs {
+		switch req.Kind {
+		case ssd.OpWrite:
+			seen[req.LPN] = true
+		case ssd.OpRead:
+			if !seen[req.LPN] {
+				out = append(out, ssd.Request{
+					Kind: ssd.OpWrite, LPN: req.LPN, Data: fill(req.LPN, 16), Arrival: req.Arrival,
+				})
+				seen[req.LPN] = true
+			}
+		}
+		idx[i] = len(out)
+		out = append(out, req)
+	}
+	return out, idx
+}
