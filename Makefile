@@ -6,7 +6,11 @@
 
 GO ?= go
 
-.PHONY: check build test race bench
+# Statement-coverage floor for `make cover`, over ./internal/... (the mains
+# in cmd/ and examples/ are driven by the verify recipe, not unit tests).
+COVER_MIN ?= 85
+
+.PHONY: check build test race bench cover
 
 check:
 	$(GO) vet ./...
@@ -22,5 +26,16 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Runs every root benchmark, including BenchmarkTelemetryOverhead — the
+# disabled/enabled pair showing the nil-sink fast path's cost.
 bench:
 	$(GO) test -bench . -benchtime 1x -run XXX .
+
+cover:
+	$(GO) test -count=1 -coverprofile=cover.out ./internal/...
+	@$(GO) tool cover -func=cover.out | awk -v min=$(COVER_MIN) '\
+		/^total:/ { sub(/%/, "", $$3); total = $$3 } \
+		END { \
+			printf "total statement coverage: %.1f%% (floor %d%%)\n", total, min; \
+			if (total + 0 < min) { print "coverage below floor"; exit 1 } \
+		}'

@@ -16,6 +16,7 @@ import (
 	"superfast/internal/profile"
 	"superfast/internal/pv"
 	"superfast/internal/ssd"
+	"superfast/internal/telemetry"
 	"superfast/internal/workload"
 )
 
@@ -219,4 +220,57 @@ func BenchmarkFTLChurn(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkTelemetryOverhead compares the device hot path with telemetry
+// detached (the nil-sink fast path: one branch per hook site) against a run
+// with a tracer and metrics registry attached. The "disabled" flavor is the
+// default-configuration cost every simulation pays; it must stay within
+// noise of the pre-telemetry front end.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	g := flash.TestGeometry()
+	g.BlocksPerPlane = 12
+	g.Layers = 12
+	p := pv.DefaultParams()
+	p.Layers = g.Layers
+	p.Strings = g.Strings
+	cfg := ssd.DefaultConfig()
+	cfg.FTL.Overprovision = 0.25
+	mk := func(b *testing.B) *ssd.ConcurrentDevice {
+		dev, err := ssd.NewConcurrent(flash.MustNewArray(g, pv.New(p), flash.DefaultECC()), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := dev.FillSequential(nil); err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(dev.Close)
+		return dev
+	}
+	capacity := int64(0)
+	read := func(b *testing.B, dev *ssd.ConcurrentDevice, i int) {
+		if _, err := dev.Submit(ssd.Request{Kind: ssd.OpRead, LPN: int64(i) % capacity}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("disabled", func(b *testing.B) {
+		dev := mk(b)
+		capacity = dev.FTL().Capacity()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			read(b, dev, i)
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		dev := mk(b)
+		capacity = dev.FTL().Capacity()
+		dev.SetTracer(telemetry.NewTrace())
+		dev.SetMetrics(telemetry.New())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			read(b, dev, i)
+		}
+	})
 }

@@ -6,12 +6,20 @@
 //
 //	ftlsim -organizer qstr-med -workload hotcold -ops 20000
 //	ftlsim -organizer random -workload uniform
-//	ftlsim -workload trace -trace ops.csv
+//	ftlsim -workload trace -in ops.csv
 //	ftlsim -workload mixed -workers 8
+//	ftlsim -workload mixed -trace out.json -metrics
 //
 // With -workers N (N > 1) the workload is materialized and replayed through
 // the thread-safe multi-queue front end by N concurrent submitters; tickets
 // pin the trace order, so the results match a single-submitter run.
+//
+// -trace FILE writes a Chrome trace-event JSON file of the device pipeline
+// (host spans, FTL-stage instants, per-chip flash ops on the simulated
+// clock; open it in Perfetto or chrome://tracing). Tracing always routes
+// through the multi-queue front end so the bytes are identical for every
+// -workers value. -metrics prints the telemetry counter/gauge/digest
+// registry at exit.
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"superfast/internal/pv"
 	"superfast/internal/ssd"
 	"superfast/internal/stats"
+	"superfast/internal/telemetry"
 	"superfast/internal/workload"
 )
 
@@ -32,7 +41,9 @@ func main() {
 		orgName  = flag.String("organizer", "qstr-med", "superblock organizer: qstr-med | sequential | random")
 		wlName   = flag.String("workload", "hotcold", "workload: seqfill | uniform | hotcold | mixed | trace | msr")
 		ops      = flag.Int64("ops", 0, "operation count (0 = one logical-space pass)")
-		tracePth = flag.String("trace", "", "trace file for -workload trace")
+		tracePth = flag.String("in", "", "input trace file for -workload trace | msr")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON file of the device pipeline (forces the multi-queue front end)")
+		metrics  = flag.Bool("metrics", false, "print the telemetry metrics registry at exit")
 		blocks   = flag.Int("blocks", 32, "blocks per plane")
 		chips    = flag.Int("chips", 4, "chips")
 		layers   = flag.Int("layers", 48, "word-line layers per block")
@@ -102,7 +113,10 @@ func main() {
 	var dev *ssd.Device
 	var cdev *ssd.ConcurrentDevice
 	var f *ftl.FTL
-	if *workers > 1 {
+	// Tracing records the multi-queue pipeline (submit → FTL stage → chip
+	// ops), so -trace forces the concurrent front end even at -workers 1:
+	// the exported bytes are then identical for every worker count.
+	if *workers > 1 || *traceOut != "" {
 		cdev, err = ssd.NewConcurrent(arr, cfg)
 		if err != nil {
 			fatalf("%v", err)
@@ -172,6 +186,23 @@ func main() {
 		fatalf("unknown workload %q", *wlName)
 	}
 
+	// Attach telemetry after the warm fill so only the measured workload is
+	// traced and counted.
+	var trc *telemetry.Trace
+	if *traceOut != "" {
+		trc = telemetry.NewTrace()
+		cdev.SetTracer(trc)
+	}
+	var reg *telemetry.Metrics
+	if *metrics {
+		reg = telemetry.New()
+		if cdev != nil {
+			cdev.SetMetrics(reg)
+		} else {
+			dev.SetMetrics(reg)
+		}
+	}
+
 	var completions []ssd.Completion
 	if cdev != nil {
 		completions, err = workload.RunConcurrent(cdev, reqs, *workers)
@@ -187,6 +218,19 @@ func main() {
 	}
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if trc != nil {
+		out, cerr := os.Create(*traceOut)
+		if cerr != nil {
+			fatalf("%v", cerr)
+		}
+		if werr := trc.WriteChrome(out); werr != nil {
+			fatalf("write trace: %v", werr)
+		}
+		if cerr := out.Close(); cerr != nil {
+			fatalf("%v", cerr)
+		}
+		fmt.Fprintf(os.Stderr, "ftlsim: wrote %d trace events to %s\n", trc.Len(), *traceOut)
 	}
 	if keep != nil {
 		trace := make([]ssd.Completion, len(keep))
@@ -222,6 +266,33 @@ func main() {
 	w := f.Wear()
 	t.AddRow("wear (min/mean/max P/E)", fmt.Sprintf("%d / %.1f / %d", w.MinPE, w.MeanPE, w.MaxPE))
 	fmt.Print(t.String())
+
+	if reg != nil {
+		// End-of-run gauges derived from accumulated state: WAF, distilled
+		// extra latency, and per-chip busy time / utilization.
+		reg.Gauge("ftl.waf").Set(fst.WAF())
+		reg.Gauge("ftl.extra.pgm_us").Set(fst.ExtraPgm)
+		reg.Gauge("ftl.extra.ers_us").Set(fst.ExtraErs)
+		if cdev != nil {
+			now := cdev.Now()
+			for _, cs := range cdev.ChipStats() {
+				reg.Gauge(fmt.Sprintf("chip.%02d.busy_us", cs.Chip)).Set(cs.Busy)
+				if now > 0 {
+					reg.Gauge(fmt.Sprintf("chip.%02d.util", cs.Chip)).Set(cs.Busy / now)
+				}
+			}
+		}
+		mt := stats.Table{Title: "telemetry", Headers: []string{"Metric", "Value"}}
+		for _, v := range reg.Snapshot() {
+			if v.Count {
+				mt.AddRow(v.Name, fmt.Sprintf("%d", uint64(v.Value)))
+			} else {
+				mt.AddRow(v.Name, fmt.Sprintf("%.3f", v.Value))
+			}
+		}
+		fmt.Println()
+		fmt.Print(mt.String())
+	}
 }
 
 // parseTraceFile opens path and parses it with the given reader.

@@ -25,6 +25,7 @@ import (
 
 	"superfast/internal/experiments"
 	"superfast/internal/stats"
+	"superfast/internal/telemetry"
 )
 
 func main() {
@@ -39,6 +40,7 @@ func main() {
 		peList = flag.String("pe", "", "override P/E steps, comma separated (e.g. 0,1000,3000)")
 		csvDir = flag.String("csv", "", "also write tables and series as CSV files into this directory")
 		par    = flag.Int("parallel", 0, "run sweep tasks on N goroutines (0 = serial)")
+		met    = flag.Bool("metrics", false, "print sweep telemetry (task counters, extra-latency digests) at exit")
 	)
 	flag.Parse()
 
@@ -70,6 +72,11 @@ func main() {
 		cfg.PESteps = steps
 	}
 	cfg.Parallel = *par
+	var reg *telemetry.Metrics
+	if *met {
+		reg = telemetry.New()
+		cfg.Metrics = reg
+	}
 
 	var ids []string
 	switch {
@@ -94,6 +101,17 @@ func main() {
 				fatalf("%s: %v", id, err)
 			}
 		}
+	}
+	if reg != nil {
+		t := stats.Table{Title: "telemetry", Headers: []string{"Metric", "Value"}}
+		for _, v := range reg.Snapshot() {
+			if v.Count {
+				t.AddRow(v.Name, fmt.Sprintf("%d", uint64(v.Value)))
+			} else {
+				t.AddRow(v.Name, fmt.Sprintf("%.3f", v.Value))
+			}
+		}
+		fmt.Print(t.String())
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"superfast/internal/flash"
 	"superfast/internal/pv"
 	"superfast/internal/stats"
+	"superfast/internal/telemetry"
 )
 
 // Config scales an experiment run.
@@ -44,6 +45,10 @@ type Config struct {
 	// would have reached, so parallel and serial sweeps produce
 	// byte-identical results regardless of scheduling.
 	Parallel int
+	// Metrics, when set, receives sweep progress counters ("sweep." prefix)
+	// and streaming extra-latency digests. Outcomes merge in serial task
+	// order even under Parallel, so the digests are scheduling-independent.
+	Metrics *telemetry.Metrics
 }
 
 // DefaultConfig returns the full-scale configuration: 24 chips, groups of
@@ -388,6 +393,20 @@ func sweep(cfg Config, strategies []assembly.Assembler) (map[string]*agg, error)
 				a.pairChecks += to.pairChecks
 				a.combos += to.combos
 				a.superblocks += to.superblocks
+			}
+			if m := cfg.Metrics; m != nil {
+				m.Counter("sweep.tasks").Inc()
+				for i := range strategies {
+					to := taskOuts[i]
+					m.Counter("sweep.superblocks").Add(uint64(to.superblocks))
+					m.Counter("sweep.pair_checks").Add(uint64(to.pairChecks))
+					for _, v := range to.pgm {
+						m.Digest("sweep.extra_pgm_us").Observe(v)
+					}
+					for _, v := range to.ers {
+						m.Digest("sweep.extra_ers_us").Observe(v)
+					}
+				}
 			}
 		}
 	}

@@ -7,6 +7,7 @@ import (
 
 	"superfast/internal/assembly"
 	"superfast/internal/core"
+	"superfast/internal/telemetry"
 )
 
 func TestConfigValidate(t *testing.T) {
@@ -288,5 +289,37 @@ func TestEveryExperimentHasDescription(t *testing.T) {
 		if Describe(id) == "" {
 			t.Errorf("experiment %q has no description", id)
 		}
+	}
+}
+
+func TestSweepMetricsParallelMatchesSerial(t *testing.T) {
+	// The sweep merges task outcomes in serial task order even when the
+	// tasks themselves ran concurrently, so every metric — including the
+	// order-sensitive P² digest state — must match the serial run exactly.
+	run := func(parallel int) []telemetry.Value {
+		cfg := QuickConfig()
+		cfg.BlocksPerLane = 16
+		cfg.Parallel = parallel
+		m := telemetry.New()
+		cfg.Metrics = m
+		if _, err := SweepStrategies(cfg, []assembly.Assembler{baseline(cfg), core.BatchAssembler{K: 4}}); err != nil {
+			t.Fatal(err)
+		}
+		return m.Snapshot()
+	}
+	serial := run(0)
+	parallel := run(4)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("sweep metrics differ:\nserial   %+v\nparallel %+v", serial, parallel)
+	}
+	byName := map[string]telemetry.Value{}
+	for _, v := range serial {
+		byName[v.Name] = v
+	}
+	if byName["sweep.tasks"].Value == 0 || byName["sweep.superblocks"].Value == 0 {
+		t.Fatalf("sweep counters empty: %+v", serial)
+	}
+	if byName["sweep.extra_pgm_us.n"].Value == 0 {
+		t.Fatal("extra-PGM digest saw no observations")
 	}
 }

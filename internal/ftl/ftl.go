@@ -17,6 +17,7 @@ import (
 	"superfast/internal/prng"
 	"superfast/internal/profile"
 	"superfast/internal/pv"
+	"superfast/internal/telemetry"
 )
 
 // Errors returned by the FTL.
@@ -192,6 +193,9 @@ type FlashOp struct {
 	Chip int
 	Dur  float64 // µs the chip is busy
 	Kind byte    // 'r' read, 'p' program, 'e' erase
+	GC   bool    // issued inside garbage collection (victim reads, relocation
+	// programs, erases, patrol refreshes) — the attribution device tracers
+	// need to tell a GC pause from host work on the same chip
 }
 
 // FTL is the flash translation layer. Not safe for concurrent use.
@@ -213,9 +217,46 @@ type FTL struct {
 	rng      *prng.Source
 	journal  bool
 	ops      []FlashOp // journal of chip ops since the last TakeOps
+	gcDepth  int       // >0 while executing GC (collect / patrol refresh)
 	hot      *hotness  // write-frequency detector (AutoHint)
 	mcache   *mapCache // DFTL translation cache (nil = full table in RAM)
 	writeSeq uint64    // global write sequence for spare-area tags
+	met      *ftlMetrics
+}
+
+// ftlMetrics caches the registry counters the FTL hot paths bump, so a
+// wired registry costs one atomic add per event and an unwired one costs a
+// single nil check.
+type ftlMetrics struct {
+	hostWrites   *telemetry.Counter
+	hostReads    *telemetry.Counter
+	gcWrites     *telemetry.Counter
+	gcRuns       *telemetry.Counter
+	flushes      *telemetry.Counter
+	erases       *telemetry.Counter
+	assembleFast *telemetry.Counter
+	assembleSlow *telemetry.Counter
+}
+
+// SetMetrics wires (or, with nil, unwires) a telemetry registry into the
+// FTL: host/GC write and read counts, flushes, erases, GC runs, and
+// superblock assemblies by speed class are counted live under the "ftl."
+// prefix. Call while no operation is in flight.
+func (f *FTL) SetMetrics(m *telemetry.Metrics) {
+	if m == nil {
+		f.met = nil
+		return
+	}
+	f.met = &ftlMetrics{
+		hostWrites:   m.Counter("ftl.writes.host"),
+		hostReads:    m.Counter("ftl.reads.host"),
+		gcWrites:     m.Counter("ftl.writes.gc"),
+		gcRuns:       m.Counter("ftl.gc.runs"),
+		flushes:      m.Counter("ftl.flushes"),
+		erases:       m.Counter("ftl.erases"),
+		assembleFast: m.Counter("ftl.assemble.fast"),
+		assembleSlow: m.Counter("ftl.assemble.slow"),
+	}
 }
 
 // New builds an FTL over the array. All blocks start free.
@@ -366,7 +407,7 @@ func (f *FTL) noteOp(chip int, dur float64, kind byte) {
 	if !f.journal {
 		return
 	}
-	f.ops = append(f.ops, FlashOp{Chip: chip, Dur: dur, Kind: kind})
+	f.ops = append(f.ops, FlashOp{Chip: chip, Dur: dur, Kind: kind, GC: f.gcDepth > 0})
 }
 
 // Scheme returns the underlying QSTR-MED instance (also used by the
@@ -407,6 +448,13 @@ func (f *FTL) assembleSuperblock(speed core.Speed) (*superblock, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	if f.met != nil {
+		if speed == core.Fast {
+			f.met.assembleFast.Inc()
+		} else {
+			f.met.assembleSlow.Inc()
+		}
 	}
 	sb := &superblock{id: f.nextSBID, members: members, speed: speed}
 	f.nextSBID++
@@ -539,6 +587,9 @@ func (f *FTL) WriteHinted(lpn int64, data []byte, hint Hint) (WriteResult, error
 	}
 	res.Latency += mapLat
 	f.stats.HostWrites++
+	if f.met != nil {
+		f.met.hostWrites.Inc()
+	}
 	return res, nil
 }
 
@@ -641,6 +692,9 @@ func (f *FTL) flush(speed core.Speed) (latency, extra float64, err error) {
 		f.noteOp(m.Chip, res.PerMember[i], 'p')
 	}
 	f.stats.Flushes++
+	if f.met != nil {
+		f.met.flushes.Inc()
+	}
 	f.stats.FlushLatency += res.Latency
 	f.stats.ExtraPgm += res.Extra
 	st.nextWL++
@@ -720,6 +774,9 @@ func (f *FTL) Read(lpn int64) (ReadResult, error) {
 		return ReadResult{}, fmt.Errorf("%w: %d", ErrUnmapped, lpn)
 	}
 	f.stats.HostReads++
+	if f.met != nil {
+		f.met.hostReads.Inc()
+	}
 	mapLat := f.chargeMapAccess(lpn, false)
 	addr, lwl, typ := f.ppnLocate(ppn)
 	// Pending pages live in the open superblock buffers.
@@ -819,12 +876,19 @@ func (f *FTL) ReadRange(lpn int64, n int) ([][]byte, float64, error) {
 	for _, k := range orderedKeys {
 		ms := groups[k]
 		// Page-type siblings share a lane; a multi-plane read takes one
-		// page per lane, so split the group by page type.
+		// page per lane, so split the group by page type. Iterate the types
+		// in their fixed order, not map order: the journal entries this loop
+		// emits set the chip dispatch schedule, which must not vary between
+		// runs of the same trace.
 		byType := map[pv.PageType][]member{}
 		for _, m := range ms {
 			byType[m.addr.Type] = append(byType[m.addr.Type], m)
 		}
-		for _, sub := range byType {
+		for typ := pv.PageType(0); int(typ) < flash.PagesPerLWL; typ++ {
+			sub, ok := byType[typ]
+			if !ok {
+				continue
+			}
 			addrs := make([]flash.PageAddr, len(sub))
 			for i, m := range sub {
 				addrs[i] = m.addr
@@ -895,6 +959,9 @@ func (f *FTL) maybeGC() (moves int, latency float64, err error) {
 			return moves, latency, nil
 		}
 		f.stats.GCRuns++
+		if f.met != nil {
+			f.met.gcRuns.Inc()
+		}
 		m, lat, err := f.collect(victim)
 		moves += m
 		latency += lat
@@ -980,6 +1047,11 @@ func (f *FTL) ensureFree() error {
 // the free pool. The victim leaves the superblock table first, so GC work
 // triggered by the relocation writes can never pick it again.
 func (f *FTL) collect(victim *superblock) (moves int, latency float64, err error) {
+	// Everything from here to the erase is GC work: journal entries carry
+	// the attribution so device tracers can separate a GC pause from host
+	// work on the same chip.
+	f.gcDepth++
+	defer func() { f.gcDepth-- }()
 	delete(f.sbs, victim.id)
 	for _, m := range victim.members {
 		base := f.ppn(m, 0, 0)
@@ -1001,6 +1073,9 @@ func (f *FTL) collect(victim *superblock) (moves int, latency float64, err error
 			}
 			latency += wr.Latency
 			f.stats.GCWrites++
+			if f.met != nil {
+				f.met.gcWrites.Inc()
+			}
 			moves++
 		}
 	}
@@ -1010,6 +1085,9 @@ func (f *FTL) collect(victim *superblock) (moves int, latency float64, err error
 	}
 	latency += res.Latency
 	f.stats.Erases++
+	if f.met != nil {
+		f.met.erases.Inc()
+	}
 	f.stats.EraseLatency += res.Latency
 	f.stats.ExtraErs += res.Extra
 	for i, m := range victim.members {
@@ -1069,13 +1147,18 @@ func (f *FTL) Patrol(startLPN int64, maxPages int, refreshAtBits int) (next int6
 					refresh = true
 				}
 				if refresh {
+					f.gcDepth++
 					wr, werr := f.writeInternal(lpn, data, core.GCWrite, HintNone)
+					f.gcDepth--
 					if werr != nil {
 						return lpn, latency, fmt.Errorf("ftl: patrol refresh lpn %d: %w", lpn, werr)
 					}
 					latency += wr.Latency
 					f.stats.Refreshes++
 					f.stats.GCWrites++
+					if f.met != nil {
+						f.met.gcWrites.Inc()
+					}
 				}
 			}
 		}

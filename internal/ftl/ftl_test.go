@@ -9,6 +9,7 @@ import (
 	"superfast/internal/flash"
 	"superfast/internal/prng"
 	"superfast/internal/pv"
+	"superfast/internal/telemetry"
 )
 
 func testArray(t testing.TB) *flash.Array {
@@ -560,5 +561,158 @@ func TestCostBenefitBeatsFIFOOnSkew(t *testing.T) {
 	fifo := skewedChurnWAF(t, FIFO)
 	if cb > fifo*1.05 {
 		t.Fatalf("cost-benefit WAF %v should not exceed FIFO WAF %v", cb, fifo)
+	}
+}
+
+func TestCollectOpsErrorReturnsPartialJournal(t *testing.T) {
+	f := newFTL(t, testConfig())
+	f.EnableOpJournal()
+	sentinel := errors.New("request rejected mid-flight")
+	ops, err := f.CollectOps(func() error {
+		if _, werr := f.Write(1, payload(1, 0)); werr != nil {
+			return werr
+		}
+		if _, ferr := f.Flush(); ferr != nil {
+			return ferr
+		}
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the fn's error", err)
+	}
+	if len(ops) == 0 {
+		t.Fatal("operations journalled before the failure must still be returned")
+	}
+	for _, op := range ops {
+		if op.Kind != 'p' || op.Dur <= 0 {
+			t.Fatalf("flush should journal programs with positive duration, got %+v", op)
+		}
+		if op.GC {
+			t.Fatalf("host flush must not be attributed to GC: %+v", op)
+		}
+	}
+	// The failed call must not leak ops into the next request's schedule.
+	clean, err := f.CollectOps(func() error { return nil })
+	if err != nil || len(clean) != 0 {
+		t.Fatalf("journal not clean after failed request: %d ops, err %v", len(clean), err)
+	}
+}
+
+func TestCollectOpsDiscardsStaleJournal(t *testing.T) {
+	f := newFTL(t, testConfig())
+	f.EnableOpJournal()
+	// Ops journalled outside any CollectOps bracket (e.g. by a caller that
+	// crashed between TakeOps drains) must not be charged to the next request.
+	if _, err := f.Write(2, payload(2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ops, err := f.CollectOps(func() error { return nil })
+	if err != nil || len(ops) != 0 {
+		t.Fatalf("stale ops leaked into request: %d ops, err %v", len(ops), err)
+	}
+}
+
+func TestCollectOpsRequiresJournalEnabled(t *testing.T) {
+	f := newFTL(t, testConfig())
+	ops, err := f.CollectOps(func() error {
+		if _, werr := f.Write(3, payload(3, 0)); werr != nil {
+			return werr
+		}
+		_, ferr := f.Flush()
+		return ferr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 0 {
+		t.Fatalf("journal disabled, but CollectOps returned %d ops", len(ops))
+	}
+}
+
+func TestMetricsCountersMatchStats(t *testing.T) {
+	f := newFTL(t, testConfig())
+	m := telemetry.New()
+	f.SetMetrics(m)
+	fillAndChurn(t, f, 1.0, 17)
+	for lpn := int64(0); lpn < 20; lpn++ {
+		if _, err := f.Read(lpn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := f.Stats()
+	counters := map[string]uint64{
+		"ftl.writes.host": st.HostWrites,
+		"ftl.reads.host":  st.HostReads,
+		"ftl.writes.gc":   st.GCWrites,
+		"ftl.gc.runs":     st.GCRuns,
+		"ftl.flushes":     st.Flushes,
+		"ftl.erases":      st.Erases,
+	}
+	for name, want := range counters {
+		if got := m.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d (must track Stats)", name, got, want)
+		}
+	}
+	if st.GCRuns == 0 {
+		t.Fatal("full churn should trigger GC")
+	}
+	fast := m.Counter("ftl.assemble.fast").Value()
+	slow := m.Counter("ftl.assemble.slow").Value()
+	if fast == 0 || slow == 0 {
+		t.Fatalf("assemblies by speed class: fast=%d slow=%d, want both nonzero", fast, slow)
+	}
+}
+
+func TestMetricsNilUnwires(t *testing.T) {
+	f := newFTL(t, testConfig())
+	m := telemetry.New()
+	f.SetMetrics(m)
+	if _, err := f.Write(0, payload(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	before := m.Counter("ftl.writes.host").Value()
+	if before != 1 {
+		t.Fatalf("wired counter = %d, want 1", before)
+	}
+	f.SetMetrics(nil)
+	if _, err := f.Write(1, payload(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Counter("ftl.writes.host").Value(); got != before {
+		t.Fatalf("unwired FTL still bumped counter: %d", got)
+	}
+}
+
+func TestGCAttributionInJournal(t *testing.T) {
+	f := newFTL(t, testConfig())
+	f.EnableOpJournal()
+	fillAndChurn(t, f, 1.0, 23)
+	if f.Stats().GCRuns == 0 {
+		t.Fatal("full churn should trigger GC")
+	}
+	ops := f.TakeOps()
+	var gcOps, hostOps int
+	for _, op := range ops {
+		if op.GC {
+			gcOps++
+		} else {
+			hostOps++
+		}
+	}
+	if gcOps == 0 {
+		t.Fatal("GC ran but no journal entry carries the GC flag")
+	}
+	if hostOps == 0 {
+		t.Fatal("host flushes should journal non-GC entries")
+	}
+	// Every erase happens inside collection; victim reads and relocation
+	// programs carry the flag too.
+	for _, op := range ops {
+		if op.Kind == 'e' && !op.GC {
+			t.Fatalf("erase outside GC attribution: %+v", op)
+		}
 	}
 }

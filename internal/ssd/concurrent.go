@@ -7,6 +7,7 @@ import (
 
 	"superfast/internal/flash"
 	"superfast/internal/ftl"
+	"superfast/internal/telemetry"
 )
 
 // ConcurrentDevice is a thread-safe, event-driven front end over the FTL:
@@ -36,13 +37,18 @@ type ConcurrentDevice struct {
 	issued uint64     // tickets handed out
 	next   uint64     // next ticket allowed into the FTL stage
 	clock  float64    // latest admitted arrival, µs
+	trc    telemetry.Tracer // nil = tracing disabled (read under mu)
 
 	chips []*chipWorker
 
 	statsMu sync.Mutex
-	records []latencyRecord
-	counts  Stats   // scalar counters; Latencies are merged from records
-	horizon float64 // latest completion observed, µs
+	records []latencyRecord // only populated when cfg.RetainLatencies
+	counts  Stats           // scalar counters; Latencies are merged from records
+	horizon float64         // latest completion observed, µs
+	lat     *telemetry.Digest
+	pend    map[uint64][]float64 // finished tickets not yet fed to the digest
+	drain   uint64               // next ticket the digest will consume
+	qdepth  *telemetry.Gauge     // in-flight submissions; nil when unwired
 
 	closeOnce sync.Once
 }
@@ -60,6 +66,10 @@ type chipJob struct {
 	earliest float64 // the op may not start before this (request arrival)
 	dur      float64
 	reply    chan<- float64 // receives the op's end time; buffered by sender
+	kind     byte           // 'r' read, 'p' program, 'e' erase
+	gc       bool           // issued inside garbage collection
+	seq      uint64         // submission ticket, for trace attribution
+	slot     int            // op index within the ticket's batch
 }
 
 // ChipStats reports one chip worker's activity.
@@ -78,6 +88,7 @@ type chipWorker struct {
 
 	mu    sync.Mutex
 	stats ChipStats
+	trc   telemetry.Tracer // nil = tracing disabled
 }
 
 func (w *chipWorker) run() {
@@ -92,7 +103,24 @@ func (w *chipWorker) run() {
 		w.stats.Till = e
 		w.stats.Ops++
 		w.stats.Busy += job.dur
+		trc := w.trc
 		w.mu.Unlock()
+		if trc != nil {
+			// The span's start/end are deterministic (jobs arrive in ticket
+			// order), so the export is too, however the workers interleave.
+			trc.Emit(telemetry.Event{
+				Ts:    s,
+				Dur:   job.dur,
+				Track: telemetry.TrackChip(w.stats.Chip),
+				Ph:    telemetry.PhaseSpan,
+				GC:    job.gc,
+				Name:  telemetry.OpName(job.kind),
+				Cat:   "flash",
+				Seq:   job.seq,
+				Slot:  job.slot,
+				LPN:   -1,
+			})
+		}
 		job.reply <- e
 	}
 }
@@ -109,7 +137,12 @@ func NewConcurrent(arr *flash.Array, cfg Config) (*ConcurrentDevice, error) {
 		return nil, err
 	}
 	f.EnableOpJournal()
-	c := &ConcurrentDevice{f: f, cfg: cfg}
+	c := &ConcurrentDevice{
+		f:    f,
+		cfg:  cfg,
+		lat:  telemetry.NewDigest(),
+		pend: make(map[uint64][]float64),
+	}
 	c.admit = sync.NewCond(&c.mu)
 	for chip := 0; chip < arr.Geometry().Chips; chip++ {
 		w := &chipWorker{
@@ -144,17 +177,63 @@ func (c *ConcurrentDevice) FTL() *ftl.FTL { return c.f }
 func (c *ConcurrentDevice) PageSize() int { return c.f.Geometry().PageSize }
 
 // Now returns the simulated clock: the later of the latest admitted arrival
-// and the latest completion.
+// and the latest completion. Both locks are held together — reading them in
+// two separate critical sections would let a submission land between the
+// reads and return a clock torn between two different instants.
 func (c *ConcurrentDevice) Now() float64 {
 	c.mu.Lock()
-	t := c.clock
-	c.mu.Unlock()
+	defer c.mu.Unlock()
 	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	t := c.clock
 	if c.horizon > t {
 		t = c.horizon
 	}
-	c.statsMu.Unlock()
 	return t
+}
+
+// SetTracer attaches (or, with nil, detaches) a tracer recording the device
+// pipeline on the simulated clock: one host span per request, an FTL-stage
+// instant per coalesced run, and one span per chip operation. Call while no
+// submission is in flight — typically after the warm fill, so the trace
+// covers only the measured workload.
+func (c *ConcurrentDevice) SetTracer(tr telemetry.Tracer) {
+	c.mu.Lock()
+	c.trc = tr
+	c.mu.Unlock()
+	for _, w := range c.chips {
+		w.mu.Lock()
+		w.trc = tr
+		w.mu.Unlock()
+	}
+}
+
+// SetMetrics wires (or, with nil, unwires) a telemetry registry: the FTL's
+// "ftl." counters, a "ssd.qdepth" gauge tracking in-flight submissions, and
+// the streaming "ssd.latency" digest. Call while no submission is in flight;
+// wiring a registry swaps in its (fresh) digest, so attaching after the warm
+// fill keeps the fill out of the measured distribution.
+func (c *ConcurrentDevice) SetMetrics(m *telemetry.Metrics) {
+	c.f.SetMetrics(m)
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	if m == nil {
+		c.qdepth = nil
+		c.lat = telemetry.NewDigest()
+		return
+	}
+	c.qdepth = m.Gauge("ssd.qdepth")
+	c.lat = m.Digest("ssd.latency")
+}
+
+// LatencyDigest returns the streaming latency summary: moments plus P²
+// p50/p95/p99 estimates in O(1) memory. Observations enter in ticket order
+// (a reorder buffer holds completions that finish early), so the snapshot is
+// identical however many goroutines submitted.
+func (c *ConcurrentDevice) LatencyDigest() telemetry.DigestSnapshot {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return c.lat.Snapshot()
 }
 
 // Reserve allocates the next submission ticket. SubmitTicket admits tickets
@@ -222,16 +301,22 @@ type run struct {
 }
 
 func (c *ConcurrentDevice) submit(ticket uint64, reqs []Request) ([]Completion, error) {
-	if len(reqs) == 0 {
-		return nil, nil
+	if g := c.gauge(); g != nil {
+		g.Add(1)
+		defer g.Add(-1)
 	}
 	c.mu.Lock()
 	for c.next != ticket {
 		c.admit.Wait()
 	}
-	runs, err := c.ftlStage(reqs)
-	// The ticket advances even on error so later submitters are never
-	// deadlocked behind a failed request.
+	var runs []run
+	var err error
+	if len(reqs) > 0 {
+		runs, err = c.ftlStage(ticket, reqs)
+	}
+	trc := c.trc
+	// The ticket advances even on error (and on an empty batch) so later
+	// submitters are never deadlocked behind a failed request.
 	c.next = ticket + 1
 	c.admit.Broadcast()
 	c.mu.Unlock()
@@ -259,8 +344,36 @@ func (c *ConcurrentDevice) submit(ticket uint64, reqs []Request) ([]Completion, 
 		}
 	}
 	if err != nil {
+		// The digest drain must still see this ticket, or every later
+		// completion would sit in the reorder buffer forever.
+		c.statsMu.Lock()
+		c.pend[ticket] = nil
+		c.feedDigest()
+		c.statsMu.Unlock()
 		return nil, err
 	}
+	if trc != nil {
+		for _, r := range runs {
+			head := reqs[r.first]
+			trc.Emit(telemetry.Event{
+				Ts: r.arrival, Track: telemetry.TrackFTL, Ph: telemetry.PhaseInstant,
+				Name: "ftl-stage", Cat: "ftl", Seq: ticket, Slot: r.first, LPN: head.LPN,
+			})
+			for i := 0; i < r.n; i++ {
+				req := reqs[r.first+i]
+				cp := comps[r.first+i]
+				trc.Emit(telemetry.Event{
+					Ts: r.arrivals[i], Dur: cp.Latency, Track: telemetry.TrackHost,
+					Ph: telemetry.PhaseSpan, Name: req.Kind.String(), Cat: "host",
+					Seq: ticket, Slot: r.first + i, LPN: req.LPN,
+				})
+			}
+		}
+	}
+	// Latencies of this ticket in slot order: the reorder buffer feeds them
+	// to the digest in ticket order, so the streaming quantiles are the same
+	// at any submission depth.
+	lats := make([]float64, 0, len(reqs))
 	c.statsMu.Lock()
 	for _, r := range runs {
 		for i := 0; i < r.n; i++ {
@@ -274,23 +387,52 @@ func (c *ConcurrentDevice) submit(ticket uint64, reqs []Request) ([]Completion, 
 			case OpTrim:
 				c.counts.Trims++
 			}
-			c.records = append(c.records, latencyRecord{
-				arrival: r.arrivals[i], ticket: ticket, slot: r.first + i, latency: cp.Latency,
-			})
+			if c.cfg.RetainLatencies {
+				c.records = append(c.records, latencyRecord{
+					arrival: r.arrivals[i], ticket: ticket, slot: r.first + i, latency: cp.Latency,
+				})
+			}
+			lats = append(lats, cp.Latency)
 			if cp.Finish > c.horizon {
 				c.horizon = cp.Finish
 			}
 		}
 	}
+	c.pend[ticket] = lats
+	c.feedDigest()
 	c.statsMu.Unlock()
 	return comps, nil
+}
+
+// gauge returns the in-flight gauge under the stats lock.
+func (c *ConcurrentDevice) gauge() *telemetry.Gauge {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return c.qdepth
+}
+
+// feedDigest advances the ticket-order drain over the reorder buffer.
+// Caller holds c.statsMu.
+func (c *ConcurrentDevice) feedDigest() {
+	for {
+		lats, ok := c.pend[c.drain]
+		if !ok {
+			return
+		}
+		delete(c.pend, c.drain)
+		c.drain++
+		for _, v := range lats {
+			c.lat.Observe(v)
+		}
+	}
 }
 
 // ftlStage executes a batch against the FTL in run-sized units and
 // dispatches the journalled chip work. Caller holds c.mu. On error the runs
 // executed so far are returned so their replies can still be drained.
-func (c *ConcurrentDevice) ftlStage(reqs []Request) ([]run, error) {
+func (c *ConcurrentDevice) ftlStage(ticket uint64, reqs []Request) ([]run, error) {
 	var runs []run
+	opIdx := 0 // op index across the whole batch, for trace attribution
 	for first := 0; first < len(reqs); {
 		n := runLen(reqs[first:])
 		r := run{
@@ -355,7 +497,11 @@ func (c *ConcurrentDevice) ftlStage(reqs []Request) ([]run, error) {
 		r.nops = len(ops)
 		r.reply = make(chan float64, len(ops)) // buffered: workers never block
 		for _, op := range ops {
-			c.chips[op.Chip].ch <- chipJob{earliest: r.arrival, dur: op.Dur, reply: r.reply}
+			c.chips[op.Chip].ch <- chipJob{
+				earliest: r.arrival, dur: op.Dur, reply: r.reply,
+				kind: op.Kind, gc: op.GC, seq: ticket, slot: opIdx,
+			}
+			opIdx++
 		}
 		runs = append(runs, r)
 		if err != nil {
@@ -395,9 +541,11 @@ func (c *ConcurrentDevice) transferTime(bytes int) float64 {
 	return float64(bytes) / c.cfg.BusMBps // bytes / (MB/s) = µs
 }
 
-// Stats returns the merged device statistics. Latencies are ordered by
-// (arrival, ticket, batch slot) — a stable, deterministic merge that does
-// not depend on which worker finished first.
+// Stats returns the merged device statistics. When Config.RetainLatencies
+// is set, Latencies are ordered by (arrival, ticket, batch slot) — a stable,
+// deterministic merge that does not depend on which worker finished first.
+// Otherwise Latencies is nil and the streaming LatencyDigest carries the
+// distribution in O(1) memory.
 func (c *ConcurrentDevice) Stats() Stats {
 	c.statsMu.Lock()
 	defer c.statsMu.Unlock()

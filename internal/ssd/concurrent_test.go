@@ -8,9 +8,15 @@ import (
 
 	"superfast/internal/flash"
 	"superfast/internal/pv"
+	"superfast/internal/telemetry"
 )
 
 func concurrentDevice(t testing.TB) *ConcurrentDevice {
+	t.Helper()
+	return concurrentDeviceCfg(t, nil)
+}
+
+func concurrentDeviceCfg(t testing.TB, tweak func(*Config)) *ConcurrentDevice {
 	t.Helper()
 	g := flash.TestGeometry()
 	g.BlocksPerPlane = 12
@@ -21,6 +27,9 @@ func concurrentDevice(t testing.TB) *ConcurrentDevice {
 	arr := flash.MustNewArray(g, pv.New(p), flash.DefaultECC())
 	cfg := DefaultConfig()
 	cfg.FTL.Overprovision = 0.25
+	if tweak != nil {
+		tweak(&cfg)
+	}
 	d, err := NewConcurrent(arr, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -108,21 +117,26 @@ func TestConcurrentDepthIndependence(t *testing.T) {
 	// The same stamped trace replayed at depth 1 and depth 8 must yield
 	// bit-identical completions and merged statistics: tickets pin the FTL
 	// order and dispatch order pins every chip schedule.
-	run := func(depth int) ([]Completion, Stats) {
-		d := concurrentDevice(t)
+	run := func(depth int) ([]Completion, Stats, telemetry.DigestSnapshot) {
+		d := concurrentDeviceCfg(t, func(cfg *Config) { cfg.RetainLatencies = true })
 		if err := d.FillSequential(nil); err != nil {
 			t.Fatal(err)
 		}
 		comps := replayTickets(t, d, readTrace(d, 48), depth)
-		return comps, d.Stats()
+		return comps, d.Stats(), d.LatencyDigest()
 	}
-	c1, s1 := run(1)
-	c8, s8 := run(8)
+	c1, s1, d1 := run(1)
+	c8, s8, d8 := run(8)
 	if !reflect.DeepEqual(c1, c8) {
 		t.Fatal("depth-8 completions differ from depth-1")
 	}
 	if !reflect.DeepEqual(s1, s8) {
 		t.Fatalf("depth-8 stats differ from depth-1:\n%+v\n%+v", s1, s8)
+	}
+	// The streaming digest consumes observations in ticket order (reorder
+	// buffer), so even the P² marker state must be depth-independent.
+	if d1 != d8 {
+		t.Fatalf("depth-8 latency digest differs from depth-1:\n%+v\n%+v", d1, d8)
 	}
 }
 
@@ -352,7 +366,7 @@ func TestConcurrentStatsMergeOrder(t *testing.T) {
 	// Latencies must come back in arrival order no matter which worker
 	// finished first: submit a stamped trace at depth 8 and compare the
 	// merged Latencies against the per-completion latencies in trace order.
-	d := concurrentDevice(t)
+	d := concurrentDeviceCfg(t, func(cfg *Config) { cfg.RetainLatencies = true })
 	if err := d.FillSequential(nil); err != nil {
 		t.Fatal(err)
 	}

@@ -11,6 +11,7 @@ import (
 
 	"superfast/internal/flash"
 	"superfast/internal/ftl"
+	"superfast/internal/telemetry"
 )
 
 // QueueModel selects how the device turns the FTL's flash work into time.
@@ -41,6 +42,12 @@ type Config struct {
 	FTL     ftl.Config
 	BusMBps float64 // host interface bandwidth (SATA 3: ~550 MB/s)
 	Queue   QueueModel
+	// RetainLatencies keeps every per-request latency in memory so Stats can
+	// return the raw Latencies slice. Off by default: long runs then rely on
+	// the O(1)-memory streaming digest (LatencyDigest) instead of an
+	// unbounded record list. Only the ConcurrentDevice honours this; the
+	// serial Device always retains (it exists for short deterministic runs).
+	RetainLatencies bool
 }
 
 // DefaultConfig returns a SATA-3-like device over the default FTL.
@@ -106,6 +113,7 @@ type Device struct {
 	now      float64 // simulated clock, µs
 	busy     float64 // device busy until
 	chipBusy []float64
+	lat      *telemetry.Digest // nil until SetMetrics wires a registry
 
 	stats Stats
 }
@@ -127,6 +135,19 @@ func New(arr *flash.Array, cfg Config) (*Device, error) {
 
 // FTL exposes the underlying translation layer.
 func (d *Device) FTL() *ftl.FTL { return d.f }
+
+// SetMetrics wires (or, with nil, unwires) a telemetry registry: the FTL's
+// "ftl." counters plus a streaming "ssd.latency" digest fed one observation
+// per completed request. Attach after warming the device so the fill does
+// not pollute the measured distribution.
+func (d *Device) SetMetrics(m *telemetry.Metrics) {
+	d.f.SetMetrics(m)
+	if m == nil {
+		d.lat = nil
+		return
+	}
+	d.lat = m.Digest("ssd.latency")
+}
 
 // Now returns the simulated clock.
 func (d *Device) Now() float64 { return d.now }
@@ -246,6 +267,9 @@ func (d *Device) Submit(req Request) (Completion, error) {
 	}
 	d.stats.Requests++
 	d.stats.Latencies = append(d.stats.Latencies, c.Latency)
+	if d.lat != nil {
+		d.lat.Observe(c.Latency)
+	}
 	return c, nil
 }
 

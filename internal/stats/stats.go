@@ -28,10 +28,15 @@ func Summarize(xs []float64) Summary {
 		return Summary{}
 	}
 	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
-	var sum, sumSq float64
-	for _, v := range xs {
-		sum += v
-		sumSq += v * v
+	// Welford's one-pass moments: the textbook sumSq−mean² form cancels
+	// catastrophically on large-offset samples (microsecond clocks reach
+	// 1e12 in long runs, squaring to 1e24 — past float64's 15–16 digits),
+	// where it returns a zero or garbage variance.
+	var mean, m2 float64
+	for i, v := range xs {
+		delta := v - mean
+		mean += delta / float64(i+1)
+		m2 += delta * (v - mean)
 		if v < s.Min {
 			s.Min = v
 		}
@@ -39,13 +44,8 @@ func Summarize(xs []float64) Summary {
 			s.Max = v
 		}
 	}
-	n := float64(len(xs))
-	s.Mean = sum / n
-	variance := sumSq/n - s.Mean*s.Mean
-	if variance < 0 {
-		variance = 0
-	}
-	s.Std = math.Sqrt(variance)
+	s.Mean = mean
+	s.Std = math.Sqrt(m2 / float64(len(xs)))
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
 	s.Median = Quantile(sorted, 0.5)

@@ -25,6 +25,25 @@ func TestSummarizeEmpty(t *testing.T) {
 	}
 }
 
+func TestSummarizeHighOffsetVariance(t *testing.T) {
+	// Latency samples late in a long simulated run sit on a huge clock
+	// offset with a small spread. The naive sumSq−mean² variance loses all
+	// significant digits here (4e12² = 1.6e25 ≫ float64's 2^53 precision);
+	// Welford's recurrence must recover the exact spread.
+	base := 4e12
+	xs := []float64{base + 1, base + 2, base + 3, base + 4, base + 5}
+	s := Summarize(xs)
+	if math.Abs(s.Mean-(base+3)) > 1e-3 {
+		t.Fatalf("Mean = %v, want %v", s.Mean, base+3)
+	}
+	if want := math.Sqrt(2); math.Abs(s.Std-want) > 1e-6 {
+		t.Fatalf("Std = %v, want %v (catastrophic cancellation)", s.Std, want)
+	}
+	if s.Min != base+1 || s.Max != base+5 || s.Median != base+3 {
+		t.Fatalf("order stats wrong: %+v", s)
+	}
+}
+
 func TestSummarizeProperties(t *testing.T) {
 	f := func(xs []float64) bool {
 		for i, v := range xs {

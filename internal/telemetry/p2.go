@@ -1,0 +1,125 @@
+package telemetry
+
+import "sort"
+
+// P2 is the Jain/Chlamtac P² streaming quantile estimator: it tracks one
+// quantile of an unbounded stream with five markers — O(1) memory and O(1)
+// work per observation — adjusting marker heights with a piecewise-parabolic
+// interpolation. For the first five observations the estimate is exact
+// (computed from the sorted sample); afterwards the estimate converges to
+// the true quantile with error that shrinks as the sample grows.
+//
+// The estimator is deterministic in the observation order. Not safe for
+// concurrent use; Digest and the device front ends guard it externally.
+type P2 struct {
+	p     float64    // target quantile in (0, 1)
+	count int        // observations seen
+	q     [5]float64 // marker heights
+	n     [5]float64 // marker positions (1-based)
+	np    [5]float64 // desired marker positions
+	dn    [5]float64 // desired position increments per observation
+}
+
+// NewP2 returns an estimator for the q-quantile (0 < q < 1).
+func NewP2(q float64) *P2 {
+	e := &P2{p: q}
+	e.dn = [5]float64{0, q / 2, q, (1 + q) / 2, 1}
+	return e
+}
+
+// Observe feeds one sample.
+func (e *P2) Observe(x float64) {
+	if e.count < 5 {
+		e.q[e.count] = x
+		e.count++
+		if e.count == 5 {
+			sort.Float64s(e.q[:])
+			for i := 0; i < 5; i++ {
+				e.n[i] = float64(i + 1)
+			}
+			p := e.p
+			e.np = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+		}
+		return
+	}
+
+	// Locate the cell containing x, extending the extremes if needed.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < e.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.n[i]++
+	}
+	for i := 0; i < 5; i++ {
+		e.np[i] += e.dn[i]
+	}
+	e.count++
+
+	// Adjust the three interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := e.np[i] - e.n[i]
+		if (d >= 1 && e.n[i+1]-e.n[i] > 1) || (d <= -1 && e.n[i-1]-e.n[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1.0
+			}
+			q := e.parabolic(i, s)
+			if !(e.q[i-1] < q && q < e.q[i+1]) {
+				q = e.linear(i, s)
+			}
+			e.q[i] = q
+			e.n[i] += s
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic height prediction for marker i
+// moved by d ∈ {−1, +1}.
+func (e *P2) parabolic(i int, d float64) float64 {
+	return e.q[i] + d/(e.n[i+1]-e.n[i-1])*
+		((e.n[i]-e.n[i-1]+d)*(e.q[i+1]-e.q[i])/(e.n[i+1]-e.n[i])+
+			(e.n[i+1]-e.n[i]-d)*(e.q[i]-e.q[i-1])/(e.n[i]-e.n[i-1]))
+}
+
+// linear is the fallback height prediction when the parabola leaves the
+// bracketing markers.
+func (e *P2) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return e.q[i] + d*(e.q[j]-e.q[i])/(e.n[j]-e.n[i])
+}
+
+// Count returns the number of observations.
+func (e *P2) Count() int { return e.count }
+
+// Value returns the current quantile estimate. With fewer than five
+// observations it is computed exactly from the sorted sample (with linear
+// interpolation, matching stats.Quantile); with none it is 0.
+func (e *P2) Value() float64 {
+	if e.count == 0 {
+		return 0
+	}
+	if e.count < 5 {
+		s := append([]float64(nil), e.q[:e.count]...)
+		sort.Float64s(s)
+		pos := e.p * float64(len(s)-1)
+		lo := int(pos)
+		if lo >= len(s)-1 {
+			return s[len(s)-1]
+		}
+		frac := pos - float64(lo)
+		return s[lo]*(1-frac) + s[lo+1]*frac
+	}
+	return e.q[2]
+}

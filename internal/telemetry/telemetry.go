@@ -1,0 +1,95 @@
+// Package telemetry is the observability layer of the simulated storage
+// stack: per-request span tracing on the simulated clock, exportable as
+// deterministic Chrome trace-event JSON (viewable in Perfetto or
+// chrome://tracing), and a streaming metrics registry — counters, gauges and
+// O(1)-memory latency digests — that survives arbitrarily long runs without
+// retaining per-request state.
+//
+// The subsystem is hook-based: the device front ends accept a Tracer and a
+// *Metrics while idle and consult them with a single nil check per event, so
+// a disabled sink costs one branch on the hot path
+// (BenchmarkTelemetryOverhead guards this).
+//
+// Determinism is a design requirement, matching the rest of the repository:
+// given the same admission (ticket) order, the emitted event set is
+// identical regardless of how many goroutines submit, and the Chrome export
+// sorts events by a total key so the JSON is byte-for-byte reproducible.
+package telemetry
+
+import "fmt"
+
+// Track identifies one timeline row of the trace (a Chrome "thread").
+// The device pipeline uses one row for host requests, one for FTL-stage
+// markers, and one per flash chip.
+const (
+	// TrackHost is the host request timeline: one span per request from
+	// arrival to completion.
+	TrackHost = 0
+	// TrackFTL carries FTL-stage instants: one marker per coalesced run at
+	// the simulated time its mapping/GC/journal work executed.
+	TrackFTL = 1
+	// TrackChipBase + c is chip c's timeline: one span per flash operation
+	// (read/program/erase) over the chip's busy interval.
+	TrackChipBase = 16
+)
+
+// TrackChip returns the track of flash chip c.
+func TrackChip(c int) int { return TrackChipBase + c }
+
+// TrackName returns the display name of a track, used for the trace
+// export's thread-name metadata.
+func TrackName(track int) string {
+	switch {
+	case track == TrackHost:
+		return "host"
+	case track == TrackFTL:
+		return "ftl"
+	case track >= TrackChipBase:
+		return fmt.Sprintf("chip %d", track-TrackChipBase)
+	}
+	return fmt.Sprintf("track %d", track)
+}
+
+// Event phases (the Chrome trace-event "ph" field subset the pipeline uses).
+const (
+	// PhaseSpan is a complete span: Ts..Ts+Dur.
+	PhaseSpan = byte('X')
+	// PhaseInstant is a zero-duration marker at Ts.
+	PhaseInstant = byte('i')
+)
+
+// Event is one trace record on the simulated clock. All fields are plain
+// values so emitting an event never allocates beyond the sink's own storage.
+type Event struct {
+	Ts    float64 // start, simulated µs
+	Dur   float64 // duration, simulated µs (0 for instants)
+	Track int     // timeline row (Track* constants)
+	Ph    byte    // PhaseSpan or PhaseInstant
+	GC    bool    // the work was garbage-collection-attributed
+	Name  string  // span name: "read", "write", "trim", "program", "erase", "ftl-stage"
+	Cat   string  // category: "host", "ftl", "flash"
+	Seq   uint64  // submission ticket — the stable ordering key
+	Slot  int     // position within the ticket (request slot or op index)
+	LPN   int64   // logical page, -1 when not applicable
+}
+
+// Tracer receives trace events. Implementations must be safe for concurrent
+// use; the device emits from submitter goroutines and chip workers. A nil
+// Tracer disables tracing — callers guard each emission with one nil check.
+type Tracer interface {
+	Emit(Event)
+}
+
+// OpName translates an FTL op-journal kind byte ('r', 'p', 'e') into the
+// span name used on chip tracks.
+func OpName(kind byte) string {
+	switch kind {
+	case 'r':
+		return "read"
+	case 'p':
+		return "program"
+	case 'e':
+		return "erase"
+	}
+	return fmt.Sprintf("op-%c", kind)
+}

@@ -1,0 +1,165 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{Ts: 1200, Dur: 40, Track: TrackChip(1), Ph: PhaseSpan, Name: "read", Cat: "flash", Seq: 2, Slot: 0, LPN: 9},
+		{Ts: 1000, Dur: 300, Track: TrackHost, Ph: PhaseSpan, Name: "write", Cat: "host", Seq: 1, Slot: 0, LPN: 4},
+		{Ts: 1000, Track: TrackFTL, Ph: PhaseInstant, Name: "ftl-stage", Cat: "ftl", Seq: 1, Slot: 0, LPN: 4},
+		{Ts: 1050, Dur: 220, Track: TrackChip(0), Ph: PhaseSpan, Name: "program", Cat: "flash", Seq: 1, Slot: 1, LPN: -1, GC: true},
+	}
+}
+
+func TestTraceWriteChromeValidAndDeterministic(t *testing.T) {
+	render := func(order []int) string {
+		tr := NewTrace()
+		evs := sampleEvents()
+		for _, i := range order {
+			tr.Emit(evs[i])
+		}
+		var b bytes.Buffer
+		if err := tr.WriteChrome(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	a := render([]int{0, 1, 2, 3})
+	b := render([]int{3, 2, 1, 0})
+	if a != b {
+		t.Fatalf("export depends on emission order:\n%s\nvs\n%s", a, b)
+	}
+
+	var parsed []map[string]any
+	if err := json.Unmarshal([]byte(a), &parsed); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, a)
+	}
+	// 1 process_name + 4 thread_name + 4 events.
+	if len(parsed) != 9 {
+		t.Fatalf("parsed %d records, want 9:\n%s", len(parsed), a)
+	}
+	if !strings.Contains(a, `"gc":1`) {
+		t.Fatalf("GC attribution missing:\n%s", a)
+	}
+	if strings.Contains(a, `"lpn":-1`) {
+		t.Fatalf("negative LPN should be omitted:\n%s", a)
+	}
+	if !strings.Contains(a, `{"name":"thread_name","ph":"M","pid":1,"tid":0,"args":{"name":"host"}}`) {
+		t.Fatalf("host thread name metadata missing:\n%s", a)
+	}
+}
+
+func TestTraceEventsSorted(t *testing.T) {
+	tr := NewTrace()
+	for _, ev := range sampleEvents() {
+		tr.Emit(ev)
+	}
+	evs := tr.Events()
+	if tr.Len() != 4 || len(evs) != 4 {
+		t.Fatalf("len = %d / %d", tr.Len(), len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Ts < evs[i-1].Ts {
+			t.Fatalf("events not time-sorted: %v after %v", evs[i].Ts, evs[i-1].Ts)
+		}
+	}
+	if evs[0].Name != "write" && evs[0].Name != "ftl-stage" {
+		t.Fatalf("first event %+v", evs[0])
+	}
+}
+
+func TestTrackNames(t *testing.T) {
+	if TrackName(TrackHost) != "host" || TrackName(TrackFTL) != "ftl" {
+		t.Fatal("fixed track names wrong")
+	}
+	if TrackName(TrackChip(3)) != "chip 3" {
+		t.Fatalf("chip track name %q", TrackName(TrackChip(3)))
+	}
+	if OpName('r') != "read" || OpName('p') != "program" || OpName('e') != "erase" {
+		t.Fatal("op names wrong")
+	}
+}
+
+func TestMetricsRegistry(t *testing.T) {
+	m := New()
+	c := m.Counter("ssd.requests")
+	if m.Counter("ssd.requests") != c {
+		t.Fatal("counter lookup not idempotent")
+	}
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+
+	g := m.Gauge("ssd.inflight")
+	g.Add(3)
+	g.Add(-2)
+	if g.Value() != 1 || g.Max() != 3 {
+		t.Fatalf("gauge = %v max %v", g.Value(), g.Max())
+	}
+	g.Set(0.5)
+	if g.Value() != 0.5 || g.Max() != 3 {
+		t.Fatalf("gauge after set = %v max %v", g.Value(), g.Max())
+	}
+
+	d := m.Digest("ssd.latency")
+	d.Observe(10)
+	d.Observe(20)
+
+	snap := m.Snapshot()
+	for i := 1; i < len(snap); i++ {
+		if snap[i].Name <= snap[i-1].Name {
+			t.Fatalf("snapshot not name-sorted: %q after %q", snap[i].Name, snap[i-1].Name)
+		}
+	}
+	byName := map[string]Value{}
+	for _, v := range snap {
+		byName[v.Name] = v
+	}
+	if v := byName["ssd.requests"]; v.Value != 5 || !v.Count {
+		t.Fatalf("requests reading %+v", v)
+	}
+	if v := byName["ssd.inflight.max"]; v.Value != 3 {
+		t.Fatalf("inflight.max reading %+v", v)
+	}
+	if v := byName["ssd.latency.mean"]; v.Value != 15 {
+		t.Fatalf("latency.mean reading %+v", v)
+	}
+	if v := byName["ssd.latency.n"]; v.Value != 2 || !v.Count {
+		t.Fatalf("latency.n reading %+v", v)
+	}
+}
+
+func TestMetricsConcurrent(t *testing.T) {
+	m := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.Counter("c").Inc()
+				m.Gauge("g").Add(1)
+				m.Gauge("g").Add(-1)
+				m.Digest("d").Observe(float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Counter("c").Value(); got != 8000 {
+		t.Fatalf("counter = %d", got)
+	}
+	if got := m.Gauge("g").Value(); got != 0 {
+		t.Fatalf("gauge = %v", got)
+	}
+	if got := m.Digest("d").Snapshot().N; got != 8000 {
+		t.Fatalf("digest n = %d", got)
+	}
+}

@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Trace is the collecting Tracer: it buffers events in memory and exports
+// them as Chrome trace-event JSON. Safe for concurrent use.
+//
+// The export is deterministic: events are sorted by a total key
+// (Ts, Track, Seq, Slot, Name, Dur, Ph), numbers are rendered with
+// shortest-roundtrip formatting, and object keys are written in a fixed
+// order, so two runs that admit the same requests in the same ticket order
+// produce byte-identical files no matter how many goroutines submitted.
+type Trace struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewTrace returns an empty trace collector.
+func NewTrace() *Trace { return &Trace{} }
+
+// Emit implements Tracer.
+func (t *Trace) Emit(ev Event) {
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Len returns the number of collected events.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a sorted copy of the collected events (export order).
+func (t *Trace) Events() []Event {
+	t.mu.Lock()
+	evs := append([]Event(nil), t.events...)
+	t.mu.Unlock()
+	sortEvents(evs)
+	return evs
+}
+
+// sortEvents orders events by the total export key.
+func sortEvents(evs []Event) {
+	sort.Slice(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.Ts != b.Ts {
+			return a.Ts < b.Ts
+		}
+		if a.Track != b.Track {
+			return a.Track < b.Track
+		}
+		if a.Seq != b.Seq {
+			return a.Seq < b.Seq
+		}
+		if a.Slot != b.Slot {
+			return a.Slot < b.Slot
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if a.Dur != b.Dur {
+			return a.Dur < b.Dur
+		}
+		return a.Ph < b.Ph
+	})
+}
+
+// WriteChrome writes the trace in Chrome trace-event JSON array format
+// (the "JSON Array Format" accepted by Perfetto and chrome://tracing):
+// thread-name metadata first, then every event as a complete ("X") or
+// instant ("i") record with ts/dur in microseconds of the simulated clock
+// and args carrying the ticket, slot, LPN and GC attribution.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	evs := t.Events()
+	bw := bufio.NewWriter(w)
+	bw.WriteString("[\n")
+	bw.WriteString(`{"name":"process_name","ph":"M","pid":1,"args":{"name":"superfast device pipeline"}}`)
+
+	// One thread-name record per track present, in track order.
+	tracks := map[int]bool{}
+	for _, ev := range evs {
+		tracks[ev.Track] = true
+	}
+	ids := make([]int, 0, len(tracks))
+	for id := range tracks {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		bw.WriteString(",\n")
+		bw.WriteString(`{"name":"thread_name","ph":"M","pid":1,"tid":`)
+		bw.WriteString(strconv.Itoa(id))
+		bw.WriteString(`,"args":{"name":`)
+		bw.WriteString(strconv.Quote(TrackName(id)))
+		bw.WriteString(`}}`)
+	}
+
+	for _, ev := range evs {
+		bw.WriteString(",\n")
+		bw.WriteString(`{"name":`)
+		bw.WriteString(strconv.Quote(ev.Name))
+		bw.WriteString(`,"cat":`)
+		bw.WriteString(strconv.Quote(ev.Cat))
+		bw.WriteString(`,"ph":"`)
+		bw.WriteByte(ev.Ph)
+		bw.WriteString(`"`)
+		if ev.Ph == PhaseInstant {
+			bw.WriteString(`,"s":"t"`)
+		}
+		bw.WriteString(`,"pid":1,"tid":`)
+		bw.WriteString(strconv.Itoa(ev.Track))
+		bw.WriteString(`,"ts":`)
+		bw.WriteString(formatUS(ev.Ts))
+		if ev.Ph == PhaseSpan {
+			bw.WriteString(`,"dur":`)
+			bw.WriteString(formatUS(ev.Dur))
+		}
+		bw.WriteString(`,"args":{"ticket":`)
+		bw.WriteString(strconv.FormatUint(ev.Seq, 10))
+		bw.WriteString(`,"slot":`)
+		bw.WriteString(strconv.Itoa(ev.Slot))
+		if ev.LPN >= 0 {
+			bw.WriteString(`,"lpn":`)
+			bw.WriteString(strconv.FormatInt(ev.LPN, 10))
+		}
+		if ev.GC {
+			bw.WriteString(`,"gc":1`)
+		}
+		bw.WriteString(`}}`)
+	}
+	bw.WriteString("\n]\n")
+	return bw.Flush()
+}
+
+// formatUS renders a simulated-µs value with the shortest representation
+// that round-trips, in fixed-point notation (trace viewers dislike
+// exponents in ts fields).
+func formatUS(v float64) string {
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}

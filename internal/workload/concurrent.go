@@ -27,9 +27,32 @@ func Collect(g Generator) []ssd.Request {
 // returned completions are identical for every depth ≥ 1. On error the
 // remaining requests are still driven through the device (tickets must be
 // consumed in order); the first error is returned.
+//
+// RunConcurrent materializes every completion — O(len(reqs)) memory. Long
+// runs that only need aggregates should use RunConcurrentFunc with the
+// device's streaming latency digest instead.
 func RunConcurrent(dev *ssd.ConcurrentDevice, reqs []ssd.Request, depth int) ([]ssd.Completion, error) {
 	if len(reqs) == 0 {
 		return nil, nil
+	}
+	out := make([]ssd.Completion, len(reqs))
+	if err := RunConcurrentFunc(dev, reqs, depth, func(i int, c ssd.Completion) {
+		out[i] = c
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunConcurrentFunc is the streaming form of RunConcurrent: instead of
+// materializing a completion slice it hands each completion to fn as it
+// finishes. fn may be nil (drive the trace for its side effects only); when
+// set it is called concurrently from the submitter goroutines — exactly once
+// per successful request, with that request's index — so it must be safe for
+// concurrent use unless each index touches disjoint state.
+func RunConcurrentFunc(dev *ssd.ConcurrentDevice, reqs []ssd.Request, depth int, fn func(i int, c ssd.Completion)) error {
+	if len(reqs) == 0 {
+		return nil
 	}
 	if depth < 1 {
 		depth = 1
@@ -38,7 +61,6 @@ func RunConcurrent(dev *ssd.ConcurrentDevice, reqs []ssd.Request, depth int) ([]
 		depth = len(reqs)
 	}
 	first := dev.ReserveBatch(len(reqs))
-	out := make([]ssd.Completion, len(reqs))
 	var next int64 = -1
 	var errOnce sync.Once
 	var firstErr error
@@ -57,15 +79,14 @@ func RunConcurrent(dev *ssd.ConcurrentDevice, reqs []ssd.Request, depth int) ([]
 					errOnce.Do(func() { firstErr = err })
 					continue
 				}
-				out[i] = c
+				if fn != nil {
+					fn(int(i), c)
+				}
 			}
 		}()
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return out, nil
+	return firstErr
 }
 
 // PrepareForReplay returns reqs with a priming write inserted before the

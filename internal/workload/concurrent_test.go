@@ -2,6 +2,7 @@ package workload
 
 import (
 	"reflect"
+	"sync/atomic"
 	"testing"
 
 	"superfast/internal/flash"
@@ -118,5 +119,77 @@ func TestPrepareForReplay(t *testing.T) {
 	d := concurrentDevice(t)
 	if _, err := RunConcurrent(d, out, 2); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunConcurrentFuncStreams(t *testing.T) {
+	// The streaming form must visit every request exactly once with the same
+	// completion the materializing form returns — and combined with the
+	// device's latency digest it replaces the completion slice entirely.
+	trace := Collect(&Paced{
+		Gen:       &Mixed{Space: 64, Count: 150, ReadFrac: 0.5, PageLen: 8, Seed: 11},
+		MeanGapUS: 50,
+		Seed:      11,
+	})
+	d := concurrentDevice(t)
+	want, err := RunConcurrent(d, trace, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := concurrentDevice(t)
+	got := make([]ssd.Completion, len(trace))
+	seen := make([]int32, len(trace))
+	if err := RunConcurrentFunc(s, trace, 4, func(i int, c ssd.Completion) {
+		atomic.AddInt32(&seen[i], 1)
+		got[i] = c
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("request %d delivered %d times", i, n)
+		}
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("streamed completions differ from materialized ones")
+	}
+	if d.LatencyDigest() != s.LatencyDigest() {
+		t.Fatal("latency digests differ between the two forms")
+	}
+}
+
+func TestRunConcurrentFuncNilSink(t *testing.T) {
+	// fn == nil drives the trace purely for its side effects; aggregates come
+	// from the streaming digest instead of a completion slice.
+	trace := Collect(&Sequential{N: 32, PageLen: 8})
+	d := concurrentDevice(t)
+	if err := RunConcurrentFunc(d, trace, 4, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.LatencyDigest().N; got != 32 {
+		t.Fatalf("digest n = %d, want 32", got)
+	}
+}
+
+func TestRunConcurrentFuncErrorSkipsCallback(t *testing.T) {
+	d := concurrentDevice(t)
+	reqs := []ssd.Request{
+		{Kind: ssd.OpWrite, LPN: 0, Data: []byte("a")},
+		{Kind: ssd.OpRead, LPN: 999999}, // unmapped
+		{Kind: ssd.OpWrite, LPN: 1, Data: []byte("b")},
+	}
+	var calls int32
+	err := RunConcurrentFunc(d, reqs, 1, func(i int, c ssd.Completion) {
+		atomic.AddInt32(&calls, 1)
+		if i == 1 {
+			t.Error("callback invoked for the failed request")
+		}
+	})
+	if err == nil {
+		t.Fatal("unmapped read should surface an error")
+	}
+	if calls != 2 {
+		t.Fatalf("callback ran %d times, want 2 (successes only)", calls)
 	}
 }
