@@ -8,14 +8,31 @@ GO ?= go
 
 # Statement-coverage floor for `make cover`, over ./internal/... (the mains
 # in cmd/ and examples/ are driven by the verify recipe, not unit tests).
-COVER_MIN ?= 85
+COVER_MIN ?= 90
 
-.PHONY: check build test race bench cover
+SMOKE_DIR := $(shell mktemp -d 2>/dev/null || echo /tmp/superfast-smoke)
+
+.PHONY: check build test race bench cover smoke
 
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(MAKE) smoke
+
+# Observability smoke: the in-process HTTP exposition test (serve on an
+# ephemeral port, scrape /metrics and /healthz), then a short ftlsim run
+# exporting the attribution report, flight-recorder CSV and metrics dump
+# through the real CLI surface.
+smoke:
+	$(GO) test -count=1 -run TestHTTPMetricsSmoke .
+	$(GO) run ./cmd/ftlsim -blocks 16 -layers 16 -ops 2000 -workers 8 \
+		-attr $(SMOKE_DIR)/attr.json -rec $(SMOKE_DIR)/rec.csv \
+		-metrics-out $(SMOKE_DIR)/metrics.txt >/dev/null
+	@for f in attr.json rec.csv metrics.txt; do \
+		test -s $(SMOKE_DIR)/$$f || { echo "smoke: $$f empty or missing"; exit 1; }; \
+	done
+	@rm -rf $(SMOKE_DIR)
 
 build:
 	$(GO) build ./...
@@ -26,10 +43,12 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Runs every root benchmark, including BenchmarkTelemetryOverhead — the
-# disabled/enabled pair showing the nil-sink fast path's cost.
+# Runs every root benchmark — including BenchmarkTelemetryOverhead, the
+# disabled/enabled/full flavors showing the nil-sink fast path's cost — plus
+# the telemetry package's attribution hot-path benchmark.
 bench:
 	$(GO) test -bench . -benchtime 1x -run XXX .
+	$(GO) test -bench BenchmarkAttributionRecord -benchtime 1x -run XXX ./internal/telemetry
 
 cover:
 	$(GO) test -count=1 -coverprofile=cover.out ./internal/...

@@ -273,4 +273,43 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 			read(b, dev, i)
 		}
 	})
+	// The write flavors exercise the sinks the read path never reaches:
+	// multi-plane flushes feed the attribution table and the recorder samples
+	// on every submission. writes-disabled is the same workload through the
+	// nil-sink branches.
+	write := func(b *testing.B, dev *ssd.ConcurrentDevice, i int) {
+		if _, err := dev.Submit(ssd.Request{
+			Kind: ssd.OpWrite, LPN: int64(i*2654435761) % capacity, Data: []byte{byte(i)},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("writes-disabled", func(b *testing.B) {
+		dev := mk(b)
+		capacity = dev.FTL().Capacity()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			write(b, dev, i)
+		}
+	})
+	b.Run("writes-full", func(b *testing.B) {
+		dev := mk(b)
+		capacity = dev.FTL().Capacity()
+		dev.SetTracer(telemetry.NewTrace())
+		dev.SetMetrics(telemetry.New())
+		dev.SetAttribution(telemetry.NewAttribution())
+		rec, err := telemetry.NewRecorder(1000, 4096, ssd.RecorderColumns(g.Chips))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := dev.AttachRecorder(rec); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			write(b, dev, i)
+		}
+	})
 }

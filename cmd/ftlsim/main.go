@@ -19,13 +19,31 @@
 // clock; open it in Perfetto or chrome://tracing). Tracing always routes
 // through the multi-queue front end so the bytes are identical for every
 // -workers value. -metrics prints the telemetry counter/gauge/digest
-// registry at exit.
+// registry at exit (to stderr, or to -metrics-out FILE, so piped results
+// stay clean).
+//
+// -attr FILE writes the straggler attribution report: which member block of
+// every multi-plane program/erase was slowest and how much extra latency it
+// imposed, aggregated per block, lane, (host|gc)×(fast|slow)×op class, and
+// log-bucketed histogram. -rec FILE writes the flight recorder's samples
+// (WAF, queue depth, extra-latency EWMA, assembly pool levels, per-chip
+// utilization on a fixed simulated interval; CSV, or JSON with a .json
+// suffix). Both force the multi-queue front end, and both exports are
+// byte-identical for every -workers value.
+//
+// -http ADDR serves live Prometheus text-format /metrics, /healthz and
+// /debug/pprof (plus /flightrecorder and /attribution when enabled) while
+// the run executes; add -hold to keep serving after the run until
+// interrupted.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"strings"
 
 	"superfast/internal/flash"
 	"superfast/internal/ftl"
@@ -43,7 +61,15 @@ func main() {
 		ops      = flag.Int64("ops", 0, "operation count (0 = one logical-space pass)")
 		tracePth = flag.String("in", "", "input trace file for -workload trace | msr")
 		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON file of the device pipeline (forces the multi-queue front end)")
-		metrics  = flag.Bool("metrics", false, "print the telemetry metrics registry at exit")
+		metrics  = flag.Bool("metrics", false, "print the telemetry metrics registry at exit (stderr)")
+		metOut   = flag.String("metrics-out", "", "write the -metrics dump to FILE instead of stderr")
+		attrOut  = flag.String("attr", "", "write the straggler attribution report (JSON) to FILE (forces the multi-queue front end)")
+		attrTopK = flag.Int("attr-topk", 20, "straggler blocks kept in the -attr report (0 = all)")
+		recOut   = flag.String("rec", "", "write flight-recorder samples to FILE (.json suffix = JSON, else CSV; forces the multi-queue front end)")
+		recIntv  = flag.Float64("rec-interval", 10000, "flight-recorder sampling interval, simulated µs")
+		recCap   = flag.Int("rec-cap", 4096, "flight-recorder ring capacity (newest samples kept)")
+		httpAddr = flag.String("http", "", "serve /metrics, /healthz, /debug/pprof (plus /flightrecorder, /attribution when enabled) on ADDR")
+		hold     = flag.Bool("hold", false, "with -http: keep serving after the run until interrupted")
 		blocks   = flag.Int("blocks", 32, "blocks per plane")
 		chips    = flag.Int("chips", 4, "chips")
 		layers   = flag.Int("layers", 48, "word-line layers per block")
@@ -115,8 +141,10 @@ func main() {
 	var f *ftl.FTL
 	// Tracing records the multi-queue pipeline (submit → FTL stage → chip
 	// ops), so -trace forces the concurrent front end even at -workers 1:
-	// the exported bytes are then identical for every worker count.
-	if *workers > 1 || *traceOut != "" {
+	// the exported bytes are then identical for every worker count. The
+	// attribution and flight-recorder exports carry the same guarantee, so
+	// they force it too.
+	if *workers > 1 || *traceOut != "" || *attrOut != "" || *recOut != "" {
 		cdev, err = ssd.NewConcurrent(arr, cfg)
 		if err != nil {
 			fatalf("%v", err)
@@ -194,13 +222,36 @@ func main() {
 		cdev.SetTracer(trc)
 	}
 	var reg *telemetry.Metrics
-	if *metrics {
+	if *metrics || *metOut != "" || *httpAddr != "" {
 		reg = telemetry.New()
 		if cdev != nil {
 			cdev.SetMetrics(reg)
 		} else {
 			dev.SetMetrics(reg)
 		}
+	}
+	var attr *telemetry.Attribution
+	if *attrOut != "" {
+		attr = telemetry.NewAttribution()
+		cdev.SetAttribution(attr)
+	}
+	var rec *telemetry.Recorder
+	if *recOut != "" {
+		rec, err = telemetry.NewRecorder(*recIntv, *recCap, ssd.RecorderColumns(g.Chips))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := cdev.AttachRecorder(rec); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if *httpAddr != "" {
+		srv, addr, herr := telemetry.Serve(*httpAddr, telemetry.Routes(reg, rec, attr))
+		if herr != nil {
+			fatalf("-http: %v", herr)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "ftlsim: serving telemetry on http://%s/\n", addr)
 	}
 
 	var completions []ssd.Completion
@@ -231,6 +282,28 @@ func main() {
 			fatalf("%v", cerr)
 		}
 		fmt.Fprintf(os.Stderr, "ftlsim: wrote %d trace events to %s\n", trc.Len(), *traceOut)
+	}
+	if rec != nil {
+		// Emit the samples between the last event and the end of the run,
+		// then export.
+		cdev.FlushRecorder()
+		if werr := writeExport(*recOut, func(w io.Writer) error {
+			if strings.HasSuffix(*recOut, ".json") {
+				return rec.WriteJSON(w)
+			}
+			return rec.WriteCSV(w)
+		}); werr != nil {
+			fatalf("write recorder: %v", werr)
+		}
+		fmt.Fprintf(os.Stderr, "ftlsim: wrote %d flight-recorder samples to %s\n", rec.Len(), *recOut)
+	}
+	if attr != nil {
+		if werr := writeExport(*attrOut, func(w io.Writer) error {
+			return attr.WriteJSON(w, *attrTopK)
+		}); werr != nil {
+			fatalf("write attribution: %v", werr)
+		}
+		fmt.Fprintf(os.Stderr, "ftlsim: wrote attribution of %d multi-plane commands to %s\n", attr.Ops(), *attrOut)
 	}
 	if keep != nil {
 		trace := make([]ssd.Completion, len(keep))
@@ -273,6 +346,7 @@ func main() {
 		reg.Gauge("ftl.waf").Set(fst.WAF())
 		reg.Gauge("ftl.extra.pgm_us").Set(fst.ExtraPgm)
 		reg.Gauge("ftl.extra.ers_us").Set(fst.ExtraErs)
+		reg.Gauge("ftl.extra.ewma_us").Set(fst.ExtraEWMA)
 		if cdev != nil {
 			now := cdev.Now()
 			for _, cs := range cdev.ChipStats() {
@@ -282,6 +356,10 @@ func main() {
 				}
 			}
 		}
+	}
+	if *metrics || *metOut != "" {
+		// The dump goes to stderr (or a file), never stdout: piped experiment
+		// results must not interleave with telemetry.
 		mt := stats.Table{Title: "telemetry", Headers: []string{"Metric", "Value"}}
 		for _, v := range reg.Snapshot() {
 			if v.Count {
@@ -290,9 +368,36 @@ func main() {
 				mt.AddRow(v.Name, fmt.Sprintf("%.3f", v.Value))
 			}
 		}
-		fmt.Println()
-		fmt.Print(mt.String())
+		if *metOut != "" {
+			if werr := writeExport(*metOut, func(w io.Writer) error {
+				_, e := io.WriteString(w, mt.String())
+				return e
+			}); werr != nil {
+				fatalf("write metrics: %v", werr)
+			}
+		} else {
+			fmt.Fprint(os.Stderr, "\n"+mt.String())
+		}
 	}
+	if *httpAddr != "" && *hold {
+		fmt.Fprintln(os.Stderr, "ftlsim: run complete; serving until interrupted (-hold)")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+	}
+}
+
+// writeExport creates path and streams the export through write.
+func writeExport(path string, write func(io.Writer) error) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(out); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
 }
 
 // parseTraceFile opens path and parses it with the given reader.

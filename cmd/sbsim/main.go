@@ -13,11 +13,17 @@
 // would have it, so the results are byte-identical to -parallel 0. The
 // `make check` gate runs the suite under the race detector to keep this
 // path (and the concurrent device front end) race-clean.
+//
+// -metrics prints the telemetry registry to stderr (or -metrics-out FILE),
+// keeping piped experiment tables clean. -attr FILE writes the straggler
+// attribution gathered across the device-level experiments. -http ADDR
+// serves live /metrics, /healthz and /debug/pprof while experiments run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -40,7 +46,11 @@ func main() {
 		peList = flag.String("pe", "", "override P/E steps, comma separated (e.g. 0,1000,3000)")
 		csvDir = flag.String("csv", "", "also write tables and series as CSV files into this directory")
 		par    = flag.Int("parallel", 0, "run sweep tasks on N goroutines (0 = serial)")
-		met    = flag.Bool("metrics", false, "print sweep telemetry (task counters, extra-latency digests) at exit")
+		met      = flag.Bool("metrics", false, "print sweep telemetry (task counters, extra-latency digests) at exit (stderr)")
+		metOut   = flag.String("metrics-out", "", "write the -metrics dump to FILE instead of stderr")
+		attrOut  = flag.String("attr", "", "write the straggler attribution report (JSON) gathered across experiments to FILE")
+		attrTopK = flag.Int("attr-topk", 20, "straggler blocks kept in the -attr report (0 = all)")
+		httpAddr = flag.String("http", "", "serve /metrics, /healthz, /debug/pprof (plus /attribution with -attr) on ADDR while experiments run")
 	)
 	flag.Parse()
 
@@ -73,9 +83,22 @@ func main() {
 	}
 	cfg.Parallel = *par
 	var reg *telemetry.Metrics
-	if *met {
+	if *met || *metOut != "" || *httpAddr != "" {
 		reg = telemetry.New()
 		cfg.Metrics = reg
+	}
+	var attr *telemetry.Attribution
+	if *attrOut != "" {
+		attr = telemetry.NewAttribution()
+		cfg.Attr = attr
+	}
+	if *httpAddr != "" {
+		srv, addr, err := telemetry.Serve(*httpAddr, telemetry.Routes(reg, nil, attr))
+		if err != nil {
+			fatalf("-http: %v", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "sbsim: serving telemetry on http://%s/\n", addr)
 	}
 
 	var ids []string
@@ -102,7 +125,23 @@ func main() {
 			}
 		}
 	}
-	if reg != nil {
+	if attr != nil {
+		out, err := os.Create(*attrOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := attr.WriteJSON(out, *attrTopK); err != nil {
+			out.Close()
+			fatalf("write attribution: %v", err)
+		}
+		if err := out.Close(); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "sbsim: wrote attribution of %d multi-plane commands to %s\n", attr.Ops(), *attrOut)
+	}
+	if *met || *metOut != "" {
+		// The dump goes to stderr (or a file), never stdout: piped experiment
+		// tables must not interleave with telemetry.
 		t := stats.Table{Title: "telemetry", Headers: []string{"Metric", "Value"}}
 		for _, v := range reg.Snapshot() {
 			if v.Count {
@@ -111,7 +150,16 @@ func main() {
 				t.AddRow(v.Name, fmt.Sprintf("%.3f", v.Value))
 			}
 		}
-		fmt.Print(t.String())
+		var w io.Writer = os.Stderr
+		if *metOut != "" {
+			out, err := os.Create(*metOut)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			defer out.Close()
+			w = out
+		}
+		fmt.Fprint(w, t.String())
 	}
 }
 

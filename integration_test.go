@@ -7,6 +7,10 @@
 package superfast_test
 
 import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
 	"testing"
 
 	"superfast/internal/assembly"
@@ -17,6 +21,7 @@ import (
 	"superfast/internal/profile"
 	"superfast/internal/pv"
 	"superfast/internal/ssd"
+	"superfast/internal/telemetry"
 	"superfast/internal/workload"
 )
 
@@ -136,6 +141,84 @@ func TestIntegrationDeviceObservesOrganizedExtraLatency(t *testing.T) {
 	r := extra(ftl.RandomOrg)
 	if q >= r {
 		t.Fatalf("organized extra/flush (%v) should beat random (%v)", q, r)
+	}
+}
+
+func TestHTTPMetricsSmoke(t *testing.T) {
+	// The live-exposition path end to end: drive a device with every sink
+	// attached, serve the registry on an ephemeral port, and scrape the
+	// endpoints the CLIs advertise. This is the `make check` integration smoke
+	// for the -http flag.
+	g, p := integrationGeometry()
+	arr := flash.MustNewArray(g, pv.New(p), flash.DefaultECC())
+	cfg := ssd.DefaultConfig()
+	cfg.FTL.Overprovision = 0.25
+	dev, err := ssd.New(arr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.FillSequential(nil); err != nil {
+		t.Fatal(err)
+	}
+	m := telemetry.New()
+	dev.SetMetrics(m)
+	attr := telemetry.NewAttribution()
+	dev.SetAttribution(attr)
+	rec, err := telemetry.NewRecorder(500, 1024, ssd.RecorderColumns(g.Chips))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.AttachRecorder(rec); err != nil {
+		t.Fatal(err)
+	}
+	capacity := dev.FTL().Capacity()
+	for i := 0; i < 300; i++ {
+		if _, err := dev.Submit(ssd.Request{
+			Kind: ssd.OpWrite, LPN: int64(i*2654435761) % capacity, Data: []byte{byte(i)},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dev.FlushRecorder()
+
+	srv, addr, err := telemetry.Serve("127.0.0.1:0", telemetry.Routes(m, rec, attr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	get := func(path string) string {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d: %s", path, resp.StatusCode, body)
+		}
+		return string(body)
+	}
+	if got := get("/healthz"); got != "ok\n" {
+		t.Fatalf("healthz = %q", got)
+	}
+	metrics := get("/metrics")
+	for _, want := range []string{
+		"# TYPE ftl_writes_host counter",
+		"ssd_latency{quantile=\"0.5\"}",
+		"ssd_latency_count",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics lacks %q:\n%s", want, metrics)
+		}
+	}
+	if fr := get("/flightrecorder"); !strings.HasPrefix(fr, "t_us,waf,qdepth") {
+		t.Fatalf("flightrecorder CSV header missing: %q", fr[:60])
+	}
+	if at := get("/attribution"); !strings.Contains(at, "\"stragglers\"") {
+		t.Fatalf("attribution report lacks stragglers: %.200s", at)
 	}
 }
 

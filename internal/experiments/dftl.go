@@ -50,6 +50,7 @@ func runDFTL(cfg Config) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
+			dev.SetAttribution(cfg.Attr)
 			capacity := dev.FTL().Capacity()
 			if err := dev.FillSequential(nil); err != nil {
 				return nil, err

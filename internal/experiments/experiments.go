@@ -49,6 +49,10 @@ type Config struct {
 	// and streaming extra-latency digests. Outcomes merge in serial task
 	// order even under Parallel, so the digests are scheduling-independent.
 	Metrics *telemetry.Metrics
+	// Attr, when set, receives straggler attribution from every device-level
+	// experiment: each multi-plane program/erase charges its extra latency
+	// (max − min member latency) to the slowest member block.
+	Attr *telemetry.Attribution
 }
 
 // DefaultConfig returns the full-scale configuration: 24 chips, groups of

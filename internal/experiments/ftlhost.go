@@ -67,6 +67,7 @@ func runFTLHost(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		dev.SetAttribution(cfg.Attr)
 		cap := dev.FTL().Capacity()
 		// Warm: fill the logical space, then churn with a skewed write mix
 		// so GC interleaves with host traffic.

@@ -36,6 +36,7 @@ func runGCPolicy(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		dev.SetAttribution(cfg.Attr)
 		capacity := dev.FTL().Capacity()
 		if err := dev.FillSequential(nil); err != nil {
 			return nil, err

@@ -48,6 +48,7 @@ func runLoadSweep(cfg Config) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
+			dev.SetAttribution(cfg.Attr)
 			capacity := dev.FTL().Capacity()
 			if err := dev.FillSequential(nil); err != nil {
 				return nil, err

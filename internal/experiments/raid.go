@@ -39,6 +39,7 @@ func runRAIDOverhead(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		dev.SetAttribution(cfg.Attr)
 		capacity := dev.FTL().Capacity()
 		// Fill and churn so parity costs show in WAF and latency.
 		if err := dev.FillSequential(nil); err != nil {

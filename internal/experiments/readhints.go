@@ -36,6 +36,7 @@ func runReadHints(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		dev.SetAttribution(cfg.Attr)
 		capacity := dev.FTL().Capacity()
 		hotN := capacity / 4
 		// Interleave hot (small random) and cold (batch) writes 1:3, the

@@ -30,6 +30,7 @@ func retentionDevice(cfg Config) (*ssd.Device, int64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	dev.SetAttribution(cfg.Attr)
 	sample := dev.FTL().Capacity() / 4
 	for lpn := int64(0); lpn < sample; lpn++ {
 		if _, err := dev.Submit(ssd.Request{Kind: ssd.OpWrite, LPN: lpn, Data: []byte("cold")}); err != nil {

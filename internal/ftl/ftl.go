@@ -148,8 +148,17 @@ type Stats struct {
 	ReadLatency  float64
 	ExtraPgm     float64 // extra latency accumulated across programs
 	ExtraErs     float64
-	RAIDRepairs  uint64 // pages reconstructed from parity
+	// ExtraEWMA is an exponentially weighted moving average of per-command
+	// extra latency (α = 1/8) across multi-plane programs and erases — the
+	// "how straggly is the device right now" signal the flight recorder
+	// samples.
+	ExtraEWMA   float64
+	RAIDRepairs uint64 // pages reconstructed from parity
 }
+
+// extraEWMAAlpha weights the newest multi-plane command's extra latency in
+// Stats.ExtraEWMA.
+const extraEWMAAlpha = 1.0 / 8
 
 // WAF returns the write amplification factor.
 func (s Stats) WAF() float64 {
@@ -222,6 +231,8 @@ type FTL struct {
 	mcache   *mapCache // DFTL translation cache (nil = full table in RAM)
 	writeSeq uint64    // global write sequence for spare-area tags
 	met      *ftlMetrics
+	attr     *telemetry.Attribution
+	attrKeys []telemetry.BlockKey // scratch for recordAttr, reused across calls
 }
 
 // ftlMetrics caches the registry counters the FTL hot paths bump, so a
@@ -257,6 +268,31 @@ func (f *FTL) SetMetrics(m *telemetry.Metrics) {
 		assembleFast: m.Counter("ftl.assemble.fast"),
 		assembleSlow: m.Counter("ftl.assemble.slow"),
 	}
+}
+
+// SetAttribution wires (or, with nil, unwires) a straggler attribution table:
+// every multi-plane program and erase reports its member blocks and
+// per-member latencies, so the table can charge the extra latency (max − min)
+// to the slowest member. Call while no operation is in flight. The FTL
+// records under its own serialized execution, so with a deterministic request
+// order the table's report is byte-identical across runs.
+func (f *FTL) SetAttribution(a *telemetry.Attribution) { f.attr = a }
+
+// recordAttr reports one multi-plane command to the attribution table. The
+// member-key scratch slice is reused so the disabled path costs one nil check
+// and the enabled path does not allocate per command.
+func (f *FTL) recordAttr(kind byte, fast bool, members []flash.BlockAddr, lats []float64) {
+	if f.attr == nil {
+		return
+	}
+	if cap(f.attrKeys) < len(members) {
+		f.attrKeys = make([]telemetry.BlockKey, len(members))
+	}
+	keys := f.attrKeys[:len(members)]
+	for i, m := range members {
+		keys[i] = telemetry.BlockKey{Chip: m.Chip, Plane: m.Plane, Block: m.Block}
+	}
+	f.attr.Record(kind, f.gcDepth > 0, fast, keys, lats)
 }
 
 // New builds an FTL over the array. All blocks start free.
@@ -413,6 +449,16 @@ func (f *FTL) noteOp(chip int, dur float64, kind byte) {
 // Scheme returns the underlying QSTR-MED instance (also used by the
 // baseline organizers for free-pool bookkeeping).
 func (f *FTL) Scheme() *core.Scheme { return f.scheme }
+
+// OpenFill returns the number of buffered pages pending in the open
+// superblock of the given speed class, or 0 when none is open — the assembly
+// pool levels the flight recorder samples.
+func (f *FTL) OpenFill(speed core.Speed) int {
+	if st := f.open[speed]; st != nil {
+		return st.fill
+	}
+	return 0
+}
 
 // ppn computes the flat physical page number of a block page.
 func (f *FTL) ppn(addr flash.BlockAddr, lwl int, typ pv.PageType) int64 {
@@ -697,6 +743,8 @@ func (f *FTL) flush(speed core.Speed) (latency, extra float64, err error) {
 	}
 	f.stats.FlushLatency += res.Latency
 	f.stats.ExtraPgm += res.Extra
+	f.stats.ExtraEWMA += extraEWMAAlpha * (res.Extra - f.stats.ExtraEWMA)
+	f.recordAttr('p', st.sb.speed == core.Fast, st.sb.members, res.PerMember)
 	st.nextWL++
 	for i := range st.data {
 		for t := range st.data[i] {
@@ -1090,6 +1138,8 @@ func (f *FTL) collect(victim *superblock) (moves int, latency float64, err error
 	}
 	f.stats.EraseLatency += res.Latency
 	f.stats.ExtraErs += res.Extra
+	f.stats.ExtraEWMA += extraEWMAAlpha * (res.Extra - f.stats.ExtraEWMA)
+	f.recordAttr('e', victim.speed == core.Fast, victim.members, res.PerMember)
 	for i, m := range victim.members {
 		f.noteOp(m.Chip, res.PerMember[i], 'e')
 	}

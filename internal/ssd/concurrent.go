@@ -38,6 +38,12 @@ type ConcurrentDevice struct {
 	next   uint64     // next ticket allowed into the FTL stage
 	clock  float64    // latest admitted arrival, µs
 	trc    telemetry.Tracer // nil = tracing disabled (read under mu)
+	rec    *recState  // nil until AttachRecorder (read under mu)
+	// mirrorTill mirrors each chip worker's busy-until watermark: the FTL
+	// stage replays the worker scheduling math (jobs arrive in ticket order,
+	// start at max(arrival, till)) so the recorder can sample queue depth and
+	// chip utilization deterministically without racing the workers.
+	mirrorTill []float64
 
 	chips []*chipWorker
 
@@ -206,6 +212,73 @@ func (c *ConcurrentDevice) SetTracer(tr telemetry.Tracer) {
 		w.trc = tr
 		w.mu.Unlock()
 	}
+}
+
+// SetAttribution wires (or, with nil, unwires) a straggler attribution table
+// into the FTL. The FTL stage runs in strict ticket order, so the table's
+// report is byte-identical across worker counts. Call while no submission is
+// in flight.
+func (c *ConcurrentDevice) SetAttribution(a *telemetry.Attribution) {
+	c.mu.Lock()
+	c.f.SetAttribution(a)
+	c.mu.Unlock()
+}
+
+// AttachRecorder wires a flight recorder into the FTL stage: every clock
+// advance ticks it, sampling WAF, in-flight depth, the extra-latency EWMA,
+// assembly pool levels, and per-chip utilization. The recorder must have been
+// built with RecorderColumns for this device's chip count. All sampled state
+// is maintained under the serialized ticket-order stage (chip schedules are
+// mirrored, not read from the workers), so the recorder's export bytes are
+// identical however many goroutines submit. Call while no submission is in
+// flight — typically after the warm fill.
+func (c *ConcurrentDevice) AttachRecorder(rec *telemetry.Recorder) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if rec == nil {
+		c.rec = nil
+		c.mirrorTill = nil
+		return nil
+	}
+	rs, err := newRecState(rec, len(c.chips), c.f)
+	if err != nil {
+		return err
+	}
+	// Seed the mirror from the (idle) workers so mid-run attachment — e.g.
+	// after the warm fill — continues their schedule instead of restarting
+	// the timeline at zero, and align the sampling cursor so the elapsed
+	// history is not backfilled.
+	c.mirrorTill = make([]float64, len(c.chips))
+	for i, st := range c.ChipStats() {
+		c.mirrorTill[i] = st.Till
+		rs.busy[i] = st.Busy
+		if st.Till > rs.hor {
+			rs.hor = st.Till
+		}
+	}
+	c.statsMu.Lock()
+	if c.horizon > rs.hor {
+		rs.hor = c.horizon
+	}
+	if c.clock > rs.hor {
+		rs.hor = c.clock
+	}
+	c.statsMu.Unlock()
+	rs.rec.AlignTo(rs.hor)
+	c.rec = rs
+	return nil
+}
+
+// FlushRecorder ticks the attached recorder up to the current simulated
+// clock, emitting the samples between the last event and now. Call while no
+// submission is in flight, after the final batch, before exporting.
+func (c *ConcurrentDevice) FlushRecorder() {
+	now := c.Now()
+	c.mu.Lock()
+	if c.rec != nil {
+		c.rec.tick(now)
+	}
+	c.mu.Unlock()
 }
 
 // SetMetrics wires (or, with nil, unwires) a telemetry registry: the FTL's
@@ -454,6 +527,11 @@ func (c *ConcurrentDevice) ftlStage(ticket uint64, reqs []Request) ([]run, error
 		if r.arrival > c.clock {
 			c.clock = r.arrival
 		}
+		if c.rec != nil {
+			// Sample any interval boundaries this run's arrival crossed
+			// before executing it, so samples hold the pre-event state.
+			c.rec.tick(c.clock)
+		}
 		ops, err := c.f.CollectOps(func() error {
 			for i := 0; i < n; i++ {
 				req := reqs[first+i]
@@ -502,6 +580,25 @@ func (c *ConcurrentDevice) ftlStage(ticket uint64, reqs []Request) ([]run, error
 				kind: op.Kind, gc: op.GC, seq: ticket, slot: opIdx,
 			}
 			opIdx++
+		}
+		if c.rec != nil {
+			// Mirror the chip workers' scheduling math (ticket-order arrival,
+			// start at max(arrival, busy-until)) to predict this run's finish
+			// without reading their racy state.
+			end := r.arrival
+			for _, op := range ops {
+				s := r.arrival
+				if c.mirrorTill[op.Chip] > s {
+					s = c.mirrorTill[op.Chip]
+				}
+				e := s + op.Dur
+				c.mirrorTill[op.Chip] = e
+				c.rec.busy[op.Chip] += op.Dur
+				if e > end {
+					end = e
+				}
+			}
+			c.rec.note(end + r.xfer)
 		}
 		runs = append(runs, r)
 		if err != nil {

@@ -1,0 +1,107 @@
+package ssd
+
+import (
+	"container/heap"
+	"fmt"
+
+	"superfast/internal/core"
+	"superfast/internal/ftl"
+	"superfast/internal/telemetry"
+)
+
+// RecorderColumns returns the flight-recorder column set of a device with the
+// given chip count: write amplification, in-flight request depth, the FTL's
+// extra-latency EWMA, assembly pool levels (assemblable superblocks plus the
+// fill of the open fast/slow super-word-line buffers), and per-chip
+// utilization (dispatched busy time / simulated time).
+func RecorderColumns(chips int) []string {
+	cols := []string{"waf", "qdepth", "extra_ewma_us", "free_sbs", "open_fast", "open_slow"}
+	for c := 0; c < chips; c++ {
+		cols = append(cols, fmt.Sprintf("chip%02d_util", c))
+	}
+	return cols
+}
+
+// finishHeap is a min-heap of predicted request finish times — the in-flight
+// depth at time t is the number of entries beyond t.
+type finishHeap []float64
+
+func (h finishHeap) Len() int            { return len(h) }
+func (h finishHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h finishHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *finishHeap) Push(x interface{}) { *h = append(*h, x.(float64)) }
+func (h *finishHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// recState is the sampling state behind an attached flight recorder, shared
+// by the serial and concurrent front ends. Everything it reads is maintained
+// by the serialized FTL stage (the concurrent device mirrors its chip
+// workers' schedule rather than reading their racy state), so the sample
+// stream — and the recorder's export bytes — are deterministic for a given
+// request order regardless of worker count.
+type recState struct {
+	rec  *telemetry.Recorder
+	busy []float64  // cumulative dispatched chip busy time, µs
+	dep  finishHeap // predicted finish times of dispatched requests
+	// hor is the mirrored device horizon: the latest predicted finish of any
+	// dispatched request. Unstamped (arrival 0) workloads never advance the
+	// admission clock, so the sampling clock is max(admission clock, hor) —
+	// monotone and deterministic either way.
+	hor    float64
+	fillFn func(t float64, vals []float64)
+}
+
+func newRecState(rec *telemetry.Recorder, chips int, f *ftl.FTL) (*recState, error) {
+	want := len(RecorderColumns(chips))
+	if got := len(rec.Columns()); got != want {
+		return nil, fmt.Errorf("ssd: recorder has %d columns, device needs %d (use RecorderColumns)", got, want)
+	}
+	s := &recState{rec: rec, busy: make([]float64, chips)}
+	s.fillFn = func(t float64, vals []float64) { s.fill(t, vals, f) }
+	return s, nil
+}
+
+// tick advances the recorder to the later of the given clock and the
+// mirrored horizon. Call before applying the next event, so samples hold the
+// pre-event state.
+func (s *recState) tick(now float64) {
+	if s.hor > now {
+		now = s.hor
+	}
+	s.rec.Tick(now, s.fillFn)
+}
+
+// fill populates one sample row at boundary time t.
+func (s *recState) fill(t float64, vals []float64, f *ftl.FTL) {
+	for len(s.dep) > 0 && s.dep[0] <= t {
+		heap.Pop(&s.dep)
+	}
+	st := f.Stats()
+	vals[0] = st.WAF()
+	vals[1] = float64(len(s.dep))
+	vals[2] = st.ExtraEWMA
+	vals[3] = float64(f.Scheme().FreeCount())
+	vals[4] = float64(f.OpenFill(core.Fast))
+	vals[5] = float64(f.OpenFill(core.Slow))
+	for c, b := range s.busy {
+		u := 0.0
+		if t > 0 {
+			u = b / t
+		}
+		vals[6+c] = u
+	}
+}
+
+// note records one dispatched request's predicted finish time and advances
+// the mirrored horizon.
+func (s *recState) note(finish float64) {
+	heap.Push(&s.dep, finish)
+	if finish > s.hor {
+		s.hor = finish
+	}
+}

@@ -1,0 +1,193 @@
+package ssd
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"superfast/internal/telemetry"
+)
+
+// recordedRun warms a device, attaches a flight recorder and a straggler
+// attribution table after the fill (so the warm-up stays out of both), replays
+// the same stamped workload at the given depth, flushes, and returns the
+// recorder CSV and attribution JSON bytes.
+func recordedRun(t *testing.T, depth int) (csv, attrJSON []byte) {
+	t.Helper()
+	d := concurrentDevice(t)
+	if err := d.FillSequential(nil); err != nil {
+		t.Fatal(err)
+	}
+	chips := len(d.ChipStats())
+	rec, err := telemetry.NewRecorder(25, 256, RecorderColumns(chips))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AttachRecorder(rec); err != nil {
+		t.Fatal(err)
+	}
+	attr := telemetry.NewAttribution()
+	d.SetAttribution(attr)
+	// A write-heavy stamped tail after the mixed window forces super-word-line
+	// flushes (and usually GC), so the attribution table is non-trivial.
+	reqs := mixedTrace(d, 40)
+	base := reqs[len(reqs)-1].Arrival + 3
+	capacity := d.FTL().Capacity()
+	for i := 0; i < 160; i++ {
+		reqs = append(reqs, Request{
+			Kind:    OpWrite,
+			LPN:     int64(i*2654435761) % capacity,
+			Data:    []byte{byte(i), 0x5A},
+			Arrival: base + float64(i)*3,
+		})
+	}
+	replayTickets(t, d, reqs, depth)
+	d.FlushRecorder()
+	var rb, ab bytes.Buffer
+	if err := rec.WriteCSV(&rb); err != nil {
+		t.Fatal(err)
+	}
+	if err := attr.WriteJSON(&ab, 0); err != nil {
+		t.Fatal(err)
+	}
+	if attr.Ops() == 0 {
+		t.Fatal("workload produced no multi-plane commands to attribute")
+	}
+	return rb.Bytes(), ab.Bytes()
+}
+
+func TestRecorderGoldenAcrossDepths(t *testing.T) {
+	// Acceptance: the flight-recorder export is byte-identical across runs AND
+	// across worker counts, pinned by a golden file. Regenerate with
+	// UPDATE_GOLDEN=1 go test ./internal/ssd -run TestRecorderGolden.
+	csv1, _ := recordedRun(t, 1)
+	csv8, _ := recordedRun(t, 8)
+	if !bytes.Equal(csv1, csv8) {
+		t.Fatal("recorder CSV differs between depth 1 and depth 8")
+	}
+	lines := strings.Split(strings.TrimRight(string(csv1), "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("recorder emitted no samples: %q", lines)
+	}
+	if !strings.HasPrefix(lines[0], "t_us,waf,qdepth,extra_ewma_us,free_sbs,open_fast,open_slow,chip00_util") {
+		t.Fatalf("unexpected header %q", lines[0])
+	}
+
+	golden := filepath.Join("testdata", "recorder.golden.csv")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, csv1, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(csv1))
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(csv1, want) {
+		t.Fatalf("recorder CSV drifted from golden (%d vs %d bytes); if intended, regenerate with UPDATE_GOLDEN=1", len(csv1), len(want))
+	}
+}
+
+func TestAttributionIdenticalAcrossDepths(t *testing.T) {
+	// The attribution report is filled by the serialized FTL stage, so its
+	// JSON must be byte-identical regardless of submission concurrency.
+	_, a1 := recordedRun(t, 1)
+	_, a8 := recordedRun(t, 8)
+	if !bytes.Equal(a1, a8) {
+		t.Fatal("attribution JSON differs between depth 1 and depth 8")
+	}
+}
+
+func TestAttributionSumsMatchFTLStats(t *testing.T) {
+	// Attached from the first write, the attribution table and the FTL's own
+	// extra-latency counters see the same multi-plane commands: the table's
+	// total must equal ExtraPgm + ExtraErs.
+	d := concurrentDevice(t)
+	attr := telemetry.NewAttribution()
+	d.SetAttribution(attr)
+	if err := d.FillSequential(nil); err != nil {
+		t.Fatal(err)
+	}
+	capacity := d.FTL().Capacity()
+	for i := 0; i < 200; i++ {
+		if _, err := d.Submit(Request{
+			Kind: OpWrite, LPN: int64(i*2654435761) % capacity, Data: []byte{byte(i)},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := d.FTL().Stats()
+	want := st.ExtraPgm + st.ExtraErs
+	got := attr.TotalExtraUS()
+	if want <= 0 {
+		t.Fatal("workload produced no extra latency to attribute")
+	}
+	if math.Abs(got-want) > 1e-6*want {
+		t.Fatalf("attribution total %v != FTL stats ExtraPgm+ExtraErs %v", got, want)
+	}
+}
+
+func TestSerialDeviceRecorder(t *testing.T) {
+	// The serialized Device shares the recState plumbing: attaching after a
+	// fill must not backfill history, stamped submissions must emit samples,
+	// and detaching must stop them.
+	d := testDevice(t)
+	if err := d.FillSequential(nil); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := telemetry.NewRecorder(25, 64, RecorderColumns(d.FTL().Geometry().Chips))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AttachRecorder(rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() != 0 {
+		t.Fatalf("attach backfilled %d samples", rec.Len())
+	}
+	attachNow := d.Now()
+	base := attachNow + 1000
+	for i := 0; i < 8; i++ {
+		if _, err := d.Submit(Request{Kind: OpRead, LPN: int64(i), Arrival: base + float64(i)*40}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.FlushRecorder()
+	if rec.Len() == 0 {
+		t.Fatal("recorder saw no samples across a 280µs stamped window")
+	}
+	for _, s := range rec.Samples() {
+		if s.T <= attachNow {
+			t.Fatalf("sample at %v predates the attach point %v", s.T, attachNow)
+		}
+	}
+	n := rec.Len()
+	if err := d.AttachRecorder(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Submit(Request{Kind: OpRead, LPN: 0, Arrival: d.Now() + 500}); err != nil {
+		t.Fatal(err)
+	}
+	d.FlushRecorder()
+	if rec.Len() != n {
+		t.Fatalf("detached recorder still sampled: %d -> %d", n, rec.Len())
+	}
+}
+
+func TestAttachRecorderRejectsWrongColumns(t *testing.T) {
+	d := concurrentDevice(t)
+	rec, err := telemetry.NewRecorder(25, 64, []string{"waf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AttachRecorder(rec); err == nil {
+		t.Fatal("recorder with the wrong column count was accepted")
+	}
+}

@@ -114,6 +114,7 @@ type Device struct {
 	busy     float64 // device busy until
 	chipBusy []float64
 	lat      *telemetry.Digest // nil until SetMetrics wires a registry
+	rec      *recState         // nil until AttachRecorder
 
 	stats Stats
 }
@@ -149,6 +150,52 @@ func (d *Device) SetMetrics(m *telemetry.Metrics) {
 	d.lat = m.Digest("ssd.latency")
 }
 
+// SetAttribution wires (or, with nil, unwires) a straggler attribution table
+// into the FTL: every multi-plane program/erase charges its extra latency to
+// the slowest member block. Call while no request is in flight.
+func (d *Device) SetAttribution(a *telemetry.Attribution) { d.f.SetAttribution(a) }
+
+// AttachRecorder wires a flight recorder: the simulated clock ticks it on
+// every submission, sampling WAF, in-flight depth, the extra-latency EWMA,
+// assembly pool levels, and per-chip utilization. The recorder must have been
+// built with RecorderColumns for this device's chip count. Attaching enables
+// the FTL op journal (so chip utilization is observable under either queue
+// model); attach while no request is in flight.
+func (d *Device) AttachRecorder(rec *telemetry.Recorder) error {
+	if rec == nil {
+		d.rec = nil
+		return nil
+	}
+	rs, err := newRecState(rec, len(d.chipBusy), d.f)
+	if err != nil {
+		return err
+	}
+	d.f.EnableOpJournal()
+	// Continue the device timeline: align the sampling cursor so history
+	// before the attachment is not backfilled with attach-time values.
+	rs.hor = d.busy
+	if d.now > rs.hor {
+		rs.hor = d.now
+	}
+	for _, b := range d.chipBusy {
+		if b > rs.hor {
+			rs.hor = b
+		}
+	}
+	rec.AlignTo(rs.hor)
+	d.rec = rs
+	return nil
+}
+
+// FlushRecorder ticks the attached recorder up to the current simulated
+// clock, emitting the samples between the last event and now. Call after the
+// final submission, before exporting.
+func (d *Device) FlushRecorder() {
+	if d.rec != nil {
+		d.rec.tick(d.now)
+	}
+}
+
 // Now returns the simulated clock.
 func (d *Device) Now() float64 { return d.now }
 
@@ -173,6 +220,11 @@ func (d *Device) transferTime(bytes int) float64 {
 func (d *Device) Submit(req Request) (Completion, error) {
 	if req.Arrival > d.now {
 		d.now = req.Arrival
+	}
+	if d.rec != nil {
+		// Sample any interval boundaries crossed before this request's work
+		// lands, so each sample holds the pre-event state.
+		d.rec.tick(d.now)
 	}
 	start := d.now
 	if d.busy > start {
@@ -246,6 +298,12 @@ func (d *Device) Submit(req Request) (Completion, error) {
 		service = finish - reqStart
 	} else {
 		finish = start + service
+	}
+	if d.rec != nil {
+		for _, op := range ops {
+			d.rec.busy[op.Chip] += op.Dur
+		}
+		d.rec.note(finish)
 	}
 	d.busy = finish
 	if finish > d.now {

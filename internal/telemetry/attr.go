@@ -1,0 +1,353 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// BlockKey identifies one physical flash block. Telemetry keeps its own key
+// type (instead of importing the flash package) so the observability layer
+// stays dependency-free and usable from any level of the stack.
+type BlockKey struct {
+	Chip  int
+	Plane int
+	Block int
+}
+
+func (k BlockKey) String() string {
+	return fmt.Sprintf("c%d/p%d/b%d", k.Chip, k.Plane, k.Block)
+}
+
+// LaneKey identifies one plane lane (a chip/plane pair).
+type LaneKey struct {
+	Chip  int
+	Plane int
+}
+
+func (k LaneKey) String() string {
+	return fmt.Sprintf("c%d/p%d", k.Chip, k.Plane)
+}
+
+// attrBuckets bounds the log-bucketed extra-latency histogram: bucket 0 is
+// [0, 1) µs, bucket i ≥ 1 is [2^(i-1), 2^i) µs; 40 buckets cover up to ~2^39
+// µs, far beyond any flash latency.
+const attrBuckets = 40
+
+// blockAttr aggregates one block's multi-plane history.
+type blockAttr struct {
+	ops       uint64  // multi-plane commands the block participated in
+	straggles uint64  // commands where the block was the slowest member
+	extraUS   float64 // extra latency imposed while slowest (max − min), µs
+}
+
+// attrSplitCell is one cell of the (source × class × op) extra-latency split.
+type attrSplitCell struct {
+	ops     uint64
+	extraUS float64
+}
+
+// Attribution answers "which block, which lane, when" for the paper's extra
+// latency: every multi-plane program/erase is reported with its per-member
+// latencies, and the full extra latency (max − min) is attributed to the
+// single slowest member — the straggler. Aggregates are per-block, per-lane,
+// per (host|gc) × (fast|slow) × (program|erase) class, plus log-bucketed
+// extra-latency histograms per op type.
+//
+// Safe for concurrent use, but determinism of the report requires callers to
+// record in a deterministic order — the FTL records under the serialized
+// ticket-order stage, so reports are byte-identical across worker counts.
+// A nil *Attribution disables recording; hook sites guard with one nil check.
+type Attribution struct {
+	mu     sync.Mutex
+	blocks map[BlockKey]*blockAttr
+	lanes  map[LaneKey]*blockAttr
+	// split[gc][fast][kindIdx]: kindIdx 0 = program, 1 = erase.
+	split [2][2][2]attrSplitCell
+	hist  [2][attrBuckets]uint64 // log₂ extra-latency histogram per op kind
+	ops   [2]uint64
+	extra [2]float64
+}
+
+// NewAttribution returns an empty attribution table.
+func NewAttribution() *Attribution {
+	return &Attribution{
+		blocks: make(map[BlockKey]*blockAttr),
+		lanes:  make(map[LaneKey]*blockAttr),
+	}
+}
+
+// kindIndex maps an FTL op-journal kind byte to a split index.
+func kindIndex(kind byte) int {
+	if kind == 'e' {
+		return 1
+	}
+	return 0 // 'p'
+}
+
+func kindName(idx int) string {
+	if idx == 1 {
+		return "erase"
+	}
+	return "program"
+}
+
+func boolIdx(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// extraBucket returns the histogram bucket of an extra-latency value:
+// bucket 0 is [0, 1) µs, bucket i is [2^(i-1), 2^i) µs.
+func extraBucket(extra float64) int {
+	i := 0
+	for v := extra; v >= 1 && i < attrBuckets-1; v /= 2 {
+		i++
+	}
+	return i
+}
+
+// Record attributes one multi-plane command: kind is 'p' (program) or 'e'
+// (erase), gc marks GC-issued work, fast marks a fast-class superblock,
+// members/lats are the per-member blocks and observed latencies. The full
+// extra latency (max − min) is charged to the first slowest member; members
+// and lats are not retained, so callers may reuse their backing arrays.
+func (a *Attribution) Record(kind byte, gc, fast bool, members []BlockKey, lats []float64) {
+	if len(members) == 0 || len(members) != len(lats) {
+		return
+	}
+	slowest := 0
+	max, min := lats[0], lats[0]
+	for i, v := range lats[1:] {
+		if v > max {
+			max = v
+			slowest = i + 1
+		}
+		if v < min {
+			min = v
+		}
+	}
+	extra := max - min
+	ki := kindIndex(kind)
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, m := range members {
+		b := a.blocks[m]
+		if b == nil {
+			b = &blockAttr{}
+			a.blocks[m] = b
+		}
+		b.ops++
+	}
+	sb := a.blocks[members[slowest]]
+	sb.straggles++
+	sb.extraUS += extra
+	lk := LaneKey{Chip: members[slowest].Chip, Plane: members[slowest].Plane}
+	lane := a.lanes[lk]
+	if lane == nil {
+		lane = &blockAttr{}
+		a.lanes[lk] = lane
+	}
+	lane.straggles++
+	lane.extraUS += extra
+	cell := &a.split[boolIdx(gc)][boolIdx(fast)][ki]
+	cell.ops++
+	cell.extraUS += extra
+	a.hist[ki][extraBucket(extra)]++
+	a.ops[ki]++
+	a.extra[ki] += extra
+}
+
+// TotalExtraUS returns the total attributed extra latency across both op
+// kinds — by construction the sum of every block's ExtraUS.
+func (a *Attribution) TotalExtraUS() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.extra[0] + a.extra[1]
+}
+
+// Ops returns the number of recorded multi-plane commands.
+func (a *Attribution) Ops() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ops[0] + a.ops[1]
+}
+
+// AttrBlock is one block row of the report.
+type AttrBlock struct {
+	Block     string  `json:"block"`
+	Ops       uint64  `json:"ops"`
+	Straggles uint64  `json:"straggles"`
+	ExtraUS   float64 `json:"extra_us"`
+}
+
+// AttrLane is one lane row of the report.
+type AttrLane struct {
+	Lane      string  `json:"lane"`
+	Straggles uint64  `json:"straggles"`
+	ExtraUS   float64 `json:"extra_us"`
+}
+
+// AttrSplit is one cell of the source × class × op extra-latency split.
+type AttrSplit struct {
+	Source  string  `json:"source"` // "host" | "gc"
+	Class   string  `json:"class"`  // "fast" | "slow"
+	Op      string  `json:"op"`     // "program" | "erase"
+	Ops     uint64  `json:"ops"`
+	ExtraUS float64 `json:"extra_us"`
+}
+
+// AttrBucket is one non-empty histogram bucket: extra latency in
+// [LoUS, HiUS) µs.
+type AttrBucket struct {
+	LoUS  float64 `json:"lo_us"`
+	HiUS  float64 `json:"hi_us"`
+	Count uint64  `json:"count"`
+}
+
+// AttrHist is the log-bucketed extra-latency histogram of one op type.
+type AttrHist struct {
+	Op      string       `json:"op"`
+	Buckets []AttrBucket `json:"buckets"`
+}
+
+// AttrReport is the exportable attribution summary. All slices are sorted by
+// deterministic keys, and map keys render sorted, so the JSON encoding of a
+// report is byte-identical across runs that recorded the same commands.
+type AttrReport struct {
+	Ops        map[string]uint64  `json:"ops"`
+	ExtraUS    map[string]float64 `json:"extra_us"`
+	Split      []AttrSplit        `json:"split"`
+	Stragglers []AttrBlock        `json:"stragglers"` // top-K by extra latency
+	Lanes      []AttrLane         `json:"lanes"`
+	Hist       []AttrHist         `json:"hist"`
+}
+
+// blockKeyLess orders block keys chip-major.
+func blockKeyLess(a, b BlockKey) bool {
+	if a.Chip != b.Chip {
+		return a.Chip < b.Chip
+	}
+	if a.Plane != b.Plane {
+		return a.Plane < b.Plane
+	}
+	return a.Block < b.Block
+}
+
+// Report flattens the table. topK bounds the straggler list (≤ 0 means all
+// blocks); ties break toward the lower block address so the cut is stable.
+func (a *Attribution) Report(topK int) AttrReport {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	r := AttrReport{
+		Ops: map[string]uint64{
+			"program": a.ops[0],
+			"erase":   a.ops[1],
+		},
+		ExtraUS: map[string]float64{
+			"program": a.extra[0],
+			"erase":   a.extra[1],
+			"total":   a.extra[0] + a.extra[1],
+		},
+	}
+
+	type blockRow struct {
+		key BlockKey
+		at  blockAttr
+	}
+	rows := make([]blockRow, 0, len(a.blocks))
+	for k, b := range a.blocks {
+		rows = append(rows, blockRow{key: k, at: *b})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].at.extraUS != rows[j].at.extraUS {
+			return rows[i].at.extraUS > rows[j].at.extraUS
+		}
+		return blockKeyLess(rows[i].key, rows[j].key)
+	})
+	if topK > 0 && topK < len(rows) {
+		rows = rows[:topK]
+	}
+	r.Stragglers = make([]AttrBlock, len(rows))
+	for i, row := range rows {
+		r.Stragglers[i] = AttrBlock{
+			Block:     row.key.String(),
+			Ops:       row.at.ops,
+			Straggles: row.at.straggles,
+			ExtraUS:   row.at.extraUS,
+		}
+	}
+
+	laneKeys := make([]LaneKey, 0, len(a.lanes))
+	for k := range a.lanes {
+		laneKeys = append(laneKeys, k)
+	}
+	sort.Slice(laneKeys, func(i, j int) bool {
+		if laneKeys[i].Chip != laneKeys[j].Chip {
+			return laneKeys[i].Chip < laneKeys[j].Chip
+		}
+		return laneKeys[i].Plane < laneKeys[j].Plane
+	})
+	r.Lanes = make([]AttrLane, len(laneKeys))
+	for i, k := range laneKeys {
+		l := a.lanes[k]
+		r.Lanes[i] = AttrLane{Lane: k.String(), Straggles: l.straggles, ExtraUS: l.extraUS}
+	}
+
+	for _, gc := range []int{0, 1} {
+		for _, fast := range []int{0, 1} {
+			for ki := 0; ki < 2; ki++ {
+				cell := a.split[gc][fast][ki]
+				if cell.ops == 0 {
+					continue
+				}
+				src := "host"
+				if gc == 1 {
+					src = "gc"
+				}
+				class := "slow"
+				if fast == 1 {
+					class = "fast"
+				}
+				r.Split = append(r.Split, AttrSplit{
+					Source: src, Class: class, Op: kindName(ki),
+					Ops: cell.ops, ExtraUS: cell.extraUS,
+				})
+			}
+		}
+	}
+
+	for ki := 0; ki < 2; ki++ {
+		h := AttrHist{Op: kindName(ki)}
+		for b, n := range a.hist[ki] {
+			if n == 0 {
+				continue
+			}
+			lo, hi := 0.0, 1.0
+			if b > 0 {
+				lo = float64(uint64(1) << (b - 1))
+				hi = float64(uint64(1) << b)
+			}
+			h.Buckets = append(h.Buckets, AttrBucket{LoUS: lo, HiUS: hi, Count: n})
+		}
+		if len(h.Buckets) > 0 {
+			r.Hist = append(r.Hist, h)
+		}
+	}
+	return r
+}
+
+// WriteJSON writes the report as indented JSON. The bytes are deterministic:
+// slices are pre-sorted, maps encode with sorted keys, and floats use Go's
+// shortest-round-trip formatting.
+func (a *Attribution) WriteJSON(w io.Writer, topK int) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a.Report(topK))
+}

@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+)
+
+// promName sanitizes a registry metric name into the Prometheus exposition
+// charset [a-zA-Z0-9_:]: dots (the registry's namespace separator) and any
+// other invalid rune become underscores.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// formatPromValue renders a sample value for the text exposition format.
+func formatPromValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as their own families (gauge
+// high-watermarks as an extra <name>_max gauge when they differ from the
+// current value), digests as summaries with p50/p95/p99 quantile labels plus
+// _sum/_count/_min/_max. Families are emitted in sorted-name order, so the
+// body is deterministic for a fixed registry state.
+func WritePrometheus(w *bufio.Writer, m *Metrics) {
+	type family struct {
+		name  string
+		kind  string // "counter" | "gauge" | "summary"
+		lines []string
+	}
+	var fams []family
+
+	snap := m.Export()
+	for _, c := range snap.Counters {
+		n := promName(c.Name)
+		fams = append(fams, family{name: n, kind: "counter",
+			lines: []string{n + " " + strconv.FormatUint(c.Value, 10)}})
+	}
+	for _, g := range snap.Gauges {
+		n := promName(g.Name)
+		fams = append(fams, family{name: n, kind: "gauge",
+			lines: []string{n + " " + formatPromValue(g.Value)}})
+		if g.Max != g.Value {
+			fams = append(fams, family{name: n + "_max", kind: "gauge",
+				lines: []string{n + "_max " + formatPromValue(g.Max)}})
+		}
+	}
+	for _, d := range snap.Digests {
+		n := promName(d.Name)
+		s := d.Snapshot
+		lines := []string{
+			n + `{quantile="0.5"} ` + formatPromValue(s.P50),
+			n + `{quantile="0.95"} ` + formatPromValue(s.P95),
+			n + `{quantile="0.99"} ` + formatPromValue(s.P99),
+			n + "_sum " + formatPromValue(s.Mean*float64(s.N)),
+			n + "_count " + strconv.FormatUint(s.N, 10),
+		}
+		fams = append(fams, family{name: n, kind: "summary", lines: lines})
+		if s.N > 0 {
+			fams = append(fams, family{name: n + "_min", kind: "gauge",
+				lines: []string{n + "_min " + formatPromValue(s.Min)}})
+			fams = append(fams, family{name: n + "_max", kind: "gauge",
+				lines: []string{n + "_max " + formatPromValue(s.Max)}})
+		}
+	}
+
+	// Export returns name-sorted sections; families derived in order stay
+	// nearly sorted, but derived _min/_max entries can break ties — sort the
+	// final family list for a deterministic body.
+	for i := 1; i < len(fams); i++ {
+		for j := i; j > 0 && fams[j-1].name > fams[j].name; j-- {
+			fams[j-1], fams[j] = fams[j], fams[j-1]
+		}
+	}
+	for _, f := range fams {
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+		for _, l := range f.lines {
+			w.WriteString(l)
+			w.WriteByte('\n')
+		}
+	}
+}
+
+// MetricsHandler serves the registry in Prometheus text format.
+func MetricsHandler(m *Metrics) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		bw := bufio.NewWriter(w)
+		WritePrometheus(bw, m)
+		bw.Flush()
+	})
+}
+
+// Routes builds the live-exposition mux: /metrics (Prometheus text format),
+// /healthz (200 "ok"), /debug/pprof/* (the standard Go profiler), and — when
+// the optional sinks are non-nil — /flightrecorder (CSV; ?format=json for
+// JSON) and /attribution (JSON; ?topk=N bounds the straggler table).
+func Routes(m *Metrics, rec *Recorder, attr *Attribution) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(m))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if rec != nil {
+		mux.HandleFunc("/flightrecorder", func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Query().Get("format") == "json" {
+				w.Header().Set("Content-Type", "application/json")
+				rec.WriteJSON(w)
+				return
+			}
+			w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+			rec.WriteCSV(w)
+		})
+	}
+	if attr != nil {
+		mux.HandleFunc("/attribution", func(w http.ResponseWriter, r *http.Request) {
+			topK := 20
+			if q := r.URL.Query().Get("topk"); q != "" {
+				if v, err := strconv.Atoi(q); err == nil {
+					topK = v
+				}
+			}
+			w.Header().Set("Content-Type", "application/json")
+			attr.WriteJSON(w, topK)
+		})
+	}
+	return mux
+}
+
+// Serve listens on addr (":0" or "127.0.0.1:0" pick an ephemeral port) and
+// serves handler in a background goroutine. It returns the server and the
+// bound address; shut the server down with (*http.Server).Close or Shutdown.
+func Serve(addr string, handler http.Handler) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: handler}
+	go srv.Serve(ln)
+	return srv, ln.Addr(), nil
+}

@@ -122,6 +122,55 @@ func (m *Metrics) Digest(name string) *Digest {
 	return d
 }
 
+// CounterValue is one counter reading in a structured export.
+type CounterValue struct {
+	Name  string
+	Value uint64
+}
+
+// GaugeValue is one gauge reading (current value + high-watermark) in a
+// structured export.
+type GaugeValue struct {
+	Name  string
+	Value float64
+	Max   float64
+}
+
+// DigestValue is one digest reading in a structured export.
+type DigestValue struct {
+	Name     string
+	Snapshot DigestSnapshot
+}
+
+// Export is a typed registry snapshot, each section sorted by name. Unlike
+// Snapshot it preserves metric kinds, which exposition formats (Prometheus
+// text format, the flight recorder) need.
+type Export struct {
+	Counters []CounterValue
+	Gauges   []GaugeValue
+	Digests  []DigestValue
+}
+
+// Export returns a typed, name-sorted snapshot of the registry.
+func (m *Metrics) Export() Export {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var e Export
+	for name, c := range m.counters {
+		e.Counters = append(e.Counters, CounterValue{Name: name, Value: c.Value()})
+	}
+	for name, g := range m.gauges {
+		e.Gauges = append(e.Gauges, GaugeValue{Name: name, Value: g.Value(), Max: g.Max()})
+	}
+	for name, d := range m.digests {
+		e.Digests = append(e.Digests, DigestValue{Name: name, Snapshot: d.Snapshot()})
+	}
+	sort.Slice(e.Counters, func(i, j int) bool { return e.Counters[i].Name < e.Counters[j].Name })
+	sort.Slice(e.Gauges, func(i, j int) bool { return e.Gauges[i].Name < e.Gauges[j].Name })
+	sort.Slice(e.Digests, func(i, j int) bool { return e.Digests[i].Name < e.Digests[j].Name })
+	return e
+}
+
 // Value is one flattened metric reading.
 type Value struct {
 	Name  string

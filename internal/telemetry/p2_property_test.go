@@ -1,0 +1,149 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"superfast/internal/prng"
+)
+
+// p2Property feeds samples to fresh P² estimators for the standard quantiles
+// and checks each estimate against the exact sorted-sample quantile within
+// relTol (relative to the sample range, so constant streams use an absolute
+// zero-range check).
+func p2Property(t *testing.T, name string, samples []float64, relTol float64) {
+	t.Helper()
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	span := sorted[len(sorted)-1] - sorted[0]
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		e := NewP2(q)
+		for _, v := range samples {
+			e.Observe(v)
+		}
+		want := exactQuantile(sorted, q)
+		got := e.Value()
+		if span == 0 {
+			if got != want {
+				t.Fatalf("%s p%.0f: constant stream gave %v, want %v", name, q*100, got, want)
+			}
+			continue
+		}
+		if err := math.Abs(got-want) / span; err > relTol {
+			t.Fatalf("%s p%.0f: streaming %v vs exact %v (err %.4f of range, tol %.4f)",
+				name, q*100, got, want, err, relTol)
+		}
+	}
+}
+
+func TestP2PropertyUniform(t *testing.T) {
+	src := prng.New(21, 0x1234)
+	samples := make([]float64, 10000)
+	for i := range samples {
+		samples[i] = src.Float64() * 5000
+	}
+	p2Property(t, "uniform", samples, 0.02)
+}
+
+func TestP2PropertyBimodal(t *testing.T) {
+	// The paper's latency shape: a fast mode and a slow mode (e.g. fast vs
+	// slow flash pages). Quantiles sit inside or between the modes.
+	src := prng.New(22, 0x5678)
+	samples := make([]float64, 10000)
+	for i := range samples {
+		if src.Float64() < 0.7 {
+			samples[i] = 200 + src.Float64()*50 // fast mode
+		} else {
+			samples[i] = 1800 + src.Float64()*300 // slow mode
+		}
+	}
+	p2Property(t, "bimodal", samples, 0.03)
+}
+
+func TestP2PropertyConstant(t *testing.T) {
+	samples := make([]float64, 1000)
+	for i := range samples {
+		samples[i] = 42.5
+	}
+	p2Property(t, "constant", samples, 0)
+}
+
+func TestP2PropertyDuplicateHeavy(t *testing.T) {
+	// Streams dominated by a handful of distinct values exercise the marker
+	// degeneracy paths (equal neighbor heights). P² interpolates between
+	// atoms when the exact quantile lands on a mass boundary, so the property
+	// here is bracketing: the estimate must lie between the atoms adjacent to
+	// the exact quantile (and the stream's extremes overall).
+	src := prng.New(23, 0x9abc)
+	vals := []float64{100, 100, 100, 250, 250, 900}
+	samples := make([]float64, 6000)
+	for i := range samples {
+		samples[i] = vals[src.Uint64()%uint64(len(vals))]
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		e := NewP2(q)
+		for _, v := range samples {
+			e.Observe(v)
+		}
+		exact := exactQuantile(sorted, q)
+		got := e.Value()
+		// Bracket by the atoms strictly below and above the exact quantile:
+		// markers interpolate between neighboring heights, so an estimate at
+		// a mass boundary may drift toward the adjacent atom but never past it.
+		atoms := []float64{100, 250, 900}
+		lo, hi := atoms[0], atoms[len(atoms)-1]
+		for _, a := range atoms {
+			if a < exact && a > lo {
+				lo = a
+			}
+			if a > exact && a < hi {
+				hi = a
+			}
+		}
+		if lo > exact {
+			lo = exact
+		}
+		if hi < exact {
+			hi = exact
+		}
+		if got < lo || got > hi {
+			t.Fatalf("duplicates p%.0f: streaming %v outside atom bracket [%v, %v] around exact %v",
+				q*100, got, lo, hi, exact)
+		}
+	}
+}
+
+func TestP2PropertyUnderFiveSamples(t *testing.T) {
+	// Below five observations the estimator must be exact (sorted-sample
+	// interpolation identical to stats.Quantile), for every prefix length.
+	stream := []float64{88, 12, 55, 99}
+	for n := 1; n <= len(stream); n++ {
+		prefix := append([]float64(nil), stream[:n]...)
+		sorted := append([]float64(nil), prefix...)
+		sort.Float64s(sorted)
+		for _, q := range []float64{0.5, 0.95, 0.99} {
+			e := NewP2(q)
+			for _, v := range prefix {
+				e.Observe(v)
+			}
+			if got, want := e.Value(), exactQuantile(sorted, q); got != want {
+				t.Fatalf("n=%d p%.0f: %v, want exact %v", n, q*100, got, want)
+			}
+		}
+	}
+}
+
+func TestP2PropertyUnderFiveDuplicates(t *testing.T) {
+	for _, q := range []float64{0.5, 0.95} {
+		e := NewP2(q)
+		for _, v := range []float64{7, 7, 7} {
+			e.Observe(v)
+		}
+		if got := e.Value(); got != 7 {
+			t.Fatalf("p%.0f of {7,7,7} = %v", q*100, got)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+)
+
+// Sample is one flight-recorder row: the values of every column at one
+// simulated instant.
+type Sample struct {
+	T float64   `json:"t_us"`
+	V []float64 `json:"v"`
+}
+
+// Recorder is a deterministic flight recorder: a time-series sampler driven
+// by the simulated clock that snapshots a fixed column set at every multiple
+// of the sampling interval, into a bounded ring buffer that keeps the newest
+// window. The recorder itself never reads a wall clock — callers Tick it
+// with the simulated time whenever that clock advances, and the recorder
+// emits one sample per interval boundary crossed (sample-and-hold: between
+// events the simulated system does not change, so held values are exact).
+//
+// Determinism contract: given the same sequence of Tick times and fill
+// values — which the device front ends produce in serialized ticket order —
+// the sample set, and therefore the CSV/JSON export bytes, are identical
+// across runs and across worker counts.
+//
+// Safe for concurrent use; the fill callback runs under the recorder lock.
+type Recorder struct {
+	mu       sync.Mutex
+	interval float64
+	cols     []string
+	ring     []Sample
+	start    int   // index of the oldest sample
+	n        int   // samples currently held
+	last     int64 // highest boundary index sampled
+}
+
+// NewRecorder builds a recorder sampling every intervalUS simulated µs,
+// keeping the newest capacity samples of the given columns.
+func NewRecorder(intervalUS float64, capacity int, cols []string) (*Recorder, error) {
+	if !(intervalUS > 0) {
+		return nil, fmt.Errorf("telemetry: recorder interval must be positive, got %v", intervalUS)
+	}
+	if capacity <= 0 {
+		return nil, fmt.Errorf("telemetry: recorder capacity must be positive, got %d", capacity)
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("telemetry: recorder needs at least one column")
+	}
+	return &Recorder{
+		interval: intervalUS,
+		cols:     append([]string(nil), cols...),
+		ring:     make([]Sample, 0, capacity),
+	}, nil
+}
+
+// Interval returns the sampling interval in simulated µs.
+func (r *Recorder) Interval() float64 { return r.interval }
+
+// Columns returns the column names.
+func (r *Recorder) Columns() []string { return append([]string(nil), r.cols...) }
+
+// Tick advances the recorder to the simulated time now. For every interval
+// boundary crossed since the previous Tick, fill is called once with the
+// boundary time and a fresh value slice (len = number of columns) to
+// populate; callers tick before applying the event that moved the clock, so
+// a sample at boundary B reflects the state before the first event at or
+// after B. Boundaries that would immediately fall out of the ring are
+// skipped, so a clock jump costs at most capacity samples.
+func (r *Recorder) Tick(now float64, fill func(t float64, vals []float64)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := int64(math.Floor(now / r.interval))
+	if k <= r.last {
+		return
+	}
+	first := r.last + 1
+	if capN := int64(cap(r.ring)); k-first+1 > capN {
+		first = k - capN + 1
+	}
+	for idx := first; idx <= k; idx++ {
+		vals := make([]float64, len(r.cols))
+		t := float64(idx) * r.interval
+		fill(t, vals)
+		r.push(Sample{T: t, V: vals})
+	}
+	r.last = k
+}
+
+// AlignTo advances the sampling cursor to the last boundary at or before now
+// without emitting samples. Callers attaching a recorder mid-run (e.g. after
+// a warm fill) use it so the elapsed history is not backfilled with
+// attach-time values.
+func (r *Recorder) AlignTo(now float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if k := int64(math.Floor(now / r.interval)); k > r.last {
+		r.last = k
+	}
+}
+
+// push appends a sample, evicting the oldest when full. Caller holds r.mu.
+func (r *Recorder) push(s Sample) {
+	if r.n < cap(r.ring) {
+		r.ring = append(r.ring, s)
+		r.n++
+		return
+	}
+	r.ring[r.start] = s
+	r.start = (r.start + 1) % cap(r.ring)
+}
+
+// Len returns the number of samples currently held.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Samples returns the held samples, oldest first.
+func (r *Recorder) Samples() []Sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Sample, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.ring[(r.start+i)%cap(r.ring)])
+	}
+	return out
+}
+
+// WriteCSV writes the held samples as CSV: a "t_us,<col>,..." header, then
+// one row per sample, oldest first, values in shortest-round-trip fixed-point
+// formatting (integral counters render without decimals). The bytes are
+// deterministic given the same samples.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	samples := r.Samples()
+	bw := bufio.NewWriter(w)
+	bw.WriteString("t_us")
+	for _, c := range r.cols {
+		bw.WriteByte(',')
+		bw.WriteString(c)
+	}
+	bw.WriteByte('\n')
+	for _, s := range samples {
+		bw.WriteString(formatUS(s.T))
+		for _, v := range s.V {
+			bw.WriteByte(',')
+			bw.WriteString(formatUS(v))
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// recorderJSON is the JSON export shape.
+type recorderJSON struct {
+	IntervalUS float64  `json:"interval_us"`
+	Columns    []string `json:"columns"`
+	Samples    []Sample `json:"samples"`
+}
+
+// WriteJSON writes the held samples as indented JSON with the interval and
+// column names. Deterministic for the same samples.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recorderJSON{
+		IntervalUS: r.interval,
+		Columns:    r.Columns(),
+		Samples:    r.Samples(),
+	})
+}

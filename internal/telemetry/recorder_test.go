@@ -1,0 +1,149 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tickSeq drives a recorder through a sequence of clock times, filling each
+// sample with the boundary time itself plus a running tick count, so tests
+// can tell exactly which Tick produced which sample.
+func tickSeq(r *Recorder, times []float64) {
+	for n, now := range times {
+		tick := float64(n)
+		r.Tick(now, func(t float64, vals []float64) {
+			vals[0] = t
+			vals[1] = tick
+		})
+	}
+}
+
+func TestRecorderValidation(t *testing.T) {
+	if _, err := NewRecorder(0, 4, []string{"a"}); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+	if _, err := NewRecorder(100, 0, []string{"a"}); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if _, err := NewRecorder(100, 4, nil); err == nil {
+		t.Fatal("no columns accepted")
+	}
+}
+
+func TestRecorderBoundarySemantics(t *testing.T) {
+	r, err := NewRecorder(100, 16, []string{"t", "tick"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clock: 0 → 50 (no boundary), 250 (boundaries 100, 200), 250 again
+	// (none), 400 (300, 400).
+	tickSeq(r, []float64{50, 250, 250, 400})
+	s := r.Samples()
+	if len(s) != 4 {
+		t.Fatalf("samples = %d, want 4", len(s))
+	}
+	wantT := []float64{100, 200, 300, 400}
+	wantTick := []float64{1, 1, 3, 3}
+	for i := range s {
+		if s[i].T != wantT[i] || s[i].V[0] != wantT[i] || s[i].V[1] != wantTick[i] {
+			t.Fatalf("sample %d = %+v, want t=%v tick=%v", i, s[i], wantT[i], wantTick[i])
+		}
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestRecorderExactBoundaryBeforeEvent(t *testing.T) {
+	// A tick exactly at a boundary emits that boundary's sample — the caller
+	// ticks before applying the event, so the sample sees pre-event state.
+	r, _ := NewRecorder(100, 8, []string{"x"})
+	r.Tick(100, func(t float64, vals []float64) { vals[0] = 7 })
+	s := r.Samples()
+	if len(s) != 1 || s[0].T != 100 || s[0].V[0] != 7 {
+		t.Fatalf("samples = %+v", s)
+	}
+	// Time never goes backward; a stale tick is a no-op.
+	r.Tick(100, func(t float64, vals []float64) { t_ := t; _ = t_; vals[0] = 9 })
+	if r.Len() != 1 {
+		t.Fatalf("stale tick added a sample")
+	}
+}
+
+func TestRecorderWraparoundKeepsNewest(t *testing.T) {
+	r, _ := NewRecorder(10, 4, []string{"t", "tick"})
+	tickSeq(r, []float64{95}) // boundaries 10..90 → 9 samples, only 4 kept
+	s := r.Samples()
+	if len(s) != 4 {
+		t.Fatalf("samples = %d, want capacity 4", len(s))
+	}
+	for i, want := range []float64{60, 70, 80, 90} {
+		if s[i].T != want {
+			t.Fatalf("sample %d at t=%v, want %v (newest window)", i, s[i].T, want)
+		}
+	}
+	// Further ticks keep rolling the window.
+	tickSeq(r, []float64{125})
+	s = r.Samples()
+	for i, want := range []float64{90, 100, 110, 120} {
+		if s[i].T != want {
+			t.Fatalf("after roll: sample %d at t=%v, want %v", i, s[i].T, want)
+		}
+	}
+}
+
+func TestRecorderClockJumpSkipsEvicted(t *testing.T) {
+	// A huge clock jump must not fill millions of samples: boundaries that
+	// would immediately be evicted are skipped, costing at most cap fills.
+	r, _ := NewRecorder(1, 8, []string{"x"})
+	fills := 0
+	r.Tick(1e9, func(t float64, vals []float64) { fills++ })
+	if fills != 8 {
+		t.Fatalf("clock jump filled %d samples, want 8", fills)
+	}
+	s := r.Samples()
+	if s[0].T != 1e9-7 || s[7].T != 1e9 {
+		t.Fatalf("window = [%v, %v], want [1e9-7, 1e9]", s[0].T, s[7].T)
+	}
+}
+
+func TestRecorderCSV(t *testing.T) {
+	r, _ := NewRecorder(100, 8, []string{"waf", "qdepth"})
+	r.Tick(200, func(t float64, vals []float64) { vals[0] = 1.25; vals[1] = 3 })
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "t_us,waf,qdepth\n100,1.25,3\n200,1.25,3\n"
+	if buf.String() != want {
+		t.Fatalf("csv:\n%q\nwant\n%q", buf.String(), want)
+	}
+}
+
+func TestRecorderJSON(t *testing.T) {
+	r, _ := NewRecorder(50, 8, []string{"a"})
+	r.Tick(50, func(t float64, vals []float64) { vals[0] = 2 })
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{`"interval_us": 50`, `"columns"`, `"t_us": 50`, `"v"`} {
+		if !strings.Contains(buf.String(), frag) {
+			t.Fatalf("json missing %q:\n%s", frag, buf.String())
+		}
+	}
+}
+
+func TestRecorderDeterministicBytes(t *testing.T) {
+	run := func() string {
+		r, _ := NewRecorder(25, 32, []string{"a", "b"})
+		tickSeq(r, []float64{10, 60, 61, 200, 512.5, 513, 1000})
+		var buf bytes.Buffer
+		r.WriteCSV(&buf)
+		return buf.String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same tick sequence produced different CSV:\n%s\nvs\n%s", a, b)
+	}
+}
