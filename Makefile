@@ -12,7 +12,7 @@ COVER_MIN ?= 90
 
 SMOKE_DIR := $(shell mktemp -d 2>/dev/null || echo /tmp/superfast-smoke)
 
-.PHONY: check build test race bench cover smoke
+.PHONY: check build test race bench cover smoke profile
 
 check:
 	$(GO) vet ./...
@@ -46,9 +46,32 @@ race:
 # Runs every root benchmark — including BenchmarkTelemetryOverhead, the
 # disabled/enabled/full flavors showing the nil-sink fast path's cost — plus
 # the telemetry package's attribution hot-path benchmark.
+#
+# With BENCH_OUT=FILE.json set (e.g. `make bench BENCH_OUT=BENCH_4.json`),
+# the root run adds -benchmem and pipes through cmd/benchjson, which keeps
+# the benchstat-compatible text on stdout and records ns/op, B/op, allocs/op
+# and custom metrics per benchmark as JSON — the machine-readable perf
+# trajectory across PRs. BENCH_TIME raises -benchtime for steadier numbers.
+BENCH_TIME ?= 1x
 bench:
-	$(GO) test -bench . -benchtime 1x -run XXX .
-	$(GO) test -bench BenchmarkAttributionRecord -benchtime 1x -run XXX ./internal/telemetry
+ifeq ($(strip $(BENCH_OUT)),)
+	$(GO) test -bench . -benchtime $(BENCH_TIME) -run XXX .
+	$(GO) test -bench BenchmarkAttributionRecord -benchtime $(BENCH_TIME) -run XXX ./internal/telemetry
+else
+	$(GO) test -bench . -benchtime $(BENCH_TIME) -benchmem -run XXX . | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
+	$(GO) test -bench BenchmarkAttributionRecord -benchtime $(BENCH_TIME) -run XXX ./internal/telemetry
+endif
+
+# CPU + heap profiles of a representative device run, via the CLIs'
+# -cpuprofile/-memprofile flags (the offline complement of the live
+# /debug/pprof endpoint behind -http). Inspect with `go tool pprof`.
+PROFILE_DIR ?= .
+profile:
+	$(GO) run ./cmd/ftlsim -blocks 32 -layers 24 -ops 20000 \
+		-cpuprofile $(PROFILE_DIR)/ftlsim.cpu.pprof \
+		-memprofile $(PROFILE_DIR)/ftlsim.mem.pprof >/dev/null
+	@echo "profiles: $(PROFILE_DIR)/ftlsim.cpu.pprof $(PROFILE_DIR)/ftlsim.mem.pprof"
+	@echo "inspect:  go tool pprof $(PROFILE_DIR)/ftlsim.cpu.pprof"
 
 cover:
 	$(GO) test -count=1 -coverprofile=cover.out ./internal/...

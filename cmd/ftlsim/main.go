@@ -35,6 +35,10 @@
 // /debug/pprof (plus /flightrecorder and /attribution when enabled) while
 // the run executes; add -hold to keep serving after the run until
 // interrupted.
+//
+// -cpuprofile/-memprofile write offline pprof profiles of the whole run (the
+// batch complement of the live /debug/pprof endpoint): `make profile` wraps
+// a representative invocation.
 package main
 
 import (
@@ -43,6 +47,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"superfast/internal/flash"
@@ -79,8 +85,38 @@ func main() {
 		victim   = flag.String("victim", "greedy", "GC victim policy: greedy | cost-benefit | fifo")
 		queue    = flag.String("queue", "serialized", "device queue model: serialized | per-chip")
 		workers  = flag.Int("workers", 1, "concurrent submitters (>1 drives the thread-safe multi-queue front end)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to FILE")
+		memProf  = flag.String("memprofile", "", "write a heap profile to FILE at exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatalf("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("-cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ftlsim: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the live heap before snapshotting
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "ftlsim: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	g := flash.Geometry{
 		Chips:          *chips,

@@ -18,6 +18,7 @@
 // keeping piped experiment tables clean. -attr FILE writes the straggler
 // attribution gathered across the device-level experiments. -http ADDR
 // serves live /metrics, /healthz and /debug/pprof while experiments run.
+// -cpuprofile/-memprofile write offline pprof profiles of the whole run.
 package main
 
 import (
@@ -26,6 +27,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -51,8 +54,38 @@ func main() {
 		attrOut  = flag.String("attr", "", "write the straggler attribution report (JSON) gathered across experiments to FILE")
 		attrTopK = flag.Int("attr-topk", 20, "straggler blocks kept in the -attr report (0 = all)")
 		httpAddr = flag.String("http", "", "serve /metrics, /healthz, /debug/pprof (plus /attribution with -attr) on ADDR while experiments run")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to FILE")
+		memProf  = flag.String("memprofile", "", "write a heap profile to FILE at exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatalf("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("-cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sbsim: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the live heap before snapshotting
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "sbsim: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {

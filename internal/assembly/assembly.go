@@ -8,6 +8,11 @@
 // superblocks: one block per lane. The window-based strategies walk each
 // lane's blocks sorted fast-to-slow and, per superblock, choose one block
 // per lane out of the leading W unassigned candidates.
+//
+// Profiles arrive from the chamber testbed, whose measurements are served by
+// the array's shared latency kernel (pv.Kernel): re-assembling at another
+// window or P/E step re-reads cached static latencies instead of re-sampling
+// the model from scratch.
 package assembly
 
 import (

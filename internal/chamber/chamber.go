@@ -112,19 +112,23 @@ func (t *Testbed) MeasureBlock(lane int, block int) (*profile.BlockProfile, erro
 // temporal jitter — exactly like repeated hardware measurements.
 func (t *Testbed) FastProfile(lane, block, pe int) *profile.BlockProfile {
 	g := t.arr.Geometry()
-	m := t.arr.Model()
+	// Query through the array's latency kernel: sweeps re-measure the same
+	// blocks at every P/E step, and the kernel serves the static components
+	// from the tables the array itself programs and erases through —
+	// bit-identical to the direct model (see pv.Kernel).
+	k := t.arr.Kernel()
 	chip, plane := g.LaneChipPlane(lane)
 	lwl := make([]float64, g.LWLsPerBlock())
 	for layer := 0; layer < g.Layers; layer++ {
 		for s := 0; s < g.Strings; s++ {
 			t.nonce++
-			lwl[g.LWLIndex(layer, s)] = m.ProgramLatency(pv.Coord{
+			lwl[g.LWLIndex(layer, s)] = k.ProgramLatency(pv.Coord{
 				Chip: chip, Plane: plane, Block: block, Layer: layer, String: s,
 			}, pe, t.nonce)
 		}
 	}
 	t.nonce++
-	ers := m.EraseLatency(chip, plane, block, pe, t.nonce)
+	ers := k.EraseLatency(chip, plane, block, pe, t.nonce)
 	return profile.NewBlockProfile(lane, block, g.Layers, g.Strings, lwl, ers, pe)
 }
 

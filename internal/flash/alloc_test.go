@@ -1,0 +1,194 @@
+package flash
+
+import (
+	"testing"
+
+	"superfast/internal/pv"
+)
+
+// TestSteadyStateAllocs pins the allocation counts of the hot array
+// operations after the slice/bitset storage rework: once a block's page
+// tables exist, erase/program cycles and reads must run allocation-free.
+// A regression here silently reintroduces per-P/E-cycle reallocation.
+func TestSteadyStateAllocs(t *testing.T) {
+	g := TestGeometry()
+	p := pv.DefaultParams()
+	p.Layers = g.Layers
+	p.Strings = g.Strings
+	a := MustNewArray(g, pv.New(p), DefaultECC())
+	addr := BlockAddr{Chip: 1, Plane: 0, Block: 2}
+	lwls := g.LWLsPerBlock()
+
+	// Warm one full P/E cycle: allocates the page tables and the kernel's
+	// static tables, which are one-time costs.
+	if _, err := a.Erase(addr); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < lwls; i++ {
+		if _, err := a.Program(addr, i, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cycle := testing.AllocsPerRun(10, func() {
+		if _, err := a.Erase(addr); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < lwls; i++ {
+			if _, err := a.Program(addr, i, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if cycle > 0 {
+		t.Errorf("steady-state erase+program cycle allocates %.1f objects, want 0", cycle)
+	}
+
+	pa := PageAddr{BlockAddr: addr, LWL: 3, Type: pv.LSB}
+	reads := testing.AllocsPerRun(100, func() {
+		if _, err := a.Read(pa); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if reads > 0 {
+		t.Errorf("steady-state read allocates %.1f objects, want 0", reads)
+	}
+}
+
+// TestEraseReusesPageStorage is the regression test for the old behaviour
+// where Erase nil-ed out data/programmed/lwlLatency/oob, forcing the next
+// program to reallocate them: storage must be reused, and — just as
+// important — reused storage must not leak the previous cycle's state.
+func TestEraseReusesPageStorage(t *testing.T) {
+	g := TestGeometry()
+	p := pv.DefaultParams()
+	p.Layers = g.Layers
+	p.Strings = g.Strings
+	a := MustNewArray(g, pv.New(p), DefaultECC())
+	addr := BlockAddr{Chip: 0, Plane: 1, Block: 3}
+	lwls := g.LWLsPerBlock()
+
+	// Cycle 1: program everything with payloads and OOB, corrupt one page.
+	if _, err := a.Erase(addr); err != nil {
+		t.Fatal(err)
+	}
+	payload := [][]byte{[]byte("one"), []byte("two"), []byte("three")}
+	oob := [][]byte{[]byte("tag")}
+	for i := 0; i < lwls; i++ {
+		if _, err := a.ProgramOOB(addr, i, payload, oob); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victim := PageAddr{BlockAddr: addr, LWL: 2, Type: pv.CSB}
+	if err := a.InjectCorruption(victim); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Read(victim); err == nil {
+		t.Fatal("corrupted page read should fail before the erase")
+	}
+
+	// The erase must clear every trace of cycle 1...
+	if _, err := a.Erase(addr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Read(victim); err == nil {
+		t.Fatal("read after erase should fail ErrNotProgrammed")
+	}
+
+	// ...and a second cycle must not see stale payloads, OOB, corruption or
+	// latencies through the reused storage.
+	for i := 0; i < lwls; i++ {
+		if _, err := a.Program(addr, i, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := a.Read(victim)
+	if err != nil {
+		t.Fatalf("read after re-program: %v (stale corruption?)", err)
+	}
+	if r.Data != nil {
+		t.Fatalf("read after re-program returned stale payload %q", r.Data)
+	}
+	got, err := a.ReadOOB(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nil {
+		t.Fatalf("ReadOOB after re-program returned stale tag %q", got)
+	}
+	lats, err := a.LWLLatencies(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range lats {
+		if v == 0 {
+			t.Fatalf("lwlLatency[%d] not recorded on the reused storage", i)
+		}
+	}
+
+	// And the second cycle's steady state allocates nothing.
+	n := testing.AllocsPerRun(5, func() {
+		if _, err := a.Erase(addr); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < lwls; i++ {
+			if _, err := a.Program(addr, i, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if n > 0 {
+		t.Errorf("P/E cycle after storage rework allocates %.1f objects, want 0", n)
+	}
+}
+
+// TestBorrowPayloads covers the zero-copy opt-in: borrowed slices are stored
+// as-is, while the default path keeps its copy semantics.
+func TestBorrowPayloads(t *testing.T) {
+	g := TestGeometry()
+	p := pv.DefaultParams()
+	p.Layers = g.Layers
+	p.Strings = g.Strings
+	a := MustNewArray(g, pv.New(p), DefaultECC())
+	addr := BlockAddr{}
+	if _, err := a.Erase(addr); err != nil {
+		t.Fatal(err)
+	}
+
+	// Default: the array copies, so caller-side mutation is invisible.
+	buf := []byte("copied")
+	if _, err := a.Program(addr, 0, [][]byte{buf}); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 'X'
+	r, err := a.Read(PageAddr{BlockAddr: addr, LWL: 0, Type: pv.LSB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(r.Data) != "copied" {
+		t.Fatalf("copy mode stored %q, want %q", r.Data, "copied")
+	}
+
+	// Borrow mode: the stored page aliases the caller's slice.
+	a.SetBorrowPayloads(true)
+	lent := []byte("lent")
+	ob := []byte("oob")
+	if _, err := a.ProgramOOB(addr, 1, [][]byte{lent}, [][]byte{ob}); err != nil {
+		t.Fatal(err)
+	}
+	pa := PageAddr{BlockAddr: addr, LWL: 1, Type: pv.LSB}
+	r, err = a.Read(pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &r.Data[0] != &lent[0] {
+		t.Fatal("borrow mode did not store the caller's slice")
+	}
+	o, err := a.ReadOOB(pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &o[0] != &ob[0] {
+		t.Fatal("borrow mode did not store the caller's OOB slice")
+	}
+}

@@ -83,24 +83,46 @@ type Counters struct {
 	ReadTime    float64
 }
 
+// bitset is a fixed-capacity bit vector over page indices. The nil bitset
+// reads as all-false, so blocks that were never programmed need no storage.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (s bitset) get(i int) bool {
+	w := i >> 6
+	return w < len(s) && s[w]&(1<<uint(i&63)) != 0
+}
+
+func (s bitset) set(i int) { s[i>>6] |= 1 << uint(i&63) }
+
+func (s bitset) clearAll() {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
 type block struct {
 	bad        bool
-	corrupted  map[int]bool   // page index → forced uncorrectable (fault injection)
-	oob        map[int][]byte // page index → spare-area bytes
+	corrupted  bitset   // page index → forced uncorrectable (fault injection); nil until injected
+	oob        [][]byte // page index → spare-area bytes; nil until first OOB write
 	peCycles   int
-	nextLWL    int            // next word-line to program; LWLsPerBlock when full
-	retention  float64        // retention units since last program completion
-	data       map[int][]byte // page index → payload
-	programmed map[int]bool   // page index → written
-	lwlLatency []float64      // observed program latency per LWL (last program pass)
+	nextLWL    int       // next word-line to program; LWLsPerBlock when full
+	retention  float64   // retention units since last program completion
+	data       [][]byte  // page index → payload; nil until first program
+	programmed bitset    // page index → written; allocated with data
+	lwlLatency []float64 // observed program latency per LWL (last program pass)
 }
 
 // Array is a simulated NAND flash array. It is not safe for concurrent use;
 // callers (the SSD layer) serialize access per their channel model.
 type Array struct {
-	geo   Geometry
-	model *pv.Model
-	ecc   ECCConfig
+	geo    Geometry
+	model  *pv.Model
+	kern   *pv.Kernel // cached-latency kernel over this array's geometry
+	seed   uint64     // model seed, cached off the hot read path
+	ecc    ECCConfig
+	borrow bool // store program payloads without copying (SetBorrowPayloads)
 
 	blocks   []block // lane-major: lane*BlocksPerPlane + block
 	opNonce  uint64  // distinguishes repeated measurements (temporal jitter)
@@ -120,6 +142,8 @@ func NewArray(g Geometry, m *pv.Model, ecc ECCConfig) (*Array, error) {
 	return &Array{
 		geo:    g,
 		model:  m,
+		kern:   m.Kernel(g.Chips, g.PlanesPerChip, g.BlocksPerPlane),
+		seed:   mp.Seed,
 		ecc:    ecc,
 		blocks: make([]block, g.TotalBlocks()),
 	}, nil
@@ -139,6 +163,21 @@ func (a *Array) Geometry() Geometry { return a.geo }
 
 // Model returns the underlying process-variation model.
 func (a *Array) Model() *pv.Model { return a.model }
+
+// Kernel returns the cached-latency kernel the array evaluates its model
+// through. Consumers that query the model at array coordinates (the chamber
+// testbed, the experiment sweeps) should go through it so they share the
+// array's precomputed tables.
+func (a *Array) Kernel() *pv.Kernel { return a.kern }
+
+// SetBorrowPayloads selects whether program operations copy page and OOB
+// payloads into the array (the default) or store the caller's slices
+// directly. Borrowing is safe only when the caller hands over ownership:
+// every buffer passed to Program/ProgramOOB must not be mutated afterwards.
+// The FTL qualifies (it builds fresh buffers per flush and drops them), and
+// enables this for its array; measurement harnesses that reuse payload
+// scratch buffers must leave it off.
+func (a *Array) SetBorrowPayloads(on bool) { a.borrow = on }
 
 // Counters returns a copy of the operation counters.
 func (a *Array) Counters() Counters { return a.counters }
@@ -235,8 +274,8 @@ func (a *Array) Erase(addr BlockAddr) (float64, error) {
 		return 0, err
 	}
 	b := &a.blocks[i]
-	lat := a.model.EraseLatency(addr.Chip, addr.Plane, addr.Block, b.peCycles, a.nonce())
-	if b.bad || b.peCycles >= a.model.Endurance(addr.Chip, addr.Plane, addr.Block) {
+	lat := a.kern.EraseLatency(addr.Chip, addr.Plane, addr.Block, b.peCycles, a.nonce())
+	if b.bad || b.peCycles >= a.kern.Endurance(addr.Chip, addr.Plane, addr.Block) {
 		b.bad = true
 		a.counters.EraseFails++
 		a.counters.EraseTime += lat
@@ -245,11 +284,20 @@ func (a *Array) Erase(addr BlockAddr) (float64, error) {
 	b.peCycles++
 	b.nextLWL = 0
 	b.retention = 0
-	b.data = nil
-	b.programmed = nil
-	b.lwlLatency = nil
-	b.corrupted = nil
-	b.oob = nil
+	// Clear page state in place rather than dropping it: a block cycles
+	// through thousands of P/E cycles, and reallocating its page tables on
+	// the first program of every cycle dominated the steady-state write path.
+	for j := range b.data {
+		b.data[j] = nil
+	}
+	for j := range b.oob {
+		b.oob[j] = nil
+	}
+	b.programmed.clearAll()
+	b.corrupted.clearAll()
+	for j := range b.lwlLatency {
+		b.lwlLatency[j] = 0
+	}
 	a.counters.Erases++
 	a.counters.EraseTime += lat
 	return lat, nil
@@ -296,7 +344,7 @@ func (a *Array) ProgramOOB(addr BlockAddr, lwl int, pages [][]byte, oob [][]byte
 		return 0, fmt.Errorf("%w: want lwl %d, got %d in %v", ErrOutOfOrder, b.nextLWL, lwl, addr)
 	}
 	layer, str := a.geo.LayerString(lwl)
-	lat := a.model.ProgramLatency(pv.Coord{
+	lat := a.kern.ProgramLatency(pv.Coord{
 		Chip: addr.Chip, Plane: addr.Plane, Block: addr.Block, Layer: layer, String: str,
 	}, b.peCycles, a.nonce())
 	if lwl == 0 {
@@ -305,23 +353,35 @@ func (a *Array) ProgramOOB(addr BlockAddr, lwl int, pages [][]byte, oob [][]byte
 		b.retention = 0
 	}
 	if b.data == nil {
-		b.data = make(map[int][]byte)
-		b.programmed = make(map[int]bool)
+		// First program of this block's lifetime: allocate the page tables.
+		// Erase clears them in place, so the allocation happens once, not
+		// once per P/E cycle.
+		np := a.geo.LWLsPerBlock() * PagesPerLWL
+		b.data = make([][]byte, np)
+		b.programmed = newBitset(np)
 		b.lwlLatency = make([]float64, a.geo.LWLsPerBlock())
 	}
 	for t := 0; t < PagesPerLWL; t++ {
 		idx := lwl*PagesPerLWL + t
-		b.programmed[idx] = true
+		b.programmed.set(idx)
 		if t < len(pages) && pages[t] != nil {
-			cp := make([]byte, len(pages[t]))
-			copy(cp, pages[t])
-			b.data[idx] = cp
+			if a.borrow {
+				b.data[idx] = pages[t]
+			} else {
+				cp := make([]byte, len(pages[t]))
+				copy(cp, pages[t])
+				b.data[idx] = cp
+			}
 		}
 		if t < len(oob) && oob[t] != nil {
 			if b.oob == nil {
-				b.oob = make(map[int][]byte)
+				b.oob = make([][]byte, a.geo.LWLsPerBlock()*PagesPerLWL)
 			}
-			b.oob[idx] = append([]byte(nil), oob[t]...)
+			if a.borrow {
+				b.oob[idx] = oob[t]
+			} else {
+				b.oob[idx] = append([]byte(nil), oob[t]...)
+			}
 		}
 	}
 	b.lwlLatency[lwl] = lat
@@ -352,15 +412,15 @@ func (a *Array) Read(addr PageAddr) (ReadResult, error) {
 	}
 	b := &a.blocks[i]
 	idx := addr.PageIndex()
-	if b.programmed == nil || !b.programmed[idx] {
+	if !b.programmed.get(idx) {
 		return ReadResult{}, fmt.Errorf("%w: %v lwl=%d %v", ErrNotProgrammed, addr.BlockAddr, addr.LWL, addr.Type)
 	}
 	layer, str := a.geo.LayerString(addr.LWL)
 	coord := pv.Coord{Chip: addr.Chip, Plane: addr.Plane, Block: addr.Block, Layer: layer, String: str}
 	n := a.nonce()
-	lat := a.model.ReadLatency(coord, addr.Type, n)
+	lat := a.kern.ReadLatency(coord, addr.Type, n)
 	errBits := a.sampleErrBits(coord, b, n)
-	if b.corrupted[idx] {
+	if b.corrupted.get(idx) {
 		errBits = a.ecc.RetryBits + 1
 	}
 	retries := 0
@@ -383,11 +443,11 @@ func (a *Array) Read(addr PageAddr) (ReadResult, error) {
 // sampleErrBits draws a raw error-bit count for one page read: a normal
 // approximation of Binomial(pageBits, RBER), deterministic per nonce.
 func (a *Array) sampleErrBits(c pv.Coord, b *block, nonce uint64) int {
-	rber := a.model.RBER(c, b.peCycles, b.retention)
+	rber := a.kern.RBER(c, b.peCycles, b.retention)
 	bits := float64((a.geo.PageSize + a.geo.SpareSize) * 8)
 	mean := rber * bits
 	sd := math.Sqrt(mean * (1 - rber))
-	h := prng.Hash(a.model.Params().Seed, 101, c.Chip, c.Plane, c.Block, c.Layer, c.String)
+	h := prng.Hash(a.seed, 101, c.Chip, c.Plane, c.Block, c.Layer, c.String)
 	v := mean + sd*prng.NormalFromHash(prng.SplitMix64(h^nonce))
 	if v < 0 {
 		return 0
@@ -423,16 +483,18 @@ func (a *Array) checkDistinctLanes(addrs []BlockAddr) error {
 	if len(addrs) == 0 {
 		return ErrEmptyMultiOp
 	}
-	seen := make(map[int]bool, len(addrs))
-	for _, ad := range addrs {
+	// Members are at most one per lane (a handful), so a quadratic scan
+	// beats allocating a set on what is the FTL's per-flush path.
+	for i, ad := range addrs {
 		if _, err := a.blockIndex(ad); err != nil {
 			return err
 		}
 		l := ad.Lane(a.geo)
-		if seen[l] {
-			return fmt.Errorf("%w: lane %d", ErrLaneConflict, l)
+		for j := 0; j < i; j++ {
+			if addrs[j].Lane(a.geo) == l {
+				return fmt.Errorf("%w: lane %d", ErrLaneConflict, l)
+			}
 		}
-		seen[l] = true
 	}
 	return nil
 }
@@ -527,8 +589,11 @@ func (a *Array) ReadOOB(addr PageAddr) ([]byte, error) {
 	}
 	b := &a.blocks[i]
 	idx := addr.PageIndex()
-	if b.programmed == nil || !b.programmed[idx] {
+	if !b.programmed.get(idx) {
 		return nil, fmt.Errorf("%w: %v lwl=%d %v", ErrNotProgrammed, addr.BlockAddr, addr.LWL, addr.Type)
+	}
+	if b.oob == nil {
+		return nil, nil
 	}
 	return b.oob[idx], nil
 }
@@ -546,9 +611,9 @@ func (a *Array) InjectCorruption(addr PageAddr) error {
 	}
 	b := &a.blocks[i]
 	if b.corrupted == nil {
-		b.corrupted = make(map[int]bool)
+		b.corrupted = newBitset(a.geo.LWLsPerBlock() * PagesPerLWL)
 	}
-	b.corrupted[addr.PageIndex()] = true
+	b.corrupted.set(addr.PageIndex())
 	return nil
 }
 

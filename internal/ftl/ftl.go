@@ -353,6 +353,11 @@ func New(arr *flash.Array, cfg Config) (*FTL, error) {
 			}
 		}
 	}
+	// Every buffer the FTL programs is built fresh per flush (host data is
+	// copied into the write buffer on entry, parity and OOB tags are
+	// assembled in flush) and released right after, so the array can keep
+	// the slices instead of copying them again.
+	arr.SetBorrowPayloads(true)
 	return f, nil
 }
 

@@ -4,6 +4,11 @@
 // word-line, physical word-line, string), and the 1-bit-per-word-line eigen
 // sequence of STR-MED/QSTR-MED, plus the per-lane sorted latency lists used
 // for on-demand assembly.
+//
+// The latencies a profile holds come from the measuring testbed, which reads
+// them through the array's shared latency kernel (pv.Kernel); a profile is
+// the *gathered* view — rank vectors and eigen bits are derived here, never
+// re-sampled from the model.
 package profile
 
 import (

@@ -31,6 +31,7 @@ package pv
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"superfast/internal/prng"
 )
@@ -259,6 +260,11 @@ const (
 // Model evaluates the variation model. It is safe for concurrent use.
 type Model struct {
 	p Params
+
+	// Memoized latency kernels, one per geometry (see kernel.go). Guarded by
+	// kmu; the kernels themselves are lock-free once handed out.
+	kmu     sync.Mutex
+	kernels []*Kernel
 }
 
 // New returns a model for the given parameters.

@@ -1,0 +1,42 @@
+package ssd
+
+import (
+	"testing"
+
+	"superfast/internal/flash"
+	"superfast/internal/pv"
+)
+
+// TestConcurrentSubmitAllocs pins the telemetry-disabled Submit path's
+// allocation count. One single-request submission allocates exactly seven
+// objects — the boxed request slice, the run list, the per-run arrivals,
+// data and reply buffers, the completion slice, and the reorder-buffer
+// latency slice — and nothing per flash operation: the flash array and the
+// latency kernel underneath run allocation-free in steady state. A rise
+// here means something on the per-request path started allocating again.
+func TestConcurrentSubmitAllocs(t *testing.T) {
+	g := flash.TestGeometry()
+	g.BlocksPerPlane = 8
+	g.Layers = 12
+	p := pv.DefaultParams()
+	p.Layers = g.Layers
+	p.Strings = g.Strings
+	cfg := DefaultConfig()
+	cfg.FTL.Overprovision = 0.25
+	d, err := NewConcurrent(flash.MustNewArray(g, pv.New(p), flash.DefaultECC()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.FillSequential(nil); err != nil {
+		t.Fatal(err)
+	}
+	n := testing.AllocsPerRun(200, func() {
+		if _, err := d.Submit(Request{Kind: OpRead, LPN: 7}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n > 7 {
+		t.Errorf("telemetry-disabled read Submit allocates %.1f objects, want ≤ 7", n)
+	}
+}
