@@ -23,9 +23,12 @@ check:
 # Observability smoke: the in-process HTTP exposition test (serve on an
 # ephemeral port, scrape /metrics and /healthz), then a short ftlsim run
 # exporting the attribution report, flight-recorder CSV and metrics dump
-# through the real CLI surface.
+# through the real CLI surface. The server smoke replays the block-service
+# acceptance pair: loopback trace replay matching the direct device run
+# bit-for-bit, and graceful drain under load with zero dropped in-flight.
 smoke:
 	$(GO) test -count=1 -run TestHTTPMetricsSmoke .
+	$(GO) test -count=1 -run 'TestLoopbackTraceReplayMatchesDirect|TestDrainUnderLoad' ./internal/server
 	$(GO) run ./cmd/ftlsim -blocks 16 -layers 16 -ops 2000 -workers 8 \
 		-attr $(SMOKE_DIR)/attr.json -rec $(SMOKE_DIR)/rec.csv \
 		-metrics-out $(SMOKE_DIR)/metrics.txt >/dev/null

@@ -6,8 +6,11 @@
 package superfast_test
 
 import (
+	"context"
 	"fmt"
+	"net"
 	"testing"
+	"time"
 
 	"superfast/internal/chamber"
 	"superfast/internal/core"
@@ -15,6 +18,8 @@ import (
 	"superfast/internal/flash"
 	"superfast/internal/profile"
 	"superfast/internal/pv"
+	"superfast/internal/server"
+	"superfast/internal/server/client"
 	"superfast/internal/ssd"
 	"superfast/internal/telemetry"
 	"superfast/internal/workload"
@@ -189,6 +194,72 @@ func BenchmarkConcurrentDevice(b *testing.B) {
 				dev.Close()
 			}
 			b.ReportMetric(float64(burst)/span*1e6, "simreads/s")
+		})
+	}
+}
+
+// BenchmarkServerLoopback drives the TCP block service end to end: a
+// pipelining client against a loopback ftl server over the concurrent device,
+// closed-loop at several queue depths. The per-op cost includes framing, the
+// socket round trip, admission, and the device itself — the wire-protocol
+// overhead on top of BenchmarkConcurrentDevice's direct submission path.
+func BenchmarkServerLoopback(b *testing.B) {
+	g := flash.TestGeometry()
+	g.BlocksPerPlane = 12
+	g.Layers = 12
+	p := pv.DefaultParams()
+	p.Layers = g.Layers
+	p.Strings = g.Strings
+	cfg := ssd.DefaultConfig()
+	cfg.FTL.Overprovision = 0.25
+	for _, depth := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("depth%d", depth), func(b *testing.B) {
+			dev, err := ssd.NewConcurrent(flash.MustNewArray(g, pv.New(p), flash.DefaultECC()), cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(dev.Close)
+			if err := dev.FillSequential(nil); err != nil {
+				b.Fatal(err)
+			}
+			capacity := dev.FTL().Capacity()
+			srv := server.New(dev, server.Config{})
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			go srv.Serve(ln)
+			b.Cleanup(func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				srv.Shutdown(ctx)
+			})
+			cl, err := client.Dial(ln.Addr().String())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { cl.Close() })
+			b.ReportAllocs()
+			b.ResetTimer()
+			pending := make([]*client.Call, 0, depth)
+			for i := 0; i < b.N; i++ {
+				if len(pending) == depth {
+					if _, err := pending[0].Wait(); err != nil {
+						b.Fatal(err)
+					}
+					pending = pending[1:]
+				}
+				call, err := cl.Start(server.Frame{Op: server.OpRead, LPN: int64(i) % capacity})
+				if err != nil {
+					b.Fatal(err)
+				}
+				pending = append(pending, call)
+			}
+			for _, call := range pending {
+				if _, err := call.Wait(); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

@@ -1,0 +1,248 @@
+// Command ftlload is the load generator for the ftlserve block service: it
+// replays a synthetic workload or a captured trace over one or more
+// pipelined connections and reports wall-clock throughput next to the
+// simulated latency distribution the device computed.
+//
+// Usage:
+//
+//	ftlload -addr 127.0.0.1:8970 -workload hotcold -ops 20000 -conns 4 -depth 8
+//	ftlload -addr 127.0.0.1:8970 -workload trace -in trace.csv -seq
+//	ftlload -addr 127.0.0.1:8970 -workload uniform -rate 120   # open loop
+//
+// Closed loop (default): each connection keeps -depth requests in flight and
+// issues the next as soon as one completes. Open loop (-rate M): requests
+// carry Poisson arrival stamps with mean gap M µs, so the simulated device
+// sees queueing pressure independent of the network's round-trip time.
+// -workload trace auto-detects the file format ("op,lpn" CSV or
+// MSR-Cambridge) and primes cold reads before replay. -seq stamps dense
+// global tickets so a server in -seq mode reproduces the single-submitter
+// completion stream bit for bit, however many connections carry it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"superfast/internal/server"
+	"superfast/internal/server/client"
+	"superfast/internal/ssd"
+	"superfast/internal/stats"
+	"superfast/internal/workload"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8970", "block-service address")
+		conns   = flag.Int("conns", 4, "client connections")
+		depth   = flag.Int("depth", 8, "per-connection pipeline depth (closed loop)")
+		wl      = flag.String("workload", "hotcold", "workload: seqfill | uniform | hotcold | mixed | trace")
+		in      = flag.String("in", "", "trace file for -workload trace (format auto-detected)")
+		ops     = flag.Int64("ops", 20000, "operations to issue (generators)")
+		pagelen = flag.Int("pagelen", 4096, "payload bytes per write (0 = device page size)")
+		seed    = flag.Uint64("seed", 1, "workload seed")
+		rate    = flag.Float64("rate", 0, "open loop: mean µs between Poisson arrivals (0 = closed loop)")
+		seq     = flag.Bool("seq", false, "sequenced replay: stamp dense global tickets (server must run -seq)")
+	)
+	flag.Parse()
+	if *conns < 1 || *depth < 1 {
+		fatalf("-conns and -depth must be ≥ 1")
+	}
+
+	// One probe connection learns the device shape before the fleet dials in.
+	probe, err := client.Dial(*addr)
+	if err != nil {
+		fatalf("dial %s: %v", *addr, err)
+	}
+	snap, err := probe.Stat()
+	probe.Close()
+	if err != nil {
+		fatalf("stat: %v", err)
+	}
+	space := snap.Capacity
+	if space < 1 {
+		fatalf("server reports capacity %d", space)
+	}
+	if *pagelen <= 0 {
+		*pagelen = snap.PageSize
+	}
+	fmt.Fprintf(os.Stderr, "ftlload: %s: %d pages × %d B, %d conns × depth %d\n",
+		*addr, space, snap.PageSize, *conns, *depth)
+
+	reqs, err := buildRequests(*wl, *in, space, *ops, *pagelen, *seed, *rate)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if len(reqs) == 0 {
+		fatalf("empty workload")
+	}
+
+	clients := make([]*client.Client, *conns)
+	for i := range clients {
+		if clients[i], err = client.Dial(*addr); err != nil {
+			fatalf("dial %s: %v", *addr, err)
+		}
+		defer clients[i].Close()
+	}
+
+	lat := make([]float64, len(reqs))
+	okFlag := make([]bool, len(reqs))
+	var statusCount [server.StatusInternal + 1]atomic.Uint64
+	var netErrs atomic.Uint64
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for ci := 0; ci < *conns; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			drive(clients[ci], reqs, ci, *conns, *depth, *seq, lat, okFlag, &statusCount, &netErrs)
+		}(ci)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var okLat []float64
+	for i, ok := range okFlag {
+		if ok {
+			okLat = append(okLat, lat[i])
+		}
+	}
+	sum := stats.Summarize(okLat)
+	fmt.Printf("issued %d ops over %d conns in %v (%.0f ops/s wall)\n",
+		len(reqs), *conns, wall.Round(time.Millisecond), float64(len(reqs))/wall.Seconds())
+	for st := server.StatusOK; st <= server.StatusInternal; st++ {
+		if n := statusCount[st].Load(); n > 0 {
+			fmt.Printf("  %-14s %d\n", st.String(), n)
+		}
+	}
+	if n := netErrs.Load(); n > 0 {
+		fmt.Printf("  %-14s %d\n", "net-error", n)
+	}
+
+	t := &stats.Table{Headers: []string{"metric", "simulated latency"}}
+	t.AddRow("mean", stats.FmtUS(sum.Mean))
+	t.AddRow("p50", stats.FmtUS(sum.Median))
+	t.AddRow("p95", stats.FmtUS(sum.P95))
+	t.AddRow("p99", stats.FmtUS(sum.P99))
+	t.AddRow("p99.9", stats.FmtUS(sum.P999))
+	t.AddRow("max", stats.FmtUS(sum.Max))
+	fmt.Print(t.String())
+
+	if final, err := finalStat(*addr); err == nil {
+		fmt.Printf("device: %d reqs (%d r / %d w / %d t), WAF %.3f; server: %d accepted, %d responses, %d rejected\n",
+			final.Device.Requests, final.Device.Reads, final.Device.Writes, final.Device.Trims, final.WAF,
+			final.Server.Accepted, final.Server.Responses, final.Server.Rejected)
+	}
+}
+
+// buildRequests materializes the request stream: generators are collected
+// (and optionally Poisson-paced), traces are parsed with format
+// auto-detection and primed so cold reads cannot fail.
+func buildRequests(wl, in string, space, ops int64, pagelen int, seed uint64, rate float64) ([]ssd.Request, error) {
+	var g workload.Generator
+	switch wl {
+	case "seqfill":
+		n := ops
+		if n > space {
+			n = space
+		}
+		g = &workload.Sequential{N: n, PageLen: pagelen}
+	case "uniform":
+		g = &workload.Uniform{Space: space, Count: ops, PageLen: pagelen, Seed: seed}
+	case "hotcold":
+		g = &workload.HotCold{Space: space, Count: ops, HotFrac: 0.8, HotSpace: 0.2, PageLen: pagelen, Seed: seed}
+	case "mixed":
+		g = &workload.Mixed{Space: space, Count: ops, ReadFrac: 0.5, PageLen: pagelen, Seed: seed}
+	case "trace":
+		if in == "" {
+			return nil, fmt.Errorf("-workload trace needs -in")
+		}
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		reqs, format, err := workload.ParseTraceAuto(f, pagelen, space)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "ftlload: %s: %s trace, %d requests\n", in, format, len(reqs))
+		prepared, _ := workload.PrepareForReplay(reqs)
+		return prepared, nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", wl)
+	}
+	if rate > 0 {
+		g = &workload.Paced{Gen: g, MeanGapUS: rate, Seed: seed}
+	}
+	return workload.Collect(g), nil
+}
+
+// drive issues this connection's share of the stream — requests whose global
+// index i satisfies i %% conns == ci, in ascending order (ascending per-conn
+// seq is what keeps sequenced admission deadlock-free) — keeping up to depth
+// requests in flight.
+func drive(cl *client.Client, reqs []ssd.Request, ci, conns, depth int, seq bool,
+	lat []float64, okFlag []bool, statusCount *[server.StatusInternal + 1]atomic.Uint64, netErrs *atomic.Uint64) {
+	sem := make(chan struct{}, depth)
+	var wg sync.WaitGroup
+	for i := ci; i < len(reqs); i += conns {
+		f := server.Frame{LPN: reqs[i].LPN, Arrival: reqs[i].Arrival}
+		switch reqs[i].Kind {
+		case ssd.OpRead:
+			f.Op = server.OpRead
+		case ssd.OpWrite:
+			f.Op = server.OpWrite
+			f.Payload = reqs[i].Data
+			f.Hint = reqs[i].Hint
+		case ssd.OpTrim:
+			f.Op = server.OpTrim
+		}
+		if seq {
+			f.Flags |= server.FlagSequenced
+			f.Seq = uint64(i)
+		}
+		sem <- struct{}{}
+		call, err := cl.Start(f)
+		if err != nil {
+			<-sem
+			netErrs.Add(1)
+			return // connection is dead; its remaining share is lost
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			resp, err := call.Wait()
+			if err != nil {
+				netErrs.Add(1)
+				return
+			}
+			statusCount[resp.Status].Add(1)
+			if resp.Status == server.StatusOK {
+				lat[i] = resp.Latency
+				okFlag[i] = true
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// finalStat fetches a closing statistics snapshot on a fresh connection.
+func finalStat(addr string) (server.StatSnapshot, error) {
+	cl, err := client.Dial(addr)
+	if err != nil {
+		return server.StatSnapshot{}, err
+	}
+	defer cl.Close()
+	return cl.Stat()
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ftlload: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,174 @@
+// Command ftlserve exports the simulated SSD as a network block service:
+// a TCP front end speaking the length-prefixed binary protocol of
+// internal/server (READ / WRITE / TRIM / FLUSH / STAT / PING) over the
+// thread-safe multi-queue device, with admission control and graceful drain.
+//
+// Usage:
+//
+//	ftlserve -listen :8970
+//	ftlserve -listen :8970 -inflight 512 -conn-inflight 64 -deadline 500ms
+//	ftlserve -listen :8970 -seq            # deterministic sequenced replay
+//	ftlserve -listen :8970 -pace 1.0       # responses paced to simulated time
+//	ftlserve -listen :8970 -http :9090     # live /metrics, /healthz, pprof
+//
+// -seq puts the server in sequenced replay mode: every data request must
+// carry a dense global ticket (ftlload -seq stamps them), and admission
+// follows ticket order, so a multi-connection replay is bit-identical to a
+// single-submitter run. -pace F delays each response by F wall-clock
+// microseconds per simulated microsecond of latency (1.0 ≈ real device
+// timing). -http serves the telemetry surface — Prometheus /metrics now
+// includes the srv.* serving-layer counters, and /flightrecorder gains
+// srv_conns/srv_inflight/srv_accepted/srv_rejected columns. SIGINT/SIGTERM
+// trigger a graceful drain: stop accepting, answer everything already read,
+// flush, close.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"superfast/internal/flash"
+	"superfast/internal/ftl"
+	"superfast/internal/pv"
+	"superfast/internal/server"
+	"superfast/internal/ssd"
+	"superfast/internal/telemetry"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":8970", "TCP listen address for the block service")
+		inflight = flag.Int("inflight", 256, "global in-flight request cap (admission control)")
+		connInFl = flag.Int("conn-inflight", 64, "per-connection in-flight cap")
+		deadline = flag.Duration("deadline", 0, "per-request admission deadline (0 = wait forever)")
+		seq      = flag.Bool("seq", false, "sequenced replay mode: admit requests in global ticket order")
+		pace     = flag.Float64("pace", 0, "wall-µs slept per simulated µs of latency before responding (1.0 ≈ real time)")
+		fill     = flag.Bool("fill", false, "warm-fill every logical page before serving")
+		httpAddr = flag.String("http", "", "serve /metrics, /healthz, /debug/pprof, /flightrecorder on ADDR")
+		recIntv  = flag.Float64("rec-interval", 10000, "flight-recorder sampling interval, simulated µs (with -http)")
+		recCap   = flag.Int("rec-cap", 4096, "flight-recorder ring capacity (with -http)")
+		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on shutdown")
+
+		orgName  = flag.String("organizer", "qstr-med", "superblock organizer: qstr-med | sequential | random")
+		blocks   = flag.Int("blocks", 32, "blocks per plane")
+		chips    = flag.Int("chips", 4, "chips")
+		layers   = flag.Int("layers", 48, "word-line layers per block")
+		seed     = flag.Uint64("seed", 1, "seed")
+		raid     = flag.Bool("raid", false, "dedicate one lane per superblock to parity")
+		autoHint = flag.Bool("autohint", false, "detect hot pages and place them on fast superpages")
+	)
+	flag.Parse()
+
+	g := flash.Geometry{
+		Chips:          *chips,
+		PlanesPerChip:  1,
+		BlocksPerPlane: *blocks,
+		Layers:         *layers,
+		Strings:        4,
+		PageSize:       16 * 1024,
+		SpareSize:      2 * 1024,
+	}
+	p := pv.DefaultParams()
+	p.Seed = *seed
+	p.Layers = g.Layers
+	p.Strings = g.Strings
+	arr, err := flash.NewArray(g, pv.New(p), flash.DefaultECC())
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cfg := ssd.DefaultConfig()
+	cfg.FTL.Overprovision = 0.2
+	cfg.FTL.Seed = *seed
+	cfg.FTL.RAID = *raid
+	cfg.FTL.AutoHint = *autoHint
+	switch *orgName {
+	case "qstr-med":
+		cfg.FTL.Organizer = ftl.QSTRMed
+	case "sequential":
+		cfg.FTL.Organizer = ftl.SequentialOrg
+	case "random":
+		cfg.FTL.Organizer = ftl.RandomOrg
+	default:
+		fatalf("unknown organizer %q", *orgName)
+	}
+	dev, err := ssd.NewConcurrent(arr, cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer dev.Close()
+	if *fill {
+		fmt.Fprintln(os.Stderr, "ftlserve: warm fill...")
+		if err := dev.FillSequential(nil); err != nil {
+			fatalf("fill: %v", err)
+		}
+	}
+
+	var reg *telemetry.Metrics
+	var rec *telemetry.Recorder
+	if *httpAddr != "" {
+		reg = telemetry.New()
+		dev.SetMetrics(reg)
+	}
+	srv := server.New(dev, server.Config{
+		MaxInFlight: *inflight,
+		MaxPerConn:  *connInFl,
+		Deadline:    *deadline,
+		Sequenced:   *seq,
+		Pace:        *pace,
+		Metrics:     reg,
+	})
+	if *httpAddr != "" {
+		// The recorder samples the device columns plus the serving layer's.
+		rec, err = telemetry.NewRecorder(*recIntv, *recCap,
+			append(ssd.RecorderColumns(g.Chips), server.RecorderColumns()...))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		dev.SetRecorderExtra(server.RecorderColumns(), srv.RecorderSampler())
+		if err := dev.AttachRecorder(rec); err != nil {
+			fatalf("%v", err)
+		}
+		hsrv, haddr, herr := telemetry.Serve(*httpAddr, telemetry.Routes(reg, rec, nil))
+		if herr != nil {
+			fatalf("-http: %v", herr)
+		}
+		defer hsrv.Close()
+		fmt.Fprintf(os.Stderr, "ftlserve: serving telemetry on http://%s/\n", haddr)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatalf("listen: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "ftlserve: block service on %s (capacity %d pages × %d B, sequenced=%v)\n",
+		ln.Addr(), dev.FTL().Capacity(), dev.PageSize(), *seq)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "ftlserve: draining...")
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "ftlserve: drain: %v\n", err)
+		}
+	}()
+	if err := srv.Serve(ln); err != nil {
+		fatalf("serve: %v", err)
+	}
+	st := srv.Stats()
+	fmt.Fprintf(os.Stderr, "ftlserve: drained: %d conns served, %d accepted, %d responses, %d rejected, %d B in, %d B out\n",
+		st.ConnsEver, st.Accepted, st.Responses, st.Rejected, st.BytesIn, st.BytesOut)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ftlserve: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,144 @@
+package ftl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"superfast/internal/flash"
+)
+
+// noRefresh is a threshold no real page can reach, so patrol only scans.
+const noRefresh = 1 << 30
+
+// fullFTL returns an FTL with every logical page written and flushed, so the
+// whole space is mapped, nothing is buffered, and patrol counts are exact.
+func fullFTL(t *testing.T, cfg Config) *FTL {
+	t.Helper()
+	f := newFTL(t, cfg)
+	for lpn := int64(0); lpn < f.Capacity(); lpn++ {
+		if _, err := f.Write(lpn, payload(lpn, 0)); err != nil {
+			t.Fatalf("fill lpn %d: %v", lpn, err)
+		}
+	}
+	if _, err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestPatrolWrapsPastLogEnd(t *testing.T) {
+	f := fullFTL(t, testConfig())
+	cap := f.Capacity()
+	const window = 20
+	start := cap - 7 // 7 pages before the end, 13 after the wrap
+	before := f.Stats().PatrolReads
+	next, lat, err := f.Patrol(start, window, noRefresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Stats().PatrolReads - before; got != window {
+		t.Fatalf("PatrolReads delta = %d, want %d", got, window)
+	}
+	if want := (start + window) % cap; next != want {
+		t.Fatalf("next = %d, want %d (wrapped)", next, want)
+	}
+	if lat <= 0 {
+		t.Fatalf("latency = %v, want > 0", lat)
+	}
+	if f.Stats().Refreshes != 0 {
+		t.Fatal("huge threshold must never refresh")
+	}
+}
+
+func TestPatrolResumeCursor(t *testing.T) {
+	f := fullFTL(t, testConfig())
+	cap := f.Capacity()
+	// Drive the scan in chunks, feeding each returned cursor back in: the
+	// cursor must advance by exactly one chunk per call, modulo the log.
+	const chunk = 25
+	cursor := int64(0)
+	for i := 0; i < 4; i++ {
+		before := f.Stats().PatrolReads
+		next, _, err := f.Patrol(cursor, chunk, noRefresh)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", i, err)
+		}
+		if got := f.Stats().PatrolReads - before; got != chunk {
+			t.Fatalf("chunk %d: PatrolReads delta = %d, want %d", i, got, chunk)
+		}
+		if want := (cursor + chunk) % cap; next != want {
+			t.Fatalf("chunk %d: next = %d, want %d", i, next, want)
+		}
+		cursor = next
+	}
+	// A budget larger than the log scans each page exactly once and stops
+	// back at the start — a full cycle, not a second lap.
+	before := f.Stats().PatrolReads
+	next, _, err := f.Patrol(cursor, int(cap)+100, noRefresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Stats().PatrolReads - before; int64(got) != cap {
+		t.Fatalf("full cycle scanned %d pages, want %d", got, cap)
+	}
+	if next != cursor {
+		t.Fatalf("full cycle ended at %d, want start %d", next, cursor)
+	}
+}
+
+func TestPatrolReconstructsUncorrectable(t *testing.T) {
+	f := fullFTL(t, raidConfig())
+	const victim = 17
+	corruptPageOf(t, f, victim)
+	st := f.Stats()
+	next, _, err := f.Patrol(victim, 1, noRefresh)
+	if err != nil {
+		t.Fatalf("patrol should reconstruct through RAID: %v", err)
+	}
+	if next != victim+1 {
+		t.Fatalf("next = %d, want %d", next, victim+1)
+	}
+	d := f.Stats()
+	if d.PatrolReads-st.PatrolReads != 1 {
+		t.Fatalf("PatrolReads delta = %d, want 1", d.PatrolReads-st.PatrolReads)
+	}
+	// Reconstruction forces a refresh regardless of the threshold.
+	if d.Refreshes-st.Refreshes != 1 {
+		t.Fatalf("Refreshes delta = %d, want 1", d.Refreshes-st.Refreshes)
+	}
+	if d.GCWrites <= st.GCWrites {
+		t.Fatal("refresh must relocate through the GC stream")
+	}
+	// The relocated page reads back with the original data.
+	r, err := f.Read(victim)
+	if err != nil {
+		t.Fatalf("read after refresh: %v", err)
+	}
+	if string(r.Data) != string(payload(victim, 0)) {
+		t.Fatalf("lpn %d corrupted by patrol refresh: %q", victim, r.Data)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPatrolUncorrectableWithoutRAID(t *testing.T) {
+	f := fullFTL(t, testConfig())
+	const victim = 10
+	corruptPageOf(t, f, victim)
+	next, _, err := f.Patrol(victim, 1, noRefresh)
+	if err == nil {
+		t.Fatal("patrol over a corrupt page without RAID should fail")
+	}
+	if !errors.Is(err, flash.ErrUncorrectable) {
+		t.Fatalf("err = %v, want ErrUncorrectable in the chain", err)
+	}
+	if !strings.Contains(err.Error(), "ftl: patrol read lpn 10") {
+		t.Fatalf("err = %v, want patrol context with the lpn", err)
+	}
+	// The error reports where the scan stopped so a caller can skip past it.
+	if next != victim {
+		t.Fatalf("next = %d, want the failing lpn %d", next, victim)
+	}
+}

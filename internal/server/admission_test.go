@@ -1,0 +1,166 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmissionCapBlocks(t *testing.T) {
+	a := newAdmission(2)
+	for i := 0; i < 2; i++ {
+		if err := a.acquire(0, false, time.Time{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	granted := make(chan struct{})
+	go func() {
+		if err := a.acquire(0, false, time.Time{}); err != nil {
+			t.Error(err)
+		}
+		close(granted)
+	}()
+	select {
+	case <-granted:
+		t.Fatal("third acquire should block at cap 2")
+	case <-time.After(30 * time.Millisecond):
+	}
+	a.release()
+	select {
+	case <-granted:
+	case <-time.After(time.Second):
+		t.Fatal("release did not unblock the waiter")
+	}
+	if got := a.load(); got != 2 {
+		t.Fatalf("load = %d, want 2", got)
+	}
+}
+
+func TestAdmissionSequencedOrder(t *testing.T) {
+	a := newAdmission(8)
+	var mu sync.Mutex
+	var order []uint64
+	var wg sync.WaitGroup
+	// Start in reverse so the natural goroutine order fights the ticket order.
+	for _, seq := range []uint64{3, 2, 1, 0} {
+		wg.Add(1)
+		go func(seq uint64) {
+			defer wg.Done()
+			if err := a.acquire(seq, true, time.Time{}); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			order = append(order, seq)
+			mu.Unlock()
+		}(seq)
+		time.Sleep(5 * time.Millisecond) // let each waiter park before the next starts
+	}
+	wg.Wait()
+	for i, seq := range order {
+		if seq != uint64(i) {
+			t.Fatalf("grant order %v, want ascending tickets", order)
+		}
+	}
+}
+
+func TestAdmissionSequencedRetire(t *testing.T) {
+	a := newAdmission(1)
+	if err := a.acquire(0, true, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	// Ticket 2's waiter parks behind the missing ticket 1 (and the full cap).
+	granted2 := make(chan struct{})
+	go func() {
+		if err := a.acquire(2, true, time.Time{}); err != nil {
+			t.Error(err)
+		}
+		close(granted2)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case <-granted2:
+		t.Fatal("ticket 2 granted before ticket 1 was retired")
+	default:
+	}
+	// Ticket 1 rejects at the head (blocked by the cap, deadline expired):
+	// the cursor must advance past it.
+	past := time.Now().Add(-time.Millisecond)
+	if err := a.acquire(1, true, past); !errors.Is(err, errDeadline) {
+		t.Fatalf("expired acquire = %v, want errDeadline", err)
+	}
+	a.release() // ticket 0 done; ticket 2 is now the head and has the slot
+	select {
+	case <-granted2:
+	case <-time.After(time.Second):
+		t.Fatal("retiring ticket 1 did not unblock ticket 2")
+	}
+
+	// Ticket 4 rejects ahead of the cursor (blocked on the seq mismatch): it
+	// must be skipped when the cursor reaches it, so ticket 5 runs after 3.
+	if err := a.acquire(4, true, past); !errors.Is(err, errDeadline) {
+		t.Fatalf("ahead-of-cursor reject = %v", err)
+	}
+	a.release() // ticket 2 done
+	done := make(chan struct{})
+	go func() {
+		if err := a.acquire(3, true, time.Time{}); err != nil {
+			t.Error(err)
+		}
+		a.release()
+		if err := a.acquire(5, true, time.Time{}); err != nil {
+			t.Error(err)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("skipped ticket wedged the cursor")
+	}
+}
+
+func TestAdmissionDeadline(t *testing.T) {
+	a := newAdmission(1)
+	if err := a.acquire(0, false, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err := a.acquire(0, false, time.Now().Add(30*time.Millisecond))
+	if !errors.Is(err, errDeadline) {
+		t.Fatalf("err = %v, want errDeadline", err)
+	}
+	if waited := time.Since(start); waited < 20*time.Millisecond {
+		t.Fatalf("rejected after %v, before the deadline", waited)
+	}
+}
+
+func TestAdmissionDrain(t *testing.T) {
+	a := newAdmission(1)
+	if err := a.acquire(0, false, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	res := make(chan error, 1)
+	go func() { res <- a.acquire(0, false, time.Time{}) }()
+	time.Sleep(10 * time.Millisecond)
+	a.drain()
+	select {
+	case err := <-res:
+		if !errors.Is(err, errDraining) {
+			t.Fatalf("blocked acquire = %v, want errDraining", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("drain did not wake the blocked acquire")
+	}
+	if err := a.acquire(0, false, time.Time{}); !errors.Is(err, errDraining) {
+		t.Fatalf("post-drain acquire = %v, want errDraining", err)
+	}
+	// Sequenced post-drain rejections still retire their tickets.
+	if err := a.acquire(7, true, time.Time{}); !errors.Is(err, errDraining) {
+		t.Fatalf("sequenced post-drain acquire = %v", err)
+	}
+	if _, ok := a.skipped[7]; !ok {
+		t.Fatal("drained sequenced ticket was not retired")
+	}
+}

@@ -1,0 +1,232 @@
+// Package client is the pipelining Go client for the block service in
+// internal/server: many requests may be in flight on one connection, a
+// background reader demultiplexes responses by request id, and synchronous
+// convenience wrappers (Read/Write/Trim/Ping/Flush/Stat) cover the common
+// ops. Start/Wait expose the asynchronous form the load generator uses.
+package client
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"superfast/internal/ftl"
+	"superfast/internal/server"
+)
+
+// Client is one connection to a block-service server. Safe for concurrent
+// use: requests interleave on the wire in Start order, responses resolve in
+// whatever order the server completes them.
+type Client struct {
+	nc net.Conn
+
+	wmu sync.Mutex // serializes frame writes
+	bw  *bufio.Writer
+	buf []byte
+
+	pmu     sync.Mutex
+	pending map[uint64]chan server.Response
+	nextID  uint64
+	err     error // terminal connection error, set once
+	closed  bool
+
+	readerDone chan struct{}
+}
+
+// Dial connects to a block-service server at addr.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return New(nc), nil
+}
+
+// New wraps an established connection. The client owns nc and closes it.
+func New(nc net.Conn) *Client {
+	c := &Client{
+		nc:         nc,
+		bw:         bufio.NewWriterSize(nc, 64<<10),
+		pending:    make(map[uint64]chan server.Response),
+		readerDone: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c
+}
+
+// Close tears the connection down. In-flight calls fail with the connection
+// error. Safe to call more than once.
+func (c *Client) Close() error {
+	c.fail(fmt.Errorf("client: closed"))
+	err := c.nc.Close()
+	<-c.readerDone
+	return err
+}
+
+// Err returns the terminal connection error, or nil while the connection is
+// healthy.
+func (c *Client) Err() error {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	return c.err
+}
+
+// Call is one in-flight request.
+type Call struct {
+	resp chan server.Response
+	c    *Client
+}
+
+// Wait blocks until the response arrives or the connection dies.
+func (call *Call) Wait() (server.Response, error) {
+	r, ok := <-call.resp
+	if !ok {
+		return server.Response{}, call.c.Err()
+	}
+	return r, nil
+}
+
+// Start sends one request without waiting for its response. The frame's ID
+// is assigned by the client; Seq/Arrival/Flags pass through untouched, so a
+// sequenced replay stamps them before calling Start.
+func (c *Client) Start(f server.Frame) (*Call, error) {
+	ch := make(chan server.Response, 1)
+	c.pmu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.pmu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	f.ID = c.nextID
+	c.pending[f.ID] = ch
+	c.pmu.Unlock()
+
+	c.wmu.Lock()
+	var err error
+	c.buf, err = server.AppendFrame(c.buf[:0], f)
+	if err == nil {
+		if _, werr := c.bw.Write(c.buf); werr != nil {
+			err = werr
+		} else if ferr := c.bw.Flush(); ferr != nil {
+			err = ferr
+		}
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.pmu.Lock()
+		delete(c.pending, f.ID)
+		c.pmu.Unlock()
+		c.fail(err)
+		return nil, err
+	}
+	return &Call{resp: ch, c: c}, nil
+}
+
+// Do sends one request and waits for its response.
+func (c *Client) Do(f server.Frame) (server.Response, error) {
+	call, err := c.Start(f)
+	if err != nil {
+		return server.Response{}, err
+	}
+	return call.Wait()
+}
+
+// Read fetches one logical page. A non-OK status surfaces as the error; the
+// response carries the page data and simulated latency.
+func (c *Client) Read(lpn int64) (server.Response, error) {
+	r, err := c.Do(server.Frame{Op: server.OpRead, LPN: lpn})
+	if err != nil {
+		return r, err
+	}
+	return r, r.Err()
+}
+
+// Write stores data at one logical page with a placement hint.
+func (c *Client) Write(lpn int64, data []byte, hint ftl.Hint) (server.Response, error) {
+	r, err := c.Do(server.Frame{Op: server.OpWrite, LPN: lpn, Payload: data, Hint: hint})
+	if err != nil {
+		return r, err
+	}
+	return r, r.Err()
+}
+
+// Trim discards one logical page.
+func (c *Client) Trim(lpn int64) (server.Response, error) {
+	r, err := c.Do(server.Frame{Op: server.OpTrim, LPN: lpn})
+	if err != nil {
+		return r, err
+	}
+	return r, r.Err()
+}
+
+// Ping round-trips a liveness probe.
+func (c *Client) Ping() error {
+	r, err := c.Do(server.Frame{Op: server.OpPing})
+	if err != nil {
+		return err
+	}
+	return r.Err()
+}
+
+// Flush is the pipeline barrier: it resolves once every request sent before
+// it on this connection has been answered.
+func (c *Client) Flush() error {
+	r, err := c.Do(server.Frame{Op: server.OpFlush})
+	if err != nil {
+		return err
+	}
+	return r.Err()
+}
+
+// Stat fetches and decodes the server's statistics snapshot.
+func (c *Client) Stat() (server.StatSnapshot, error) {
+	r, err := c.Do(server.Frame{Op: server.OpStat})
+	if err != nil {
+		return server.StatSnapshot{}, err
+	}
+	if err := r.Err(); err != nil {
+		return server.StatSnapshot{}, err
+	}
+	var snap server.StatSnapshot
+	if err := json.Unmarshal(r.Payload, &snap); err != nil {
+		return server.StatSnapshot{}, fmt.Errorf("client: stat payload: %w", err)
+	}
+	return snap, nil
+}
+
+// readLoop demultiplexes responses until the connection dies, then fails
+// every pending call.
+func (c *Client) readLoop() {
+	defer close(c.readerDone)
+	br := bufio.NewReaderSize(c.nc, 64<<10)
+	for {
+		resp, _, err := server.ReadResponse(br)
+		if err != nil {
+			c.fail(fmt.Errorf("client: connection lost: %w", err))
+			return
+		}
+		c.pmu.Lock()
+		ch, ok := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.pmu.Unlock()
+		if ok {
+			ch <- resp
+		}
+	}
+}
+
+// fail records the terminal error once and wakes every pending call.
+func (c *Client) fail(err error) {
+	c.pmu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		close(ch)
+	}
+	c.pmu.Unlock()
+}

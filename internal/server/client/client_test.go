@@ -1,0 +1,182 @@
+package client
+
+import (
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"superfast/internal/flash"
+	"superfast/internal/ftl"
+	"superfast/internal/pv"
+	"superfast/internal/server"
+	"superfast/internal/ssd"
+)
+
+// startServer spins a real block service on a loopback listener.
+func startServer(t testing.TB, cfg server.Config) (*server.Server, string) {
+	t.Helper()
+	g := flash.TestGeometry()
+	g.BlocksPerPlane = 12
+	g.Layers = 12
+	p := pv.DefaultParams()
+	p.Layers = g.Layers
+	p.Strings = g.Strings
+	arr := flash.MustNewArray(g, pv.New(p), flash.DefaultECC())
+	dcfg := ssd.DefaultConfig()
+	dcfg.FTL.Overprovision = 0.25
+	dev, err := ssd.NewConcurrent(arr, dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(dev.Close)
+	srv := server.New(dev, cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return srv, ln.Addr().String()
+}
+
+func dialTest(t testing.TB, addr string) *Client {
+	t.Helper()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestClientSugar(t *testing.T) {
+	_, addr := startServer(t, server.Config{})
+	c := dialTest(t, addr)
+
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	data := []byte("client page payload")
+	wr, err := c.Write(3, data, ftl.HintSmall)
+	if err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if wr.Status != server.StatusOK {
+		t.Fatalf("write status %v", wr.Status)
+	}
+	rd, err := c.Read(3)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !strings.HasPrefix(string(rd.Payload), string(data)) {
+		t.Fatalf("read %q, want prefix %q", rd.Payload, data)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if _, err := c.Trim(3); err != nil {
+		t.Fatalf("trim: %v", err)
+	}
+	// The trimmed page now reads as BAD_REQUEST, surfaced through the error.
+	if _, err := c.Read(3); err == nil || !strings.Contains(err.Error(), "BAD_REQUEST") {
+		t.Fatalf("read after trim: %v", err)
+	}
+
+	snap, err := c.Stat()
+	if err != nil {
+		t.Fatalf("stat: %v", err)
+	}
+	if snap.Capacity <= 0 || snap.PageSize <= 0 {
+		t.Fatalf("stat snapshot %+v", snap)
+	}
+	// The failed post-trim read never reached the flash, so only the
+	// successful one counts.
+	if snap.Device.Writes != 1 || snap.Device.Reads != 1 || snap.Device.Trims != 1 {
+		t.Fatalf("device counters %+v", snap.Device)
+	}
+	if snap.Server.Conns != 1 {
+		t.Fatalf("server counters %+v", snap.Server)
+	}
+}
+
+func TestClientPipelining(t *testing.T) {
+	_, addr := startServer(t, server.Config{})
+	c := dialTest(t, addr)
+
+	const n = 64
+	calls := make([]*Call, n)
+	for i := 0; i < n; i++ {
+		call, err := c.Start(server.Frame{Op: server.OpWrite, LPN: int64(i % 16), Payload: []byte("pipelined")})
+		if err != nil {
+			t.Fatalf("start %d: %v", i, err)
+		}
+		calls[i] = call
+	}
+	for i, call := range calls {
+		r, err := call.Wait()
+		if err != nil {
+			t.Fatalf("wait %d: %v", i, err)
+		}
+		if r.Status != server.StatusOK {
+			t.Fatalf("call %d: %v", i, r.Status)
+		}
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("healthy connection reports %v", err)
+	}
+}
+
+func TestClientClose(t *testing.T) {
+	_, addr := startServer(t, server.Config{})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := c.Err(); err == nil {
+		t.Fatal("closed client should report an error")
+	}
+	if _, err := c.Start(server.Frame{Op: server.OpPing}); err == nil {
+		t.Fatal("start after close should fail")
+	}
+	if err := c.Close(); err == nil {
+		// Double close surfaces the net.Conn error; both outcomes are fine,
+		// it just must not panic or hang.
+		t.Log("double close returned nil")
+	}
+}
+
+func TestClientServerGone(t *testing.T) {
+	srv, addr := startServer(t, server.Config{})
+	c := dialTest(t, addr)
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// The connection is gone; calls must fail promptly, not hang.
+	if _, err := c.Do(server.Frame{Op: server.OpPing}); err == nil {
+		t.Fatal("call against a drained server should fail")
+	}
+}
+
+func TestClientBadAddress(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("dial to a closed port should fail")
+	}
+}

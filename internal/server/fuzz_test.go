@@ -1,0 +1,92 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// FuzzDecodeFrame feeds arbitrary bytes to the request-frame decoder: it must
+// never panic, never allocate beyond the validated payload bound, reject
+// truncated and oversized lengths with the right error class, and round-trip
+// whatever it accepts.
+func FuzzDecodeFrame(f *testing.F) {
+	valid, _ := AppendFrame(nil, Frame{Op: OpWrite, ID: 7, LPN: 42, Payload: []byte("seed page")})
+	f.Add(valid)
+	f.Add(valid[:3])               // truncated length prefix
+	f.Add(valid[:len(valid)-2])    // truncated body
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 1}) // hostile oversized length
+	f.Add([]byte{0, 0, 0, 36, 1, 99, 0, 0})     // bad opcode
+	short, _ := AppendFrame(nil, Frame{Op: OpPing, ID: 1})
+	f.Add(short)
+	seq, _ := AppendFrame(nil, Frame{Op: OpRead, ID: 2, LPN: 3, Flags: FlagSequenced, Seq: 9, Arrival: 1.5})
+	f.Add(seq)
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fr, n, err := DecodeFrame(b)
+		if err != nil {
+			if n != 0 {
+				t.Fatalf("error %v consumed %d bytes", err, n)
+			}
+			// A hostile length prefix must be classified before any payload
+			// allocation could happen.
+			if len(b) >= 4 {
+				if l := int(binary.BigEndian.Uint32(b)); l > reqHeaderLen+MaxPayload && !errors.Is(err, ErrFrameSize) {
+					t.Fatalf("oversized length %d not ErrFrameSize: %v", l, err)
+				}
+			}
+			return
+		}
+		if n < 4+reqHeaderLen || n > len(b) {
+			t.Fatalf("consumed %d of %d bytes", n, len(b))
+		}
+		if fr.Op < OpRead || fr.Op > OpPing {
+			t.Fatalf("accepted invalid opcode %d", fr.Op)
+		}
+		if len(fr.Payload) > MaxPayload {
+			t.Fatalf("accepted payload of %d bytes", len(fr.Payload))
+		}
+		if len(fr.Payload) > 0 && fr.Op != OpWrite {
+			t.Fatalf("accepted %v with payload", fr.Op)
+		}
+		// Accepted frames re-encode to the exact bytes consumed.
+		re, err := AppendFrame(nil, fr)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(re, b[:n]) {
+			t.Fatalf("round trip mismatch:\n in %x\nout %x", b[:n], re)
+		}
+	})
+}
+
+// FuzzDecodeResponse gives the response decoder the same treatment.
+func FuzzDecodeResponse(f *testing.F) {
+	ok, _ := AppendResponse(nil, Response{Status: StatusOK, ID: 1, Latency: 12.5, Payload: []byte("data")})
+	f.Add(ok)
+	rej, _ := AppendResponse(nil, Response{Status: StatusRejected, ID: 2})
+	f.Add(rej)
+	f.Add(ok[:2])
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 0})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		r, n, err := DecodeResponse(b)
+		if err != nil {
+			return
+		}
+		if n < 4+respHeaderLen || n > len(b) {
+			t.Fatalf("consumed %d of %d bytes", n, len(b))
+		}
+		if r.Status > StatusInternal {
+			t.Fatalf("accepted invalid status %d", r.Status)
+		}
+		re, err := AppendResponse(nil, r)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(re, b[:n]) {
+			t.Fatalf("round trip mismatch:\n in %x\nout %x", b[:n], re)
+		}
+	})
+}

@@ -1,0 +1,536 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"superfast/internal/ftl"
+	"superfast/internal/ssd"
+	"superfast/internal/telemetry"
+)
+
+// Config parameterizes the block service.
+type Config struct {
+	// MaxInFlight caps requests between admission and response across all
+	// connections (default 256). Beyond it, connection readers stall — the
+	// socket stops being read, and TCP backpressure reaches the client.
+	MaxInFlight int
+	// MaxPerConn caps one connection's in-flight requests (default 64). It
+	// also bounds the per-connection response buffer, so server memory is
+	// O(conns × MaxPerConn), never O(queued requests).
+	MaxPerConn int
+	// Deadline bounds a request's admission wait (0 = wait forever). A
+	// request that cannot be admitted in time is answered StatusDeadline.
+	Deadline time.Duration
+	// Sequenced selects deterministic replay mode: every data request must
+	// carry FlagSequenced and a Seq ticket, and the server admits tickets
+	// into the device in global Seq order — a multi-connection replay then
+	// produces bit-identical completions to a single-submitter run. The
+	// ticket space must be dense (every Seq in 0..N submitted exactly once);
+	// rejected tickets are retired with an empty device submission so the
+	// chain cannot wedge.
+	Sequenced bool
+	// Pace delays each successful response by Pace wall-clock microseconds
+	// per simulated microsecond of its latency (1.0 ≈ real device timing,
+	// 0 = respond immediately). The admission slot is held through the
+	// delay, so paced queue depths behave like a real device's.
+	Pace float64
+	// Metrics optionally mirrors the server counters into a telemetry
+	// registry: srv.conns, srv.conns_total, srv.accepted, srv.responses,
+	// srv.rejected, srv.inflight, srv.bytes_in, srv.bytes_out.
+	Metrics *telemetry.Metrics
+}
+
+// Server is the TCP block service over one ConcurrentDevice.
+type Server struct {
+	dev *ssd.ConcurrentDevice
+	cfg Config
+	adm *admission
+	// seqBase rebases the wire's dense 0-based Seq tickets onto the device's
+	// ticket space, which may have advanced before the server existed (warm
+	// fill). Captured once at construction.
+	seqBase uint64
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
+	connWG   sync.WaitGroup
+
+	connsNow   atomic.Int64
+	connsEver  atomic.Uint64
+	accepted   atomic.Uint64
+	responses  atomic.Uint64
+	rejected   atomic.Uint64
+	bytesIn    atomic.Uint64
+	bytesOut   atomic.Uint64
+	pacedSlept atomic.Uint64 // total paced wall-µs, for RecorderColumns
+
+	met *serverMetrics
+}
+
+// serverMetrics caches the optional telemetry mirrors.
+type serverMetrics struct {
+	conns     *telemetry.Gauge
+	connsEver *telemetry.Counter
+	accepted  *telemetry.Counter
+	responses *telemetry.Counter
+	rejected  *telemetry.Counter
+	bytesIn   *telemetry.Counter
+	bytesOut  *telemetry.Counter
+}
+
+// New builds a server over the device. The device must outlive the server;
+// the server never closes it.
+func New(dev *ssd.ConcurrentDevice, cfg Config) *Server {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 256
+	}
+	if cfg.MaxPerConn <= 0 {
+		cfg.MaxPerConn = 64
+	}
+	s := &Server{
+		dev:   dev,
+		cfg:   cfg,
+		adm:   newAdmission(cfg.MaxInFlight),
+		conns: make(map[net.Conn]struct{}),
+	}
+	if cfg.Sequenced {
+		s.seqBase = dev.NextTicket()
+	}
+	if m := cfg.Metrics; m != nil {
+		s.met = &serverMetrics{
+			conns:     m.Gauge("srv.conns"),
+			connsEver: m.Counter("srv.conns_total"),
+			accepted:  m.Counter("srv.accepted"),
+			responses: m.Counter("srv.responses"),
+			rejected:  m.Counter("srv.rejected"),
+			bytesIn:   m.Counter("srv.bytes_in"),
+			bytesOut:  m.Counter("srv.bytes_out"),
+		}
+		s.adm.gauge = m.Gauge("srv.inflight")
+	}
+	return s
+}
+
+// RecorderColumns returns the serving-layer columns the server can
+// contribute to a flight recorder (see ssd.SetRecorderExtra): open
+// connections, admission in-flight, accepted and rejected totals. Serving
+// columns sample live wall-clock state, so unlike the device columns they
+// are not byte-deterministic across runs.
+func RecorderColumns() []string {
+	return []string{"srv_conns", "srv_inflight", "srv_accepted", "srv_rejected"}
+}
+
+// RecorderSampler returns the fill function matching RecorderColumns.
+func (s *Server) RecorderSampler() func(vals []float64) {
+	return func(vals []float64) {
+		vals[0] = float64(s.connsNow.Load())
+		vals[1] = float64(s.adm.load())
+		vals[2] = float64(s.accepted.Load())
+		vals[3] = float64(s.rejected.Load())
+	}
+}
+
+// Stats returns the serving-layer counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Conns:     s.connsNow.Load(),
+		ConnsEver: s.connsEver.Load(),
+		Accepted:  s.accepted.Load(),
+		Responses: s.responses.Load(),
+		Rejected:  s.rejected.Load(),
+		InFlight:  int64(s.adm.load()),
+		BytesIn:   s.bytesIn.Load(),
+		BytesOut:  s.bytesOut.Load(),
+	}
+}
+
+// ListenAndServe listens on addr and serves until Shutdown. The second
+// return of Listen-style helpers is not needed here; use Serve with your own
+// listener to learn the bound address first.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Shutdown closes it. It returns nil
+// after a graceful shutdown and the accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("server: already shut down")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return nil
+			}
+			return err
+		}
+		s.startConn(nc)
+	}
+}
+
+// startConn registers nc and launches its reader/writer pair.
+func (s *Server) startConn(nc net.Conn) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		nc.Close()
+		return
+	}
+	s.conns[nc] = struct{}{}
+	s.connWG.Add(1)
+	s.mu.Unlock()
+	s.connsNow.Add(1)
+	s.connsEver.Add(1)
+	if s.met != nil {
+		s.met.conns.Add(1)
+		s.met.connsEver.Inc()
+	}
+	c := &conn{
+		srv: s,
+		nc:  nc,
+		out: make(chan Response, s.cfg.MaxPerConn+8),
+	}
+	c.cond = sync.NewCond(&c.lmu)
+	go c.run()
+}
+
+// forgetConn unregisters nc after its goroutines exit.
+func (s *Server) forgetConn(nc net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, nc)
+	s.mu.Unlock()
+	s.connsNow.Add(-1)
+	if s.met != nil {
+		s.met.conns.Add(-1)
+	}
+	s.connWG.Done()
+}
+
+// Shutdown gracefully drains the server: stop accepting, stop reading
+// request frames, answer everything already read (in-flight requests run to
+// completion, unadmitted ones get StatusRejected), flush the responses, then
+// close the connections. If ctx expires first the remaining connections are
+// closed forcibly and ctx's error is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for nc := range s.conns {
+		conns = append(conns, nc)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.adm.drain()
+	// Kick every reader out of its blocking frame read; readers see the
+	// deadline error with draining set and switch to their drain path.
+	for _, nc := range conns {
+		nc.SetReadDeadline(time.Now())
+	}
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for nc := range s.conns {
+			nc.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// conn is one client connection: a reader goroutine decoding frames and
+// admitting requests, a writer goroutine encoding responses, and a bounded
+// set of in-flight handler goroutines between them.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+	out chan Response
+
+	lmu      sync.Mutex
+	cond     *sync.Cond
+	inFlight int // local in-flight, capped at MaxPerConn
+
+	handlers sync.WaitGroup
+}
+
+// run executes the connection lifecycle: writer in the background, reader in
+// the foreground, then the drain-and-close sequence.
+func (c *conn) run() {
+	defer c.srv.forgetConn(c.nc)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		c.writer()
+	}()
+	c.reader()
+	// Every accepted frame either responded already or has a handler in
+	// flight; wait for them, then let the writer flush and exit.
+	c.handlers.Wait()
+	close(c.out)
+	<-writerDone
+	// Graceful TCP teardown: FIN our side, then drain whatever the client
+	// had in flight toward us so the close cannot RST responses still
+	// sitting in the client's receive buffer.
+	if tc, ok := c.nc.(*net.TCPConn); ok {
+		tc.CloseWrite()
+		c.nc.SetReadDeadline(time.Now().Add(time.Second))
+		buf := make([]byte, 4096)
+		for {
+			if _, err := c.nc.Read(buf); err != nil {
+				break
+			}
+		}
+	}
+	c.nc.Close()
+}
+
+// reader decodes frames and dispatches them until the client closes its
+// side, a protocol error occurs, or shutdown kicks it out.
+func (c *conn) reader() {
+	s := c.srv
+	br := bufio.NewReaderSize(c.nc, 64<<10)
+	for {
+		f, n, err := ReadFrame(br)
+		s.addBytesIn(uint64(n))
+		if err != nil {
+			return
+		}
+		s.addAccepted()
+		switch f.Op {
+		case OpPing:
+			c.respond(Response{Status: StatusOK, ID: f.ID})
+		case OpStat:
+			c.respond(s.statResponse(f.ID))
+		case OpFlush:
+			// Pipeline barrier: stall this connection's reads until its
+			// in-flight requests have responded, then acknowledge.
+			c.waitIdle()
+			c.respond(Response{Status: StatusOK, ID: f.ID})
+		case OpRead, OpWrite, OpTrim:
+			if f.Sequenced() != s.cfg.Sequenced {
+				c.respond(Response{
+					Status: StatusBadRequest, ID: f.ID,
+					Payload: []byte(fmt.Sprintf("sequenced flag %v but server sequenced=%v", f.Sequenced(), s.cfg.Sequenced)),
+				})
+				continue
+			}
+			c.acquireLocal()
+			var deadline time.Time
+			if s.cfg.Deadline > 0 {
+				deadline = time.Now().Add(s.cfg.Deadline)
+			}
+			if aerr := s.adm.acquire(f.Seq, s.cfg.Sequenced, deadline); aerr != nil {
+				c.releaseLocal()
+				s.rejected.Add(1)
+				if s.met != nil {
+					s.met.rejected.Inc()
+				}
+				if s.cfg.Sequenced {
+					// Retire the ticket at the device so later tickets are
+					// not deadlocked behind the rejected one. Asynchronously:
+					// the empty submission itself waits for all earlier
+					// tickets, which may still be unread behind this frame on
+					// this very socket — retiring inline would wedge the
+					// reader. If the chain never completes (a client died
+					// mid-replay), the goroutine parks until process exit.
+					go s.dev.SubmitBatchTicket(s.seqBase+f.Seq, nil)
+				}
+				status := StatusRejected
+				if aerr == errDeadline {
+					status = StatusDeadline
+				}
+				c.respond(Response{Status: status, ID: f.ID, Payload: []byte(aerr.Error())})
+				continue
+			}
+			c.handlers.Add(1)
+			go c.handle(f)
+		}
+	}
+}
+
+// handle submits one admitted request to the device and responds.
+func (c *conn) handle(f Frame) {
+	defer c.handlers.Done()
+	s := c.srv
+	req := ssd.Request{LPN: f.LPN, Arrival: f.Arrival}
+	switch f.Op {
+	case OpRead:
+		req.Kind = ssd.OpRead
+	case OpWrite:
+		req.Kind = ssd.OpWrite
+		req.Data = f.Payload
+		req.Hint = ftl.Hint(f.Hint)
+	case OpTrim:
+		req.Kind = ssd.OpTrim
+	}
+	var comp ssd.Completion
+	var err error
+	if s.cfg.Sequenced {
+		comp, err = s.dev.SubmitTicket(s.seqBase+f.Seq, req)
+	} else {
+		comp, err = s.dev.Submit(req)
+	}
+	resp := Response{ID: f.ID}
+	if err != nil {
+		resp.Status = StatusFor(err)
+		resp.Payload = []byte(err.Error())
+	} else {
+		resp.Latency = comp.Latency
+		if f.Op == OpRead {
+			resp.Payload = comp.Data
+		}
+		if s.cfg.Pace > 0 {
+			us := comp.Latency * s.cfg.Pace
+			s.pacedSlept.Add(uint64(us))
+			time.Sleep(time.Duration(us * float64(time.Microsecond)))
+		}
+	}
+	c.respond(resp)
+	s.adm.release()
+	c.releaseLocal()
+}
+
+// writer encodes responses in completion order. After a write error it keeps
+// draining the channel (discarding) so handlers can never block on a dead
+// connection.
+func (c *conn) writer() {
+	bw := bufio.NewWriterSize(c.nc, 64<<10)
+	var buf []byte
+	var dead bool
+	for r := range c.out {
+		if dead {
+			continue
+		}
+		var err error
+		buf, err = AppendResponse(buf[:0], r)
+		if err != nil {
+			// Unencodable response (oversized payload): degrade to an
+			// internal error so the client still gets an answer for the ID.
+			buf, _ = AppendResponse(buf[:0], Response{
+				Status: StatusInternal, ID: r.ID, Payload: []byte(err.Error()),
+			})
+		}
+		if _, err := bw.Write(buf); err != nil {
+			dead = true
+			continue
+		}
+		c.srv.addBytesOut(uint64(len(buf)))
+		if len(c.out) == 0 {
+			if err := bw.Flush(); err != nil {
+				dead = true
+			}
+		}
+	}
+	if !dead {
+		bw.Flush()
+	}
+}
+
+// respond enqueues one response and counts it.
+func (c *conn) respond(r Response) {
+	c.srv.responses.Add(1)
+	if c.srv.met != nil {
+		c.srv.met.responses.Inc()
+	}
+	c.out <- r
+}
+
+// acquireLocal blocks while the connection is at its in-flight cap —
+// stalling the reader, which stops draining the socket.
+func (c *conn) acquireLocal() {
+	c.lmu.Lock()
+	for c.inFlight >= c.srv.cfg.MaxPerConn {
+		c.cond.Wait()
+	}
+	c.inFlight++
+	c.lmu.Unlock()
+}
+
+func (c *conn) releaseLocal() {
+	c.lmu.Lock()
+	c.inFlight--
+	c.cond.Broadcast()
+	c.lmu.Unlock()
+}
+
+// waitIdle blocks until the connection has no request in flight.
+func (c *conn) waitIdle() {
+	c.lmu.Lock()
+	for c.inFlight > 0 {
+		c.cond.Wait()
+	}
+	c.lmu.Unlock()
+}
+
+// statResponse snapshots the device, FTL and server counters. FTL state is
+// read under the device's FTL-stage lock, so STAT is safe while submissions
+// are in flight.
+func (s *Server) statResponse(id uint64) Response {
+	var snap StatSnapshot
+	snap.Device = s.dev.Stats()
+	s.dev.WithFTL(func(f *ftl.FTL) {
+		snap.Capacity = f.Capacity()
+		snap.PageSize = f.Geometry().PageSize
+		snap.FTL = f.Stats()
+	})
+	snap.WAF = snap.FTL.WAF()
+	snap.Chips = s.dev.ChipStats()
+	snap.Server = s.Stats()
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return Response{Status: StatusInternal, ID: id, Payload: []byte(err.Error())}
+	}
+	return Response{Status: StatusOK, ID: id, Payload: payload}
+}
+
+func (s *Server) addBytesIn(n uint64) {
+	s.bytesIn.Add(n)
+	if s.met != nil {
+		s.met.bytesIn.Add(n)
+	}
+}
+
+func (s *Server) addBytesOut(n uint64) {
+	s.bytesOut.Add(n)
+	if s.met != nil {
+		s.met.bytesOut.Add(n)
+	}
+}
+
+func (s *Server) addAccepted() {
+	s.accepted.Add(1)
+	if s.met != nil {
+		s.met.accepted.Inc()
+	}
+}

@@ -39,6 +39,10 @@ type ConcurrentDevice struct {
 	clock  float64    // latest admitted arrival, µs
 	trc    telemetry.Tracer // nil = tracing disabled (read under mu)
 	rec    *recState  // nil until AttachRecorder (read under mu)
+	// recExtra*, set before AttachRecorder, append caller-owned columns
+	// (e.g. the network server's counters) after the device column set.
+	recExtraCols []string
+	recExtraFn   func(vals []float64)
 	// mirrorTill mirrors each chip worker's busy-until watermark: the FTL
 	// stage replays the worker scheduling math (jobs arrive in ticket order,
 	// start at max(arrival, till)) so the recorder can sample queue depth and
@@ -176,8 +180,19 @@ func (c *ConcurrentDevice) Close() {
 }
 
 // FTL exposes the underlying translation layer. Only touch it while no
-// submission is in flight — the FTL itself is not thread-safe.
+// submission is in flight — the FTL itself is not thread-safe. Use WithFTL
+// to inspect it while traffic is running.
 func (c *ConcurrentDevice) FTL() *ftl.FTL { return c.f }
+
+// WithFTL runs fn with the FTL-stage lock held. The FTL is only ever
+// mutated inside that critical section, so fn gets a race-free view even
+// while submissions are in flight (the network front end's STAT op relies
+// on this). fn must not submit to the device — that would deadlock.
+func (c *ConcurrentDevice) WithFTL(fn func(*ftl.FTL)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fn(c.f)
+}
 
 // PageSize returns the device's page size in bytes.
 func (c *ConcurrentDevice) PageSize() int { return c.f.Geometry().PageSize }
@@ -240,7 +255,7 @@ func (c *ConcurrentDevice) AttachRecorder(rec *telemetry.Recorder) error {
 		c.mirrorTill = nil
 		return nil
 	}
-	rs, err := newRecState(rec, len(c.chips), c.f)
+	rs, err := newRecState(rec, len(c.chips), c.f, len(c.recExtraCols), c.recExtraFn)
 	if err != nil {
 		return err
 	}
@@ -267,6 +282,20 @@ func (c *ConcurrentDevice) AttachRecorder(rec *telemetry.Recorder) error {
 	rs.rec.AlignTo(rs.hor)
 	c.rec = rs
 	return nil
+}
+
+// SetRecorderExtra registers extra flight-recorder columns filled by fn on
+// every sample, appended after the device's RecorderColumns set — the
+// serving layer wires its connection/in-flight counters in this way. Call
+// before AttachRecorder; the recorder must then be built with
+// append(RecorderColumns(chips), cols...). Extra columns read live state
+// under the recorder lock, so they are excluded from the device columns'
+// byte-determinism guarantee.
+func (c *ConcurrentDevice) SetRecorderExtra(cols []string, fn func(vals []float64)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.recExtraCols = append([]string(nil), cols...)
+	c.recExtraFn = fn
 }
 
 // FlushRecorder ticks the attached recorder up to the current simulated
@@ -320,6 +349,16 @@ func (c *ConcurrentDevice) Reserve() uint64 {
 	c.issued++
 	c.mu.Unlock()
 	return t
+}
+
+// NextTicket returns the ticket the next Reserve would hand out, without
+// consuming it. The network server uses it to rebase a client's dense
+// 0-based sequence numbers onto a device whose ticket counter has already
+// advanced (e.g. past a warm fill).
+func (c *ConcurrentDevice) NextTicket() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.issued
 }
 
 // ReserveBatch allocates n consecutive tickets and returns the first.

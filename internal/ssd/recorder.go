@@ -54,14 +54,20 @@ type recState struct {
 	// monotone and deterministic either way.
 	hor    float64
 	fillFn func(t float64, vals []float64)
+	// extraFn, when set, populates extra columns appended after the device
+	// set — the serving layer contributes its counters this way. Extra
+	// columns sample live state, so they are outside the byte-determinism
+	// contract of the device columns.
+	extraFn func(vals []float64)
+	extraN  int
 }
 
-func newRecState(rec *telemetry.Recorder, chips int, f *ftl.FTL) (*recState, error) {
-	want := len(RecorderColumns(chips))
+func newRecState(rec *telemetry.Recorder, chips int, f *ftl.FTL, extraN int, extraFn func([]float64)) (*recState, error) {
+	want := len(RecorderColumns(chips)) + extraN
 	if got := len(rec.Columns()); got != want {
 		return nil, fmt.Errorf("ssd: recorder has %d columns, device needs %d (use RecorderColumns)", got, want)
 	}
-	s := &recState{rec: rec, busy: make([]float64, chips)}
+	s := &recState{rec: rec, busy: make([]float64, chips), extraFn: extraFn, extraN: extraN}
 	s.fillFn = func(t float64, vals []float64) { s.fill(t, vals, f) }
 	return s, nil
 }
@@ -94,6 +100,9 @@ func (s *recState) fill(t float64, vals []float64, f *ftl.FTL) {
 			u = b / t
 		}
 		vals[6+c] = u
+	}
+	if s.extraFn != nil {
+		s.extraFn(vals[6+len(s.busy):])
 	}
 }
 

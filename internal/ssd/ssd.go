@@ -166,7 +166,7 @@ func (d *Device) AttachRecorder(rec *telemetry.Recorder) error {
 		d.rec = nil
 		return nil
 	}
-	rs, err := newRecState(rec, len(d.chipBusy), d.f)
+	rs, err := newRecState(rec, len(d.chipBusy), d.f, 0, nil)
 	if err != nil {
 		return err
 	}

@@ -20,6 +20,7 @@ type Summary struct {
 	Median float64
 	P95    float64
 	P99    float64
+	P999   float64
 }
 
 // Summarize computes a Summary of the sample. An empty sample yields zeros.
@@ -51,6 +52,7 @@ func Summarize(xs []float64) Summary {
 	s.Median = Quantile(sorted, 0.5)
 	s.P95 = Quantile(sorted, 0.95)
 	s.P99 = Quantile(sorted, 0.99)
+	s.P999 = Quantile(sorted, 0.999)
 	return s
 }
 

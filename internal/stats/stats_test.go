@@ -260,3 +260,21 @@ func TestSeriesCSV(t *testing.T) {
 		t.Fatalf("short series padding wrong:\n%s", out)
 	}
 }
+
+func TestSummarizeTailQuantiles(t *testing.T) {
+	// 0..999: the interpolated tail quantiles are exactly q*(n-1).
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(999 - i) // unsorted on purpose
+	}
+	s := Summarize(xs)
+	if math.Abs(s.P99-989.01) > 1e-9 {
+		t.Fatalf("P99 = %v, want 989.01", s.P99)
+	}
+	if math.Abs(s.P999-998.001) > 1e-9 {
+		t.Fatalf("P999 = %v, want 998.001", s.P999)
+	}
+	if !(s.P99 <= s.P999 && s.P999 <= s.Max) {
+		t.Fatalf("tail order violated: P99=%v P999=%v Max=%v", s.P99, s.P999, s.Max)
+	}
+}

@@ -1,11 +1,8 @@
 package workload
 
 import (
-	"bufio"
 	"fmt"
 	"io"
-	"strconv"
-	"strings"
 
 	"superfast/internal/ssd"
 )
@@ -19,75 +16,17 @@ import (
 // above ~1e14) or plain seconds. Each record expands into one request per
 // page it covers; byte offsets fold into [0, maxLPN) so traces captured from
 // larger disks replay onto the simulated device. Arrival times are rebased
-// so the first record arrives at 0 µs.
+// so the first record arrives at 0 µs. Errors carry the 1-based line number
+// of the offending record.
 func ParseMSRTrace(r io.Reader, pageSize int, maxLPN int64) ([]ssd.Request, error) {
-	if pageSize <= 0 {
-		return nil, fmt.Errorf("workload: page size %d", pageSize)
-	}
-	if maxLPN <= 0 {
-		return nil, fmt.Errorf("workload: maxLPN %d", maxLPN)
-	}
-	var out []ssd.Request
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<16), 1<<20)
-	line := 0
-	first := -1.0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
-			continue
-		}
-		parts := strings.Split(text, ",")
-		if len(parts) < 6 {
-			return nil, fmt.Errorf("workload: msr line %d: %d fields, want ≥6", line, len(parts))
-		}
-		ts, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
-		if err != nil {
-			return nil, fmt.Errorf("workload: msr line %d timestamp: %v", line, err)
-		}
-		// FILETIME ticks are 100 ns; plain timestamps are seconds.
-		arrivalUS := ts * 1e6
-		if ts > 1e14 {
-			arrivalUS = ts / 10
-		}
-		if first < 0 {
-			first = arrivalUS
-		}
-		arrivalUS -= first
-
-		var kind ssd.OpKind
-		switch strings.ToLower(strings.TrimSpace(parts[3])) {
-		case "read", "r":
-			kind = ssd.OpRead
-		case "write", "w":
-			kind = ssd.OpWrite
-		default:
-			return nil, fmt.Errorf("workload: msr line %d: unknown type %q", line, parts[3])
-		}
-		offset, err := strconv.ParseInt(strings.TrimSpace(parts[4]), 10, 64)
-		if err != nil || offset < 0 {
-			return nil, fmt.Errorf("workload: msr line %d offset: %v", line, parts[4])
-		}
-		size, err := strconv.ParseInt(strings.TrimSpace(parts[5]), 10, 64)
-		if err != nil || size <= 0 {
-			return nil, fmt.Errorf("workload: msr line %d size: %v", line, parts[5])
-		}
-		firstPage := offset / int64(pageSize)
-		lastPage := (offset + size - 1) / int64(pageSize)
-		for p := firstPage; p <= lastPage; p++ {
-			lpn := p % maxLPN
-			req := ssd.Request{Kind: kind, LPN: lpn, Arrival: arrivalUS}
-			if kind == ssd.OpWrite {
-				req.Data = fill(lpn, 16)
-			}
-			out = append(out, req)
-		}
-	}
-	if err := sc.Err(); err != nil {
+	p, err := newMSRParser(pageSize, maxLPN)
+	if err != nil {
 		return nil, err
 	}
-	return out, nil
+	if err := scanTrace(r, p.line); err != nil {
+		return nil, err
+	}
+	return p.out, nil
 }
 
 // ReplayPrepared replays requests against a device, first writing any page

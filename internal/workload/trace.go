@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"superfast/internal/ssd"
+)
+
+// scanTrace is the line-scanning core shared by every trace parser: it skips
+// blank lines and '#' comments, splits the rest on commas with each field
+// trimmed, tracks 1-based line numbers for error reporting, and tolerates
+// long lines (up to 1 MiB). fn is called once per data line; its error stops
+// the scan.
+func scanTrace(r io.Reader, fn func(line int, fields []string) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		for i := range fields {
+			fields[i] = strings.TrimSpace(fields[i])
+		}
+		if err := fn(line, fields); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// parseSimpleLine decodes one "op,lpn" record (op: w/r/t).
+func parseSimpleLine(line int, fields []string, pageLen int) (ssd.Request, error) {
+	if len(fields) != 2 {
+		return ssd.Request{}, fmt.Errorf("workload: trace line %d: want \"op,lpn\", got %d fields", line, len(fields))
+	}
+	lpn, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return ssd.Request{}, fmt.Errorf("workload: trace line %d: %v", line, err)
+	}
+	switch fields[0] {
+	case "w":
+		return ssd.Request{Kind: ssd.OpWrite, LPN: lpn, Data: fill(lpn, pageLen)}, nil
+	case "r":
+		return ssd.Request{Kind: ssd.OpRead, LPN: lpn}, nil
+	case "t":
+		return ssd.Request{Kind: ssd.OpTrim, LPN: lpn}, nil
+	}
+	return ssd.Request{}, fmt.Errorf("workload: trace line %d: unknown op %q", line, fields[0])
+}
+
+// msrParser accumulates requests from MSR-Cambridge records. It carries the
+// first-arrival rebase state across lines.
+type msrParser struct {
+	pageSize int
+	maxLPN   int64
+	first    float64
+	out      []ssd.Request
+}
+
+func newMSRParser(pageSize int, maxLPN int64) (*msrParser, error) {
+	if pageSize <= 0 {
+		return nil, fmt.Errorf("workload: page size %d", pageSize)
+	}
+	if maxLPN <= 0 {
+		return nil, fmt.Errorf("workload: maxLPN %d", maxLPN)
+	}
+	return &msrParser{pageSize: pageSize, maxLPN: maxLPN, first: -1}, nil
+}
+
+// line decodes one "Timestamp,Hostname,DiskNumber,Type,Offset,Size,..."
+// record and appends one request per page the record covers.
+func (p *msrParser) line(line int, fields []string) error {
+	if len(fields) < 6 {
+		return fmt.Errorf("workload: msr line %d: %d fields, want ≥6", line, len(fields))
+	}
+	ts, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return fmt.Errorf("workload: msr line %d timestamp: %v", line, err)
+	}
+	// FILETIME ticks are 100 ns; plain timestamps are seconds.
+	arrivalUS := ts * 1e6
+	if ts > 1e14 {
+		arrivalUS = ts / 10
+	}
+	if p.first < 0 {
+		p.first = arrivalUS
+	}
+	arrivalUS -= p.first
+
+	var kind ssd.OpKind
+	switch strings.ToLower(fields[3]) {
+	case "read", "r":
+		kind = ssd.OpRead
+	case "write", "w":
+		kind = ssd.OpWrite
+	default:
+		return fmt.Errorf("workload: msr line %d: unknown type %q", line, fields[3])
+	}
+	offset, err := strconv.ParseInt(fields[4], 10, 64)
+	if err != nil || offset < 0 {
+		return fmt.Errorf("workload: msr line %d offset: %v", line, fields[4])
+	}
+	size, err := strconv.ParseInt(fields[5], 10, 64)
+	if err != nil || size <= 0 {
+		return fmt.Errorf("workload: msr line %d size: %v", line, fields[5])
+	}
+	firstPage := offset / int64(p.pageSize)
+	lastPage := (offset + size - 1) / int64(p.pageSize)
+	for pg := firstPage; pg <= lastPage; pg++ {
+		lpn := pg % p.maxLPN
+		req := ssd.Request{Kind: kind, LPN: lpn, Arrival: arrivalUS}
+		if kind == ssd.OpWrite {
+			req.Data = fill(lpn, 16)
+		}
+		p.out = append(p.out, req)
+	}
+	return nil
+}
+
+// ParseTraceAuto parses a trace whose format is detected from its first data
+// line: 2 fields is the simple "op,lpn" CSV (see ParseTrace), 6 or more is an
+// MSR-Cambridge block trace (see ParseMSRTrace). Returns the detected format
+// name ("simple" or "msr") alongside the requests. pageSize doubles as the
+// simple format's payload length and the MSR format's byte→page divisor;
+// maxLPN only constrains MSR traces.
+func ParseTraceAuto(r io.Reader, pageSize int, maxLPN int64) ([]ssd.Request, string, error) {
+	format := ""
+	var simple []ssd.Request
+	var msr *msrParser
+	err := scanTrace(r, func(line int, fields []string) error {
+		if format == "" {
+			switch {
+			case len(fields) == 2:
+				format = "simple"
+			case len(fields) >= 6:
+				format = "msr"
+				var err error
+				msr, err = newMSRParser(pageSize, maxLPN)
+				if err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("workload: trace line %d: %d fields, want 2 (op,lpn) or ≥6 (MSR)", line, len(fields))
+			}
+		}
+		if format == "simple" {
+			req, err := parseSimpleLine(line, fields, pageSize)
+			if err != nil {
+				return err
+			}
+			simple = append(simple, req)
+			return nil
+		}
+		return msr.line(line, fields)
+	})
+	if err != nil {
+		return nil, format, err
+	}
+	if format == "msr" {
+		return msr.out, format, nil
+	}
+	return simple, "simple", nil
+}

@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"superfast/internal/ssd"
+)
+
+func TestParseTraceAutoSimple(t *testing.T) {
+	trace := `# leading comment keeps detection on the first data line
+w,5
+r,5
+t,5
+`
+	reqs, format, err := ParseTraceAuto(strings.NewReader(trace), 8, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if format != "simple" {
+		t.Fatalf("format = %q, want simple", format)
+	}
+	if len(reqs) != 3 {
+		t.Fatalf("got %d requests", len(reqs))
+	}
+	if reqs[0].Kind != ssd.OpWrite || len(reqs[0].Data) != 8 {
+		t.Fatalf("req0 %+v", reqs[0])
+	}
+	if reqs[2].Kind != ssd.OpTrim || reqs[2].LPN != 5 {
+		t.Fatalf("req2 %+v", reqs[2])
+	}
+}
+
+func TestParseTraceAutoMSR(t *testing.T) {
+	trace := "128166372003061629,host,0,Write,0,8192,100\n" +
+		"128166372003061629,host,0,Read,4096,4096,50\n"
+	reqs, format, err := ParseTraceAuto(strings.NewReader(trace), 4096, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if format != "msr" {
+		t.Fatalf("format = %q, want msr", format)
+	}
+	// 8192-byte write covers pages 0 and 1, then one read of page 1.
+	if len(reqs) != 3 {
+		t.Fatalf("got %d requests: %+v", len(reqs), reqs)
+	}
+	if reqs[2].Kind != ssd.OpRead || reqs[2].LPN != 1 {
+		t.Fatalf("req2 %+v", reqs[2])
+	}
+}
+
+func TestParseTraceAutoAgreesWithDedicatedParsers(t *testing.T) {
+	simple := "w,1\nr,2\nt,3\n"
+	direct, err := ParseTrace(strings.NewReader(simple), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, _, err := ParseTraceAuto(strings.NewReader(simple), 16, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct) != len(auto) {
+		t.Fatalf("simple: %d vs %d requests", len(direct), len(auto))
+	}
+	msr := "1,h,0,Write,0,8192,1\n2,h,0,read,4096,4096,1\n"
+	directM, err := ParseMSRTrace(strings.NewReader(msr), 4096, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	autoM, _, err := ParseTraceAuto(strings.NewReader(msr), 4096, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(directM) != len(autoM) {
+		t.Fatalf("msr: %d vs %d requests", len(directM), len(autoM))
+	}
+	for i := range directM {
+		if directM[i].Kind != autoM[i].Kind || directM[i].LPN != autoM[i].LPN ||
+			directM[i].Arrival != autoM[i].Arrival {
+			t.Fatalf("msr req %d: %+v vs %+v", i, directM[i], autoM[i])
+		}
+	}
+}
+
+func TestParseTraceAutoErrors(t *testing.T) {
+	// 3..5 fields match neither format.
+	if _, _, err := ParseTraceAuto(strings.NewReader("a,b,c\n"), 8, 100); err == nil {
+		t.Fatal("3-field first line should be rejected")
+	}
+	// Detection locks on the first data line; a later malformed line fails
+	// with its own line number.
+	bad := "w,1\nw,2\nbogus,3\n"
+	_, _, err := ParseTraceAuto(strings.NewReader(bad), 8, 100)
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("err = %v, want a line-3 error", err)
+	}
+	// MSR validation (bad page size) surfaces through auto-detection too.
+	if _, _, err := ParseTraceAuto(strings.NewReader("1,h,0,Write,0,4096,1\n"), 0, 100); err == nil {
+		t.Fatal("zero page size should fail for MSR traces")
+	}
+}
+
+func TestTraceErrorsCarryLineNumbers(t *testing.T) {
+	cases := []struct {
+		trace string
+		want  string
+	}{
+		{"w,1\n\n# c\nx,9\n", "line 4"},
+		{"w,1\nw\n", "line 2"},
+	}
+	for _, c := range cases {
+		_, err := ParseTrace(strings.NewReader(c.trace), 8)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("trace %q: err = %v, want %s", c.trace, err, c.want)
+		}
+	}
+	_, err := ParseMSRTrace(strings.NewReader("1,h,0,Write,0,4096,1\n1,h,0,Zap,0,4096,1\n"), 4096, 100)
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("msr err = %v, want line 2", err)
+	}
+}

@@ -5,12 +5,9 @@
 package workload
 
 import (
-	"bufio"
 	"fmt"
 	"io"
 	"math"
-	"strconv"
-	"strings"
 
 	"superfast/internal/ftl"
 	"superfast/internal/prng"
@@ -166,37 +163,19 @@ func Run(dev *ssd.Device, g Generator) ([]ssd.Completion, error) {
 }
 
 // ParseTrace reads a CSV trace of "op,lpn" lines (op: w/r/t; '#' comments
-// and blank lines ignored) and returns the requests.
+// and blank lines ignored) and returns the requests. Errors carry the
+// 1-based line number of the offending record.
 func ParseTrace(r io.Reader, pageLen int) ([]ssd.Request, error) {
 	var out []ssd.Request
-	sc := bufio.NewScanner(r)
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
-			continue
-		}
-		parts := strings.Split(text, ",")
-		if len(parts) != 2 {
-			return nil, fmt.Errorf("workload: trace line %d: want \"op,lpn\", got %q", line, text)
-		}
-		lpn, err := strconv.ParseInt(strings.TrimSpace(parts[1]), 10, 64)
+	err := scanTrace(r, func(line int, fields []string) error {
+		req, err := parseSimpleLine(line, fields, pageLen)
 		if err != nil {
-			return nil, fmt.Errorf("workload: trace line %d: %v", line, err)
+			return err
 		}
-		switch strings.TrimSpace(parts[0]) {
-		case "w":
-			out = append(out, ssd.Request{Kind: ssd.OpWrite, LPN: lpn, Data: fill(lpn, pageLen)})
-		case "r":
-			out = append(out, ssd.Request{Kind: ssd.OpRead, LPN: lpn})
-		case "t":
-			out = append(out, ssd.Request{Kind: ssd.OpTrim, LPN: lpn})
-		default:
-			return nil, fmt.Errorf("workload: trace line %d: unknown op %q", line, parts[0])
-		}
-	}
-	if err := sc.Err(); err != nil {
+		out = append(out, req)
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
 	return out, nil
