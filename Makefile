@@ -26,6 +26,9 @@ check:
 # through the real CLI surface. The server smoke replays the block-service
 # acceptance pair: loopback trace replay matching the direct device run
 # bit-for-bit, and graceful drain under load with zero dropped in-flight.
+# The preemptive-GC smoke then drives a short ftlload open-loop overwrite
+# burst against `ftlserve -gc-step` and checks every op succeeded and the
+# server drained clean — CI exercises the stepped-GC path end to end.
 smoke:
 	$(GO) test -count=1 -run TestHTTPMetricsSmoke .
 	$(GO) test -count=1 -run 'TestLoopbackTraceReplayMatchesDirect|TestDrainUnderLoad' ./internal/server
@@ -35,6 +38,25 @@ smoke:
 	@for f in attr.json rec.csv metrics.txt; do \
 		test -s $(SMOKE_DIR)/$$f || { echo "smoke: $$f empty or missing"; exit 1; }; \
 	done
+	$(GO) build -o $(SMOKE_DIR)/ftlserve ./cmd/ftlserve
+	$(GO) build -o $(SMOKE_DIR)/ftlload ./cmd/ftlload
+	@$(SMOKE_DIR)/ftlserve -listen 127.0.0.1:8997 -blocks 16 -layers 16 \
+		-fill -gc-step 8 >$(SMOKE_DIR)/gcserve.log 2>&1 & \
+	pid=$$!; \
+	for i in $$(seq 100); do \
+		grep -q 'block service on' $(SMOKE_DIR)/gcserve.log && break; sleep 0.1; \
+	done; \
+	$(SMOKE_DIR)/ftlload -addr 127.0.0.1:8997 -workload uniform \
+		-ops 3000 -rate 300 >$(SMOKE_DIR)/gcload.txt 2>&1; \
+	rc=$$?; \
+	kill -INT $$pid; wait $$pid; \
+	test $$rc -eq 0 || { echo "smoke: preemptive-GC ftlload failed"; \
+		cat $(SMOKE_DIR)/gcload.txt; exit 1; }; \
+	grep -q 'OK *3000' $(SMOKE_DIR)/gcload.txt || \
+		{ echo "smoke: preemptive-GC load not all OK"; cat $(SMOKE_DIR)/gcload.txt; exit 1; }; \
+	grep -q 'drained:' $(SMOKE_DIR)/gcserve.log || \
+		{ echo "smoke: ftlserve -gc-step did not drain clean"; cat $(SMOKE_DIR)/gcserve.log; exit 1; }; \
+	echo "preemptive-GC smoke ok"
 	@rm -rf $(SMOKE_DIR)
 
 build:

@@ -62,6 +62,8 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "seed")
 		raid     = flag.Bool("raid", false, "dedicate one lane per superblock to parity")
 		autoHint = flag.Bool("autohint", false, "detect hot pages and place them on fast superpages")
+		gcStep   = flag.Int("gc-step", 0, "preemptive GC: pages relocated per step between requests (0 = blocking GC)")
+		gcSoft   = flag.Int("gc-soft", 0, "free-superblock watermark that starts preemptive GC steps (0 = GC threshold)")
 	)
 	flag.Parse()
 
@@ -87,6 +89,8 @@ func main() {
 	cfg.FTL.Seed = *seed
 	cfg.FTL.RAID = *raid
 	cfg.FTL.AutoHint = *autoHint
+	cfg.FTL.GCStepPages = *gcStep
+	cfg.FTL.GCSoftThreshold = *gcSoft
 	switch *orgName {
 	case "qstr-med":
 		cfg.FTL.Organizer = ftl.QSTRMed

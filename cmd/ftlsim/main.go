@@ -83,6 +83,8 @@ func main() {
 		raid     = flag.Bool("raid", false, "dedicate one lane per superblock to parity")
 		autoHint = flag.Bool("autohint", false, "detect hot pages and place them on fast superpages")
 		victim   = flag.String("victim", "greedy", "GC victim policy: greedy | cost-benefit | fifo")
+		gcStep   = flag.Int("gc-step", 0, "preemptive GC: pages relocated per step between requests (0 = blocking GC)")
+		gcSoft   = flag.Int("gc-soft", 0, "free-superblock watermark that starts preemptive GC steps (0 = GC threshold)")
 		queue    = flag.String("queue", "serialized", "device queue model: serialized | per-chip")
 		workers  = flag.Int("workers", 1, "concurrent submitters (>1 drives the thread-safe multi-queue front end)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to FILE")
@@ -150,6 +152,8 @@ func main() {
 	}
 	cfg.FTL.RAID = *raid
 	cfg.FTL.AutoHint = *autoHint
+	cfg.FTL.GCStepPages = *gcStep
+	cfg.FTL.GCSoftThreshold = *gcSoft
 	switch *victim {
 	case "greedy":
 		cfg.FTL.Victim = ftl.Greedy
@@ -365,6 +369,13 @@ func main() {
 	t.AddRow("host writes", fmt.Sprintf("%d", fst.HostWrites))
 	t.AddRow("gc writes", fmt.Sprintf("%d", fst.GCWrites))
 	t.AddRow("WAF", fmt.Sprintf("%.3f", fst.WAF()))
+	if *gcStep > 0 {
+		t.AddRow("gc steps", fmt.Sprintf("%d", fst.GCSteps))
+		t.AddRow("gc stalls (blocking)", fmt.Sprintf("%d", fst.GCStalls))
+	}
+	if fst.GCStarved > 0 {
+		t.AddRow("gc starved", fmt.Sprintf("%d", fst.GCStarved))
+	}
 	t.AddRow("superblock flushes", fmt.Sprintf("%d", fst.Flushes))
 	t.AddRow("extra PGM per flush", stats.FmtUS(safeDiv(fst.ExtraPgm, float64(fst.Flushes)))+" µs")
 	t.AddRow("extra ERS per erase", stats.FmtUS(safeDiv(fst.ExtraErs, float64(fst.Erases)))+" µs")

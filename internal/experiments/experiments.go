@@ -231,6 +231,7 @@ var descriptions = map[string]string{
 	"raid-overhead":      "superblock RAID: capacity/WAF cost vs fault survival",
 	"ncq":                "queue models: serialized vs per-chip read overlap",
 	"gc-policy":          "GC victim policies: greedy vs cost-benefit vs FIFO",
+	"gc-preempt":         "blocking vs preemptive partial GC: write tail latency at equal WAF",
 	"temperature":        "cross-temperature robustness of the organization",
 	"load-sweep":         "open-loop latency-throughput curve under Poisson arrivals",
 	"dftl":               "demand-paged mapping: translation-cache hit rate and latency",

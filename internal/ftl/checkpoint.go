@@ -15,6 +15,12 @@ import (
 // flash. Pending write buffers are flushed first (padded word-lines), the
 // same policy real controllers apply on power-loss interrupts.
 func (f *FTL) Checkpoint() ([]byte, error) {
+	// Finish any in-flight partial collection first: its victim is in
+	// neither the superblock table nor the free pool, so snapshotting
+	// mid-collection would leak the blocks across the power cycle.
+	if _, err := f.DrainGC(); err != nil {
+		return nil, fmt.Errorf("ftl: checkpoint gc drain: %w", err)
+	}
 	if _, err := f.Flush(); err != nil {
 		return nil, fmt.Errorf("ftl: checkpoint flush: %w", err)
 	}

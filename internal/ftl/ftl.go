@@ -121,6 +121,22 @@ type Config struct {
 	MapCachePages int
 	MapReadUS     float64
 	MapProgramUS  float64
+	// GCStepPages enables preemptive partial GC: a GCStep relocates at most
+	// this many valid pages (the erase is its own step) so the device can
+	// interleave host traffic with reclamation. Zero keeps the classic
+	// blocking behavior — the write path collects whole superblocks inline
+	// whenever the free pool drops below GCThreshold.
+	GCStepPages int
+	// GCSoftThreshold is the free-pool watermark (assemblable superblocks)
+	// at which incremental GC steps start in preemptive mode. It must sit at
+	// or above GCThreshold, the hard floor maybeGC refills to when the pool
+	// runs dry, so ensureFree can never fail spuriously. Zero defaults to
+	// GCThreshold — the same trigger point as blocking GC, which keeps the
+	// steady-state free level (and therefore the effective overprovisioning
+	// and WAF) identical to blocking mode. Raising it starts reclamation
+	// earlier at the cost of holding more superblocks free. Ignored in
+	// blocking mode.
+	GCSoftThreshold int
 }
 
 // DefaultConfig returns a typical configuration: 12% overprovisioning,
@@ -138,6 +154,22 @@ type Stats struct {
 	HostReads    uint64
 	GCWrites     uint64 // pages relocated by garbage collection
 	GCRuns       uint64
+	// GCLatency is the flash time spent inside garbage collection (victim
+	// reads, relocation flushes, erases) — the share of FlushLatency/
+	// EraseLatency/ReadLatency that host requests should not be charged for.
+	GCLatency float64
+	// GCSteps counts preemptive partial-GC steps (GCStep calls that did
+	// work). Zero in blocking mode.
+	GCSteps uint64
+	// GCStalls counts blocking collections forced at the hard GCThreshold
+	// floor — in preemptive mode, the times incremental stepping could not
+	// keep up and a host write absorbed a full collection.
+	GCStalls uint64
+	// GCStarved counts the times GC was needed (free pool below the
+	// threshold being enforced) but no reclaimable victim existed — every
+	// sealed superblock 100% valid. The device then runs degraded; without
+	// this counter that state was silent.
+	GCStarved uint64
 	Flushes      uint64  // multi-plane super-word-line programs
 	Erases       uint64  // superblock erases
 	BadBlocks    uint64  // blocks retired after erase failure
@@ -227,6 +259,13 @@ type FTL struct {
 	journal  bool
 	ops      []FlashOp // journal of chip ops since the last TakeOps
 	gcDepth  int       // >0 while executing GC (collect / patrol refresh)
+	// gcq holds the in-flight garbage collections: victims pulled out of the
+	// superblock table with a resume cursor each. Non-empty between partial
+	// GC steps, and after a collection failed mid-relocation — the cursor is
+	// what makes the error path crash-consistent instead of orphaning the
+	// victim.
+	gcq    []*gcState
+	softGC int // free-pool watermark where incremental GC starts
 	hot      *hotness  // write-frequency detector (AutoHint)
 	mcache   *mapCache // DFTL translation cache (nil = full table in RAM)
 	writeSeq uint64    // global write sequence for spare-area tags
@@ -243,6 +282,9 @@ type ftlMetrics struct {
 	hostReads    *telemetry.Counter
 	gcWrites     *telemetry.Counter
 	gcRuns       *telemetry.Counter
+	gcSteps      *telemetry.Counter
+	gcStalls     *telemetry.Counter
+	gcStarved    *telemetry.Gauge
 	flushes      *telemetry.Counter
 	erases       *telemetry.Counter
 	assembleFast *telemetry.Counter
@@ -263,6 +305,9 @@ func (f *FTL) SetMetrics(m *telemetry.Metrics) {
 		hostReads:    m.Counter("ftl.reads.host"),
 		gcWrites:     m.Counter("ftl.writes.gc"),
 		gcRuns:       m.Counter("ftl.gc.runs"),
+		gcSteps:      m.Counter("ftl.gc.steps"),
+		gcStalls:     m.Counter("ftl.gc.stalls"),
+		gcStarved:    m.Gauge("ftl.gc.starved"),
 		flushes:      m.Counter("ftl.flushes"),
 		erases:       m.Counter("ftl.erases"),
 		assembleFast: m.Counter("ftl.assemble.fast"),
@@ -307,6 +352,16 @@ func New(arr *flash.Array, cfg Config) (*FTL, error) {
 	if cfg.K <= 0 {
 		return nil, fmt.Errorf("ftl: K must be positive, got %d", cfg.K)
 	}
+	if cfg.GCStepPages < 0 {
+		return nil, fmt.Errorf("ftl: GC step pages must be non-negative, got %d", cfg.GCStepPages)
+	}
+	softGC := cfg.GCSoftThreshold
+	if softGC == 0 {
+		softGC = cfg.GCThreshold
+	}
+	if softGC < cfg.GCThreshold {
+		return nil, fmt.Errorf("ftl: GC soft threshold %d below hard threshold %d", softGC, cfg.GCThreshold)
+	}
 	scheme, err := core.NewScheme(geo, cfg.K)
 	if err != nil {
 		return nil, err
@@ -332,6 +387,7 @@ func New(arr *flash.Array, cfg Config) (*FTL, error) {
 		open:   make(map[core.Speed]*openState),
 		logLen: logLen,
 		rng:    prng.New(cfg.Seed, 0xf71),
+		softGC: softGC,
 	}
 	if cfg.AutoHint {
 		f.hot = newHotness(logLen, uint64(4*logLen), 3)
@@ -541,7 +597,7 @@ func (f *FTL) openFor(speed core.Speed) (*openState, error) {
 	if st := f.open[speed]; st != nil {
 		return st, nil
 	}
-	if err := f.ensureFree(); err != nil {
+	if err := f.ensureFree(speed); err != nil {
 		return nil, err
 	}
 	sb, err := f.assembleSuperblock(speed)
@@ -602,10 +658,17 @@ func (st *openState) slotFor(hint Hint) (lane, typ int, ok bool) {
 
 // WriteResult reports one host or GC page write.
 type WriteResult struct {
-	Latency  float64 // µs of flash work triggered by this write (flush + GC)
-	Flushed  bool    // a super-word-line program was issued
-	GCMoves  int     // pages relocated by GC triggered from this write
-	ExtraPgm float64 // extra latency of the flush's multi-plane program
+	Latency float64 // µs of flash work triggered by this write (HostLatency + GCLatency)
+	// HostLatency is the share of Latency the host request itself caused:
+	// mapping-cache charges plus the super-word-line flush it triggered.
+	HostLatency float64
+	// GCLatency is the share of Latency spent in garbage collection the write
+	// tripped (blocking collections at the hard watermark). Zero when GC did
+	// not run; device front ends account it separately from host service time.
+	GCLatency float64
+	Flushed   bool    // a super-word-line program was issued
+	GCMoves   int     // pages relocated by GC triggered from this write
+	ExtraPgm  float64 // extra latency of the flush's multi-plane program
 }
 
 // Write stores one logical page with default placement.
@@ -637,6 +700,7 @@ func (f *FTL) WriteHinted(lpn int64, data []byte, hint Hint) (WriteResult, error
 		return res, err
 	}
 	res.Latency += mapLat
+	res.HostLatency += mapLat
 	f.stats.HostWrites++
 	if f.met != nil {
 		f.met.hostWrites.Inc()
@@ -674,16 +738,22 @@ func (f *FTL) writeInternal(lpn int64, data []byte, class core.WriteClass, hint 
 			return res, err
 		}
 		res.Latency += flushLat
+		res.HostLatency += flushLat
 		res.ExtraPgm = extra
 		res.Flushed = true
-		// GC runs after flushes of host data, before space runs out.
-		if class == core.HostWrite {
+		// Blocking GC runs after flushes of host data, before space runs
+		// out. In preemptive mode reclamation happens in GCStep increments
+		// between requests instead, and nothing blocks here: an empty pool
+		// only matters when a sealed stream needs a fresh superblock, and
+		// ensureFree covers that (finishing the in-flight collection).
+		if class == core.HostWrite && f.cfg.GCStepPages == 0 {
 			moves, gcLat, err := f.maybeGC()
 			if err != nil {
 				return res, err
 			}
 			res.GCMoves = moves
 			res.Latency += gcLat
+			res.GCLatency += gcLat
 		}
 	}
 	return res, nil
@@ -999,23 +1069,53 @@ func (f *FTL) bufferedPage(addr flash.BlockAddr, lwl int, typ pv.PageType, lpn i
 	return nil, false
 }
 
+// gcState is the resume cursor of one in-flight garbage collection. The
+// victim has left the superblock table (so nested GC can never re-pick it)
+// but its members stay in bySB until the erase, keeping valid-count
+// bookkeeping and RAID reconstruction working for pages not yet relocated.
+type gcState struct {
+	victim       *superblock
+	member       int  // next member block to scan
+	page         int  // next page within that member
+	pendingErase bool // all pages relocated; the multi-plane erase remains
+	// running guards against reentrant resumption: a relocation write can
+	// recurse into maybeGC through ensureFree, which must start a fresh
+	// collection rather than resume the one already on the stack.
+	running bool
+}
+
 // maybeGC reclaims space until the free pool can assemble at least
-// GCThreshold superblocks. It returns the number of relocated pages and the
-// flash latency spent.
+// GCThreshold superblocks — the hard watermark where the write path blocks.
+// In-flight partial collections are finished before new victims are picked.
+// It returns the number of relocated pages and the flash latency spent.
 func (f *FTL) maybeGC() (moves int, latency float64, err error) {
-	for f.scheme.FreeCount() < f.cfg.GCThreshold {
-		victim := f.pickVictim()
-		if victim == nil {
-			if f.scheme.FreeCount() == 0 {
-				return moves, latency, ErrDeviceFull
+	return f.collectUntil(f.cfg.GCThreshold)
+}
+
+// collectUntil runs blocking collections until the free pool reaches target
+// superblocks. maybeGC refills to the hard watermark; the preemptive
+// emergency path refills to a single row — just enough for the write to
+// proceed — and leaves the rest to stepping, so one unlucky write is never
+// charged a second, from-scratch collection on top of the in-flight one.
+func (f *FTL) collectUntil(target int) (moves int, latency float64, err error) {
+	for f.scheme.FreeCount() < target {
+		st := f.resumableGC()
+		if st == nil {
+			victim := f.pickVictim()
+			if victim == nil {
+				f.noteStarved()
+				if f.scheme.FreeCount() == 0 {
+					return moves, latency, ErrDeviceFull
+				}
+				return moves, latency, nil
 			}
-			return moves, latency, nil
+			st = f.pushVictim(victim)
 		}
-		f.stats.GCRuns++
+		f.stats.GCStalls++
 		if f.met != nil {
-			f.met.gcRuns.Inc()
+			f.met.gcStalls.Inc()
 		}
-		m, lat, err := f.collect(victim)
+		m, lat, _, err := f.gcAdvance(st, 0)
 		moves += m
 		latency += lat
 		if err != nil {
@@ -1023,6 +1123,130 @@ func (f *FTL) maybeGC() (moves int, latency float64, err error) {
 		}
 	}
 	return moves, latency, nil
+}
+
+// GCStepResult reports one preemptive GC step.
+type GCStepResult struct {
+	Moves   int     // valid pages relocated by this step
+	Erased  bool    // the step performed a victim's deferred multi-plane erase
+	Latency float64 // µs of flash work the step issued
+	// Idle is true when the step had nothing to do: no collection in flight
+	// and the free pool at or above the soft watermark (or no reclaimable
+	// victim — see Stats.GCStarved).
+	Idle bool
+}
+
+// GCStep runs one increment of garbage collection: it resumes the in-flight
+// collection (or starts one if the free pool is below the soft watermark),
+// relocates at most pageBudget valid pages or performs the deferred erase,
+// and returns. pageBudget <= 0 runs the collection to completion. Device
+// front ends call it in idle windows so host requests never wait behind a
+// whole-superblock collection.
+func (f *FTL) GCStep(pageBudget int) (GCStepResult, error) {
+	st := f.resumableGC()
+	if st == nil {
+		if f.scheme.FreeCount() >= f.softGC {
+			return GCStepResult{Idle: true}, nil
+		}
+		victim := f.pickVictim()
+		if victim == nil {
+			f.noteStarved()
+			return GCStepResult{Idle: true}, nil
+		}
+		st = f.pushVictim(victim)
+	}
+	moves, lat, erased, err := f.gcAdvance(st, pageBudget)
+	f.stats.GCSteps++
+	if f.met != nil {
+		f.met.gcSteps.Inc()
+	}
+	return GCStepResult{Moves: moves, Erased: erased, Latency: lat}, err
+}
+
+// GCNeeded reports whether a GCStep would do work: a collection is in
+// flight, or the free pool sits below the soft watermark.
+func (f *FTL) GCNeeded() bool {
+	return len(f.gcq) > 0 || f.scheme.FreeCount() < f.softGC
+}
+
+// GCDebt returns the outstanding garbage-collection work in steps' units:
+// valid pages still to relocate across in-flight victims, plus one slot per
+// pending erase. Zero when no collection is in flight.
+func (f *FTL) GCDebt() int {
+	debt := 0
+	for _, st := range f.gcq {
+		debt += st.victim.valid + 1
+	}
+	return debt
+}
+
+// GCStepPages returns the configured per-step page budget (0 = blocking GC).
+func (f *FTL) GCStepPages() int { return f.cfg.GCStepPages }
+
+// GCPressure grades how urgently a stepping front end must run GC ahead of
+// host work. 0: none — host keeps strict priority and debt steps wait for
+// the queue to drain. 1: the pool is down to the row reserved for the GC
+// stream and the outstanding collection no longer fits the open slow
+// stream's slack, so the next host assembly would stall inline — trickle one
+// step per request even while backlogged. 2: the pool is empty — burst until
+// the in-flight collection frees a row. A short step now is always cheaper
+// than the whole collection an unlucky host write would otherwise absorb.
+func (f *FTL) GCPressure() int {
+	if f.cfg.GCStepPages <= 0 {
+		return 0
+	}
+	switch free := f.scheme.FreeCount(); {
+	case free == 0:
+		return 2
+	case free == 1 && !f.gcFitsSlowSlack():
+		return 1
+	}
+	return 0
+}
+
+// resumableGC returns the oldest in-flight collection not already executing
+// on the call stack, or nil.
+func (f *FTL) resumableGC() *gcState {
+	for _, st := range f.gcq {
+		if !st.running {
+			return st
+		}
+	}
+	return nil
+}
+
+// pushVictim starts a collection: the victim leaves the superblock table
+// (so GC work triggered by its relocation writes can never pick it again)
+// and gains a resume cursor on the GC queue.
+func (f *FTL) pushVictim(victim *superblock) *gcState {
+	f.stats.GCRuns++
+	if f.met != nil {
+		f.met.gcRuns.Inc()
+	}
+	delete(f.sbs, victim.id)
+	st := &gcState{victim: victim}
+	f.gcq = append(f.gcq, st)
+	return st
+}
+
+// popGC removes a finished collection from the GC queue.
+func (f *FTL) popGC(st *gcState) {
+	for i, q := range f.gcq {
+		if q == st {
+			f.gcq = append(f.gcq[:i], f.gcq[i+1:]...)
+			return
+		}
+	}
+}
+
+// noteStarved records that GC was needed but no sealed superblock could
+// reclaim space — every candidate 100% valid. The device runs degraded
+// until host overwrites or trims invalidate something.
+func (f *FTL) noteStarved() {
+	f.stats.GCStarved++
+	if f.met != nil {
+		f.met.gcStarved.Set(float64(f.stats.GCStarved))
+	}
 }
 
 // victimScore is the GC selection cost of a superblock under the configured
@@ -1081,12 +1305,31 @@ func (f *FTL) pickVictim() *superblock {
 }
 
 // ensureFree guarantees the free pool can assemble at least one superblock,
-// collecting garbage if necessary.
-func (f *FTL) ensureFree() error {
-	if f.scheme.FreeCount() > 0 {
+// collecting garbage if necessary. Blocking mode refills to the hard
+// watermark; preemptive mode frees the single row this assembly needs.
+//
+// Preemptive mode additionally reserves the last free row for the GC
+// stream: relocation writes land in the slow stream, so if a host assembly
+// drained the pool and the slow stream then sealed mid-collection, the
+// collection could never write again and reclamation would deadlock against
+// the host. The host may still take the last row when the outstanding
+// collection provably fits in the open slow stream's remaining slots — the
+// stream then cannot seal before the victim's erase refills the pool.
+func (f *FTL) ensureFree(speed core.Speed) error {
+	free := f.scheme.FreeCount()
+	if free > 0 {
+		if f.cfg.GCStepPages > 0 && free == 1 && speed != core.Slow && !f.gcFitsSlowSlack() {
+			if _, _, err := f.collectUntil(2); err != nil {
+				return err
+			}
+		}
 		return nil
 	}
-	if _, _, err := f.maybeGC(); err != nil {
+	target := f.cfg.GCThreshold
+	if f.cfg.GCStepPages > 0 {
+		target = 1
+	}
+	if _, _, err := f.collectUntil(target); err != nil {
 		return err
 	}
 	if f.scheme.FreeCount() == 0 {
@@ -1095,46 +1338,94 @@ func (f *FTL) ensureFree() error {
 	return nil
 }
 
-// collect relocates the victim's valid pages into the slow (GC) stream,
-// erases its members with one multi-plane erase, and returns the blocks to
-// the free pool. The victim leaves the superblock table first, so GC work
-// triggered by the relocation writes can never pick it again.
-func (f *FTL) collect(victim *superblock) (moves int, latency float64, err error) {
+// gcFitsSlowSlack reports whether the relocation writes still needed to
+// finish the next collection (in flight, or the victim that would be picked)
+// fit in the open slow stream's remaining slots. When they do, garbage
+// collection can run to its erase without assembling a fresh superblock, so
+// the free pool may safely drain to zero in the meantime. With nothing to
+// reclaim it reports true — reserving a row for GC that cannot run is waste.
+func (f *FTL) gcFitsSlowSlack() bool {
+	var need int
+	if st := f.resumableGC(); st != nil {
+		need = st.victim.valid
+	} else if v := f.pickVictim(); v != nil {
+		need = v.valid
+	} else {
+		return true
+	}
+	st := f.open[core.Slow]
+	if st == nil {
+		return false // the slow stream itself needs the row
+	}
+	slack := (f.geo.LWLsPerBlock()-st.nextWL)*st.dataSlots() - st.fill
+	return need <= slack
+}
+
+// gcAdvance runs one increment of the collection st: it relocates up to
+// budget valid pages (budget <= 0 = unlimited) into the slow (GC) stream,
+// and once the scan is done, erases the victim's members with one
+// multi-plane erase and returns the blocks to the free pool. With a finite
+// budget the erase is its own step: a call that relocated pages stops
+// before it. On error the cursor keeps its position — st stays on the GC
+// queue and a later call resumes at the failing page, so a mid-collection
+// failure never orphans the victim.
+func (f *FTL) gcAdvance(st *gcState, budget int) (moves int, latency float64, erased bool, err error) {
 	// Everything from here to the erase is GC work: journal entries carry
 	// the attribution so device tracers can separate a GC pause from host
 	// work on the same chip.
+	st.running = true
 	f.gcDepth++
-	defer func() { f.gcDepth-- }()
-	delete(f.sbs, victim.id)
-	for _, m := range victim.members {
-		base := f.ppn(m, 0, 0)
-		for i := 0; i < f.geo.PagesPerBlock(); i++ {
-			ppn := base + int64(i)
-			lpn := f.p2l[ppn]
-			if lpn < 0 {
-				continue
+	defer func() {
+		st.running = false
+		f.gcDepth--
+		f.stats.GCLatency += latency
+	}()
+	victim := st.victim
+	for !st.pendingErase {
+		if st.member >= len(victim.members) {
+			st.pendingErase = true
+			if budget > 0 && moves > 0 {
+				// The erase is its own step.
+				return moves, latency, false, nil
 			}
-			addr, lwl, typ := f.ppnLocate(ppn)
-			data, rlat, err := f.readPage(addr, lwl, typ)
-			if err != nil {
-				return moves, latency, fmt.Errorf("ftl: gc read: %w", err)
-			}
-			latency += rlat
-			wr, err := f.writeInternal(lpn, data, core.GCWrite, HintNone)
-			if err != nil {
-				return moves, latency, fmt.Errorf("ftl: gc write: %w", err)
-			}
-			latency += wr.Latency
-			f.stats.GCWrites++
-			if f.met != nil {
-				f.met.gcWrites.Inc()
-			}
-			moves++
+			break
 		}
+		if st.page >= f.geo.PagesPerBlock() {
+			st.member++
+			st.page = 0
+			continue
+		}
+		m := victim.members[st.member]
+		ppn := f.ppn(m, 0, 0) + int64(st.page)
+		lpn := f.p2l[ppn]
+		if lpn < 0 {
+			st.page++
+			continue
+		}
+		if budget > 0 && moves >= budget {
+			return moves, latency, false, nil
+		}
+		addr, lwl, typ := f.ppnLocate(ppn)
+		data, rlat, rerr := f.readPage(addr, lwl, typ)
+		if rerr != nil {
+			return moves, latency, false, fmt.Errorf("ftl: gc read: %w", rerr)
+		}
+		latency += rlat
+		wr, werr := f.writeInternal(lpn, data, core.GCWrite, HintNone)
+		if werr != nil {
+			return moves, latency, false, fmt.Errorf("ftl: gc write: %w", werr)
+		}
+		latency += wr.Latency
+		f.stats.GCWrites++
+		if f.met != nil {
+			f.met.gcWrites.Inc()
+		}
+		moves++
+		st.page++
 	}
-	res, err := f.arr.EraseMulti(victim.members)
-	if err != nil {
-		return moves, latency, fmt.Errorf("ftl: gc erase: %w", err)
+	res, eerr := f.arr.EraseMulti(victim.members)
+	if eerr != nil {
+		return moves, latency, false, fmt.Errorf("ftl: gc erase: %w", eerr)
 	}
 	latency += res.Latency
 	f.stats.Erases++
@@ -1158,15 +1449,16 @@ func (f *FTL) collect(victim *superblock) (moves int, latency float64, err error
 			// Endurance exhausted: retire the block instead of freeing it.
 			f.stats.BadBlocks++
 			if err := f.scheme.Retire(m); err != nil {
-				return moves, latency, err
+				return moves, latency, false, err
 			}
 			continue
 		}
 		if err := f.scheme.AddFree(m); err != nil {
-			return moves, latency, err
+			return moves, latency, false, err
 		}
 	}
-	return moves, latency, nil
+	f.popGC(st)
+	return moves, latency, true, nil
 }
 
 // Patrol scans up to maxPages mapped pages starting at the given logical
@@ -1226,6 +1518,26 @@ func (f *FTL) Patrol(startLPN int64, maxPages int, refreshAtBits int) (next int6
 		}
 	}
 	return lpn, latency, nil
+}
+
+// DrainGC runs every in-flight garbage collection to completion and returns
+// the flash latency spent. Checkpointing calls it so a snapshot never holds
+// a victim that is in neither the superblock table nor the free pool;
+// devices call it on shutdown so pending reclamation is not lost.
+func (f *FTL) DrainGC() (float64, error) {
+	var total float64
+	for len(f.gcq) > 0 {
+		st := f.resumableGC()
+		if st == nil {
+			return total, fmt.Errorf("ftl: drain gc: collection already executing")
+		}
+		_, lat, _, err := f.gcAdvance(st, 0)
+		total += lat
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
 }
 
 // Flush forces the pending super word-lines of both streams to flash.

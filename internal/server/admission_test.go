@@ -136,6 +136,83 @@ func TestAdmissionDeadline(t *testing.T) {
 	}
 }
 
+func TestAdmissionExpiredEntryWithFreeSlot(t *testing.T) {
+	// The slot check runs before the deadline check: a request whose deadline
+	// already passed must still be admitted when nothing actually blocks it.
+	// Rejecting it would turn a harmless scheduling hiccup into an error.
+	a := newAdmission(1)
+	past := time.Now().Add(-time.Millisecond)
+	if err := a.acquire(0, false, past); err != nil {
+		t.Fatalf("expired-at-entry acquire with a free slot = %v, want admitted", err)
+	}
+	a.release()
+	// Same precedence at the head of the sequenced grant order.
+	if err := a.acquire(0, true, past); err != nil {
+		t.Fatalf("expired-at-entry sequenced head ticket = %v, want admitted", err)
+	}
+	if got := a.load(); got != 1 {
+		t.Fatalf("load = %d, want 1", got)
+	}
+}
+
+func TestAdmissionDeadlineSlotFreedBeforeExpiry(t *testing.T) {
+	// A waiter whose slot frees within the deadline is admitted — the pending
+	// expiry timer must not reject work that no longer has a reason to wait.
+	a := newAdmission(1)
+	if err := a.acquire(0, false, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	res := make(chan error, 1)
+	go func() { res <- a.acquire(0, false, time.Now().Add(2*time.Second)) }()
+	time.Sleep(10 * time.Millisecond)
+	a.release()
+	select {
+	case err := <-res:
+		if err != nil {
+			t.Fatalf("waiter with a freed slot = %v, want admitted", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("freed slot did not wake the deadline waiter")
+	}
+	if got := a.load(); got != 1 {
+		t.Fatalf("load = %d, want 1", got)
+	}
+}
+
+func TestAdmissionSequencedDeadlineRetireUnblocks(t *testing.T) {
+	// A sequenced waiter parked on the ticket order (not the cap) whose
+	// deadline expires must retire its ticket, so the cursor skips it and the
+	// tickets behind it are admitted without waiting.
+	a := newAdmission(8)
+	res := make(chan error, 1)
+	go func() {
+		// seqNext is 0, so ticket 1 parks on the order alone (cap 8 is free).
+		res <- a.acquire(1, true, time.Now().Add(30*time.Millisecond))
+	}()
+	select {
+	case err := <-res:
+		if !errors.Is(err, errDeadline) {
+			t.Fatalf("order-blocked waiter = %v, want errDeadline", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("deadline never fired for the order-blocked waiter")
+	}
+	if err := a.acquire(0, true, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	// The cursor must have advanced over the retired ticket 1.
+	granted := make(chan error, 1)
+	go func() { granted <- a.acquire(2, true, time.Time{}) }()
+	select {
+	case err := <-granted:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("retired ticket 1 still wedges ticket 2")
+	}
+}
+
 func TestAdmissionDrain(t *testing.T) {
 	a := newAdmission(1)
 	if err := a.acquire(0, false, time.Time{}); err != nil {

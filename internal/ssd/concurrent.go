@@ -48,6 +48,12 @@ type ConcurrentDevice struct {
 	// start at max(arrival, till)) so the recorder can sample queue depth and
 	// chip utilization deterministically without racing the workers.
 	mirrorTill []float64
+	// till is the always-on variant of the same mirror, maintained from
+	// device birth: the GC scheduler reads it to find idle windows. Decisions
+	// taken against it (instead of the workers' racy state) happen in strict
+	// ticket order, so preemptive GC placement — and therefore every result —
+	// stays bit-identical across submitter counts.
+	till []float64
 
 	chips []*chipWorker
 
@@ -152,6 +158,7 @@ func NewConcurrent(arr *flash.Array, cfg Config) (*ConcurrentDevice, error) {
 		cfg:  cfg,
 		lat:  telemetry.NewDigest(),
 		pend: make(map[uint64][]float64),
+		till: make([]float64, arr.Geometry().Chips),
 	}
 	c.admit = sync.NewCond(&c.mu)
 	for chip := 0; chip < arr.Geometry().Chips; chip++ {
@@ -409,7 +416,8 @@ type run struct {
 	xfer     float64   // host-bus time of the whole run (or command overhead)
 	nops     int
 	reply    chan float64
-	data     [][]byte // read payloads per member, nil otherwise
+	data     [][]byte  // read payloads per member, nil otherwise
+	gcl      []float64 // blocking-GC latency per member write (lazily allocated; nil = all zero)
 }
 
 func (c *ConcurrentDevice) submit(ticket uint64, reqs []Request) ([]Completion, error) {
@@ -445,12 +453,17 @@ func (c *ConcurrentDevice) submit(ticket uint64, reqs []Request) ([]Completion, 
 		finish := end + r.xfer
 		for i := 0; i < r.n; i++ {
 			arr := r.arrivals[i]
+			var gct float64
+			if r.gcl != nil {
+				gct = r.gcl[i]
+			}
 			comps[r.first+i] = Completion{
 				Start:   r.arrival,
 				Finish:  finish,
 				Wait:    r.arrival - arr,
 				Service: finish - r.arrival,
 				Latency: finish - arr,
+				GCTime:  gct,
 				Data:    r.data[i],
 			}
 		}
@@ -539,11 +552,92 @@ func (c *ConcurrentDevice) feedDigest() {
 	}
 }
 
+// maxTill returns the mirrored busy-until horizon across all chips — when
+// the device frees up, as predicted in ticket order.
+func (c *ConcurrentDevice) maxTill() float64 {
+	h := 0.0
+	for _, t := range c.till {
+		if t > h {
+			h = t
+		}
+	}
+	return h
+}
+
+// gcStepRun executes one preemptive GC step in the FTL stage and dispatches
+// its chip work as a pseudo-run (no completions, replies drained by the
+// completion stage). Caller holds c.mu; earliest bounds where the step's
+// flash ops may start. worked is false when GC had nothing to do.
+func (c *ConcurrentDevice) gcStepRun(ticket uint64, earliest float64) (run, bool, error) {
+	var res ftl.GCStepResult
+	ops, err := c.f.CollectOps(func() error {
+		var e error
+		res, e = c.f.GCStep(c.f.GCStepPages())
+		return e
+	})
+	r := run{arrival: earliest, nops: len(ops), reply: make(chan float64, len(ops))}
+	for _, op := range ops {
+		c.chips[op.Chip].ch <- chipJob{
+			earliest: earliest, dur: op.Dur, reply: r.reply,
+			kind: op.Kind, gc: op.GC, seq: ticket, slot: -1,
+		}
+		s := earliest
+		if c.till[op.Chip] > s {
+			s = c.till[op.Chip]
+		}
+		c.till[op.Chip] = s + op.Dur
+		if c.rec != nil {
+			// The step occupies chip time the recorder's utilization columns
+			// must see; it is not a request, so the depth heap is untouched.
+			s = earliest
+			if c.mirrorTill[op.Chip] > s {
+				s = c.mirrorTill[op.Chip]
+			}
+			c.mirrorTill[op.Chip] = s + op.Dur
+			c.rec.busy[op.Chip] += op.Dur
+		}
+	}
+	return r, !res.Idle, err
+}
+
+// gcIdleSteps runs GC steps in the idle window before arrival — the gap
+// between the mirrored device horizon and the next request's start. Host
+// work keeps priority: stepping stops once the window is consumed (the last
+// step may overshoot; flash ops are not preemptible).
+func (c *ConcurrentDevice) gcIdleSteps(ticket uint64, arrival float64) ([]run, error) {
+	var runs []run
+	for c.maxTill() < arrival && c.f.GCNeeded() {
+		r, worked, err := c.gcStepRun(ticket, c.maxTill())
+		runs = append(runs, r)
+		if err != nil {
+			return runs, err
+		}
+		if !worked {
+			break
+		}
+	}
+	return runs, nil
+}
+
 // ftlStage executes a batch against the FTL in run-sized units and
 // dispatches the journalled chip work. Caller holds c.mu. On error the runs
 // executed so far are returned so their replies can still be drained.
 func (c *ConcurrentDevice) ftlStage(ticket uint64, reqs []Request) ([]run, error) {
 	var runs []run
+	if c.f.GCStepPages() > 0 {
+		// Preemptive GC in the idle window before this ticket's work: steps
+		// are scheduled against the mirrored chip horizon, in ticket order,
+		// so placement is identical however many goroutines submit.
+		a0 := reqs[0].Arrival
+		if a0 == 0 {
+			a0 = c.clock
+		}
+		gcRuns, err := c.gcIdleSteps(ticket, a0)
+		runs = append(runs, gcRuns...)
+		if err != nil {
+			return runs, err
+		}
+	}
 	opIdx := 0 // op index across the whole batch, for trace attribution
 	for first := 0; first < len(reqs); {
 		n := runLen(reqs[first:])
@@ -576,8 +670,15 @@ func (c *ConcurrentDevice) ftlStage(ticket uint64, reqs []Request) ([]run, error
 				req := reqs[first+i]
 				switch req.Kind {
 				case OpWrite:
-					if _, err := c.f.WriteHinted(req.LPN, req.Data, req.Hint); err != nil {
+					res, err := c.f.WriteHinted(req.LPN, req.Data, req.Hint)
+					if err != nil {
 						return err
+					}
+					if res.GCLatency > 0 {
+						if r.gcl == nil {
+							r.gcl = make([]float64, n)
+						}
+						r.gcl[i] = res.GCLatency
 					}
 					r.xfer += c.transferTime(len(req.Data))
 				case OpRead:
@@ -619,6 +720,11 @@ func (c *ConcurrentDevice) ftlStage(ticket uint64, reqs []Request) ([]run, error
 				kind: op.Kind, gc: op.GC, seq: ticket, slot: opIdx,
 			}
 			opIdx++
+			s := r.arrival
+			if c.till[op.Chip] > s {
+				s = c.till[op.Chip]
+			}
+			c.till[op.Chip] = s + op.Dur
 		}
 		if c.rec != nil {
 			// Mirror the chip workers' scheduling math (ticket-order arrival,
@@ -644,6 +750,35 @@ func (c *ConcurrentDevice) ftlStage(ticket uint64, reqs []Request) ([]run, error
 			return runs, err
 		}
 		first += n
+	}
+	if c.f.GCStepPages() > 0 && c.f.GCNeeded() {
+		// Debt steps: closed-loop hosts never leave an idle window, so pay one
+		// increment of reclamation per ticket behind the submitted work. Host
+		// work keeps strict priority: while the chips run behind the clock
+		// (backlogged), no step is taken — unless the FTL reports pressure: a
+		// trickle step when the pool is down to the GC reserve row, a small
+		// burst when it is empty. Always bounded, so a ticket never schedules
+		// a whole collection at once.
+		steps := 1
+		switch c.f.GCPressure() {
+		case 2:
+			steps = 4
+		case 1:
+		default:
+			if c.maxTill() > c.clock {
+				steps = 0
+			}
+		}
+		for i := 0; i < steps && c.f.GCNeeded(); i++ {
+			r, worked, err := c.gcStepRun(ticket, c.clock)
+			runs = append(runs, r)
+			if err != nil {
+				return runs, err
+			}
+			if !worked {
+				break
+			}
+		}
 	}
 	return runs, nil
 }

@@ -1,0 +1,162 @@
+package ssd
+
+import (
+	"reflect"
+	"testing"
+)
+
+// writeChurnTrace stamps n overwrites at a fixed cadence starting after the
+// current clock; the multiplicative hash spreads them across the LPN space.
+func writeChurnTrace(capacity int64, base float64, n int) []Request {
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i] = Request{
+			Kind:    OpWrite,
+			LPN:     (int64(i) * 2654435761) % capacity,
+			Data:    []byte{byte(i), byte(i >> 8)},
+			Arrival: base + float64(i)*3,
+		}
+	}
+	return reqs
+}
+
+func TestSerialCompletionSplitsGCTime(t *testing.T) {
+	// Blocking mode: a write that trips the hard watermark carries the whole
+	// collection in its Service, and GCTime must expose exactly that share.
+	d := testDevice(t)
+	if err := d.FillSequential(nil); err != nil {
+		t.Fatal(err)
+	}
+	capacity := d.FTL().Capacity()
+	var gcSum float64
+	sawGC := false
+	for i := 0; i < int(capacity)*2; i++ {
+		c, err := d.Submit(Request{
+			Kind: OpWrite,
+			LPN:  (int64(i) * 2654435761) % capacity,
+			Data: []byte{byte(i)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.GCTime < 0 || c.GCTime > c.Service+1e-9 {
+			t.Fatalf("GCTime %v outside [0, Service=%v]", c.GCTime, c.Service)
+		}
+		if c.GCTime > 0 {
+			sawGC = true
+		}
+		gcSum += c.GCTime
+	}
+	if !sawGC {
+		t.Fatal("churn never blocked a write on GC")
+	}
+	// Stats.GCLatency counts every collection (including the ones absorbed by
+	// buffer assembly); the host-visible completions can only carry a subset.
+	if st := d.FTL().Stats(); gcSum > st.GCLatency+1e-6 {
+		t.Fatalf("completions report %v µs of GC, FTL accumulated only %v", gcSum, st.GCLatency)
+	}
+}
+
+func TestSerialPreemptiveGCUsesIdleWindows(t *testing.T) {
+	// With idle time between stamped requests, preemptive GC must do all its
+	// work in the gaps: steps counted, no blocking stalls, no completion ever
+	// charged GCTime, and the tail stays below the blocking run's.
+	run := func(stepPages int) (maxLat float64, dev *Device) {
+		g := testDeviceCfg(t, func(cfg *Config) { cfg.FTL.GCStepPages = stepPages })
+		if err := g.FillSequential(nil); err != nil {
+			t.Fatal(err)
+		}
+		capacity := g.FTL().Capacity()
+		for i := 0; i < int(capacity)*2; i++ {
+			c, err := g.Submit(Request{
+				Kind:    OpWrite,
+				LPN:     (int64(i) * 2654435761) % capacity,
+				Data:    []byte{byte(i)},
+				Arrival: g.Now() + 400, // generous idle window per request
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stepPages > 0 && c.GCTime != 0 {
+				t.Fatalf("preemptive mode charged GCTime %v to a host write", c.GCTime)
+			}
+			if c.Latency > maxLat {
+				maxLat = c.Latency
+			}
+		}
+		return maxLat, g
+	}
+	blockMax, _ := run(0)
+	stepMax, sd := run(8)
+	st := sd.FTL().Stats()
+	if st.GCSteps == 0 {
+		t.Fatal("preemptive run took no GC steps")
+	}
+	if st.GCStalls != 0 {
+		t.Fatalf("idle windows were available yet %d blocking stalls happened", st.GCStalls)
+	}
+	if stepMax >= blockMax {
+		t.Fatalf("preemptive worst-case write latency %v µs did not beat blocking %v µs", stepMax, blockMax)
+	}
+	if err := sd.FTL().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentPreemptiveDepthIndependence(t *testing.T) {
+	// GC steps are scheduled by the serialized FTL stage in ticket order, so a
+	// GC-heavy preemptive run must stay bit-identical across worker counts.
+	run := func(depth int) ([]Completion, Stats) {
+		d := concurrentDeviceCfg(t, func(cfg *Config) {
+			cfg.RetainLatencies = true
+			cfg.FTL.GCStepPages = 4
+		})
+		if err := d.FillSequential(nil); err != nil {
+			t.Fatal(err)
+		}
+		reqs := writeChurnTrace(d.FTL().Capacity(), d.Now()+1000, int(d.FTL().Capacity())*2)
+		comps := replayTickets(t, d, reqs, depth)
+		if st := d.FTL().Stats(); st.GCSteps == 0 {
+			t.Fatal("churn trace exercised no preemptive GC steps")
+		}
+		return comps, d.Stats()
+	}
+	c1, s1 := run(1)
+	c8, s8 := run(8)
+	if !reflect.DeepEqual(c1, c8) {
+		t.Fatal("preemptive-GC completions differ between depth 1 and depth 8")
+	}
+	if !reflect.DeepEqual(s1, s8) {
+		t.Fatalf("preemptive-GC stats differ between depth 1 and depth 8:\n%+v\n%+v", s1, s8)
+	}
+}
+
+func TestConcurrentCompletionGCTime(t *testing.T) {
+	// Blocking mode through the multi-queue front end: GC latency must land in
+	// Completion.GCTime, not silently inside Service.
+	d := concurrentDevice(t)
+	if err := d.FillSequential(nil); err != nil {
+		t.Fatal(err)
+	}
+	capacity := d.FTL().Capacity()
+	sawGC := false
+	for i := 0; i < int(capacity)*2; i++ {
+		c, err := d.Submit(Request{
+			Kind: OpWrite,
+			LPN:  (int64(i) * 2654435761) % capacity,
+			Data: []byte{byte(i)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.GCTime < 0 || c.GCTime > c.Service+1e-9 {
+			t.Fatalf("GCTime %v outside [0, Service=%v]", c.GCTime, c.Service)
+		}
+		if c.GCTime > 0 {
+			sawGC = true
+		}
+	}
+	if !sawGC {
+		t.Fatal("churn never blocked a write on GC")
+	}
+}

@@ -12,10 +12,11 @@ import (
 // RecorderColumns returns the flight-recorder column set of a device with the
 // given chip count: write amplification, in-flight request depth, the FTL's
 // extra-latency EWMA, assembly pool levels (assemblable superblocks plus the
-// fill of the open fast/slow super-word-line buffers), and per-chip
-// utilization (dispatched busy time / simulated time).
+// fill of the open fast/slow super-word-line buffers), garbage-collection
+// state (outstanding GC work in pages+erases, cumulative preemptive steps),
+// and per-chip utilization (dispatched busy time / simulated time).
 func RecorderColumns(chips int) []string {
-	cols := []string{"waf", "qdepth", "extra_ewma_us", "free_sbs", "open_fast", "open_slow"}
+	cols := []string{"waf", "qdepth", "extra_ewma_us", "free_sbs", "open_fast", "open_slow", "gc_debt", "gc_steps"}
 	for c := 0; c < chips; c++ {
 		cols = append(cols, fmt.Sprintf("chip%02d_util", c))
 	}
@@ -94,15 +95,17 @@ func (s *recState) fill(t float64, vals []float64, f *ftl.FTL) {
 	vals[3] = float64(f.Scheme().FreeCount())
 	vals[4] = float64(f.OpenFill(core.Fast))
 	vals[5] = float64(f.OpenFill(core.Slow))
+	vals[6] = float64(f.GCDebt())
+	vals[7] = float64(st.GCSteps)
 	for c, b := range s.busy {
 		u := 0.0
 		if t > 0 {
 			u = b / t
 		}
-		vals[6+c] = u
+		vals[8+c] = u
 	}
 	if s.extraFn != nil {
-		s.extraFn(vals[6+len(s.busy):])
+		s.extraFn(vals[8+len(s.busy):])
 	}
 }
 

@@ -72,7 +72,7 @@ func TestRecorderGoldenAcrossDepths(t *testing.T) {
 	if len(lines) < 2 {
 		t.Fatalf("recorder emitted no samples: %q", lines)
 	}
-	if !strings.HasPrefix(lines[0], "t_us,waf,qdepth,extra_ewma_us,free_sbs,open_fast,open_slow,chip00_util") {
+	if !strings.HasPrefix(lines[0], "t_us,waf,qdepth,extra_ewma_us,free_sbs,open_fast,open_slow,gc_debt,gc_steps,chip00_util") {
 		t.Fatalf("unexpected header %q", lines[0])
 	}
 

@@ -93,7 +93,12 @@ type Completion struct {
 	Wait    float64 // time spent queued
 	Service float64 // flash + bus time
 	Latency float64 // Wait + Service (host-visible response time)
-	Data    []byte  // read payloads
+	// GCTime is the share of Service spent in a blocking garbage collection
+	// this request tripped at the hard watermark. Zero when GC did not block
+	// the request — with preemptive GC the reclamation runs in idle-window
+	// steps between requests and never lands here.
+	GCTime float64
+	Data   []byte // read payloads
 }
 
 // Stats aggregates device activity.
@@ -214,6 +219,123 @@ func (d *Device) transferTime(bytes int) float64 {
 	return float64(bytes) / d.cfg.BusMBps // bytes / (MB/s) = µs
 }
 
+// gcHorizon returns the time the device frees up under the active queue
+// model — where a background GC step would start.
+func (d *Device) gcHorizon() float64 {
+	if d.cfg.Queue != PerChip {
+		return d.busy
+	}
+	h := 0.0
+	for _, b := range d.chipBusy {
+		if b > h {
+			h = b
+		}
+	}
+	return h
+}
+
+// gcStepOnce runs one preemptive GC step and schedules its flash work from
+// the given start time, returning the new device horizon and whether the
+// step did work (false = GC idle, nothing to reclaim).
+func (d *Device) gcStepOnce(start float64) (float64, bool, error) {
+	var res ftl.GCStepResult
+	ops, err := d.f.CollectOps(func() error {
+		var err error
+		res, err = d.f.GCStep(d.f.GCStepPages())
+		return err
+	})
+	if err != nil {
+		return start, false, err
+	}
+	if res.Idle {
+		return start, false, nil
+	}
+	end := start
+	if d.cfg.Queue == PerChip {
+		for _, op := range ops {
+			s := start
+			if d.chipBusy[op.Chip] > s {
+				s = d.chipBusy[op.Chip]
+			}
+			e := s + op.Dur
+			d.chipBusy[op.Chip] = e
+			if e > end {
+				end = e
+			}
+		}
+	} else {
+		end = start + res.Latency
+		d.busy = end
+	}
+	if d.rec != nil {
+		for _, op := range ops {
+			d.rec.busy[op.Chip] += op.Dur
+		}
+		if end > d.rec.hor {
+			d.rec.hor = end
+		}
+	}
+	return end, true, nil
+}
+
+// gcIdleSteps runs GC steps in the idle window before the clock — host
+// requests keep priority because stepping stops as soon as the window is
+// consumed (the last step may overshoot: flash ops are not preemptible).
+func (d *Device) gcIdleSteps() error {
+	if d.f.GCStepPages() <= 0 {
+		return nil
+	}
+	h := d.gcHorizon()
+	for h < d.now && d.f.GCNeeded() {
+		var worked bool
+		var err error
+		h, worked, err = d.gcStepOnce(h)
+		if err != nil {
+			return err
+		}
+		if !worked {
+			return nil
+		}
+	}
+	return nil
+}
+
+// gcDebtStep pays GC debt after a serviced request — the forward progress
+// guarantee for closed-loop hosts that never leave an idle window. Host work
+// keeps strict priority: when the serviced request had queued (the device is
+// backlogged), no step is taken and the idle windows catch up later — unless
+// the FTL reports pressure: a trickle step when the pool is down to the GC
+// reserve row, a small burst when it is empty. Always bounded: a host
+// request is never stuck behind a whole collection.
+func (d *Device) gcDebtStep(queued bool) error {
+	if d.f.GCStepPages() <= 0 || !d.f.GCNeeded() {
+		return nil
+	}
+	steps := 1
+	switch d.f.GCPressure() {
+	case 2:
+		steps = 4
+	case 1:
+	default:
+		if queued {
+			return nil
+		}
+	}
+	h := d.gcHorizon()
+	for i := 0; i < steps && d.f.GCNeeded(); i++ {
+		var worked bool
+		var err error
+		h, worked, err = d.gcStepOnce(h)
+		if err != nil {
+			return err
+		}
+		if !worked {
+			return nil
+		}
+	}
+	return nil
+}
+
 // Submit services one request on the simulated clock and returns its
 // completion. Requests are serviced in submission order (one deep queue:
 // the FTL serializes flash work; queueing delay models a busy device).
@@ -226,11 +348,14 @@ func (d *Device) Submit(req Request) (Completion, error) {
 		// lands, so each sample holds the pre-event state.
 		d.rec.tick(d.now)
 	}
+	if err := d.gcIdleSteps(); err != nil {
+		return Completion{}, err
+	}
 	start := d.now
 	if d.busy > start {
 		start = d.busy
 	}
-	var service float64
+	var service, gcTime float64
 	var data []byte
 	ops, err := d.f.CollectOps(func() error {
 		switch req.Kind {
@@ -240,6 +365,7 @@ func (d *Device) Submit(req Request) (Completion, error) {
 				return err
 			}
 			service = d.transferTime(len(req.Data)) + res.Latency
+			gcTime = res.GCLatency
 			d.stats.Writes++
 		case OpRead:
 			res, err := d.f.Read(req.LPN)
@@ -317,6 +443,7 @@ func (d *Device) Submit(req Request) (Completion, error) {
 		Wait:    start - req.Arrival,
 		Service: service,
 		Latency: finish - req.Arrival,
+		GCTime:  gcTime,
 		Data:    data,
 	}
 	if req.Arrival == 0 {
@@ -327,6 +454,9 @@ func (d *Device) Submit(req Request) (Completion, error) {
 	d.stats.Latencies = append(d.stats.Latencies, c.Latency)
 	if d.lat != nil {
 		d.lat.Observe(c.Latency)
+	}
+	if err := d.gcDebtStep(c.Wait > 0); err != nil {
+		return c, err
 	}
 	return c, nil
 }

@@ -9,6 +9,11 @@ import (
 
 func testDevice(t testing.TB) *Device {
 	t.Helper()
+	return testDeviceCfg(t, nil)
+}
+
+func testDeviceCfg(t testing.TB, tweak func(*Config)) *Device {
+	t.Helper()
 	g := flash.TestGeometry()
 	g.BlocksPerPlane = 12
 	g.Layers = 12
@@ -21,6 +26,9 @@ func testDevice(t testing.TB) *Device {
 	}
 	cfg := DefaultConfig()
 	cfg.FTL.Overprovision = 0.25
+	if tweak != nil {
+		tweak(&cfg)
+	}
 	d, err := New(arr, cfg)
 	if err != nil {
 		t.Fatal(err)
