@@ -29,9 +29,16 @@ check:
 # The preemptive-GC smoke then drives a short ftlload open-loop overwrite
 # burst against `ftlserve -gc-step` and checks every op succeeded and the
 # server drained clean — CI exercises the stepped-GC path end to end.
+# The volume smoke runs the sharded acceptance pair at the test level (a
+# 3-backend sequenced replay byte-identical to the single-device run, and
+# proxy drain under load), then stands up the real processes — three
+# `ftlserve -seq`, one `ftlvol -seq` striping them — and replays a sequenced
+# ftlload burst through the frontend, checking every op succeeded and the
+# frontend drained clean on SIGINT.
 smoke:
 	$(GO) test -count=1 -run TestHTTPMetricsSmoke .
 	$(GO) test -count=1 -run 'TestLoopbackTraceReplayMatchesDirect|TestDrainUnderLoad' ./internal/server
+	$(GO) test -count=1 -run 'TestShardedReplayMatchesDirect|TestVolumeDrainUnderLoad' ./internal/volume
 	$(GO) run ./cmd/ftlsim -blocks 16 -layers 16 -ops 2000 -workers 8 \
 		-attr $(SMOKE_DIR)/attr.json -rec $(SMOKE_DIR)/rec.csv \
 		-metrics-out $(SMOKE_DIR)/metrics.txt >/dev/null
@@ -57,6 +64,40 @@ smoke:
 	grep -q 'drained:' $(SMOKE_DIR)/gcserve.log || \
 		{ echo "smoke: ftlserve -gc-step did not drain clean"; cat $(SMOKE_DIR)/gcserve.log; exit 1; }; \
 	echo "preemptive-GC smoke ok"
+	$(GO) build -o $(SMOKE_DIR)/ftlvol ./cmd/ftlvol
+	@pids=""; \
+	for p in 8990 8991 8992; do \
+		$(SMOKE_DIR)/ftlserve -listen 127.0.0.1:$$p -blocks 16 -layers 16 -seq \
+			>$(SMOKE_DIR)/volsrv$$p.log 2>&1 & \
+		pids="$$pids $$!"; \
+	done; \
+	for i in $$(seq 100); do \
+		ok=1; \
+		for p in 8990 8991 8992; do \
+			grep -q 'block service on' $(SMOKE_DIR)/volsrv$$p.log || ok=0; \
+		done; \
+		test $$ok -eq 1 && break; sleep 0.1; \
+	done; \
+	$(SMOKE_DIR)/ftlvol -listen 127.0.0.1:8998 \
+		-backends 127.0.0.1:8990,127.0.0.1:8991,127.0.0.1:8992 \
+		-stripe 32 -seq >$(SMOKE_DIR)/ftlvol.log 2>&1 & \
+	vpid=$$!; \
+	for i in $$(seq 100); do \
+		grep -q 'volume on' $(SMOKE_DIR)/ftlvol.log && break; sleep 0.1; \
+	done; \
+	$(SMOKE_DIR)/ftlload -addr 127.0.0.1:8998 -seq -workload uniform \
+		-ops 3000 -conns 4 >$(SMOKE_DIR)/volload.txt 2>&1; \
+	rc=$$?; \
+	kill -INT $$vpid; wait $$vpid; vrc=$$?; \
+	kill -INT $$pids; wait $$pids; \
+	test $$rc -eq 0 || { echo "smoke: ftlvol load failed"; \
+		cat $(SMOKE_DIR)/volload.txt $(SMOKE_DIR)/ftlvol.log; exit 1; }; \
+	grep -q 'OK *3000' $(SMOKE_DIR)/volload.txt || \
+		{ echo "smoke: ftlvol load not all OK"; cat $(SMOKE_DIR)/volload.txt; exit 1; }; \
+	test $$vrc -eq 0 || { echo "smoke: ftlvol exited $$vrc"; cat $(SMOKE_DIR)/ftlvol.log; exit 1; }; \
+	grep -q 'drained:' $(SMOKE_DIR)/ftlvol.log || \
+		{ echo "smoke: ftlvol did not drain clean"; cat $(SMOKE_DIR)/ftlvol.log; exit 1; }; \
+	echo "volume smoke ok"
 	@rm -rf $(SMOKE_DIR)
 
 build:

@@ -16,6 +16,7 @@ import (
 	"superfast/internal/core"
 	"superfast/internal/experiments"
 	"superfast/internal/flash"
+	"superfast/internal/ftl"
 	"superfast/internal/prng"
 	"superfast/internal/profile"
 	"superfast/internal/pv"
@@ -24,6 +25,7 @@ import (
 	"superfast/internal/ssd"
 	"superfast/internal/stats"
 	"superfast/internal/telemetry"
+	"superfast/internal/volume"
 	"superfast/internal/workload"
 )
 
@@ -262,6 +264,84 @@ func BenchmarkServerLoopback(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkVolumeLoopback shows the volume layer's scaling story: the same
+// open-loop write burst against 1, 2 and 4 paced loopback backends, striped
+// by internal/volume. Pacing makes every backend hold its admission slot for
+// the simulated latency of each write (scaled to wall time), so a single
+// backend is throughput-bound the way a real device is — and striping the
+// space N ways divides the per-backend work, scaling aggregate wops/s
+// near-linearly even on one CPU core. The wops/s metric per sub-benchmark is
+// the README cluster table; backends4 must be ≥3× backends1.
+func BenchmarkVolumeLoopback(b *testing.B) {
+	g := flash.TestGeometry()
+	g.BlocksPerPlane = 12
+	g.Layers = 12
+	p := pv.DefaultParams()
+	p.Layers = g.Layers
+	p.Strings = g.Strings
+	cfg := ssd.DefaultConfig()
+	cfg.FTL.Overprovision = 0.25
+	scfg := server.Config{MaxInFlight: 16, Pace: 0.05}
+	const (
+		ops   = 2048
+		depth = 64
+	)
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("backends%d", n), func(b *testing.B) {
+			addrs := make([]string, n)
+			for i := range addrs {
+				dev, err := ssd.NewConcurrent(flash.MustNewArray(g, pv.New(p), flash.DefaultECC()), cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(dev.Close)
+				srv := server.New(dev, scfg)
+				ln, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					b.Fatal(err)
+				}
+				go srv.Serve(ln)
+				b.Cleanup(func() {
+					ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+					defer cancel()
+					srv.Shutdown(ctx)
+				})
+				addrs[i] = ln.Addr().String()
+			}
+			v, err := volume.Dial(addrs, volume.Config{Stripe: 8})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { v.Close() })
+			span := v.Space()
+			payload := []byte("vol-bench-write")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pending := make([]*volume.Call, 0, depth)
+				for j := 0; j < ops; j++ {
+					if len(pending) == depth {
+						if _, err := pending[0].Wait(); err != nil {
+							b.Fatal(err)
+						}
+						pending = pending[1:]
+					}
+					call, err := v.StartWrite(int64(j)%span, payload, ftl.HintNone, 0, 0)
+					if err != nil {
+						b.Fatal(err)
+					}
+					pending = append(pending, call)
+				}
+				for _, call := range pending {
+					if _, err := call.Wait(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(ops*b.N)/b.Elapsed().Seconds(), "wops/s")
 		})
 	}
 }

@@ -17,12 +17,18 @@
 // MSR-Cambridge) and primes cold reads before replay. -seq stamps dense
 // global tickets so a server in -seq mode reproduces the single-submitter
 // completion stream bit for bit, however many connections carry it.
+//
+// -backends A,B,C drives a sharded volume directly instead of a single
+// server: ftlload builds the internal/volume frontend in-process (no proxy
+// hop) and scatters the stream across the backends with -stripe/-replicas
+// placement. -seq composes with it for deterministic sharded replay.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,6 +37,7 @@ import (
 	"superfast/internal/server/client"
 	"superfast/internal/ssd"
 	"superfast/internal/stats"
+	"superfast/internal/volume"
 	"superfast/internal/workload"
 )
 
@@ -46,10 +53,21 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "workload seed")
 		rate    = flag.Float64("rate", 0, "open loop: mean µs between Poisson arrivals (0 = closed loop)")
 		seq     = flag.Bool("seq", false, "sequenced replay: stamp dense global tickets (server must run -seq)")
+
+		backends = flag.String("backends", "", "drive a sharded volume over these comma-separated backends instead of -addr")
+		stripe   = flag.Int64("stripe", 64, "volume: pages per stripe unit (with -backends)")
+		replicas = flag.Int("replicas", 1, "volume: copies of every stripe unit (with -backends)")
+		verify   = flag.Bool("verify", false, "volume: verify reads across replicas and repair divergence (with -backends)")
 	)
 	flag.Parse()
 	if *conns < 1 || *depth < 1 {
 		fatalf("-conns and -depth must be ≥ 1")
+	}
+
+	if *backends != "" {
+		runVolume(*backends, *conns, *depth, *wl, *in, *ops, *pagelen, *seed, *rate, *seq,
+			volume.Config{Stripe: *stripe, Replicas: *replicas, Sequenced: *seq, VerifyReads: *verify})
+		return
 	}
 
 	// One probe connection learns the device shape before the fleet dials in.
@@ -105,6 +123,19 @@ func main() {
 	wg.Wait()
 	wall := time.Since(start)
 
+	report(len(reqs), *conns, wall, lat, okFlag, &statusCount, &netErrs)
+
+	if final, err := finalStat(*addr); err == nil {
+		fmt.Printf("device: %d reqs (%d r / %d w / %d t), WAF %.3f; server: %d accepted, %d responses, %d rejected\n",
+			final.Device.Requests, final.Device.Reads, final.Device.Writes, final.Device.Trims, final.WAF,
+			final.Server.Accepted, final.Server.Responses, final.Server.Rejected)
+	}
+}
+
+// report prints the wall-clock throughput, status breakdown and simulated
+// latency table shared by the single-server and volume drivers.
+func report(reqs, conns int, wall time.Duration, lat []float64, okFlag []bool,
+	statusCount *[server.StatusInternal + 1]atomic.Uint64, netErrs *atomic.Uint64) {
 	var okLat []float64
 	for i, ok := range okFlag {
 		if ok {
@@ -113,7 +144,7 @@ func main() {
 	}
 	sum := stats.Summarize(okLat)
 	fmt.Printf("issued %d ops over %d conns in %v (%.0f ops/s wall)\n",
-		len(reqs), *conns, wall.Round(time.Millisecond), float64(len(reqs))/wall.Seconds())
+		reqs, conns, wall.Round(time.Millisecond), float64(reqs)/wall.Seconds())
 	for st := server.StatusOK; st <= server.StatusInternal; st++ {
 		if n := statusCount[st].Load(); n > 0 {
 			fmt.Printf("  %-14s %d\n", st.String(), n)
@@ -131,12 +162,114 @@ func main() {
 	t.AddRow("p99.9", stats.FmtUS(sum.P999))
 	t.AddRow("max", stats.FmtUS(sum.Max))
 	fmt.Print(t.String())
+}
 
-	if final, err := finalStat(*addr); err == nil {
-		fmt.Printf("device: %d reqs (%d r / %d w / %d t), WAF %.3f; server: %d accepted, %d responses, %d rejected\n",
-			final.Device.Requests, final.Device.Reads, final.Device.Writes, final.Device.Trims, final.WAF,
-			final.Server.Accepted, final.Server.Responses, final.Server.Rejected)
+// runVolume drives a sharded volume built in-process over the backends:
+// same workload machinery, scattered by the volume's placement instead of a
+// single server connection.
+func runVolume(backends string, conns, depth int, wl, in string, ops int64,
+	pagelen int, seed uint64, rate float64, seq bool, vcfg volume.Config) {
+	var addrs []string
+	for _, a := range strings.Split(backends, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
 	}
+	v, err := volume.Dial(addrs, vcfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer v.Close()
+	if pagelen <= 0 {
+		pagelen = v.PageSize()
+	}
+	fmt.Fprintf(os.Stderr, "ftlload: volume over %d backends: %d pages × %d B (stripe %d, replicas %d), %d drivers × depth %d\n",
+		len(addrs), v.Space(), v.PageSize(), vcfg.Stripe, vcfg.Replicas, conns, depth)
+
+	reqs, err := buildRequests(wl, in, v.Space(), ops, pagelen, seed, rate)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if len(reqs) == 0 {
+		fatalf("empty workload")
+	}
+
+	lat := make([]float64, len(reqs))
+	okFlag := make([]bool, len(reqs))
+	var statusCount [server.StatusInternal + 1]atomic.Uint64
+	var netErrs atomic.Uint64
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for ci := 0; ci < conns; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			driveVolume(v, reqs, ci, conns, depth, seq, lat, okFlag, &statusCount, &netErrs)
+		}(ci)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	report(len(reqs), conns, wall, lat, okFlag, &statusCount, &netErrs)
+
+	snap := v.ClusterStat()
+	fmt.Printf("cluster: %d reqs (%d r / %d w / %d t), WAF %.3f; %d retries, %d repairs\n",
+		snap.Device.Requests, snap.Device.Reads, snap.Device.Writes, snap.Device.Trims, snap.WAF,
+		snap.Volume.Retries, snap.Volume.Repairs)
+	for _, b := range snap.Backends {
+		fmt.Printf("  backend %d %-21s %6d slots, %8d device reqs, WAF %.3f\n",
+			b.Backend, b.Addr, b.Slots, b.Snap.Device.Requests, b.Snap.WAF)
+	}
+}
+
+// driveVolume issues this driver's share of the stream (global index i with
+// i %% conns == ci, ascending — the volume's sequenced cursor interleaves the
+// drivers back into dense global order), keeping up to depth in flight.
+func driveVolume(v *volume.Volume, reqs []ssd.Request, ci, conns, depth int, seq bool,
+	lat []float64, okFlag []bool, statusCount *[server.StatusInternal + 1]atomic.Uint64, netErrs *atomic.Uint64) {
+	sem := make(chan struct{}, depth)
+	var wg sync.WaitGroup
+	for i := ci; i < len(reqs); i += conns {
+		var (
+			call *volume.Call
+			err  error
+			tick = uint64(i)
+		)
+		sem <- struct{}{}
+		switch reqs[i].Kind {
+		case ssd.OpRead:
+			call, err = v.StartRead(reqs[i].LPN, tick, reqs[i].Arrival)
+		case ssd.OpWrite:
+			call, err = v.StartWrite(reqs[i].LPN, reqs[i].Data, reqs[i].Hint, tick, reqs[i].Arrival)
+		case ssd.OpTrim:
+			call, err = v.StartTrim(reqs[i].LPN, tick, reqs[i].Arrival)
+		}
+		if err != nil {
+			<-sem
+			netErrs.Add(1)
+			if seq {
+				continue // the cursor already advanced; later tickets still flow
+			}
+			return
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			resp, err := call.Wait()
+			if err != nil {
+				netErrs.Add(1)
+				return
+			}
+			statusCount[resp.Status].Add(1)
+			if resp.Status == server.StatusOK {
+				lat[i] = resp.Latency
+				okFlag[i] = true
+			}
+		}(i)
+	}
+	wg.Wait()
 }
 
 // buildRequests materializes the request stream: generators are collected

@@ -1,0 +1,116 @@
+// Command ftlvol is the sharded volume frontend: it stripes one logical LPN
+// space across N ftlserve backends and serves the same wire protocol back,
+// so any block-service client (ftlload included) talks to the cluster as if
+// it were one device.
+//
+// Usage:
+//
+//	ftlvol -backends 127.0.0.1:8970,127.0.0.1:8971,127.0.0.1:8972
+//	ftlvol -backends ... -stripe 128 -replicas 2 -verify
+//	ftlvol -backends ... -seq                # deterministic sharded replay
+//	ftlvol -backends ... -http :9191         # /metrics, /cluster, /rebalance
+//
+// Placement stripes the space in -stripe page units round-robin, so
+// sequential I/O fans across all backends; -replicas K keeps K copies of
+// every unit on distinct backends (writes fan out, reads fail over, -verify
+// adds read-repair). -seq puts the volume in sequenced replay mode: clients
+// stamp dense global tickets (ftlload -seq), the volume forwards dense
+// per-backend tickets, and the backends must run -seq too — the sharded
+// replay is then bit-identical to a single-device run. -http serves the
+// merged cluster telemetry and the live rebalance endpoints
+// (POST /rebalance/add?addr=…, POST /rebalance/remove?backend=N).
+// SIGINT/SIGTERM drain gracefully; the backends stay up.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"superfast/internal/volume"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":8980", "TCP listen address for the volume frontend")
+		backends = flag.String("backends", "", "comma-separated backend addresses (required)")
+		stripe   = flag.Int64("stripe", 64, "pages per stripe unit")
+		replicas = flag.Int("replicas", 1, "copies of every stripe unit, on distinct backends")
+		verify   = flag.Bool("verify", false, "read every replica and repair divergence (needs -replicas ≥ 2)")
+		seq      = flag.Bool("seq", false, "sequenced replay mode (backends must run -seq too)")
+		httpAddr = flag.String("http", "", "serve /metrics, /cluster, /rebalance on ADDR")
+		perConn  = flag.Int("conn-inflight", 64, "per-connection in-flight cap")
+		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on shutdown")
+	)
+	flag.Parse()
+	addrs := strings.Split(*backends, ",")
+	var clean []string
+	for _, a := range addrs {
+		if a = strings.TrimSpace(a); a != "" {
+			clean = append(clean, a)
+		}
+	}
+	if len(clean) == 0 {
+		fatalf("-backends is required")
+	}
+
+	v, err := volume.Dial(clean, volume.Config{
+		Stripe:      *stripe,
+		Replicas:    *replicas,
+		Sequenced:   *seq,
+		VerifyReads: *verify,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer v.Close()
+	p := volume.NewProxy(v, volume.ProxyConfig{MaxPerConn: *perConn})
+
+	if *httpAddr != "" {
+		hln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fatalf("-http: %v", err)
+		}
+		hsrv := &http.Server{Handler: volume.Routes(v, p)}
+		go hsrv.Serve(hln)
+		defer hsrv.Close()
+		fmt.Fprintf(os.Stderr, "ftlvol: serving cluster telemetry on http://%s/\n", hln.Addr())
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatalf("listen: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "ftlvol: volume on %s: %d pages × %d B over %d backends (stripe %d, replicas %d, sequenced=%v)\n",
+		ln.Addr(), v.Space(), v.PageSize(), len(clean), *stripe, *replicas, *seq)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "ftlvol: draining...")
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+		defer cancel()
+		if err := p.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "ftlvol: drain: %v\n", err)
+		}
+	}()
+	if err := p.Serve(ln); err != nil {
+		fatalf("serve: %v", err)
+	}
+	st := p.Stats()
+	fmt.Fprintf(os.Stderr, "ftlvol: drained: %d conns served, %d accepted, %d responses, %d rejected\n",
+		st.ConnsEver, st.Accepted, st.Responses, st.Rejected)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ftlvol: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -8,12 +8,26 @@ package client
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 
 	"superfast/internal/ftl"
 	"superfast/internal/server"
+)
+
+// Terminal connection errors. Every call that was in flight when the
+// connection died resolves with an error wrapping one of these, so callers
+// (the volume layer's replica retry, a load generator's accounting) can
+// classify the failure with errors.Is instead of string matching.
+var (
+	// ErrConnLost marks a connection that died underneath the client — a
+	// read, write or decode error on the socket. In-flight requests may or
+	// may not have reached the device; reads are safe to retry elsewhere.
+	ErrConnLost = errors.New("client: connection lost")
+	// ErrClosed marks a connection the caller closed.
+	ErrClosed = errors.New("client: closed")
 )
 
 // Client is one connection to a block-service server. Safe for concurrent
@@ -59,7 +73,7 @@ func New(nc net.Conn) *Client {
 // Close tears the connection down. In-flight calls fail with the connection
 // error. Safe to call more than once.
 func (c *Client) Close() error {
-	c.fail(fmt.Errorf("client: closed"))
+	c.fail(ErrClosed)
 	err := c.nc.Close()
 	<-c.readerDone
 	return err
@@ -119,7 +133,12 @@ func (c *Client) Start(f server.Frame) (*Call, error) {
 		c.pmu.Lock()
 		delete(c.pending, f.ID)
 		c.pmu.Unlock()
-		c.fail(err)
+		// An encoding error is the caller's frame, not the connection; only
+		// socket errors are terminal.
+		if !errors.Is(err, server.ErrFrameSize) && !errors.Is(err, server.ErrBadFrame) {
+			err = fmt.Errorf("%w: %w", ErrConnLost, err)
+			c.fail(err)
+		}
 		return nil, err
 	}
 	return &Call{resp: ch, c: c}, nil
@@ -205,7 +224,7 @@ func (c *Client) readLoop() {
 	for {
 		resp, _, err := server.ReadResponse(br)
 		if err != nil {
-			c.fail(fmt.Errorf("client: connection lost: %w", err))
+			c.fail(fmt.Errorf("%w: %w", ErrConnLost, err))
 			return
 		}
 		c.pmu.Lock()

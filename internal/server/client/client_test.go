@@ -2,6 +2,7 @@ package client
 
 import (
 	"context"
+	"errors"
 	"net"
 	"strings"
 	"testing"
@@ -178,5 +179,105 @@ func TestClientServerGone(t *testing.T) {
 func TestClientBadAddress(t *testing.T) {
 	if _, err := Dial("127.0.0.1:1"); err == nil {
 		t.Fatal("dial to a closed port should fail")
+	}
+}
+
+// TestClientConnLostFailsInFlight is the reconnect/error-surfacing
+// regression test: a backend that dies with a pipeline of unanswered
+// requests must fail every in-flight call promptly with an error wrapping
+// ErrConnLost — none may hang, and later Starts must fail the same way.
+func TestClientConnLostFailsInFlight(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- nc
+	}()
+
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srvConn := <-accepted
+
+	// Fill a pipeline the server will never answer.
+	const inFlight = 32
+	calls := make([]*Call, inFlight)
+	for i := range calls {
+		if calls[i], err = c.Start(server.Frame{Op: server.OpWrite, LPN: int64(i), Payload: []byte("doomed")}); err != nil {
+			t.Fatalf("start %d: %v", i, err)
+		}
+	}
+
+	// The backend dies mid-pipeline.
+	srvConn.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i, call := range calls {
+			_, err := call.Wait()
+			if err == nil {
+				t.Errorf("call %d: resolved without error on a dead connection", i)
+				continue
+			}
+			if !errors.Is(err, ErrConnLost) {
+				t.Errorf("call %d: error %v does not wrap ErrConnLost", i, err)
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight calls hung after the connection died")
+	}
+
+	if err := c.Err(); !errors.Is(err, ErrConnLost) {
+		t.Fatalf("Err() = %v, want ErrConnLost", err)
+	}
+	if _, err := c.Start(server.Frame{Op: server.OpPing}); !errors.Is(err, ErrConnLost) {
+		t.Fatalf("Start after loss = %v, want ErrConnLost", err)
+	}
+}
+
+// TestClientCloseIsTyped: calls interrupted by a local Close surface
+// ErrClosed, distinguishable from a lost connection.
+func TestClientCloseIsTyped(t *testing.T) {
+	_, addr := startServer(t, server.Config{})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if err := c.Err(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Err() after close = %v, want ErrClosed", err)
+	}
+	if errors.Is(c.Err(), ErrConnLost) {
+		t.Fatal("local close must not read as a lost connection")
+	}
+}
+
+// TestClientOversizedFrameNotTerminal: an unencodable frame fails only its
+// own call — the connection stays healthy for the pipeline behind it.
+func TestClientOversizedFrameNotTerminal(t *testing.T) {
+	_, addr := startServer(t, server.Config{})
+	c := dialTest(t, addr)
+	if _, err := c.Start(server.Frame{
+		Op: server.OpWrite, LPN: 1, Payload: make([]byte, server.MaxPayload+1),
+	}); err == nil {
+		t.Fatal("oversized frame should fail")
+	} else if errors.Is(err, ErrConnLost) {
+		t.Fatalf("encoding error marked terminal: %v", err)
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatalf("connection unusable after encoding error: %v", err)
 	}
 }

@@ -1,0 +1,238 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// LatencyDigest is a mergeable latency sketch: samples land in log-linear
+// buckets (subBuckets linear divisions per power of two, the HdrHistogram
+// layout), so two digests built on different shards merge exactly by adding
+// bucket counts — the property the cluster view needs to compute P50–P99.9
+// across backends without retaining per-request samples. The relative
+// quantile error is bounded by the bucket width: at most 2/subBuckets
+// (≈ 3.1%), verified against retained-sample ground truth by property tests.
+//
+// The zero value is ready to use. Not safe for concurrent use; shard digests
+// are single-writer and merged at snapshot time.
+type LatencyDigest struct {
+	counts [digestBuckets]uint64
+	n      uint64
+	sum    float64
+	min    float64 // valid when n > 0
+	max    float64
+}
+
+const (
+	// subBuckets is the number of linear divisions per octave. 64 divisions
+	// bound the per-value relative error at 1/64 ≈ 1.6%.
+	subBuckets = 64
+	// minExp is the smallest tracked exponent: values below 2^minExp µs
+	// (≈ 1 ns) collapse into bucket 0. maxExp caps the range at 2^maxExp µs
+	// (≈ 89 simulated years), far past any simulated latency.
+	minExp = -10
+	maxExp = 51
+	// digestBuckets covers [2^minExp, 2^maxExp) octaves of subBuckets each,
+	// plus bucket 0 for underflow (including zero and negative values).
+	digestBuckets = 1 + (maxExp-minExp)*subBuckets
+)
+
+// bucketIndex maps a value to its bucket.
+func bucketIndex(v float64) int {
+	if !(v > 0) || math.IsInf(v, 1) { // NaN, zero, negative → underflow bucket
+		if math.IsInf(v, 1) {
+			return digestBuckets - 1
+		}
+		return 0
+	}
+	frac, exp := math.Frexp(v) // v = frac × 2^exp, frac ∈ [0.5, 1)
+	exp--                      // normalize to frac ∈ [1, 2)
+	if exp < minExp {
+		return 0
+	}
+	if exp >= maxExp {
+		return digestBuckets - 1
+	}
+	minor := int((frac*2 - 1) * subBuckets) // position inside the octave
+	if minor >= subBuckets {
+		minor = subBuckets - 1
+	}
+	return 1 + (exp-minExp)*subBuckets + minor
+}
+
+// bucketBounds returns the [lo, hi) value range of bucket i.
+func bucketBounds(i int) (lo, hi float64) {
+	if i <= 0 {
+		return 0, math.Ldexp(1, minExp)
+	}
+	i--
+	exp := minExp + i/subBuckets
+	minor := i % subBuckets
+	width := math.Ldexp(1, exp) / subBuckets
+	lo = math.Ldexp(1, exp) + float64(minor)*width
+	return lo, lo + width
+}
+
+// Observe feeds one sample.
+func (d *LatencyDigest) Observe(v float64) {
+	d.counts[bucketIndex(v)]++
+	if d.n == 0 || v < d.min {
+		d.min = v
+	}
+	if d.n == 0 || v > d.max {
+		d.max = v
+	}
+	d.n++
+	d.sum += v
+}
+
+// Merge folds other into d. Merging is exact: the merged digest is
+// indistinguishable from one that observed both sample streams.
+func (d *LatencyDigest) Merge(other *LatencyDigest) {
+	if other == nil || other.n == 0 {
+		return
+	}
+	if d.n == 0 || other.min < d.min {
+		d.min = other.min
+	}
+	if d.n == 0 || other.max > d.max {
+		d.max = other.max
+	}
+	for i, c := range other.counts {
+		d.counts[i] += c
+	}
+	d.n += other.n
+	d.sum += other.sum
+}
+
+// Count returns the number of observed samples.
+func (d *LatencyDigest) Count() uint64 { return d.n }
+
+// Mean returns the exact sample mean (the sum is tracked outside the
+// buckets), or 0 for an empty digest.
+func (d *LatencyDigest) Mean() float64 {
+	if d.n == 0 {
+		return 0
+	}
+	return d.sum / float64(d.n)
+}
+
+// Min returns the smallest observed sample (exact), or 0 when empty.
+func (d *LatencyDigest) Min() float64 {
+	if d.n == 0 {
+		return 0
+	}
+	return d.min
+}
+
+// Max returns the largest observed sample (exact), or 0 when empty.
+func (d *LatencyDigest) Max() float64 {
+	if d.n == 0 {
+		return 0
+	}
+	return d.max
+}
+
+// Quantile estimates the q-quantile (0..1): it walks the cumulative bucket
+// counts to the bucket holding the target rank and interpolates linearly
+// inside it, clamped to the exact observed min/max.
+func (d *LatencyDigest) Quantile(q float64) float64 {
+	if d.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return d.Min()
+	}
+	if q >= 1 {
+		return d.Max()
+	}
+	// Target rank in [1, n], matching the "nearest rank with interpolation"
+	// convention closely enough for bucket-width error bounds.
+	target := q * float64(d.n)
+	var cum float64
+	for i, c := range d.counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= target {
+			lo, hi := bucketBounds(i)
+			frac := (target - cum) / float64(c)
+			v := lo + (hi-lo)*frac
+			if v < d.min {
+				v = d.min
+			}
+			if v > d.max {
+				v = d.max
+			}
+			return v
+		}
+		cum = next
+	}
+	return d.Max()
+}
+
+// DigestSummary is a point-in-time reading of a LatencyDigest in the shape
+// the cluster view reports.
+type DigestSummary struct {
+	N    uint64  `json:"n"`
+	Mean float64 `json:"mean_us"`
+	Min  float64 `json:"min_us"`
+	Max  float64 `json:"max_us"`
+	P50  float64 `json:"p50_us"`
+	P95  float64 `json:"p95_us"`
+	P99  float64 `json:"p99_us"`
+	P999 float64 `json:"p999_us"`
+}
+
+// Summary snapshots the digest's count, mean, extrema and quantiles.
+func (d *LatencyDigest) Summary() DigestSummary {
+	return DigestSummary{
+		N:    d.n,
+		Mean: d.Mean(),
+		Min:  d.Min(),
+		Max:  d.Max(),
+		P50:  d.Quantile(0.50),
+		P95:  d.Quantile(0.95),
+		P99:  d.Quantile(0.99),
+		P999: d.Quantile(0.999),
+	}
+}
+
+// MergeDigests returns a fresh digest holding the union of the inputs.
+func MergeDigests(ds ...*LatencyDigest) *LatencyDigest {
+	out := &LatencyDigest{}
+	for _, d := range ds {
+		out.Merge(d)
+	}
+	return out
+}
+
+// MergeHistograms merges fixed-width histograms built over the identical
+// [Lo, Hi) range and bin count — the per-shard layout the volume layer uses —
+// by adding bin and overflow counts. Differing layouts are an error: resampled
+// merges would silently smear counts across bins.
+func MergeHistograms(hs ...*Histogram) (*Histogram, error) {
+	var out *Histogram
+	for _, h := range hs {
+		if h == nil {
+			continue
+		}
+		if out == nil {
+			out = &Histogram{Lo: h.Lo, Hi: h.Hi, Counts: make([]int, len(h.Counts))}
+		}
+		if h.Lo != out.Lo || h.Hi != out.Hi || len(h.Counts) != len(out.Counts) {
+			return nil, fmt.Errorf("stats: cannot merge histogram [%v,%v)×%d into [%v,%v)×%d",
+				h.Lo, h.Hi, len(h.Counts), out.Lo, out.Hi, len(out.Counts))
+		}
+		for i, c := range h.Counts {
+			out.Counts[i] += c
+		}
+		out.Under += h.Under
+		out.Over += h.Over
+	}
+	if out == nil {
+		return nil, fmt.Errorf("stats: no histograms to merge")
+	}
+	return out, nil
+}

@@ -1,0 +1,91 @@
+package volume
+
+import (
+	"testing"
+)
+
+// FuzzVolumePlacement drives the placement layer through construction, an
+// add-rebalance and a remove-rebalance with fuzzed geometry, checking the
+// core invariants at every step: each logical page maps to Replicas copies
+// on distinct backends, every copy reverses to its page, no two pages share
+// a shard page, and rebalances relocate only their planned units.
+func FuzzVolumePlacement(f *testing.F) {
+	// Seed corpus: the shapes the tests and the smoke leg exercise.
+	f.Add(int64(96), int64(4), uint8(3), uint8(1), int64(16))
+	f.Add(int64(60), int64(5), uint8(4), uint8(2), int64(8))
+	f.Add(int64(64), int64(8), uint8(8), uint8(3), int64(4))
+	f.Add(int64(48), int64(2), uint8(3), uint8(1), int64(24))
+	f.Add(int64(7), int64(3), uint8(2), uint8(1), int64(4))
+	f.Add(int64(1), int64(1), uint8(1), uint8(1), int64(1))
+
+	f.Fuzz(func(t *testing.T, space, stripe int64, backends, replicas uint8, slots int64) {
+		// Clamp to a tractable exhaustive-check size.
+		if space < 1 || space > 512 || stripe < 1 || stripe > 64 ||
+			backends < 1 || backends > 12 || replicas < 1 ||
+			slots < 1 || slots > 512 {
+			t.Skip()
+		}
+		caps := make([]int64, backends)
+		for i := range caps {
+			caps[i] = slots
+		}
+		p, err := NewPlacement(space, stripe, caps, int(replicas))
+		if err != nil {
+			return // invalid geometry is allowed to fail, not to panic
+		}
+		checkPlacementInvariants(t, p)
+
+		// Add a backend and commit the planned rebalance.
+		before := snapshotLayout(p)
+		nb, moves, err := p.BeginAdd(slots)
+		if err != nil {
+			t.Fatalf("BeginAdd: %v", err)
+		}
+		planned := make(map[int64]bool)
+		for _, m := range moves {
+			if m.To != nb {
+				t.Fatalf("add move %+v does not target the new backend", m)
+			}
+			if planned[m.Unit] {
+				t.Fatalf("unit %d planned twice", m.Unit)
+			}
+			planned[m.Unit] = true
+			if err := p.Commit(m); err != nil {
+				t.Fatalf("commit %+v: %v", m, err)
+			}
+		}
+		after := snapshotLayout(p)
+		for u, locs := range before {
+			if planned[u] {
+				continue
+			}
+			for k := range locs {
+				if after[u][k] != locs[k] {
+					t.Fatalf("unplanned unit %d moved: %+v → %+v", u, locs, after[u])
+				}
+			}
+		}
+		checkPlacementInvariants(t, p)
+
+		// Remove backend 0 when the replica floor allows it.
+		if int(backends)+1-1 >= int(replicas) {
+			rm, err := p.BeginRemove(0)
+			if err != nil {
+				// Legitimate when survivors lack capacity; never a panic.
+				return
+			}
+			for _, m := range rm {
+				if m.From != 0 {
+					t.Fatalf("remove move %+v does not leave backend 0", m)
+				}
+				if err := p.Commit(m); err != nil {
+					t.Fatalf("commit %+v: %v", m, err)
+				}
+			}
+			if p.SlotsUsed(0) != 0 {
+				t.Fatalf("removed backend still holds %d slots", p.SlotsUsed(0))
+			}
+			checkPlacementInvariants(t, p)
+		}
+	})
+}

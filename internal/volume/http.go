@@ -1,0 +1,150 @@
+package volume
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"superfast/internal/stats"
+)
+
+// Routes returns the volume's HTTP surface:
+//
+//	GET  /metrics           merged Prometheus exposition (cluster + per-backend)
+//	GET  /cluster           full cluster snapshot as JSON
+//	POST /rebalance/add     ?addr=host:port — attach a backend and rebalance
+//	POST /rebalance/remove  ?backend=N — drain and detach a backend
+//
+// The proxy may be nil; frontend serving counters are then omitted.
+func Routes(v *Volume, p *Proxy) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		writePrometheus(w, v, p)
+	})
+	mux.HandleFunc("/cluster", func(w http.ResponseWriter, r *http.Request) {
+		snap := v.ClusterStat()
+		if p != nil {
+			snap.Server.Conns = p.connsNow.Load()
+			snap.Server.ConnsEver = p.connsEver.Load()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snap)
+	})
+	mux.HandleFunc("/rebalance/add", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		addr := r.FormValue("addr")
+		if addr == "" {
+			http.Error(w, "missing addr", http.StatusBadRequest)
+			return
+		}
+		nb, err := v.AddBackend(addr)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		fmt.Fprintf(w, "{\"backend\": %d}\n", nb)
+	})
+	mux.HandleFunc("/rebalance/remove", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		b, err := strconv.Atoi(r.FormValue("backend"))
+		if err != nil {
+			http.Error(w, "bad backend index", http.StatusBadRequest)
+			return
+		}
+		if err := v.RemoveBackend(b); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		fmt.Fprintf(w, "{\"removed\": %d}\n", b)
+	})
+	return mux
+}
+
+// writePrometheus renders the merged exposition: volume-level counters and
+// latency quantiles at cluster scope, and every backend's srv_* serving
+// counters as labeled series, so one scrape covers the whole shard set.
+func writePrometheus(w io.Writer, v *Volume, p *Proxy) {
+	snap := v.ClusterStat()
+
+	counter := func(name, help string, val uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, val)
+	}
+	gauge := func(name, help string, val float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, val)
+	}
+	counter("vol_reads_total", "logical reads accepted by the volume", snap.Volume.Reads)
+	counter("vol_writes_total", "logical writes accepted by the volume", snap.Volume.Writes)
+	counter("vol_trims_total", "logical trims accepted by the volume", snap.Volume.Trims)
+	counter("vol_flushes_total", "cluster flush barriers", snap.Volume.Flushes)
+	counter("vol_read_retries_total", "reads retried on another replica", snap.Volume.Retries)
+	counter("vol_read_repairs_total", "divergent replicas rewritten", snap.Volume.Repairs)
+	counter("vol_unit_moves_total", "stripe units relocated by rebalance", snap.Volume.UnitMoves)
+	gauge("vol_space_lpns", "logical pages the volume exposes", float64(snap.Capacity))
+	gauge("vol_stripe_pages", "pages per stripe unit", float64(snap.Stripe))
+	gauge("vol_replicas", "copies kept of every stripe unit", float64(snap.Replicas))
+	gauge("vol_waf", "cluster write amplification", snap.WAF)
+
+	active := 0
+	for _, b := range snap.Backends {
+		if b.Active {
+			active++
+		}
+	}
+	gauge("vol_backends_active", "backends serving shard ranges", float64(active))
+	if p != nil {
+		s := p.Stats()
+		gauge("vol_conns", "open frontend connections", float64(s.Conns))
+		counter("vol_accepted_total", "frames accepted by the frontend", s.Accepted)
+		counter("vol_rejected_total", "frames rejected by the frontend", s.Rejected)
+	}
+
+	quantiles := func(name, help string, d stats.DigestSummary) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s summary\n", name, help, name)
+		for _, q := range []struct {
+			q string
+			v float64
+		}{{"0.5", d.P50}, {"0.95", d.P95}, {"0.99", d.P99}, {"0.999", d.P999}} {
+			fmt.Fprintf(w, "%s{quantile=%q} %v\n", name, q.q, q.v)
+		}
+		fmt.Fprintf(w, "%s_sum %v\n%s_count %d\n", name, d.Mean*float64(d.N), name, d.N)
+	}
+	quantiles("vol_read_latency_us", "simulated read latency across all shards", snap.ReadLat)
+	quantiles("vol_write_latency_us", "simulated write latency across all shards", snap.WriteLat)
+
+	// Per-backend serving counters under one scrape, labeled by shard.
+	series := []struct {
+		name, help string
+		val        func(BackendStat) float64
+	}{
+		{"vol_backend_up", "1 when the backend answered its STAT probe", func(b BackendStat) float64 {
+			if b.Active && b.Error == "" {
+				return 1
+			}
+			return 0
+		}},
+		{"vol_backend_slots_used", "stripe units placed on the backend", func(b BackendStat) float64 { return float64(b.Slots) }},
+		{"vol_backend_srv_accepted", "frames the backend accepted", func(b BackendStat) float64 { return float64(b.Snap.Server.Accepted) }},
+		{"vol_backend_srv_rejected", "frames the backend rejected", func(b BackendStat) float64 { return float64(b.Snap.Server.Rejected) }},
+		{"vol_backend_srv_inflight", "requests in flight on the backend", func(b BackendStat) float64 { return float64(b.Snap.Server.InFlight) }},
+		{"vol_backend_srv_conns", "connections open on the backend", func(b BackendStat) float64 { return float64(b.Snap.Server.Conns) }},
+		{"vol_backend_device_requests", "device requests completed", func(b BackendStat) float64 { return float64(b.Snap.Device.Requests) }},
+		{"vol_backend_waf", "backend write amplification", func(b BackendStat) float64 { return b.Snap.WAF }},
+	}
+	for _, s := range series {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", s.name, s.help, s.name)
+		for _, b := range snap.Backends {
+			fmt.Fprintf(w, "%s{backend=%q,addr=%q} %v\n", s.name, strconv.Itoa(b.Backend), b.Addr, s.val(b))
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package volume
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"superfast/internal/ftl"
+	"superfast/internal/server"
+)
+
+func TestVolumeHTTP(t *testing.T) {
+	v, _ := startCluster(t, 3, server.Config{}, Config{Stripe: 2})
+	p, _ := startProxy(t, v)
+	ts := httptest.NewServer(Routes(v, p))
+	defer ts.Close()
+
+	for lpn := int64(0); lpn < 8; lpn++ {
+		if _, err := v.Write(lpn, pageData(lpn, 0), ftl.HintNone); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// /metrics: merged exposition with cluster counters and per-backend
+	// labeled series.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		"vol_writes_total 8",
+		"vol_backends_active 3",
+		"vol_write_latency_us{quantile=\"0.99\"}",
+		"vol_backend_srv_accepted{backend=\"0\"",
+		"vol_backend_up{backend=\"2\"",
+		"vol_space_lpns",
+		"vol_replicas 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// /cluster: full JSON snapshot, decodable, with per-backend entries.
+	resp, err = http.Get(ts.URL + "/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap ClusterSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("decode /cluster: %v", err)
+	}
+	resp.Body.Close()
+	if snap.Capacity != v.Space() || len(snap.Backends) != 3 {
+		t.Fatalf("cluster snapshot capacity %d backends %d", snap.Capacity, len(snap.Backends))
+	}
+	if snap.Volume.Writes != 8 {
+		t.Fatalf("cluster volume counters %+v", snap.Volume)
+	}
+
+	// Rebalance endpoints drive live add/remove.
+	nb := startBackend(t, server.Config{})
+	resp, err = http.PostForm(ts.URL+"/rebalance/add", url.Values{"addr": {nb.addr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "\"backend\": 3") {
+		t.Fatalf("add: %d %q", resp.StatusCode, body)
+	}
+	resp, err = http.PostForm(ts.URL+"/rebalance/remove", url.Values{"backend": {"0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("remove: %d", resp.StatusCode)
+	}
+	for lpn := int64(0); lpn < 8; lpn++ {
+		r, err := v.Read(lpn)
+		if err != nil || r.Status != server.StatusOK {
+			t.Fatalf("read %d after HTTP rebalance: %v %v", lpn, err, r.Status)
+		}
+	}
+
+	// Error paths: wrong method, bad arguments, conflicting ops.
+	for _, tc := range []struct {
+		path string
+		form url.Values
+		code int
+		get  bool
+	}{
+		{path: "/rebalance/add", get: true, code: http.StatusMethodNotAllowed},
+		{path: "/rebalance/remove", get: true, code: http.StatusMethodNotAllowed},
+		{path: "/rebalance/add", form: url.Values{}, code: http.StatusBadRequest},
+		{path: "/rebalance/add", form: url.Values{"addr": {"127.0.0.1:1"}}, code: http.StatusConflict},
+		{path: "/rebalance/remove", form: url.Values{"backend": {"zap"}}, code: http.StatusBadRequest},
+		{path: "/rebalance/remove", form: url.Values{"backend": {"0"}}, code: http.StatusConflict}, // already removed
+	} {
+		var resp *http.Response
+		var err error
+		if tc.get {
+			resp, err = http.Get(ts.URL + tc.path)
+		} else {
+			resp, err = http.PostForm(ts.URL+tc.path, tc.form)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.code {
+			t.Errorf("%s %v: status %d, want %d", tc.path, tc.form, resp.StatusCode, tc.code)
+		}
+	}
+}

@@ -1,0 +1,440 @@
+package volume
+
+import (
+	"fmt"
+	"testing"
+)
+
+// checkPlacementInvariants exhaustively verifies the mapping: every logical
+// page maps to exactly Replicas copies on distinct backends, every copy
+// reverses back to the page, and no two pages share a (backend, shard-page).
+func checkPlacementInvariants(t testing.TB, p *Placement) {
+	t.Helper()
+	type cell struct {
+		backend int
+		slpn    int64
+	}
+	seen := make(map[cell]int64)
+	var locs []Loc
+	for lpn := int64(0); lpn < p.Space(); lpn++ {
+		var err error
+		locs, err = p.Locate(lpn, locs[:0])
+		if err != nil {
+			t.Fatalf("locate %d: %v", lpn, err)
+		}
+		if len(locs) != p.Replicas() {
+			t.Fatalf("lpn %d: %d copies, want %d", lpn, len(locs), p.Replicas())
+		}
+		backends := make(map[int]bool)
+		for _, l := range locs {
+			if !p.Active(l.Backend) {
+				t.Fatalf("lpn %d placed on inactive backend %d", lpn, l.Backend)
+			}
+			if backends[l.Backend] {
+				t.Fatalf("lpn %d: two copies on backend %d", lpn, l.Backend)
+			}
+			backends[l.Backend] = true
+			c := cell{l.Backend, l.SLPN}
+			if prev, dup := seen[c]; dup {
+				t.Fatalf("backend %d slpn %d claimed by lpn %d and %d", l.Backend, l.SLPN, prev, lpn)
+			}
+			seen[c] = lpn
+			back, ok := p.Reverse(l.Backend, l.SLPN)
+			if !ok || back != lpn {
+				t.Fatalf("reverse(%d, %d) = %d,%v; want %d", l.Backend, l.SLPN, back, ok, lpn)
+			}
+		}
+	}
+	// Slot accounting must agree with the exhaustive walk.
+	perBackend := make(map[int]int64)
+	for c := range seen {
+		perBackend[c.backend]++
+	}
+	for b := 0; b < p.Backends(); b++ {
+		if got := p.SlotsUsed(b) * p.Stripe(); got != perBackend[b] {
+			t.Fatalf("backend %d: accounting says %d pages, walk found %d", b, got, perBackend[b])
+		}
+	}
+}
+
+func TestPlacementRoundTripExhaustive(t *testing.T) {
+	for _, tc := range []struct {
+		space, stripe int64
+		backends      []int64
+		replicas      int
+	}{
+		{space: 96, stripe: 1, backends: []int64{32, 32, 32}, replicas: 1},
+		{space: 96, stripe: 4, backends: []int64{8, 8, 8}, replicas: 1},
+		{space: 60, stripe: 5, backends: []int64{8, 8, 8, 8}, replicas: 2},
+		{space: 64, stripe: 8, backends: []int64{3, 3, 3, 3, 3, 3, 3, 3}, replicas: 3},
+		{space: 7, stripe: 3, backends: []int64{4, 4}, replicas: 1}, // space rounds to 6
+	} {
+		name := fmt.Sprintf("s%d_u%d_n%d_r%d", tc.space, tc.stripe, len(tc.backends), tc.replicas)
+		t.Run(name, func(t *testing.T) {
+			p, err := NewPlacement(tc.space, tc.stripe, tc.backends, tc.replicas)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := tc.space / tc.stripe * tc.stripe; p.Space() != want {
+				t.Fatalf("space %d, want %d", p.Space(), want)
+			}
+			checkPlacementInvariants(t, p)
+		})
+	}
+}
+
+func TestPlacementInitialStriping(t *testing.T) {
+	// The seed layout is RAID-0: unit u's primary is backend u mod N at slot
+	// u div N, so sequential I/O fans evenly across backends.
+	p, err := NewPlacement(24, 2, []int64{8, 8, 8}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var locs []Loc
+	for u := int64(0); u < p.Units(); u++ {
+		locs, err = p.Locate(u*2, locs[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := int(u % 3); locs[0].Backend != want {
+			t.Fatalf("unit %d on backend %d, want %d", u, locs[0].Backend, want)
+		}
+		if want := (u / 3) * 2; locs[0].SLPN != want {
+			t.Fatalf("unit %d at slpn %d, want %d", u, locs[0].SLPN, want)
+		}
+	}
+}
+
+func TestPlacementErrors(t *testing.T) {
+	if _, err := NewPlacement(16, 2, nil, 1); err == nil {
+		t.Fatal("no backends must fail")
+	}
+	if _, err := NewPlacement(16, 0, []int64{8}, 1); err == nil {
+		t.Fatal("zero stripe must fail")
+	}
+	if _, err := NewPlacement(16, 2, []int64{8, 8}, 3); err == nil {
+		t.Fatal("more replicas than backends must fail")
+	}
+	if _, err := NewPlacement(1, 2, []int64{8, 8}, 1); err == nil {
+		t.Fatal("sub-unit space must fail")
+	}
+	if _, err := NewPlacement(16, 2, []int64{8, 0}, 1); err == nil {
+		t.Fatal("zero-capacity backend must fail")
+	}
+	if _, err := NewPlacement(64, 2, []int64{2, 2}, 1); err == nil {
+		t.Fatal("overcommitted space must fail")
+	}
+
+	p, err := NewPlacement(16, 2, []int64{8, 8}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Locate(-1, nil); err == nil {
+		t.Fatal("negative lpn must fail")
+	}
+	if _, err := p.Locate(16, nil); err == nil {
+		t.Fatal("out-of-space lpn must fail")
+	}
+	if _, ok := p.Reverse(-1, 0); ok {
+		t.Fatal("reverse on bad backend must fail")
+	}
+	if _, ok := p.Reverse(0, -1); ok {
+		t.Fatal("reverse on negative slpn must fail")
+	}
+	if _, ok := p.Reverse(0, 1<<40); ok {
+		t.Fatal("reverse past the shard must fail")
+	}
+	if _, err := p.BeginRemove(5); err == nil {
+		t.Fatal("removing unknown backend must fail")
+	}
+	if _, _, err := p.BeginAdd(0); err == nil {
+		t.Fatal("adding empty backend must fail")
+	}
+}
+
+// snapshotLayout records every unit's current copies.
+func snapshotLayout(p *Placement) map[int64][]Loc {
+	out := make(map[int64][]Loc)
+	var locs []Loc
+	for u := int64(0); u < p.Units(); u++ {
+		locs, _ = p.Locate(u*p.Stripe(), nil)
+		out[u] = append([]Loc(nil), locs...)
+	}
+	return out
+}
+
+// TestPlacementAddMovesOnlyPlanned: adding a backend relocates exactly the
+// planned units — every other unit's copies are byte-identical before and
+// after — and the layout converges toward an even load.
+func TestPlacementAddMovesOnlyPlanned(t *testing.T) {
+	p, err := NewPlacement(48, 2, []int64{24, 24, 24}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := snapshotLayout(p)
+	nb, moves, err := p.BeginAdd(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb != 3 {
+		t.Fatalf("new backend index %d, want 3", nb)
+	}
+	if len(moves) == 0 {
+		t.Fatal("rebalance planned no moves")
+	}
+	movedUnits := make(map[int64]bool)
+	for _, m := range moves {
+		if m.To != nb {
+			t.Fatalf("move %+v targets backend %d, want the new backend", m, m.To)
+		}
+		if movedUnits[m.Unit] {
+			t.Fatalf("unit %d planned twice", m.Unit)
+		}
+		movedUnits[m.Unit] = true
+		lo, hi := m.PageRange(p.Stripe())
+		if hi-lo != p.Stripe() || lo != m.Unit*p.Stripe() {
+			t.Fatalf("move %+v covers [%d,%d)", m, lo, hi)
+		}
+		if err := p.Commit(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := snapshotLayout(p)
+	for u := range before {
+		if movedUnits[u] {
+			if after[u][0].Backend != nb {
+				t.Fatalf("moved unit %d still on backend %d", u, after[u][0].Backend)
+			}
+			continue
+		}
+		if len(after[u]) != len(before[u]) || after[u][0] != before[u][0] {
+			t.Fatalf("unmoved unit %d changed: %+v → %+v", u, before[u], after[u])
+		}
+	}
+	// 24 units over 4 backends: everyone ends at 6.
+	for b := 0; b < 4; b++ {
+		if got := p.SlotsUsed(b); got != 6 {
+			t.Fatalf("backend %d holds %d units after rebalance, want 6", b, got)
+		}
+	}
+	checkPlacementInvariants(t, p)
+}
+
+// TestPlacementRemoveMovesOnlyItsRanges: removing a backend relocates every
+// unit it held and nothing else, over the least-loaded survivors.
+func TestPlacementRemoveMovesOnlyItsRanges(t *testing.T) {
+	p, err := NewPlacement(48, 2, []int64{18, 18, 18, 18}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := snapshotLayout(p)
+	const victim = 1
+	victimUnits := make(map[int64]bool)
+	for u := int64(0); u < p.Units(); u++ {
+		for _, l := range before[u] {
+			if l.Backend == victim {
+				victimUnits[u] = true
+			}
+		}
+	}
+	moves, err := p.BeginRemove(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != len(victimUnits) {
+		t.Fatalf("planned %d moves, victim held %d units", len(moves), len(victimUnits))
+	}
+	for _, m := range moves {
+		if m.From != victim {
+			t.Fatalf("move %+v does not leave the victim", m)
+		}
+		if !victimUnits[m.Unit] {
+			t.Fatalf("move %+v relocates a unit the victim never held", m)
+		}
+		if err := p.Commit(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Active(victim) {
+		t.Fatal("victim still active")
+	}
+	if p.SlotsUsed(victim) != 0 {
+		t.Fatalf("victim still holds %d slots", p.SlotsUsed(victim))
+	}
+	after := snapshotLayout(p)
+	for u := range before {
+		if victimUnits[u] {
+			for _, l := range after[u] {
+				if l.Backend == victim {
+					t.Fatalf("unit %d still has a copy on the removed backend", u)
+				}
+			}
+			continue
+		}
+		for k := range before[u] {
+			if after[u][k] != before[u][k] {
+				t.Fatalf("untouched unit %d changed: %+v → %+v", u, before[u], after[u])
+			}
+		}
+	}
+	checkPlacementInvariants(t, p)
+}
+
+func TestPlacementRemoveNeedsHeadroom(t *testing.T) {
+	// Exactly-full survivors cannot absorb the victim's shard ranges.
+	p, err := NewPlacement(32, 2, []int64{6, 6, 6}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.BeginRemove(0); err == nil {
+		t.Fatal("removal without survivor capacity must fail")
+	}
+	if !p.Active(0) {
+		t.Fatal("failed removal deactivated the backend")
+	}
+	checkPlacementInvariants(t, p)
+
+	// Replica floor: removal may not leave fewer backends than replicas.
+	p2, err := NewPlacement(16, 2, []int64{8, 8}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p2.BeginRemove(1); err == nil {
+		t.Fatal("removal below the replica count must fail")
+	}
+}
+
+// TestPlacementFailedRemoveRollsBack reproduces the live-cluster failure
+// mode: survivors have free slots in aggregate, but the distinct-backend
+// replica constraint leaves no legal recipient for some unit. The failed
+// plan must leave the placement exactly as it found it — backend active,
+// no leaked reservations — so a later rebalance can still succeed.
+func TestPlacementFailedRemoveRollsBack(t *testing.T) {
+	// 3 units × 2 replicas on 3 backends of 2 slots each: completely full,
+	// and every pair of backends shares a unit.
+	p, err := NewPlacement(6, 2, []int64{2, 2, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := snapshotLayout(p)
+	if _, err := p.BeginRemove(0); err == nil {
+		t.Fatal("constrained removal must fail")
+	}
+	if !p.Active(0) {
+		t.Fatal("failed removal deactivated the backend")
+	}
+	for b := 0; b < 3; b++ {
+		if got := p.SlotsUsed(b); got != 2 {
+			t.Fatalf("backend %d: %d slots used after rollback, want 2", b, got)
+		}
+	}
+	checkPlacementInvariants(t, p)
+	after := snapshotLayout(p)
+	for u, locs := range before {
+		if fmt.Sprint(after[u]) != fmt.Sprint(locs) {
+			t.Fatalf("unit %d moved across a failed plan: %v -> %v", u, locs, after[u])
+		}
+	}
+	// With headroom added, the same removal goes through.
+	_, moves, err := p.BeginAdd(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range moves {
+		if err := p.Commit(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.BeginRemove(0); err != nil {
+		t.Fatalf("removal after adding headroom: %v", err)
+	}
+}
+
+func TestPlacementCommitValidation(t *testing.T) {
+	p, err := NewPlacement(24, 2, []int64{12, 12}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Commit(Move{Unit: 99}); err == nil {
+		t.Fatal("commit of unknown unit must fail")
+	}
+	_, moves, err := p.BeginAdd(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) == 0 {
+		t.Fatal("no moves planned")
+	}
+	bad := moves[0]
+	bad.FromSlot++ // stale plan
+	if err := p.Commit(bad); err == nil {
+		t.Fatal("stale commit must fail")
+	}
+	if err := p.Commit(moves[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Commit(moves[0]); err == nil {
+		t.Fatal("double commit must fail")
+	}
+	// Remove mid-rebalance (uncommitted inbound moves) is refused — and the
+	// refusal rolls back, so the in-flight rebalance can still finish.
+	if len(moves) > 1 {
+		if _, err := p.BeginRemove(2); err == nil {
+			t.Fatal("remove with uncommitted inbound moves must fail")
+		}
+		if !p.Active(2) {
+			t.Fatal("refused removal deactivated the backend")
+		}
+		for _, m := range moves[1:] {
+			if err := p.Commit(m); err != nil {
+				t.Fatalf("commit after refused removal: %v", err)
+			}
+		}
+		checkPlacementInvariants(t, p)
+	}
+}
+
+// TestPlacementSlotReuse: slots freed by moves are reused lowest-first, so
+// repeated add/remove cycles cannot leak shard space.
+func TestPlacementSlotReuse(t *testing.T) {
+	p, err := NewPlacement(48, 2, []int64{24, 24, 24}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, moves, err := p.BeginAdd(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range moves {
+		if err := p.Commit(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkPlacementInvariants(t, p)
+	back, err := p.BeginRemove(nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range back {
+		if err := p.Commit(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkPlacementInvariants(t, p)
+	// Every survivor is back to its original occupancy and the shard space
+	// stayed dense: no slot index beyond the original high-water mark.
+	for b := 0; b < 3; b++ {
+		if got := p.SlotsUsed(b); got != 8 {
+			t.Fatalf("backend %d holds %d units after round trip, want 8", b, got)
+		}
+	}
+	var locs []Loc
+	for lpn := int64(0); lpn < p.Space(); lpn++ {
+		locs, _ = p.Locate(lpn, locs[:0])
+		for _, l := range locs {
+			if l.SLPN >= 16 {
+				t.Fatalf("lpn %d at slpn %d: shard space leaked past dense range", lpn, l.SLPN)
+			}
+		}
+	}
+}

@@ -1,0 +1,695 @@
+package volume
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"superfast/internal/ftl"
+	"superfast/internal/server"
+	"superfast/internal/server/client"
+	"superfast/internal/stats"
+)
+
+// Config shapes a volume.
+type Config struct {
+	// Stripe is the pages per stripe unit — the placement granularity.
+	// Defaults to 64.
+	Stripe int64
+	// Replicas is the copies kept of every stripe unit, on distinct
+	// backends. Defaults to 1 (plain striping).
+	Replicas int
+	// Sequenced selects deterministic replay mode: callers stamp every data
+	// op with a dense global Seq ticket, the volume admits tickets in order
+	// and forwards per-backend dense tickets, and the backends must run
+	// sequenced too. Read retries, read verification and rebalancing are
+	// disabled — any of them would perturb the deterministic stream.
+	Sequenced bool
+	// VerifyReads reads every replica, serves the primary copy, and
+	// rewrites replicas that diverge from it (read-repair). Requires
+	// Replicas ≥ 2 and not Sequenced.
+	VerifyReads bool
+}
+
+// backend is one attached block-service connection plus its shard-local
+// telemetry. Latency digests are per-backend so the cluster view can merge
+// them without retaining samples.
+type backend struct {
+	addr string
+	c    *client.Client
+	seq  uint64 // next dense sequenced ticket for this backend
+
+	lmu      sync.Mutex
+	readLat  stats.LatencyDigest
+	writeLat stats.LatencyDigest
+}
+
+func (b *backend) observe(op server.Op, latUS float64) {
+	b.lmu.Lock()
+	if op == server.OpRead {
+		b.readLat.Observe(latUS)
+	} else {
+		b.writeLat.Observe(latUS)
+	}
+	b.lmu.Unlock()
+}
+
+// Volume shards one logical LPN space across N block-service backends with
+// deterministic striped placement, optional K-way replication with
+// read-repair, and live backend add/remove. Safe for concurrent use.
+type Volume struct {
+	cfg      Config
+	pageSize int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	place   *Placement
+	bks     []*backend // index-aligned with the placement backend table
+	cursor  uint64     // next global seq admitted (Sequenced mode)
+	copying map[int64]bool
+	closed  bool
+
+	cmu      sync.Mutex
+	counters Counters
+}
+
+// Counters is the volume-level op accounting.
+type Counters struct {
+	Reads     uint64 `json:"reads"`
+	Writes    uint64 `json:"writes"`
+	Trims     uint64 `json:"trims"`
+	Flushes   uint64 `json:"flushes"`
+	Retries   uint64 `json:"read_retries"` // reads retried on another replica
+	Repairs   uint64 `json:"read_repairs"` // divergent replicas rewritten
+	UnitMoves uint64 `json:"unit_moves"`   // stripe units relocated by rebalance
+}
+
+// Dial connects to every backend address, probes capacities, and builds the
+// initial striped layout. All backends must agree on page size.
+func Dial(addrs []string, cfg Config) (*Volume, error) {
+	if cfg.Stripe == 0 {
+		cfg.Stripe = 64
+	}
+	if cfg.Replicas == 0 {
+		cfg.Replicas = 1
+	}
+	if cfg.VerifyReads && (cfg.Replicas < 2 || cfg.Sequenced) {
+		return nil, fmt.Errorf("volume: VerifyReads needs ≥2 replicas and unsequenced mode")
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("volume: no backends")
+	}
+	v := &Volume{cfg: cfg, copying: make(map[int64]bool)}
+	v.cond = sync.NewCond(&v.mu)
+	slots := make([]int64, 0, len(addrs))
+	minSlots := int64(-1)
+	for _, addr := range addrs {
+		c, err := client.Dial(addr)
+		if err != nil {
+			v.closeAll()
+			return nil, fmt.Errorf("volume: backend %s: %w", addr, err)
+		}
+		b := &backend{addr: addr, c: c}
+		snap, err := c.Stat()
+		if err != nil {
+			c.Close()
+			v.closeAll()
+			return nil, fmt.Errorf("volume: stat %s: %w", addr, err)
+		}
+		if v.pageSize == 0 {
+			v.pageSize = snap.PageSize
+		} else if snap.PageSize != v.pageSize {
+			c.Close()
+			v.closeAll()
+			return nil, fmt.Errorf("volume: %s page size %d, cluster uses %d", addr, snap.PageSize, v.pageSize)
+		}
+		s := snap.Capacity / cfg.Stripe
+		if minSlots < 0 || s < minSlots {
+			minSlots = s
+		}
+		slots = append(slots, s)
+		v.bks = append(v.bks, b)
+	}
+	// The RAID-0 seed layout loads every backend with exactly
+	// replicas×(units/n) slots when units is a multiple of n, so size the
+	// space off the smallest backend and it always fits.
+	units := int64(len(addrs)) * (minSlots / int64(cfg.Replicas))
+	if units < 1 {
+		v.closeAll()
+		return nil, fmt.Errorf("volume: smallest backend holds %d slots, need ≥ %d", minSlots, cfg.Replicas)
+	}
+	place, err := NewPlacement(units*cfg.Stripe, cfg.Stripe, slots, cfg.Replicas)
+	if err != nil {
+		v.closeAll()
+		return nil, err
+	}
+	v.place = place
+	return v, nil
+}
+
+func (v *Volume) closeAll() {
+	for _, b := range v.bks {
+		if b != nil && b.c != nil {
+			b.c.Close()
+		}
+	}
+}
+
+// Close tears down every backend connection.
+func (v *Volume) Close() {
+	v.mu.Lock()
+	v.closed = true
+	v.cond.Broadcast()
+	v.mu.Unlock()
+	v.closeAll()
+}
+
+// Space returns the logical page count.
+func (v *Volume) Space() int64 { v.mu.Lock(); defer v.mu.Unlock(); return v.place.Space() }
+
+// PageSize returns the cluster page size in bytes.
+func (v *Volume) PageSize() int { return v.pageSize }
+
+// Backends returns the backend table size, including removed entries.
+func (v *Volume) Backends() int { v.mu.Lock(); defer v.mu.Unlock(); return len(v.bks) }
+
+func (v *Volume) count(f func(*Counters)) {
+	v.cmu.Lock()
+	f(&v.counters)
+	v.cmu.Unlock()
+}
+
+// rcall is one replica leg of an in-flight volume op. It pins the backend
+// pointer at submission time: the v.bks table may grow concurrently under
+// AddBackend, but a *backend never moves once attached.
+type rcall struct {
+	b    int
+	bk   *backend
+	loc  Loc
+	call *client.Call
+}
+
+// backend returns the pinned entry for index i under the volume lock.
+func (v *Volume) backend(i int) *backend {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.bks[i]
+}
+
+// Call is one in-flight volume operation; Wait resolves it.
+type Call struct {
+	v    *Volume
+	op   server.Op
+	lpn  int64
+	locs []Loc // full replica set at submission time
+	legs []rcall
+}
+
+// startLocked fans one data op out to the replica set. Caller holds v.mu —
+// that is what keeps per-backend frames (and their dense sequenced tickets)
+// in submission order on each connection.
+func (v *Volume) startLocked(op server.Op, lpn int64, payload []byte, hint ftl.Hint, arrival float64) (*Call, error) {
+	locs, err := v.place.Locate(lpn, nil)
+	if err != nil {
+		return nil, err
+	}
+	ca := &Call{v: v, op: op, lpn: lpn, locs: locs}
+	plainRead := op == server.OpRead && !v.cfg.VerifyReads
+	var lastErr error
+	for i, l := range locs {
+		b := v.bks[l.Backend]
+		f := server.Frame{Op: op, LPN: l.SLPN, Hint: hint, Arrival: arrival}
+		if op == server.OpWrite {
+			f.Payload = payload
+		}
+		if v.cfg.Sequenced {
+			f.Flags = server.FlagSequenced
+			f.Seq = b.seq
+		}
+		call, err := b.c.Start(f)
+		if err != nil {
+			// An idempotent read whose replica connection is already dead
+			// falls through to the next copy; anything else fails the op.
+			if plainRead && !v.cfg.Sequenced && errors.Is(err, client.ErrConnLost) && i < len(locs)-1 {
+				v.count(func(c *Counters) { c.Retries++ })
+				lastErr = err
+				continue
+			}
+			return nil, fmt.Errorf("volume: backend %d (%s): %w", l.Backend, b.addr, err)
+		}
+		if v.cfg.Sequenced {
+			b.seq++
+		}
+		ca.legs = append(ca.legs, rcall{b: l.Backend, bk: b, loc: l, call: call})
+		if plainRead {
+			break // plain reads hit one healthy replica
+		}
+	}
+	if len(ca.legs) == 0 {
+		return nil, fmt.Errorf("volume: no healthy replica for lpn %d: %w", lpn, lastErr)
+	}
+	return ca, nil
+}
+
+// start admits one data op. In Sequenced mode it blocks until the global
+// cursor reaches seq, then advances it whether or not the op was accepted —
+// the ticket is consumed either way, exactly like the server's admission.
+func (v *Volume) start(op server.Op, lpn int64, payload []byte, hint ftl.Hint, seq uint64, arrival float64) (*Call, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.cfg.Sequenced {
+		for seq != v.cursor && !v.closed {
+			v.cond.Wait()
+		}
+		defer func() {
+			v.cursor++
+			v.cond.Broadcast()
+		}()
+	} else {
+		u := lpn / v.cfg.Stripe
+		for v.copying[u] && !v.closed {
+			v.cond.Wait()
+		}
+	}
+	if v.closed {
+		return nil, client.ErrClosed
+	}
+	return v.startLocked(op, lpn, payload, hint, arrival)
+}
+
+// SkipSeq consumes one global sequenced ticket without issuing an op — the
+// escape hatch for frames rejected above the volume (a draining proxy), so
+// the tickets behind them cannot wedge. No-op when the volume is not
+// sequenced.
+func (v *Volume) SkipSeq(seq uint64) {
+	if !v.cfg.Sequenced {
+		return
+	}
+	v.mu.Lock()
+	for seq != v.cursor && !v.closed {
+		v.cond.Wait()
+	}
+	if seq == v.cursor {
+		v.cursor++
+		v.cond.Broadcast()
+	}
+	v.mu.Unlock()
+}
+
+// StartRead begins an asynchronous read of one logical page. seq is the
+// global replay ticket, ignored unless the volume is sequenced.
+func (v *Volume) StartRead(lpn int64, seq uint64, arrival float64) (*Call, error) {
+	v.count(func(c *Counters) { c.Reads++ })
+	return v.start(server.OpRead, lpn, nil, ftl.HintNone, seq, arrival)
+}
+
+// StartWrite begins an asynchronous write fanned out to every replica.
+func (v *Volume) StartWrite(lpn int64, data []byte, hint ftl.Hint, seq uint64, arrival float64) (*Call, error) {
+	v.count(func(c *Counters) { c.Writes++ })
+	return v.start(server.OpWrite, lpn, data, hint, seq, arrival)
+}
+
+// StartTrim begins an asynchronous trim fanned out to every replica.
+func (v *Volume) StartTrim(lpn int64, seq uint64, arrival float64) (*Call, error) {
+	v.count(func(c *Counters) { c.Trims++ })
+	return v.start(server.OpTrim, lpn, nil, ftl.HintNone, seq, arrival)
+}
+
+// Wait resolves the operation. The returned Response carries the combined
+// outcome: a read serves the primary copy (retrying healthy replicas if the
+// primary's connection died); a write or trim succeeds only when every
+// replica did, reporting the worst status and the slowest replica's latency.
+// The error is transport-level only — op-level failures ride in the status.
+func (ca *Call) Wait() (server.Response, error) {
+	if ca.op == server.OpRead {
+		return ca.waitRead()
+	}
+	var out server.Response
+	out.Status = server.StatusOK
+	var firstErr error
+	for _, leg := range ca.legs {
+		r, err := leg.call.Wait()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		leg.bk.observe(ca.op, r.Latency)
+		if r.Latency > out.Latency {
+			out.Latency = r.Latency
+		}
+		if r.Status != server.StatusOK && out.Status == server.StatusOK {
+			out.Status = r.Status
+			out.Payload = r.Payload
+		}
+	}
+	if firstErr != nil {
+		return server.Response{}, firstErr
+	}
+	return out, nil
+}
+
+func (ca *Call) waitRead() (server.Response, error) {
+	v := ca.v
+	if v.cfg.VerifyReads {
+		return ca.waitVerifiedRead()
+	}
+	r, err := ca.legs[0].call.Wait()
+	if err == nil {
+		ca.legs[0].bk.observe(server.OpRead, r.Latency)
+		return r, nil
+	}
+	if v.cfg.Sequenced || !errors.Is(err, client.ErrConnLost) {
+		return server.Response{}, err
+	}
+	// The replica's connection died under an idempotent read: retry the
+	// remaining copies in placement order.
+	tried := ca.legs[0].b
+	for _, l := range ca.locs {
+		if l.Backend == tried {
+			continue
+		}
+		v.count(func(c *Counters) { c.Retries++ })
+		rb := v.backend(l.Backend)
+		r, rerr := rb.c.Do(server.Frame{Op: server.OpRead, LPN: l.SLPN})
+		if rerr == nil {
+			rb.observe(server.OpRead, r.Latency)
+			return r, nil
+		}
+		err = rerr
+	}
+	return server.Response{}, err
+}
+
+// waitVerifiedRead reads every replica, serves the primary copy, and
+// rewrites replicas whose payload diverges from it (read-repair). A replica
+// on a dead connection is skipped; a dead primary falls back to the first
+// healthy copy.
+func (ca *Call) waitVerifiedRead() (server.Response, error) {
+	v := ca.v
+	resps := make([]server.Response, len(ca.legs))
+	errs := make([]error, len(ca.legs))
+	for i, leg := range ca.legs {
+		resps[i], errs[i] = leg.call.Wait()
+		if errs[i] == nil {
+			leg.bk.observe(server.OpRead, resps[i].Latency)
+		}
+	}
+	primary := -1
+	for i := range ca.legs {
+		if errs[i] == nil {
+			primary = i
+			break
+		}
+	}
+	if primary < 0 {
+		return server.Response{}, errs[0]
+	}
+	out := resps[primary]
+	for i := range ca.legs {
+		if i == primary || errs[i] != nil {
+			continue
+		}
+		if resps[i].Latency > out.Latency {
+			out.Latency = resps[i].Latency
+		}
+		divergent := out.Status == server.StatusOK &&
+			(resps[i].Status != server.StatusOK || string(resps[i].Payload) != string(out.Payload))
+		if !divergent {
+			continue
+		}
+		v.count(func(c *Counters) { c.Repairs++ })
+		leg := ca.legs[i]
+		if wr, werr := leg.bk.c.Write(leg.loc.SLPN, out.Payload, ftl.HintNone); werr == nil {
+			leg.bk.observe(server.OpWrite, wr.Latency)
+		}
+	}
+	return out, nil
+}
+
+// Read fetches one logical page synchronously.
+func (v *Volume) Read(lpn int64) (server.Response, error) {
+	ca, err := v.StartRead(lpn, 0, 0)
+	if err != nil {
+		return server.Response{}, err
+	}
+	return ca.Wait()
+}
+
+// Write stores one logical page synchronously on every replica.
+func (v *Volume) Write(lpn int64, data []byte, hint ftl.Hint) (server.Response, error) {
+	ca, err := v.StartWrite(lpn, data, hint, 0, 0)
+	if err != nil {
+		return server.Response{}, err
+	}
+	return ca.Wait()
+}
+
+// Trim discards one logical page synchronously on every replica.
+func (v *Volume) Trim(lpn int64) (server.Response, error) {
+	ca, err := v.StartTrim(lpn, 0, 0)
+	if err != nil {
+		return server.Response{}, err
+	}
+	return ca.Wait()
+}
+
+// Flush is the cluster pipeline barrier: it resolves once every request sent
+// before it on every backend connection has been answered. Flush consumes no
+// sequenced tickets (the backends answer it outside admission).
+func (v *Volume) Flush() error {
+	v.count(func(c *Counters) { c.Flushes++ })
+	v.mu.Lock()
+	var cs []*client.Client
+	for i, b := range v.bks {
+		if v.place.Active(i) {
+			cs = append(cs, b.c)
+		}
+	}
+	v.mu.Unlock()
+	var wg sync.WaitGroup
+	errs := make([]error, len(cs))
+	for i, c := range cs {
+		wg.Add(1)
+		go func(i int, c *client.Client) {
+			defer wg.Done()
+			errs[i] = c.Flush()
+		}(i, c)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// AddBackend dials addr, attaches it as a new backend, and rebalances stripe
+// units onto it while traffic keeps flowing: only the unit being copied
+// blocks its writers, and each unit cuts over atomically once its copy
+// lands. Returns the new backend index.
+func (v *Volume) AddBackend(addr string) (int, error) {
+	if v.cfg.Sequenced {
+		return 0, fmt.Errorf("volume: rebalance disabled in sequenced mode")
+	}
+	c, err := client.Dial(addr)
+	if err != nil {
+		return 0, err
+	}
+	snap, err := c.Stat()
+	if err != nil {
+		c.Close()
+		return 0, err
+	}
+	if snap.PageSize != v.pageSize {
+		c.Close()
+		return 0, fmt.Errorf("volume: %s page size %d, cluster uses %d", addr, snap.PageSize, v.pageSize)
+	}
+	v.mu.Lock()
+	nb, moves, err := v.place.BeginAdd(snap.Capacity / v.cfg.Stripe)
+	if err != nil {
+		v.mu.Unlock()
+		c.Close()
+		return 0, err
+	}
+	v.bks = append(v.bks, &backend{addr: addr, c: c})
+	v.mu.Unlock()
+	return nb, v.migrate(moves)
+}
+
+// RemoveBackend drains backend b: every stripe unit it holds is copied to a
+// surviving backend, then its connection closes. Traffic keeps flowing; only
+// the unit being copied blocks its writers.
+func (v *Volume) RemoveBackend(b int) error {
+	if v.cfg.Sequenced {
+		return fmt.Errorf("volume: rebalance disabled in sequenced mode")
+	}
+	v.mu.Lock()
+	moves, err := v.place.BeginRemove(b)
+	if err != nil {
+		v.mu.Unlock()
+		return err
+	}
+	v.mu.Unlock()
+	if err := v.migrate(moves); err != nil {
+		return err
+	}
+	v.backend(b).c.Close()
+	return nil
+}
+
+// migrate copies each planned move's shard range and commits it. For each
+// unit: block new writers, drain the source connection's in-flight pipeline,
+// copy the pages, cut over, unblock.
+func (v *Volume) migrate(moves []Move) error {
+	for _, m := range moves {
+		v.mu.Lock()
+		v.copying[m.Unit] = true
+		from, to := v.bks[m.From].c, v.bks[m.To].c
+		stripe := v.cfg.Stripe
+		v.mu.Unlock()
+
+		// The source connection carries all of this volume's traffic to that
+		// backend, so its flush barrier drains any write still in flight
+		// toward the unit we are about to copy.
+		err := from.Flush()
+		for off := int64(0); err == nil && off < stripe; off++ {
+			src, dst := m.FromSlot*stripe+off, m.ToSlot*stripe+off
+			var r server.Response
+			r, err = from.Do(server.Frame{Op: server.OpRead, LPN: src})
+			if err != nil {
+				break
+			}
+			switch r.Status {
+			case server.StatusOK:
+				_, err = to.Write(dst, r.Payload, ftl.HintNone)
+			case server.StatusBadRequest:
+				// Source page unmapped; make sure a stale tenant of this
+				// destination slot cannot shine through.
+				if tr, terr := to.Trim(dst); terr != nil && tr.Status != server.StatusBadRequest {
+					err = terr
+				}
+			default:
+				err = fmt.Errorf("volume: migrating unit %d: read %v", m.Unit, r.Status)
+			}
+		}
+
+		v.mu.Lock()
+		if err == nil {
+			err = v.place.Commit(m)
+		}
+		delete(v.copying, m.Unit)
+		v.cond.Broadcast()
+		v.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		v.count(func(c *Counters) { c.UnitMoves++ })
+	}
+	return nil
+}
+
+// BackendStat is one backend's slice of the cluster view.
+type BackendStat struct {
+	Backend int                 `json:"backend"`
+	Addr    string              `json:"addr"`
+	Active  bool                `json:"active"`
+	Slots   int64               `json:"slots_used"`
+	Error   string              `json:"error,omitempty"`
+	Reads   stats.DigestSummary `json:"read_latency_us"`
+	Writes  stats.DigestSummary `json:"write_latency_us"`
+	Snap    server.StatSnapshot `json:"stat"`
+}
+
+// ClusterSnapshot merges every backend's statistics into one view. The
+// embedded StatSnapshot carries the cluster totals under the same JSON keys
+// a single server reports, so an unmodified client.Stat() against the proxy
+// decodes it; Backends and Volume add the per-shard breakdown.
+type ClusterSnapshot struct {
+	server.StatSnapshot
+	Stripe   int64               `json:"stripe_pages"`
+	Replicas int                 `json:"replicas"`
+	Volume   Counters            `json:"volume"`
+	ReadLat  stats.DigestSummary `json:"read_latency_us"`
+	WriteLat stats.DigestSummary `json:"write_latency_us"`
+	Backends []BackendStat       `json:"backends"`
+}
+
+// ClusterStat polls every backend's STAT endpoint and merges the device and
+// server counters; per-backend latency digests merge into the cluster-wide
+// quantiles. Backends that fail to answer are reported with an error string
+// and excluded from the sums.
+func (v *Volume) ClusterStat() ClusterSnapshot {
+	v.mu.Lock()
+	type probe struct {
+		i      int
+		b      *backend
+		active bool
+		slots  int64
+	}
+	var ps []probe
+	for i, b := range v.bks {
+		ps = append(ps, probe{i: i, b: b, active: v.place.Active(i), slots: v.place.SlotsUsed(i)})
+	}
+	out := ClusterSnapshot{
+		Stripe:   v.cfg.Stripe,
+		Replicas: v.cfg.Replicas,
+	}
+	out.Capacity = v.place.Space()
+	v.mu.Unlock()
+	out.PageSize = v.pageSize
+	v.cmu.Lock()
+	out.Volume = v.counters
+	v.cmu.Unlock()
+
+	readDs := make([]*stats.LatencyDigest, 0, len(ps))
+	writeDs := make([]*stats.LatencyDigest, 0, len(ps))
+	var hostWrites, flashWrites uint64
+	for _, p := range ps {
+		bs := BackendStat{Backend: p.i, Addr: p.b.addr, Active: p.active, Slots: p.slots}
+		p.b.lmu.Lock()
+		rd, wd := p.b.readLat, p.b.writeLat
+		p.b.lmu.Unlock()
+		bs.Reads, bs.Writes = rd.Summary(), wd.Summary()
+		readDs = append(readDs, &rd)
+		writeDs = append(writeDs, &wd)
+		if !p.active {
+			out.Backends = append(out.Backends, bs)
+			continue
+		}
+		snap, err := p.b.c.Stat()
+		if err != nil {
+			bs.Error = err.Error()
+			out.Backends = append(out.Backends, bs)
+			continue
+		}
+		snap.Device.Latencies = nil // per-request arrays stay shard-local
+		bs.Snap = snap
+		out.Backends = append(out.Backends, bs)
+
+		out.Device.Requests += snap.Device.Requests
+		out.Device.Reads += snap.Device.Reads
+		out.Device.Writes += snap.Device.Writes
+		out.Device.Trims += snap.Device.Trims
+		out.Server.Conns += snap.Server.Conns
+		out.Server.ConnsEver += snap.Server.ConnsEver
+		out.Server.Accepted += snap.Server.Accepted
+		out.Server.Responses += snap.Server.Responses
+		out.Server.Rejected += snap.Server.Rejected
+		out.Server.InFlight += snap.Server.InFlight
+		out.Server.BytesIn += snap.Server.BytesIn
+		out.Server.BytesOut += snap.Server.BytesOut
+		out.FTL.HostWrites += snap.FTL.HostWrites
+		out.FTL.HostReads += snap.FTL.HostReads
+		out.FTL.GCWrites += snap.FTL.GCWrites
+		out.FTL.GCRuns += snap.FTL.GCRuns
+		out.FTL.GCLatency += snap.FTL.GCLatency
+		out.FTL.GCSteps += snap.FTL.GCSteps
+		out.FTL.GCStalls += snap.FTL.GCStalls
+		hostWrites += snap.FTL.HostWrites
+		flashWrites += snap.FTL.HostWrites + snap.FTL.GCWrites
+	}
+	if hostWrites > 0 {
+		out.WAF = float64(flashWrites) / float64(hostWrites)
+	}
+	out.ReadLat = stats.MergeDigests(readDs...).Summary()
+	out.WriteLat = stats.MergeDigests(writeDs...).Summary()
+	return out
+}
