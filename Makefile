@@ -12,7 +12,7 @@ COVER_MIN ?= 90
 
 SMOKE_DIR := $(shell mktemp -d 2>/dev/null || echo /tmp/superfast-smoke)
 
-.PHONY: check build test race bench cover smoke profile
+.PHONY: check build test race bench bench-compare cover smoke profile
 
 check:
 	$(GO) vet ./...
@@ -98,6 +98,48 @@ smoke:
 	grep -q 'drained:' $(SMOKE_DIR)/ftlvol.log || \
 		{ echo "smoke: ftlvol did not drain clean"; cat $(SMOKE_DIR)/ftlvol.log; exit 1; }; \
 	echo "volume smoke ok"
+	$(GO) build -o $(SMOKE_DIR)/ftltrace ./cmd/ftltrace
+	@pids=""; shards=""; \
+	for p in 8984 8985 8986; do \
+		$(SMOKE_DIR)/ftlserve -listen 127.0.0.1:$$p -blocks 16 -layers 16 -seq \
+			-trace $(SMOKE_DIR)/trace-srv$$p.jsonl \
+			>$(SMOKE_DIR)/trcsrv$$p.log 2>&1 & \
+		pids="$$pids $$!"; shards="$$shards $(SMOKE_DIR)/trace-srv$$p.jsonl"; \
+	done; \
+	for i in $$(seq 100); do \
+		ok=1; \
+		for p in 8984 8985 8986; do \
+			grep -q 'block service on' $(SMOKE_DIR)/trcsrv$$p.log || ok=0; \
+		done; \
+		test $$ok -eq 1 && break; sleep 0.1; \
+	done; \
+	$(SMOKE_DIR)/ftlvol -listen 127.0.0.1:8987 \
+		-backends 127.0.0.1:8984,127.0.0.1:8985,127.0.0.1:8986 \
+		-stripe 32 -seq -trace $(SMOKE_DIR)/trace-vol.jsonl \
+		>$(SMOKE_DIR)/trcvol.log 2>&1 & \
+	vpid=$$!; \
+	for i in $$(seq 100); do \
+		grep -q 'volume on' $(SMOKE_DIR)/trcvol.log && break; sleep 0.1; \
+	done; \
+	$(SMOKE_DIR)/ftlload -addr 127.0.0.1:8987 -seq -workload uniform \
+		-ops 2000 -conns 4 -trace $(SMOKE_DIR)/trace-load.jsonl \
+		>$(SMOKE_DIR)/trcload.txt 2>&1; \
+	rc=$$?; \
+	kill -INT $$vpid; wait $$vpid; \
+	kill -INT $$pids; wait $$pids; \
+	test $$rc -eq 0 || { echo "smoke: traced ftlload failed"; \
+		cat $(SMOKE_DIR)/trcload.txt $(SMOKE_DIR)/trcvol.log; exit 1; }; \
+	$(SMOKE_DIR)/ftltrace -o $(SMOKE_DIR)/cluster.trace.json \
+		$(SMOKE_DIR)/trace-load.jsonl $(SMOKE_DIR)/trace-vol.jsonl $$shards \
+		>$(SMOKE_DIR)/breakdown.txt 2>$(SMOKE_DIR)/ftltrace.log || \
+		{ echo "smoke: ftltrace merge failed"; cat $(SMOKE_DIR)/ftltrace.log; exit 1; }; \
+	test -s $(SMOKE_DIR)/cluster.trace.json || \
+		{ echo "smoke: merged Chrome trace empty"; exit 1; }; \
+	for h in client proxy admission queue gc service; do \
+		grep -qE "^$$h\*? +" $(SMOKE_DIR)/breakdown.txt || \
+			{ echo "smoke: breakdown missing hop $$h"; cat $(SMOKE_DIR)/breakdown.txt; exit 1; }; \
+	done; \
+	echo "cluster-trace smoke ok"
 	@rm -rf $(SMOKE_DIR)
 
 build:
@@ -127,6 +169,27 @@ else
 	$(GO) test -bench . -benchtime $(BENCH_TIME) -benchmem -run XXX . | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
 	$(GO) test -bench BenchmarkAttributionRecord -benchtime $(BENCH_TIME) -run XXX ./internal/telemetry
 endif
+
+# Non-blocking perf trend: diff two benchjson reports on ns/op and print a
+# per-benchmark delta table, failing (exit 1) when anything regressed more
+# than BENCH_TOL. Defaults to the two newest BENCH_*.json checked into the
+# repo root; override with BENCH_OLD/BENCH_NEW. CI runs this with
+# continue-on-error — shared-runner bench numbers are too noisy to block
+# merges on, but the table in the log is the first place to look when a PR
+# feels slow.
+BENCH_TOL ?= 0.25
+bench-compare:
+	@old="$(BENCH_OLD)"; new="$(BENCH_NEW)"; \
+	if [ -z "$$old" ] || [ -z "$$new" ]; then \
+		set -- $$(ls BENCH_*.json 2>/dev/null | sort -V); \
+		while [ $$# -gt 2 ]; do shift; done; \
+		old=$${old:-$$1}; new=$${new:-$$2}; \
+	fi; \
+	if [ -z "$$old" ] || [ -z "$$new" ]; then \
+		echo "bench-compare: need two BENCH_*.json reports (or BENCH_OLD/BENCH_NEW)"; exit 2; \
+	fi; \
+	echo "bench-compare: $$old -> $$new (tol $(BENCH_TOL))"; \
+	$(GO) run ./cmd/benchjson -compare $$old $$new -tol $(BENCH_TOL)
 
 # CPU + heap profiles of a representative device run, via the CLIs'
 # -cpuprofile/-memprofile flags (the offline complement of the live

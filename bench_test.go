@@ -329,7 +329,7 @@ func BenchmarkVolumeLoopback(b *testing.B) {
 						}
 						pending = pending[1:]
 					}
-					call, err := v.StartWrite(int64(j)%span, payload, ftl.HintNone, 0, 0)
+					call, err := v.StartWrite(int64(j)%span, payload, ftl.HintNone, 0, 0, volume.TraceRef{})
 					if err != nil {
 						b.Fatal(err)
 					}

@@ -8,6 +8,15 @@
 // (ReportMetric pairs) per benchmark, plus the run's goos/goarch/pkg/cpu
 // header — the raw material for tracking a performance trajectory across
 // changes without scraping text.
+//
+// It also diffs two such reports:
+//
+//	benchjson -compare OLD.json NEW.json [-tol 0.25]
+//
+// prints a per-benchmark delta table and exits nonzero if any benchmark
+// present in both reports regressed in ns/op by more than the tolerance
+// (fractional: 0.25 = 25%). Benchmarks present in only one report are listed
+// but never fail the comparison — the suite is allowed to grow.
 package main
 
 import (
@@ -18,16 +27,17 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 )
 
 // Benchmark is one result line of a bench run.
 type Benchmark struct {
-	Name       string             `json:"name"`
-	Iterations int64              `json:"iterations"`
-	NsPerOp    float64            `json:"ns_per_op,omitempty"`
-	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
-	AllocsPerOp float64           `json:"allocs_per_op,omitempty"`
-	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op,omitempty"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Report is the whole run.
@@ -40,10 +50,26 @@ type Report struct {
 }
 
 func main() {
-	out := flag.String("o", "", "write the JSON report to FILE (required)")
+	out := flag.String("o", "", "write the JSON report to FILE")
+	compare := flag.Bool("compare", false, "compare two reports: benchjson -compare OLD.json NEW.json")
+	tol := flag.Float64("tol", 0.25, "with -compare, max tolerated fractional ns/op regression")
 	flag.Parse()
+
+	if *compare {
+		args := flag.Args()
+		if len(args) < 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs two report files: OLD.json NEW.json")
+			os.Exit(2)
+		}
+		// Accept -tol after the file names too (flag parsing stops at the
+		// first positional argument).
+		rest := flag.NewFlagSet("compare", flag.ExitOnError)
+		tail := rest.Float64("tol", *tol, "max tolerated fractional ns/op regression")
+		rest.Parse(args[2:])
+		os.Exit(runCompare(args[0], args[1], *tail))
+	}
 	if *out == "" {
-		fmt.Fprintln(os.Stderr, "benchjson: need -o FILE")
+		fmt.Fprintln(os.Stderr, "benchjson: need -o FILE (or -compare OLD.json NEW.json)")
 		os.Exit(2)
 	}
 
@@ -84,6 +110,70 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runCompare diffs two reports on ns/op and returns the process exit code:
+// 0 when every shared benchmark is within tolerance, 1 when any regressed
+// past it, 2 when a report cannot be read.
+func runCompare(oldPath, newPath string, tol float64) int {
+	oldRep, err := readReport(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	newRep, err := readReport(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	oldBy := make(map[string]Benchmark, len(oldRep.Benchmarks))
+	for _, b := range oldRep.Benchmarks {
+		oldBy[b.Name] = b
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintf(w, "benchmark\told ns/op\tnew ns/op\tdelta\t\n")
+	regressed := 0
+	for _, nb := range newRep.Benchmarks {
+		ob, shared := oldBy[nb.Name]
+		if !shared {
+			fmt.Fprintf(w, "%s\t-\t%.1f\tnew\t\n", nb.Name, nb.NsPerOp)
+			continue
+		}
+		delete(oldBy, nb.Name)
+		if ob.NsPerOp <= 0 || nb.NsPerOp <= 0 {
+			fmt.Fprintf(w, "%s\t%.1f\t%.1f\tno ns/op\t\n", nb.Name, ob.NsPerOp, nb.NsPerOp)
+			continue
+		}
+		delta := nb.NsPerOp/ob.NsPerOp - 1
+		verdict := ""
+		if delta > tol {
+			verdict = "  REGRESSED"
+			regressed++
+		}
+		fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%+.1f%%%s\t\n", nb.Name, ob.NsPerOp, nb.NsPerOp, delta*100, verdict)
+	}
+	for name := range oldBy {
+		fmt.Fprintf(w, "%s\t%.1f\t-\tgone\t\n", name, oldBy[name].NsPerOp)
+	}
+	w.Flush()
+	if regressed > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%% in ns/op\n", regressed, tol*100)
+		return 1
+	}
+	return 0
+}
+
+func readReport(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return Report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
 }
 
 // parseBench decodes one result line: a name, an iteration count, then

@@ -37,6 +37,7 @@ import (
 	"superfast/internal/server/client"
 	"superfast/internal/ssd"
 	"superfast/internal/stats"
+	"superfast/internal/telemetry"
 	"superfast/internal/volume"
 	"superfast/internal/workload"
 )
@@ -58,15 +59,23 @@ func main() {
 		stripe   = flag.Int64("stripe", 64, "volume: pages per stripe unit (with -backends)")
 		replicas = flag.Int("replicas", 1, "volume: copies of every stripe unit (with -backends)")
 		verify   = flag.Bool("verify", false, "volume: verify reads across replicas and repair divergence (with -backends)")
+
+		traceOut = flag.String("trace", "", "write this process's hop-ledger shard (JSONL) to FILE; request i gets trace ID i+1")
 	)
 	flag.Parse()
 	if *conns < 1 || *depth < 1 {
 		fatalf("-conns and -depth must be ≥ 1")
 	}
 
+	var led *telemetry.Ledger
+	if *traceOut != "" {
+		led = telemetry.NewLedger("ftlload")
+	}
+
 	if *backends != "" {
 		runVolume(*backends, *conns, *depth, *wl, *in, *ops, *pagelen, *seed, *rate, *seq,
-			volume.Config{Stripe: *stripe, Replicas: *replicas, Sequenced: *seq, VerifyReads: *verify})
+			volume.Config{Stripe: *stripe, Replicas: *replicas, Sequenced: *seq, VerifyReads: *verify}, led)
+		writeShard(*traceOut, led)
 		return
 	}
 
@@ -98,12 +107,24 @@ func main() {
 		fatalf("empty workload")
 	}
 
+	traced := false
+	if led != nil {
+		// Only stamp the extension toward peers that advertised it, so a
+		// traced ftlload against a plain v1 server still sends v1 bytes.
+		if ok, perr := supportsTrace(*addr); perr == nil && ok {
+			traced = true
+		} else {
+			fmt.Fprintf(os.Stderr, "ftlload: %s does not advertise %s; tracing disabled\n", *addr, server.TraceCap)
+		}
+	}
+
 	clients := make([]*client.Client, *conns)
 	for i := range clients {
 		if clients[i], err = client.Dial(*addr); err != nil {
 			fatalf("dial %s: %v", *addr, err)
 		}
 		defer clients[i].Close()
+		clients[i].SetLedger(led)
 	}
 
 	lat := make([]float64, len(reqs))
@@ -117,7 +138,7 @@ func main() {
 		wg.Add(1)
 		go func(ci int) {
 			defer wg.Done()
-			drive(clients[ci], reqs, ci, *conns, *depth, *seq, lat, okFlag, &statusCount, &netErrs)
+			drive(clients[ci], reqs, ci, *conns, *depth, *seq, traced, lat, okFlag, &statusCount, &netErrs)
 		}(ci)
 	}
 	wg.Wait()
@@ -130,6 +151,36 @@ func main() {
 			final.Device.Requests, final.Device.Reads, final.Device.Writes, final.Device.Trims, final.WAF,
 			final.Server.Accepted, final.Server.Responses, final.Server.Rejected)
 	}
+	writeShard(*traceOut, led)
+}
+
+// supportsTrace probes addr for the trace-extension capability.
+func supportsTrace(addr string) (bool, error) {
+	cl, err := client.Dial(addr)
+	if err != nil {
+		return false, err
+	}
+	defer cl.Close()
+	return cl.SupportsTrace()
+}
+
+// writeShard dumps the ledger shard to path (no-op when tracing is off).
+func writeShard(path string, led *telemetry.Ledger) {
+	if path == "" || led == nil {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("trace shard: %v", err)
+	}
+	werr := led.WriteShard(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		fatalf("trace shard %s: %v", path, werr)
+	}
+	fmt.Fprintf(os.Stderr, "ftlload: wrote %d hop records to %s\n", led.Len(), path)
 }
 
 // report prints the wall-clock throughput, status breakdown and simulated
@@ -168,7 +219,7 @@ func report(reqs, conns int, wall time.Duration, lat []float64, okFlag []bool,
 // same workload machinery, scattered by the volume's placement instead of a
 // single server connection.
 func runVolume(backends string, conns, depth int, wl, in string, ops int64,
-	pagelen int, seed uint64, rate float64, seq bool, vcfg volume.Config) {
+	pagelen int, seed uint64, rate float64, seq bool, vcfg volume.Config, led *telemetry.Ledger) {
 	var addrs []string
 	for _, a := range strings.Split(backends, ",") {
 		if a = strings.TrimSpace(a); a != "" {
@@ -180,6 +231,7 @@ func runVolume(backends string, conns, depth int, wl, in string, ops int64,
 		fatalf("%v", err)
 	}
 	defer v.Close()
+	v.SetLedger(led)
 	if pagelen <= 0 {
 		pagelen = v.PageSize()
 	}
@@ -205,7 +257,7 @@ func runVolume(backends string, conns, depth int, wl, in string, ops int64,
 		wg.Add(1)
 		go func(ci int) {
 			defer wg.Done()
-			driveVolume(v, reqs, ci, conns, depth, seq, lat, okFlag, &statusCount, &netErrs)
+			driveVolume(v, reqs, ci, conns, depth, seq, led, lat, okFlag, &statusCount, &netErrs)
 		}(ci)
 	}
 	wg.Wait()
@@ -226,7 +278,7 @@ func runVolume(backends string, conns, depth int, wl, in string, ops int64,
 // driveVolume issues this driver's share of the stream (global index i with
 // i %% conns == ci, ascending — the volume's sequenced cursor interleaves the
 // drivers back into dense global order), keeping up to depth in flight.
-func driveVolume(v *volume.Volume, reqs []ssd.Request, ci, conns, depth int, seq bool,
+func driveVolume(v *volume.Volume, reqs []ssd.Request, ci, conns, depth int, seq bool, led *telemetry.Ledger,
 	lat []float64, okFlag []bool, statusCount *[server.StatusInternal + 1]atomic.Uint64, netErrs *atomic.Uint64) {
 	sem := make(chan struct{}, depth)
 	var wg sync.WaitGroup
@@ -235,15 +287,31 @@ func driveVolume(v *volume.Volume, reqs []ssd.Request, ci, conns, depth int, seq
 			call *volume.Call
 			err  error
 			tick = uint64(i)
+			tr   volume.TraceRef
+			t0   time.Time
 		)
+		if led != nil {
+			// Request i is trace i+1 everywhere (0 means untraced on the wire).
+			tr = volume.TraceRef{ID: tick + 1, Parent: telemetry.HopClient}
+			t0 = time.Now()
+		}
 		sem <- struct{}{}
 		switch reqs[i].Kind {
 		case ssd.OpRead:
-			call, err = v.StartRead(reqs[i].LPN, tick, reqs[i].Arrival)
+			call, err = v.StartRead(reqs[i].LPN, tick, reqs[i].Arrival, tr)
 		case ssd.OpWrite:
-			call, err = v.StartWrite(reqs[i].LPN, reqs[i].Data, reqs[i].Hint, tick, reqs[i].Arrival)
+			call, err = v.StartWrite(reqs[i].LPN, reqs[i].Data, reqs[i].Hint, tick, reqs[i].Arrival, tr)
 		case ssd.OpTrim:
-			call, err = v.StartTrim(reqs[i].LPN, tick, reqs[i].Arrival)
+			call, err = v.StartTrim(reqs[i].LPN, tick, reqs[i].Arrival, tr)
+		}
+		if led != nil && err == nil {
+			// The in-process analogue of the TCP client hop: how long the op
+			// waited for volume admission (the sequenced cursor or a unit copy).
+			led.Record(telemetry.HopRecord{
+				Trace: tr.ID, Hop: telemetry.HopClient, Parent: telemetry.HopNone,
+				Seq: tick, LPN: reqs[i].LPN,
+				SimTS: -1, WallNS: time.Since(t0).Nanoseconds(),
+			})
 		}
 		if err != nil {
 			<-sem
@@ -319,12 +387,18 @@ func buildRequests(wl, in string, space, ops int64, pagelen int, seed uint64, ra
 // index i satisfies i %% conns == ci, in ascending order (ascending per-conn
 // seq is what keeps sequenced admission deadlock-free) — keeping up to depth
 // requests in flight.
-func drive(cl *client.Client, reqs []ssd.Request, ci, conns, depth int, seq bool,
+func drive(cl *client.Client, reqs []ssd.Request, ci, conns, depth int, seq, traced bool,
 	lat []float64, okFlag []bool, statusCount *[server.StatusInternal + 1]atomic.Uint64, netErrs *atomic.Uint64) {
 	sem := make(chan struct{}, depth)
 	var wg sync.WaitGroup
 	for i := ci; i < len(reqs); i += conns {
 		f := server.Frame{LPN: reqs[i].LPN, Arrival: reqs[i].Arrival}
+		if traced {
+			// Request i is trace i+1 everywhere (0 means untraced on the wire).
+			f.Flags |= server.FlagTrace
+			f.Trace = uint64(i) + 1
+			f.ParentHop = telemetry.HopClient
+		}
 		switch reqs[i].Kind {
 		case ssd.OpRead:
 			f.Op = server.OpRead

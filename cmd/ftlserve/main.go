@@ -53,6 +53,8 @@ func main() {
 		httpAddr = flag.String("http", "", "serve /metrics, /healthz, /debug/pprof, /flightrecorder on ADDR")
 		recIntv  = flag.Float64("rec-interval", 10000, "flight-recorder sampling interval, simulated µs (with -http)")
 		recCap   = flag.Int("rec-cap", 4096, "flight-recorder ring capacity (with -http)")
+		traceOut = flag.String("trace", "", "write this process's hop-ledger shard (JSONL) to FILE on drain")
+		proc     = flag.String("trace-proc", "", "process name stamped on hop records (default ftlserve@<listen>)")
 		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on shutdown")
 
 		orgName  = flag.String("organizer", "qstr-med", "superblock organizer: qstr-med | sequential | random")
@@ -119,6 +121,15 @@ func main() {
 		reg = telemetry.New()
 		dev.SetMetrics(reg)
 	}
+	var led *telemetry.Ledger
+	if *traceOut != "" || *httpAddr != "" {
+		name := *proc
+		if name == "" {
+			name = "ftlserve@" + *listen
+		}
+		led = telemetry.NewLedger(name)
+		dev.SetLedger(led)
+	}
 	srv := server.New(dev, server.Config{
 		MaxInFlight: *inflight,
 		MaxPerConn:  *connInFl,
@@ -126,6 +137,7 @@ func main() {
 		Sequenced:   *seq,
 		Pace:        *pace,
 		Metrics:     reg,
+		Ledger:      led,
 	})
 	if *httpAddr != "" {
 		// The recorder samples the device columns plus the serving layer's.
@@ -138,7 +150,7 @@ func main() {
 		if err := dev.AttachRecorder(rec); err != nil {
 			fatalf("%v", err)
 		}
-		hsrv, haddr, herr := telemetry.Serve(*httpAddr, telemetry.Routes(reg, rec, nil))
+		hsrv, haddr, herr := telemetry.Serve(*httpAddr, telemetry.Routes(reg, rec, nil, led))
 		if herr != nil {
 			fatalf("-http: %v", herr)
 		}
@@ -170,6 +182,20 @@ func main() {
 	st := srv.Stats()
 	fmt.Fprintf(os.Stderr, "ftlserve: drained: %d conns served, %d accepted, %d responses, %d rejected, %d B in, %d B out\n",
 		st.ConnsEver, st.Accepted, st.Responses, st.Rejected, st.BytesIn, st.BytesOut)
+	if *traceOut != "" && led != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatalf("trace shard: %v", err)
+		}
+		werr := led.WriteShard(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fatalf("trace shard %s: %v", *traceOut, werr)
+		}
+		fmt.Fprintf(os.Stderr, "ftlserve: wrote %d hop records to %s\n", led.Len(), *traceOut)
+	}
 }
 
 func fatalf(format string, args ...any) {

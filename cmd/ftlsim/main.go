@@ -286,7 +286,7 @@ func main() {
 		}
 	}
 	if *httpAddr != "" {
-		srv, addr, herr := telemetry.Serve(*httpAddr, telemetry.Routes(reg, rec, attr))
+		srv, addr, herr := telemetry.Serve(*httpAddr, telemetry.Routes(reg, rec, attr, nil))
 		if herr != nil {
 			fatalf("-http: %v", herr)
 		}

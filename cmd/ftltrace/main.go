@@ -1,0 +1,118 @@
+// Command ftltrace merges per-process hop-ledger shards (written by
+// ftlserve/ftlvol/ftlload -trace, or scraped from a live /trace endpoint)
+// into one cluster-wide view of every traced request: a Chrome trace-event
+// file for chrome://tracing / Perfetto, and a per-hop latency breakdown
+// table with slowest-hop attribution.
+//
+// Usage:
+//
+//	ftltrace load.jsonl vol.jsonl srv0.jsonl srv1.jsonl srv2.jsonl
+//	ftltrace -o cluster.json load.jsonl vol.jsonl srv*.jsonl
+//	ftltrace -o - -wall load.jsonl         # Chrome JSON on stdout, wall args
+//	ftltrace -no-breakdown -o out.json ... # merge only, no table
+//
+// The breakdown table (stdout) shows, per hop, exact P50/P99/P99.9 latency
+// and how many traces had that hop as their slowest simulated stage — the
+// "where did my P99.9 go?" answer. The Chrome export orders records and
+// assigns pids deterministically, so for a sequenced replay the merged file
+// is byte-identical across runs and worker counts (wall-clock durations are
+// excluded unless -wall is given).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"superfast/internal/telemetry"
+)
+
+func main() {
+	var (
+		out       = flag.String("o", "", "write merged Chrome trace-event JSON to FILE (\"-\" = stdout)")
+		wall      = flag.Bool("wall", false, "include wall-clock durations as Chrome args (non-deterministic)")
+		noTable   = flag.Bool("no-breakdown", false, "skip the per-hop breakdown table")
+		shardsOut = flag.String("merged", "", "write the merged JSONL shard to FILE (\"-\" = stdout)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ftltrace [-o trace.json] [-wall] [-merged merged.jsonl] [-no-breakdown] shard.jsonl ...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	shards := make([][]telemetry.HopRecord, 0, flag.NArg())
+	total := 0
+	for _, path := range flag.Args() {
+		recs, err := readShard(path)
+		if err != nil {
+			fatalf("%s: %v", path, err)
+		}
+		shards = append(shards, recs)
+		total += len(recs)
+	}
+	merged := telemetry.MergeRecords(shards...)
+	fmt.Fprintf(os.Stderr, "ftltrace: merged %d records from %d shards\n", total, len(shards))
+
+	if *shardsOut != "" {
+		if err := writeTo(*shardsOut, func(w io.Writer) error {
+			return telemetry.WriteShard(w, merged)
+		}); err != nil {
+			fatalf("-merged %s: %v", *shardsOut, err)
+		}
+	}
+	if *out != "" {
+		if err := writeTo(*out, func(w io.Writer) error {
+			return telemetry.WriteLedgerChrome(w, merged, *wall)
+		}); err != nil {
+			fatalf("-o %s: %v", *out, err)
+		}
+		if *out != "-" {
+			fmt.Fprintf(os.Stderr, "ftltrace: wrote Chrome trace to %s\n", *out)
+		}
+	}
+	if !*noTable {
+		if err := telemetry.LedgerBreakdown(merged).WriteTable(os.Stdout); err != nil {
+			fatalf("breakdown: %v", err)
+		}
+	}
+}
+
+// readShard loads one JSONL shard; "-" reads stdin.
+func readShard(path string) ([]telemetry.HopRecord, error) {
+	if path == "-" {
+		return telemetry.ReadShard(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return telemetry.ReadShard(f)
+}
+
+// writeTo streams fn's output to path ("-" = stdout), combining write and
+// close errors.
+func writeTo(path string, fn func(io.Writer) error) error {
+	if path == "-" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := fn(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ftltrace: "+format+"\n", args...)
+	os.Exit(1)
+}

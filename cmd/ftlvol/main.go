@@ -34,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"superfast/internal/telemetry"
 	"superfast/internal/volume"
 )
 
@@ -47,6 +48,7 @@ func main() {
 		seq      = flag.Bool("seq", false, "sequenced replay mode (backends must run -seq too)")
 		httpAddr = flag.String("http", "", "serve /metrics, /cluster, /rebalance on ADDR")
 		perConn  = flag.Int("conn-inflight", 64, "per-connection in-flight cap")
+		traceOut = flag.String("trace", "", "write this process's hop-ledger shard (JSONL) to FILE on drain")
 		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on shutdown")
 	)
 	flag.Parse()
@@ -71,6 +73,11 @@ func main() {
 		fatalf("%v", err)
 	}
 	defer v.Close()
+	var led *telemetry.Ledger
+	if *traceOut != "" || *httpAddr != "" {
+		led = telemetry.NewLedger("ftlvol")
+		v.SetLedger(led)
+	}
 	p := volume.NewProxy(v, volume.ProxyConfig{MaxPerConn: *perConn})
 
 	if *httpAddr != "" {
@@ -78,7 +85,7 @@ func main() {
 		if err != nil {
 			fatalf("-http: %v", err)
 		}
-		hsrv := &http.Server{Handler: volume.Routes(v, p)}
+		hsrv := &http.Server{Handler: volume.Routes(v, p, led)}
 		go hsrv.Serve(hln)
 		defer hsrv.Close()
 		fmt.Fprintf(os.Stderr, "ftlvol: serving cluster telemetry on http://%s/\n", hln.Addr())
@@ -108,6 +115,20 @@ func main() {
 	st := p.Stats()
 	fmt.Fprintf(os.Stderr, "ftlvol: drained: %d conns served, %d accepted, %d responses, %d rejected\n",
 		st.ConnsEver, st.Accepted, st.Responses, st.Rejected)
+	if *traceOut != "" && led != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatalf("trace shard: %v", err)
+		}
+		werr := led.WriteShard(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fatalf("trace shard %s: %v", *traceOut, werr)
+		}
+		fmt.Fprintf(os.Stderr, "ftlvol: wrote %d hop records to %s\n", led.Len(), *traceOut)
+	}
 }
 
 func fatalf(format string, args ...any) {

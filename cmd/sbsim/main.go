@@ -126,7 +126,7 @@ func main() {
 		cfg.Attr = attr
 	}
 	if *httpAddr != "" {
-		srv, addr, err := telemetry.Serve(*httpAddr, telemetry.Routes(reg, nil, attr))
+		srv, addr, err := telemetry.Serve(*httpAddr, telemetry.Routes(reg, nil, attr, nil))
 		if err != nil {
 			fatalf("-http: %v", err)
 		}

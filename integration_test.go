@@ -181,7 +181,7 @@ func TestHTTPMetricsSmoke(t *testing.T) {
 	}
 	dev.FlushRecorder()
 
-	srv, addr, err := telemetry.Serve("127.0.0.1:0", telemetry.Routes(m, rec, attr))
+	srv, addr, err := telemetry.Serve("127.0.0.1:0", telemetry.Routes(m, rec, attr, nil))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -272,7 +272,26 @@ type FTL struct {
 	met      *ftlMetrics
 	attr     *telemetry.Attribution
 	attrKeys []telemetry.BlockKey // scratch for recordAttr, reused across calls
+	gcObs    func(GCEvent)        // observer for completed GC work, nil = off
 }
+
+// GCEvent reports one completed unit of garbage-collection work to the
+// observer installed with SetGCObserver: either one preemptive GCStep
+// (Blocking false) or one blocking refill that stalled a host write
+// (Blocking true, with the moves and latency summed over the collections the
+// refill ran). Events fire synchronously from the FTL's single-threaded
+// call context, so the observer needs no locking against the FTL itself.
+type GCEvent struct {
+	Moves    int     // valid pages relocated
+	Erased   bool    // a deferred multi-plane erase ran (steps only)
+	Latency  float64 // µs of flash work issued
+	Blocking bool    // the work stalled a host write (collectUntil path)
+}
+
+// SetGCObserver wires (or, with nil, unwires) a callback invoked after each
+// unit of GC work. Device front ends use it to attach page-relocation counts
+// to their latency ledgers. Call while no operation is in flight.
+func (f *FTL) SetGCObserver(fn func(GCEvent)) { f.gcObs = fn }
 
 // ftlMetrics caches the registry counters the FTL hot paths bump, so a
 // wired registry costs one atomic add per event and an unwired one costs a
@@ -1122,6 +1141,9 @@ func (f *FTL) collectUntil(target int) (moves int, latency float64, err error) {
 			return moves, latency, err
 		}
 	}
+	if f.gcObs != nil && (moves > 0 || latency > 0) {
+		f.gcObs(GCEvent{Moves: moves, Latency: latency, Blocking: true})
+	}
 	return moves, latency, nil
 }
 
@@ -1159,6 +1181,9 @@ func (f *FTL) GCStep(pageBudget int) (GCStepResult, error) {
 	f.stats.GCSteps++
 	if f.met != nil {
 		f.met.gcSteps.Inc()
+	}
+	if f.gcObs != nil {
+		f.gcObs(GCEvent{Moves: moves, Erased: erased, Latency: lat})
 	}
 	return GCStepResult{Moves: moves, Erased: erased, Latency: lat}, err
 }

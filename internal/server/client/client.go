@@ -11,10 +11,13 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
+	"time"
 
 	"superfast/internal/ftl"
 	"superfast/internal/server"
+	"superfast/internal/telemetry"
 )
 
 // Terminal connection errors. Every call that was in flight when the
@@ -45,6 +48,11 @@ type Client struct {
 	nextID  uint64
 	err     error // terminal connection error, set once
 	closed  bool
+
+	// led, when set, receives one HopClient record per traced frame sent:
+	// the wall-clock time the frame spent waiting for the connection's write
+	// path (pipeline contention) plus the serialization itself.
+	led *telemetry.Ledger
 
 	readerDone chan struct{}
 }
@@ -87,6 +95,44 @@ func (c *Client) Err() error {
 	return c.err
 }
 
+// SetLedger attaches (or, with nil, detaches) a hop ledger. For every frame
+// sent with FlagTrace and a nonzero trace ID, Start records a HopClient
+// entry timing the client-side pipeline wait on the wall clock. Call before
+// issuing traced requests.
+func (c *Client) SetLedger(l *telemetry.Ledger) {
+	c.pmu.Lock()
+	c.led = l
+	c.pmu.Unlock()
+}
+
+// Hello pings the server and returns the capability tokens it advertises in
+// the PING response payload (e.g. server.TraceCap when the peer accepts the
+// trace extension). A plain v1 peer returns an empty list.
+func (c *Client) Hello() ([]string, error) {
+	r, err := c.Do(server.Frame{Op: server.OpPing})
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return strings.Fields(string(r.Payload)), nil
+}
+
+// SupportsTrace reports whether the peer advertised the trace extension.
+func (c *Client) SupportsTrace() (bool, error) {
+	caps, err := c.Hello()
+	if err != nil {
+		return false, err
+	}
+	for _, tok := range caps {
+		if tok == server.TraceCap {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
 // Call is one in-flight request.
 type Call struct {
 	resp chan server.Response
@@ -116,8 +162,14 @@ func (c *Client) Start(f server.Frame) (*Call, error) {
 	c.nextID++
 	f.ID = c.nextID
 	c.pending[f.ID] = ch
+	led := c.led
 	c.pmu.Unlock()
 
+	traced := led != nil && f.Traced() && f.Trace != 0
+	var t0 time.Time
+	if traced {
+		t0 = time.Now()
+	}
 	c.wmu.Lock()
 	var err error
 	c.buf, err = server.AppendFrame(c.buf[:0], f)
@@ -129,6 +181,13 @@ func (c *Client) Start(f server.Frame) (*Call, error) {
 		}
 	}
 	c.wmu.Unlock()
+	if traced && err == nil {
+		led.Record(telemetry.HopRecord{
+			Trace: f.Trace, Hop: telemetry.HopClient, Parent: telemetry.HopNone,
+			Leg: f.Leg, Seq: f.Seq, LPN: f.LPN,
+			SimTS: -1, WallNS: time.Since(t0).Nanoseconds(),
+		})
+	}
 	if err != nil {
 		c.pmu.Lock()
 		delete(c.pending, f.ID)

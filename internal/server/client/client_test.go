@@ -13,6 +13,7 @@ import (
 	"superfast/internal/pv"
 	"superfast/internal/server"
 	"superfast/internal/ssd"
+	"superfast/internal/telemetry"
 )
 
 // startServer spins a real block service on a loopback listener.
@@ -279,5 +280,55 @@ func TestClientOversizedFrameNotTerminal(t *testing.T) {
 	}
 	if err := c.Ping(); err != nil {
 		t.Fatalf("connection unusable after encoding error: %v", err)
+	}
+}
+
+// TestClientHelloAndTraceLedger: Hello surfaces the server's capability
+// tokens, SupportsTrace keys off TraceCap, and a wired ledger records one
+// wall-only HopClient entry per traced frame — and nothing for untraced ones.
+func TestClientHelloAndTraceLedger(t *testing.T) {
+	_, addr := startServer(t, server.Config{})
+	c := dialTest(t, addr)
+
+	caps, err := c.Hello()
+	if err != nil {
+		t.Fatalf("hello: %v", err)
+	}
+	found := false
+	for _, tok := range caps {
+		if tok == server.TraceCap {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("capabilities %v lack %q", caps, server.TraceCap)
+	}
+	if ok, err := c.SupportsTrace(); err != nil || !ok {
+		t.Fatalf("SupportsTrace: %v %v", ok, err)
+	}
+
+	led := telemetry.NewLedger("ftlload")
+	c.SetLedger(led)
+	if r, err := c.Write(4, []byte("untraced"), ftl.HintNone); err != nil || r.Status != server.StatusOK {
+		t.Fatalf("untraced write: %v %v", err, r.Status)
+	}
+	if led.Len() != 0 {
+		t.Fatalf("untraced frame recorded %d entries", led.Len())
+	}
+	r, err := c.Do(server.Frame{
+		Op: server.OpRead, LPN: 4, Flags: server.FlagTrace,
+		Trace: 9, ParentHop: telemetry.HopClient,
+	})
+	if err != nil || r.Status != server.StatusOK {
+		t.Fatalf("traced read: %v %v", err, r.Status)
+	}
+	recs := led.Records()
+	if len(recs) != 1 {
+		t.Fatalf("traced frame recorded %d entries, want 1", len(recs))
+	}
+	hr := recs[0]
+	if hr.Hop != telemetry.HopClient || hr.Parent != telemetry.HopNone ||
+		hr.Trace != 9 || hr.LPN != 4 || hr.SimTS != -1 || hr.WallNS < 0 || hr.Proc != "ftlload" {
+		t.Fatalf("client hop record %+v", hr)
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"testing"
+
+	"superfast/internal/telemetry"
 )
 
 // FuzzDecodeFrame feeds arbitrary bytes to the request-frame decoder: it must
@@ -14,8 +16,8 @@ import (
 func FuzzDecodeFrame(f *testing.F) {
 	valid, _ := AppendFrame(nil, Frame{Op: OpWrite, ID: 7, LPN: 42, Payload: []byte("seed page")})
 	f.Add(valid)
-	f.Add(valid[:3])               // truncated length prefix
-	f.Add(valid[:len(valid)-2])    // truncated body
+	f.Add(valid[:3])                            // truncated length prefix
+	f.Add(valid[:len(valid)-2])                 // truncated body
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 1}) // hostile oversized length
 	f.Add([]byte{0, 0, 0, 36, 1, 99, 0, 0})     // bad opcode
 	short, _ := AppendFrame(nil, Frame{Op: OpPing, ID: 1})
@@ -51,6 +53,65 @@ func FuzzDecodeFrame(f *testing.F) {
 			t.Fatalf("accepted %v with payload", fr.Op)
 		}
 		// Accepted frames re-encode to the exact bytes consumed.
+		re, err := AppendFrame(nil, fr)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(re, b[:n]) {
+			t.Fatalf("round trip mismatch:\n in %x\nout %x", b[:n], re)
+		}
+	})
+}
+
+// FuzzDecodeTraceExt hammers the trace-extension decode path specifically:
+// frames with FlagTrace set must validate the extension (parent hop, reserved
+// bytes), frames without it must never grow trace context, and — exactly as
+// in FuzzDecodeFrame — whatever the decoder accepts must re-encode to the
+// bytes consumed. The seeds cover a traced write, a traced frame whose
+// extension is truncated, hostile reserved bytes, and an invalid parent hop.
+func FuzzDecodeTraceExt(f *testing.F) {
+	traced, _ := AppendFrame(nil, Frame{
+		Op: OpWrite, ID: 11, LPN: 9, Flags: FlagTrace | FlagSequenced, Seq: 4,
+		Trace: 77, ParentHop: telemetry.HopProxy, Leg: 1, Payload: []byte("traced page"),
+	})
+	f.Add(traced)
+	root, _ := AppendFrame(nil, Frame{
+		Op: OpRead, ID: 12, LPN: 3, Flags: FlagTrace,
+		Trace: 1, ParentHop: telemetry.HopNone,
+	})
+	f.Add(root)
+	f.Add(traced[:len(traced)-len("traced page")-3]) // extension cut short
+	// Flip a reserved extension byte: must be rejected, never silently eaten.
+	dirty := append([]byte(nil), root...)
+	dirty[4+reqHeaderLen+10] = 0xaa
+	f.Add(dirty)
+	// Parent hop outside the taxonomy (and not HopNone).
+	badHop := append([]byte(nil), root...)
+	badHop[4+reqHeaderLen+8] = 0x20
+	f.Add(badHop)
+	// Trace flag set but the length claims a bare v1 header.
+	short := append([]byte(nil), root[:4+reqHeaderLen]...)
+	binary.BigEndian.PutUint32(short, reqHeaderLen)
+	f.Add(short)
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fr, n, err := DecodeFrame(b)
+		if err != nil {
+			if n != 0 {
+				t.Fatalf("error %v consumed %d bytes", err, n)
+			}
+			return
+		}
+		if fr.Traced() {
+			if !fr.ParentHop.Valid() && fr.ParentHop != telemetry.HopNone {
+				t.Fatalf("accepted parent hop %d", fr.ParentHop)
+			}
+			if n < 4+reqHeaderLen+traceExtLen {
+				t.Fatalf("traced frame consumed only %d bytes", n)
+			}
+		} else if fr.Trace != 0 || fr.ParentHop != 0 || fr.Leg != 0 {
+			t.Fatalf("untraced frame grew trace context: %+v", fr)
+		}
 		re, err := AppendFrame(nil, fr)
 		if err != nil {
 			t.Fatalf("re-encode: %v", err)

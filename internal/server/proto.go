@@ -13,13 +13,29 @@
 //	u32  n     length of the rest      u32  n     length of the rest
 //	u8   version (= 1)                 u8   version (= 1)
 //	u8   opcode                        u8   status
-//	u8   flags (bit0: sequenced)       u16  reserved (= 0)
-//	u8   hint                          u64  request id
-//	u64  request id                    f64  simulated latency, µs
-//	i64  lpn                           payload [n-20]
+//	u8   flags (bit0: sequenced,       u16  reserved (= 0)
+//	            bit1: trace ext)       u64  request id
+//	u8   hint                          f64  simulated latency, µs
+//	u64  request id                    payload [n-20]
+//	i64  lpn
 //	u64  seq (sequenced replay ticket)
 //	f64  arrival, simulated µs
-//	payload [n-36]
+//	trace extension [16, present only with flag bit1]
+//	payload [n-36-ext]
+//
+// The optional trace extension carries the distributed-tracing context of
+// the per-hop latency ledger (see internal/telemetry's Hop taxonomy):
+//
+//	u64  trace id (0 = untraced)
+//	u8   parent hop (Hop value, 0xff = none)
+//	u8   replica leg index
+//	u16  reserved (= 0)
+//	u32  reserved (= 0)
+//
+// The extension is negotiated, never assumed: a server that understands it
+// advertises TraceCap in its PING response payload, and clients only set
+// FlagTrace after seeing the capability — frames without the flag are
+// byte-identical to plain v1, so untraced peers interoperate unchanged.
 //
 // A request's payload is the write data (empty for every other opcode); a
 // response's payload is the read data, the STAT JSON snapshot, or the error
@@ -37,6 +53,7 @@ import (
 	"superfast/internal/flash"
 	"superfast/internal/ftl"
 	"superfast/internal/ssd"
+	"superfast/internal/telemetry"
 )
 
 // Protocol constants.
@@ -49,7 +66,8 @@ const (
 	// never force an oversized allocation.
 	MaxPayload = 1 << 20
 
-	reqHeaderLen  = 36 // bytes after the length prefix, before the payload
+	reqHeaderLen  = 36 // bytes after the length prefix, before ext + payload
+	traceExtLen   = 16 // trace extension bytes, present only with FlagTrace
 	respHeaderLen = 20
 )
 
@@ -57,6 +75,16 @@ const (
 // admits it into the device in global Seq order, making a multi-connection
 // replay bit-identical to a single-submitter run.
 const FlagSequenced = 1 << 0
+
+// FlagTrace marks a request carrying the 16-byte trace extension between
+// the fixed header and the payload. Only set it against peers that
+// advertised TraceCap — a plain v1 peer rejects unknown flag bits.
+const FlagTrace = 1 << 1
+
+// TraceCap is the capability token a trace-aware server includes in its
+// PING response payload (space-separated token list). Plain v1 servers
+// answer PING with an empty payload, and plain v1 clients ignore it.
+const TraceCap = "trace-ext"
 
 // Op enumerates request opcodes.
 type Op byte
@@ -148,10 +176,20 @@ type Frame struct {
 	Seq     uint64  // replay ticket, valid when FlagSequenced is set
 	Arrival float64 // simulated arrival, µs; 0 = now
 	Payload []byte  // write data
+
+	// Trace context, valid when FlagTrace is set: the request's trace id,
+	// the hop that issued this frame, and the replica leg index of a
+	// volume fan-out (0 outside one).
+	Trace     uint64
+	ParentHop telemetry.Hop
+	Leg       uint8
 }
 
 // Sequenced reports whether the frame carries a replay ticket.
 func (f Frame) Sequenced() bool { return f.Flags&FlagSequenced != 0 }
+
+// Traced reports whether the frame carries the trace extension.
+func (f Frame) Traced() bool { return f.Flags&FlagTrace != 0 }
 
 // Response is one decoded response.
 type Response struct {
@@ -181,7 +219,9 @@ var (
 	ErrFrameSize  = errors.New("server: frame length out of bounds")
 )
 
-// AppendFrame encodes f after dst and returns the extended slice.
+// AppendFrame encodes f after dst and returns the extended slice. The trace
+// extension is written only when FlagTrace is set, so an untraced frame's
+// encoding is byte-identical to plain v1.
 func AppendFrame(dst []byte, f Frame) ([]byte, error) {
 	if len(f.Payload) > MaxPayload {
 		return nil, fmt.Errorf("%w: payload %d > %d", ErrFrameSize, len(f.Payload), MaxPayload)
@@ -190,12 +230,20 @@ func AppendFrame(dst []byte, f Frame) ([]byte, error) {
 		return nil, fmt.Errorf("%w: opcode %d", ErrBadFrame, f.Op)
 	}
 	n := reqHeaderLen + len(f.Payload)
+	if f.Traced() {
+		n += traceExtLen
+	}
 	dst = binary.BigEndian.AppendUint32(dst, uint32(n))
 	dst = append(dst, Version, byte(f.Op), f.Flags, byte(f.Hint))
 	dst = binary.BigEndian.AppendUint64(dst, f.ID)
 	dst = binary.BigEndian.AppendUint64(dst, uint64(f.LPN))
 	dst = binary.BigEndian.AppendUint64(dst, f.Seq)
 	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(f.Arrival))
+	if f.Traced() {
+		dst = binary.BigEndian.AppendUint64(dst, f.Trace)
+		dst = append(dst, byte(f.ParentHop), f.Leg, 0, 0)
+		dst = binary.BigEndian.AppendUint32(dst, 0)
+	}
 	return append(dst, f.Payload...), nil
 }
 
@@ -209,7 +257,7 @@ func DecodeFrame(b []byte) (Frame, int, error) {
 		return Frame{}, 0, ErrShortFrame
 	}
 	n := int(binary.BigEndian.Uint32(b))
-	if n < reqHeaderLen || n > reqHeaderLen+MaxPayload {
+	if n < reqHeaderLen || n > reqHeaderLen+traceExtLen+MaxPayload {
 		return Frame{}, 0, fmt.Errorf("%w: %d", ErrFrameSize, n)
 	}
 	if len(b) < 4+n {
@@ -231,7 +279,7 @@ func DecodeFrame(b []byte) (Frame, int, error) {
 	if f.Op < OpRead || f.Op > OpPing {
 		return Frame{}, 0, fmt.Errorf("%w: opcode %d", ErrBadFrame, f.Op)
 	}
-	if f.Flags&^FlagSequenced != 0 {
+	if f.Flags&^(FlagSequenced|FlagTrace) != 0 {
 		return Frame{}, 0, fmt.Errorf("%w: flags %#x", ErrBadFrame, f.Flags)
 	}
 	if f.Hint > ftl.HintBatch {
@@ -240,11 +288,31 @@ func DecodeFrame(b []byte) (Frame, int, error) {
 	if math.IsNaN(f.Arrival) || math.IsInf(f.Arrival, 0) || f.Arrival < 0 {
 		return Frame{}, 0, fmt.Errorf("%w: arrival %v", ErrBadFrame, f.Arrival)
 	}
-	if pay := n - reqHeaderLen; pay > 0 {
+	body := reqHeaderLen
+	if f.Traced() {
+		if n < reqHeaderLen+traceExtLen {
+			return Frame{}, 0, fmt.Errorf("%w: traced frame of %d bytes", ErrFrameSize, n)
+		}
+		ext := h[reqHeaderLen:]
+		f.Trace = binary.BigEndian.Uint64(ext)
+		f.ParentHop = telemetry.Hop(ext[8])
+		f.Leg = ext[9]
+		if !f.ParentHop.Valid() && f.ParentHop != telemetry.HopNone {
+			return Frame{}, 0, fmt.Errorf("%w: parent hop %d", ErrBadFrame, ext[8])
+		}
+		if ext[10] != 0 || ext[11] != 0 || binary.BigEndian.Uint32(ext[12:]) != 0 {
+			return Frame{}, 0, fmt.Errorf("%w: trace ext reserved bytes set", ErrBadFrame)
+		}
+		body += traceExtLen
+	}
+	if pay := n - body; pay > 0 {
+		if pay > MaxPayload {
+			return Frame{}, 0, fmt.Errorf("%w: payload %d > %d", ErrFrameSize, pay, MaxPayload)
+		}
 		if f.Op != OpWrite {
 			return Frame{}, 0, fmt.Errorf("%w: %s carries a payload", ErrBadFrame, f.Op)
 		}
-		f.Payload = append([]byte(nil), h[reqHeaderLen:n]...)
+		f.Payload = append([]byte(nil), h[body:n]...)
 	}
 	return f, 4 + n, nil
 }
@@ -257,7 +325,7 @@ func ReadFrame(r io.Reader) (Frame, int, error) {
 		return Frame{}, 0, err
 	}
 	n := int(binary.BigEndian.Uint32(hdr[:]))
-	if n < reqHeaderLen || n > reqHeaderLen+MaxPayload {
+	if n < reqHeaderLen || n > reqHeaderLen+traceExtLen+MaxPayload {
 		return Frame{}, 4, fmt.Errorf("%w: %d", ErrFrameSize, n)
 	}
 	buf := make([]byte, 4+n)

@@ -45,6 +45,12 @@ type Config struct {
 	// registry: srv.conns, srv.conns_total, srv.accepted, srv.responses,
 	// srv.rejected, srv.inflight, srv.bytes_in, srv.bytes_out.
 	Metrics *telemetry.Metrics
+	// Ledger optionally collects per-hop timing records for traced requests
+	// (frames carrying FlagTrace with a nonzero trace ID): the wall-clock
+	// admission wait plus the device's queue/GC/service split of each
+	// completion. Wire the same ledger into the device with SetLedger to also
+	// capture GC-step attribution.
+	Ledger *telemetry.Ledger
 }
 
 // Server is the TCP block service over one ConcurrentDevice.
@@ -329,7 +335,9 @@ func (c *conn) reader() {
 		s.addAccepted()
 		switch f.Op {
 		case OpPing:
-			c.respond(Response{Status: StatusOK, ID: f.ID})
+			// The payload advertises capability tokens; v1 clients ignore
+			// PING payloads, new ones learn the trace extension is accepted.
+			c.respond(Response{Status: StatusOK, ID: f.ID, Payload: []byte(TraceCap)})
 		case OpStat:
 			c.respond(s.statResponse(f.ID))
 		case OpFlush:
@@ -350,7 +358,26 @@ func (c *conn) reader() {
 			if s.cfg.Deadline > 0 {
 				deadline = time.Now().Add(s.cfg.Deadline)
 			}
-			if aerr := s.adm.acquire(f.Seq, s.cfg.Sequenced, deadline); aerr != nil {
+			traced := s.cfg.Ledger != nil && f.Traced() && f.Trace != 0
+			var admStart time.Time
+			if traced {
+				admStart = time.Now()
+			}
+			aerr := s.adm.acquire(f.Seq, s.cfg.Sequenced, deadline)
+			if traced {
+				st := StatusOK
+				if aerr == errDeadline {
+					st = StatusDeadline
+				} else if aerr != nil {
+					st = StatusRejected
+				}
+				s.cfg.Ledger.Record(telemetry.HopRecord{
+					Trace: f.Trace, Hop: telemetry.HopAdmission, Parent: f.ParentHop,
+					Leg: f.Leg, Seq: f.Seq, LPN: f.LPN, Status: byte(st),
+					SimTS: -1, WallNS: time.Since(admStart).Nanoseconds(),
+				})
+			}
+			if aerr != nil {
 				c.releaseLocal()
 				s.rejected.Add(1)
 				if s.met != nil {
@@ -383,7 +410,7 @@ func (c *conn) reader() {
 func (c *conn) handle(f Frame) {
 	defer c.handlers.Done()
 	s := c.srv
-	req := ssd.Request{LPN: f.LPN, Arrival: f.Arrival}
+	req := ssd.Request{LPN: f.LPN, Arrival: f.Arrival, Trace: f.Trace}
 	switch f.Op {
 	case OpRead:
 		req.Kind = ssd.OpRead
@@ -402,6 +429,9 @@ func (c *conn) handle(f Frame) {
 		comp, err = s.dev.Submit(req)
 	}
 	resp := Response{ID: f.ID}
+	if s.cfg.Ledger != nil && f.Traced() && f.Trace != 0 {
+		s.recordDeviceHops(f, comp, err)
+	}
 	if err != nil {
 		resp.Status = StatusFor(err)
 		resp.Payload = []byte(err.Error())
@@ -419,6 +449,52 @@ func (c *conn) handle(f Frame) {
 	c.respond(resp)
 	s.adm.release()
 	c.releaseLocal()
+}
+
+// recordDeviceHops splits one completion into the ledger's device hops:
+// queue (time between arrival and service start), gc (the blocking-GC share
+// of service, writes only), and service (the rest). The three durations sum
+// exactly to Completion.Latency — the simulated latency the client observes
+// in the response — which the hop-accounting test pins.
+func (s *Server) recordDeviceHops(f Frame, comp ssd.Completion, err error) {
+	led := s.cfg.Ledger
+	base := telemetry.HopRecord{
+		Trace: f.Trace, Parent: f.ParentHop, Leg: f.Leg, Seq: f.Seq, LPN: f.LPN,
+	}
+	if err != nil {
+		// Nothing was serviced; one service record carries the error status.
+		r := base
+		r.Hop = telemetry.HopService
+		r.Status = byte(StatusFor(err))
+		r.SimTS = -1
+		led.Record(r)
+		return
+	}
+	// GCTime is part of Service by construction; clamp anyway so the three
+	// hops always sum to Latency even if a model change breaks the invariant.
+	gc := comp.GCTime
+	if gc > comp.Service {
+		gc = comp.Service
+	}
+	q := base
+	q.Hop = telemetry.HopQueue
+	q.SimTS = comp.Start - comp.Wait
+	q.SimUS = comp.Wait
+	led.Record(q)
+	if f.Op == OpWrite {
+		// Recorded even at zero so every traced write answers "how much GC
+		// blocked me" — the cluster breakdown then always covers the hop.
+		g := base
+		g.Hop = telemetry.HopGC
+		g.SimTS = comp.Start
+		g.SimUS = gc
+		led.Record(g)
+	}
+	sv := base
+	sv.Hop = telemetry.HopService
+	sv.SimTS = comp.Start + gc
+	sv.SimUS = comp.Service - gc
+	led.Record(sv)
 }
 
 // writer encodes responses in completion order. After a write error it keeps

@@ -1,0 +1,165 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"superfast/internal/telemetry"
+)
+
+// TestTracedHopSumsMatchLatency pins the ledger's accounting identity: for
+// every traced request the device-side hops (queue + gc + service) sum to
+// exactly the latency the response reports, the admission hop is wall-only,
+// and the hops chain on the simulated clock (each starts where the previous
+// ended).
+func TestTracedHopSumsMatchLatency(t *testing.T) {
+	dev := testDevice(t)
+	led := telemetry.NewLedger("srv")
+	dev.SetLedger(led)
+	_, addr := startServer(t, dev, Config{Sequenced: true, Ledger: led})
+	c := dialRaw(t, addr)
+
+	const n = 240
+	span := int64(48)
+	resps := make([]Response, n)
+	ops := make([]Op, n)
+	for i := 0; i < n; i++ {
+		f := Frame{
+			ID: uint64(i), Seq: uint64(i), Flags: FlagSequenced | FlagTrace,
+			Trace: uint64(i) + 1, ParentHop: telemetry.HopClient,
+		}
+		if i%4 == 3 {
+			f.Op = OpRead
+			f.LPN = int64(i) % span
+		} else {
+			f.Op = OpWrite
+			f.LPN = int64(i) % span
+			f.Payload = []byte(fmt.Sprintf("trace-%d", i))
+		}
+		ops[i] = f.Op
+		resps[i] = c.call(f)
+	}
+
+	type devSum struct {
+		total              float64
+		queue, gc, service int
+		gcEnd              float64 // where the gc hop ended, to check chaining
+		qEnd               float64
+		svStart            float64
+	}
+	sums := map[uint64]*devSum{}
+	admission := 0
+	for _, r := range led.Records() {
+		switch r.Hop {
+		case telemetry.HopAdmission:
+			admission++
+			if r.SimTS != -1 || r.WallNS < 0 {
+				t.Fatalf("admission record not wall-only: %+v", r)
+			}
+			if r.Status != byte(StatusOK) {
+				t.Fatalf("admission status %d", r.Status)
+			}
+			if r.Parent != telemetry.HopClient {
+				t.Fatalf("admission parent %v", r.Parent)
+			}
+		case telemetry.HopQueue, telemetry.HopGC, telemetry.HopService:
+			if r.LPN < 0 {
+				continue // background GC-step record, not request-attributed
+			}
+			s := sums[r.Trace]
+			if s == nil {
+				s = &devSum{}
+				sums[r.Trace] = s
+			}
+			s.total += r.SimUS
+			if r.SimUS < 0 {
+				t.Fatalf("negative hop duration: %+v", r)
+			}
+			switch r.Hop {
+			case telemetry.HopQueue:
+				s.queue++
+				s.qEnd = r.SimTS + r.SimUS
+			case telemetry.HopGC:
+				s.gc++
+				s.gcEnd = r.SimTS + r.SimUS
+			case telemetry.HopService:
+				s.service++
+				s.svStart = r.SimTS
+			}
+		}
+	}
+	if admission != n {
+		t.Fatalf("admission records %d, want %d", admission, n)
+	}
+
+	checked := 0
+	for i, r := range resps {
+		if r.Status != StatusOK {
+			continue // early reads of unwritten pages answer BadRequest
+		}
+		s := sums[uint64(i)+1]
+		if s == nil {
+			t.Fatalf("op %d: no device hops recorded", i)
+		}
+		if s.queue != 1 || s.service != 1 {
+			t.Fatalf("op %d: queue=%d service=%d records", i, s.queue, s.service)
+		}
+		if ops[i] == OpWrite && s.gc != 1 {
+			t.Fatalf("write %d: %d gc records, want exactly 1 (even at zero)", i, s.gc)
+		}
+		if ops[i] == OpRead && s.gc != 0 {
+			t.Fatalf("read %d: %d gc records, want 0", i, s.gc)
+		}
+		if math.Abs(s.total-r.Latency) > 1e-6 {
+			t.Fatalf("op %d (%v): hops sum to %v µs, response says %v µs", i, ops[i], s.total, r.Latency)
+		}
+		// The hops chain: queue ends where gc starts (writes), service starts
+		// where the hop before it ended.
+		prevEnd := s.qEnd
+		if ops[i] == OpWrite {
+			if math.Abs(s.gcEnd-(s.qEnd+(s.gcEnd-s.qEnd))) > 1e-6 { // gc starts at qEnd by construction
+				t.Fatalf("op %d: gc hop detached", i)
+			}
+			prevEnd = s.gcEnd
+		}
+		if math.Abs(s.svStart-prevEnd) > 1e-6 {
+			t.Fatalf("op %d: service starts at %v, previous hop ended at %v", i, s.svStart, prevEnd)
+		}
+		checked++
+	}
+	if checked < n/2 {
+		t.Fatalf("only %d/%d ops were checkable", checked, n)
+	}
+}
+
+// TestUntracedFramesRecordNothing: plain v1 frames (no FlagTrace) and traced
+// frames with a zero trace id leave the ledger untouched, so an untraced
+// replay is bit-for-bit the pre-trace protocol.
+func TestUntracedFramesRecordNothing(t *testing.T) {
+	dev := testDevice(t)
+	led := telemetry.NewLedger("srv")
+	dev.SetLedger(led)
+	_, addr := startServer(t, dev, Config{Ledger: led})
+	c := dialRaw(t, addr)
+
+	if r := c.call(Frame{Op: OpWrite, ID: 1, LPN: 0, Payload: []byte("plain")}); r.Status != StatusOK {
+		t.Fatalf("write: %v", r.Status)
+	}
+	if r := c.call(Frame{Op: OpRead, ID: 2, LPN: 0}); r.Status != StatusOK {
+		t.Fatalf("read: %v", r.Status)
+	}
+	// FlagTrace with trace id 0 is "untraced" by convention.
+	if r := c.call(Frame{Op: OpRead, ID: 3, LPN: 0, Flags: FlagTrace, ParentHop: telemetry.HopNone}); r.Status != StatusOK {
+		t.Fatalf("zero-trace read: %v", r.Status)
+	}
+	if got := led.Len(); got != 0 {
+		t.Fatalf("untraced traffic left %d ledger records", got)
+	}
+
+	// PING advertises the capability to anyone who asks.
+	r := c.call(Frame{Op: OpPing, ID: 4})
+	if string(r.Payload) != TraceCap {
+		t.Fatalf("ping payload %q, want %q", r.Payload, TraceCap)
+	}
+}

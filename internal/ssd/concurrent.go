@@ -38,6 +38,13 @@ type ConcurrentDevice struct {
 	next   uint64     // next ticket allowed into the FTL stage
 	clock  float64    // latest admitted arrival, µs
 	trc    telemetry.Tracer // nil = tracing disabled (read under mu)
+	led    *telemetry.Ledger // nil = hop ledger disabled (read under mu)
+	// curTrace/curTicket hold the trace context of the request the FTL stage
+	// is currently executing, so the blocking-GC observer (which fires from
+	// inside WriteHinted) can attribute its page counts. Written and read
+	// only under mu.
+	curTrace  uint64
+	curTicket uint64
 	rec    *recState  // nil until AttachRecorder (read under mu)
 	// recExtra*, set before AttachRecorder, append caller-owned columns
 	// (e.g. the network server's counters) after the device column set.
@@ -234,6 +241,38 @@ func (c *ConcurrentDevice) SetTracer(tr telemetry.Tracer) {
 		w.trc = tr
 		w.mu.Unlock()
 	}
+}
+
+// SetLedger attaches (or, with nil, detaches) a hop ledger recording
+// garbage-collection work attributed to traced requests: one HopGC record
+// per preemptive GC step (SimUS = the step's flash latency, Pages = pages
+// relocated), attributed to the trace that triggered the idle window or debt
+// step, plus a zero-duration HopGC marker carrying the page count of any
+// blocking collection a traced write tripped (the blocked time itself is in
+// that write's Completion.GCTime, which the serving layer records — the
+// marker only adds the relocation count the Completion cannot carry).
+// Records are emitted under the serialized ticket-order FTL stage, so the
+// ledger's sorted contents are identical across submitter counts. Call while
+// no submission is in flight.
+func (c *ConcurrentDevice) SetLedger(l *telemetry.Ledger) {
+	c.mu.Lock()
+	c.led = l
+	if l == nil {
+		c.f.SetGCObserver(nil)
+	} else {
+		c.f.SetGCObserver(func(ev ftl.GCEvent) {
+			// Step events are recorded by gcStepRun, which also knows the
+			// schedule slot; only blocking refills are captured here.
+			if !ev.Blocking || c.curTrace == 0 {
+				return
+			}
+			l.Record(telemetry.HopRecord{
+				Trace: c.curTrace, Hop: telemetry.HopGC, Parent: telemetry.HopNone,
+				Seq: c.curTicket, LPN: -1, Pages: ev.Moves, SimTS: -1,
+			})
+		})
+	}
+	c.mu.Unlock()
 }
 
 // SetAttribution wires (or, with nil, unwires) a straggler attribution table
@@ -490,7 +529,7 @@ func (c *ConcurrentDevice) submit(ticket uint64, reqs []Request) ([]Completion, 
 				trc.Emit(telemetry.Event{
 					Ts: r.arrivals[i], Dur: cp.Latency, Track: telemetry.TrackHost,
 					Ph: telemetry.PhaseSpan, Name: req.Kind.String(), Cat: "host",
-					Seq: ticket, Slot: r.first + i, LPN: req.LPN,
+					Seq: ticket, Slot: r.first + i, LPN: req.LPN, TraceID: req.Trace,
 				})
 			}
 		}
@@ -567,14 +606,21 @@ func (c *ConcurrentDevice) maxTill() float64 {
 // gcStepRun executes one preemptive GC step in the FTL stage and dispatches
 // its chip work as a pseudo-run (no completions, replies drained by the
 // completion stage). Caller holds c.mu; earliest bounds where the step's
-// flash ops may start. worked is false when GC had nothing to do.
-func (c *ConcurrentDevice) gcStepRun(ticket uint64, earliest float64) (run, bool, error) {
+// flash ops may start; trace attributes the step to the request that opened
+// the window (0 = untraced). worked is false when GC had nothing to do.
+func (c *ConcurrentDevice) gcStepRun(ticket uint64, earliest float64, trace uint64) (run, bool, error) {
 	var res ftl.GCStepResult
 	ops, err := c.f.CollectOps(func() error {
 		var e error
 		res, e = c.f.GCStep(c.f.GCStepPages())
 		return e
 	})
+	if c.led != nil && trace != 0 && !res.Idle {
+		c.led.Record(telemetry.HopRecord{
+			Trace: trace, Hop: telemetry.HopGC, Parent: telemetry.HopNone,
+			Seq: ticket, LPN: -1, Pages: res.Moves, SimTS: earliest, SimUS: res.Latency,
+		})
+	}
 	r := run{arrival: earliest, nops: len(ops), reply: make(chan float64, len(ops))}
 	for _, op := range ops {
 		c.chips[op.Chip].ch <- chipJob{
@@ -604,10 +650,10 @@ func (c *ConcurrentDevice) gcStepRun(ticket uint64, earliest float64) (run, bool
 // between the mirrored device horizon and the next request's start. Host
 // work keeps priority: stepping stops once the window is consumed (the last
 // step may overshoot; flash ops are not preemptible).
-func (c *ConcurrentDevice) gcIdleSteps(ticket uint64, arrival float64) ([]run, error) {
+func (c *ConcurrentDevice) gcIdleSteps(ticket uint64, arrival float64, trace uint64) ([]run, error) {
 	var runs []run
 	for c.maxTill() < arrival && c.f.GCNeeded() {
-		r, worked, err := c.gcStepRun(ticket, c.maxTill())
+		r, worked, err := c.gcStepRun(ticket, c.maxTill(), trace)
 		runs = append(runs, r)
 		if err != nil {
 			return runs, err
@@ -632,7 +678,7 @@ func (c *ConcurrentDevice) ftlStage(ticket uint64, reqs []Request) ([]run, error
 		if a0 == 0 {
 			a0 = c.clock
 		}
-		gcRuns, err := c.gcIdleSteps(ticket, a0)
+		gcRuns, err := c.gcIdleSteps(ticket, a0, reqs[0].Trace)
 		runs = append(runs, gcRuns...)
 		if err != nil {
 			return runs, err
@@ -668,6 +714,7 @@ func (c *ConcurrentDevice) ftlStage(ticket uint64, reqs []Request) ([]run, error
 		ops, err := c.f.CollectOps(func() error {
 			for i := 0; i < n; i++ {
 				req := reqs[first+i]
+				c.curTrace, c.curTicket = req.Trace, ticket
 				switch req.Kind {
 				case OpWrite:
 					res, err := c.f.WriteHinted(req.LPN, req.Data, req.Hint)
@@ -770,7 +817,7 @@ func (c *ConcurrentDevice) ftlStage(ticket uint64, reqs []Request) ([]run, error
 			}
 		}
 		for i := 0; i < steps && c.f.GCNeeded(); i++ {
-			r, worked, err := c.gcStepRun(ticket, c.clock)
+			r, worked, err := c.gcStepRun(ticket, c.clock, reqs[0].Trace)
 			runs = append(runs, r)
 			if err != nil {
 				return runs, err

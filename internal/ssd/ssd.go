@@ -84,6 +84,9 @@ type Request struct {
 	Data    []byte   // writes only; nil writes a zero-length payload
 	Hint    ftl.Hint // placement hint for writes
 	Arrival float64  // µs on the simulated clock; 0 = now
+	// Trace is the cluster-wide trace ID this request belongs to, carried
+	// into the device's trace events and GC ledger records. 0 = untraced.
+	Trace uint64
 }
 
 // Completion reports a serviced request.

@@ -102,6 +102,32 @@ func WritePrometheus(w *bufio.Writer, m *Metrics) {
 	}
 }
 
+// WriteLedgerPrometheus appends the ledger's per-hop latency digests to a
+// Prometheus exposition: one hop_latency_us summary family with a hop label
+// per hop taxonomy entry (quantiles are the streaming P² estimates; units are
+// wall-clock µs for wall-only hops and simulated µs otherwise).
+func WriteLedgerPrometheus(w *bufio.Writer, led *Ledger) {
+	if led == nil {
+		return
+	}
+	fmt.Fprintf(w, "# TYPE hop_latency_us summary\n")
+	for h := Hop(0); h < NumHops; h++ {
+		s := led.HopSummary(h)
+		if s.N == 0 {
+			continue
+		}
+		name := h.String()
+		for _, q := range []struct {
+			q string
+			v float64
+		}{{"0.5", s.P50}, {"0.95", s.P95}, {"0.99", s.P99}, {"0.999", s.P999}} {
+			fmt.Fprintf(w, "hop_latency_us{hop=%q,quantile=%q} %s\n", name, q.q, formatPromValue(q.v))
+		}
+		fmt.Fprintf(w, "hop_latency_us_sum{hop=%q} %s\n", name, formatPromValue(s.Mean*float64(s.N)))
+		fmt.Fprintf(w, "hop_latency_us_count{hop=%q} %d\n", name, s.N)
+	}
+}
+
 // MetricsHandler serves the registry in Prometheus text format.
 func MetricsHandler(m *Metrics) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -112,13 +138,44 @@ func MetricsHandler(m *Metrics) http.Handler {
 	})
 }
 
-// Routes builds the live-exposition mux: /metrics (Prometheus text format),
-// /healthz (200 "ok"), /debug/pprof/* (the standard Go profiler), and — when
-// the optional sinks are non-nil — /flightrecorder (CSV; ?format=json for
-// JSON) and /attribution (JSON; ?topk=N bounds the straggler table).
-func Routes(m *Metrics, rec *Recorder, attr *Attribution) *http.ServeMux {
+// TraceHandler serves the ledger's current records: the JSONL shard by
+// default (what ftltrace merges), ?format=chrome for a Chrome trace-event
+// file of this shard alone, ?format=breakdown for the per-hop text table.
+func TraceHandler(led *Ledger) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		recs := led.Records()
+		switch r.URL.Query().Get("format") {
+		case "chrome":
+			w.Header().Set("Content-Type", "application/json")
+			WriteLedgerChrome(w, recs, r.URL.Query().Get("wall") == "1")
+		case "breakdown":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			LedgerBreakdown(recs).WriteTable(w)
+		default:
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			WriteShard(w, recs)
+		}
+	})
+}
+
+// Routes builds the live-exposition mux: /metrics (Prometheus text format,
+// with per-hop latency summaries when a ledger is wired), /healthz (200
+// "ok"), /debug/pprof/* (the standard Go profiler), and — when the optional
+// sinks are non-nil — /flightrecorder (CSV; ?format=json for JSON),
+// /attribution (JSON; ?topk=N bounds the straggler table) and /trace (the
+// hop-ledger shard; see TraceHandler for formats).
+func Routes(m *Metrics, rec *Recorder, attr *Attribution, led *Ledger) *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", MetricsHandler(m))
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		bw := bufio.NewWriter(w)
+		WritePrometheus(bw, m)
+		WriteLedgerPrometheus(bw, led)
+		bw.Flush()
+	})
+	if led != nil {
+		mux.Handle("/trace", TraceHandler(led))
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")

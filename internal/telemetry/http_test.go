@@ -83,7 +83,7 @@ func TestRoutesEndpoints(t *testing.T) {
 	attr := NewAttribution()
 	attr.Record('p', false, true, []BlockKey{{0, 0, 0}, {0, 1, 0}}, []float64{100, 130})
 
-	mux := Routes(m, rec, attr)
+	mux := Routes(m, rec, attr, nil)
 
 	if code, body := get(t, mux, "/healthz"); code != 200 || body != "ok\n" {
 		t.Fatalf("healthz = %d %q", code, body)
@@ -106,7 +106,7 @@ func TestRoutesEndpoints(t *testing.T) {
 }
 
 func TestRoutesOptionalSinksAbsent(t *testing.T) {
-	mux := Routes(New(), nil, nil)
+	mux := Routes(New(), nil, nil, nil)
 	if code, _ := get(t, mux, "/flightrecorder"); code != 404 {
 		t.Fatalf("flightrecorder without recorder = %d, want 404", code)
 	}
@@ -118,7 +118,7 @@ func TestRoutesOptionalSinksAbsent(t *testing.T) {
 func TestServeEphemeralPort(t *testing.T) {
 	m := New()
 	m.Counter("up").Inc()
-	srv, addr, err := Serve("127.0.0.1:0", Routes(m, nil, nil))
+	srv, addr, err := Serve("127.0.0.1:0", Routes(m, nil, nil, nil))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,283 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestHopJSONRoundTrip(t *testing.T) {
+	for h := Hop(0); h.Valid(); h++ {
+		b, err := json.Marshal(h)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", h, err)
+		}
+		var back Hop
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if back != h {
+			t.Fatalf("%v round-tripped to %v", h, back)
+		}
+	}
+	var none Hop
+	if err := json.Unmarshal([]byte(`"none"`), &none); err != nil || none != HopNone {
+		t.Fatalf("none: %v %v", none, err)
+	}
+	var bad Hop
+	if err := json.Unmarshal([]byte(`"warp"`), &bad); err == nil {
+		t.Fatal("unknown hop name accepted")
+	}
+	if HopNone.Valid() {
+		t.Fatal("HopNone claims validity")
+	}
+	if !HopClient.WallOnly() || !HopAdmission.WallOnly() || HopQueue.WallOnly() {
+		t.Fatal("wall-only classification wrong")
+	}
+}
+
+// TestSortRecordsTotal: the sort key covers every field, so any permutation
+// of a record set (including near-duplicates) sorts to the same order —
+// the property the cross-worker golden rests on.
+func TestSortRecordsTotal(t *testing.T) {
+	base := []HopRecord{
+		{Proc: "a", Trace: 1, Hop: HopQueue, Seq: 1, LPN: 3, SimTS: 10, SimUS: 5},
+		{Proc: "a", Trace: 1, Hop: HopQueue, Seq: 1, LPN: 3, SimTS: 10, SimUS: 6},
+		{Proc: "b", Trace: 1, Hop: HopQueue, Seq: 1, LPN: 3, SimTS: 10, SimUS: 5},
+		{Proc: "a", Trace: 1, Hop: HopService, Seq: 1, LPN: 3, SimTS: 15, SimUS: 2},
+		{Proc: "a", Trace: 2, Hop: HopClient, Seq: 2, LPN: 4, SimTS: -1, WallNS: 100},
+		{Proc: "a", Trace: 2, Hop: HopClient, Seq: 2, LPN: 4, SimTS: -1, WallNS: 90},
+		{Proc: "v", Trace: 2, Hop: HopProxy, Leg: 1, Seq: 2, LPN: 4, SimTS: -1},
+		{Proc: "v", Trace: 2, Hop: HopProxy, Leg: 0, Seq: 2, LPN: 4, SimTS: -1},
+		{Proc: "s", Trace: 2, Hop: HopGC, Parent: HopNone, Seq: 9, LPN: -1, SimTS: 50, SimUS: 80, Pages: 3},
+	}
+	want := append([]HopRecord(nil), base...)
+	SortRecords(want)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		perm := append([]HopRecord(nil), base...)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		SortRecords(perm)
+		for i := range perm {
+			if perm[i] != want[i] {
+				t.Fatalf("trial %d: order diverges at %d: %+v vs %+v", trial, i, perm[i], want[i])
+			}
+		}
+	}
+}
+
+func TestShardRoundTripAndMerge(t *testing.T) {
+	l1 := NewLedger("srv0")
+	l1.Record(HopRecord{Trace: 2, Hop: HopQueue, Parent: HopProxy, Seq: 2, LPN: 8, SimTS: 100, SimUS: 4})
+	l1.Record(HopRecord{Trace: 1, Hop: HopService, Parent: HopProxy, Seq: 1, LPN: 3, SimTS: 60, SimUS: 90})
+	l2 := NewLedger("load")
+	l2.Record(HopRecord{Trace: 1, Hop: HopClient, Parent: HopNone, Seq: 1, LPN: 3, SimTS: -1, WallNS: 2500})
+
+	var buf bytes.Buffer
+	if err := l1.WriteShard(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadShard(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("shard round-tripped %d records, want 2", len(back))
+	}
+	// WriteShard emits sorted order; trace 1 leads.
+	if back[0].Trace != 1 || back[0].Hop != HopService || back[0].Proc != "srv0" {
+		t.Fatalf("first record %+v", back[0])
+	}
+	if back[1].SimUS != 4 || back[1].Parent != HopProxy {
+		t.Fatalf("second record %+v", back[1])
+	}
+
+	merged := MergeRecords(back, l2.Records())
+	if len(merged) != 3 {
+		t.Fatalf("merged %d records", len(merged))
+	}
+	if !sort.SliceIsSorted(merged, func(i, j int) bool {
+		return merged[i].Trace < merged[j].Trace ||
+			(merged[i].Trace == merged[j].Trace && merged[i].Hop < merged[j].Hop)
+	}) {
+		t.Fatalf("merge not in canonical order: %+v", merged)
+	}
+
+	// Malformed lines fail with their line number.
+	if _, err := ReadShard(strings.NewReader("{\"hop\":\"queue\"}\nnot json\n")); err == nil ||
+		!strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("malformed shard error: %v", err)
+	}
+	// Blank lines are fine.
+	if recs, err := ReadShard(strings.NewReader("\n\n")); err != nil || len(recs) != 0 {
+		t.Fatalf("blank shard: %v %v", recs, err)
+	}
+}
+
+func TestLedgerDigestFeeds(t *testing.T) {
+	l := NewLedger("p")
+	l.Record(HopRecord{Trace: 1, Hop: HopClient, SimTS: -1, WallNS: 3000}) // 3 µs wall
+	l.Record(HopRecord{Trace: 1, Hop: HopQueue, SimTS: 5, SimUS: 42})
+	if s := l.HopSummary(HopClient); s.N != 1 || s.Mean != 3 {
+		t.Fatalf("wall-only digest %+v", s)
+	}
+	if s := l.HopSummary(HopQueue); s.N != 1 || s.Mean != 42 {
+		t.Fatalf("sim digest %+v", s)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("len %d", l.Len())
+	}
+	l.Reset()
+	if l.Len() != 0 {
+		t.Fatal("reset kept records")
+	}
+	if s := l.HopSummary(HopQueue); s.N != 1 {
+		t.Fatal("reset wiped the streaming digest")
+	}
+	// A nil ledger swallows records (call sites skip the nil check).
+	var nl *Ledger
+	nl.Record(HopRecord{Trace: 1, Hop: HopQueue})
+}
+
+func TestLedgerBreakdown(t *testing.T) {
+	var recs []HopRecord
+	// Trace 1: queue-dominated. Trace 2: service-dominated. Trace 3:
+	// gc-dominated via two gc records summing past its service.
+	recs = append(recs,
+		HopRecord{Trace: 1, Hop: HopClient, SimTS: -1, WallNS: 7000},
+		HopRecord{Trace: 1, Hop: HopQueue, SimTS: 0, SimUS: 100},
+		HopRecord{Trace: 1, Hop: HopService, SimTS: 100, SimUS: 60},
+		HopRecord{Trace: 2, Hop: HopQueue, SimTS: 0, SimUS: 10},
+		HopRecord{Trace: 2, Hop: HopService, SimTS: 10, SimUS: 90},
+		HopRecord{Trace: 3, Hop: HopGC, SimTS: 0, SimUS: 50, Pages: 4},
+		HopRecord{Trace: 3, Hop: HopGC, SimTS: 50, SimUS: 40, Pages: 2},
+		HopRecord{Trace: 3, Hop: HopService, SimTS: 90, SimUS: 80},
+	)
+	b := LedgerBreakdown(recs)
+	if b.Traces != 3 {
+		t.Fatalf("traces %d", b.Traces)
+	}
+	if b.Hops[HopQueue].N != 2 || b.Hops[HopQueue].Max != 100 {
+		t.Fatalf("queue %+v", b.Hops[HopQueue])
+	}
+	if b.Hops[HopGC].Pages != 6 {
+		t.Fatalf("gc pages %d", b.Hops[HopGC].Pages)
+	}
+	// Wall-only hop reports wall µs.
+	if b.Hops[HopClient].Mean != 7 {
+		t.Fatalf("client mean %v", b.Hops[HopClient].Mean)
+	}
+	// Slowest-hop attribution: one trace each.
+	if b.Hops[HopQueue].Slowest != 1 || b.Hops[HopService].Slowest != 1 || b.Hops[HopGC].Slowest != 1 {
+		t.Fatalf("slowest attribution q=%d s=%d gc=%d",
+			b.Hops[HopQueue].Slowest, b.Hops[HopService].Slowest, b.Hops[HopGC].Slowest)
+	}
+	// Wall-only hops never win attribution.
+	if b.Hops[HopClient].Slowest != 0 {
+		t.Fatal("wall-only hop won slowest attribution")
+	}
+
+	var table bytes.Buffer
+	if err := b.WriteTable(&table); err != nil {
+		t.Fatal(err)
+	}
+	out := table.String()
+	for _, name := range []string{"client*", "proxy", "admission*", "queue", "gc", "service", "traces: 3"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("table missing %q:\n%s", name, out)
+		}
+	}
+}
+
+func TestWriteLedgerChromeDeterministic(t *testing.T) {
+	recs := []HopRecord{
+		{Proc: "load", Trace: 1, Hop: HopClient, Parent: HopNone, Seq: 0, LPN: 5, SimTS: -1, WallNS: 1234},
+		{Proc: "srv", Trace: 1, Hop: HopQueue, Parent: HopClient, Seq: 0, LPN: 5, SimTS: 20, SimUS: 3},
+		{Proc: "srv", Trace: 1, Hop: HopService, Parent: HopClient, Seq: 0, LPN: 5, SimTS: 23, SimUS: 71, Status: 0},
+		{Proc: "srv", Trace: 2, Hop: HopGC, Parent: HopNone, Seq: 7, LPN: -1, SimTS: 99, SimUS: 200, Pages: 12},
+	}
+	render := func(in []HopRecord, wall bool) string {
+		var b bytes.Buffer
+		if err := WriteLedgerChrome(&b, in, wall); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	out := render(recs, false)
+	// Permuting the input changes nothing: the writer sorts.
+	perm := []HopRecord{recs[3], recs[1], recs[0], recs[2]}
+	if got := render(perm, false); got != out {
+		t.Fatalf("permuted input changed output:\n%s\nvs\n%s", got, out)
+	}
+	// Wall-clock jitter changes nothing without -wall.
+	jit := append([]HopRecord(nil), recs...)
+	jit[0].WallNS = 999999
+	if got := render(jit, false); got != out {
+		t.Fatal("wall-clock change leaked into deterministic export")
+	}
+	if !strings.Contains(render(recs, true), `"wall_ns":1234`) {
+		t.Fatal("-wall export lacks wall_ns args")
+	}
+	if strings.Contains(out, "wall_ns") {
+		t.Fatal("deterministic export carries wall_ns")
+	}
+
+	// Valid Chrome JSON: instants anchored at the trace's earliest sim ts.
+	var evs []map[string]any
+	if err := json.Unmarshal([]byte(out), &evs); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, out)
+	}
+	var sawInstant, sawSpan bool
+	for _, ev := range evs {
+		switch ev["ph"] {
+		case "i":
+			sawInstant = true
+			if ev["ts"].(float64) != 20 { // trace 1's earliest simulated ts
+				t.Fatalf("instant anchored at %v, want 20", ev["ts"])
+			}
+		case "X":
+			sawSpan = true
+			if _, ok := ev["dur"]; !ok {
+				t.Fatalf("span without dur: %v", ev)
+			}
+		}
+	}
+	if !sawInstant || !sawSpan {
+		t.Fatalf("export lacks instant/span mix: %s", out)
+	}
+}
+
+func TestWriteLedgerPrometheus(t *testing.T) {
+	l := NewLedger("p")
+	l.Record(HopRecord{Trace: 1, Hop: HopQueue, SimTS: 0, SimUS: 5})
+	l.Record(HopRecord{Trace: 1, Hop: HopClient, SimTS: -1, WallNS: 4000})
+	var b bytes.Buffer
+	bw := bufio.NewWriter(&b)
+	WriteLedgerPrometheus(bw, l)
+	bw.Flush()
+	out := b.String()
+	for _, want := range []string{
+		`hop_latency_us{hop="queue",quantile="0.5"} 5`,
+		`hop_latency_us_count{hop="queue"} 1`,
+		`hop_latency_us{hop="client",quantile="0.5"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `hop="gc"`) {
+		t.Fatal("empty hop emitted series")
+	}
+	// A nil ledger writes nothing.
+	var nb bytes.Buffer
+	nbw := bufio.NewWriter(&nb)
+	WriteLedgerPrometheus(nbw, nil)
+	nbw.Flush()
+	if nb.Len() != 0 {
+		t.Fatalf("nil ledger wrote %q", nb.String())
+	}
+}

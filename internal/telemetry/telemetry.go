@@ -71,6 +71,10 @@ type Event struct {
 	Seq   uint64  // submission ticket — the stable ordering key
 	Slot  int     // position within the ticket (request slot or op index)
 	LPN   int64   // logical page, -1 when not applicable
+	// TraceID links the event to a cluster-wide request trace (see the hop
+	// ledger in ledger.go). 0 = untraced; the Chrome export then omits it,
+	// so untraced runs keep their historical bytes.
+	TraceID uint64
 }
 
 // Tracer receives trace events. Implementations must be safe for concurrent

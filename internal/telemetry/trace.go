@@ -69,7 +69,10 @@ func sortEvents(evs []Event) {
 		if a.Dur != b.Dur {
 			return a.Dur < b.Dur
 		}
-		return a.Ph < b.Ph
+		if a.Ph != b.Ph {
+			return a.Ph < b.Ph
+		}
+		return a.TraceID < b.TraceID
 	})
 }
 
@@ -133,6 +136,10 @@ func (t *Trace) WriteChrome(w io.Writer) error {
 		}
 		if ev.GC {
 			bw.WriteString(`,"gc":1`)
+		}
+		if ev.TraceID != 0 {
+			bw.WriteString(`,"trace":`)
+			bw.WriteString(strconv.FormatUint(ev.TraceID, 10))
 		}
 		bw.WriteString(`}}`)
 	}

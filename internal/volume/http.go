@@ -1,6 +1,7 @@
 package volume
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -8,22 +9,33 @@ import (
 	"strconv"
 
 	"superfast/internal/stats"
+	"superfast/internal/telemetry"
 )
 
 // Routes returns the volume's HTTP surface:
 //
 //	GET  /metrics           merged Prometheus exposition (cluster + per-backend)
 //	GET  /cluster           full cluster snapshot as JSON
+//	GET  /trace             hop-ledger shard (when a ledger is wired)
 //	POST /rebalance/add     ?addr=host:port — attach a backend and rebalance
 //	POST /rebalance/remove  ?backend=N — drain and detach a backend
 //
-// The proxy may be nil; frontend serving counters are then omitted.
-func Routes(v *Volume, p *Proxy) *http.ServeMux {
+// The proxy may be nil; frontend serving counters are then omitted. led may
+// be nil; /trace and the hop_latency_us summaries are then omitted.
+func Routes(v *Volume, p *Proxy, led *telemetry.Ledger) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		writePrometheus(w, v, p)
+		if led != nil {
+			bw := bufio.NewWriter(w)
+			telemetry.WriteLedgerPrometheus(bw, led)
+			bw.Flush()
+		}
 	})
+	if led != nil {
+		mux.Handle("/trace", telemetry.TraceHandler(led))
+	}
 	mux.HandleFunc("/cluster", func(w http.ResponseWriter, r *http.Request) {
 		snap := v.ClusterStat()
 		if p != nil {

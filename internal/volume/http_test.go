@@ -16,7 +16,7 @@ import (
 func TestVolumeHTTP(t *testing.T) {
 	v, _ := startCluster(t, 3, server.Config{}, Config{Stripe: 2})
 	p, _ := startProxy(t, v)
-	ts := httptest.NewServer(Routes(v, p))
+	ts := httptest.NewServer(Routes(v, p, nil))
 	defer ts.Close()
 
 	for lpn := int64(0); lpn < 8; lpn++ {

@@ -204,7 +204,9 @@ func (c *proxyConn) reader() {
 		p.accepted.Add(1)
 		switch f.Op {
 		case server.OpPing:
-			c.respond(server.Response{Status: server.StatusOK, ID: f.ID})
+			// Advertise the trace extension like a backend would, so clients
+			// stamp trace context toward the proxy too.
+			c.respond(server.Response{Status: server.StatusOK, ID: f.ID, Payload: []byte(server.TraceCap)})
 		case server.OpStat:
 			c.respond(p.statResponse(f.ID))
 		case server.OpFlush:
@@ -255,13 +257,16 @@ func (c *proxyConn) reader() {
 // consumes the ticket (the volume advances its cursor either way).
 func (c *proxyConn) startOp(f server.Frame) (*Call, error) {
 	v := c.p.v
+	// Pass the client's trace context through: the volume's HopProxy records
+	// then point back at the hop that sent the frame.
+	tr := TraceRef{ID: f.Trace, Parent: f.ParentHop}
 	switch f.Op {
 	case server.OpRead:
-		return v.StartRead(f.LPN, f.Seq, f.Arrival)
+		return v.StartRead(f.LPN, f.Seq, f.Arrival, tr)
 	case server.OpWrite:
-		return v.StartWrite(f.LPN, f.Payload, f.Hint, f.Seq, f.Arrival)
+		return v.StartWrite(f.LPN, f.Payload, f.Hint, f.Seq, f.Arrival, tr)
 	default:
-		return v.StartTrim(f.LPN, f.Seq, f.Arrival)
+		return v.StartTrim(f.LPN, f.Seq, f.Arrival, tr)
 	}
 }
 

@@ -1,0 +1,196 @@
+package volume
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"superfast/internal/server"
+	"superfast/internal/server/client"
+	"superfast/internal/telemetry"
+)
+
+// startTracedCluster builds the full traced topology the CLIs assemble:
+// three sequenced backends (ledger in serving layer + device), a sequenced
+// volume with its own ledger, and a proxy front end. It returns the volume,
+// the proxy address, and every process's ledger in merge order
+// (load, vol, srv0..srv2) — the load ledger is created here so callers wire
+// it into their clients.
+func startTracedCluster(t *testing.T) (*Volume, string, []*telemetry.Ledger) {
+	t.Helper()
+	leds := []*telemetry.Ledger{telemetry.NewLedger("ftlload"), telemetry.NewLedger("ftlvol")}
+	addrs := make([]string, 3)
+	for i := range addrs {
+		led := telemetry.NewLedger(fmt.Sprintf("srv%d", i))
+		leds = append(leds, led)
+		bk := startBackend(t, server.Config{Sequenced: true, Ledger: led})
+		addrs[i] = bk.addr
+	}
+	v, err := Dial(addrs, Config{Stripe: 4, Sequenced: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(v.Close)
+	v.SetLedger(leds[1])
+	_, addr := startProxy(t, v)
+	return v, addr, leds
+}
+
+// replayTraced replays ops against addr over conns pipelined connections,
+// stamping dense sequenced tickets AND trace context (request i is trace
+// i+1), with every client feeding the shared load ledger.
+func replayTraced(t *testing.T, addr string, ops []traceOp, conns int, led *telemetry.Ledger) []server.Response {
+	t.Helper()
+	cs := make([]*client.Client, conns)
+	for i := range cs {
+		c, err := client.Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if ok, err := c.SupportsTrace(); err != nil || !ok {
+			t.Fatalf("proxy does not advertise %s: %v %v", server.TraceCap, ok, err)
+		}
+		c.SetLedger(led)
+		cs[i] = c
+	}
+	calls := make([]*client.Call, len(ops))
+	for i, op := range ops {
+		f := server.Frame{
+			Op: op.op, LPN: op.lpn, Payload: op.payload,
+			Flags: server.FlagSequenced | server.FlagTrace, Seq: uint64(i),
+			Trace: uint64(i) + 1, ParentHop: telemetry.HopClient,
+		}
+		call, err := cs[i%conns].Start(f)
+		if err != nil {
+			t.Fatalf("start op %d: %v", i, err)
+		}
+		calls[i] = call
+	}
+	resps := make([]server.Response, len(ops))
+	for i, call := range calls {
+		r, err := call.Wait()
+		if err != nil {
+			t.Fatalf("wait op %d: %v", i, err)
+		}
+		resps[i] = r
+	}
+	return resps
+}
+
+// clusterTraceRun replays the canonical traced workload at the given client
+// connection count and returns the deterministic Chrome export of the merged
+// ledger, the merged records, and the responses.
+func clusterTraceRun(t *testing.T, conns int) ([]byte, []telemetry.HopRecord, []server.Response) {
+	t.Helper()
+	v, addr, leds := startTracedCluster(t)
+	span := v.Space()
+	if span > 96 {
+		span = 96
+	}
+	ops := buildTrace(300, span, 42)
+	resps := replayTraced(t, addr, ops, conns, leds[0])
+	shards := make([][]telemetry.HopRecord, len(leds))
+	for i, l := range leds {
+		shards[i] = l.Records()
+	}
+	merged := telemetry.MergeRecords(shards...)
+	var buf bytes.Buffer
+	if err := telemetry.WriteLedgerChrome(&buf, merged, false); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), merged, resps
+}
+
+// TestClusterTraceGolden is the tentpole acceptance test: the merged
+// cluster-wide trace of a sequenced replay is byte-identical across runs and
+// across client worker counts (1, 4, 8), pinned by a golden file.
+// Regenerate with UPDATE_GOLDEN=1 go test ./internal/volume -run TestClusterTraceGolden.
+func TestClusterTraceGolden(t *testing.T) {
+	out1, recs, resps := clusterTraceRun(t, 1)
+	out4, _, _ := clusterTraceRun(t, 4)
+	out8, _, _ := clusterTraceRun(t, 8)
+	if !bytes.Equal(out1, out4) {
+		t.Fatal("merged trace differs between 1 and 4 client connections")
+	}
+	if !bytes.Equal(out1, out8) {
+		t.Fatal("merged trace differs between 1 and 8 client connections")
+	}
+
+	golden := filepath.Join("testdata", "cluster_trace.golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, out1, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(out1))
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(out1, want) {
+		t.Fatalf("merged trace drifted from golden (%d vs %d bytes); if intended, regenerate with UPDATE_GOLDEN=1",
+			len(out1), len(want))
+	}
+
+	// The merged ledger covers every hop type in the taxonomy.
+	var seen [telemetry.NumHops]int
+	for _, r := range recs {
+		if r.Hop.Valid() {
+			seen[r.Hop]++
+		}
+	}
+	for h := telemetry.Hop(0); h.Valid(); h++ {
+		if seen[h] == 0 {
+			t.Fatalf("merged trace has no %v records", h)
+		}
+	}
+	// Every op produced exactly one client hop and (at replicas=1) one proxy
+	// leg; a proxy leg's simulated duration is the backend's device latency.
+	if seen[telemetry.HopClient] != len(resps) {
+		t.Fatalf("%d client hops for %d ops", seen[telemetry.HopClient], len(resps))
+	}
+}
+
+// TestClusterTraceAccounting pins the cross-layer latency identity end to
+// end: for every OK op, the backend's queue+gc+service simulated durations
+// sum to the proxy leg's recorded latency, which is exactly the latency the
+// client observed in its response.
+func TestClusterTraceAccounting(t *testing.T) {
+	_, recs, resps := clusterTraceRun(t, 4)
+	devSum := map[uint64]float64{}
+	proxyLat := map[uint64]float64{}
+	for _, r := range recs {
+		switch r.Hop {
+		case telemetry.HopQueue, telemetry.HopGC, telemetry.HopService:
+			if r.LPN >= 0 { // skip background GC-step records
+				devSum[r.Trace] += r.SimUS
+			}
+		case telemetry.HopProxy:
+			proxyLat[r.Trace] = r.SimUS
+		}
+	}
+	checked := 0
+	for i, resp := range resps {
+		if resp.Status != server.StatusOK {
+			continue
+		}
+		tid := uint64(i) + 1
+		if math.Abs(devSum[tid]-resp.Latency) > 1e-6 {
+			t.Fatalf("op %d: device hops sum to %v µs, client saw %v µs", i, devSum[tid], resp.Latency)
+		}
+		if math.Abs(proxyLat[tid]-resp.Latency) > 1e-6 {
+			t.Fatalf("op %d: proxy leg recorded %v µs, client saw %v µs", i, proxyLat[tid], resp.Latency)
+		}
+		checked++
+	}
+	if checked < len(resps)/2 {
+		t.Fatalf("only %d/%d ops were checkable", checked, len(resps))
+	}
+}

@@ -4,11 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"superfast/internal/ftl"
 	"superfast/internal/server"
 	"superfast/internal/server/client"
 	"superfast/internal/stats"
+	"superfast/internal/telemetry"
 )
 
 // Config shapes a volume.
@@ -35,9 +37,10 @@ type Config struct {
 // telemetry. Latency digests are per-backend so the cluster view can merge
 // them without retaining samples.
 type backend struct {
-	addr string
-	c    *client.Client
-	seq  uint64 // next dense sequenced ticket for this backend
+	addr   string
+	c      *client.Client
+	seq    uint64 // next dense sequenced ticket for this backend
+	traced bool   // the backend advertised server.TraceCap at dial time
 
 	lmu      sync.Mutex
 	readLat  stats.LatencyDigest
@@ -71,6 +74,27 @@ type Volume struct {
 
 	cmu      sync.Mutex
 	counters Counters
+
+	led *telemetry.Ledger // hop ledger, nil = disabled (read under mu)
+}
+
+// TraceRef carries the trace context of one volume operation: the
+// cluster-wide trace ID and the hop that handed the request to the volume
+// (HopClient when a client library calls directly, HopNone at the root). A
+// zero TraceRef disables tracing for the op.
+type TraceRef struct {
+	ID     uint64
+	Parent telemetry.Hop
+}
+
+// SetLedger attaches (or, with nil, detaches) a hop ledger. Every traced
+// operation then records one HopProxy entry per replica leg: the backend's
+// reported simulated latency plus the leg's wall-clock round trip. Call
+// before issuing traced operations.
+func (v *Volume) SetLedger(l *telemetry.Ledger) {
+	v.mu.Lock()
+	v.led = l
+	v.mu.Unlock()
 }
 
 // Counters is the volume-level op accounting.
@@ -122,6 +146,11 @@ func Dial(addrs []string, cfg Config) (*Volume, error) {
 			c.Close()
 			v.closeAll()
 			return nil, fmt.Errorf("volume: %s page size %d, cluster uses %d", addr, snap.PageSize, v.pageSize)
+		}
+		// Capability probe: stamp the trace extension only toward backends
+		// that advertised it, so plain v1 backends keep seeing v1 bytes.
+		if ok, err := c.SupportsTrace(); err == nil {
+			b.traced = ok
 		}
 		s := snap.Capacity / cfg.Stripe
 		if minSlots < 0 || s < minSlots {
@@ -187,6 +216,8 @@ type rcall struct {
 	bk   *backend
 	loc  Loc
 	call *client.Call
+	leg  uint8     // replica index within the op's fan-out
+	t0   time.Time // wall clock at leg submission, for the HopProxy record
 }
 
 // backend returns the pinned entry for index i under the volume lock.
@@ -203,17 +234,34 @@ type Call struct {
 	lpn  int64
 	locs []Loc // full replica set at submission time
 	legs []rcall
+	tr   TraceRef
+	seq  uint64            // global sequenced ticket (0 unsequenced)
+	led  *telemetry.Ledger // pinned at submission under v.mu
+}
+
+// recordLeg appends one HopProxy record for a resolved replica leg: the
+// backend's simulated latency (what the scatter/gather saw) plus the leg's
+// wall-clock round trip from submission to response.
+func (ca *Call) recordLeg(leg rcall, r server.Response) {
+	if ca.led == nil || ca.tr.ID == 0 {
+		return
+	}
+	ca.led.Record(telemetry.HopRecord{
+		Trace: ca.tr.ID, Hop: telemetry.HopProxy, Parent: ca.tr.Parent,
+		Leg: leg.leg, Seq: ca.seq, LPN: leg.loc.SLPN, Status: byte(r.Status),
+		SimTS: -1, SimUS: r.Latency, WallNS: time.Since(leg.t0).Nanoseconds(),
+	})
 }
 
 // startLocked fans one data op out to the replica set. Caller holds v.mu —
 // that is what keeps per-backend frames (and their dense sequenced tickets)
 // in submission order on each connection.
-func (v *Volume) startLocked(op server.Op, lpn int64, payload []byte, hint ftl.Hint, arrival float64) (*Call, error) {
+func (v *Volume) startLocked(op server.Op, lpn int64, payload []byte, hint ftl.Hint, seq uint64, arrival float64, tr TraceRef) (*Call, error) {
 	locs, err := v.place.Locate(lpn, nil)
 	if err != nil {
 		return nil, err
 	}
-	ca := &Call{v: v, op: op, lpn: lpn, locs: locs}
+	ca := &Call{v: v, op: op, lpn: lpn, locs: locs, tr: tr, seq: seq, led: v.led}
 	plainRead := op == server.OpRead && !v.cfg.VerifyReads
 	var lastErr error
 	for i, l := range locs {
@@ -226,6 +274,15 @@ func (v *Volume) startLocked(op server.Op, lpn int64, payload []byte, hint ftl.H
 			f.Flags = server.FlagSequenced
 			f.Seq = b.seq
 		}
+		if tr.ID != 0 && b.traced {
+			// Propagate the trace context downstream: the volume is the
+			// proxy hop, so server-side records point back at it.
+			f.Flags |= server.FlagTrace
+			f.Trace = tr.ID
+			f.ParentHop = telemetry.HopProxy
+			f.Leg = uint8(i)
+		}
+		t0 := time.Now()
 		call, err := b.c.Start(f)
 		if err != nil {
 			// An idempotent read whose replica connection is already dead
@@ -240,7 +297,7 @@ func (v *Volume) startLocked(op server.Op, lpn int64, payload []byte, hint ftl.H
 		if v.cfg.Sequenced {
 			b.seq++
 		}
-		ca.legs = append(ca.legs, rcall{b: l.Backend, bk: b, loc: l, call: call})
+		ca.legs = append(ca.legs, rcall{b: l.Backend, bk: b, loc: l, call: call, leg: uint8(i), t0: t0})
 		if plainRead {
 			break // plain reads hit one healthy replica
 		}
@@ -254,7 +311,7 @@ func (v *Volume) startLocked(op server.Op, lpn int64, payload []byte, hint ftl.H
 // start admits one data op. In Sequenced mode it blocks until the global
 // cursor reaches seq, then advances it whether or not the op was accepted —
 // the ticket is consumed either way, exactly like the server's admission.
-func (v *Volume) start(op server.Op, lpn int64, payload []byte, hint ftl.Hint, seq uint64, arrival float64) (*Call, error) {
+func (v *Volume) start(op server.Op, lpn int64, payload []byte, hint ftl.Hint, seq uint64, arrival float64, tr TraceRef) (*Call, error) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if v.cfg.Sequenced {
@@ -274,7 +331,7 @@ func (v *Volume) start(op server.Op, lpn int64, payload []byte, hint ftl.Hint, s
 	if v.closed {
 		return nil, client.ErrClosed
 	}
-	return v.startLocked(op, lpn, payload, hint, arrival)
+	return v.startLocked(op, lpn, payload, hint, seq, arrival, tr)
 }
 
 // SkipSeq consumes one global sequenced ticket without issuing an op — the
@@ -297,22 +354,23 @@ func (v *Volume) SkipSeq(seq uint64) {
 }
 
 // StartRead begins an asynchronous read of one logical page. seq is the
-// global replay ticket, ignored unless the volume is sequenced.
-func (v *Volume) StartRead(lpn int64, seq uint64, arrival float64) (*Call, error) {
+// global replay ticket, ignored unless the volume is sequenced; tr is the
+// trace context (zero = untraced).
+func (v *Volume) StartRead(lpn int64, seq uint64, arrival float64, tr TraceRef) (*Call, error) {
 	v.count(func(c *Counters) { c.Reads++ })
-	return v.start(server.OpRead, lpn, nil, ftl.HintNone, seq, arrival)
+	return v.start(server.OpRead, lpn, nil, ftl.HintNone, seq, arrival, tr)
 }
 
 // StartWrite begins an asynchronous write fanned out to every replica.
-func (v *Volume) StartWrite(lpn int64, data []byte, hint ftl.Hint, seq uint64, arrival float64) (*Call, error) {
+func (v *Volume) StartWrite(lpn int64, data []byte, hint ftl.Hint, seq uint64, arrival float64, tr TraceRef) (*Call, error) {
 	v.count(func(c *Counters) { c.Writes++ })
-	return v.start(server.OpWrite, lpn, data, hint, seq, arrival)
+	return v.start(server.OpWrite, lpn, data, hint, seq, arrival, tr)
 }
 
 // StartTrim begins an asynchronous trim fanned out to every replica.
-func (v *Volume) StartTrim(lpn int64, seq uint64, arrival float64) (*Call, error) {
+func (v *Volume) StartTrim(lpn int64, seq uint64, arrival float64, tr TraceRef) (*Call, error) {
 	v.count(func(c *Counters) { c.Trims++ })
-	return v.start(server.OpTrim, lpn, nil, ftl.HintNone, seq, arrival)
+	return v.start(server.OpTrim, lpn, nil, ftl.HintNone, seq, arrival, tr)
 }
 
 // Wait resolves the operation. The returned Response carries the combined
@@ -336,6 +394,7 @@ func (ca *Call) Wait() (server.Response, error) {
 			continue
 		}
 		leg.bk.observe(ca.op, r.Latency)
+		ca.recordLeg(leg, r)
 		if r.Latency > out.Latency {
 			out.Latency = r.Latency
 		}
@@ -358,6 +417,7 @@ func (ca *Call) waitRead() (server.Response, error) {
 	r, err := ca.legs[0].call.Wait()
 	if err == nil {
 		ca.legs[0].bk.observe(server.OpRead, r.Latency)
+		ca.recordLeg(ca.legs[0], r)
 		return r, nil
 	}
 	if v.cfg.Sequenced || !errors.Is(err, client.ErrConnLost) {
@@ -366,15 +426,24 @@ func (ca *Call) waitRead() (server.Response, error) {
 	// The replica's connection died under an idempotent read: retry the
 	// remaining copies in placement order.
 	tried := ca.legs[0].b
-	for _, l := range ca.locs {
+	for i, l := range ca.locs {
 		if l.Backend == tried {
 			continue
 		}
 		v.count(func(c *Counters) { c.Retries++ })
 		rb := v.backend(l.Backend)
-		r, rerr := rb.c.Do(server.Frame{Op: server.OpRead, LPN: l.SLPN})
+		f := server.Frame{Op: server.OpRead, LPN: l.SLPN}
+		if ca.tr.ID != 0 && rb.traced {
+			f.Flags |= server.FlagTrace
+			f.Trace = ca.tr.ID
+			f.ParentHop = telemetry.HopProxy
+			f.Leg = uint8(i)
+		}
+		t0 := time.Now()
+		r, rerr := rb.c.Do(f)
 		if rerr == nil {
 			rb.observe(server.OpRead, r.Latency)
+			ca.recordLeg(rcall{b: l.Backend, bk: rb, loc: l, leg: uint8(i), t0: t0}, r)
 			return r, nil
 		}
 		err = rerr
@@ -394,6 +463,7 @@ func (ca *Call) waitVerifiedRead() (server.Response, error) {
 		resps[i], errs[i] = leg.call.Wait()
 		if errs[i] == nil {
 			leg.bk.observe(server.OpRead, resps[i].Latency)
+			ca.recordLeg(leg, resps[i])
 		}
 	}
 	primary := -1
@@ -430,7 +500,7 @@ func (ca *Call) waitVerifiedRead() (server.Response, error) {
 
 // Read fetches one logical page synchronously.
 func (v *Volume) Read(lpn int64) (server.Response, error) {
-	ca, err := v.StartRead(lpn, 0, 0)
+	ca, err := v.StartRead(lpn, 0, 0, TraceRef{})
 	if err != nil {
 		return server.Response{}, err
 	}
@@ -439,7 +509,7 @@ func (v *Volume) Read(lpn int64) (server.Response, error) {
 
 // Write stores one logical page synchronously on every replica.
 func (v *Volume) Write(lpn int64, data []byte, hint ftl.Hint) (server.Response, error) {
-	ca, err := v.StartWrite(lpn, data, hint, 0, 0)
+	ca, err := v.StartWrite(lpn, data, hint, 0, 0, TraceRef{})
 	if err != nil {
 		return server.Response{}, err
 	}
@@ -448,7 +518,7 @@ func (v *Volume) Write(lpn int64, data []byte, hint ftl.Hint) (server.Response, 
 
 // Trim discards one logical page synchronously on every replica.
 func (v *Volume) Trim(lpn int64) (server.Response, error) {
-	ca, err := v.StartTrim(lpn, 0, 0)
+	ca, err := v.StartTrim(lpn, 0, 0, TraceRef{})
 	if err != nil {
 		return server.Response{}, err
 	}
@@ -502,6 +572,10 @@ func (v *Volume) AddBackend(addr string) (int, error) {
 		c.Close()
 		return 0, fmt.Errorf("volume: %s page size %d, cluster uses %d", addr, snap.PageSize, v.pageSize)
 	}
+	traced := false
+	if ok, perr := c.SupportsTrace(); perr == nil {
+		traced = ok
+	}
 	v.mu.Lock()
 	nb, moves, err := v.place.BeginAdd(snap.Capacity / v.cfg.Stripe)
 	if err != nil {
@@ -509,7 +583,7 @@ func (v *Volume) AddBackend(addr string) (int, error) {
 		c.Close()
 		return 0, err
 	}
-	v.bks = append(v.bks, &backend{addr: addr, c: c})
+	v.bks = append(v.bks, &backend{addr: addr, c: c, traced: traced})
 	v.mu.Unlock()
 	return nb, v.migrate(moves)
 }

@@ -41,6 +41,11 @@ func startBackend(t testing.TB, cfg server.Config) *testBackend {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if cfg.Ledger != nil {
+		// Trace tests wire one ledger through serving layer and device both,
+		// like cmd/ftlserve does.
+		dev.SetLedger(cfg.Ledger)
+	}
 	srv := server.New(dev, cfg)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -152,7 +157,7 @@ func TestVolumePipelinedStarts(t *testing.T) {
 	calls := make([]*Call, 0, n)
 	for i := 0; i < n; i++ {
 		lpn := int64(i) % v.Space()
-		ca, err := v.StartWrite(lpn, pageData(lpn, 1), ftl.HintNone, 0, 0)
+		ca, err := v.StartWrite(lpn, pageData(lpn, 1), ftl.HintNone, 0, 0, TraceRef{})
 		if err != nil {
 			t.Fatalf("start %d: %v", i, err)
 		}
@@ -467,7 +472,7 @@ func TestVolumeSequencedTicketFlow(t *testing.T) {
 		started.Add(1)
 		go func(seq uint64) {
 			started.Done()
-			ca, err := v.StartWrite(int64(seq), pageData(int64(seq), 0), ftl.HintNone, seq, 0)
+			ca, err := v.StartWrite(int64(seq), pageData(int64(seq), 0), ftl.HintNone, seq, 0, TraceRef{})
 			if err != nil {
 				results[seq] <- res{err: err}
 				return
@@ -485,7 +490,7 @@ func TestVolumeSequencedTicketFlow(t *testing.T) {
 		t.Fatal("ticket 2 resolved before ticket 0 was submitted")
 	default:
 	}
-	ca, err := v.StartWrite(0, pageData(0, 0), ftl.HintNone, 0, 0)
+	ca, err := v.StartWrite(0, pageData(0, 0), ftl.HintNone, 0, 0, TraceRef{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -506,7 +511,7 @@ func TestVolumeSequencedTicketFlow(t *testing.T) {
 	// A skipped ticket unblocks the one behind it.
 	done := make(chan res, 1)
 	go func() {
-		ca, err := v.StartRead(0, 4, 0)
+		ca, err := v.StartRead(0, 4, 0, TraceRef{})
 		if err != nil {
 			done <- res{err: err}
 			return
