@@ -2,7 +2,10 @@
 # vets, builds and runs the full test suite under the race detector — the
 # concurrent device front end and the parallel experiment sweep
 # (`go run ./cmd/sbsim -all -quick -parallel 4`) are only trustworthy
-# race-clean.
+# race-clean. The second -race leg re-runs the parallel-core tests (the
+# conservative-horizon device and the parallel experiment identity check)
+# with -count=1, so they execute fresh even when the full-suite run above
+# was served from the test cache.
 
 GO ?= go
 
@@ -18,6 +21,8 @@ check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(GO) test -race -count=1 -run 'TestConcurrent|TestSimThroughputParallelIdentical' \
+		./internal/ssd ./internal/experiments
 	$(MAKE) smoke
 
 # Observability smoke: the in-process HTTP exposition test (serve on an
@@ -170,14 +175,23 @@ else
 	$(GO) test -bench BenchmarkAttributionRecord -benchtime $(BENCH_TIME) -run XXX ./internal/telemetry
 endif
 
-# Non-blocking perf trend: diff two benchjson reports on ns/op and print a
-# per-benchmark delta table, failing (exit 1) when anything regressed more
-# than BENCH_TOL. Defaults to the two newest BENCH_*.json checked into the
-# repo root; override with BENCH_OLD/BENCH_NEW. CI runs this with
-# continue-on-error — shared-runner bench numbers are too noisy to block
-# merges on, but the table in the log is the first place to look when a PR
-# feels slow.
+# Perf trend gate: diff two benchjson reports and print a per-benchmark
+# delta table, failing (exit 1) when anything regressed past its tolerance.
+# The three metrics gate independently: ns/op under BENCH_TOL stays advisory
+# in CI (continue-on-error — shared-runner timing is too noisy to block
+# merges on), but allocs/op under BENCH_ALLOC_TOL is BLOCKING — steady-state
+# allocation counts in the FTL and flash benchmarks are deterministic, so
+# alloc growth in a shared benchmark is a real regression, not noise. The 1%
+# slack only absorbs one-time setup allocations (process-wide caches land on
+# whichever benchmark runs first at -benchtime 1x); it cannot hide a hot-
+# path alloc, which scales with op count. A benchmark that was allocation-
+# free must stay allocation-free: zero has no slack at any tolerance. B/op
+# gates under BENCH_BYTES_TOL with timing-style slack, since pooled-buffer
+# accounting can shift bytes between runs. Defaults to the two newest
+# BENCH_*.json checked into the repo root; override with BENCH_OLD/BENCH_NEW.
 BENCH_TOL ?= 0.25
+BENCH_ALLOC_TOL ?= 0.01
+BENCH_BYTES_TOL ?= 0.25
 bench-compare:
 	@old="$(BENCH_OLD)"; new="$(BENCH_NEW)"; \
 	if [ -z "$$old" ] || [ -z "$$new" ]; then \
@@ -188,8 +202,9 @@ bench-compare:
 	if [ -z "$$old" ] || [ -z "$$new" ]; then \
 		echo "bench-compare: need two BENCH_*.json reports (or BENCH_OLD/BENCH_NEW)"; exit 2; \
 	fi; \
-	echo "bench-compare: $$old -> $$new (tol $(BENCH_TOL))"; \
-	$(GO) run ./cmd/benchjson -compare $$old $$new -tol $(BENCH_TOL)
+	echo "bench-compare: $$old -> $$new (tol $(BENCH_TOL), alloc-tol $(BENCH_ALLOC_TOL), bytes-tol $(BENCH_BYTES_TOL))"; \
+	$(GO) run ./cmd/benchjson -compare $$old $$new \
+		-tol $(BENCH_TOL) -alloc-tol $(BENCH_ALLOC_TOL) -bytes-tol $(BENCH_BYTES_TOL)
 
 # CPU + heap profiles of a representative device run, via the CLIs'
 # -cpuprofile/-memprofile flags (the offline complement of the live

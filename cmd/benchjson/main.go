@@ -11,12 +11,16 @@
 //
 // It also diffs two such reports:
 //
-//	benchjson -compare OLD.json NEW.json [-tol 0.25]
+//	benchjson -compare OLD.json NEW.json [-tol 0.25] [-alloc-tol 0] [-bytes-tol 0.25]
 //
 // prints a per-benchmark delta table and exits nonzero if any benchmark
-// present in both reports regressed in ns/op by more than the tolerance
-// (fractional: 0.25 = 25%). Benchmarks present in only one report are listed
-// but never fail the comparison — the suite is allowed to grow.
+// present in both reports regressed past a tolerance. ns/op, allocs/op and
+// B/op each have an independent fractional tolerance (0.25 = 25%); pass a
+// negative tolerance to skip that metric entirely. Alloc counts are exact in
+// steady state, so -alloc-tol defaults to 0: one extra allocation per op in a
+// shared benchmark fails the comparison (a benchmark whose old count is zero
+// must stay at zero). Benchmarks present in only one report are listed but
+// never fail the comparison — the suite is allowed to grow.
 package main
 
 import (
@@ -52,7 +56,9 @@ type Report struct {
 func main() {
 	out := flag.String("o", "", "write the JSON report to FILE")
 	compare := flag.Bool("compare", false, "compare two reports: benchjson -compare OLD.json NEW.json")
-	tol := flag.Float64("tol", 0.25, "with -compare, max tolerated fractional ns/op regression")
+	tol := flag.Float64("tol", 0.25, "with -compare, max tolerated fractional ns/op regression (negative skips)")
+	allocTol := flag.Float64("alloc-tol", 0, "with -compare, max tolerated fractional allocs/op regression (negative skips)")
+	bytesTol := flag.Float64("bytes-tol", 0.25, "with -compare, max tolerated fractional B/op regression (negative skips)")
 	flag.Parse()
 
 	if *compare {
@@ -61,12 +67,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -compare needs two report files: OLD.json NEW.json")
 			os.Exit(2)
 		}
-		// Accept -tol after the file names too (flag parsing stops at the
-		// first positional argument).
+		// Accept the tolerance flags after the file names too (flag parsing
+		// stops at the first positional argument).
 		rest := flag.NewFlagSet("compare", flag.ExitOnError)
-		tail := rest.Float64("tol", *tol, "max tolerated fractional ns/op regression")
+		tailTol := rest.Float64("tol", *tol, "max tolerated fractional ns/op regression (negative skips)")
+		tailAlloc := rest.Float64("alloc-tol", *allocTol, "max tolerated fractional allocs/op regression (negative skips)")
+		tailBytes := rest.Float64("bytes-tol", *bytesTol, "max tolerated fractional B/op regression (negative skips)")
 		rest.Parse(args[2:])
-		os.Exit(runCompare(args[0], args[1], *tail))
+		os.Exit(runCompare(args[0], args[1], Tolerances{Ns: *tailTol, Allocs: *tailAlloc, Bytes: *tailBytes}))
 	}
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: need -o FILE (or -compare OLD.json NEW.json)")
@@ -112,10 +120,36 @@ func main() {
 	}
 }
 
-// runCompare diffs two reports on ns/op and returns the process exit code:
-// 0 when every shared benchmark is within tolerance, 1 when any regressed
-// past it, 2 when a report cannot be read.
-func runCompare(oldPath, newPath string, tol float64) int {
+// Tolerances bounds the acceptable fractional regression per metric. A
+// negative value disables checking that metric.
+type Tolerances struct {
+	Ns     float64
+	Allocs float64
+	Bytes  float64
+}
+
+// exceeds reports whether new regressed past the fractional tolerance over
+// old. An old value of exactly zero demands the new value stay zero — there
+// is no ratio to take, and for alloc counts "was allocation-free" is
+// precisely the property worth pinning. (Both reports must come from
+// -benchmem runs for the alloc/byte columns to be meaningful: parseBench
+// leaves unmeasured metrics at zero, indistinguishable from a measured
+// zero.)
+func exceeds(oldV, newV, tol float64) bool {
+	if tol < 0 {
+		return false
+	}
+	if oldV == 0 {
+		return newV > 0
+	}
+	return newV/oldV-1 > tol
+}
+
+// runCompare diffs two reports on ns/op, allocs/op and B/op, each with its
+// own tolerance, and returns the process exit code: 0 when every shared
+// benchmark is within tolerance, 1 when any regressed past one, 2 when a
+// report cannot be read.
+func runCompare(oldPath, newPath string, tol Tolerances) int {
 	oldRep, err := readReport(oldPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -132,33 +166,46 @@ func runCompare(oldPath, newPath string, tol float64) int {
 	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
-	fmt.Fprintf(w, "benchmark\told ns/op\tnew ns/op\tdelta\t\n")
+	fmt.Fprintf(w, "benchmark\told ns/op\tnew ns/op\told allocs\tnew allocs\told B/op\tnew B/op\tdelta\t\n")
 	regressed := 0
 	for _, nb := range newRep.Benchmarks {
 		ob, shared := oldBy[nb.Name]
 		if !shared {
-			fmt.Fprintf(w, "%s\t-\t%.1f\tnew\t\n", nb.Name, nb.NsPerOp)
+			fmt.Fprintf(w, "%s\t-\t%.1f\t-\t%.0f\t-\t%.0f\tnew\t\n", nb.Name, nb.NsPerOp, nb.AllocsPerOp, nb.BytesPerOp)
 			continue
 		}
 		delete(oldBy, nb.Name)
 		if ob.NsPerOp <= 0 || nb.NsPerOp <= 0 {
-			fmt.Fprintf(w, "%s\t%.1f\t%.1f\tno ns/op\t\n", nb.Name, ob.NsPerOp, nb.NsPerOp)
+			fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.0f\t%.0f\t%.0f\t%.0f\tno ns/op\t\n",
+				nb.Name, ob.NsPerOp, nb.NsPerOp, ob.AllocsPerOp, nb.AllocsPerOp, ob.BytesPerOp, nb.BytesPerOp)
 			continue
 		}
 		delta := nb.NsPerOp/ob.NsPerOp - 1
+		var bad []string
+		if exceeds(ob.NsPerOp, nb.NsPerOp, tol.Ns) {
+			bad = append(bad, "ns/op")
+		}
+		if exceeds(ob.AllocsPerOp, nb.AllocsPerOp, tol.Allocs) {
+			bad = append(bad, "allocs/op")
+		}
+		if exceeds(ob.BytesPerOp, nb.BytesPerOp, tol.Bytes) {
+			bad = append(bad, "B/op")
+		}
 		verdict := ""
-		if delta > tol {
-			verdict = "  REGRESSED"
+		if len(bad) > 0 {
+			verdict = "  REGRESSED(" + strings.Join(bad, ",") + ")"
 			regressed++
 		}
-		fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%+.1f%%%s\t\n", nb.Name, ob.NsPerOp, nb.NsPerOp, delta*100, verdict)
+		fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.0f\t%.0f\t%.0f\t%.0f\t%+.1f%%%s\t\n",
+			nb.Name, ob.NsPerOp, nb.NsPerOp, ob.AllocsPerOp, nb.AllocsPerOp, ob.BytesPerOp, nb.BytesPerOp, delta*100, verdict)
 	}
 	for name := range oldBy {
-		fmt.Fprintf(w, "%s\t%.1f\t-\tgone\t\n", name, oldBy[name].NsPerOp)
+		fmt.Fprintf(w, "%s\t%.1f\t-\t%.0f\t-\t%.0f\t-\tgone\t\n", name, oldBy[name].NsPerOp, oldBy[name].AllocsPerOp, oldBy[name].BytesPerOp)
 	}
 	w.Flush()
 	if regressed > 0 {
-		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%% in ns/op\n", regressed, tol*100)
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed past tolerance (ns/op %.0f%%, allocs/op %.0f%%, B/op %.0f%%)\n",
+			regressed, tol.Ns*100, tol.Allocs*100, tol.Bytes*100)
 		return 1
 	}
 	return 0

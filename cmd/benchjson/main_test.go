@@ -1,0 +1,95 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestExceeds(t *testing.T) {
+	cases := []struct {
+		name          string
+		old, new, tol float64
+		want          bool
+	}{
+		{"within tolerance", 100, 110, 0.25, false},
+		{"past tolerance", 100, 130, 0.25, true},
+		{"improvement never trips", 100, 10, 0.0, false},
+		{"equal at zero tolerance", 100, 100, 0.0, false},
+		{"negative tolerance skips", 100, 1000, -1, false},
+		{"zero stays zero", 0, 0, 0.0, false},
+		{"zero to nonzero trips", 0, 1, 0.25, true},
+	}
+	for _, c := range cases {
+		if got := exceeds(c.old, c.new, c.tol); got != c.want {
+			t.Errorf("%s: exceeds(%v, %v, %v) = %v, want %v", c.name, c.old, c.new, c.tol, got, c.want)
+		}
+	}
+}
+
+func writeReport(t *testing.T, dir, name string, rep Report) string {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunCompareAllocRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkChurn", Iterations: 1000, NsPerOp: 1500, BytesPerOp: 39, AllocsPerOp: 0},
+	}})
+
+	// Same speed, but the benchmark started allocating: -alloc-tol 0 must
+	// fail the comparison even though ns/op is fine.
+	newPath := writeReport(t, dir, "new.json", Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkChurn", Iterations: 1000, NsPerOp: 1500, BytesPerOp: 55, AllocsPerOp: 1},
+	}})
+	if code := runCompare(oldPath, newPath, Tolerances{Ns: 0.25, Allocs: 0, Bytes: 0.25}); code != 1 {
+		t.Errorf("alloc regression: exit code %d, want 1", code)
+	}
+	// A negative tolerance disables that metric's check (bytes also grew
+	// 39 → 55 here, so it must be skipped too for the compare to pass).
+	if code := runCompare(oldPath, newPath, Tolerances{Ns: 0.25, Allocs: -1, Bytes: -1}); code != 0 {
+		t.Errorf("alloc check disabled: exit code %d, want 0", code)
+	}
+
+	// Identical report passes under the strictest tolerances.
+	if code := runCompare(oldPath, oldPath, Tolerances{Ns: 0, Allocs: 0, Bytes: 0}); code != 0 {
+		t.Errorf("self-compare: exit code %d, want 0", code)
+	}
+
+	// Bytes-only regression past its tolerance also fails.
+	bytesPath := writeReport(t, dir, "bytes.json", Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkChurn", Iterations: 1000, NsPerOp: 1500, BytesPerOp: 80, AllocsPerOp: 0},
+	}})
+	if code := runCompare(oldPath, bytesPath, Tolerances{Ns: 0.25, Allocs: 0, Bytes: 0.25}); code != 1 {
+		t.Errorf("bytes regression: exit code %d, want 1", code)
+	}
+
+	// Benchmarks present in only one report never fail the comparison.
+	grownPath := writeReport(t, dir, "grown.json", Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkChurn", Iterations: 1000, NsPerOp: 1500, BytesPerOp: 39, AllocsPerOp: 0},
+		{Name: "BenchmarkNew", Iterations: 10, NsPerOp: 9e6, BytesPerOp: 1 << 20, AllocsPerOp: 12345},
+	}})
+	if code := runCompare(oldPath, grownPath, Tolerances{Ns: 0, Allocs: 0, Bytes: 0}); code != 0 {
+		t.Errorf("suite growth: exit code %d, want 0", code)
+	}
+}
+
+func TestParseBenchWithBenchmem(t *testing.T) {
+	b, ok := parseBench("BenchmarkFTLChurn-8   \t  712345\t      1562 ns/op\t      39 B/op\t       0 allocs/op")
+	if !ok {
+		t.Fatal("parseBench failed")
+	}
+	if b.NsPerOp != 1562 || b.BytesPerOp != 39 || b.AllocsPerOp != 0 {
+		t.Errorf("parsed %+v", b)
+	}
+}

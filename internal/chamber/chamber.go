@@ -119,12 +119,20 @@ func (t *Testbed) FastProfile(lane, block, pe int) *profile.BlockProfile {
 	k := t.arr.Kernel()
 	chip, plane := g.LaneChipPlane(lane)
 	lwl := make([]float64, g.LWLsPerBlock())
-	for layer := 0; layer < g.Layers; layer++ {
-		for s := 0; s < g.Strings; s++ {
-			t.nonce++
-			lwl[g.LWLIndex(layer, s)] = k.ProgramLatency(pv.Coord{
-				Chip: chip, Plane: plane, Block: block, Layer: layer, String: s,
-			}, pe, t.nonce)
+	// The batch row fill consumes the same nonce per word-line as the
+	// per-call loop below (entry i draws nonce+1+i), so both paths measure
+	// identical latencies; the loop remains as the fallback for blocks the
+	// kernel does not cover.
+	if k.ProgramLatencyBlock(chip, plane, block, pe, t.nonce, lwl) {
+		t.nonce += uint64(len(lwl))
+	} else {
+		for layer := 0; layer < g.Layers; layer++ {
+			for s := 0; s < g.Strings; s++ {
+				t.nonce++
+				lwl[g.LWLIndex(layer, s)] = k.ProgramLatency(pv.Coord{
+					Chip: chip, Plane: plane, Block: block, Layer: layer, String: s,
+				}, pe, t.nonce)
+			}
 		}
 	}
 	t.nonce++

@@ -116,6 +116,13 @@ type Scheme struct {
 
 	pairChecks int
 	assembled  int
+
+	// Gathering tables cycle with every block open/close; pooling them (and
+	// copying the finished eigen into the block's persistent metadata rather
+	// than handing the gatherer's buffer away) keeps the per-P/E-cycle
+	// gathering path allocation-free.
+	gatherPool []*gather
+	order      []int // markSlowHalf scratch
 }
 
 // NewScheme creates a QSTR-MED instance for the given geometry. k is the
@@ -252,15 +259,13 @@ func (s *Scheme) NoteProgram(addr flash.BlockAddr, lwl int, latency float64) err
 			// skip gathering for this pass; the block keeps its old info.
 			return nil
 		}
-		g = &gather{
-			row:   make([]float64, s.geo.Strings),
-			eigen: profile.NewEigenBuilder(nWL),
-		}
+		g = s.newGather(nWL)
 		s.open[addr] = g
 	}
 	if lwl != g.nextLWL {
 		// Out-of-order observation: abandon this gathering pass.
 		delete(s.open, addr)
+		s.gatherPool = append(s.gatherPool, g)
 		return nil
 	}
 	g.sum += latency
@@ -270,36 +275,71 @@ func (s *Scheme) NoteProgram(addr flash.BlockAddr, lwl int, latency float64) err
 	g.nextLWL++
 	if g.rowFill == s.geo.Strings {
 		layer := lwl / s.geo.Strings
-		markSlowHalf(&g.eigen, g.row, layer, s.geo.Strings)
+		s.markSlowHalf(&g.eigen, g.row, layer, s.geo.Strings)
 		g.rowFill = 0
 	}
 	if g.nextLWL == nWL {
 		bi := s.info(addr)
 		bi.known = true
 		bi.pgmSum = g.sum
-		bi.eigen = g.eigen
+		// Copy rather than adopt the gatherer's eigen buffer: the block's
+		// metadata outlives the gathering pass, and the pass's table goes
+		// back to the pool for the next open block.
+		bi.eigen.CopyFrom(g.eigen)
 		delete(s.open, addr)
+		s.gatherPool = append(s.gatherPool, g)
 	}
 	return nil
 }
 
+// newGather returns a cleared latency table, reusing a pooled one when
+// available.
+func (s *Scheme) newGather(nWL int) *gather {
+	if n := len(s.gatherPool); n > 0 {
+		g := s.gatherPool[n-1]
+		s.gatherPool = s.gatherPool[:n-1]
+		g.sum = 0
+		g.rowFill = 0
+		g.nextLWL = 0
+		g.complete = false
+		g.eigen.Reset(nWL)
+		return g
+	}
+	return &gather{
+		row:   make([]float64, s.geo.Strings),
+		eigen: profile.NewEigenBuilder(nWL),
+	}
+}
+
 // markSlowHalf sets eigen bit 1 for the slower half of the strings on one
 // layer, bit 0 for the fastest half; ties resolve to the earlier string.
-func markSlowHalf(e *profile.Eigen, row []float64, layer, strings int) {
+// The ordering is a stable insertion sort over scheme-owned scratch — the
+// row is Strings wide (4 in the paper's geometry), where insertion sort
+// beats sort.SliceStable and, unlike it, does not allocate a closure and
+// swapper per call.
+func (s *Scheme) markSlowHalf(e *profile.Eigen, row []float64, layer, strings int) {
 	fast := strings / 2
 	if fast == 0 {
 		fast = 1
 	}
-	order := make([]int, strings)
+	if cap(s.order) < strings {
+		s.order = make([]int, strings)
+	}
+	order := s.order[:strings]
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		if row[order[a]] != row[order[b]] {
-			return row[order[a]] < row[order[b]]
+	// Insertion sort ascending by (latency, string index): identical total
+	// order to the previous stable sort with its explicit index tie-break.
+	for i := 1; i < strings; i++ {
+		v := order[i]
+		j := i - 1
+		for j >= 0 && (row[order[j]] > row[v] || (row[order[j]] == row[v] && order[j] > v)) {
+			order[j+1] = order[j]
+			j--
 		}
-		return order[a] < order[b]
-	})
+		order[j+1] = v
+	}
 	for i := fast; i < strings; i++ {
 		e.SetBit(layer*strings + order[i])
 	}
@@ -329,6 +369,13 @@ func (s *Scheme) addrOf(lane, block int) flash.BlockAddr {
 // Assemble builds one superblock of the requested speed on demand (§V-C)
 // and removes its members from the free pools.
 func (s *Scheme) Assemble(speed Speed) ([]flash.BlockAddr, error) {
+	return s.AssembleInto(nil, speed)
+}
+
+// AssembleInto is Assemble appending the members into dst (usually a
+// recycled, zero-length slice), so steady-state assembly reuses storage
+// from collected superblocks instead of allocating.
+func (s *Scheme) AssembleInto(dst []flash.BlockAddr, speed Speed) ([]flash.BlockAddr, error) {
 	nl := len(s.lanes)
 	for i := range s.lanes {
 		if s.lanes[i].free.Len() == 0 {
@@ -356,25 +403,34 @@ func (s *Scheme) Assemble(speed Speed) ([]flash.BlockAddr, error) {
 	refAddr := s.addrOf(refLane, refEntry.Block)
 	refInfo := s.info(refAddr)
 
-	members := make([]flash.BlockAddr, nl)
+	members := dst[:0]
+	for j := 0; j < nl; j++ {
+		members = append(members, flash.BlockAddr{})
+	}
 	members[refLane] = refAddr
 	// Step 2: per other lane, one similarity check against each of the K
 	// end candidates; take the most similar (ties: the faster/slower one,
-	// i.e. the first in end order).
+	// i.e. the first in end order). Candidates are read in place via At —
+	// the same window and order Head/Tail used to copy out.
 	for i := range s.lanes {
 		if i == refLane {
 			continue
 		}
-		var cands []profile.Entry
-		if speed == Fast {
-			cands = s.lanes[i].free.Head(s.k)
-		} else {
-			cands = s.lanes[i].free.Tail(s.k)
+		free := &s.lanes[i].free
+		k := s.k
+		if k > free.Len() {
+			k = free.Len()
+		}
+		candAt := func(ci int) profile.Entry {
+			if speed == Fast {
+				return free.At(ci) // fastest first
+			}
+			return free.At(free.Len() - 1 - ci) // slowest first
 		}
 		best := 0
 		bestDist := math.MaxInt
-		for ci, e := range cands {
-			cInfo := s.info(s.addrOf(i, e.Block))
+		for ci := 0; ci < k; ci++ {
+			cInfo := s.info(s.addrOf(i, candAt(ci).Block))
 			d := 0
 			if refInfo.known && cInfo.known {
 				s.pairChecks++
@@ -385,7 +441,7 @@ func (s *Scheme) Assemble(speed Speed) ([]flash.BlockAddr, error) {
 				best = ci
 			}
 		}
-		members[i] = s.addrOf(i, cands[best].Block)
+		members[i] = s.addrOf(i, candAt(best).Block)
 	}
 	for _, m := range members {
 		if !s.lane(m).free.Remove(m.Block) {
@@ -401,14 +457,25 @@ func (s *Scheme) Assemble(speed Speed) ([]flash.BlockAddr, error) {
 // bypasses the similarity check; the FTL's baseline organizers (sequential,
 // random) are built on it.
 func (s *Scheme) AssembleArbitrary(sel func(entries []profile.Entry) int) ([]flash.BlockAddr, error) {
+	return s.AssembleArbitraryInto(nil, sel)
+}
+
+// AssembleArbitraryInto is AssembleArbitrary appending into dst (usually a
+// recycled slice). sel receives the lane's live sorted list — a read-only
+// view, not the copy Head used to make, which made the baseline organizers
+// O(blocks) allocations per assembly.
+func (s *Scheme) AssembleArbitraryInto(dst []flash.BlockAddr, sel func(entries []profile.Entry) int) ([]flash.BlockAddr, error) {
 	for i := range s.lanes {
 		if s.lanes[i].free.Len() == 0 {
 			return nil, fmt.Errorf("%w: lane %d", ErrLaneEmpty, i)
 		}
 	}
-	members := make([]flash.BlockAddr, len(s.lanes))
+	members := dst[:0]
+	for range s.lanes {
+		members = append(members, flash.BlockAddr{})
+	}
 	for i := range s.lanes {
-		entries := s.lanes[i].free.Head(s.lanes[i].free.Len())
+		entries := s.lanes[i].free.Entries()
 		k := sel(entries)
 		if k < 0 || k >= len(entries) {
 			return nil, fmt.Errorf("core: selector returned %d for %d entries", k, len(entries))

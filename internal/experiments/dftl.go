@@ -29,12 +29,14 @@ func runDFTL(cfg Config) (*Result, error) {
 		name string
 		gen  func(capacity int64) workload.Generator
 	}
+	// Reuse is safe against the serial Device: it copies payloads at submit
+	// entry (CopyRecycle), so one scratch buffer serves each run.
 	workloads := []wl{
 		{"hot/cold 80/20", func(c int64) workload.Generator {
-			return &workload.HotCold{Space: c, Count: c, HotFrac: 0.8, HotSpace: 0.2, PageLen: 32, Seed: cfg.Seed + 17}
+			return &workload.HotCold{Space: c, Count: c, HotFrac: 0.8, HotSpace: 0.2, PageLen: 32, Seed: cfg.Seed + 17, Reuse: true}
 		}},
 		{"uniform", func(c int64) workload.Generator {
-			return &workload.Uniform{Space: c, Count: c, PageLen: 32, Seed: cfg.Seed + 19}
+			return &workload.Uniform{Space: c, Count: c, PageLen: 32, Seed: cfg.Seed + 19, Reuse: true}
 		}},
 	}
 	for _, cachePages := range []int{0, 2, 8, 32} {

@@ -71,11 +71,13 @@ func runFTLHost(cfg Config) (*Result, error) {
 		cap := dev.FTL().Capacity()
 		// Warm: fill the logical space, then churn with a skewed write mix
 		// so GC interleaves with host traffic.
-		if _, err := workload.Run(dev, &workload.Sequential{N: cap, PageLen: 64}); err != nil {
+		// Reuse is safe against the serial Device: it copies payloads at
+		// submit entry (CopyRecycle), so one scratch buffer serves the run.
+		if _, err := workload.Run(dev, &workload.Sequential{N: cap, PageLen: 64, Reuse: true}); err != nil {
 			return nil, err
 		}
 		churn, err := workload.Run(dev, &workload.HotCold{
-			Space: cap, Count: 2 * cap, HotFrac: 0.8, HotSpace: 0.2, PageLen: 64, Seed: cfg.Seed + 7,
+			Space: cap, Count: 2 * cap, HotFrac: 0.8, HotSpace: 0.2, PageLen: 64, Seed: cfg.Seed + 7, Reuse: true,
 		})
 		if err != nil {
 			return nil, err

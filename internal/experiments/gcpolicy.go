@@ -43,13 +43,16 @@ func runGCPolicy(cfg Config) (*Result, error) {
 		}
 		src := prng.New(cfg.Seed, 0x6c9)
 		hot := capacity / 10
-		var lats []float64
+		lats := make([]float64, 0, 3*capacity)
+		// One payload for the whole churn: the serial Device copies it at
+		// submit entry, so sharing the buffer across writes is safe.
+		data := []byte("w")
 		for i := int64(0); i < 3*capacity; i++ {
 			lpn := int64(src.Intn(int(hot)))
 			if src.Float64() < 0.1 {
 				lpn = hot + int64(src.Intn(int(capacity-hot)))
 			}
-			c, err := dev.Submit(ssd.Request{Kind: ssd.OpWrite, LPN: lpn, Data: []byte("w")})
+			c, err := dev.Submit(ssd.Request{Kind: ssd.OpWrite, LPN: lpn, Data: data})
 			if err != nil {
 				return nil, err
 			}

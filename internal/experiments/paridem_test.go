@@ -1,0 +1,21 @@
+package experiments
+
+import "testing"
+
+func TestSimThroughputParallelIdentical(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.BlocksPerLane = 48
+	serial, err := Run("sim-throughput", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallel = 8
+	par, err := Run("sim-throughput", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Tables[0].String() != par.Tables[0].String() || serial.Text != par.Text {
+		t.Fatalf("parallel output differs:\nserial:\n%s%s\nparallel:\n%s%s",
+			serial.Tables[0].String(), serial.Text, par.Tables[0].String(), par.Text)
+	}
+}

@@ -117,12 +117,13 @@ type block struct {
 // Array is a simulated NAND flash array. It is not safe for concurrent use;
 // callers (the SSD layer) serialize access per their channel model.
 type Array struct {
-	geo    Geometry
-	model  *pv.Model
-	kern   *pv.Kernel // cached-latency kernel over this array's geometry
-	seed   uint64     // model seed, cached off the hot read path
-	ecc    ECCConfig
-	borrow bool // store program payloads without copying (SetBorrowPayloads)
+	geo      Geometry
+	model    *pv.Model
+	kern     *pv.Kernel // cached-latency kernel over this array's geometry
+	seed     uint64     // model seed, cached off the hot read path
+	ecc      ECCConfig
+	borrow   bool                        // store program payloads without copying (SetBorrowPayloads)
+	recycler func(buf []byte, oob bool) // erase-time buffer hand-back (SetRecycler)
 
 	blocks   []block // lane-major: lane*BlocksPerPlane + block
 	opNonce  uint64  // distinguishes repeated measurements (temporal jitter)
@@ -178,6 +179,14 @@ func (a *Array) Kernel() *pv.Kernel { return a.kern }
 // enables this for its array; measurement harnesses that reuse payload
 // scratch buffers must leave it off.
 func (a *Array) SetBorrowPayloads(on bool) { a.borrow = on }
+
+// SetRecycler installs a callback that Erase invokes for every payload and
+// OOB buffer the erased block still holds, just before the block forgets
+// them. With borrowing on, the buffers handed back are exactly the slices
+// the owner lent to Program/ProgramOOB, so an FTL can pool and reuse them
+// instead of allocating fresh ones every P/E cycle. The callback runs on
+// the erase path and must not call back into the array. Pass nil to remove.
+func (a *Array) SetRecycler(fn func(buf []byte, oob bool)) { a.recycler = fn }
 
 // Counters returns a copy of the operation counters.
 func (a *Array) Counters() Counters { return a.counters }
@@ -287,6 +296,18 @@ func (a *Array) Erase(addr BlockAddr) (float64, error) {
 	// Clear page state in place rather than dropping it: a block cycles
 	// through thousands of P/E cycles, and reallocating its page tables on
 	// the first program of every cycle dominated the steady-state write path.
+	if a.recycler != nil {
+		for j := range b.data {
+			if b.data[j] != nil {
+				a.recycler(b.data[j], false)
+			}
+		}
+		for j := range b.oob {
+			if b.oob[j] != nil {
+				a.recycler(b.oob[j], true)
+			}
+		}
+	}
 	for j := range b.data {
 		b.data[j] = nil
 	}

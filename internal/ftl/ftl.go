@@ -273,6 +273,111 @@ type FTL struct {
 	attr     *telemetry.Attribution
 	attrKeys []telemetry.BlockKey // scratch for recordAttr, reused across calls
 	gcObs    func(GCEvent)        // observer for completed GC work, nil = off
+
+	// Hot-path arenas. A page write used to allocate its payload copy, its
+	// spare-area tag, and — across a P/E cycle — fresh open-superblock
+	// buffers, superblock records and GC cursors, all of which die at the
+	// next erase. Instead, the array's erase hook (SetRecycler) hands tag
+	// and payload buffers back, seals recycle openStates, and completed
+	// collections recycle superblocks and cursors, so steady-state churn
+	// reuses the same arena instead of feeding the garbage collector.
+	own       PayloadOwnership
+	bufPool   [][]byte      // erased payload buffers (CopyRecycle only)
+	tagPool   [][]byte      // erased spare-area tag buffers
+	statePool []*openState  // openStates recycled at seal
+	sbPool    []*superblock // superblock records recycled after their erase
+	gcPool    []*gcState    // collection cursors recycled at completion
+	flushPages [][][]byte   // flush scratch: per-member page table
+	flushOOBs  [][][]byte   // flush scratch: per-member OOB rows (reused)
+	flushLats  []float64    // per-member latency scratch (programMultiOOB)
+	opsBuf     [2][]FlashOp // double-buffered journal slabs for CollectOps
+	opsCur     int
+}
+
+// PayloadOwnership selects what the FTL does with the payload slice a write
+// hands it. The choice is per front end: it changes who may reuse buffers,
+// never the stored bytes or any latency.
+type PayloadOwnership int
+
+const (
+	// CopyAlways copies every payload into a fresh buffer — safe against any
+	// caller, the historical default for direct FTL users.
+	CopyAlways PayloadOwnership = iota
+	// CopyRecycle copies payloads into buffers recycled from erased blocks.
+	// Requires that no caller holds a reference to previously read page data
+	// across subsequent writes (an erase may hand the buffer to a new write):
+	// the serial ssd.Device qualifies because every read it serves copies
+	// into the completion before the next request runs.
+	CopyRecycle
+	// BorrowHost stores the caller's slice directly (zero copy). The caller
+	// transfers ownership and must never mutate the buffer afterwards.
+	// Erased payload buffers are NOT recycled in this mode, so completions
+	// that alias flash pages stay stable; only tag buffers (FTL-internal)
+	// are reused. ssd.ConcurrentDevice qualifies: each request's payload is
+	// decoded or built fresh per submission.
+	BorrowHost
+)
+
+// SetPayloadOwnership switches the write-path payload policy. Call while no
+// operation is in flight and no previously returned read data is retained.
+func (f *FTL) SetPayloadOwnership(o PayloadOwnership) { f.own = o }
+
+// recycle is the array's erase hook: buffers the erased block held come back
+// to the arenas instead of the garbage collector. Tag buffers are always
+// FTL-owned; payload buffers only in CopyRecycle mode (see BorrowHost).
+func (f *FTL) recycle(buf []byte, oob bool) {
+	if oob {
+		if len(buf) == tagBytes {
+			f.tagPool = append(f.tagPool, buf)
+		}
+		return
+	}
+	if f.own == CopyRecycle {
+		f.bufPool = append(f.bufPool, buf)
+	}
+}
+
+// payloadSlab is how many payload buffers one cold-pool refill carves from a
+// single slab allocation in CopyRecycle mode. Like the tag pool, the payload
+// pool starts empty and only erases feed it, so a fresh device's first
+// overwrite pass would otherwise pay one malloc per page written.
+const payloadSlab = 32
+
+// takePayload returns the buffer to store for an incoming page write under
+// the ownership policy. Empty payloads stay nil, preserving the zero-transfer
+// semantics of metadata-only writes.
+func (f *FTL) takePayload(data []byte) []byte {
+	if len(data) == 0 {
+		return nil
+	}
+	if f.own == BorrowHost {
+		return data
+	}
+	if f.own == CopyRecycle {
+		for n := len(f.bufPool); n > 0; n = len(f.bufPool) {
+			buf := f.bufPool[n-1]
+			f.bufPool = f.bufPool[:n-1]
+			if cap(buf) < len(data) {
+				continue // wrong-sized stray; drop it
+			}
+			buf = buf[:len(data)]
+			copy(buf, data)
+			return buf
+		}
+		// Cold pool: refill from a slab sized to this write. Full slice
+		// expressions cap every cut so no buffer can grow into its
+		// neighbor; same-sized writes (the common case — hosts write
+		// whole pages) drain the refill before the next slab.
+		sz := len(data)
+		slab := make([]byte, sz*payloadSlab)
+		for i := 1; i < payloadSlab; i++ {
+			f.bufPool = append(f.bufPool, slab[i*sz:(i+1)*sz:(i+1)*sz])
+		}
+		buf := slab[0:sz:sz]
+		copy(buf, data)
+		return buf
+	}
+	return append([]byte(nil), data...)
 }
 
 // GCEvent reports one completed unit of garbage-collection work to the
@@ -431,8 +536,10 @@ func New(arr *flash.Array, cfg Config) (*FTL, error) {
 	// Every buffer the FTL programs is built fresh per flush (host data is
 	// copied into the write buffer on entry, parity and OOB tags are
 	// assembled in flush) and released right after, so the array can keep
-	// the slices instead of copying them again.
+	// the slices instead of copying them again. The erase hook closes the
+	// loop: buffers a dying block held feed the write path's arenas.
 	arr.SetBorrowPayloads(true)
+	arr.SetRecycler(f.recycle)
 	return f, nil
 }
 
@@ -505,16 +612,23 @@ func (f *FTL) TakeOps() []FlashOp {
 }
 
 // CollectOps runs fn with a clean operation journal and returns exactly the
-// chip-level operations fn issued, passing ownership of the slice to the
-// caller. Device front-ends use it to tie journal entries to one request:
-// unlike bare TakeOps bracketing, operations left behind by an earlier
-// failed call can never leak into the next request's schedule. fn's error is
-// returned alongside whatever operations were journalled before it failed.
-// Recording must be enabled with EnableOpJournal for ops to be collected.
+// chip-level operations fn issued. Device front-ends use it to tie journal
+// entries to one request: unlike bare TakeOps bracketing, operations left
+// behind by an earlier failed call can never leak into the next request's
+// schedule. fn's error is returned alongside whatever operations were
+// journalled before it failed. Recording must be enabled with
+// EnableOpJournal for ops to be collected.
+//
+// The journal alternates between two FTL-owned slabs, so the returned slice
+// stays valid until the caller's second-next CollectOps — device front ends
+// consume it before dispatching the next request, which keeps the per-request
+// schedule allocation-free.
 func (f *FTL) CollectOps(fn func() error) ([]FlashOp, error) {
-	f.ops = nil
+	f.opsCur ^= 1
+	f.ops = f.opsBuf[f.opsCur][:0]
 	err := fn()
 	ops := f.ops
+	f.opsBuf[f.opsCur] = ops // keep any growth for the next round
 	f.ops = nil
 	return ops, err
 }
@@ -560,19 +674,30 @@ func (f *FTL) ppnLocate(ppn int64) (addr flash.BlockAddr, lwl int, typ pv.PageTy
 // assembleSuperblock obtains a new superblock of the requested speed from
 // the configured organizer.
 func (f *FTL) assembleSuperblock(speed core.Speed) (*superblock, error) {
+	// Superblock records cycle: collected victims come back through the
+	// pool, so the member slice assembled into is recycled storage too.
+	var sb *superblock
+	if n := len(f.sbPool); n > 0 {
+		sb = f.sbPool[n-1]
+		f.sbPool = f.sbPool[:n-1]
+	} else {
+		sb = &superblock{}
+	}
 	var members []flash.BlockAddr
 	var err error
+	dst := sb.members[:0]
 	switch f.cfg.Organizer {
 	case QSTRMed:
-		members, err = f.scheme.Assemble(speed)
+		members, err = f.scheme.AssembleInto(dst, speed)
 	case SequentialOrg:
-		members, err = f.assembleZip(false)
+		members, err = f.assembleZip(dst, false)
 	case RandomOrg:
-		members, err = f.assembleZip(true)
+		members, err = f.assembleZip(dst, true)
 	default:
 		return nil, fmt.Errorf("ftl: unknown organizer %v", f.cfg.Organizer)
 	}
 	if err != nil {
+		f.sbPool = append(f.sbPool, sb)
 		return nil, err
 	}
 	if f.met != nil {
@@ -582,7 +707,7 @@ func (f *FTL) assembleSuperblock(speed core.Speed) (*superblock, error) {
 			f.met.assembleSlow.Inc()
 		}
 	}
-	sb := &superblock{id: f.nextSBID, members: members, speed: speed}
+	*sb = superblock{id: f.nextSBID, members: members, speed: speed}
 	f.nextSBID++
 	f.sbs[sb.id] = sb
 	for _, m := range members {
@@ -595,8 +720,8 @@ func (f *FTL) assembleSuperblock(speed core.Speed) (*superblock, error) {
 // pools: sequential pairs the lowest free block index of every lane (the
 // organization common in shipping SSDs); random takes an arbitrary free
 // block per lane.
-func (f *FTL) assembleZip(random bool) ([]flash.BlockAddr, error) {
-	return f.scheme.AssembleArbitrary(func(entries []profile.Entry) int {
+func (f *FTL) assembleZip(dst []flash.BlockAddr, random bool) ([]flash.BlockAddr, error) {
+	return f.scheme.AssembleArbitraryInto(dst, func(entries []profile.Entry) int {
 		if random {
 			return f.rng.Intn(len(entries))
 		}
@@ -623,7 +748,32 @@ func (f *FTL) openFor(speed core.Speed) (*openState, error) {
 	if err != nil {
 		return nil, err
 	}
+	st := f.newOpenState(sb)
+	f.open[speed] = st
+	return st, nil
+}
+
+// newOpenState returns a cleared buffer state for a freshly assembled (or,
+// for RecoverByScan, rediscovered) superblock, reusing a state recycled at
+// seal time when one of the right shape is available.
+func (f *FTL) newOpenState(sb *superblock) *openState {
 	nl := len(sb.members)
+	if n := len(f.statePool); n > 0 && len(f.statePool[n-1].data) == nl {
+		st := f.statePool[n-1]
+		f.statePool = f.statePool[:n-1]
+		st.sb = sb
+		st.nextWL = 0
+		st.parity = f.parityLane(sb.id, nl)
+		st.fill = 0
+		for i := 0; i < nl; i++ {
+			for t := 0; t < flash.PagesPerLWL; t++ {
+				st.data[i][t] = nil
+				st.lpns[i][t] = -1
+				st.seqs[i][t] = 0
+			}
+		}
+		return st
+	}
 	st := &openState{sb: sb, parity: f.parityLane(sb.id, nl), data: make([][][]byte, nl),
 		lpns: make([][]int64, nl), seqs: make([][]uint64, nl)}
 	for i := 0; i < nl; i++ {
@@ -634,8 +784,7 @@ func (f *FTL) openFor(speed core.Speed) (*openState, error) {
 			st.lpns[i][t] = -1
 		}
 	}
-	f.open[speed] = st
-	return st, nil
+	return st
 }
 
 // slotFor picks the next free buffer slot honoring the placement hint:
@@ -729,6 +878,11 @@ func (f *FTL) WriteHinted(lpn int64, data []byte, hint Hint) (WriteResult, error
 
 func (f *FTL) writeInternal(lpn int64, data []byte, class core.WriteClass, hint Hint) (WriteResult, error) {
 	speed := core.SpeedFor(class)
+	// Take ownership of the payload before openFor can run GC: a collection
+	// erases blocks (feeding the recycle pool), and on the GC path `data`
+	// still aliases the flash page being relocated — copying at entry means
+	// the popped destination buffer can never be the page still being read.
+	owned := f.takePayload(data)
 	st, err := f.openFor(speed)
 	if err != nil {
 		return WriteResult{}, err
@@ -739,7 +893,7 @@ func (f *FTL) writeInternal(lpn int64, data []byte, class core.WriteClass, hint 
 	}
 	// Invalidate any previous mapping.
 	f.unmap(lpn)
-	st.data[lane][typ] = append([]byte(nil), data...)
+	st.data[lane][typ] = owned
 	st.lpns[lane][typ] = lpn
 	f.writeSeq++
 	st.seqs[lane][typ] = f.writeSeq
@@ -785,7 +939,16 @@ func (f *FTL) flush(speed core.Speed) (latency, extra float64, err error) {
 	if st == nil || st.fill == 0 {
 		return 0, 0, nil
 	}
-	pages := make([][][]byte, len(st.sb.members))
+	// The page and OOB tables are FTL-owned scratch: the array keeps only
+	// the per-page buffers (borrow mode), never the outer tables, so they
+	// are rebuilt in place every flush instead of reallocated.
+	nl := len(st.sb.members)
+	if cap(f.flushPages) < nl {
+		f.flushPages = make([][][]byte, nl)
+		f.flushOOBs = make([][][]byte, nl)
+	}
+	pages := f.flushPages[:nl]
+	oobs := f.flushOOBs[:nl]
 	for i := range pages {
 		pages[i] = st.data[i]
 	}
@@ -804,10 +967,12 @@ func (f *FTL) flush(speed core.Speed) (latency, extra float64, err error) {
 		pages[st.parity] = parityPages
 	}
 	// Spare-area tags: logical page + sequence + superblock identity, so a
-	// flash scan can rebuild the mapping (RecoverByScan).
-	oobs := make([][][]byte, len(st.sb.members))
-	for l := range st.sb.members {
-		oobs[l] = make([][]byte, flash.PagesPerLWL)
+	// flash scan can rebuild the mapping (RecoverByScan). Tag buffers come
+	// back from the erase hook, so steady state reuses them.
+	for l := 0; l < nl; l++ {
+		if oobs[l] == nil {
+			oobs[l] = make([][]byte, flash.PagesPerLWL)
+		}
 		for t := 0; t < flash.PagesPerLWL; t++ {
 			lpn := int64(tagNoData)
 			var seq uint64
@@ -818,10 +983,10 @@ func (f *FTL) flush(speed core.Speed) (latency, extra float64, err error) {
 				lpn = st.lpns[l][t]
 				seq = st.seqs[l][t]
 			}
-			oobs[l][t] = encodeTag(lpn, seq, st.sb.id, st.sb.speed)
+			oobs[l][t] = f.newTag(lpn, seq, st.sb.id, st.sb.speed)
 		}
 	}
-	res, err := programMultiOOB(f.arr, st.sb.members, st.nextWL, pages, oobs)
+	res, err := f.programMultiOOB(st.sb.members, st.nextWL, pages, oobs)
 	if err != nil {
 		return 0, 0, fmt.Errorf("ftl: flush: %w", err)
 	}
@@ -852,6 +1017,10 @@ func (f *FTL) flush(speed core.Speed) (latency, extra float64, err error) {
 		st.sb.sealed = true
 		st.sb.sealedAt = f.stats.Flushes
 		delete(f.open, speed)
+		// The buffer state dies with the stream; recycle it for the next
+		// assembly instead of reallocating three tables per superblock.
+		st.sb = nil
+		f.statePool = append(f.statePool, st)
 	}
 	return res.Latency, res.Extra, nil
 }
@@ -1249,16 +1418,26 @@ func (f *FTL) pushVictim(victim *superblock) *gcState {
 		f.met.gcRuns.Inc()
 	}
 	delete(f.sbs, victim.id)
-	st := &gcState{victim: victim}
+	var st *gcState
+	if n := len(f.gcPool); n > 0 {
+		st = f.gcPool[n-1]
+		f.gcPool = f.gcPool[:n-1]
+		*st = gcState{victim: victim}
+	} else {
+		st = &gcState{victim: victim}
+	}
 	f.gcq = append(f.gcq, st)
 	return st
 }
 
-// popGC removes a finished collection from the GC queue.
+// popGC removes a finished collection from the GC queue and recycles the
+// cursor. The deferred running-flag reset in gcAdvance still touches it,
+// which is harmless: pushVictim reinitializes every field on reuse.
 func (f *FTL) popGC(st *gcState) {
 	for i, q := range f.gcq {
 		if q == st {
 			f.gcq = append(f.gcq[:i], f.gcq[i+1:]...)
+			f.gcPool = append(f.gcPool, st)
 			return
 		}
 	}
@@ -1464,13 +1643,16 @@ func (f *FTL) gcAdvance(st *gcState, budget int) (moves int, latency float64, er
 	for i, m := range victim.members {
 		f.noteOp(m.Chip, res.PerMember[i], 'e')
 	}
-	failed := make(map[int]bool, len(res.Failed))
-	for _, i := range res.Failed {
-		failed[i] = true
-	}
 	for i, m := range victim.members {
 		delete(f.bySB, m)
-		if failed[i] {
+		failed := false
+		for _, fi := range res.Failed {
+			if fi == i {
+				failed = true
+				break
+			}
+		}
+		if failed {
 			// Endurance exhausted: retire the block instead of freeing it.
 			f.stats.BadBlocks++
 			if err := f.scheme.Retire(m); err != nil {
@@ -1483,6 +1665,9 @@ func (f *FTL) gcAdvance(st *gcState, budget int) (moves int, latency float64, er
 		}
 	}
 	f.popGC(st)
+	// The victim's record and member slice return to the assembly pool.
+	victim.members = victim.members[:0]
+	f.sbPool = append(f.sbPool, victim)
 	return moves, latency, true, nil
 }
 

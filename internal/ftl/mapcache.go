@@ -49,6 +49,10 @@ func (c *mapCache) access(tpage int64, dirty bool) (miss, writeback bool) {
 	}
 	c.misses++
 	if c.order.Len() >= c.capacity {
+		// Evict by reusing the LRU element in place: overwriting the victim
+		// and rotating it to the front keeps a full cache allocation-free per
+		// miss (a fresh list element and entry per eviction dominated the
+		// DFTL experiments' allocation profile).
 		back := c.order.Back()
 		victim := back.Value.(*mapCacheEntry)
 		if victim.dirty {
@@ -56,7 +60,11 @@ func (c *mapCache) access(tpage int64, dirty bool) (miss, writeback bool) {
 			writeback = true
 		}
 		delete(c.entries, victim.tpage)
-		c.order.Remove(back)
+		victim.tpage = tpage
+		victim.dirty = dirty
+		c.order.MoveToFront(back)
+		c.entries[tpage] = back
+		return true, writeback
 	}
 	el := c.order.PushFront(&mapCacheEntry{tpage: tpage, dirty: dirty})
 	c.entries[tpage] = el

@@ -1,0 +1,201 @@
+package ftl
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"superfast/internal/prng"
+)
+
+// fixedPayload encodes (lpn, gen) into a fixed-width page payload. The pool
+// tests use it instead of the variable-width payload() helper so every
+// recycled buffer fits every write: takePayload drops wrong-sized strays,
+// which would make pool depths drift for reasons unrelated to recycling.
+func fixedPayload(lpn int64, gen int) []byte {
+	b := make([]byte, 16)
+	binary.LittleEndian.PutUint64(b, uint64(lpn))
+	binary.LittleEndian.PutUint64(b[8:], uint64(gen))
+	return b
+}
+
+// churnFixed overwrites random LPNs n times with fixed-width payloads,
+// invoking probe (when non-nil) after every write. It returns the latest
+// generation per LPN.
+func churnFixed(t *testing.T, f *FTL, n int, seed uint64, gen map[int64]int, probe func()) {
+	t.Helper()
+	src := prng.New(seed, 0x9001)
+	cap := int(f.Capacity())
+	for i := 0; i < n; i++ {
+		lpn := int64(src.Intn(cap))
+		gen[lpn]++
+		if _, err := f.Write(lpn, fixedPayload(lpn, gen[lpn])); err != nil {
+			t.Fatalf("churn write lpn %d: %v", lpn, err)
+		}
+		if probe != nil {
+			probe()
+		}
+	}
+}
+
+// TestPoolsRecycledUnderChurn drives the CopyRecycle FTL through many P/E
+// cycles and asserts the arena actually recycles: the payload, tag,
+// open-state, superblock and GC-cursor pools reach a steady-state depth in
+// the first churn phase and do not keep growing through a second equal
+// phase — the structures handed back at erase/seal/completion are the ones
+// the next operations consume, not dead weight next to fresh allocations.
+func TestPoolsRecycledUnderChurn(t *testing.T) {
+	f := newFTL(t, testConfig())
+	f.SetPayloadOwnership(CopyRecycle)
+
+	gen := make(map[int64]int)
+	for lpn := int64(0); lpn < f.Capacity(); lpn++ {
+		if _, err := f.Write(lpn, fixedPayload(lpn, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Pool depths oscillate (erases refill in bulk, writes drain one at a
+	// time), so compare sawtooth peaks, not instantaneous depths.
+	peak := func() map[string]int {
+		m := map[string]int{}
+		probe := func() {
+			for name, n := range map[string]int{
+				"bufPool":   len(f.bufPool),
+				"tagPool":   len(f.tagPool),
+				"statePool": len(f.statePool),
+				"sbPool":    len(f.sbPool),
+				"gcPool":    len(f.gcPool),
+			} {
+				if n > m[name] {
+					m[name] = n
+				}
+			}
+		}
+		churnFixed(t, f, 2*int(f.Capacity()), 7, gen, probe)
+		return m
+	}
+	first := peak()
+	second := peak()
+
+	// One slab of refill slack per buffer pool: a refill that lands just
+	// before a bulk erase returns can raise the peak by a slab once, but a
+	// leak grows the peak with every phase.
+	slack := map[string]int{"bufPool": payloadSlab, "tagPool": tagSlab, "statePool": 1, "sbPool": 1, "gcPool": 1}
+	for name, p2 := range second {
+		if p1 := first[name]; p2 > p1+slack[name] {
+			t.Errorf("%s peak grew across equal churn phases: %d -> %d (slack %d) — pooled structures are not being recycled",
+				name, p1, p2, slack[name])
+		}
+	}
+	if first["bufPool"] == 0 || first["tagPool"] == 0 {
+		t.Errorf("buffer pools never filled (bufPool peak %d, tagPool peak %d); erase recycling is not wired",
+			first["bufPool"], first["tagPool"])
+	}
+
+	// Every pooled buffer must be a distinct allocation, and none may alias
+	// a live page: recycle runs at erase time, when the block's pages are
+	// all invalid, so a pooled buffer reachable through Read means a future
+	// write would scribble over live data.
+	pooled := make(map[*byte]string)
+	for _, b := range f.bufPool {
+		if b == nil || len(b) == 0 {
+			t.Fatal("nil or empty buffer in bufPool")
+		}
+		if prev, dup := pooled[&b[0]]; dup {
+			t.Fatalf("bufPool entry aliases %s", prev)
+		}
+		pooled[&b[0]] = "another bufPool entry"
+	}
+	for _, b := range f.tagPool {
+		if prev, dup := pooled[&b[0]]; dup {
+			t.Fatalf("tagPool entry aliases %s", prev)
+		}
+		pooled[&b[0]] = "another tagPool entry"
+	}
+	for lpn := int64(0); lpn < f.Capacity(); lpn++ {
+		r, err := f.Read(lpn)
+		if err != nil {
+			t.Fatalf("read lpn %d: %v", lpn, err)
+		}
+		if !bytes.Equal(r.Data, fixedPayload(lpn, gen[lpn])) {
+			t.Fatalf("lpn %d corrupted after churn: got %x", lpn, r.Data)
+		}
+		if len(r.Data) > 0 {
+			if _, dead := pooled[&r.Data[0]]; dead {
+				t.Fatalf("live data for lpn %d aliases a pooled (erased) buffer", lpn)
+			}
+		}
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBorrowHostPayloadsNeverRecycled pins the BorrowHost contract across
+// erases: the FTL stores the caller's slice directly, so those slices must
+// never enter the payload pool (a recycled borrowed buffer would be handed
+// out as scratch while the host still owns it), must never be written to by
+// the FTL, and must stop being referenced the moment the host overwrites
+// the LPN — scribbling over a dead borrowed buffer cannot corrupt any live
+// page, even after GC has relocated and erased everything around it.
+func TestBorrowHostPayloadsNeverRecycled(t *testing.T) {
+	f := newFTL(t, testConfig())
+	f.SetPayloadOwnership(BorrowHost)
+
+	capacity := f.Capacity()
+	live := make([][]byte, capacity) // the slice the FTL currently borrows per LPN
+	gen := make(map[int64]int)
+	write := func(lpn int64) {
+		buf := fixedPayload(lpn, gen[lpn])
+		old := live[lpn]
+		live[lpn] = buf
+		if _, err := f.Write(lpn, buf); err != nil {
+			t.Fatalf("write lpn %d: %v", lpn, err)
+		}
+		// The previous borrowed buffer is dead now. Poison it: if the FTL
+		// still references it anywhere (mapping, GC relocation source,
+		// recycled scratch), some later read will surface the poison.
+		for i := range old {
+			old[i] = 0xFF
+		}
+	}
+	for lpn := int64(0); lpn < capacity; lpn++ {
+		write(lpn)
+	}
+	src := prng.New(11, 0x9002)
+	for i := 0; i < 4*int(capacity); i++ {
+		lpn := int64(src.Intn(int(capacity)))
+		gen[lpn]++
+		write(lpn)
+	}
+
+	// Churn forced plenty of erases (every erase recycles tag buffers), yet
+	// borrowed payloads must not have entered the pool.
+	if len(f.bufPool) != 0 {
+		t.Errorf("BorrowHost recycled %d payload buffers into bufPool; borrowed slices are host-owned", len(f.bufPool))
+	}
+	if len(f.tagPool) == 0 {
+		t.Error("no tag buffers recycled under BorrowHost churn; tags are FTL-owned and should circulate")
+	}
+	if f.stats.Erases == 0 {
+		t.Fatal("churn produced no erases; the test exercised nothing")
+	}
+
+	for lpn := int64(0); lpn < capacity; lpn++ {
+		r, err := f.Read(lpn)
+		if err != nil {
+			t.Fatalf("read lpn %d: %v", lpn, err)
+		}
+		if !bytes.Equal(r.Data, fixedPayload(lpn, gen[lpn])) {
+			t.Fatalf("lpn %d corrupted: got %x, want gen %d — a dead borrowed buffer leaked into live data",
+				lpn, r.Data, gen[lpn])
+		}
+		if !bytes.Equal(live[lpn], fixedPayload(lpn, gen[lpn])) {
+			t.Fatalf("FTL mutated the host's borrowed buffer for lpn %d: %x", lpn, live[lpn])
+		}
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

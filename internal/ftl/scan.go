@@ -25,13 +25,45 @@ const (
 	tagParity = -1 // RAID parity page
 )
 
-func encodeTag(lpn int64, seq uint64, sbID int, speed core.Speed) []byte {
-	b := make([]byte, tagBytes)
+func encodeTagInto(b []byte, lpn int64, seq uint64, sbID int, speed core.Speed) {
 	binary.LittleEndian.PutUint32(b[0:], tagMagic)
 	binary.LittleEndian.PutUint64(b[4:], uint64(lpn))
 	binary.LittleEndian.PutUint64(b[12:], seq)
 	binary.LittleEndian.PutUint32(b[20:], uint32(sbID))
 	b[24] = byte(speed)
+}
+
+func encodeTag(lpn int64, seq uint64, sbID int, speed core.Speed) []byte {
+	b := make([]byte, tagBytes)
+	encodeTagInto(b, lpn, seq, sbID, speed)
+	return b
+}
+
+// tagSlab is how many spare-area tags one cold-pool refill carves from a
+// single slab allocation. A fresh device's first overwrite pass runs with an
+// empty tag pool (nothing has been erased yet), so per-tag allocation there
+// costs one malloc per programmed page; slab refills amortize it away.
+const tagSlab = 64
+
+// newTag encodes a spare-area tag into a buffer recycled from an erased
+// block when one is available — the single largest allocator on the write
+// path before the arenas existed. A cold pool refills from a slab: each cut
+// is capped with a full slice expression so the tags can never grow into
+// their neighbors.
+func (f *FTL) newTag(lpn int64, seq uint64, sbID int, speed core.Speed) []byte {
+	if len(f.tagPool) == 0 {
+		slab := make([]byte, tagBytes*tagSlab)
+		for i := 1; i < tagSlab; i++ {
+			f.tagPool = append(f.tagPool, slab[i*tagBytes:(i+1)*tagBytes:(i+1)*tagBytes])
+		}
+		b := slab[0:tagBytes:tagBytes]
+		encodeTagInto(b, lpn, seq, sbID, speed)
+		return b
+	}
+	n := len(f.tagPool)
+	b := f.tagPool[n-1][:tagBytes]
+	f.tagPool = f.tagPool[:n-1]
+	encodeTagInto(b, lpn, seq, sbID, speed)
 	return b
 }
 
@@ -144,18 +176,8 @@ func RecoverByScan(arr *flash.Array, cfg Config) (*FTL, error) {
 		}
 		if !sb.sealed {
 			// Reopen at the members' common write position.
-			nl := len(members)
-			st := &openState{sb: sb, nextWL: arr.NextLWL(members[0]),
-				parity: f.parityLane(sb.id, nl),
-				data:   make([][][]byte, nl), lpns: make([][]int64, nl), seqs: make([][]uint64, nl)}
-			for i := 0; i < nl; i++ {
-				st.data[i] = make([][]byte, flash.PagesPerLWL)
-				st.lpns[i] = make([]int64, flash.PagesPerLWL)
-				st.seqs[i] = make([]uint64, flash.PagesPerLWL)
-				for t := range st.lpns[i] {
-					st.lpns[i][t] = -1
-				}
-			}
+			st := f.newOpenState(sb)
+			st.nextWL = arr.NextLWL(members[0])
 			f.open[sb.speed] = st
 		}
 	}
@@ -173,9 +195,15 @@ func RecoverByScan(arr *flash.Array, cfg Config) (*FTL, error) {
 }
 
 // programMultiOOB issues a multi-plane program with per-member spare-area
-// tags, preserving ProgramMulti's latency semantics.
-func programMultiOOB(arr *flash.Array, members []flash.BlockAddr, lwl int, pages [][][]byte, oobs [][][]byte) (flash.MultiOpResult, error) {
-	lats := make([]float64, len(members))
+// tags, preserving ProgramMulti's latency semantics. The per-member latency
+// slice is FTL-owned scratch: every consumer (NoteProgram, attribution, the
+// op journal) reads it synchronously before the next flush overwrites it.
+func (f *FTL) programMultiOOB(members []flash.BlockAddr, lwl int, pages [][][]byte, oobs [][][]byte) (flash.MultiOpResult, error) {
+	arr := f.arr
+	if cap(f.flushLats) < len(members) {
+		f.flushLats = make([]float64, len(members))
+	}
+	lats := f.flushLats[:len(members)]
 	for i, m := range members {
 		var p, o [][]byte
 		if pages != nil {

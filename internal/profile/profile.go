@@ -162,12 +162,19 @@ func EigenFromProfile(p *BlockProfile) Eigen {
 		for s := 0; s < p.Strings; s++ {
 			row[s] = sl{s, p.LWL[p.lwlIndex(l, s)]}
 		}
-		sort.SliceStable(row, func(a, b int) bool {
-			if row[a].lat != row[b].lat {
-				return row[a].lat < row[b].lat
+		// Insertion sort on (lat, str). The key is a total order (string
+		// indices are distinct), so this yields exactly the permutation the
+		// previous reflective sort did, without the per-layer closure cost
+		// on a hot path that sorts a handful of strings per layer.
+		for i := 1; i < len(row); i++ {
+			for j := i; j > 0; j-- {
+				a, b := row[j-1], row[j]
+				if a.lat < b.lat || (a.lat == b.lat && a.str < b.str) {
+					break
+				}
+				row[j-1], row[j] = b, a
 			}
-			return row[a].str < row[b].str
-		})
+		}
 		for i := fast; i < p.Strings; i++ {
 			e.setBit(p.lwlIndex(l, row[i].str))
 		}
@@ -192,6 +199,37 @@ func (e *Eigen) SetBit(i int) {
 		panic(fmt.Sprintf("profile: eigen bit %d of %d", i, e.n))
 	}
 	e.setBit(i)
+}
+
+// Reset re-zeroes the sequence in place to n bits, growing the backing
+// words only when needed — the reuse path for pooled runtime gatherers.
+func (e *Eigen) Reset(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("profile: negative eigen length %d", n))
+	}
+	words := (n + 63) / 64
+	if cap(e.bits) < words {
+		e.bits = make([]uint64, words)
+	} else {
+		e.bits = e.bits[:words]
+		for i := range e.bits {
+			e.bits[i] = 0
+		}
+	}
+	e.n = n
+}
+
+// CopyFrom overwrites the sequence with o's bits, reusing the receiver's
+// backing storage when it fits. It lets long-lived metadata publish a pooled
+// gatherer's result without taking ownership of the gatherer's buffer.
+func (e *Eigen) CopyFrom(o Eigen) {
+	words := (o.n + 63) / 64
+	if cap(e.bits) < words {
+		e.bits = make([]uint64, words)
+	}
+	e.bits = e.bits[:words]
+	copy(e.bits, o.bits)
+	e.n = o.n
 }
 
 // Len returns the number of bits in the sequence.
@@ -279,6 +317,11 @@ func (s *SortedList) Remove(block int) bool {
 
 // At returns the i-th fastest entry.
 func (s *SortedList) At(i int) Entry { return s.entries[i] }
+
+// Entries returns the list's backing storage, fastest first — a read-only
+// view for selectors that need the whole lane without paying Head(Len)'s
+// copy. Callers must not mutate it or retain it across list updates.
+func (s *SortedList) Entries() []Entry { return s.entries }
 
 // Head returns up to k entries from the fast end.
 func (s *SortedList) Head(k int) []Entry {

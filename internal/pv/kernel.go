@@ -215,6 +215,44 @@ func (k *Kernel) ProgramLatency(c Coord, pe int, nonce uint64) float64 {
 	return v
 }
 
+// ProgramLatencyBlock fills dst[layer*strings+string] with the program
+// latency of every logical word-line of one block at the given P/E count,
+// drawing per-word-line jitter from consecutive nonces: entry i uses
+// nonce0+1+i, exactly the stream a caller looping ProgramLatency over
+// (layer, string) in index order with a pre-incremented nonce consumes.
+// The arithmetic runs in ProgramLatency's order term for term, so the
+// filled row is bit-identical to the per-call loop — the batch only hoists
+// the table lookup, the wear/temperature terms and the jitter sigma out of
+// the per-word-line work. Returns false (dst untouched) when the block is
+// outside the kernel's range or dst does not cover the block's word-lines;
+// callers then fall back to the per-call path.
+func (k *Kernel) ProgramLatencyBlock(chip, plane, block, pe int, nonce0 uint64, dst []float64) bool {
+	if !k.inRange(chip, plane, block) || len(dst) != k.lwls {
+		return false
+	}
+	t := k.tables(chip, plane, block)
+	p := &k.m.p
+	wear := p.PgmWearCoeff * float64(pe)
+	temp := k.shards[chip].pgmTemp
+	jitter := p.PgmJitterSigma > 0 || p.PgmWearNoise > 0
+	sig := p.PgmJitterSigma + p.PgmWearNoise*float64(pe)/1000
+	min := p.PgmBase * 0.5
+	for i := range dst {
+		v := t.pgmStatic[i]
+		v += wear
+		v += temp
+		if jitter {
+			v += sig * prng.NormalFromHash(prng.SplitMix64(t.pgmJitterH[i]^(nonce0+1+uint64(i))))
+		}
+		v = quantize(v, p.PgmStep)
+		if v < min {
+			v = min
+		}
+		dst[i] = v
+	}
+	return true
+}
+
 // EraseLatency is Model.EraseLatency served from the cache.
 func (k *Kernel) EraseLatency(chip, plane, block, pe int, nonce uint64) float64 {
 	if !k.inRange(chip, plane, block) {

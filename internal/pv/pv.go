@@ -267,13 +267,37 @@ type Model struct {
 	kernels []*Kernel
 }
 
-// New returns a model for the given parameters.
-// It panics if the parameters are invalid; use Params.Validate to check.
+// interned memoizes models by their (comparable) parameter set. A model is
+// a pure function of its Params — all draws are hash-derived, and the only
+// mutable state is the lock-free kernel cache — so every consumer of the
+// same parameters can share one instance. Sharing is what makes the cached
+// static tables pay off across experiment runs: a suite that builds dozens
+// of arrays over the same Params (sweeps, DFTL cache sizes, GC policies)
+// builds each block's tables once instead of once per array.
+var (
+	internMu sync.Mutex
+	interned map[Params]*Model
+)
+
+// New returns the model for the given parameters, memoized per parameter
+// set: calling New twice with equal Params returns the same instance (and
+// therefore the same cached latency kernels). It panics if the parameters
+// are invalid; use Params.Validate to check.
 func New(p Params) *Model {
 	if err := p.Validate(); err != nil {
 		panic(err)
 	}
-	return &Model{p: p}
+	internMu.Lock()
+	defer internMu.Unlock()
+	if m := interned[p]; m != nil {
+		return m
+	}
+	m := &Model{p: p}
+	if interned == nil {
+		interned = make(map[Params]*Model)
+	}
+	interned[p] = m
+	return m
 }
 
 // Params returns the model parameters.

@@ -130,6 +130,11 @@ func Run(cfg Config, jobs []Job) (Report, error) {
 	var makespan, sumWLLat, idleSync float64
 	wordLines := 0
 
+	// Hot loop: every latency is a finite non-negative float, so plain
+	// comparisons replace math.Max without changing a single bit of the
+	// schedule (Max's NaN/signed-zero cases cannot arise here).
+	chips := cfg.Chips()
+	planes := cfg.PlanesPerChip
 	for len(active) > 0 {
 		// Issue the next word-line of the job that is ready earliest.
 		best := 0
@@ -140,22 +145,30 @@ func Run(cfg Config, jobs []Job) (Report, error) {
 		}
 		st := active[best]
 		wl := st.nexWL
+		mem := st.job.MemberLat
 		wlComplete := 0.0
-		for chip := 0; chip < cfg.Chips(); chip++ {
+		lane := 0
+		for chip := 0; chip < chips; chip++ {
 			// Per-chip multi-plane program: occupancy is the max over the
 			// chip's planes for this word-line.
 			dur := 0.0
-			for p := 0; p < cfg.PlanesPerChip; p++ {
-				lane := chip*cfg.PlanesPerChip + p
-				if v := st.job.MemberLat[lane][wl]; v > dur {
+			for p := 0; p < planes; p++ {
+				if v := mem[lane][wl]; v > dur {
 					dur = v
 				}
+				lane++
 			}
 			ch := chip / cfg.ChipsPerChannel
-			tStart := math.Max(chanBusy[ch], st.ready)
+			tStart := chanBusy[ch]
+			if st.ready > tStart {
+				tStart = st.ready
+			}
 			tEnd := tStart + xfer
 			chanBusy[ch] = tEnd
-			pStart := math.Max(tEnd, chipBusy[chip])
+			pStart := chipBusy[chip]
+			if tEnd > pStart {
+				pStart = tEnd
+			}
 			if gap := pStart - chipBusy[chip]; gap > 0 && chipBusy[chip] > 0 {
 				idleSync += gap
 			}

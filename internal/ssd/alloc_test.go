@@ -8,12 +8,15 @@ import (
 )
 
 // TestConcurrentSubmitAllocs pins the telemetry-disabled Submit path's
-// allocation count. One single-request submission allocates exactly seven
-// objects — the boxed request slice, the run list, the per-run arrivals,
-// data and reply buffers, the completion slice, and the reorder-buffer
-// latency slice — and nothing per flash operation: the flash array and the
-// latency kernel underneath run allocation-free in steady state. A rise
-// here means something on the per-request path started allocating again.
+// allocation count. One single-request submission allocates only the boxed
+// request slice and the completion slice — the run list, per-run arrivals
+// and data tables come from the pooled submit scratch, the reorder-buffer
+// latency slice is recycled by the digest drain, and the conservative-
+// horizon core removed the per-op reply buffers entirely. Nothing is
+// allocated per flash operation: the flash array and the latency kernel
+// underneath run allocation-free in steady state. The bound leaves one
+// object of slack for sync.Pool refills after a GC. A rise here means
+// something on the per-request path started allocating again.
 func TestConcurrentSubmitAllocs(t *testing.T) {
 	g := flash.TestGeometry()
 	g.BlocksPerPlane = 8
@@ -36,7 +39,7 @@ func TestConcurrentSubmitAllocs(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
-	if n > 7 {
-		t.Errorf("telemetry-disabled read Submit allocates %.1f objects, want ≤ 7", n)
+	if n > 3 {
+		t.Errorf("telemetry-disabled read Submit allocates %.1f objects, want ≤ 3", n)
 	}
 }

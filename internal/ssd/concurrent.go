@@ -12,18 +12,30 @@ import (
 
 // ConcurrentDevice is a thread-safe, event-driven front end over the FTL:
 // submissions may come from many goroutines, each request's flash work is
-// sharded onto per-chip worker queues (the PerChip queue model generalized
-// to a real multi-queue scheduler), adjacent-LPN requests submitted in one
-// batch coalesce into super-word-line submissions, and statistics merge
-// deterministically — stable arrival order, never completion race order.
+// sharded across per-chip simulated clocks (the PerChip queue model
+// generalized to a real multi-queue scheduler), adjacent-LPN requests
+// submitted in one batch coalesce into super-word-line submissions, and
+// statistics merge deterministically — stable arrival order, never
+// completion race order.
+//
+// Time is advanced by a conservative-horizon core: every chip owns an
+// independent busy-until clock in till[chip], each flash operation starts at
+// max(request arrival, its chip's clock) and advances only that clock, and
+// the clocks synchronize solely at the completion horizon — a run's
+// host-visible finish is the latest end time across the chips it touched.
+// Because an op's start depends only on its own chip's clock and the ticket
+// order fixes which op reaches each chip next, no cross-chip rendezvous is
+// needed: end times are known the moment the FTL stage journals the op, so
+// the former per-op worker handoff (a channel round trip per flash
+// operation) is gone from the hot path.
 //
 // Ordering discipline: every submission holds a ticket. The FTL stage
-// (mapping, GC, op-journal drain) executes in strict ticket order under one
-// lock, then hands the journalled chip operations to the per-chip workers;
-// chip-time scheduling and completion bookkeeping run outside the lock.
-// Given pre-stamped arrival times and a fixed ticket order (see
-// ReserveBatch), results are bit-for-bit independent of how many goroutines
-// submit — a depth-16 replay produces exactly the depth-1 completions.
+// (mapping, GC, op-journal drain, chip-clock advance) executes in strict
+// ticket order under one lock; completion assembly is pure arithmetic and
+// runs outside it. Given pre-stamped arrival times and a fixed ticket order
+// (see ReserveBatch), results are bit-for-bit independent of how many
+// goroutines submit — a depth-16 replay produces exactly the depth-1
+// completions.
 //
 // The "0 = now" arrival convention resolves against the latest admitted
 // arrival (the deterministic choice under concurrency), not against
@@ -37,7 +49,7 @@ type ConcurrentDevice struct {
 	issued uint64     // tickets handed out
 	next   uint64     // next ticket allowed into the FTL stage
 	clock  float64    // latest admitted arrival, µs
-	trc    telemetry.Tracer // nil = tracing disabled (read under mu)
+	trc    telemetry.Tracer  // nil = tracing disabled (read under mu)
 	led    *telemetry.Ledger // nil = hop ledger disabled (read under mu)
 	// curTrace/curTicket hold the trace context of the request the FTL stage
 	// is currently executing, so the blocking-GC observer (which fires from
@@ -45,35 +57,30 @@ type ConcurrentDevice struct {
 	// only under mu.
 	curTrace  uint64
 	curTicket uint64
-	rec    *recState  // nil until AttachRecorder (read under mu)
+	rec       *recState // nil until AttachRecorder (read under mu)
 	// recExtra*, set before AttachRecorder, append caller-owned columns
 	// (e.g. the network server's counters) after the device column set.
 	recExtraCols []string
 	recExtraFn   func(vals []float64)
-	// mirrorTill mirrors each chip worker's busy-until watermark: the FTL
-	// stage replays the worker scheduling math (jobs arrive in ticket order,
-	// start at max(arrival, till)) so the recorder can sample queue depth and
-	// chip utilization deterministically without racing the workers.
-	mirrorTill []float64
-	// till is the always-on variant of the same mirror, maintained from
-	// device birth: the GC scheduler reads it to find idle windows. Decisions
-	// taken against it (instead of the workers' racy state) happen in strict
-	// ticket order, so preemptive GC placement — and therefore every result —
-	// stays bit-identical across submitter counts.
+	// till holds the per-chip simulated clocks — each chip's busy-until
+	// watermark, advanced in strict ticket order by the FTL stage. It is the
+	// authoritative schedule (there is no racy worker state to mirror): the
+	// recorder samples utilization from it and the GC scheduler reads it to
+	// find idle windows, so preemptive GC placement — and therefore every
+	// result — stays bit-identical across submitter counts.
 	till []float64
+	// chips carries the per-chip op/busy counters, advanced alongside till.
+	chips []ChipStats
 
-	chips []*chipWorker
-
-	statsMu sync.Mutex
-	records []latencyRecord // only populated when cfg.RetainLatencies
-	counts  Stats           // scalar counters; Latencies are merged from records
-	horizon float64         // latest completion observed, µs
-	lat     *telemetry.Digest
-	pend    map[uint64][]float64 // finished tickets not yet fed to the digest
-	drain   uint64               // next ticket the digest will consume
-	qdepth  *telemetry.Gauge     // in-flight submissions; nil when unwired
-
-	closeOnce sync.Once
+	statsMu  sync.Mutex
+	records  []latencyRecord // only populated when cfg.RetainLatencies
+	counts   Stats           // scalar counters; Latencies are merged from records
+	horizon  float64         // latest completion observed, µs
+	lat      *telemetry.Digest
+	pend     map[uint64][]float64 // finished tickets not yet fed to the digest
+	latsFree [][]float64          // drained pend slices, recycled by submit
+	drain    uint64               // next ticket the digest will consume
+	qdepth   *telemetry.Gauge     // in-flight submissions; nil when unwired
 }
 
 // latencyRecord keys one completion for the deterministic stats merge.
@@ -84,18 +91,7 @@ type latencyRecord struct {
 	latency float64
 }
 
-// chipJob is one flash operation handed to a chip worker.
-type chipJob struct {
-	earliest float64 // the op may not start before this (request arrival)
-	dur      float64
-	reply    chan<- float64 // receives the op's end time; buffered by sender
-	kind     byte           // 'r' read, 'p' program, 'e' erase
-	gc       bool           // issued inside garbage collection
-	seq      uint64         // submission ticket, for trace attribution
-	slot     int            // op index within the ticket's batch
-}
-
-// ChipStats reports one chip worker's activity.
+// ChipStats reports one chip's simulated activity.
 type ChipStats struct {
 	Chip int
 	Ops  uint64
@@ -103,54 +99,9 @@ type ChipStats struct {
 	Till float64 // busy-until watermark, µs
 }
 
-// chipWorker owns one chip's simulated timeline. It consumes operations in
-// dispatch (= ticket) order, so its busy-until schedule is deterministic.
-type chipWorker struct {
-	ch   chan chipJob
-	done chan struct{}
-
-	mu    sync.Mutex
-	stats ChipStats
-	trc   telemetry.Tracer // nil = tracing disabled
-}
-
-func (w *chipWorker) run() {
-	defer close(w.done)
-	for job := range w.ch {
-		w.mu.Lock()
-		s := job.earliest
-		if w.stats.Till > s {
-			s = w.stats.Till
-		}
-		e := s + job.dur
-		w.stats.Till = e
-		w.stats.Ops++
-		w.stats.Busy += job.dur
-		trc := w.trc
-		w.mu.Unlock()
-		if trc != nil {
-			// The span's start/end are deterministic (jobs arrive in ticket
-			// order), so the export is too, however the workers interleave.
-			trc.Emit(telemetry.Event{
-				Ts:    s,
-				Dur:   job.dur,
-				Track: telemetry.TrackChip(w.stats.Chip),
-				Ph:    telemetry.PhaseSpan,
-				GC:    job.gc,
-				Name:  telemetry.OpName(job.kind),
-				Cat:   "flash",
-				Seq:   job.seq,
-				Slot:  job.slot,
-				LPN:   -1,
-			})
-		}
-		job.reply <- e
-	}
-}
-
-// NewConcurrent builds a thread-safe device over the given flash array and
-// starts one worker per chip. Close releases the workers; the Queue field of
-// the configuration is ignored (the front end always shards per chip).
+// NewConcurrent builds a thread-safe device over the given flash array. The
+// Queue field of the configuration is ignored (the front end always shards
+// per chip). Close is a no-op kept for API compatibility.
 func NewConcurrent(arr *flash.Array, cfg Config) (*ConcurrentDevice, error) {
 	if cfg.BusMBps <= 0 {
 		return nil, fmt.Errorf("ssd: bus bandwidth must be positive, got %v", cfg.BusMBps)
@@ -160,38 +111,33 @@ func NewConcurrent(arr *flash.Array, cfg Config) (*ConcurrentDevice, error) {
 		return nil, err
 	}
 	f.EnableOpJournal()
+	// Submitters transfer payload ownership: the server decodes every frame
+	// into a fresh buffer and the workload generators build each payload per
+	// request, so the FTL may store the slices directly (zero copy). Read
+	// completions own their data — flash never recycles payload buffers in
+	// this mode — so Completion.Data stays valid indefinitely, which the
+	// asynchronous network writer relies on.
+	f.SetPayloadOwnership(ftl.BorrowHost)
+	chips := arr.Geometry().Chips
 	c := &ConcurrentDevice{
-		f:    f,
-		cfg:  cfg,
-		lat:  telemetry.NewDigest(),
-		pend: make(map[uint64][]float64),
-		till: make([]float64, arr.Geometry().Chips),
+		f:     f,
+		cfg:   cfg,
+		lat:   telemetry.NewDigest(),
+		pend:  make(map[uint64][]float64),
+		till:  make([]float64, chips),
+		chips: make([]ChipStats, chips),
+	}
+	for i := range c.chips {
+		c.chips[i].Chip = i
 	}
 	c.admit = sync.NewCond(&c.mu)
-	for chip := 0; chip < arr.Geometry().Chips; chip++ {
-		w := &chipWorker{
-			ch:    make(chan chipJob, 128),
-			done:  make(chan struct{}),
-			stats: ChipStats{Chip: chip},
-		}
-		c.chips = append(c.chips, w)
-		go w.run()
-	}
 	return c, nil
 }
 
-// Close stops the chip workers. The device must be idle (no submission in
-// flight); submitting after Close panics.
-func (c *ConcurrentDevice) Close() {
-	c.closeOnce.Do(func() {
-		for _, w := range c.chips {
-			close(w.ch)
-		}
-		for _, w := range c.chips {
-			<-w.done
-		}
-	})
-}
+// Close is retained for API compatibility. The conservative-horizon core
+// advances every chip clock inside the FTL stage — there are no worker
+// goroutines to stop.
+func (c *ConcurrentDevice) Close() {}
 
 // FTL exposes the underlying translation layer. Only touch it while no
 // submission is in flight — the FTL itself is not thread-safe. Use WithFTL
@@ -236,11 +182,6 @@ func (c *ConcurrentDevice) SetTracer(tr telemetry.Tracer) {
 	c.mu.Lock()
 	c.trc = tr
 	c.mu.Unlock()
-	for _, w := range c.chips {
-		w.mu.Lock()
-		w.trc = tr
-		w.mu.Unlock()
-	}
 }
 
 // SetLedger attaches (or, with nil, detaches) a hop ledger recording
@@ -289,32 +230,29 @@ func (c *ConcurrentDevice) SetAttribution(a *telemetry.Attribution) {
 // advance ticks it, sampling WAF, in-flight depth, the extra-latency EWMA,
 // assembly pool levels, and per-chip utilization. The recorder must have been
 // built with RecorderColumns for this device's chip count. All sampled state
-// is maintained under the serialized ticket-order stage (chip schedules are
-// mirrored, not read from the workers), so the recorder's export bytes are
-// identical however many goroutines submit. Call while no submission is in
-// flight — typically after the warm fill.
+// is maintained under the serialized ticket-order stage (the per-chip clocks
+// are authoritative, not racy worker state), so the recorder's export bytes
+// are identical however many goroutines submit. Call while no submission is
+// in flight — typically after the warm fill.
 func (c *ConcurrentDevice) AttachRecorder(rec *telemetry.Recorder) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if rec == nil {
 		c.rec = nil
-		c.mirrorTill = nil
 		return nil
 	}
 	rs, err := newRecState(rec, len(c.chips), c.f, len(c.recExtraCols), c.recExtraFn)
 	if err != nil {
 		return err
 	}
-	// Seed the mirror from the (idle) workers so mid-run attachment — e.g.
-	// after the warm fill — continues their schedule instead of restarting
-	// the timeline at zero, and align the sampling cursor so the elapsed
-	// history is not backfilled.
-	c.mirrorTill = make([]float64, len(c.chips))
-	for i, st := range c.ChipStats() {
-		c.mirrorTill[i] = st.Till
-		rs.busy[i] = st.Busy
-		if st.Till > rs.hor {
-			rs.hor = st.Till
+	// Seed from the (idle) chip clocks so mid-run attachment — e.g. after the
+	// warm fill — continues their schedule instead of restarting the timeline
+	// at zero, and align the sampling cursor so the elapsed history is not
+	// backfilled.
+	for i := range c.chips {
+		rs.busy[i] = c.chips[i].Busy
+		if c.chips[i].Till > rs.hor {
+			rs.hor = c.chips[i].Till
 		}
 	}
 	c.statsMu.Lock()
@@ -447,16 +385,41 @@ func (c *ConcurrentDevice) SubmitBatchTicket(ticket uint64, reqs []Request) ([]C
 }
 
 // run is one coalesced unit of a batch: [first, first+n) of the request
-// slice, serviced as a single flash submission.
+// slice, serviced as a single flash submission. GC pseudo-runs carry chip
+// work but no requests (n = 0).
 type run struct {
 	first, n int
 	arrival  float64   // service start: max member arrival (0 resolved to the clock)
+	end      float64   // latest chip-op end time; arrival when the run had no flash work
 	arrivals []float64 // resolved per-member arrivals
 	xfer     float64   // host-bus time of the whole run (or command overhead)
-	nops     int
-	reply    chan float64
 	data     [][]byte  // read payloads per member, nil otherwise
 	gcl      []float64 // blocking-GC latency per member write (lazily allocated; nil = all zero)
+}
+
+// submitScratch is the per-submission working set — the run list and each
+// run's per-member slices — recycled through a sync.Pool so the steady-state
+// Submit path allocates nothing beyond the completions it returns. The pool
+// cannot affect determinism: every field of every reused run is overwritten
+// (or truncated and refilled) before it is read.
+type submitScratch struct {
+	runs []run
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(submitScratch) }}
+
+// nextRun appends a zeroed run to the scratch, reviving the per-member slice
+// capacity a previous submission left in the backing array.
+func (s *submitScratch) nextRun() *run {
+	if len(s.runs) < cap(s.runs) {
+		s.runs = s.runs[:len(s.runs)+1]
+		r := &s.runs[len(s.runs)-1]
+		arrivals, data := r.arrivals, r.data
+		*r = run{arrivals: arrivals[:0], data: data[:0]}
+		return r
+	}
+	s.runs = append(s.runs, run{})
+	return &s.runs[len(s.runs)-1]
 }
 
 func (c *ConcurrentDevice) submit(ticket uint64, reqs []Request) ([]Completion, error) {
@@ -464,14 +427,15 @@ func (c *ConcurrentDevice) submit(ticket uint64, reqs []Request) ([]Completion, 
 		g.Add(1)
 		defer g.Add(-1)
 	}
+	sc := scratchPool.Get().(*submitScratch)
+	sc.runs = sc.runs[:0]
 	c.mu.Lock()
 	for c.next != ticket {
 		c.admit.Wait()
 	}
-	var runs []run
 	var err error
 	if len(reqs) > 0 {
-		runs, err = c.ftlStage(ticket, reqs)
+		err = c.ftlStage(ticket, reqs, sc)
 	}
 	trc := c.trc
 	// The ticket advances even on error (and on an empty batch) so later
@@ -480,16 +444,14 @@ func (c *ConcurrentDevice) submit(ticket uint64, reqs []Request) ([]Completion, 
 	c.admit.Broadcast()
 	c.mu.Unlock()
 
-	// Completion stage, outside the lock: wait for the chip workers.
+	// Completion stage, outside the lock: pure arithmetic — every run's end
+	// time was fixed by the FTL stage against the per-chip clocks, so there
+	// is nothing to wait for.
+	runs := sc.runs
 	comps := make([]Completion, len(reqs))
-	for _, r := range runs {
-		end := r.arrival
-		for i := 0; i < r.nops; i++ {
-			if e := <-r.reply; e > end {
-				end = e
-			}
-		}
-		finish := end + r.xfer
+	for ri := range runs {
+		r := &runs[ri]
+		finish := r.end + r.xfer
 		for i := 0; i < r.n; i++ {
 			arr := r.arrivals[i]
 			var gct float64
@@ -514,10 +476,12 @@ func (c *ConcurrentDevice) submit(ticket uint64, reqs []Request) ([]Completion, 
 		c.pend[ticket] = nil
 		c.feedDigest()
 		c.statsMu.Unlock()
+		scratchPool.Put(sc)
 		return nil, err
 	}
 	if trc != nil {
-		for _, r := range runs {
+		for ri := range runs {
+			r := &runs[ri]
 			head := reqs[r.first]
 			trc.Emit(telemetry.Event{
 				Ts: r.arrival, Track: telemetry.TrackFTL, Ph: telemetry.PhaseInstant,
@@ -537,9 +501,14 @@ func (c *ConcurrentDevice) submit(ticket uint64, reqs []Request) ([]Completion, 
 	// Latencies of this ticket in slot order: the reorder buffer feeds them
 	// to the digest in ticket order, so the streaming quantiles are the same
 	// at any submission depth.
-	lats := make([]float64, 0, len(reqs))
 	c.statsMu.Lock()
-	for _, r := range runs {
+	var lats []float64
+	if n := len(c.latsFree); n > 0 {
+		lats = c.latsFree[n-1][:0]
+		c.latsFree = c.latsFree[:n-1]
+	}
+	for ri := range runs {
+		r := &runs[ri]
 		for i := 0; i < r.n; i++ {
 			cp := comps[r.first+i]
 			c.counts.Requests++
@@ -565,6 +534,7 @@ func (c *ConcurrentDevice) submit(ticket uint64, reqs []Request) ([]Completion, 
 	c.pend[ticket] = lats
 	c.feedDigest()
 	c.statsMu.Unlock()
+	scratchPool.Put(sc)
 	return comps, nil
 }
 
@@ -575,8 +545,9 @@ func (c *ConcurrentDevice) gauge() *telemetry.Gauge {
 	return c.qdepth
 }
 
-// feedDigest advances the ticket-order drain over the reorder buffer.
-// Caller holds c.statsMu.
+// feedDigest advances the ticket-order drain over the reorder buffer,
+// recycling the drained latency slices for later submissions. Caller holds
+// c.statsMu.
 func (c *ConcurrentDevice) feedDigest() {
 	for {
 		lats, ok := c.pend[c.drain]
@@ -588,11 +559,14 @@ func (c *ConcurrentDevice) feedDigest() {
 		for _, v := range lats {
 			c.lat.Observe(v)
 		}
+		if cap(lats) > 0 {
+			c.latsFree = append(c.latsFree, lats[:0])
+		}
 	}
 }
 
-// maxTill returns the mirrored busy-until horizon across all chips — when
-// the device frees up, as predicted in ticket order.
+// maxTill returns the busy-until horizon across all chip clocks — when the
+// device frees up, as scheduled in ticket order.
 func (c *ConcurrentDevice) maxTill() float64 {
 	h := 0.0
 	for _, t := range c.till {
@@ -603,12 +577,50 @@ func (c *ConcurrentDevice) maxTill() float64 {
 	return h
 }
 
-// gcStepRun executes one preemptive GC step in the FTL stage and dispatches
-// its chip work as a pseudo-run (no completions, replies drained by the
-// completion stage). Caller holds c.mu; earliest bounds where the step's
-// flash ops may start; trace attributes the step to the request that opened
-// the window (0 = untraced). worked is false when GC had nothing to do.
-func (c *ConcurrentDevice) gcStepRun(ticket uint64, earliest float64, trace uint64) (run, bool, error) {
+// schedule advances one chip's simulated clock over a flash operation: the
+// op starts at max(earliest, the chip's busy-until watermark) and the end
+// time is returned. Per-chip counters, recorder utilization, and the chip
+// trace span are maintained in the same step. Caller holds c.mu; because the
+// FTL stage runs in strict ticket order, each chip's clock sees its ops in a
+// deterministic sequence and the whole schedule is bit-identical however
+// many goroutines submit.
+func (c *ConcurrentDevice) schedule(op ftl.FlashOp, earliest float64, ticket uint64, slot int) float64 {
+	s := earliest
+	if c.till[op.Chip] > s {
+		s = c.till[op.Chip]
+	}
+	e := s + op.Dur
+	c.till[op.Chip] = e
+	cs := &c.chips[op.Chip]
+	cs.Ops++
+	cs.Busy += op.Dur
+	cs.Till = e
+	if c.rec != nil {
+		c.rec.busy[op.Chip] += op.Dur
+	}
+	if c.trc != nil {
+		c.trc.Emit(telemetry.Event{
+			Ts:    s,
+			Dur:   op.Dur,
+			Track: telemetry.TrackChip(op.Chip),
+			Ph:    telemetry.PhaseSpan,
+			GC:    op.GC,
+			Name:  telemetry.OpName(op.Kind),
+			Cat:   "flash",
+			Seq:   ticket,
+			Slot:  slot,
+			LPN:   -1,
+		})
+	}
+	return e
+}
+
+// gcStepRun executes one preemptive GC step in the FTL stage and schedules
+// its chip work as a pseudo-run (no completions). Caller holds c.mu;
+// earliest bounds where the step's flash ops may start; trace attributes the
+// step to the request that opened the window (0 = untraced). worked is false
+// when GC had nothing to do.
+func (c *ConcurrentDevice) gcStepRun(ticket uint64, earliest float64, trace uint64, sc *submitScratch) (bool, error) {
 	var res ftl.GCStepResult
 	ops, err := c.f.CollectOps(func() error {
 		var e error
@@ -621,77 +633,67 @@ func (c *ConcurrentDevice) gcStepRun(ticket uint64, earliest float64, trace uint
 			Seq: ticket, LPN: -1, Pages: res.Moves, SimTS: earliest, SimUS: res.Latency,
 		})
 	}
-	r := run{arrival: earliest, nops: len(ops), reply: make(chan float64, len(ops))}
+	r := sc.nextRun()
+	r.arrival, r.end = earliest, earliest
 	for _, op := range ops {
-		c.chips[op.Chip].ch <- chipJob{
-			earliest: earliest, dur: op.Dur, reply: r.reply,
-			kind: op.Kind, gc: op.GC, seq: ticket, slot: -1,
-		}
-		s := earliest
-		if c.till[op.Chip] > s {
-			s = c.till[op.Chip]
-		}
-		c.till[op.Chip] = s + op.Dur
-		if c.rec != nil {
-			// The step occupies chip time the recorder's utilization columns
-			// must see; it is not a request, so the depth heap is untouched.
-			s = earliest
-			if c.mirrorTill[op.Chip] > s {
-				s = c.mirrorTill[op.Chip]
-			}
-			c.mirrorTill[op.Chip] = s + op.Dur
-			c.rec.busy[op.Chip] += op.Dur
+		if e := c.schedule(op, earliest, ticket, -1); e > r.end {
+			r.end = e
 		}
 	}
-	return r, !res.Idle, err
+	return !res.Idle, err
 }
 
 // gcIdleSteps runs GC steps in the idle window before arrival — the gap
-// between the mirrored device horizon and the next request's start. Host
-// work keeps priority: stepping stops once the window is consumed (the last
-// step may overshoot; flash ops are not preemptible).
-func (c *ConcurrentDevice) gcIdleSteps(ticket uint64, arrival float64, trace uint64) ([]run, error) {
-	var runs []run
+// between the chip-clock horizon and the next request's start. Host work
+// keeps priority: stepping stops once the window is consumed (the last step
+// may overshoot; flash ops are not preemptible).
+func (c *ConcurrentDevice) gcIdleSteps(ticket uint64, arrival float64, trace uint64, sc *submitScratch) error {
 	for c.maxTill() < arrival && c.f.GCNeeded() {
-		r, worked, err := c.gcStepRun(ticket, c.maxTill(), trace)
-		runs = append(runs, r)
+		worked, err := c.gcStepRun(ticket, c.maxTill(), trace, sc)
 		if err != nil {
-			return runs, err
+			return err
 		}
 		if !worked {
 			break
 		}
 	}
-	return runs, nil
+	return nil
 }
 
-// ftlStage executes a batch against the FTL in run-sized units and
-// dispatches the journalled chip work. Caller holds c.mu. On error the runs
-// executed so far are returned so their replies can still be drained.
-func (c *ConcurrentDevice) ftlStage(ticket uint64, reqs []Request) ([]run, error) {
-	var runs []run
+// ftlStage executes a batch against the FTL in run-sized units, advancing
+// the per-chip clocks over the journalled chip work. Caller holds c.mu. On
+// error the runs executed so far remain in sc, their end times already
+// final.
+func (c *ConcurrentDevice) ftlStage(ticket uint64, reqs []Request, sc *submitScratch) error {
 	if c.f.GCStepPages() > 0 {
 		// Preemptive GC in the idle window before this ticket's work: steps
-		// are scheduled against the mirrored chip horizon, in ticket order,
-		// so placement is identical however many goroutines submit.
+		// are scheduled against the chip-clock horizon, in ticket order, so
+		// placement is identical however many goroutines submit.
 		a0 := reqs[0].Arrival
 		if a0 == 0 {
 			a0 = c.clock
 		}
-		gcRuns, err := c.gcIdleSteps(ticket, a0, reqs[0].Trace)
-		runs = append(runs, gcRuns...)
-		if err != nil {
-			return runs, err
+		if err := c.gcIdleSteps(ticket, a0, reqs[0].Trace, sc); err != nil {
+			return err
 		}
 	}
 	opIdx := 0 // op index across the whole batch, for trace attribution
 	for first := 0; first < len(reqs); {
 		n := runLen(reqs[first:])
-		r := run{
-			first:    first,
-			n:        n,
-			arrivals: make([]float64, n),
-			data:     make([][]byte, n),
+		r := sc.nextRun()
+		r.first, r.n = first, n
+		if cap(r.arrivals) < n {
+			r.arrivals = make([]float64, n)
+		} else {
+			r.arrivals = r.arrivals[:n]
+		}
+		if cap(r.data) < n {
+			r.data = make([][]byte, n)
+		} else {
+			r.data = r.data[:n]
+			for i := range r.data {
+				r.data[i] = nil
+			}
 		}
 		for i := 0; i < n; i++ {
 			a := reqs[first+i].Arrival
@@ -759,42 +761,18 @@ func (c *ConcurrentDevice) ftlStage(ticket uint64, reqs []Request) ([]run, error
 			}
 			return nil
 		})
-		r.nops = len(ops)
-		r.reply = make(chan float64, len(ops)) // buffered: workers never block
+		r.end = r.arrival
 		for _, op := range ops {
-			c.chips[op.Chip].ch <- chipJob{
-				earliest: r.arrival, dur: op.Dur, reply: r.reply,
-				kind: op.Kind, gc: op.GC, seq: ticket, slot: opIdx,
+			if e := c.schedule(op, r.arrival, ticket, opIdx); e > r.end {
+				r.end = e
 			}
 			opIdx++
-			s := r.arrival
-			if c.till[op.Chip] > s {
-				s = c.till[op.Chip]
-			}
-			c.till[op.Chip] = s + op.Dur
 		}
 		if c.rec != nil {
-			// Mirror the chip workers' scheduling math (ticket-order arrival,
-			// start at max(arrival, busy-until)) to predict this run's finish
-			// without reading their racy state.
-			end := r.arrival
-			for _, op := range ops {
-				s := r.arrival
-				if c.mirrorTill[op.Chip] > s {
-					s = c.mirrorTill[op.Chip]
-				}
-				e := s + op.Dur
-				c.mirrorTill[op.Chip] = e
-				c.rec.busy[op.Chip] += op.Dur
-				if e > end {
-					end = e
-				}
-			}
-			c.rec.note(end + r.xfer)
+			c.rec.note(r.end + r.xfer)
 		}
-		runs = append(runs, r)
 		if err != nil {
-			return runs, err
+			return err
 		}
 		first += n
 	}
@@ -817,17 +795,16 @@ func (c *ConcurrentDevice) ftlStage(ticket uint64, reqs []Request) ([]run, error
 			}
 		}
 		for i := 0; i < steps && c.f.GCNeeded(); i++ {
-			r, worked, err := c.gcStepRun(ticket, c.clock, reqs[0].Trace)
-			runs = append(runs, r)
+			worked, err := c.gcStepRun(ticket, c.clock, reqs[0].Trace, sc)
 			if err != nil {
-				return runs, err
+				return err
 			}
 			if !worked {
 				break
 			}
 		}
 	}
-	return runs, nil
+	return nil
 }
 
 // runLen returns the length of the coalescible run at the head of reqs: a
@@ -861,9 +838,9 @@ func (c *ConcurrentDevice) transferTime(bytes int) float64 {
 
 // Stats returns the merged device statistics. When Config.RetainLatencies
 // is set, Latencies are ordered by (arrival, ticket, batch slot) — a stable,
-// deterministic merge that does not depend on which worker finished first.
-// Otherwise Latencies is nil and the streaming LatencyDigest carries the
-// distribution in O(1) memory.
+// deterministic merge that does not depend on which submitter finished
+// first. Otherwise Latencies is nil and the streaming LatencyDigest carries
+// the distribution in O(1) memory.
 func (c *ConcurrentDevice) Stats() Stats {
 	c.statsMu.Lock()
 	defer c.statsMu.Unlock()
@@ -886,16 +863,12 @@ func (c *ConcurrentDevice) Stats() Stats {
 	return s
 }
 
-// ChipStats returns a snapshot of every chip worker's activity, in chip
-// order.
+// ChipStats returns a snapshot of every chip clock's activity, in chip
+// order. Safe to call while submissions are in flight.
 func (c *ConcurrentDevice) ChipStats() []ChipStats {
-	out := make([]ChipStats, len(c.chips))
-	for i, w := range c.chips {
-		w.mu.Lock()
-		out[i] = w.stats
-		w.mu.Unlock()
-	}
-	return out
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]ChipStats(nil), c.chips...)
 }
 
 // FillSequential writes every logical page once, submitting in super-word-

@@ -101,7 +101,10 @@ type Completion struct {
 	// the request — with preemptive GC the reclamation runs in idle-window
 	// steps between requests and never lands here.
 	GCTime float64
-	Data   []byte // read payloads
+	// Data holds a read's payload. On the serial Device it aliases flash
+	// storage and is stable only until the next Submit (copy to retain);
+	// ConcurrentDevice completions own their payload and stay valid.
+	Data []byte
 }
 
 // Stats aggregates device activity.
@@ -139,6 +142,13 @@ func New(arr *flash.Array, cfg Config) (*Device, error) {
 	if cfg.Queue == PerChip {
 		f.EnableOpJournal()
 	}
+	// The serial device copies every write payload into the FTL on entry and
+	// serves reads before the next request runs, so the FTL may recycle
+	// payload buffers from erased blocks instead of allocating fresh copies.
+	// Consequence: a read Completion's Data aliases flash storage and is
+	// stable only until the next Submit (the historical guarantee callers
+	// rely on — tests and workloads consume reads immediately).
+	f.SetPayloadOwnership(ftl.CopyRecycle)
 	return &Device{f: f, cfg: cfg, chipBusy: make([]float64, arr.Geometry().Chips)}, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strconv"
 
 	"superfast/internal/ftl"
 	"superfast/internal/prng"
@@ -23,7 +24,9 @@ type Generator interface {
 // Sequential writes pages 0..N-1 in order.
 type Sequential struct {
 	N       int64
-	PageLen int // payload bytes per page
+	PageLen int  // payload bytes per page
+	Reuse   bool // see the Reuse doc on payload
+	buf     []byte
 	next    int64
 }
 
@@ -34,7 +37,7 @@ func (s *Sequential) Next() (ssd.Request, bool) {
 	}
 	lpn := s.next
 	s.next++
-	return ssd.Request{Kind: ssd.OpWrite, LPN: lpn, Data: fill(lpn, s.PageLen)}, true
+	return ssd.Request{Kind: ssd.OpWrite, LPN: lpn, Data: payload(&s.buf, s.Reuse, lpn, s.PageLen)}, true
 }
 
 // Uniform writes Count pages uniformly at random in [0, Space).
@@ -43,6 +46,8 @@ type Uniform struct {
 	Count   int64
 	PageLen int
 	Seed    uint64
+	Reuse   bool // see the Reuse doc on payload
+	buf     []byte
 	src     *prng.Source
 	done    int64
 }
@@ -57,7 +62,7 @@ func (u *Uniform) Next() (ssd.Request, bool) {
 	}
 	u.done++
 	lpn := int64(u.src.Intn(int(u.Space)))
-	return ssd.Request{Kind: ssd.OpWrite, LPN: lpn, Data: fill(lpn, u.PageLen)}, true
+	return ssd.Request{Kind: ssd.OpWrite, LPN: lpn, Data: payload(&u.buf, u.Reuse, lpn, u.PageLen)}, true
 }
 
 // HotCold sends HotFrac of the operations to the hottest HotSpace fraction
@@ -71,6 +76,8 @@ type HotCold struct {
 	HotSpace float64 // fraction of the space that is hot (e.g. 0.2)
 	PageLen  int
 	Seed     uint64
+	Reuse    bool // see the Reuse doc on payload
+	buf      []byte
 	src      *prng.Source
 	done     int64
 }
@@ -97,7 +104,7 @@ func (h *HotCold) Next() (ssd.Request, bool) {
 		lpn = hotN + int64(h.src.Intn(int(h.Space-hotN)))
 		hint = ftl.HintBatch
 	}
-	return ssd.Request{Kind: ssd.OpWrite, LPN: lpn, Data: fill(lpn, h.PageLen), Hint: hint}, true
+	return ssd.Request{Kind: ssd.OpWrite, LPN: lpn, Data: payload(&h.buf, h.Reuse, lpn, h.PageLen), Hint: hint}, true
 }
 
 // Mixed interleaves reads and writes over a pre-filled address space.
@@ -107,6 +114,8 @@ type Mixed struct {
 	ReadFrac  float64
 	PageLen   int
 	Seed      uint64
+	Reuse     bool // see the Reuse doc on payload
+	buf       []byte
 	src       *prng.Source
 	done      int64
 	written   map[int64]bool
@@ -132,17 +141,47 @@ func (m *Mixed) Next() (ssd.Request, bool) {
 		m.written[lpn] = true
 		m.writeSeen = append(m.writeSeen, lpn)
 	}
-	return ssd.Request{Kind: ssd.OpWrite, LPN: lpn, Data: fill(lpn, m.PageLen)}, true
+	return ssd.Request{Kind: ssd.OpWrite, LPN: lpn, Data: payload(&m.buf, m.Reuse, lpn, m.PageLen)}, true
 }
 
-// fill builds a small deterministic payload for a page.
+// fill builds a small deterministic payload for a page: "pg-<lpn>" zero
+// padded (or truncated) to n bytes.
 func fill(lpn int64, n int) []byte {
 	if n <= 0 {
 		n = 16
 	}
-	b := make([]byte, n)
-	copy(b, fmt.Sprintf("pg-%d", lpn))
+	return fillInto(make([]byte, n), lpn)
+}
+
+// fillInto stamps fill's encoding over the (zeroed) buffer and returns it.
+func fillInto(b []byte, lpn int64) []byte {
+	var tmp [24]byte
+	copy(b, strconv.AppendInt(append(tmp[:0], 'p', 'g', '-'), lpn, 10))
 	return b
+}
+
+// payload serves a generator's next page payload. With reuse unset every
+// call returns a fresh buffer. With reuse set the generator's scratch buffer
+// is stamped in place — the payload bytes are identical, but the slice is
+// only valid until the next call, so Reuse may be enabled ONLY when the
+// driver consumes the payload before asking for the next request: the serial
+// ssd.Device qualifies (it copies at submit entry), the ConcurrentDevice
+// does not (zero-copy BorrowHost retains the slice in the flash array).
+func payload(buf *[]byte, reuse bool, lpn int64, n int) []byte {
+	if !reuse {
+		return fill(lpn, n)
+	}
+	if n <= 0 {
+		n = 16
+	}
+	if cap(*buf) < n {
+		*buf = make([]byte, n)
+	}
+	b := (*buf)[:n]
+	for i := range b {
+		b[i] = 0
+	}
+	return fillInto(b, lpn)
 }
 
 // Run drives a generator through a device, returning the completions.
