@@ -15,7 +15,7 @@ COVER_MIN ?= 90
 
 SMOKE_DIR := $(shell mktemp -d 2>/dev/null || echo /tmp/superfast-smoke)
 
-.PHONY: check build test race bench bench-compare cover smoke profile
+.PHONY: check build test race bench bench-compare cover smoke storm profile
 
 check:
 	$(GO) vet ./...
@@ -24,6 +24,7 @@ check:
 	$(GO) test -race -count=1 -run 'TestConcurrent|TestSimThroughputParallelIdentical' \
 		./internal/ssd ./internal/experiments
 	$(MAKE) smoke
+	$(MAKE) storm
 
 # Observability smoke: the in-process HTTP exposition test (serve on an
 # ephemeral port, scrape /metrics and /healthz), then a short ftlsim run
@@ -146,6 +147,54 @@ smoke:
 	done; \
 	echo "cluster-trace smoke ok"
 	@rm -rf $(SMOKE_DIR)
+
+# Fault-campaign smoke: the external "break it on purpose" drill against
+# real processes. Three `ftlserve -faults` backends, one ftlvol striping
+# them with two replicas, then ftlstorm drives the kill-one-backend +
+# power-cut campaign through the frontend: fill a working set, power-cut
+# backend 1 and verify the restore from checkpoint, rewrite part of the set,
+# crash backend 0 with the die fault (the process exits 3 by design) and
+# verify the survivors still serve every page. The verdict's last line must
+# read integrity=OK. The in-process campaigns (byte-identical verdicts
+# across runs and worker counts, tenant isolation) run under `go test` in
+# ./internal/scenario, so this leg only exercises the live-cluster path.
+storm:
+	@mkdir -p $(SMOKE_DIR)
+	$(GO) build -o $(SMOKE_DIR)/ftlserve ./cmd/ftlserve
+	$(GO) build -o $(SMOKE_DIR)/ftlvol ./cmd/ftlvol
+	$(GO) build -o $(SMOKE_DIR)/ftlstorm ./cmd/ftlstorm
+	@pids=""; \
+	for p in 8974 8975 8976; do \
+		$(SMOKE_DIR)/ftlserve -listen 127.0.0.1:$$p -blocks 8 -layers 6 -faults \
+			>$(SMOKE_DIR)/stormsrv$$p.log 2>&1 & \
+		pids="$$pids $$!"; \
+	done; \
+	for i in $$(seq 100); do \
+		ok=1; \
+		for p in 8974 8975 8976; do \
+			grep -q 'block service on' $(SMOKE_DIR)/stormsrv$$p.log || ok=0; \
+		done; \
+		test $$ok -eq 1 && break; sleep 0.1; \
+	done; \
+	$(SMOKE_DIR)/ftlvol -listen 127.0.0.1:8977 \
+		-backends 127.0.0.1:8974,127.0.0.1:8975,127.0.0.1:8976 \
+		-stripe 32 -replicas 2 >$(SMOKE_DIR)/stormvol.log 2>&1 & \
+	vpid=$$!; \
+	for i in $$(seq 100); do \
+		grep -q 'volume on' $(SMOKE_DIR)/stormvol.log && break; sleep 0.1; \
+	done; \
+	$(SMOKE_DIR)/ftlstorm -vol 127.0.0.1:8977 \
+		-backends 127.0.0.1:8974,127.0.0.1:8975,127.0.0.1:8976 \
+		-kill 0 -powercut 1 -seed 42 >$(SMOKE_DIR)/storm.txt 2>&1; \
+	rc=$$?; \
+	kill -INT $$vpid 2>/dev/null; wait $$vpid; \
+	kill -INT $$pids 2>/dev/null; wait $$pids; \
+	test $$rc -eq 0 || { echo "storm: drill failed"; \
+		cat $(SMOKE_DIR)/storm.txt $(SMOKE_DIR)/stormvol.log; exit 1; }; \
+	grep -q 'integrity=OK' $(SMOKE_DIR)/storm.txt || \
+		{ echo "storm: verdict not OK"; cat $(SMOKE_DIR)/storm.txt; exit 1; }; \
+	cat $(SMOKE_DIR)/storm.txt; \
+	echo "storm drill ok"
 
 build:
 	$(GO) build ./...

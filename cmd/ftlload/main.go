@@ -8,6 +8,7 @@
 //	ftlload -addr 127.0.0.1:8970 -workload hotcold -ops 20000 -conns 4 -depth 8
 //	ftlload -addr 127.0.0.1:8970 -workload trace -in trace.csv -seq
 //	ftlload -addr 127.0.0.1:8970 -workload uniform -rate 120   # open loop
+//	ftlload -addr 127.0.0.1:8970 -tenant 2 -workload uniform   # one namespace
 //
 // Closed loop (default): each connection keeps -depth requests in flight and
 // issues the next as soon as one completes. Open loop (-rate M): requests
@@ -17,6 +18,10 @@
 // MSR-Cambridge) and primes cold reads before replay. -seq stamps dense
 // global tickets so a server in -seq mode reproduces the single-submitter
 // completion stream bit for bit, however many connections carry it.
+//
+// -tenant N binds every connection to the server's Nth namespace (1-based):
+// LPNs become tenant-relative, the workload space shrinks to the namespace
+// size, and the server enforces that tenant's admission quota.
 //
 // -backends A,B,C drives a sharded volume directly instead of a single
 // server: ftlload builds the internal/volume frontend in-process (no proxy
@@ -54,6 +59,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "workload seed")
 		rate    = flag.Float64("rate", 0, "open loop: mean µs between Poisson arrivals (0 = closed loop)")
 		seq     = flag.Bool("seq", false, "sequenced replay: stamp dense global tickets (server must run -seq)")
+		tenant  = flag.Int("tenant", 0, "bind every connection to this tenant namespace, 1-based (server must be partitioned)")
 
 		backends = flag.String("backends", "", "drive a sharded volume over these comma-separated backends instead of -addr")
 		stripe   = flag.Int64("stripe", 64, "volume: pages per stripe unit (with -backends)")
@@ -65,6 +71,12 @@ func main() {
 	flag.Parse()
 	if *conns < 1 || *depth < 1 {
 		fatalf("-conns and -depth must be ≥ 1")
+	}
+	if *tenant < 0 || *tenant > 0xffff {
+		fatalf("-tenant must be in 1..65535")
+	}
+	if *tenant != 0 && *backends != "" {
+		fatalf("-tenant drives a single partitioned server; the volume layer has no tenant lanes")
 	}
 
 	var led *telemetry.Ledger
@@ -85,13 +97,32 @@ func main() {
 		fatalf("dial %s: %v", *addr, err)
 	}
 	snap, err := probe.Stat()
-	probe.Close()
 	if err != nil {
+		probe.Close()
 		fatalf("stat: %v", err)
 	}
+	if *tenant > 0 {
+		if ok, terr := probe.SupportsTenant(); terr != nil || !ok {
+			probe.Close()
+			fatalf("%s does not advertise %s; run the server with Config.Tenants", *addr, server.TenantCap)
+		}
+	}
+	probe.Close()
 	space := snap.Capacity
 	if space < 1 {
 		fatalf("server reports capacity %d", space)
+	}
+	if *tenant > 0 {
+		// The workload must stay inside the namespace: LPNs are
+		// tenant-relative on the wire, so the generator's space is the
+		// namespace size, not the device capacity.
+		ts := snap.Server.Tenants
+		if *tenant > len(ts) {
+			fatalf("server has %d tenant namespaces; -tenant %d is out of range", len(ts), *tenant)
+		}
+		space = ts[*tenant-1].Pages
+		fmt.Fprintf(os.Stderr, "ftlload: tenant %d (%s): %d pages, quota %d\n",
+			*tenant, ts[*tenant-1].Name, space, ts[*tenant-1].Quota)
 	}
 	if *pagelen <= 0 {
 		*pagelen = snap.PageSize
@@ -125,6 +156,9 @@ func main() {
 		}
 		defer clients[i].Close()
 		clients[i].SetLedger(led)
+		if *tenant > 0 {
+			clients[i].SetTenant(uint16(*tenant))
+		}
 	}
 
 	lat := make([]float64, len(reqs))

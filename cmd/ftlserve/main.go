@@ -10,6 +10,8 @@
 //	ftlserve -listen :8970 -seq            # deterministic sequenced replay
 //	ftlserve -listen :8970 -pace 1.0       # responses paced to simulated time
 //	ftlserve -listen :8970 -http :9090     # live /metrics, /healthz, pprof
+//	ftlserve -listen :8970 -faults         # accept ftlstorm fault injection
+//	ftlserve -listen :8970 -tenants quiet:4096,noisy:4096@2   # namespaces
 //
 // -seq puts the server in sequenced replay mode: every data request must
 // carry a dense global ticket (ftlload -seq stamps them), and admission
@@ -30,6 +32,8 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -48,6 +52,8 @@ func main() {
 		connInFl = flag.Int("conn-inflight", 64, "per-connection in-flight cap")
 		deadline = flag.Duration("deadline", 0, "per-request admission deadline (0 = wait forever)")
 		seq      = flag.Bool("seq", false, "sequenced replay mode: admit requests in global ticket order")
+		faults   = flag.Bool("faults", false, "accept fault-injection commands (bad-block storms, chip dropouts, power cuts, die)")
+		tenants  = flag.String("tenants", "", "partition into namespaces: comma-separated name:pages[@quota] (e.g. quiet:4096,noisy:4096@2)")
 		pace     = flag.Float64("pace", 0, "wall-µs slept per simulated µs of latency before responding (1.0 ≈ real time)")
 		fill     = flag.Bool("fill", false, "warm-fill every logical page before serving")
 		httpAddr = flag.String("http", "", "serve /metrics, /healthz, /debug/pprof, /flightrecorder on ADDR")
@@ -130,15 +136,32 @@ func main() {
 		led = telemetry.NewLedger(name)
 		dev.SetLedger(led)
 	}
-	srv := server.New(dev, server.Config{
-		MaxInFlight: *inflight,
-		MaxPerConn:  *connInFl,
-		Deadline:    *deadline,
-		Sequenced:   *seq,
-		Pace:        *pace,
-		Metrics:     reg,
-		Ledger:      led,
-	})
+	scfg := server.Config{
+		MaxInFlight:  *inflight,
+		MaxPerConn:   *connInFl,
+		Deadline:     *deadline,
+		Sequenced:    *seq,
+		Pace:         *pace,
+		Metrics:      reg,
+		Ledger:       led,
+		EnableFaults: *faults,
+	}
+	if *faults {
+		// The "die" fault models a crashed backend: exit hard, no drain — a
+		// campaign driver (ftlstorm) then exercises the cluster's failover.
+		scfg.OnFaultDie = func() {
+			fmt.Fprintln(os.Stderr, "ftlserve: die fault injected, exiting")
+			os.Exit(3)
+		}
+	}
+	if *tenants != "" {
+		ts, err := parseTenants(*tenants)
+		if err != nil {
+			fatalf("-tenants: %v", err)
+		}
+		scfg.Tenants = ts
+	}
+	srv := server.New(dev, scfg)
 	if *httpAddr != "" {
 		// The recorder samples the device columns plus the serving layer's.
 		rec, err = telemetry.NewRecorder(*recIntv, *recCap,
@@ -196,6 +219,40 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "ftlserve: wrote %d hop records to %s\n", led.Len(), *traceOut)
 	}
+}
+
+// parseTenants decodes the -tenants flag: comma-separated name:pages[@quota]
+// declarations, in tenant-id order (the first entry is tenant 1 on the wire).
+func parseTenants(s string) ([]server.Tenant, error) {
+	var out []server.Tenant
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(part, ":")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("%q: want name:pages[@quota]", part)
+		}
+		pagesStr, quotaStr, hasQuota := strings.Cut(rest, "@")
+		pages, err := strconv.ParseInt(pagesStr, 10, 64)
+		if err != nil || pages < 1 {
+			return nil, fmt.Errorf("%q: bad page count %q", part, pagesStr)
+		}
+		t := server.Tenant{Name: name, Pages: pages}
+		if hasQuota {
+			q, err := strconv.Atoi(quotaStr)
+			if err != nil || q < 0 {
+				return nil, fmt.Errorf("%q: bad quota %q", part, quotaStr)
+			}
+			t.Quota = q
+		}
+		out = append(out, t)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no tenants in %q", s)
+	}
+	return out, nil
 }
 
 func fatalf(format string, args ...any) {

@@ -1,0 +1,334 @@
+// Command ftlstorm runs fault campaigns — "break it on purpose" drills that
+// verify the cluster serves correct data while flash blocks die, chips drop
+// out, power cuts mid-write and backends crash.
+//
+// Usage:
+//
+//	ftlstorm                                  # built-in smoke campaign, in-process
+//	ftlstorm -spec campaign.json -workers 8   # declarative campaign from a file
+//	ftlstorm -reproduce                       # run twice, demand byte-identical verdicts
+//	ftlstorm -vol 127.0.0.1:8980 -backends 127.0.0.1:8970,127.0.0.1:8971,127.0.0.1:8972
+//
+// In-process mode (default) builds the whole cluster inside this process —
+// N sequenced block services on loopback TCP, one striped volume on top —
+// and executes the spec's event schedule under open-loop traffic
+// (internal/scenario). Every number in the verdict table is a pure function
+// of (spec, seed): -workers changes wall-clock concurrency only, and
+// -reproduce proves it by running the campaign twice and comparing tables.
+//
+// External mode (-vol, -backends) drills a cluster that is already running:
+// traffic flows through the ftlvol frontend at -vol, while faults are
+// injected straight into the ftlserve backends (which must run -faults).
+// The drill writes a working set, power-cuts one backend and verifies the
+// restore from checkpoint, rewrites part of the set, then kills another
+// backend outright (the "die" fault — the process exits) and verifies that
+// every page is still served by the survivors. The last verdict line is
+// `checked=N mismatches=M integrity=OK|FAIL`; CI greps it.
+//
+// Exit status: 0 when integrity (and, in-process, reproducibility) holds,
+// 1 otherwise.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"superfast/internal/scenario"
+	"superfast/internal/server"
+	"superfast/internal/server/client"
+)
+
+func main() {
+	var (
+		specPath  = flag.String("spec", "", "JSON campaign spec (default: the built-in smoke campaign)")
+		seed      = flag.Uint64("seed", 0, "override the spec's seed (0 = keep)")
+		workers   = flag.Int("workers", 4, "concurrent submitters (never changes the verdict)")
+		reproduce = flag.Bool("reproduce", false, "run the campaign twice and demand byte-identical verdict tables")
+
+		volAddr  = flag.String("vol", "", "external mode: block-service frontend (ftlvol) carrying the traffic")
+		backends = flag.String("backends", "", "external mode: comma-separated ftlserve -faults addresses for direct fault injection")
+		killIdx  = flag.Int("kill", 0, "external: backend index to crash with the die fault (-1 = skip)")
+		cutIdx   = flag.Int("powercut", 1, "external: backend index to power-cut and restore (-1 = skip)")
+		pages    = flag.Int64("pages", 256, "external: working-set size in logical pages")
+		recover  = flag.Float64("recover-us", 5000, "external: power-cut outage on the simulated clock")
+	)
+	flag.Parse()
+
+	if *volAddr != "" || *backends != "" {
+		if *volAddr == "" || *backends == "" {
+			fatalf("external mode needs both -vol and -backends")
+		}
+		ok, err := runExternal(*volAddr, splitAddrs(*backends), *killIdx, *cutIdx, *pages, *seed, *recover)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
+
+	spec := scenario.DefaultSpec()
+	if *specPath != "" {
+		data, err := os.ReadFile(*specPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if spec, err = scenario.ParseSpec(data); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if *seed != 0 {
+		spec.Seed = *seed
+	}
+
+	res, err := scenario.Run(spec, *workers)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	table := res.Table()
+	fmt.Print(table)
+	ok := res.IntegrityOK()
+	if t := res.Tenants; t != nil && !t.Isolated() {
+		fmt.Fprintf(os.Stderr, "ftlstorm: tenant isolation DEGRADED (ratio %.3f)\n", t.Ratio)
+		ok = false
+	}
+	if *reproduce {
+		res2, err := scenario.Run(spec, *workers)
+		if err != nil {
+			fatalf("rerun: %v", err)
+		}
+		if t2 := res2.Table(); t2 != table {
+			fmt.Fprintf(os.Stderr, "ftlstorm: NOT REPRODUCIBLE — rerun verdict differs:\n%s", t2)
+			ok = false
+		} else {
+			fmt.Println("reproduce=OK")
+		}
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func splitAddrs(s string) []string {
+	var addrs []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	return addrs
+}
+
+// stormDepth is the external drill's pipeline window per phase.
+const stormDepth = 16
+
+// payload renders the self-describing full-page payload of (lpn, version),
+// so a stale page after a restore names the version it got stuck at.
+func payload(pageSize int, seed uint64, lpn int64, version uint32) []byte {
+	p := make([]byte, pageSize)
+	copy(p, fmt.Sprintf("storm-%016x-l%08d-v%08d", seed, lpn, version))
+	return p
+}
+
+// runExternal executes the kill-one-backend + power-cut drill against a live
+// cluster: fill through the ftlvol frontend, power-cut one backend and verify
+// the restore, rewrite part of the set, crash another backend and verify the
+// survivors still serve everything. Returns the integrity verdict.
+func runExternal(volAddr string, backends []string, killIdx, cutIdx int, pages int64, seed uint64, recoverUS float64) (bool, error) {
+	if len(backends) == 0 {
+		return false, fmt.Errorf("no backend addresses")
+	}
+	if killIdx >= len(backends) || cutIdx >= len(backends) {
+		return false, fmt.Errorf("backend index out of range (%d backends)", len(backends))
+	}
+	if killIdx >= 0 && killIdx == cutIdx {
+		return false, fmt.Errorf("-kill and -powercut must target different backends")
+	}
+
+	cl, err := client.Dial(volAddr)
+	if err != nil {
+		return false, fmt.Errorf("dial frontend %s: %w", volAddr, err)
+	}
+	defer cl.Close()
+	snap, err := cl.Stat()
+	if err != nil {
+		return false, fmt.Errorf("stat %s: %w", volAddr, err)
+	}
+	if snap.Capacity < pages {
+		pages = snap.Capacity
+	}
+	pageSize := snap.PageSize
+	fmt.Printf("storm external seed=%d frontend=%s backends=%d pages=%d\n",
+		seed, volAddr, len(backends), pages)
+
+	// Every backend must accept fault injection before the drill starts —
+	// failing halfway through would leave the cluster half-broken.
+	for i, addr := range backends {
+		bc, err := client.Dial(addr)
+		if err != nil {
+			return false, fmt.Errorf("dial backend %d (%s): %w", i, addr, err)
+		}
+		ok, ferr := bc.SupportsFault()
+		bc.Close()
+		if ferr != nil || !ok {
+			return false, fmt.Errorf("backend %d (%s) does not accept faults — run ftlserve -faults (%v)", i, addr, ferr)
+		}
+	}
+
+	version := make([]uint32, pages)
+	checked, mismatches := 0, 0
+
+	writeAll := func(lpns []int64) error {
+		window := make([]*client.Call, 0, stormDepth)
+		drain := func(n int) error {
+			for len(window) > n {
+				r, err := window[0].Wait()
+				if err != nil {
+					return err
+				}
+				if r.Status != server.StatusOK {
+					return fmt.Errorf("write status %v", r.Status)
+				}
+				window = window[1:]
+			}
+			return nil
+		}
+		for _, lpn := range lpns {
+			if err := drain(stormDepth - 1); err != nil {
+				return err
+			}
+			version[lpn]++
+			call, err := cl.Start(server.Frame{
+				Op: server.OpWrite, LPN: lpn,
+				Payload: payload(pageSize, seed, lpn, version[lpn]),
+			})
+			if err != nil {
+				return err
+			}
+			window = append(window, call)
+		}
+		return drain(0)
+	}
+
+	sweep := func(label string) error {
+		type pending struct {
+			call *client.Call
+			lpn  int64
+		}
+		window := make([]pending, 0, stormDepth)
+		drain := func(n int) error {
+			for len(window) > n {
+				p := window[0]
+				window = window[1:]
+				r, err := p.call.Wait()
+				if err != nil {
+					return err
+				}
+				if r.Status != server.StatusOK {
+					return fmt.Errorf("lpn %d: read status %v", p.lpn, r.Status)
+				}
+				checked++
+				if !bytes.Equal(r.Payload, payload(pageSize, seed, p.lpn, version[p.lpn])) {
+					mismatches++
+					fmt.Fprintf(os.Stderr, "ftlstorm: %s: lpn %d stale/corrupt (want v%d)\n", label, p.lpn, version[p.lpn])
+				}
+				return nil
+			}
+			return nil
+		}
+		for lpn := int64(0); lpn < pages; lpn++ {
+			if err := drain(stormDepth - 1); err != nil {
+				return err
+			}
+			call, err := cl.Start(server.Frame{Op: server.OpRead, LPN: lpn})
+			if err != nil {
+				return err
+			}
+			window = append(window, pending{call, lpn})
+		}
+		for len(window) > 0 {
+			if err := drain(0); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Phase 1: fill the working set through the frontend, full fan-out.
+	lpns := make([]int64, pages)
+	for i := range lpns {
+		lpns[i] = int64(i)
+	}
+	if err := writeAll(lpns); err != nil {
+		return false, fmt.Errorf("fill: %w", err)
+	}
+	if _, err := cl.Do(server.Frame{Op: server.OpFlush}); err != nil {
+		return false, fmt.Errorf("flush: %w", err)
+	}
+
+	// Phase 2: power-cut one backend — checkpoint, cycle, restore — then
+	// verify every page reads back at its current version.
+	if cutIdx >= 0 {
+		bc, err := client.Dial(backends[cutIdx])
+		if err != nil {
+			return false, fmt.Errorf("dial backend %d: %w", cutIdx, err)
+		}
+		rep, err := bc.Fault(server.FaultRequest{Kind: "power-cut", RecoverUS: recoverUS})
+		bc.Close()
+		if err != nil {
+			return false, fmt.Errorf("power-cut backend %d: %w", cutIdx, err)
+		}
+		fmt.Printf("event power-cut/b%d: cut_at=%.3f recovered_at=%.3f checkpoint_bytes=%d\n",
+			cutIdx, rep.CutAt, rep.RecoveredAt, rep.CheckpointBytes)
+		if err := sweep("post-powercut"); err != nil {
+			return false, fmt.Errorf("post-powercut sweep: %w", err)
+		}
+	}
+
+	// Phase 3: dirty a quarter of the set so the kill phase proves the
+	// survivors hold fresh data, not just the original fill.
+	dirty := lpns[:len(lpns)/4]
+	if len(dirty) > 0 {
+		if err := writeAll(dirty); err != nil {
+			return false, fmt.Errorf("rewrite: %w", err)
+		}
+		if _, err := cl.Do(server.Frame{Op: server.OpFlush}); err != nil {
+			return false, fmt.Errorf("flush: %w", err)
+		}
+	}
+
+	// Phase 4: crash one backend outright. The die fault makes the process
+	// exit, so the response may be lost — only a refusal is an error. The
+	// frontend's read failover must then serve every page from the replicas.
+	if killIdx >= 0 {
+		bc, err := client.Dial(backends[killIdx])
+		if err != nil {
+			return false, fmt.Errorf("dial backend %d: %w", killIdx, err)
+		}
+		_, ferr := bc.Fault(server.FaultRequest{Kind: "die"})
+		bc.Close()
+		if ferr != nil && strings.Contains(ferr.Error(), "status") {
+			return false, fmt.Errorf("die backend %d: %w", killIdx, ferr)
+		}
+		fmt.Printf("event die/b%d: killed\n", killIdx)
+		if err := sweep("post-kill"); err != nil {
+			return false, fmt.Errorf("post-kill sweep: %w", err)
+		}
+	}
+
+	verdict := "OK"
+	if mismatches > 0 {
+		verdict = "FAIL"
+	}
+	fmt.Printf("checked=%d mismatches=%d integrity=%s\n", checked, mismatches, verdict)
+	return mismatches == 0, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ftlstorm: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,121 @@
+package flash
+
+import (
+	"errors"
+	"testing"
+
+	"superfast/internal/pv"
+)
+
+// programOne erases block 0 of the chip and programs LWL 0, returning the
+// LowerPage address for reading back.
+func programOne(t *testing.T, a *Array, chip int) PageAddr {
+	t.Helper()
+	addr := BlockAddr{Chip: chip}
+	if _, err := a.Erase(addr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Program(addr, 0, [][]byte{[]byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	return PageAddr{BlockAddr: addr, LWL: 0, Type: pv.LSB}
+}
+
+func TestFailNextReadsCountdown(t *testing.T) {
+	a := testArray(t)
+	p := programOne(t, a, 0)
+	if err := a.FailNextReads(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.PendingReadFailures(0); got != 2 {
+		t.Fatalf("pending = %d, want 2", got)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := a.Read(p); !errors.Is(err, ErrUncorrectable) {
+			t.Fatalf("read %d: got %v, want ErrUncorrectable", i, err)
+		}
+	}
+	if _, err := a.Read(p); err != nil {
+		t.Fatalf("read after burst drained: %v", err)
+	}
+	if got := a.PendingReadFailures(0); got != 0 {
+		t.Fatalf("pending after drain = %d", got)
+	}
+}
+
+func TestFailNextReadsIsPerChip(t *testing.T) {
+	a := testArray(t)
+	p0 := programOne(t, a, 0)
+	p1 := programOne(t, a, 1)
+	if err := a.FailNextReads(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Read(p0); err != nil {
+		t.Fatalf("chip 0 should be unaffected: %v", err)
+	}
+	if _, err := a.Read(p1); !errors.Is(err, ErrUncorrectable) {
+		t.Fatalf("chip 1: got %v, want ErrUncorrectable", err)
+	}
+}
+
+func TestFailNextReadsDisarm(t *testing.T) {
+	a := testArray(t)
+	p := programOne(t, a, 0)
+	if err := a.FailNextReads(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.FailNextReads(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Read(p); err != nil {
+		t.Fatalf("disarmed chip should read clean: %v", err)
+	}
+	if err := a.FailNextReads(99, 1); err == nil {
+		t.Fatal("out-of-range chip should be rejected")
+	}
+}
+
+func TestChipReadFailureDropAndRevive(t *testing.T) {
+	a := testArray(t)
+	p0 := programOne(t, a, 0)
+	p1 := programOne(t, a, 1)
+	if err := a.SetChipReadFailure(0, true); err != nil {
+		t.Fatal(err)
+	}
+	if !a.ChipReadFailure(0) || a.ChipReadFailure(1) {
+		t.Fatal("dropout flag wrong")
+	}
+	if _, err := a.Read(p0); !errors.Is(err, ErrUncorrectable) {
+		t.Fatalf("down chip read: got %v, want ErrUncorrectable", err)
+	}
+	if _, err := a.Read(p1); err != nil {
+		t.Fatalf("healthy chip read: %v", err)
+	}
+	// Writes and erases on the down chip still work: only sensing fails.
+	addr := BlockAddr{Chip: 0, Block: 1}
+	if _, err := a.Erase(addr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Program(addr, 0, nil); err != nil {
+		t.Fatalf("program on read-dropped chip: %v", err)
+	}
+	if err := a.SetChipReadFailure(0, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Read(p0); err != nil {
+		t.Fatalf("revived chip read: %v", err)
+	}
+}
+
+func TestChipReadFailureReviveWithoutDropIsNoop(t *testing.T) {
+	a := testArray(t)
+	if err := a.SetChipReadFailure(0, false); err != nil {
+		t.Fatal(err)
+	}
+	if a.ChipReadFailure(0) {
+		t.Fatal("chip should not be down")
+	}
+	if err := a.SetChipReadFailure(-1, true); err == nil {
+		t.Fatal("out-of-range chip should be rejected")
+	}
+}

@@ -128,6 +128,11 @@ type Array struct {
 	blocks   []block // lane-major: lane*BlocksPerPlane + block
 	opNonce  uint64  // distinguishes repeated measurements (temporal jitter)
 	counters Counters
+
+	// Chip-level fault injection (FailNextReads / SetChipReadFailure).
+	// Nil until the first injection so the hot read path pays one nil check.
+	failReads []int  // chip → remaining forced-uncorrectable reads
+	chipDown  []bool // chip → all reads fail uncorrectable until revived
 }
 
 // NewArray builds an array over the given geometry and variation model.
@@ -444,6 +449,12 @@ func (a *Array) Read(addr PageAddr) (ReadResult, error) {
 	if b.corrupted.get(idx) {
 		errBits = a.ecc.RetryBits + 1
 	}
+	if a.chipDown != nil && a.chipDown[addr.Chip] {
+		errBits = a.ecc.RetryBits + 1
+	} else if a.failReads != nil && a.failReads[addr.Chip] > 0 {
+		a.failReads[addr.Chip]--
+		errBits = a.ecc.RetryBits + 1
+	}
 	retries := 0
 	corrected := errBits <= a.ecc.CorrectableBits
 	for !corrected && retries < a.ecc.MaxRetries {
@@ -636,6 +647,56 @@ func (a *Array) InjectCorruption(addr PageAddr) error {
 	}
 	b.corrupted.set(addr.PageIndex())
 	return nil
+}
+
+// FailNextReads arms a transient read-error burst on one chip: the next n
+// page reads targeting the chip return ErrUncorrectable (after the full
+// retry ladder), regardless of the page's real error count. The countdown
+// decrements in array operation order, so campaigns replaying the same
+// request sequence hit the same reads. Calling with n <= 0 disarms the chip.
+func (a *Array) FailNextReads(chip, n int) error {
+	if chip < 0 || chip >= a.geo.Chips {
+		return fmt.Errorf("%w: chip %d", ErrBadAddress, chip)
+	}
+	if a.failReads == nil {
+		a.failReads = make([]int, a.geo.Chips)
+	}
+	if n < 0 {
+		n = 0
+	}
+	a.failReads[chip] = n
+	return nil
+}
+
+// PendingReadFailures returns how many armed read failures remain on a chip.
+func (a *Array) PendingReadFailures(chip int) int {
+	if a.failReads == nil || chip < 0 || chip >= len(a.failReads) {
+		return 0
+	}
+	return a.failReads[chip]
+}
+
+// SetChipReadFailure drops (or revives) a whole chip's read path: while set,
+// every page read on the chip returns ErrUncorrectable. Programs and erases
+// still succeed — the stored data is intact, only sensing fails — so RAID
+// reconstruction and refresh can relocate the data while the chip is down.
+func (a *Array) SetChipReadFailure(chip int, down bool) error {
+	if chip < 0 || chip >= a.geo.Chips {
+		return fmt.Errorf("%w: chip %d", ErrBadAddress, chip)
+	}
+	if a.chipDown == nil {
+		if !down {
+			return nil
+		}
+		a.chipDown = make([]bool, a.geo.Chips)
+	}
+	a.chipDown[chip] = down
+	return nil
+}
+
+// ChipReadFailure reports whether the chip's read path is currently dropped.
+func (a *Array) ChipReadFailure(chip int) bool {
+	return a.chipDown != nil && chip >= 0 && chip < len(a.chipDown) && a.chipDown[chip]
 }
 
 // LWLLatencies returns the program latencies observed for each word-line of

@@ -2,11 +2,31 @@ package ftl
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"hash/crc32"
 
 	"superfast/internal/core"
 	"superfast/internal/flash"
+)
+
+// ErrCheckpointCorrupt reports a checkpoint image that fails framing
+// validation: wrong magic, torn/truncated body, or checksum mismatch. A
+// power cut mid-checkpoint-write produces exactly this; callers should fall
+// back to RecoverByScan, which rebuilds the mapping from OOB tags.
+var ErrCheckpointCorrupt = errors.New("ftl: checkpoint corrupt")
+
+// Checkpoint framing: a 12-byte header — magic, body length, body CRC32
+// (IEEE), all big-endian — wrapped around the gob-encoded state. The length
+// catches truncation (a torn write keeps a prefix), the CRC catches torn
+// middles and bit rot, and validation happens before gob ever sees the
+// bytes so corruption surfaces as one typed error instead of whatever
+// decode error the mangled stream happens to trip first.
+const (
+	checkpointMagic     = "SFCP"
+	checkpointHeaderLen = 12
 )
 
 // Checkpoint captures the FTL's RAM state — mapping tables, the superblock
@@ -44,10 +64,16 @@ func (f *FTL) Checkpoint() ([]byte, error) {
 		})
 	}
 	var buf bytes.Buffer
+	buf.Write(make([]byte, checkpointHeaderLen)) // header placeholder
 	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
 		return nil, fmt.Errorf("ftl: checkpoint encode: %w", err)
 	}
-	return buf.Bytes(), nil
+	out := buf.Bytes()
+	body := out[checkpointHeaderLen:]
+	copy(out, checkpointMagic)
+	binary.BigEndian.PutUint32(out[4:], uint32(len(body)))
+	binary.BigEndian.PutUint32(out[8:], crc32.ChecksumIEEE(body))
+	return out, nil
 }
 
 const checkpointVersion = 1
@@ -78,11 +104,34 @@ type checkpointState struct {
 	Scheme      []byte
 }
 
+// checkpointBody validates the framing header and returns the gob body.
+func checkpointBody(checkpoint []byte) ([]byte, error) {
+	if len(checkpoint) < checkpointHeaderLen {
+		return nil, fmt.Errorf("%w: %d bytes, header needs %d", ErrCheckpointCorrupt, len(checkpoint), checkpointHeaderLen)
+	}
+	if string(checkpoint[:4]) != checkpointMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCheckpointCorrupt, checkpoint[:4])
+	}
+	want := binary.BigEndian.Uint32(checkpoint[4:])
+	body := checkpoint[checkpointHeaderLen:]
+	if uint32(len(body)) != want {
+		return nil, fmt.Errorf("%w: body is %d bytes, header says %d", ErrCheckpointCorrupt, len(body), want)
+	}
+	if sum := crc32.ChecksumIEEE(body); sum != binary.BigEndian.Uint32(checkpoint[8:]) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCheckpointCorrupt)
+	}
+	return body, nil
+}
+
 // Restore builds an FTL over the (data-retaining) array from a checkpoint
 // taken with the same geometry and configuration.
 func Restore(arr *flash.Array, cfg Config, checkpoint []byte) (*FTL, error) {
+	body, err := checkpointBody(checkpoint)
+	if err != nil {
+		return nil, err
+	}
 	var st checkpointState
-	if err := gob.NewDecoder(bytes.NewReader(checkpoint)).Decode(&st); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&st); err != nil {
 		return nil, fmt.Errorf("ftl: checkpoint decode: %w", err)
 	}
 	if st.Version != checkpointVersion {

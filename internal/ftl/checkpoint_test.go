@@ -1,6 +1,7 @@
 package ftl
 
 import (
+	"errors"
 	"testing"
 
 	"superfast/internal/flash"
@@ -104,7 +105,61 @@ func TestCheckpointPreservesStatsAndScheme(t *testing.T) {
 func TestRestoreRejectsGarbage(t *testing.T) {
 	arr := testArray(t)
 	cfg := testConfig()
-	if _, err := Restore(arr, cfg, []byte("nonsense")); err == nil {
-		t.Fatal("garbage checkpoint should fail")
+	if _, err := Restore(arr, cfg, []byte("nonsense")); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("garbage checkpoint: got %v, want ErrCheckpointCorrupt", err)
+	}
+}
+
+// TestRestoreRejectsTornCheckpoint models a power cut that lands mid-way
+// through writing the checkpoint image: every strict prefix of a valid
+// checkpoint must fail with the typed ErrCheckpointCorrupt — never a stray
+// gob decode error, never a mis-restored FTL — and the device must still be
+// recoverable by the OOB scan fallback.
+func TestRestoreRejectsTornCheckpoint(t *testing.T) {
+	arr := testArray(t)
+	cfg := testConfig()
+	f, err := New(arr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := fillAndChurn(t, f, 0.6, 107)
+	snap, err := f.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 3, checkpointHeaderLen - 1, checkpointHeaderLen, checkpointHeaderLen + 1, len(snap) / 2, len(snap) - 1} {
+		if _, err := Restore(arr, cfg, snap[:cut]); !errors.Is(err, ErrCheckpointCorrupt) {
+			t.Fatalf("cut at %d/%d bytes: got %v, want ErrCheckpointCorrupt", cut, len(snap), err)
+		}
+	}
+	// A flipped bit inside the body is caught by the checksum.
+	flipped := append([]byte(nil), snap...)
+	flipped[len(flipped)/2] ^= 0x40
+	if _, err := Restore(arr, cfg, flipped); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("bit flip: got %v, want ErrCheckpointCorrupt", err)
+	}
+	// The torn checkpoint is not the end of the device: the OOB scan
+	// rebuilds the mapping from flash alone.
+	g, err := RecoverByScan(arr, cfg)
+	if err != nil {
+		t.Fatalf("scan fallback: %v", err)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	src := prng.New(7)
+	for i := 0; i < 100; i++ {
+		lpn := int64(src.Intn(int(g.Capacity())))
+		r, err := g.Read(lpn)
+		if err != nil {
+			t.Fatalf("lpn %d after scan recovery: %v", lpn, err)
+		}
+		if string(r.Data) != string(payload(lpn, gen[lpn])) {
+			t.Fatalf("lpn %d corrupted after scan recovery", lpn)
+		}
+	}
+	// And the intact image still restores.
+	if _, err := Restore(arr, cfg, snap); err != nil {
+		t.Fatalf("intact checkpoint after torn attempts: %v", err)
 	}
 }

@@ -1,0 +1,55 @@
+package ftl
+
+import (
+	"sort"
+
+	"superfast/internal/flash"
+	"superfast/internal/prng"
+)
+
+// MarkBadBlocks injects a deterministic bad-block storm: up to n blocks
+// drawn (seed-reproducibly) from the sealed superblocks are marked bad in
+// the array. A sealed member keeps serving reads — MarkBad only fails
+// programs and erases — so data stays reachable; the block is retired
+// through the normal path when garbage collection next erases it and the
+// multi-plane erase reports the member failed. Open superblocks and free
+// blocks are never picked: a bad block in the program path would fail host
+// writes outright, which is a different fault than a storm of dying blocks.
+// Returns the blocks actually marked (fewer than n when the device holds
+// fewer sealed members). Callers must serialize with other FTL use (the
+// concurrent front end's WithFTL).
+func (f *FTL) MarkBadBlocks(n int, seed uint64) ([]flash.BlockAddr, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	ids := make([]int, 0, len(f.sbs))
+	for id, sb := range f.sbs {
+		if sb.sealed {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	var pool []flash.BlockAddr
+	for _, id := range ids {
+		for _, m := range f.sbs[id].members {
+			if !f.arr.IsBad(m) {
+				pool = append(pool, m)
+			}
+		}
+	}
+	if len(pool) == 0 {
+		return nil, nil
+	}
+	if n > len(pool) {
+		n = len(pool)
+	}
+	perm := prng.New(seed, 7001).Perm(len(pool))
+	marked := make([]flash.BlockAddr, 0, n)
+	for _, pi := range perm[:n] {
+		if err := f.arr.MarkBad(pool[pi]); err != nil {
+			return marked, err
+		}
+		marked = append(marked, pool[pi])
+	}
+	return marked, nil
+}

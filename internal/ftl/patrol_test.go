@@ -123,6 +123,153 @@ func TestPatrolReconstructsUncorrectable(t *testing.T) {
 	}
 }
 
+// TestPatrolBadBlockStormNoDoubleReconstruct runs the campaign interplay: a
+// bad-block storm fires in the middle of a patrol pass that already
+// reconstructed and refreshed an uncorrectable page. The storm only fails
+// programs and erases — sealed members keep serving reads — and the victim's
+// refreshed copy is clean, so the rest of the lap (and a second lap over the
+// victim) must not reconstruct or refresh anything again.
+func TestPatrolBadBlockStormNoDoubleReconstruct(t *testing.T) {
+	f := fullFTL(t, raidConfig())
+	cap := f.Capacity()
+	const victim = 5
+	const chunk = 20
+	corruptPageOf(t, f, victim)
+
+	// First chunk covers the victim: exactly one reconstruction + refresh.
+	st := f.Stats()
+	cursor, _, err := f.Patrol(0, chunk, noRefresh)
+	if err != nil {
+		t.Fatalf("patrol over corrupt page: %v", err)
+	}
+	if d := f.Stats().Refreshes - st.Refreshes; d != 1 {
+		t.Fatalf("Refreshes delta = %d, want 1 (the reconstructed victim)", d)
+	}
+	// Flush the refresh so the resumed scan reads the new copy from flash
+	// (patrol skips buffered pages, which would skew the scan counts).
+	if _, err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mid-pass, the storm marks sealed blocks bad.
+	marked, err := f.MarkBadBlocks(4, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(marked) == 0 {
+		t.Fatal("storm marked nothing — the fill did not seal superblocks")
+	}
+
+	// Resume the lap from the cursor: every remaining page — stormed blocks
+	// included — must read clean, with zero further refreshes.
+	st = f.Stats()
+	next, _, err := f.Patrol(cursor, int(cap)-chunk, noRefresh)
+	if err != nil {
+		t.Fatalf("resumed patrol: %v", err)
+	}
+	if next != 0 {
+		t.Fatalf("lap ended at %d, want 0", next)
+	}
+	if got := f.Stats().PatrolReads - st.PatrolReads; int64(got) != cap-chunk {
+		t.Fatalf("resumed lap scanned %d pages, want %d", got, cap-chunk)
+	}
+	if d := f.Stats().Refreshes - st.Refreshes; d != 0 {
+		t.Fatalf("Refreshes delta = %d after the storm, want 0 (no double reconstruct)", d)
+	}
+
+	// A second lap over the victim's range: its refreshed copy is good.
+	st = f.Stats()
+	if _, _, err := f.Patrol(0, chunk, noRefresh); err != nil {
+		t.Fatalf("second lap over victim: %v", err)
+	}
+	if d := f.Stats().Refreshes - st.Refreshes; d != 0 {
+		t.Fatalf("victim refreshed twice (delta %d)", d)
+	}
+	r, err := f.Read(victim)
+	if err != nil {
+		t.Fatalf("read victim: %v", err)
+	}
+	if string(r.Data) != string(payload(victim, 0)) {
+		t.Fatalf("victim data corrupted: %q", r.Data)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPatrolCursorSurvivesCheckpointRestore drives patrol in chunks across a
+// checkpoint/restore power cycle: the caller-held resume cursor must stay
+// meaningful on the restored FTL — the next chunk picks up exactly where the
+// pre-cut scan stopped, the lap closes at the original start, and the patrol
+// statistics ride the checkpoint.
+func TestPatrolCursorSurvivesCheckpointRestore(t *testing.T) {
+	arr := testArray(t)
+	cfg := testConfig()
+	f, err := New(arr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lpn := int64(0); lpn < f.Capacity(); lpn++ {
+		if _, err := f.Write(lpn, payload(lpn, 0)); err != nil {
+			t.Fatalf("fill lpn %d: %v", lpn, err)
+		}
+	}
+	if _, err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	cap := f.Capacity()
+	const chunk = 30
+
+	cursor, _, err := f.Patrol(0, chunk, noRefresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cursor != chunk {
+		t.Fatalf("cursor = %d, want %d", cursor, chunk)
+	}
+
+	snap, err := f.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Restore(arr, cfg, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := g.Stats().PatrolReads, f.Stats().PatrolReads; got != want {
+		t.Fatalf("PatrolReads = %d across the power cycle, want %d", got, want)
+	}
+
+	// Resume on the restored FTL from the saved cursor: the next chunk scans
+	// exactly the pages the pre-cut pass had not reached.
+	before := g.Stats().PatrolReads
+	next, _, err := g.Patrol(cursor, chunk, noRefresh)
+	if err != nil {
+		t.Fatalf("resumed patrol after restore: %v", err)
+	}
+	if got := g.Stats().PatrolReads - before; got != chunk {
+		t.Fatalf("post-restore chunk scanned %d pages, want %d", got, chunk)
+	}
+	if want := (cursor + chunk) % cap; next != want {
+		t.Fatalf("post-restore cursor = %d, want %d", next, want)
+	}
+	// The rest of the lap closes back at the original start — one full cycle
+	// total, split across the power cycle.
+	last, _, err := g.Patrol(next, int(cap)-2*chunk, noRefresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != 0 {
+		t.Fatalf("lap closed at %d, want 0", last)
+	}
+	if g.Stats().Refreshes != f.Stats().Refreshes {
+		t.Fatal("noRefresh scan must not refresh across restore")
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestPatrolUncorrectableWithoutRAID(t *testing.T) {
 	f := fullFTL(t, testConfig())
 	const victim = 10

@@ -1,0 +1,523 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"superfast/internal/flash"
+	"superfast/internal/ftl"
+	"superfast/internal/prng"
+	"superfast/internal/pv"
+	"superfast/internal/server"
+	"superfast/internal/ssd"
+	"superfast/internal/stats"
+	"superfast/internal/telemetry"
+	"superfast/internal/volume"
+)
+
+// campaignStripe is the placement granularity of the campaign cluster —
+// small, so modest working sets still cross many stripe units.
+const campaignStripe = 8
+
+// progOp is one precomputed operation of the campaign program. The whole
+// program — fill, campaign traffic, heal writes, the final verify sweep —
+// is laid out before the first byte hits the wire, so the global sequenced
+// ticket of an op is simply its program position.
+type progOp struct {
+	write    bool
+	lpn      int64
+	version  uint32 // payload version written, or expected on a read
+	campaign int    // campaign op index, -1 for fill/heal/sweep ops
+}
+
+// barrier anchors a batch of events at a program position: the engine
+// drains every op before pos, applies the events on the quiescent cluster,
+// and resumes.
+type barrier struct {
+	pos    int
+	events []*Event
+}
+
+// program is the fully precomputed campaign: the op list, the event
+// barriers, per-event heal counts, and the campaign-index → program-position
+// map the fault-window P99.9 is computed from.
+type program struct {
+	ops      []progOp
+	barriers []barrier
+	pos      []int // campaign op index -> program position
+	healed   map[*Event]int
+	sweep    int // program position of the first verify-sweep op
+}
+
+// build lays the program out. Every draw comes from one seeded stream, so
+// the program is a pure function of the spec.
+func build(s *Spec) *program {
+	p := &program{pos: make([]int, s.Ops), healed: make(map[*Event]int)}
+	version := make([]uint32, s.WorkingSet)
+	for lpn := int64(0); lpn < s.WorkingSet; lpn++ {
+		version[lpn] = 1
+		p.ops = append(p.ops, progOp{write: true, lpn: lpn, version: 1, campaign: -1})
+	}
+	src := prng.New(s.Seed, 11)
+	ei := 0
+	downAt := -1 // backend currently killed, -1 = none
+	var dirty map[int64]bool
+	fire := func(atOp int) {
+		var evs []*Event
+		for ei < len(s.Events) && s.Events[ei].AtOp == atOp {
+			e := &s.Events[ei]
+			evs = append(evs, e)
+			ei++
+			switch e.Kind {
+			case KindKillBackend:
+				downAt = e.Backend
+				dirty = make(map[int64]bool)
+			case KindRestartBackend:
+				// Writes skipped the killed leg, so its replicas are stale:
+				// heal by rewriting every LPN dirtied in the down window at
+				// its current version, full fan-out, in LPN order. The heals
+				// consume program positions like any other op.
+				lpns := make([]int64, 0, len(dirty))
+				for lpn := range dirty {
+					lpns = append(lpns, lpn)
+				}
+				sort.Slice(lpns, func(i, j int) bool { return lpns[i] < lpns[j] })
+				if len(evs) > 0 { // append heals after the barrier fires
+					defer func(lpns []int64, e *Event) {
+						p.healed[e] = len(lpns)
+						for _, lpn := range lpns {
+							p.ops = append(p.ops, progOp{write: true, lpn: lpn, version: version[lpn], campaign: -1})
+						}
+					}(lpns, e)
+				}
+				downAt = -1
+				dirty = nil
+			}
+		}
+		if len(evs) > 0 {
+			p.barriers = append(p.barriers, barrier{pos: len(p.ops), events: evs})
+		}
+	}
+	for j := 0; j < s.Ops; j++ {
+		fire(j)
+		write := src.Float64() < s.WriteFrac
+		lpn := int64(src.Intn(int(s.WorkingSet)))
+		p.pos[j] = len(p.ops)
+		if write {
+			version[lpn]++
+			if downAt >= 0 {
+				dirty[lpn] = true
+			}
+		}
+		p.ops = append(p.ops, progOp{write: write, lpn: lpn, version: version[lpn], campaign: j})
+	}
+	fire(s.Ops)
+	// Verify sweep: read back the whole working set so the integrity verdict
+	// covers pages the campaign traffic never revisited.
+	p.sweep = len(p.ops)
+	for lpn := int64(0); lpn < s.WorkingSet; lpn++ {
+		p.ops = append(p.ops, progOp{lpn: lpn, version: version[lpn], campaign: -1})
+	}
+	return p
+}
+
+// pagePayload renders the full-page payload of (lpn, version): a
+// self-describing header padded with zeros, so a stale or cross-tenant page
+// is distinguishable from the expected one, not just "different".
+func pagePayload(pageSize int, seed uint64, tenant int, lpn int64, version uint32) []byte {
+	p := make([]byte, pageSize)
+	copy(p, fmt.Sprintf("sf-%016x-t%d-l%08d-v%08d", seed, tenant, lpn, version))
+	return p
+}
+
+// cluster is the in-process campaign fixture: N sequenced block services on
+// loopback TCP, their device handles for direct fault injection, and one
+// sequenced volume over them.
+type cluster struct {
+	v    *volume.Volume
+	devs []*ssd.ConcurrentDevice
+	led  *telemetry.Ledger
+	stop func()
+}
+
+// campaignGeometry returns the per-backend flash layout. One plane per chip
+// makes chip == RAID lane, so a whole-chip dropout costs exactly one lane
+// per superblock stripe and single parity can always reconstruct it. Blocks
+// are small (36 pages, 144-page superblocks) so a modest fill seals
+// superblocks on every backend — the pool the bad-block storm draws from.
+func campaignGeometry() flash.Geometry {
+	g := flash.TestGeometry()
+	g.PlanesPerChip = 1
+	g.BlocksPerPlane = 24
+	g.Layers = 6
+	g.Strings = 2
+	return g
+}
+
+func newCampaignDevice() (*ssd.ConcurrentDevice, error) {
+	g := campaignGeometry()
+	p := pv.DefaultParams()
+	p.Layers = g.Layers
+	p.Strings = g.Strings
+	arr := flash.MustNewArray(g, pv.New(p), flash.DefaultECC())
+	cfg := ssd.DefaultConfig()
+	cfg.FTL.Overprovision = 0.25
+	cfg.FTL.RAID = true
+	// Preemptive partial GC: reclamation is paid in bounded steps behind the
+	// ticket stream (idle windows first) instead of whole collections blocking
+	// an unlucky host write — and under tenant shaping, debt behind a
+	// quota-deferred ticket rides that tenant's reservation track.
+	cfg.FTL.GCStepPages = 4
+	return ssd.NewConcurrent(arr, cfg)
+}
+
+// startCluster builds the campaign cluster. Everything runs sequenced: the
+// volume admits dense global tickets, each backend admits dense
+// per-connection tickets, and the devices replay flash work in ticket order
+// — the determinism backbone.
+func startCluster(s *Spec) (*cluster, error) {
+	cl := &cluster{led: telemetry.NewLedger("scenario")}
+	var lns []net.Listener
+	var srvs []*server.Server
+	addrs := make([]string, 0, s.Backends)
+	fail := func(err error) (*cluster, error) {
+		for _, ln := range lns {
+			ln.Close()
+		}
+		return nil, err
+	}
+	for i := 0; i < s.Backends; i++ {
+		dev, err := newCampaignDevice()
+		if err != nil {
+			return fail(err)
+		}
+		srv := server.New(dev, server.Config{Sequenced: true})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return fail(err)
+		}
+		go srv.Serve(ln)
+		cl.devs = append(cl.devs, dev)
+		srvs = append(srvs, srv)
+		lns = append(lns, ln)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	v, err := volume.Dial(addrs, volume.Config{Stripe: campaignStripe, Replicas: s.Replicas, Sequenced: true})
+	if err != nil {
+		return fail(err)
+	}
+	v.SetLedger(cl.led)
+	cl.v = v
+	cl.stop = func() {
+		v.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		for _, srv := range srvs {
+			srv.Shutdown(ctx)
+		}
+	}
+	return cl, nil
+}
+
+// EventReport is one applied event in the verdict: its label plus the
+// kind-specific outcome detail (marked block count, power-cut instants,
+// heal size). All values are simulated-clock or structural — deterministic.
+type EventReport struct {
+	Label  string
+	Detail string
+}
+
+// Window is the latency verdict of one fault window: exact quantiles of the
+// host-visible simulated latency of the campaign ops issued while the fault
+// was in force.
+type Window struct {
+	Label string
+	Ops   int
+	P50   float64
+	P999  float64
+	Max   float64
+}
+
+// Result is the campaign verdict. Every field is a pure function of
+// (spec, seed); Table renders it byte-identically across runs and worker
+// counts.
+type Result struct {
+	Spec       *Spec
+	ProgramOps int
+	Checked    int // reads verified against the shadow map
+	Mismatches int
+	Failures   []string // first few integrity/protocol failures, for the log
+	Windows    []Window
+	Events     []EventReport
+	DownSkips  uint64
+	Retries    uint64
+	Tenants    *TenantResult
+}
+
+// IntegrityOK reports the data-integrity verdict: every verified read
+// (campaign traffic plus the final sweep) matched the shadow map.
+func (r *Result) IntegrityOK() bool { return r.Mismatches == 0 && len(r.Failures) == 0 }
+
+func eventLabel(e *Event) string {
+	return fmt.Sprintf("%s@%d/b%d", e.Kind, e.AtOp, e.Backend)
+}
+
+// applyEvent injects one fault into the quiescent cluster and returns its
+// verdict detail line.
+func (cl *cluster) applyEvent(e *Event, healed int) (string, error) {
+	dev := cl.devs[e.Backend]
+	var detail string
+	var err error
+	switch e.Kind {
+	case KindBadBlocks:
+		dev.WithFTL(func(ft *ftl.FTL) {
+			var blocks []flash.BlockAddr
+			blocks, err = ft.MarkBadBlocks(e.Count, e.Seed)
+			detail = fmt.Sprintf("marked=%d", len(blocks))
+		})
+	case KindChipReadErrors:
+		dev.WithFTL(func(ft *ftl.FTL) { err = ft.Array().FailNextReads(e.Chip, e.Count) })
+		detail = fmt.Sprintf("chip=%d count=%d", e.Chip, e.Count)
+	case KindChipDropout:
+		dev.WithFTL(func(ft *ftl.FTL) { err = ft.Array().SetChipReadFailure(e.Chip, true) })
+		detail = fmt.Sprintf("chip=%d", e.Chip)
+	case KindChipRevive:
+		dev.WithFTL(func(ft *ftl.FTL) { err = ft.Array().SetChipReadFailure(e.Chip, false) })
+		detail = fmt.Sprintf("chip=%d", e.Chip)
+	case KindRetentionBake:
+		dev.WithFTL(func(ft *ftl.FTL) { ft.Array().AddRetention(e.Units) })
+		detail = fmt.Sprintf("units=%.3f", e.Units)
+	case KindPowerCut:
+		var rep ssd.PowerCycleReport
+		rep, err = dev.PowerCycle(e.RecoverUS)
+		detail = fmt.Sprintf("cut_at=%.3f recovered_at=%.3f checkpoint_bytes=%d",
+			rep.CutAt, rep.RecoveredAt, rep.CheckpointBytes)
+	case KindKillBackend:
+		err = cl.v.SetBackendDown(e.Backend, true)
+		detail = "down"
+	case KindRestartBackend:
+		err = cl.v.SetBackendDown(e.Backend, false)
+		detail = fmt.Sprintf("healed=%d", healed)
+	default:
+		err = fmt.Errorf("scenario: unknown event kind %q", e.Kind)
+	}
+	if err != nil {
+		return "", fmt.Errorf("scenario: %s: %w", eventLabel(e), err)
+	}
+	return detail, nil
+}
+
+// runState is the shared integrity accounting of the worker pool.
+type runState struct {
+	mu         sync.Mutex
+	checked    int
+	mismatches int
+	failures   []string
+	err        error
+}
+
+func (rs *runState) fail(msg string) {
+	rs.mu.Lock()
+	rs.mismatches++
+	if len(rs.failures) < 8 {
+		rs.failures = append(rs.failures, msg)
+	}
+	rs.mu.Unlock()
+}
+
+func (rs *runState) abort(err error) {
+	rs.mu.Lock()
+	if rs.err == nil {
+		rs.err = err
+	}
+	rs.mu.Unlock()
+}
+
+// runSegment drives program positions [lo, hi) through the volume with
+// `workers` submitters striding the range. The volume's sequenced cursor
+// serializes admission in program order regardless of the worker count, so
+// the device-side schedule — and every simulated latency — is identical for
+// 1 worker or 16.
+func runSegment(cl *cluster, s *Spec, ops []progOp, lo, hi, workers int, rs *runState) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for p := lo + w; p < hi; p += workers {
+				op := ops[p]
+				seq := uint64(p)
+				arrival := float64(p) * s.GapUS
+				tr := volume.TraceRef{ID: seq + 1, Parent: telemetry.HopNone}
+				var ca *volume.Call
+				var err error
+				if op.write {
+					data := pagePayload(cl.v.PageSize(), s.Seed, 0, op.lpn, op.version)
+					ca, err = cl.v.StartWrite(op.lpn, data, ftl.HintNone, seq, arrival, tr)
+				} else {
+					ca, err = cl.v.StartRead(op.lpn, seq, arrival, tr)
+				}
+				if err != nil {
+					rs.abort(fmt.Errorf("scenario: op %d start: %w", p, err))
+					return
+				}
+				r, err := ca.Wait()
+				if err != nil {
+					rs.abort(fmt.Errorf("scenario: op %d wait: %w", p, err))
+					return
+				}
+				if r.Status != server.StatusOK {
+					rs.fail(fmt.Sprintf("op %d (lpn %d): status %v", p, op.lpn, r.Status))
+					continue
+				}
+				if !op.write {
+					want := pagePayload(cl.v.PageSize(), s.Seed, 0, op.lpn, op.version)
+					rs.mu.Lock()
+					rs.checked++
+					rs.mu.Unlock()
+					if !bytes.Equal(r.Payload, want) {
+						rs.fail(fmt.Sprintf("op %d: lpn %d served stale/corrupt data (want v%d)", p, op.lpn, op.version))
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// traceLatency folds the volume's hop ledger into per-trace host-visible
+// latency: each HopProxy record carries one replica leg's simulated
+// latency, and the op's latency is its slowest leg.
+func traceLatency(led *telemetry.Ledger) map[uint64]float64 {
+	out := make(map[uint64]float64)
+	for _, r := range led.Records() {
+		if r.Hop != telemetry.HopProxy || r.Trace == 0 {
+			continue
+		}
+		if r.SimUS > out[r.Trace] {
+			out[r.Trace] = r.SimUS
+		}
+	}
+	return out
+}
+
+// window computes the exact latency quantiles of the campaign index range
+// [from, to).
+func (p *program) window(label string, from, to int, lat map[uint64]float64) Window {
+	w := Window{Label: label}
+	var samples []float64
+	for j := from; j < to; j++ {
+		if v, ok := lat[uint64(p.pos[j])+1]; ok {
+			samples = append(samples, v)
+		}
+	}
+	w.Ops = len(samples)
+	if len(samples) == 0 {
+		return w
+	}
+	sort.Float64s(samples)
+	w.P50 = stats.Quantile(samples, 0.50)
+	w.P999 = stats.Quantile(samples, 0.999)
+	w.Max = samples[len(samples)-1]
+	return w
+}
+
+// Run executes the campaign with the given submitter count and returns the
+// verdict. workers only changes wall-clock concurrency, never the verdict:
+// the sequenced cluster admits the precomputed program in ticket order
+// whatever the submission interleaving.
+func Run(s *Spec, workers int) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	cl, err := startCluster(s)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.stop()
+	// Size-check before laying the program out — build allocates
+	// proportionally to the working set.
+	if space := cl.v.Space(); space < s.WorkingSet {
+		return nil, fmt.Errorf("scenario: working set %d exceeds volume space %d", s.WorkingSet, space)
+	}
+	p := build(s)
+
+	res := &Result{Spec: s, ProgramOps: len(p.ops)}
+	rs := &runState{}
+	lo := 0
+	for _, b := range p.barriers {
+		runSegment(cl, s, p.ops, lo, b.pos, workers, rs)
+		if rs.err != nil {
+			return nil, rs.err
+		}
+		// The segment's workers have all resolved their Waits, so nothing is
+		// in flight; the flush barrier drains whatever the backends still
+		// hold, making the cluster quiescent for the fault.
+		if err := cl.v.Flush(); err != nil {
+			return nil, fmt.Errorf("scenario: flush before %s: %w", eventLabel(b.events[0]), err)
+		}
+		for _, e := range b.events {
+			detail, err := cl.applyEvent(e, p.healed[e])
+			if err != nil {
+				return nil, err
+			}
+			res.Events = append(res.Events, EventReport{Label: eventLabel(e), Detail: detail})
+		}
+		lo = b.pos
+	}
+	runSegment(cl, s, p.ops, lo, len(p.ops), workers, rs)
+	if rs.err != nil {
+		return nil, rs.err
+	}
+	if err := cl.v.Flush(); err != nil {
+		return nil, fmt.Errorf("scenario: final flush: %w", err)
+	}
+
+	res.Checked = rs.checked
+	res.Mismatches = rs.mismatches
+	res.Failures = rs.failures
+	counters := cl.v.ClusterStat().Volume
+	res.DownSkips = counters.DownSkips
+	res.Retries = counters.Retries
+
+	lat := traceLatency(cl.led)
+	first := s.Ops
+	if len(s.Events) > 0 {
+		first = s.Events[0].AtOp
+	}
+	if first > 0 {
+		res.Windows = append(res.Windows, p.window("pre-fault", 0, first, lat))
+	}
+	for i := range s.Events {
+		e := &s.Events[i]
+		end := s.Ops
+		if e.WindowOps > 0 && e.AtOp+e.WindowOps < end {
+			end = e.AtOp + e.WindowOps
+		} else if e.WindowOps == 0 {
+			for j := i + 1; j < len(s.Events); j++ {
+				if s.Events[j].AtOp > e.AtOp {
+					end = s.Events[j].AtOp
+					break
+				}
+			}
+		}
+		res.Windows = append(res.Windows, p.window(eventLabel(e), e.AtOp, end, lat))
+	}
+
+	if s.Tenants != nil {
+		tr, err := runTenants(s)
+		if err != nil {
+			return nil, err
+		}
+		res.Tenants = tr
+	}
+	return res, nil
+}

@@ -1,0 +1,135 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// campaignSpec is DefaultSpec without the tenant phase — the fault campaign
+// alone, so the determinism matrix stays fast.
+func campaignSpec() *Spec {
+	s := DefaultSpec()
+	s.Tenants = nil
+	return s
+}
+
+func runCampaign(t *testing.T, s *Spec, workers int) *Result {
+	t.Helper()
+	r, err := Run(s, workers)
+	if err != nil {
+		t.Fatalf("Run(workers=%d): %v", workers, err)
+	}
+	return r
+}
+
+func TestCampaignVerdictByteIdenticalAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign run")
+	}
+	s := campaignSpec()
+	r1 := runCampaign(t, s, 1)
+	t1 := r1.Table()
+	if !r1.IntegrityOK() {
+		t.Fatalf("integrity failed:\n%s\nfailures: %v", t1, r1.Failures)
+	}
+	for _, workers := range []int{4, 8} {
+		r := runCampaign(t, campaignSpec(), workers)
+		if tb := r.Table(); tb != t1 {
+			t.Fatalf("verdict differs at workers=%d:\n--- workers=1 ---\n%s--- workers=%d ---\n%s", workers, t1, workers, tb)
+		}
+	}
+
+	// The campaign must have actually exercised its faults, not vacuously
+	// passed: the storm marked sealed blocks, the power cut checkpointed,
+	// the kill window skipped write legs and failed reads over.
+	if r1.DownSkips == 0 {
+		t.Fatalf("kill window skipped no write legs:\n%s", t1)
+	}
+	if r1.Retries == 0 {
+		t.Fatalf("kill window failed no reads over:\n%s", t1)
+	}
+	details := map[string]string{}
+	for _, e := range r1.Events {
+		details[e.Label] = e.Detail
+	}
+	if d := details["bad-blocks@120/b0"]; d == "" || d == "marked=0" {
+		t.Fatalf("bad-block storm marked nothing (%q):\n%s", d, t1)
+	}
+	if d := details["power-cut@420/b1"]; !strings.Contains(d, "checkpoint_bytes=") || strings.Contains(d, "checkpoint_bytes=0") {
+		t.Fatalf("power cut wrote no checkpoint (%q):\n%s", d, t1)
+	}
+	if d := details["restart-backend@560/b0"]; !strings.HasPrefix(d, "healed=") || d == "healed=0" {
+		t.Fatalf("restart healed nothing (%q):\n%s", d, t1)
+	}
+	if r1.Checked == 0 {
+		t.Fatal("no reads were verified against the shadow map")
+	}
+	// Every window (pre-fault and one per event) reports ops.
+	if len(r1.Windows) != len(s.Events)+1 {
+		t.Fatalf("got %d windows, want %d:\n%s", len(r1.Windows), len(s.Events)+1, t1)
+	}
+	for _, w := range r1.Windows {
+		if w.Ops == 0 || w.P999 <= 0 {
+			t.Fatalf("empty fault window %q:\n%s", w.Label, t1)
+		}
+	}
+	if !strings.HasSuffix(t1, "integrity=OK\n") {
+		t.Fatalf("verdict table does not end with the integrity line:\n%s", t1)
+	}
+}
+
+func TestCampaignVerdictStableAcrossRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign run")
+	}
+	// Two independent runs at the same worker count — process-level
+	// reproducibility, not just schedule independence.
+	t1 := runCampaign(t, campaignSpec(), 4).Table()
+	t2 := runCampaign(t, campaignSpec(), 4).Table()
+	if t1 != t2 {
+		t.Fatalf("same spec, different verdicts:\n--- run 1 ---\n%s--- run 2 ---\n%s", t1, t2)
+	}
+}
+
+func TestCampaignNoisyNeighborIsolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tenant phase runs thousands of ops")
+	}
+	s := &Spec{
+		Name: "tenants", Seed: 7,
+		Backends: 1, Replicas: 1, Ops: 1, WorkingSet: 8,
+		Tenants: &TenantPhase{NoisyQuota: 2},
+	}
+	r := runCampaign(t, s, 1)
+	tr := r.Tenants
+	if tr == nil {
+		t.Fatal("no tenant verdict")
+	}
+	if tr.Mismatches != 0 || tr.Checked == 0 {
+		t.Fatalf("tenant integrity: checked=%d mismatches=%d", tr.Checked, tr.Mismatches)
+	}
+	if tr.QuietSoloP999 <= 0 || tr.QuietSharedP999 <= 0 || tr.NoisySharedP999 <= 0 {
+		t.Fatalf("degenerate tenant latencies: %+v", tr)
+	}
+	// The noisy tenant floods 8x the quiet rate and eats its own queueing;
+	// the quota keeps the quiet tenant within 2x of its solo baseline.
+	if tr.NoisySharedP999 < tr.QuietSharedP999 {
+		t.Fatalf("noisy tenant (%.3f) outran the quiet one (%.3f)", tr.NoisySharedP999, tr.QuietSharedP999)
+	}
+	if !tr.Isolated() {
+		t.Fatalf("quiet tenant not isolated: solo=%.3f shared=%.3f ratio=%.3f",
+			tr.QuietSoloP999, tr.QuietSharedP999, tr.Ratio)
+	}
+	// Tenant phase is part of the determinism contract too.
+	r2 := runCampaign(t, s, 1)
+	if r.Table() != r2.Table() {
+		t.Fatalf("tenant verdict not reproducible:\n--- run 1 ---\n%s--- run 2 ---\n%s", r.Table(), r2.Table())
+	}
+}
+
+func TestRunRejectsOversizedWorkingSet(t *testing.T) {
+	s := &Spec{Seed: 1, Backends: 1, Replicas: 1, Ops: 1, WorkingSet: 1 << 30}
+	if _, err := Run(s, 1); err == nil {
+		t.Fatal("working set larger than the volume should fail")
+	}
+}

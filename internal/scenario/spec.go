@@ -1,0 +1,327 @@
+// Package scenario is the fault-campaign engine: it runs a declarative,
+// seed-reproducible schedule of fault events — bad-block storms, chip
+// dropouts, transient read-error bursts, power cuts with restore from
+// checkpoint, retention bakes, backend kill/restart — against an in-process
+// cluster (N block-service backends over real TCP, one striped volume on
+// top) while open-loop traffic keeps flowing, verifies every read against a
+// shadow map, and emits a fixed-format verdict table.
+//
+// Determinism contract: the engine drives the cluster in sequenced replay
+// mode end to end (dense global tickets at the volume, dense per-backend
+// tickets at each server), stamps every op's arrival on the simulated
+// clock, and anchors events at stream positions, applying them only at
+// quiescent barriers (all earlier ops completed, no op in flight). The
+// optional noisy-neighbor tenant phase replays its two tenants' merged,
+// pre-stamped streams through the same sequenced path. Every number in the
+// verdict table is therefore a pure function of (spec, seed): two runs —
+// with any worker count — produce byte-identical tables.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Event kinds accepted in a campaign spec.
+const (
+	// KindBadBlocks marks Count sealed flash blocks bad on one backend,
+	// drawn seed-reproducibly (ftl.MarkBadBlocks).
+	KindBadBlocks = "bad-blocks"
+	// KindChipReadErrors makes the next Count reads on Chip fail ECC
+	// (recovered through RAID reconstruction).
+	KindChipReadErrors = "chip-read-errors"
+	// KindChipDropout fails every read on Chip until a chip-revive event.
+	KindChipDropout = "chip-dropout"
+	// KindChipRevive undoes a chip-dropout.
+	KindChipRevive = "chip-revive"
+	// KindRetentionBake ages all stored data by Units retention units.
+	KindRetentionBake = "retention-bake"
+	// KindPowerCut checkpoints, power-cycles and restores one backend's
+	// device; its chips resume RecoverUS simulated µs after the cut.
+	KindPowerCut = "power-cut"
+	// KindKillBackend drops one backend out of the volume's replica fan-out
+	// (reads fail over, writes skip the leg) until restart-backend.
+	KindKillBackend = "kill-backend"
+	// KindRestartBackend revives a killed backend and heals the stripe
+	// units it missed by re-replicating the LPNs dirtied while it was down.
+	KindRestartBackend = "restart-backend"
+)
+
+var eventKinds = map[string]bool{
+	KindBadBlocks:      true,
+	KindChipReadErrors: true,
+	KindChipDropout:    true,
+	KindChipRevive:     true,
+	KindRetentionBake:  true,
+	KindPowerCut:       true,
+	KindKillBackend:    true,
+	KindRestartBackend: true,
+}
+
+// Event is one timed fault in a campaign, anchored at a position in the
+// deterministic op stream (AtOp ops into the campaign phase).
+type Event struct {
+	// AtOp is the campaign-stream position the event fires at: it is
+	// applied after op AtOp-1 completed and before op AtOp is submitted.
+	AtOp int `json:"at_op"`
+	// Kind is one of the Kind* constants.
+	Kind string `json:"kind"`
+	// Backend is the target backend index.
+	Backend int `json:"backend"`
+	// Chip targets chip faults.
+	Chip int `json:"chip,omitempty"`
+	// Count parameterizes bad-blocks (blocks) and chip-read-errors (reads).
+	Count int `json:"count,omitempty"`
+	// Seed draws the bad-block storm. 0 inherits the campaign seed.
+	Seed uint64 `json:"seed,omitempty"`
+	// Units is the retention-bake dose.
+	Units float64 `json:"units,omitempty"`
+	// RecoverUS is the power-cut outage on the simulated clock.
+	RecoverUS float64 `json:"recover_us,omitempty"`
+	// WindowOps sizes the fault window: the P99.9 reported for this event
+	// covers the WindowOps campaign ops from AtOp on (default: up to the
+	// next event or the stream end).
+	WindowOps int `json:"window_ops,omitempty"`
+}
+
+// TenantPhase configures the optional noisy-neighbor phase: one backend
+// partitioned into a quiet and a noisy namespace, run twice — the quiet
+// tenant solo for a baseline, then beside a quota-capped write flood — with
+// per-tenant P99.9 in the verdict.
+type TenantPhase struct {
+	// Pages is each tenant's namespace size in logical pages (default 128).
+	Pages int64 `json:"pages,omitempty"`
+	// NoisyQuota caps the noisy tenant via the device's virtual-time pacing
+	// (at most NoisyQuota chips kept busy on average) plus the server's
+	// admission cap. 0 = uncapped — the quiet tenant eats the full
+	// collision.
+	NoisyQuota int `json:"noisy_quota"`
+	// Ops is the quiet tenant's op count (default 400).
+	Ops int `json:"ops,omitempty"`
+	// QuietGapUS is the quiet tenant's open-loop inter-arrival gap on the
+	// simulated clock (default 200).
+	QuietGapUS float64 `json:"quiet_gap_us,omitempty"`
+	// NoisyFactor is how many noisy ops arrive per quiet op (default 8) —
+	// an all-write flood offered well past the noisy tenant's quota.
+	NoisyFactor int `json:"noisy_factor,omitempty"`
+}
+
+// Spec is a declarative campaign. The zero value of optional fields picks
+// the documented defaults; Validate fills them in.
+type Spec struct {
+	// Name labels the verdict table.
+	Name string `json:"name"`
+	// Seed drives every deterministic draw: the op stream, payloads and
+	// (by default) fault storms.
+	Seed uint64 `json:"seed"`
+	// Backends is the cluster width (default 3).
+	Backends int `json:"backends,omitempty"`
+	// Replicas is the copies per stripe unit (default 2 — campaigns that
+	// kill a backend need a survivor).
+	Replicas int `json:"replicas,omitempty"`
+	// Ops is the campaign op count after the fill phase (default 600).
+	Ops int `json:"ops,omitempty"`
+	// WorkingSet is the LPN span the campaign touches (default 256; also
+	// the fill-phase size).
+	WorkingSet int64 `json:"working_set,omitempty"`
+	// WriteFrac is the write fraction of campaign ops (default 0.5).
+	WriteFrac float64 `json:"write_frac,omitempty"`
+	// GapUS is the open-loop inter-arrival gap on the simulated clock
+	// (default 20).
+	GapUS float64 `json:"gap_us,omitempty"`
+	// Events is the fault schedule, sorted by AtOp.
+	Events []Event `json:"events"`
+	// Tenants optionally adds the noisy-neighbor phase.
+	Tenants *TenantPhase `json:"tenants,omitempty"`
+}
+
+// DefaultSpec returns the canonical smoke campaign: open-loop mixed traffic
+// over a 3-backend, 2-replica cluster, hit in order by a retention bake, a
+// bad-block storm, a transient read-error burst, a whole-chip dropout and
+// revive, a power cut with restore-from-checkpoint, and a backend
+// kill/restart — with the noisy-neighbor tenant phase appended. The working
+// set is sized so the fill seals superblocks on every backend (the
+// bad-block storm draws from the sealed pool).
+func DefaultSpec() *Spec {
+	s := &Spec{
+		Name:       "smoke",
+		Seed:       42,
+		Backends:   3,
+		Replicas:   2,
+		Ops:        600,
+		WorkingSet: 512,
+		Events: []Event{
+			{AtOp: 60, Kind: KindRetentionBake, Backend: 2, Units: 0.5},
+			{AtOp: 120, Kind: KindBadBlocks, Backend: 0, Count: 4},
+			{AtOp: 220, Kind: KindChipReadErrors, Backend: 1, Chip: 1, Count: 8},
+			{AtOp: 300, Kind: KindChipDropout, Backend: 2, Chip: 2},
+			{AtOp: 380, Kind: KindChipRevive, Backend: 2, Chip: 2},
+			{AtOp: 420, Kind: KindPowerCut, Backend: 1, RecoverUS: 5000},
+			{AtOp: 480, Kind: KindKillBackend, Backend: 0},
+			{AtOp: 560, Kind: KindRestartBackend, Backend: 0},
+		},
+		Tenants: &TenantPhase{NoisyQuota: 2},
+	}
+	if err := s.Validate(); err != nil {
+		panic(err) // the canonical spec must validate
+	}
+	return s
+}
+
+// ParseSpec decodes a JSON campaign spec strictly (unknown fields are
+// errors — a typo must not silently drop a fault) and validates it.
+func ParseSpec(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: parse spec: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("scenario: parse spec: trailing data after document")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate fills defaults and checks the spec's internal consistency:
+// known event kinds, targets inside the cluster, events sorted and inside
+// the stream, kill/restart pairing, and restart never before kill.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		s.Name = "campaign"
+	}
+	if s.Backends == 0 {
+		s.Backends = 3
+	}
+	if s.Backends < 1 {
+		return fmt.Errorf("scenario: %d backends", s.Backends)
+	}
+	if s.Replicas == 0 {
+		s.Replicas = 2
+	}
+	if s.Replicas < 1 || s.Replicas > s.Backends {
+		return fmt.Errorf("scenario: %d replicas on %d backends", s.Replicas, s.Backends)
+	}
+	if s.Ops == 0 {
+		s.Ops = 600
+	}
+	if s.Ops < 1 {
+		return fmt.Errorf("scenario: %d ops", s.Ops)
+	}
+	if s.WorkingSet == 0 {
+		s.WorkingSet = 256
+	}
+	if s.WorkingSet < 1 {
+		return fmt.Errorf("scenario: working set %d", s.WorkingSet)
+	}
+	if s.WriteFrac == 0 {
+		s.WriteFrac = 0.5
+	}
+	if s.WriteFrac < 0 || s.WriteFrac > 1 {
+		return fmt.Errorf("scenario: write fraction %v", s.WriteFrac)
+	}
+	if s.GapUS == 0 {
+		s.GapUS = 20
+	}
+	if s.GapUS < 0 {
+		return fmt.Errorf("scenario: arrival gap %v", s.GapUS)
+	}
+	if !sort.SliceIsSorted(s.Events, func(i, j int) bool { return s.Events[i].AtOp < s.Events[j].AtOp }) {
+		return fmt.Errorf("scenario: events not sorted by at_op")
+	}
+	down := make(map[int]bool)
+	chipDown := make(map[[2]int]bool)
+	for i := range s.Events {
+		e := &s.Events[i]
+		if !eventKinds[e.Kind] {
+			return fmt.Errorf("scenario: event %d: unknown kind %q", i, e.Kind)
+		}
+		if e.AtOp < 0 || e.AtOp > s.Ops {
+			return fmt.Errorf("scenario: event %d: at_op %d outside [0,%d]", i, e.AtOp, s.Ops)
+		}
+		if e.Backend < 0 || e.Backend >= s.Backends {
+			return fmt.Errorf("scenario: event %d: backend %d of %d", i, e.Backend, s.Backends)
+		}
+		if e.WindowOps < 0 {
+			return fmt.Errorf("scenario: event %d: window %d", i, e.WindowOps)
+		}
+		switch e.Kind {
+		case KindBadBlocks:
+			if e.Count < 1 {
+				return fmt.Errorf("scenario: event %d: bad-blocks count %d", i, e.Count)
+			}
+			if e.Seed == 0 {
+				e.Seed = s.Seed + uint64(i) + 1
+			}
+		case KindChipReadErrors:
+			if e.Count < 1 {
+				return fmt.Errorf("scenario: event %d: read-error count %d", i, e.Count)
+			}
+		case KindChipDropout:
+			key := [2]int{e.Backend, e.Chip}
+			if chipDown[key] {
+				return fmt.Errorf("scenario: event %d: chip %d/%d already down", i, e.Backend, e.Chip)
+			}
+			chipDown[key] = true
+		case KindChipRevive:
+			key := [2]int{e.Backend, e.Chip}
+			if !chipDown[key] {
+				return fmt.Errorf("scenario: event %d: chip %d/%d is not down", i, e.Backend, e.Chip)
+			}
+			delete(chipDown, key)
+		case KindRetentionBake:
+			if e.Units <= 0 {
+				return fmt.Errorf("scenario: event %d: bake units %v", i, e.Units)
+			}
+		case KindPowerCut:
+			if e.RecoverUS < 0 {
+				return fmt.Errorf("scenario: event %d: recover_us %v", i, e.RecoverUS)
+			}
+		case KindKillBackend:
+			if down[e.Backend] {
+				return fmt.Errorf("scenario: event %d: backend %d already down", i, e.Backend)
+			}
+			if s.Replicas < 2 {
+				return fmt.Errorf("scenario: kill-backend needs ≥2 replicas")
+			}
+			if len(down) > 0 {
+				return fmt.Errorf("scenario: event %d: one backend down at a time", i)
+			}
+			down[e.Backend] = true
+		case KindRestartBackend:
+			if !down[e.Backend] {
+				return fmt.Errorf("scenario: event %d: backend %d is not down", i, e.Backend)
+			}
+			delete(down, e.Backend)
+		}
+	}
+	if len(down) > 0 {
+		return fmt.Errorf("scenario: campaign ends with a backend still down")
+	}
+	for k := range chipDown {
+		return fmt.Errorf("scenario: campaign ends with chip %d/%d still down", k[0], k[1])
+	}
+	if t := s.Tenants; t != nil {
+		if t.Pages == 0 {
+			t.Pages = 128
+		}
+		if t.Ops == 0 {
+			t.Ops = 400
+		}
+		if t.QuietGapUS == 0 {
+			t.QuietGapUS = 200
+		}
+		if t.NoisyFactor == 0 {
+			t.NoisyFactor = 8
+		}
+		if t.Pages < 1 || t.Ops < 1 || t.QuietGapUS <= 0 || t.NoisyFactor < 1 || t.NoisyQuota < 0 {
+			return fmt.Errorf("scenario: tenant phase %+v", *t)
+		}
+	}
+	return nil
+}

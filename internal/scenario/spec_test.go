@@ -1,0 +1,170 @@
+package scenario
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestParseSpecDefaultsAndStrictness(t *testing.T) {
+	s, err := ParseSpec([]byte(`{"name":"x","seed":9,"events":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Backends != 3 || s.Replicas != 2 || s.Ops != 600 || s.WorkingSet != 256 ||
+		s.WriteFrac != 0.5 || s.GapUS != 20 {
+		t.Fatalf("defaults not filled: %+v", s)
+	}
+
+	if _, err := ParseSpec([]byte(`{"name":"x","sedd":9}`)); err == nil {
+		t.Fatal("unknown field must be rejected")
+	}
+	if _, err := ParseSpec([]byte(`{"name":"x"} {"trailing":1}`)); err == nil {
+		t.Fatal("trailing document must be rejected")
+	}
+	if _, err := ParseSpec([]byte(`not json`)); err == nil {
+		t.Fatal("malformed JSON must be rejected")
+	}
+	// An event with a typoed field is a silently-dropped fault — reject it.
+	if _, err := ParseSpec([]byte(`{"events":[{"atop":5,"kind":"power-cut"}]}`)); err == nil {
+		t.Fatal("unknown event field must be rejected")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string
+	}{
+		{"unknown kind", func(s *Spec) { s.Events = []Event{{Kind: "meteor-strike"}} }, "unknown kind"},
+		{"unsorted events", func(s *Spec) {
+			s.Events = []Event{{AtOp: 10, Kind: KindRetentionBake, Units: 1}, {AtOp: 5, Kind: KindRetentionBake, Units: 1}}
+		}, "not sorted"},
+		{"event past stream", func(s *Spec) { s.Events = []Event{{AtOp: 1 << 20, Kind: KindRetentionBake, Units: 1}} }, "outside"},
+		{"backend out of range", func(s *Spec) { s.Events = []Event{{Kind: KindRetentionBake, Units: 1, Backend: 99}} }, "backend 99"},
+		{"replicas exceed backends", func(s *Spec) { s.Replicas = 9 }, "replicas"},
+		{"kill without replicas", func(s *Spec) {
+			s.Replicas = 1
+			s.Events = []Event{{Kind: KindKillBackend}, {Kind: KindRestartBackend}}
+		}, "replicas"},
+		{"restart before kill", func(s *Spec) { s.Events = []Event{{Kind: KindRestartBackend}} }, "not down"},
+		{"kill never restarted", func(s *Spec) { s.Events = []Event{{Kind: KindKillBackend}} }, "still down"},
+		{"double kill", func(s *Spec) {
+			s.Events = []Event{{Kind: KindKillBackend, Backend: 0}, {Kind: KindKillBackend, Backend: 1}}
+		}, "one backend down"},
+		{"revive without dropout", func(s *Spec) { s.Events = []Event{{Kind: KindChipRevive}} }, "not down"},
+		{"dropout never revived", func(s *Spec) { s.Events = []Event{{Kind: KindChipDropout}} }, "still down"},
+		{"bad-blocks without count", func(s *Spec) { s.Events = []Event{{Kind: KindBadBlocks}} }, "count"},
+		{"bake without dose", func(s *Spec) { s.Events = []Event{{Kind: KindRetentionBake}} }, "units"},
+		{"negative recovery", func(s *Spec) { s.Events = []Event{{Kind: KindPowerCut, RecoverUS: -1}} }, "recover_us"},
+		{"negative write fraction", func(s *Spec) { s.WriteFrac = -0.5 }, "write fraction"},
+		{"negative tenant quota", func(s *Spec) { s.Tenants = &TenantPhase{NoisyQuota: -1} }, "tenant"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := &Spec{Seed: 1}
+			tc.mut(s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatalf("validated: %+v", s)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDefaultSpecRoundTrips(t *testing.T) {
+	s := DefaultSpec()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ParseSpec(data)
+	if err != nil {
+		t.Fatalf("canonical spec does not re-parse: %v\n%s", err, data)
+	}
+	d2, err := json.Marshal(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(d2) {
+		t.Fatalf("round trip drifted:\n%s\n%s", data, d2)
+	}
+}
+
+func TestBadBlockEventSeedDefaultsFromCampaign(t *testing.T) {
+	s := &Spec{Seed: 77, Events: []Event{
+		{AtOp: 1, Kind: KindBadBlocks, Count: 2},
+		{AtOp: 2, Kind: KindBadBlocks, Count: 2},
+	}}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Events[0].Seed == 0 || s.Events[1].Seed == 0 {
+		t.Fatalf("event seeds not derived: %+v", s.Events)
+	}
+	if s.Events[0].Seed == s.Events[1].Seed {
+		t.Fatalf("two storms drew the same derived seed %d", s.Events[0].Seed)
+	}
+}
+
+func TestBuildProgramShape(t *testing.T) {
+	s := &Spec{Seed: 3, Backends: 3, Replicas: 2, Ops: 40, WorkingSet: 16,
+		WriteFrac: 1.0, GapUS: 10,
+		Events: []Event{
+			{AtOp: 10, Kind: KindKillBackend, Backend: 1},
+			{AtOp: 20, Kind: KindRestartBackend, Backend: 1},
+		}}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := build(s)
+	// fill + campaign + heals + sweep.
+	if len(p.ops) <= int(s.WorkingSet)*2+s.Ops {
+		t.Fatalf("program has %d ops — no heal writes were scheduled", len(p.ops))
+	}
+	if len(p.barriers) != 2 {
+		t.Fatalf("got %d barriers, want 2", len(p.barriers))
+	}
+	restart := p.barriers[1]
+	healed := p.healed[restart.events[0]]
+	// WriteFrac=1: all 10 campaign ops in the down window are writes, over
+	// 16 LPNs — the dirty set is non-empty and at most 10.
+	if healed < 1 || healed > 10 {
+		t.Fatalf("healed %d LPNs, want 1..10", healed)
+	}
+	// Heal writes sit immediately after the restart barrier, before the
+	// next campaign op.
+	for i := 0; i < healed; i++ {
+		op := p.ops[restart.pos+i]
+		if !op.write || op.campaign != -1 {
+			t.Fatalf("program op %d after restart is not a heal write: %+v", restart.pos+i, op)
+		}
+	}
+	// Campaign positions are strictly increasing and skip the heals.
+	for j := 1; j < s.Ops; j++ {
+		if p.pos[j] <= p.pos[j-1] {
+			t.Fatalf("campaign position %d not increasing: %v", j, p.pos[j-1:j+1])
+		}
+	}
+	if p.pos[20] != restart.pos+healed {
+		t.Fatalf("campaign op 20 at %d, want right after the %d heals at %d", p.pos[20], healed, restart.pos)
+	}
+	// The verify sweep covers the whole working set.
+	if len(p.ops)-p.sweep != int(s.WorkingSet) {
+		t.Fatalf("sweep covers %d pages, want %d", len(p.ops)-p.sweep, s.WorkingSet)
+	}
+	// The same spec builds the same program.
+	p2 := build(s)
+	if len(p2.ops) != len(p.ops) {
+		t.Fatalf("rebuild drifted: %d vs %d ops", len(p2.ops), len(p.ops))
+	}
+	for i := range p.ops {
+		if p.ops[i] != p2.ops[i] {
+			t.Fatalf("rebuild drifted at op %d: %+v vs %+v", i, p.ops[i], p2.ops[i])
+		}
+	}
+}

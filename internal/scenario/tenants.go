@@ -1,0 +1,316 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"superfast/internal/prng"
+	"superfast/internal/server"
+	"superfast/internal/server/client"
+	"superfast/internal/stats"
+)
+
+// Tenant ids on the wire (1-based): the quiet tenant whose isolation the
+// verdict judges, and the noisy one flooding the device beside it.
+const (
+	tenantQuiet = 1
+	tenantNoisy = 2
+)
+
+// tenantDepth is each tenant connection's pipeline window during the
+// sequenced replay. Depth changes wall-clock pacing only, never the verdict:
+// arrivals are pre-stamped and the server admits frames in global seq order.
+const tenantDepth = 32
+
+// tenantOp is one pre-stamped op of the noisy-neighbor phase.
+type tenantOp struct {
+	tenant  uint16
+	write   bool
+	lpn     int64
+	version uint32
+	seq     uint64
+	arrival float64
+}
+
+// TenantResult is the noisy-neighbor verdict: the quiet tenant's P99.9 run
+// solo versus beside a quota-shaped flood, on identically-built devices.
+// Both rounds replay pre-stamped sequenced streams, so every number here is
+// deterministic. The flood is offered far past its quota, so the noisy
+// tenant's tail grows with its own backlog while the pacing (plus
+// work-conserving backfill at the device) keeps the quiet tenant near its
+// solo baseline.
+type TenantResult struct {
+	Quota           int
+	QuietOps        int
+	NoisyOps        int
+	QuietSoloP999   float64
+	QuietSharedP999 float64
+	NoisySharedP999 float64
+	Ratio           float64 // shared / solo quiet P99.9
+	Checked         int
+	Mismatches      int
+}
+
+// Isolated reports the isolation verdict: the quiet tenant's shared-run
+// P99.9 stayed within 2x of its solo baseline.
+func (t *TenantResult) Isolated() bool { return t.Ratio <= 2.0 }
+
+// buildTenantStreams precomputes both tenants' op lists: the quiet tenant
+// mixes writes with read-backs it then verifies, one op per QuietGapUS; the
+// noisy tenant is an all-write flood at NoisyFactor times the quiet rate.
+// Noisy arrivals are offset by half a noisy gap so no two ops share a
+// timestamp (the merge order stays unambiguous).
+func buildTenantStreams(s *Spec) (quiet, noisy []tenantOp) {
+	t := s.Tenants
+	qsrc := prng.New(s.Seed, 21)
+	version := make([]uint32, t.Pages)
+	var written []int64
+	for j := 0; j < t.Ops; j++ {
+		op := tenantOp{tenant: tenantQuiet, arrival: float64(j) * t.QuietGapUS}
+		if len(written) == 0 || qsrc.Float64() < 0.5 {
+			op.write = true
+			op.lpn = int64(qsrc.Intn(int(t.Pages)))
+			if version[op.lpn] == 0 {
+				written = append(written, op.lpn)
+			}
+			version[op.lpn]++
+		} else {
+			op.lpn = written[qsrc.Intn(len(written))]
+		}
+		op.version = version[op.lpn]
+		quiet = append(quiet, op)
+	}
+	nsrc := prng.New(s.Seed, 22)
+	nver := make([]uint32, t.Pages)
+	gap := t.QuietGapUS / float64(t.NoisyFactor)
+	for k := 0; k < t.Ops*t.NoisyFactor; k++ {
+		lpn := int64(nsrc.Intn(int(t.Pages)))
+		nver[lpn]++
+		noisy = append(noisy, tenantOp{
+			tenant: tenantNoisy, write: true, lpn: lpn, version: nver[lpn],
+			arrival: float64(k)*gap + gap/2,
+		})
+	}
+	return quiet, noisy
+}
+
+// mergeTenantStreams interleaves the two streams by arrival (quiet first on
+// the impossible tie) and stamps dense global sequence tickets — the replay
+// order both connections follow.
+func mergeTenantStreams(quiet, noisy []tenantOp) []tenantOp {
+	merged := make([]tenantOp, 0, len(quiet)+len(noisy))
+	merged = append(merged, quiet...)
+	merged = append(merged, noisy...)
+	sort.SliceStable(merged, func(i, j int) bool {
+		if merged[i].arrival != merged[j].arrival {
+			return merged[i].arrival < merged[j].arrival
+		}
+		return merged[i].tenant < merged[j].tenant
+	})
+	for i := range merged {
+		merged[i].seq = uint64(i)
+	}
+	return merged
+}
+
+// startTenantServer spins one sequenced block service partitioned into the
+// two tenant namespaces, the noisy one quota-paced at the device and capped
+// at admission.
+func startTenantServer(s *Spec) (addr string, stop func(), err error) {
+	t := s.Tenants
+	dev, err := newCampaignDevice()
+	if err != nil {
+		return "", nil, err
+	}
+	srv := server.New(dev, server.Config{
+		Sequenced: true,
+		Tenants: []server.Tenant{
+			{Name: "quiet", Pages: t.Pages},
+			{Name: "noisy", Pages: t.Pages, Quota: t.NoisyQuota},
+		},
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	go srv.Serve(ln)
+	stop = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}
+	return ln.Addr().String(), stop, nil
+}
+
+// submitTenant replays one tenant's share of the merged stream on its own
+// connection, pipelined tenantDepth deep, returning the simulated latency of
+// each op in stream order. Reads are verified against the tenant's expected
+// payload — a noisy page shining through into the quiet namespace is an
+// isolation bug, and the payload header names the tenant that wrote it.
+func submitTenant(addr string, tenant uint16, seed uint64, pageSize int, ops []tenantOp) (lat []float64, checked, mismatches int, err error) {
+	c, err := client.Dial(addr)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	defer c.Close()
+	if ok, terr := c.SupportsTenant(); terr != nil || !ok {
+		return nil, 0, 0, fmt.Errorf("scenario: backend %s lacks tenant support (%v)", addr, terr)
+	}
+	c.SetTenant(tenant)
+
+	lat = make([]float64, 0, len(ops))
+	type pending struct {
+		call *client.Call
+		op   tenantOp
+	}
+	window := make([]pending, 0, tenantDepth)
+	resolve := func(p pending) error {
+		r, err := p.call.Wait()
+		if err != nil {
+			return fmt.Errorf("scenario: tenant %d seq %d: %w", tenant, p.op.seq, err)
+		}
+		if r.Status != server.StatusOK {
+			return fmt.Errorf("scenario: tenant %d seq %d: status %v", tenant, p.op.seq, r.Status)
+		}
+		lat = append(lat, r.Latency)
+		if !p.op.write {
+			checked++
+			if !bytes.Equal(r.Payload, pagePayload(pageSize, seed, int(tenant), p.op.lpn, p.op.version)) {
+				mismatches++
+			}
+		}
+		return nil
+	}
+	for _, op := range ops {
+		if len(window) == tenantDepth {
+			if err := resolve(window[0]); err != nil {
+				return nil, 0, 0, err
+			}
+			window = window[1:]
+		}
+		f := server.Frame{
+			LPN: op.lpn, Seq: op.seq, Arrival: op.arrival,
+			Flags: server.FlagSequenced,
+		}
+		if op.write {
+			f.Op = server.OpWrite
+			f.Payload = pagePayload(pageSize, seed, int(tenant), op.lpn, op.version)
+		} else {
+			f.Op = server.OpRead
+		}
+		call, err := c.Start(f)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		window = append(window, pending{call, op})
+	}
+	for _, p := range window {
+		if err := resolve(p); err != nil {
+			return nil, 0, 0, err
+		}
+	}
+	return lat, checked, mismatches, nil
+}
+
+func tenantPageSize(addr string) (int, error) {
+	c, err := client.Dial(addr)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	snap, err := c.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return snap.PageSize, nil
+}
+
+// runTenantRound replays one pre-stamped stream against a fresh server, one
+// connection per tenant, and returns each tenant's latencies.
+func runTenantRound(s *Spec, stream []tenantOp) (lat map[uint16][]float64, checked, mismatches int, err error) {
+	addr, stop, err := startTenantServer(s)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	defer stop()
+	pageSize, err := tenantPageSize(addr)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	byTenant := map[uint16][]tenantOp{}
+	for _, op := range stream {
+		byTenant[op.tenant] = append(byTenant[op.tenant], op)
+	}
+	lat = make(map[uint16][]float64, len(byTenant))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for tenant, ops := range byTenant {
+		wg.Add(1)
+		go func(tenant uint16, ops []tenantOp) {
+			defer wg.Done()
+			l, ck, mis, serr := submitTenant(addr, tenant, s.Seed, pageSize, ops)
+			mu.Lock()
+			defer mu.Unlock()
+			lat[tenant] = l
+			checked += ck
+			mismatches += mis
+			if serr != nil && err == nil {
+				err = serr
+			}
+		}(tenant, ops)
+	}
+	wg.Wait()
+	return lat, checked, mismatches, err
+}
+
+// runTenants runs the noisy-neighbor phase: the quiet tenant solo for a
+// baseline, then again beside the quota-paced flood, each round on a fresh
+// identically-built server — so the only variable is the neighbor.
+func runTenants(s *Spec) (*TenantResult, error) {
+	t := s.Tenants
+	quiet, noisy := buildTenantStreams(s)
+
+	solo := make([]tenantOp, len(quiet))
+	copy(solo, quiet)
+	for i := range solo {
+		solo[i].seq = uint64(i)
+	}
+	soloLat, soloChecked, soloMis, err := runTenantRound(s, solo)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: tenant solo round: %w", err)
+	}
+	sharedLat, sharedChecked, sharedMis, err := runTenantRound(s, mergeTenantStreams(quiet, noisy))
+	if err != nil {
+		return nil, fmt.Errorf("scenario: tenant shared round: %w", err)
+	}
+
+	res := &TenantResult{
+		Quota:           t.NoisyQuota,
+		QuietOps:        len(quiet),
+		NoisyOps:        len(noisy),
+		QuietSoloP999:   p999(soloLat[tenantQuiet]),
+		QuietSharedP999: p999(sharedLat[tenantQuiet]),
+		NoisySharedP999: p999(sharedLat[tenantNoisy]),
+		Checked:         soloChecked + sharedChecked,
+		Mismatches:      soloMis + sharedMis,
+	}
+	if res.QuietSoloP999 > 0 {
+		res.Ratio = res.QuietSharedP999 / res.QuietSoloP999
+	}
+	return res, nil
+}
+
+// p999 returns the P99.9 of the samples (0 when empty).
+func p999(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return stats.Quantile(s, 0.999)
+}

@@ -1,0 +1,41 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders the verdict as a fixed-format text table. Every value in it
+// is simulated-clock or structural, so two runs of the same spec — with any
+// worker count — emit byte-identical tables; the table is the campaign's
+// reproducibility receipt and the CI smoke greps its last line.
+func (r *Result) Table() string {
+	var b strings.Builder
+	s := r.Spec
+	fmt.Fprintf(&b, "campaign %s seed=%d backends=%d replicas=%d ops=%d program=%d\n",
+		s.Name, s.Seed, s.Backends, s.Replicas, s.Ops, r.ProgramOps)
+	fmt.Fprintf(&b, "%-36s %6s %12s %12s %12s\n", "window", "ops", "p50_us", "p99.9_us", "max_us")
+	for _, w := range r.Windows {
+		fmt.Fprintf(&b, "%-36s %6d %12.3f %12.3f %12.3f\n", w.Label, w.Ops, w.P50, w.P999, w.Max)
+	}
+	for _, e := range r.Events {
+		fmt.Fprintf(&b, "event %s: %s\n", e.Label, e.Detail)
+	}
+	fmt.Fprintf(&b, "volume: down_skips=%d read_failovers=%d\n", r.DownSkips, r.Retries)
+	if t := r.Tenants; t != nil {
+		iso := "DEGRADED"
+		if t.Isolated() {
+			iso = "OK"
+		}
+		fmt.Fprintf(&b, "tenants quota=%d quiet_ops=%d noisy_ops=%d checked=%d mismatches=%d\n",
+			t.Quota, t.QuietOps, t.NoisyOps, t.Checked, t.Mismatches)
+		fmt.Fprintf(&b, "tenants quiet_solo_p999=%.3f quiet_shared_p999=%.3f noisy_shared_p999=%.3f ratio=%.3f isolation=%s\n",
+			t.QuietSoloP999, t.QuietSharedP999, t.NoisySharedP999, t.Ratio, iso)
+	}
+	verdict := "FAIL"
+	if r.IntegrityOK() {
+		verdict = "OK"
+	}
+	fmt.Fprintf(&b, "checked=%d mismatches=%d integrity=%s\n", r.Checked, r.Mismatches, verdict)
+	return b.String()
+}

@@ -34,7 +34,23 @@ type admission struct {
 	skipped  map[uint64]struct{} // rejected tickets ahead of seqNext
 	draining bool
 
-	gauge *telemetry.Gauge // optional "srv.inflight" mirror
+	// Per-tenant in-flight quotas (setTenantCaps): tenant t (1-based)
+	// blocks while tenIn[t-1] >= tenCap[t-1]. A cap of 0 means unlimited.
+	tenCap []int
+	tenIn  []int
+
+	gauge    *telemetry.Gauge   // optional "srv.inflight" mirror
+	tenGauge []*telemetry.Gauge // optional per-tenant in-flight mirrors
+}
+
+// setTenantCaps installs the per-tenant in-flight quotas. Call before
+// serving traffic.
+func (a *admission) setTenantCaps(caps []int) {
+	a.mu.Lock()
+	a.tenCap = caps
+	a.tenIn = make([]int, len(caps))
+	a.tenGauge = make([]*telemetry.Gauge, len(caps))
+	a.mu.Unlock()
 }
 
 func newAdmission(capacity int) *admission {
@@ -44,9 +60,10 @@ func newAdmission(capacity int) *admission {
 }
 
 // acquire blocks until a slot frees (and, when sequenced, until seq is the
-// next ticket), the deadline passes, or the server drains. A zero deadline
-// waits forever.
-func (a *admission) acquire(seq uint64, sequenced bool, deadline time.Time) error {
+// next ticket; and, for a quota'd tenant, until the tenant is under its
+// cap), the deadline passes, or the server drains. A zero deadline waits
+// forever. tenant is the 1-based tenant id, 0 for untenanted requests.
+func (a *admission) acquire(seq uint64, sequenced bool, deadline time.Time, tenant int) error {
 	var timer *time.Timer
 	if !deadline.IsZero() {
 		// cond.Wait has no timeout; a timer broadcast wakes the waiters so
@@ -68,6 +85,9 @@ func (a *admission) acquire(seq uint64, sequenced bool, deadline time.Time) erro
 			return errDraining
 		}
 		blocked := a.inFlight >= a.cap || (sequenced && seq != a.seqNext)
+		if !blocked && tenant > 0 && tenant <= len(a.tenCap) && a.tenCap[tenant-1] > 0 {
+			blocked = a.tenIn[tenant-1] >= a.tenCap[tenant-1]
+		}
 		if !blocked {
 			break
 		}
@@ -80,6 +100,12 @@ func (a *admission) acquire(seq uint64, sequenced bool, deadline time.Time) erro
 		a.cond.Wait()
 	}
 	a.inFlight++
+	if tenant > 0 && tenant <= len(a.tenIn) {
+		a.tenIn[tenant-1]++
+		if g := a.tenGauge[tenant-1]; g != nil {
+			g.Add(1)
+		}
+	}
 	if sequenced {
 		a.seqNext = seq + 1
 		a.advanceSkipped()
@@ -120,14 +146,30 @@ func (a *admission) advanceSkipped() {
 	}
 }
 
-// release frees one slot.
-func (a *admission) release() {
+// release frees one slot. tenant is the 1-based tenant id the slot was
+// acquired under, 0 for untenanted requests.
+func (a *admission) release(tenant int) {
 	a.mu.Lock()
 	a.inFlight--
+	if tenant > 0 && tenant <= len(a.tenIn) {
+		a.tenIn[tenant-1]--
+		if g := a.tenGauge[tenant-1]; g != nil {
+			g.Add(-1)
+		}
+	}
 	if a.gauge != nil {
 		a.gauge.Add(-1)
 	}
 	a.cond.Broadcast()
+	a.mu.Unlock()
+}
+
+// retire consumes a rejected sequenced ticket's position in the grant order
+// without ever admitting it (pre-admission rejects: bad tenant, LPN out of
+// range). The caller must also retire the ticket at the device.
+func (a *admission) retire(seq uint64) {
+	a.mu.Lock()
+	a.retireSeq(seq)
 	a.mu.Unlock()
 }
 

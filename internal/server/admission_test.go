@@ -10,13 +10,13 @@ import (
 func TestAdmissionCapBlocks(t *testing.T) {
 	a := newAdmission(2)
 	for i := 0; i < 2; i++ {
-		if err := a.acquire(0, false, time.Time{}); err != nil {
+		if err := a.acquire(0, false, time.Time{}, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
 	granted := make(chan struct{})
 	go func() {
-		if err := a.acquire(0, false, time.Time{}); err != nil {
+		if err := a.acquire(0, false, time.Time{}, 0); err != nil {
 			t.Error(err)
 		}
 		close(granted)
@@ -26,7 +26,7 @@ func TestAdmissionCapBlocks(t *testing.T) {
 		t.Fatal("third acquire should block at cap 2")
 	case <-time.After(30 * time.Millisecond):
 	}
-	a.release()
+	a.release(0)
 	select {
 	case <-granted:
 	case <-time.After(time.Second):
@@ -47,7 +47,7 @@ func TestAdmissionSequencedOrder(t *testing.T) {
 		wg.Add(1)
 		go func(seq uint64) {
 			defer wg.Done()
-			if err := a.acquire(seq, true, time.Time{}); err != nil {
+			if err := a.acquire(seq, true, time.Time{}, 0); err != nil {
 				t.Error(err)
 				return
 			}
@@ -67,13 +67,13 @@ func TestAdmissionSequencedOrder(t *testing.T) {
 
 func TestAdmissionSequencedRetire(t *testing.T) {
 	a := newAdmission(1)
-	if err := a.acquire(0, true, time.Time{}); err != nil {
+	if err := a.acquire(0, true, time.Time{}, 0); err != nil {
 		t.Fatal(err)
 	}
 	// Ticket 2's waiter parks behind the missing ticket 1 (and the full cap).
 	granted2 := make(chan struct{})
 	go func() {
-		if err := a.acquire(2, true, time.Time{}); err != nil {
+		if err := a.acquire(2, true, time.Time{}, 0); err != nil {
 			t.Error(err)
 		}
 		close(granted2)
@@ -87,10 +87,10 @@ func TestAdmissionSequencedRetire(t *testing.T) {
 	// Ticket 1 rejects at the head (blocked by the cap, deadline expired):
 	// the cursor must advance past it.
 	past := time.Now().Add(-time.Millisecond)
-	if err := a.acquire(1, true, past); !errors.Is(err, errDeadline) {
+	if err := a.acquire(1, true, past, 0); !errors.Is(err, errDeadline) {
 		t.Fatalf("expired acquire = %v, want errDeadline", err)
 	}
-	a.release() // ticket 0 done; ticket 2 is now the head and has the slot
+	a.release(0) // ticket 0 done; ticket 2 is now the head and has the slot
 	select {
 	case <-granted2:
 	case <-time.After(time.Second):
@@ -99,17 +99,17 @@ func TestAdmissionSequencedRetire(t *testing.T) {
 
 	// Ticket 4 rejects ahead of the cursor (blocked on the seq mismatch): it
 	// must be skipped when the cursor reaches it, so ticket 5 runs after 3.
-	if err := a.acquire(4, true, past); !errors.Is(err, errDeadline) {
+	if err := a.acquire(4, true, past, 0); !errors.Is(err, errDeadline) {
 		t.Fatalf("ahead-of-cursor reject = %v", err)
 	}
-	a.release() // ticket 2 done
+	a.release(0) // ticket 2 done
 	done := make(chan struct{})
 	go func() {
-		if err := a.acquire(3, true, time.Time{}); err != nil {
+		if err := a.acquire(3, true, time.Time{}, 0); err != nil {
 			t.Error(err)
 		}
-		a.release()
-		if err := a.acquire(5, true, time.Time{}); err != nil {
+		a.release(0)
+		if err := a.acquire(5, true, time.Time{}, 0); err != nil {
 			t.Error(err)
 		}
 		close(done)
@@ -123,11 +123,11 @@ func TestAdmissionSequencedRetire(t *testing.T) {
 
 func TestAdmissionDeadline(t *testing.T) {
 	a := newAdmission(1)
-	if err := a.acquire(0, false, time.Time{}); err != nil {
+	if err := a.acquire(0, false, time.Time{}, 0); err != nil {
 		t.Fatal(err)
 	}
 	start := time.Now()
-	err := a.acquire(0, false, time.Now().Add(30*time.Millisecond))
+	err := a.acquire(0, false, time.Now().Add(30*time.Millisecond), 0)
 	if !errors.Is(err, errDeadline) {
 		t.Fatalf("err = %v, want errDeadline", err)
 	}
@@ -142,12 +142,12 @@ func TestAdmissionExpiredEntryWithFreeSlot(t *testing.T) {
 	// Rejecting it would turn a harmless scheduling hiccup into an error.
 	a := newAdmission(1)
 	past := time.Now().Add(-time.Millisecond)
-	if err := a.acquire(0, false, past); err != nil {
+	if err := a.acquire(0, false, past, 0); err != nil {
 		t.Fatalf("expired-at-entry acquire with a free slot = %v, want admitted", err)
 	}
-	a.release()
+	a.release(0)
 	// Same precedence at the head of the sequenced grant order.
-	if err := a.acquire(0, true, past); err != nil {
+	if err := a.acquire(0, true, past, 0); err != nil {
 		t.Fatalf("expired-at-entry sequenced head ticket = %v, want admitted", err)
 	}
 	if got := a.load(); got != 1 {
@@ -159,13 +159,13 @@ func TestAdmissionDeadlineSlotFreedBeforeExpiry(t *testing.T) {
 	// A waiter whose slot frees within the deadline is admitted — the pending
 	// expiry timer must not reject work that no longer has a reason to wait.
 	a := newAdmission(1)
-	if err := a.acquire(0, false, time.Time{}); err != nil {
+	if err := a.acquire(0, false, time.Time{}, 0); err != nil {
 		t.Fatal(err)
 	}
 	res := make(chan error, 1)
-	go func() { res <- a.acquire(0, false, time.Now().Add(2*time.Second)) }()
+	go func() { res <- a.acquire(0, false, time.Now().Add(2*time.Second), 0) }()
 	time.Sleep(10 * time.Millisecond)
-	a.release()
+	a.release(0)
 	select {
 	case err := <-res:
 		if err != nil {
@@ -187,7 +187,7 @@ func TestAdmissionSequencedDeadlineRetireUnblocks(t *testing.T) {
 	res := make(chan error, 1)
 	go func() {
 		// seqNext is 0, so ticket 1 parks on the order alone (cap 8 is free).
-		res <- a.acquire(1, true, time.Now().Add(30*time.Millisecond))
+		res <- a.acquire(1, true, time.Now().Add(30*time.Millisecond), 0)
 	}()
 	select {
 	case err := <-res:
@@ -197,12 +197,12 @@ func TestAdmissionSequencedDeadlineRetireUnblocks(t *testing.T) {
 	case <-time.After(time.Second):
 		t.Fatal("deadline never fired for the order-blocked waiter")
 	}
-	if err := a.acquire(0, true, time.Time{}); err != nil {
+	if err := a.acquire(0, true, time.Time{}, 0); err != nil {
 		t.Fatal(err)
 	}
 	// The cursor must have advanced over the retired ticket 1.
 	granted := make(chan error, 1)
-	go func() { granted <- a.acquire(2, true, time.Time{}) }()
+	go func() { granted <- a.acquire(2, true, time.Time{}, 0) }()
 	select {
 	case err := <-granted:
 		if err != nil {
@@ -215,11 +215,11 @@ func TestAdmissionSequencedDeadlineRetireUnblocks(t *testing.T) {
 
 func TestAdmissionDrain(t *testing.T) {
 	a := newAdmission(1)
-	if err := a.acquire(0, false, time.Time{}); err != nil {
+	if err := a.acquire(0, false, time.Time{}, 0); err != nil {
 		t.Fatal(err)
 	}
 	res := make(chan error, 1)
-	go func() { res <- a.acquire(0, false, time.Time{}) }()
+	go func() { res <- a.acquire(0, false, time.Time{}, 0) }()
 	time.Sleep(10 * time.Millisecond)
 	a.drain()
 	select {
@@ -230,11 +230,11 @@ func TestAdmissionDrain(t *testing.T) {
 	case <-time.After(time.Second):
 		t.Fatal("drain did not wake the blocked acquire")
 	}
-	if err := a.acquire(0, false, time.Time{}); !errors.Is(err, errDraining) {
+	if err := a.acquire(0, false, time.Time{}, 0); !errors.Is(err, errDraining) {
 		t.Fatalf("post-drain acquire = %v, want errDraining", err)
 	}
 	// Sequenced post-drain rejections still retire their tickets.
-	if err := a.acquire(7, true, time.Time{}); !errors.Is(err, errDraining) {
+	if err := a.acquire(7, true, time.Time{}, 0); !errors.Is(err, errDraining) {
 		t.Fatalf("sequenced post-drain acquire = %v", err)
 	}
 	if _, ok := a.skipped[7]; !ok {

@@ -46,7 +46,8 @@ type Client struct {
 	pmu     sync.Mutex
 	pending map[uint64]chan server.Response
 	nextID  uint64
-	err     error // terminal connection error, set once
+	tenant  uint16 // stamped onto data frames when nonzero (SetTenant)
+	err     error  // terminal connection error, set once
 	closed  bool
 
 	// led, when set, receives one HopClient record per traced frame sent:
@@ -120,17 +121,56 @@ func (c *Client) Hello() ([]string, error) {
 }
 
 // SupportsTrace reports whether the peer advertised the trace extension.
-func (c *Client) SupportsTrace() (bool, error) {
+func (c *Client) SupportsTrace() (bool, error) { return c.supports(server.TraceCap) }
+
+// SupportsTenant reports whether the peer advertised tenant namespaces.
+func (c *Client) SupportsTenant() (bool, error) { return c.supports(server.TenantCap) }
+
+// SupportsFault reports whether the peer accepts fault-injection commands.
+func (c *Client) SupportsFault() (bool, error) { return c.supports(server.FaultCap) }
+
+func (c *Client) supports(token string) (bool, error) {
 	caps, err := c.Hello()
 	if err != nil {
 		return false, err
 	}
 	for _, tok := range caps {
-		if tok == server.TraceCap {
+		if tok == token {
 			return true, nil
 		}
 	}
 	return false, nil
+}
+
+// SetTenant stamps every subsequent data frame (READ/WRITE/TRIM) with the
+// tenant extension for the 1-based tenant id; 0 restores untenanted frames.
+// The peer must have advertised server.TenantCap (see SupportsTenant).
+func (c *Client) SetTenant(id uint16) {
+	c.pmu.Lock()
+	c.tenant = id
+	c.pmu.Unlock()
+}
+
+// Fault sends one fault-injection command and decodes the report. The peer
+// must be serving with fault injection enabled (see SupportsFault); a peer
+// with faults disabled answers StatusBadRequest, surfaced as the error.
+func (c *Client) Fault(req server.FaultRequest) (server.FaultReport, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return server.FaultReport{}, err
+	}
+	r, err := c.Do(server.Frame{Op: server.OpFault, Payload: payload})
+	if err != nil {
+		return server.FaultReport{}, err
+	}
+	if err := r.Err(); err != nil {
+		return server.FaultReport{}, err
+	}
+	var rep server.FaultReport
+	if err := json.Unmarshal(r.Payload, &rep); err != nil {
+		return server.FaultReport{}, fmt.Errorf("client: fault report: %w", err)
+	}
+	return rep, nil
 }
 
 // Call is one in-flight request.
@@ -163,6 +203,13 @@ func (c *Client) Start(f server.Frame) (*Call, error) {
 	f.ID = c.nextID
 	c.pending[f.ID] = ch
 	led := c.led
+	if c.tenant != 0 && !f.Tenanted() {
+		switch f.Op {
+		case server.OpRead, server.OpWrite, server.OpTrim:
+			f.Flags |= server.FlagTenant
+			f.Tenant = c.tenant
+		}
+	}
 	c.pmu.Unlock()
 
 	traced := led != nil && f.Traced() && f.Trace != 0

@@ -43,13 +43,13 @@ func FuzzDecodeFrame(f *testing.F) {
 		if n < 4+reqHeaderLen || n > len(b) {
 			t.Fatalf("consumed %d of %d bytes", n, len(b))
 		}
-		if fr.Op < OpRead || fr.Op > OpPing {
+		if fr.Op < OpRead || fr.Op > OpFault {
 			t.Fatalf("accepted invalid opcode %d", fr.Op)
 		}
 		if len(fr.Payload) > MaxPayload {
 			t.Fatalf("accepted payload of %d bytes", len(fr.Payload))
 		}
-		if len(fr.Payload) > 0 && fr.Op != OpWrite {
+		if len(fr.Payload) > 0 && fr.Op != OpWrite && fr.Op != OpFault {
 			t.Fatalf("accepted %v with payload", fr.Op)
 		}
 		// Accepted frames re-encode to the exact bytes consumed.
@@ -111,6 +111,63 @@ func FuzzDecodeTraceExt(f *testing.F) {
 			}
 		} else if fr.Trace != 0 || fr.ParentHop != 0 || fr.Leg != 0 {
 			t.Fatalf("untraced frame grew trace context: %+v", fr)
+		}
+		re, err := AppendFrame(nil, fr)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(re, b[:n]) {
+			t.Fatalf("round trip mismatch:\n in %x\nout %x", b[:n], re)
+		}
+	})
+}
+
+// FuzzDecodeTenantExt hammers the tenant-extension decode path: frames with
+// FlagTenant must carry a valid extension (nonzero tenant id, zero reserved
+// bytes) after any trace extension, frames without it must never grow a
+// tenant id, and accepted frames re-encode to the bytes consumed. The seeds
+// cover a tenanted write, a tenanted+traced read (both extensions), a zero
+// tenant id, dirty reserved bytes, a truncated extension, and a FAULT frame.
+func FuzzDecodeTenantExt(f *testing.F) {
+	tenanted, _ := AppendFrame(nil, Frame{
+		Op: OpWrite, ID: 21, LPN: 5, Flags: FlagTenant, Tenant: 2, Payload: []byte("ns page"),
+	})
+	f.Add(tenanted)
+	both, _ := AppendFrame(nil, Frame{
+		Op: OpRead, ID: 22, LPN: 9, Flags: FlagTrace | FlagTenant,
+		Trace: 31, ParentHop: telemetry.HopNone, Tenant: 1,
+	})
+	f.Add(both)
+	// Tenant id zero: reserved as "untenanted", must be rejected on the wire.
+	zero := append([]byte(nil), both...)
+	zero[4+reqHeaderLen+traceExtLen] = 0
+	zero[4+reqHeaderLen+traceExtLen+1] = 0
+	f.Add(zero)
+	// Dirty reserved bytes must be rejected, never silently eaten.
+	dirty := append([]byte(nil), both...)
+	dirty[4+reqHeaderLen+traceExtLen+5] = 0x5a
+	f.Add(dirty)
+	f.Add(tenanted[:4+reqHeaderLen+3]) // extension cut short
+	fault, _ := AppendFrame(nil, Frame{Op: OpFault, ID: 23, Payload: []byte(`{"kind":"chip-dropout","chip":1}`)})
+	f.Add(fault)
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fr, n, err := DecodeFrame(b)
+		if err != nil {
+			if n != 0 {
+				t.Fatalf("error %v consumed %d bytes", err, n)
+			}
+			return
+		}
+		if fr.Tenanted() {
+			if fr.Tenant == 0 {
+				t.Fatal("accepted tenant extension with id 0")
+			}
+			if n < 4+reqHeaderLen+tenantExtLen {
+				t.Fatalf("tenanted frame consumed only %d bytes", n)
+			}
+		} else if fr.Tenant != 0 {
+			t.Fatalf("untenanted frame grew a tenant id: %+v", fr)
 		}
 		re, err := AppendFrame(nil, fr)
 		if err != nil {

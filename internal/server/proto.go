@@ -14,13 +14,15 @@
 //	u8   version (= 1)                 u8   version (= 1)
 //	u8   opcode                        u8   status
 //	u8   flags (bit0: sequenced,       u16  reserved (= 0)
-//	            bit1: trace ext)       u64  request id
-//	u8   hint                          f64  simulated latency, µs
-//	u64  request id                    payload [n-20]
+//	            bit1: trace ext,       u64  request id
+//	            bit2: tenant ext)      f64  simulated latency, µs
+//	u8   hint                          payload [n-20]
+//	u64  request id
 //	i64  lpn
 //	u64  seq (sequenced replay ticket)
 //	f64  arrival, simulated µs
 //	trace extension [16, present only with flag bit1]
+//	tenant extension [8, present only with flag bit2]
 //	payload [n-36-ext]
 //
 // The optional trace extension carries the distributed-tracing context of
@@ -32,15 +34,28 @@
 //	u16  reserved (= 0)
 //	u32  reserved (= 0)
 //
-// The extension is negotiated, never assumed: a server that understands it
-// advertises TraceCap in its PING response payload, and clients only set
-// FlagTrace after seeing the capability — frames without the flag are
-// byte-identical to plain v1, so untraced peers interoperate unchanged.
+// The optional tenant extension scopes the request to a namespace:
 //
-// A request's payload is the write data (empty for every other opcode); a
-// response's payload is the read data, the STAT JSON snapshot, or the error
-// text for non-OK statuses. Responses may arrive out of submission order —
-// the request id keys them back to their request.
+//	u16  tenant id (1-based index into the server's tenant table)
+//	u16  reserved (= 0)
+//	u32  reserved (= 0)
+//
+// A tenant-scoped LPN is relative to the tenant's namespace; the server
+// rebases it into the device's flat LPN space and rejects out-of-namespace
+// addresses with BAD_REQUEST.
+//
+// Extensions are negotiated, never assumed: a server that understands one
+// advertises the matching capability token (TraceCap, TenantCap, FaultCap)
+// in its PING response payload, and clients only set the flag after seeing
+// the capability — frames without the flags are byte-identical to plain v1,
+// so untraced, untenanted peers interoperate unchanged.
+//
+// A request's payload is the write data, or — for FAULT, negotiated via
+// FaultCap — a JSON fault-injection command (see FaultRequest); it is empty
+// for every other opcode. A response's payload is the read data, the STAT
+// JSON snapshot, the FAULT JSON report, or the error text for non-OK
+// statuses. Responses may arrive out of submission order — the request id
+// keys them back to their request.
 package server
 
 import (
@@ -68,7 +83,10 @@ const (
 
 	reqHeaderLen  = 36 // bytes after the length prefix, before ext + payload
 	traceExtLen   = 16 // trace extension bytes, present only with FlagTrace
+	tenantExtLen  = 8  // tenant extension bytes, present only with FlagTenant
 	respHeaderLen = 20
+
+	maxExtLen = traceExtLen + tenantExtLen
 )
 
 // FlagSequenced marks a request carrying a replay ticket in Seq: the server
@@ -81,10 +99,24 @@ const FlagSequenced = 1 << 0
 // advertised TraceCap — a plain v1 peer rejects unknown flag bits.
 const FlagTrace = 1 << 1
 
+// FlagTenant marks a request carrying the 8-byte tenant extension after the
+// trace extension (when present). Only set it against peers that advertised
+// TenantCap — a plain v1 peer rejects unknown flag bits.
+const FlagTenant = 1 << 2
+
 // TraceCap is the capability token a trace-aware server includes in its
 // PING response payload (space-separated token list). Plain v1 servers
 // answer PING with an empty payload, and plain v1 clients ignore it.
 const TraceCap = "trace-ext"
+
+// TenantCap is the capability token a server with configured tenant
+// namespaces includes in its PING response payload.
+const TenantCap = "tenant-ns"
+
+// FaultCap is the capability token a server with fault injection enabled
+// (Config.EnableFaults) includes in its PING response payload; OpFault is
+// only accepted by servers that advertise it.
+const FaultCap = "fault-inj"
 
 // Op enumerates request opcodes.
 type Op byte
@@ -97,6 +129,7 @@ const (
 	OpFlush               // barrier: respond once this connection is idle
 	OpStat                // snapshot device + server statistics (JSON)
 	OpPing                // liveness / version probe
+	OpFault               // fault injection command (JSON payload, behind FaultCap)
 )
 
 func (o Op) String() string {
@@ -113,6 +146,8 @@ func (o Op) String() string {
 		return "STAT"
 	case OpPing:
 		return "PING"
+	case OpFault:
+		return "FAULT"
 	}
 	return fmt.Sprintf("Op(%d)", byte(o))
 }
@@ -183,6 +218,11 @@ type Frame struct {
 	Trace     uint64
 	ParentHop telemetry.Hop
 	Leg       uint8
+
+	// Tenant is the 1-based tenant namespace id, valid when FlagTenant is
+	// set. The server rebases the frame's LPN into the tenant's slice of
+	// the device.
+	Tenant uint16
 }
 
 // Sequenced reports whether the frame carries a replay ticket.
@@ -190,6 +230,9 @@ func (f Frame) Sequenced() bool { return f.Flags&FlagSequenced != 0 }
 
 // Traced reports whether the frame carries the trace extension.
 func (f Frame) Traced() bool { return f.Flags&FlagTrace != 0 }
+
+// Tenanted reports whether the frame carries the tenant extension.
+func (f Frame) Tenanted() bool { return f.Flags&FlagTenant != 0 }
 
 // Response is one decoded response.
 type Response struct {
@@ -226,12 +269,15 @@ func AppendFrame(dst []byte, f Frame) ([]byte, error) {
 	if len(f.Payload) > MaxPayload {
 		return nil, fmt.Errorf("%w: payload %d > %d", ErrFrameSize, len(f.Payload), MaxPayload)
 	}
-	if f.Op < OpRead || f.Op > OpPing {
+	if f.Op < OpRead || f.Op > OpFault {
 		return nil, fmt.Errorf("%w: opcode %d", ErrBadFrame, f.Op)
 	}
 	n := reqHeaderLen + len(f.Payload)
 	if f.Traced() {
 		n += traceExtLen
+	}
+	if f.Tenanted() {
+		n += tenantExtLen
 	}
 	dst = binary.BigEndian.AppendUint32(dst, uint32(n))
 	dst = append(dst, Version, byte(f.Op), f.Flags, byte(f.Hint))
@@ -242,6 +288,11 @@ func AppendFrame(dst []byte, f Frame) ([]byte, error) {
 	if f.Traced() {
 		dst = binary.BigEndian.AppendUint64(dst, f.Trace)
 		dst = append(dst, byte(f.ParentHop), f.Leg, 0, 0)
+		dst = binary.BigEndian.AppendUint32(dst, 0)
+	}
+	if f.Tenanted() {
+		dst = binary.BigEndian.AppendUint16(dst, f.Tenant)
+		dst = binary.BigEndian.AppendUint16(dst, 0)
 		dst = binary.BigEndian.AppendUint32(dst, 0)
 	}
 	return append(dst, f.Payload...), nil
@@ -257,7 +308,7 @@ func DecodeFrame(b []byte) (Frame, int, error) {
 		return Frame{}, 0, ErrShortFrame
 	}
 	n := int(binary.BigEndian.Uint32(b))
-	if n < reqHeaderLen || n > reqHeaderLen+traceExtLen+MaxPayload {
+	if n < reqHeaderLen || n > reqHeaderLen+maxExtLen+MaxPayload {
 		return Frame{}, 0, fmt.Errorf("%w: %d", ErrFrameSize, n)
 	}
 	if len(b) < 4+n {
@@ -276,10 +327,10 @@ func DecodeFrame(b []byte) (Frame, int, error) {
 		Seq:     binary.BigEndian.Uint64(h[20:]),
 		Arrival: math.Float64frombits(binary.BigEndian.Uint64(h[28:])),
 	}
-	if f.Op < OpRead || f.Op > OpPing {
+	if f.Op < OpRead || f.Op > OpFault {
 		return Frame{}, 0, fmt.Errorf("%w: opcode %d", ErrBadFrame, f.Op)
 	}
-	if f.Flags&^(FlagSequenced|FlagTrace) != 0 {
+	if f.Flags&^(FlagSequenced|FlagTrace|FlagTenant) != 0 {
 		return Frame{}, 0, fmt.Errorf("%w: flags %#x", ErrBadFrame, f.Flags)
 	}
 	if f.Hint > ftl.HintBatch {
@@ -305,11 +356,25 @@ func DecodeFrame(b []byte) (Frame, int, error) {
 		}
 		body += traceExtLen
 	}
+	if f.Tenanted() {
+		if n < body+tenantExtLen {
+			return Frame{}, 0, fmt.Errorf("%w: tenanted frame of %d bytes", ErrFrameSize, n)
+		}
+		ext := h[body:]
+		f.Tenant = binary.BigEndian.Uint16(ext)
+		if f.Tenant == 0 {
+			return Frame{}, 0, fmt.Errorf("%w: tenant id 0", ErrBadFrame)
+		}
+		if binary.BigEndian.Uint16(ext[2:]) != 0 || binary.BigEndian.Uint32(ext[4:]) != 0 {
+			return Frame{}, 0, fmt.Errorf("%w: tenant ext reserved bytes set", ErrBadFrame)
+		}
+		body += tenantExtLen
+	}
 	if pay := n - body; pay > 0 {
 		if pay > MaxPayload {
 			return Frame{}, 0, fmt.Errorf("%w: payload %d > %d", ErrFrameSize, pay, MaxPayload)
 		}
-		if f.Op != OpWrite {
+		if f.Op != OpWrite && f.Op != OpFault {
 			return Frame{}, 0, fmt.Errorf("%w: %s carries a payload", ErrBadFrame, f.Op)
 		}
 		f.Payload = append([]byte(nil), h[body:n]...)
@@ -325,7 +390,7 @@ func ReadFrame(r io.Reader) (Frame, int, error) {
 		return Frame{}, 0, err
 	}
 	n := int(binary.BigEndian.Uint32(hdr[:]))
-	if n < reqHeaderLen || n > reqHeaderLen+traceExtLen+MaxPayload {
+	if n < reqHeaderLen || n > reqHeaderLen+maxExtLen+MaxPayload {
 		return Frame{}, 4, fmt.Errorf("%w: %d", ErrFrameSize, n)
 	}
 	buf := make([]byte, 4+n)
@@ -420,6 +485,18 @@ type ServerStats struct {
 	InFlight  int64  `json:"in_flight"`   // requests between admission and response
 	BytesIn   uint64 `json:"bytes_in"`
 	BytesOut  uint64 `json:"bytes_out"`
+	// Tenants holds per-namespace counters, in tenant-id order, when the
+	// server is partitioned (Config.Tenants); nil otherwise.
+	Tenants []TenantStats `json:"tenants,omitempty"`
+}
+
+// TenantStats is one namespace's slice of the serving counters.
+type TenantStats struct {
+	Name     string `json:"name"`
+	Pages    int64  `json:"pages"`
+	Quota    int    `json:"quota"`
+	Accepted uint64 `json:"accepted"`
+	Rejected uint64 `json:"rejected"`
 }
 
 // StatSnapshot is the STAT response payload: the device, FTL and serving

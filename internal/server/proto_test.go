@@ -88,7 +88,7 @@ func TestDecodeFrameErrors(t *testing.T) {
 		{"length oversized", mut(func(b []byte) { b[0] = 0xff }), ErrFrameSize},
 		{"bad version", mut(func(b []byte) { b[4] = 99 }), ErrBadFrame},
 		{"opcode zero", mut(func(b []byte) { b[5] = 0 }), ErrBadFrame},
-		{"opcode high", mut(func(b []byte) { b[5] = byte(OpPing) + 1 }), ErrBadFrame},
+		{"opcode high", mut(func(b []byte) { b[5] = byte(OpFault) + 1 }), ErrBadFrame},
 		{"unknown flag", mut(func(b []byte) { b[6] = 0x80 }), ErrBadFrame},
 		{"bad hint", mut(func(b []byte) { b[7] = byte(ftl.HintBatch) + 1 }), ErrBadFrame},
 		{"payload on read", mut(func(b []byte) { b[5] = byte(OpRead) }), ErrBadFrame},

@@ -51,6 +51,38 @@ type Config struct {
 	// completion. Wire the same ledger into the device with SetLedger to also
 	// capture GC-step attribution.
 	Ledger *telemetry.Ledger
+	// Tenants declares per-connection namespaces: tenant i+1 owns an
+	// isolated slice of the LPN space, Pages logical pages starting where
+	// tenant i's slice ends. A frame carrying the tenant extension is
+	// validated against its namespace and rebased into the flat device
+	// space; frames without the extension see the flat space unchanged
+	// (plain v1 interop). The server advertises TenantCap when at least one
+	// tenant is configured. Misconfigured tenants (non-positive Pages, or a
+	// total exceeding the device capacity) fail Serve.
+	Tenants []Tenant
+	// EnableFaults accepts OpFault frames (JSON fault-injection commands —
+	// bad-block storms, chip dropouts, power cuts, process death) and
+	// advertises FaultCap. Off by default: fault injection is a test/
+	// campaign surface, never something to expose to real traffic.
+	EnableFaults bool
+	// OnFaultDie is invoked (from a handler goroutine, after the response
+	// is enqueued) when a "die" fault arrives. The CLI wires its shutdown
+	// path here so a campaign can kill one backend mid-workload. Nil
+	// rejects "die" faults.
+	OnFaultDie func()
+}
+
+// Tenant declares one namespace for Config.Tenants.
+type Tenant struct {
+	// Name labels the tenant in STAT output and telemetry.
+	Name string
+	// Pages is the namespace size in logical pages (must be positive).
+	Pages int64
+	// Quota caps the tenant two ways: at most Quota requests in flight
+	// through admission (wall clock), and — via the device's SetTenantQuota
+	// virtual-time pacing — at most Quota chips kept busy on average on the
+	// simulated clock. 0 = no cap, no shaping.
+	Quota int
 }
 
 // Server is the TCP block service over one ConcurrentDevice.
@@ -62,6 +94,14 @@ type Server struct {
 	// ticket space, which may have advanced before the server existed (warm
 	// fill). Captured once at construction.
 	seqBase uint64
+	// tenants holds the resolved namespace table (base offsets are the
+	// running sum of earlier tenants' Pages). capPayload is the PING
+	// capability token list. cfgErr carries a tenant misconfiguration from
+	// New to Serve.
+	tenants    []tenantState
+	capPayload []byte
+	cfgErr     error
+	dieOnce    sync.Once
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -79,6 +119,21 @@ type Server struct {
 	pacedSlept atomic.Uint64 // total paced wall-µs, for RecorderColumns
 
 	met *serverMetrics
+}
+
+// tenantState is one resolved namespace plus its serving counters.
+type tenantState struct {
+	name  string
+	base  int64 // first device LPN of the namespace
+	pages int64
+
+	accepted atomic.Uint64
+	rejected atomic.Uint64
+
+	// optional telemetry mirrors (srv.tenant.<name>.*)
+	mAccepted *telemetry.Counter
+	mRejected *telemetry.Counter
+	mInflight *telemetry.Gauge
 }
 
 // serverMetrics caches the optional telemetry mirrors.
@@ -122,7 +177,59 @@ func New(dev *ssd.ConcurrentDevice, cfg Config) *Server {
 		}
 		s.adm.gauge = m.Gauge("srv.inflight")
 	}
+	s.initTenants()
+	caps := TraceCap
+	if len(s.tenants) > 0 {
+		caps += " " + TenantCap
+	}
+	if cfg.EnableFaults {
+		caps += " " + FaultCap
+	}
+	s.capPayload = []byte(caps)
 	return s
+}
+
+// initTenants resolves Config.Tenants into the namespace table, registers
+// the per-tenant admission caps and device service quotas, and records any
+// misconfiguration for Serve to report.
+func (s *Server) initTenants() {
+	if len(s.cfg.Tenants) == 0 {
+		return
+	}
+	capacity := s.dev.FTL().Capacity()
+	var base int64
+	caps := make([]int, len(s.cfg.Tenants))
+	s.tenants = make([]tenantState, len(s.cfg.Tenants))
+	for i, t := range s.cfg.Tenants {
+		if t.Pages <= 0 {
+			s.cfgErr = fmt.Errorf("server: tenant %d (%q) has %d pages", i+1, t.Name, t.Pages)
+			return
+		}
+		name := t.Name
+		if name == "" {
+			name = fmt.Sprintf("tenant-%d", i+1)
+		}
+		ts := &s.tenants[i]
+		ts.name, ts.base, ts.pages = name, base, t.Pages
+		if m := s.cfg.Metrics; m != nil {
+			ts.mAccepted = m.Counter("srv.tenant." + name + ".accepted")
+			ts.mRejected = m.Counter("srv.tenant." + name + ".rejected")
+			ts.mInflight = m.Gauge("srv.tenant." + name + ".inflight")
+		}
+		caps[i] = t.Quota
+		if t.Quota > 0 {
+			s.dev.SetTenantQuota(i+1, t.Quota)
+		}
+		base += t.Pages
+	}
+	if base > capacity {
+		s.cfgErr = fmt.Errorf("server: tenants claim %d pages, device has %d", base, capacity)
+		return
+	}
+	s.adm.setTenantCaps(caps)
+	for i := range s.tenants {
+		s.adm.tenGauge[i] = s.tenants[i].mInflight
+	}
 }
 
 // RecorderColumns returns the serving-layer columns the server can
@@ -146,7 +253,7 @@ func (s *Server) RecorderSampler() func(vals []float64) {
 
 // Stats returns the serving-layer counters.
 func (s *Server) Stats() ServerStats {
-	return ServerStats{
+	st := ServerStats{
 		Conns:     s.connsNow.Load(),
 		ConnsEver: s.connsEver.Load(),
 		Accepted:  s.accepted.Load(),
@@ -156,6 +263,17 @@ func (s *Server) Stats() ServerStats {
 		BytesIn:   s.bytesIn.Load(),
 		BytesOut:  s.bytesOut.Load(),
 	}
+	for i := range s.tenants {
+		t := &s.tenants[i]
+		st.Tenants = append(st.Tenants, TenantStats{
+			Name:     t.name,
+			Pages:    t.pages,
+			Quota:    s.cfg.Tenants[i].Quota,
+			Accepted: t.accepted.Load(),
+			Rejected: t.rejected.Load(),
+		})
+	}
+	return st
 }
 
 // ListenAndServe listens on addr and serves until Shutdown. The second
@@ -180,6 +298,10 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 	s.ln = ln
 	s.mu.Unlock()
+	if s.cfgErr != nil {
+		ln.Close()
+		return s.cfgErr
+	}
 	for {
 		nc, err := ln.Accept()
 		if err != nil {
@@ -336,8 +458,8 @@ func (c *conn) reader() {
 		switch f.Op {
 		case OpPing:
 			// The payload advertises capability tokens; v1 clients ignore
-			// PING payloads, new ones learn the trace extension is accepted.
-			c.respond(Response{Status: StatusOK, ID: f.ID, Payload: []byte(TraceCap)})
+			// PING payloads, new ones learn which extensions are accepted.
+			c.respond(Response{Status: StatusOK, ID: f.ID, Payload: s.capPayload})
 		case OpStat:
 			c.respond(s.statResponse(f.ID))
 		case OpFlush:
@@ -345,12 +467,40 @@ func (c *conn) reader() {
 			// in-flight requests have responded, then acknowledge.
 			c.waitIdle()
 			c.respond(Response{Status: StatusOK, ID: f.ID})
+		case OpFault:
+			if !s.cfg.EnableFaults {
+				c.respond(Response{
+					Status: StatusBadRequest, ID: f.ID,
+					Payload: []byte("fault injection disabled"),
+				})
+				continue
+			}
+			// Handled inline on the reader: fault application must be
+			// ordered against this connection's later frames (a campaign
+			// injects, then immediately sends the traffic that should see
+			// the fault).
+			c.respond(s.handleFault(f))
 		case OpRead, OpWrite, OpTrim:
 			if f.Sequenced() != s.cfg.Sequenced {
 				c.respond(Response{
 					Status: StatusBadRequest, ID: f.ID,
 					Payload: []byte(fmt.Sprintf("sequenced flag %v but server sequenced=%v", f.Sequenced(), s.cfg.Sequenced)),
 				})
+				continue
+			}
+			if msg, ok := s.rebaseTenant(&f); !ok {
+				s.rejected.Add(1)
+				if s.met != nil {
+					s.met.rejected.Inc()
+				}
+				if s.cfg.Sequenced {
+					// The rejected ticket still occupies a position in the
+					// dense replay chain: retire it at admission and at the
+					// device so later tickets cannot wedge behind it.
+					s.adm.retire(f.Seq)
+					go s.dev.SubmitBatchTicket(s.seqBase+f.Seq, nil)
+				}
+				c.respond(Response{Status: StatusBadRequest, ID: f.ID, Payload: []byte(msg)})
 				continue
 			}
 			c.acquireLocal()
@@ -363,7 +513,7 @@ func (c *conn) reader() {
 			if traced {
 				admStart = time.Now()
 			}
-			aerr := s.adm.acquire(f.Seq, s.cfg.Sequenced, deadline)
+			aerr := s.adm.acquire(f.Seq, s.cfg.Sequenced, deadline, int(f.Tenant))
 			if traced {
 				st := StatusOK
 				if aerr == errDeadline {
@@ -383,6 +533,12 @@ func (c *conn) reader() {
 				if s.met != nil {
 					s.met.rejected.Inc()
 				}
+				if t := s.tenant(f.Tenant); t != nil {
+					t.rejected.Add(1)
+					if t.mRejected != nil {
+						t.mRejected.Inc()
+					}
+				}
 				if s.cfg.Sequenced {
 					// Retire the ticket at the device so later tickets are
 					// not deadlocked behind the rejected one. Asynchronously:
@@ -400,17 +556,60 @@ func (c *conn) reader() {
 				c.respond(Response{Status: status, ID: f.ID, Payload: []byte(aerr.Error())})
 				continue
 			}
+			if t := s.tenant(f.Tenant); t != nil {
+				t.accepted.Add(1)
+				if t.mAccepted != nil {
+					t.mAccepted.Inc()
+				}
+			}
 			c.handlers.Add(1)
 			go c.handle(f)
 		}
 	}
 }
 
+// tenant resolves a wire tenant id (1-based, 0 = untenanted) to its state,
+// nil when untenanted or unknown.
+func (s *Server) tenant(id uint16) *tenantState {
+	if id == 0 || int(id) > len(s.tenants) {
+		return nil
+	}
+	return &s.tenants[id-1]
+}
+
+// rebaseTenant validates a data frame against its namespace and rebases its
+// LPN into the flat device space. Returns ok=false with a client-facing
+// message when the tenant is unknown, the server has no tenants configured,
+// or the LPN falls outside the namespace. Untenanted frames pass through
+// unchanged — but only when the server is not partitioned into tenants:
+// mixing flat-space and namespaced writers would alias LPNs.
+func (s *Server) rebaseTenant(f *Frame) (string, bool) {
+	if !f.Tenanted() {
+		if len(s.tenants) > 0 {
+			return "server requires tenant extension", false
+		}
+		return "", true
+	}
+	t := s.tenant(f.Tenant)
+	if t == nil {
+		return fmt.Sprintf("unknown tenant %d", f.Tenant), false
+	}
+	if f.LPN < 0 || f.LPN >= t.pages {
+		t.rejected.Add(1)
+		if t.mRejected != nil {
+			t.mRejected.Inc()
+		}
+		return fmt.Sprintf("lpn %d outside namespace %q (%d pages)", f.LPN, t.name, t.pages), false
+	}
+	f.LPN += t.base
+	return "", true
+}
+
 // handle submits one admitted request to the device and responds.
 func (c *conn) handle(f Frame) {
 	defer c.handlers.Done()
 	s := c.srv
-	req := ssd.Request{LPN: f.LPN, Arrival: f.Arrival, Trace: f.Trace}
+	req := ssd.Request{LPN: f.LPN, Arrival: f.Arrival, Trace: f.Trace, Tenant: int(f.Tenant)}
 	switch f.Op {
 	case OpRead:
 		req.Kind = ssd.OpRead
@@ -447,7 +646,7 @@ func (c *conn) handle(f Frame) {
 		}
 	}
 	c.respond(resp)
-	s.adm.release()
+	s.adm.release(int(f.Tenant))
 	c.releaseLocal()
 }
 

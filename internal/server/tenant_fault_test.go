@@ -1,0 +1,310 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"superfast/internal/flash"
+	"superfast/internal/pv"
+	"superfast/internal/ssd"
+)
+
+// raidDevice builds a device with RAID parity and one plane per chip, so a
+// whole-chip read failure is one lost lane and reconstructable from parity.
+func raidDevice(t testing.TB) *ssd.ConcurrentDevice {
+	t.Helper()
+	g := flash.TestGeometry()
+	g.PlanesPerChip = 1
+	g.BlocksPerPlane = 24
+	g.Layers = 12
+	p := pv.DefaultParams()
+	p.Layers = g.Layers
+	p.Strings = g.Strings
+	arr := flash.MustNewArray(g, pv.New(p), flash.DefaultECC())
+	cfg := ssd.DefaultConfig()
+	cfg.FTL.Overprovision = 0.25
+	cfg.FTL.RAID = true
+	d, err := ssd.NewConcurrent(arr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	return d
+}
+
+func tenantFrame(op Op, id uint64, tenant uint16, lpn int64, payload []byte) Frame {
+	return Frame{Op: op, ID: id, Flags: FlagTenant, Tenant: tenant, LPN: lpn, Payload: payload}
+}
+
+func TestPingAdvertisesCaps(t *testing.T) {
+	dev := testDevice(t)
+	_, addr := startServer(t, dev, Config{})
+	c := dialRaw(t, addr)
+	r := c.call(Frame{Op: OpPing, ID: 1})
+	if got := string(r.Payload); got != TraceCap {
+		t.Fatalf("plain server caps = %q, want %q", got, TraceCap)
+	}
+
+	dev2 := testDevice(t)
+	_, addr2 := startServer(t, dev2, Config{
+		Tenants:      []Tenant{{Name: "a", Pages: 64}},
+		EnableFaults: true,
+	})
+	c2 := dialRaw(t, addr2)
+	r2 := c2.call(Frame{Op: OpPing, ID: 1})
+	caps := strings.Fields(string(r2.Payload))
+	want := map[string]bool{TraceCap: true, TenantCap: true, FaultCap: true}
+	if len(caps) != len(want) {
+		t.Fatalf("caps = %q, want %v", caps, want)
+	}
+	for _, tok := range caps {
+		if !want[tok] {
+			t.Fatalf("unexpected capability %q in %q", tok, caps)
+		}
+	}
+}
+
+func TestTenantNamespaceIsolation(t *testing.T) {
+	dev := testDevice(t)
+	srv, addr := startServer(t, dev, Config{
+		Tenants: []Tenant{{Name: "quiet", Pages: 64}, {Name: "noisy", Pages: 64}},
+	})
+	c := dialRaw(t, addr)
+
+	// Both tenants write their own LPN 0; the namespaces must not alias.
+	pg1 := bytes.Repeat([]byte("Q"), 32)
+	pg2 := bytes.Repeat([]byte("N"), 32)
+	if r := c.call(tenantFrame(OpWrite, 1, 1, 0, pg1)); r.Status != StatusOK {
+		t.Fatalf("tenant 1 write: %+v", r)
+	}
+	if r := c.call(tenantFrame(OpWrite, 2, 2, 0, pg2)); r.Status != StatusOK {
+		t.Fatalf("tenant 2 write: %+v", r)
+	}
+	r1 := c.call(tenantFrame(OpRead, 3, 1, 0, nil))
+	r2 := c.call(tenantFrame(OpRead, 4, 2, 0, nil))
+	if r1.Status != StatusOK || !bytes.Equal(r1.Payload[:len(pg1)], pg1) {
+		t.Fatalf("tenant 1 read back: %+v", r1)
+	}
+	if r2.Status != StatusOK || !bytes.Equal(r2.Payload[:len(pg2)], pg2) {
+		t.Fatalf("tenant 2 read back: %+v", r2)
+	}
+
+	// A partitioned server refuses flat-space frames and bad namespaces.
+	if r := c.call(Frame{Op: OpWrite, ID: 5, LPN: 0, Payload: pg1}); r.Status != StatusBadRequest {
+		t.Fatalf("untenanted frame: %v, want StatusBadRequest", r.Status)
+	}
+	if r := c.call(tenantFrame(OpRead, 6, 3, 0, nil)); r.Status != StatusBadRequest {
+		t.Fatalf("unknown tenant: %v, want StatusBadRequest", r.Status)
+	}
+	if r := c.call(tenantFrame(OpRead, 7, 1, 64, nil)); r.Status != StatusBadRequest {
+		t.Fatalf("lpn outside namespace: %v, want StatusBadRequest", r.Status)
+	}
+
+	st := srv.Stats()
+	if len(st.Tenants) != 2 {
+		t.Fatalf("tenant stats = %+v", st.Tenants)
+	}
+	if st.Tenants[0].Name != "quiet" || st.Tenants[0].Accepted != 2 || st.Tenants[0].Rejected != 1 {
+		t.Fatalf("tenant 1 stats = %+v", st.Tenants[0])
+	}
+	if st.Tenants[1].Name != "noisy" || st.Tenants[1].Accepted != 2 {
+		t.Fatalf("tenant 2 stats = %+v", st.Tenants[1])
+	}
+}
+
+func TestServeFailsOnTenantMisconfig(t *testing.T) {
+	cases := []struct {
+		name    string
+		tenants []Tenant
+	}{
+		{"non-positive pages", []Tenant{{Pages: 0}}},
+		{"over capacity", []Tenant{{Pages: 1 << 40}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dev := testDevice(t)
+			srv := New(dev, Config{Tenants: tc.tenants})
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := srv.Serve(ln); err == nil {
+				t.Fatal("Serve accepted a misconfigured tenant table")
+			}
+		})
+	}
+}
+
+func TestFaultRejectedWhenDisabled(t *testing.T) {
+	dev := testDevice(t)
+	_, addr := startServer(t, dev, Config{})
+	c := dialRaw(t, addr)
+	r := c.call(Frame{Op: OpFault, ID: 1, Payload: []byte(`{"kind":"chip-dropout","chip":0}`)})
+	if r.Status != StatusBadRequest {
+		t.Fatalf("fault on plain server: %v, want StatusBadRequest", r.Status)
+	}
+}
+
+func TestFaultBadPayloads(t *testing.T) {
+	dev := testDevice(t)
+	_, addr := startServer(t, dev, Config{EnableFaults: true})
+	c := dialRaw(t, addr)
+	for i, payload := range []string{
+		`{"kind":"no-such-fault"}`,
+		`{"kind":"chip-dropout","bogus":1}`, // unknown field
+		`not json`,
+		`{"kind":"chip-dropout","chip":99}`, // chip out of range
+		`{"kind":"die"}`,                    // OnFaultDie not armed
+	} {
+		r := c.call(Frame{Op: OpFault, ID: uint64(i + 1), Payload: []byte(payload)})
+		if r.Status != StatusBadRequest {
+			t.Fatalf("payload %q: %v, want StatusBadRequest", payload, r.Status)
+		}
+	}
+}
+
+// faultCall sends one fault command and decodes the report.
+func faultCall(t *testing.T, c *rawConn, id uint64, req FaultRequest) FaultReport {
+	t.Helper()
+	payload, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := c.call(Frame{Op: OpFault, ID: id, Payload: payload})
+	if r.Status != StatusOK {
+		t.Fatalf("fault %+v: %v %s", req, r.Status, r.Payload)
+	}
+	var rep FaultReport
+	if err := json.Unmarshal(r.Payload, &rep); err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// fillPages writes n distinct pages so reads are served from flash, not the
+// write buffer, and superblocks seal. Returns the payload generator.
+func fillPages(t *testing.T, c *rawConn, n int64, pageSize int) func(lpn int64) []byte {
+	t.Helper()
+	gen := func(lpn int64) []byte {
+		p := make([]byte, pageSize)
+		copy(p, fmt.Sprintf("page-%d", lpn))
+		return p
+	}
+	for lpn := int64(0); lpn < n; lpn++ {
+		if r := c.call(Frame{Op: OpWrite, ID: uint64(1000 + lpn), LPN: lpn, Payload: gen(lpn)}); r.Status != StatusOK {
+			t.Fatalf("fill lpn %d: %+v", lpn, r)
+		}
+	}
+	return gen
+}
+
+func TestFaultChipFailuresRecoverThroughRAID(t *testing.T) {
+	dev := raidDevice(t)
+	_, addr := startServer(t, dev, Config{EnableFaults: true})
+	c := dialRaw(t, addr)
+	pageSize := dev.FTL().Geometry().PageSize
+	n := dev.FTL().Capacity() / 2
+	gen := fillPages(t, c, n, pageSize)
+
+	// A transient read-error burst: the next reads fail ECC, RAID
+	// reconstructs, the host still sees its data.
+	faultCall(t, c, 1, FaultRequest{Kind: "chip-read-errors", Chip: 0, Count: 2})
+	repairsBefore := mustStat(t, c).FTL.RAIDRepairs
+	for lpn := int64(0); lpn < n; lpn++ {
+		r := c.call(Frame{Op: OpRead, ID: uint64(5000 + lpn), LPN: lpn})
+		if r.Status != StatusOK || !bytes.Equal(r.Payload, gen(lpn)) {
+			t.Fatalf("read lpn %d during burst: %v", lpn, r.Status)
+		}
+	}
+	if got := mustStat(t, c).FTL.RAIDRepairs; got <= repairsBefore {
+		t.Fatalf("RAIDRepairs = %d, want > %d (burst must have forced reconstruction)", got, repairsBefore)
+	}
+
+	// A chip dropout: every read on the chip fails until revived; with one
+	// plane per chip that is one lost lane, still under the parity budget.
+	faultCall(t, c, 2, FaultRequest{Kind: "chip-dropout", Chip: 1})
+	for lpn := int64(0); lpn < n; lpn++ {
+		r := c.call(Frame{Op: OpRead, ID: uint64(9000 + lpn), LPN: lpn})
+		if r.Status != StatusOK || !bytes.Equal(r.Payload, gen(lpn)) {
+			t.Fatalf("read lpn %d during dropout: %v", lpn, r.Status)
+		}
+	}
+	faultCall(t, c, 3, FaultRequest{Kind: "chip-revive", Chip: 1})
+	if dev.FTL().Array().ChipReadFailure(1) {
+		t.Fatal("chip still down after revive")
+	}
+}
+
+func TestFaultBadBlockStormKeepsDataReadable(t *testing.T) {
+	dev := raidDevice(t)
+	_, addr := startServer(t, dev, Config{EnableFaults: true})
+	c := dialRaw(t, addr)
+	pageSize := dev.FTL().Geometry().PageSize
+	n := dev.FTL().Capacity() / 2
+	gen := fillPages(t, c, n, pageSize)
+
+	rep := faultCall(t, c, 1, FaultRequest{Kind: "bad-blocks", Count: 4, Seed: 42})
+	if rep.Marked != 4 {
+		t.Fatalf("marked %d blocks, want 4", rep.Marked)
+	}
+	for lpn := int64(0); lpn < n; lpn++ {
+		r := c.call(Frame{Op: OpRead, ID: uint64(5000 + lpn), LPN: lpn})
+		if r.Status != StatusOK || !bytes.Equal(r.Payload, gen(lpn)) {
+			t.Fatalf("read lpn %d after storm: %v", lpn, r.Status)
+		}
+	}
+}
+
+func TestFaultPowerCutRestoresData(t *testing.T) {
+	dev := testDevice(t)
+	_, addr := startServer(t, dev, Config{EnableFaults: true})
+	c := dialRaw(t, addr)
+	pageSize := dev.FTL().Geometry().PageSize
+	n := dev.FTL().Capacity() / 4
+	gen := fillPages(t, c, n, pageSize)
+
+	rep := faultCall(t, c, 1, FaultRequest{Kind: "power-cut", RecoverUS: 5000})
+	if rep.CutAt <= 0 || rep.RecoveredAt != rep.CutAt+5000 || rep.CheckpointBytes <= 0 {
+		t.Fatalf("power-cut report = %+v", rep)
+	}
+	for lpn := int64(0); lpn < n; lpn++ {
+		r := c.call(Frame{Op: OpRead, ID: uint64(5000 + lpn), LPN: lpn})
+		if r.Status != StatusOK || !bytes.Equal(r.Payload, gen(lpn)) {
+			t.Fatalf("read lpn %d after power cut: %v", lpn, r.Status)
+		}
+	}
+}
+
+func TestFaultDieInvokesCallback(t *testing.T) {
+	dev := testDevice(t)
+	died := make(chan struct{})
+	_, addr := startServer(t, dev, Config{
+		EnableFaults: true,
+		OnFaultDie:   func() { close(died) },
+	})
+	c := dialRaw(t, addr)
+	faultCall(t, c, 1, FaultRequest{Kind: "die"})
+	select {
+	case <-died:
+	case <-time.After(5 * time.Second):
+		t.Fatal("die fault never invoked OnFaultDie")
+	}
+}
+
+func mustStat(t *testing.T, c *rawConn) StatSnapshot {
+	t.Helper()
+	r := c.call(Frame{Op: OpStat, ID: 999999})
+	if r.Status != StatusOK {
+		t.Fatalf("stat: %v", r.Status)
+	}
+	var snap StatSnapshot
+	if err := json.Unmarshal(r.Payload, &snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}

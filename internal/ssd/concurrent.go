@@ -44,13 +44,34 @@ type ConcurrentDevice struct {
 	f   *ftl.FTL
 	cfg Config
 
-	mu     sync.Mutex // serializes the FTL stage and admission state
-	admit  *sync.Cond // wakes submitters waiting for their ticket
-	issued uint64     // tickets handed out
-	next   uint64     // next ticket allowed into the FTL stage
-	clock  float64    // latest admitted arrival, µs
-	trc    telemetry.Tracer  // nil = tracing disabled (read under mu)
-	led    *telemetry.Ledger // nil = hop ledger disabled (read under mu)
+	mu     sync.Mutex             // serializes the FTL stage and admission state
+	admit  *sync.Cond             // wakes submitters waiting for their ticket
+	issued uint64                 // tickets handed out
+	next   uint64                 // next ticket allowed into the FTL stage
+	clock  float64                // latest admitted arrival, µs
+	trc    telemetry.Tracer       // nil = tracing disabled (read under mu)
+	led    *telemetry.Ledger      // nil = hop ledger disabled (read under mu)
+	met    *telemetry.Metrics     // retained so PowerCycle can rewire the restored FTL
+	attr   *telemetry.Attribution // retained for the same reason
+	// tenants maps a tenant id to its pacing state: a shaped run may not
+	// start before the tenant's virtual clock, which every run advances by
+	// its chip work divided by the quota — deterministic per-tenant
+	// service-rate isolation, maintained in ticket order under mu.
+	tenants map[int]*tenantShape
+	// resTill holds the per-chip reservation watermarks for quota-deferred
+	// runs. Deferred ops are placed on this track — at or after both the
+	// chip's busy-until watermark and the previous reservation — and never
+	// advance till, so a throttled tenant's far-future reservations do not
+	// hold the chip against anyone scheduled after it (shaping stays
+	// work-conserving). The track only ever moves once a quota deferral
+	// happened, so schedules without tenant shaping are untouched.
+	resTill []float64
+	// bufPages counts, per tenant, the pages sitting in the FTL's open
+	// superpage buffer — maintained only while tenant quotas exist, and
+	// reset at every flush. It decides which tenant a flush's programs are
+	// attributed to (plurality of buffered pages), so a flood cannot launder
+	// its chip work through the flush an innocent neighbor happens to trip.
+	bufPages map[int]int
 	// curTrace/curTicket hold the trace context of the request the FTL stage
 	// is currently executing, so the blocking-GC observer (which fires from
 	// inside WriteHinted) can attribute its page counts. Written and read
@@ -81,6 +102,17 @@ type ConcurrentDevice struct {
 	latsFree [][]float64          // drained pend slices, recycled by submit
 	drain    uint64               // next ticket the digest will consume
 	qdepth   *telemetry.Gauge     // in-flight submissions; nil when unwired
+}
+
+// tenantShape paces one tenant's chip-work admission on the simulated
+// clock. vt is the tenant's virtual clock — the earliest instant its next
+// run may start; a run placed at start with W µs of chip work (plus bus
+// transfer) advances vt to max(vt, start) + W/quota, so the tenant's
+// long-run chip occupancy converges to quota chips no matter how its work
+// clumps into buffered-write flushes.
+type tenantShape struct {
+	quota float64 // average number of chips the tenant may keep busy
+	vt    float64
 }
 
 // latencyRecord keys one completion for the deterministic stats merge.
@@ -120,12 +152,13 @@ func NewConcurrent(arr *flash.Array, cfg Config) (*ConcurrentDevice, error) {
 	f.SetPayloadOwnership(ftl.BorrowHost)
 	chips := arr.Geometry().Chips
 	c := &ConcurrentDevice{
-		f:     f,
-		cfg:   cfg,
-		lat:   telemetry.NewDigest(),
-		pend:  make(map[uint64][]float64),
-		till:  make([]float64, chips),
-		chips: make([]ChipStats, chips),
+		f:       f,
+		cfg:     cfg,
+		lat:     telemetry.NewDigest(),
+		pend:    make(map[uint64][]float64),
+		till:    make([]float64, chips),
+		resTill: make([]float64, chips),
+		chips:   make([]ChipStats, chips),
 	}
 	for i := range c.chips {
 		c.chips[i].Chip = i
@@ -198,22 +231,30 @@ func (c *ConcurrentDevice) SetTracer(tr telemetry.Tracer) {
 func (c *ConcurrentDevice) SetLedger(l *telemetry.Ledger) {
 	c.mu.Lock()
 	c.led = l
+	c.wireGCObserver()
+	c.mu.Unlock()
+}
+
+// wireGCObserver points the current FTL's GC observer at the attached
+// ledger (or detaches it). Caller holds c.mu; PowerCycle re-runs this after
+// swapping in the restored FTL.
+func (c *ConcurrentDevice) wireGCObserver() {
+	l := c.led
 	if l == nil {
 		c.f.SetGCObserver(nil)
-	} else {
-		c.f.SetGCObserver(func(ev ftl.GCEvent) {
-			// Step events are recorded by gcStepRun, which also knows the
-			// schedule slot; only blocking refills are captured here.
-			if !ev.Blocking || c.curTrace == 0 {
-				return
-			}
-			l.Record(telemetry.HopRecord{
-				Trace: c.curTrace, Hop: telemetry.HopGC, Parent: telemetry.HopNone,
-				Seq: c.curTicket, LPN: -1, Pages: ev.Moves, SimTS: -1,
-			})
-		})
+		return
 	}
-	c.mu.Unlock()
+	c.f.SetGCObserver(func(ev ftl.GCEvent) {
+		// Step events are recorded by gcStepRun, which also knows the
+		// schedule slot; only blocking refills are captured here.
+		if !ev.Blocking || c.curTrace == 0 {
+			return
+		}
+		l.Record(telemetry.HopRecord{
+			Trace: c.curTrace, Hop: telemetry.HopGC, Parent: telemetry.HopNone,
+			Seq: c.curTicket, LPN: -1, Pages: ev.Moves, SimTS: -1,
+		})
+	})
 }
 
 // SetAttribution wires (or, with nil, unwires) a straggler attribution table
@@ -222,8 +263,35 @@ func (c *ConcurrentDevice) SetLedger(l *telemetry.Ledger) {
 // in flight.
 func (c *ConcurrentDevice) SetAttribution(a *telemetry.Attribution) {
 	c.mu.Lock()
+	c.attr = a
 	c.f.SetAttribution(a)
 	c.mu.Unlock()
+}
+
+// SetTenantQuota registers (or, with quota <= 0, removes) a deterministic
+// service quota for a tenant: the tenant may keep at most quota chips busy
+// on average. Shaping is virtual-time pacing — each of the tenant's runs
+// advances a per-tenant virtual clock by its chip work over the quota, and
+// no run of the tenant may start before that clock — so a flood offered
+// faster than its quota falls ever further behind (its Wait and tail
+// latency grow with its own backlog) while the chip time it may not use yet
+// stays free. Deferred runs ride a separate reservation track on each chip
+// (see schedule), keeping shaping work-conserving for everyone else.
+// Applied in ticket order under the FTL-stage lock, so results stay
+// bit-identical across submitter counts. Requests whose Tenant has no
+// registered quota (including Tenant 0) are unshaped. Call while no
+// submission is in flight.
+func (c *ConcurrentDevice) SetTenantQuota(tenant, quota int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if quota <= 0 {
+		delete(c.tenants, tenant)
+		return
+	}
+	if c.tenants == nil {
+		c.tenants = make(map[int]*tenantShape)
+	}
+	c.tenants[tenant] = &tenantShape{quota: float64(quota)}
 }
 
 // AttachRecorder wires a flight recorder into the FTL stage: every clock
@@ -300,6 +368,7 @@ func (c *ConcurrentDevice) FlushRecorder() {
 // wiring a registry swaps in its (fresh) digest, so attaching after the warm
 // fill keeps the fill out of the measured distribution.
 func (c *ConcurrentDevice) SetMetrics(m *telemetry.Metrics) {
+	c.met = m
 	c.f.SetMetrics(m)
 	c.statsMu.Lock()
 	defer c.statsMu.Unlock()
@@ -584,17 +653,35 @@ func (c *ConcurrentDevice) maxTill() float64 {
 // FTL stage runs in strict ticket order, each chip's clock sees its ops in a
 // deterministic sequence and the whole schedule is bit-identical however
 // many goroutines submit.
-func (c *ConcurrentDevice) schedule(op ftl.FlashOp, earliest float64, ticket uint64, slot int) float64 {
+//
+// deferred marks ops of a run the tenant quota pushed into the future. They
+// ride a separate reservation track (resTill): a deferred op starts at or
+// after both watermarks but advances only the reservation one, so the idle
+// stretch a deferral skips over stays open for everyone scheduled after it
+// — shaping is work-conserving, and a paced tenant's far-future
+// reservations can never drag an unshaped tenant's ops to its backlog
+// horizon. The two tracks may overlap once normal work catches up to a
+// reservation; that costs placement fidelity only when aggregate demand
+// (quotas plus unshaped load) exceeds the chip count. Both tracks are pure
+// functions of the ticket order, so determinism is preserved.
+func (c *ConcurrentDevice) schedule(op ftl.FlashOp, earliest float64, ticket uint64, slot int, deferred bool) float64 {
 	s := earliest
-	if c.till[op.Chip] > s {
-		s = c.till[op.Chip]
+	if t := c.till[op.Chip]; t > s {
+		s = t
+	}
+	if deferred {
+		if t := c.resTill[op.Chip]; t > s {
+			s = t
+		}
+		c.resTill[op.Chip] = s + op.Dur
+	} else {
+		c.till[op.Chip] = s + op.Dur
 	}
 	e := s + op.Dur
-	c.till[op.Chip] = e
 	cs := &c.chips[op.Chip]
 	cs.Ops++
 	cs.Busy += op.Dur
-	cs.Till = e
+	cs.Till = c.till[op.Chip]
 	if c.rec != nil {
 		c.rec.busy[op.Chip] += op.Dur
 	}
@@ -615,12 +702,27 @@ func (c *ConcurrentDevice) schedule(op ftl.FlashOp, earliest float64, ticket uin
 	return e
 }
 
+// bufMajority returns the tenant owning the plurality of pages buffered
+// since the last superpage flush (ties break to the smallest tenant id, so
+// the answer never depends on map iteration order). Caller holds c.mu.
+func (c *ConcurrentDevice) bufMajority() (int, bool) {
+	best, n := 0, -1
+	for t, k := range c.bufPages {
+		if k > n || (k == n && t < best) {
+			best, n = t, k
+		}
+	}
+	return best, n >= 0
+}
+
 // gcStepRun executes one preemptive GC step in the FTL stage and schedules
 // its chip work as a pseudo-run (no completions). Caller holds c.mu;
 // earliest bounds where the step's flash ops may start; trace attributes the
-// step to the request that opened the window (0 = untraced). worked is false
-// when GC had nothing to do.
-func (c *ConcurrentDevice) gcStepRun(ticket uint64, earliest float64, trace uint64, sc *submitScratch) (bool, error) {
+// step to the request that opened the window (0 = untraced); deferred routes
+// the step's chip work onto the reservation track — debt paid behind a
+// quota-deferred ticket belongs to that tenant's schedule, not in front of
+// everyone else's. worked is false when GC had nothing to do.
+func (c *ConcurrentDevice) gcStepRun(ticket uint64, earliest float64, trace uint64, sc *submitScratch, deferred bool) (bool, error) {
 	var res ftl.GCStepResult
 	ops, err := c.f.CollectOps(func() error {
 		var e error
@@ -636,7 +738,7 @@ func (c *ConcurrentDevice) gcStepRun(ticket uint64, earliest float64, trace uint
 	r := sc.nextRun()
 	r.arrival, r.end = earliest, earliest
 	for _, op := range ops {
-		if e := c.schedule(op, earliest, ticket, -1); e > r.end {
+		if e := c.schedule(op, earliest, ticket, -1, deferred); e > r.end {
 			r.end = e
 		}
 	}
@@ -649,7 +751,7 @@ func (c *ConcurrentDevice) gcStepRun(ticket uint64, earliest float64, trace uint
 // may overshoot; flash ops are not preemptible).
 func (c *ConcurrentDevice) gcIdleSteps(ticket uint64, arrival float64, trace uint64, sc *submitScratch) error {
 	for c.maxTill() < arrival && c.f.GCNeeded() {
-		worked, err := c.gcStepRun(ticket, c.maxTill(), trace, sc)
+		worked, err := c.gcStepRun(ticket, c.maxTill(), trace, sc, false)
 		if err != nil {
 			return err
 		}
@@ -678,6 +780,7 @@ func (c *ConcurrentDevice) ftlStage(ticket uint64, reqs []Request, sc *submitScr
 		}
 	}
 	opIdx := 0 // op index across the whole batch, for trace attribution
+	batchDeferred := false
 	for first := 0; first < len(reqs); {
 		n := runLen(reqs[first:])
 		r := sc.nextRun()
@@ -761,9 +864,51 @@ func (c *ConcurrentDevice) ftlStage(ticket uint64, reqs []Request, sc *submitScr
 			}
 			return nil
 		})
+		// Tenant shaping: a quota'd tenant's run may not start before the
+		// tenant's virtual clock. The run's work is attributed to the tenant
+		// that owns it — normally the submitter, but a superpage flush belongs
+		// to whoever buffered the plurality of its pages: under a flood, most
+		// flushes a quiet tenant trips carry the flood's pages, and that work
+		// must ride the flood's schedule, not land in front of everyone else.
+		// A detached run (flush of a shaped neighbor's pages) completes at
+		// buffer-insert time — the submitter ACKs like any buffered write
+		// while the programs run on the owner's reservation track.
+		var shape *tenantShape
+		deferred, detached := false, false
+		schedAt := r.arrival
+		if len(c.tenants) > 0 {
+			owner := reqs[first].Tenant
+			if reqs[first].Kind == OpWrite {
+				if c.bufPages == nil {
+					c.bufPages = make(map[int]int)
+				}
+				c.bufPages[owner] += n
+				if len(ops) > 0 {
+					if m, ok := c.bufMajority(); ok && m != owner && c.tenants[m] != nil {
+						owner = m
+						detached = true
+					}
+					for t := range c.bufPages {
+						delete(c.bufPages, t)
+					}
+				}
+			}
+			shape = c.tenants[owner]
+			if shape != nil && shape.vt > schedAt {
+				schedAt = shape.vt
+				deferred = true
+				batchDeferred = true
+				if !detached {
+					// Own deferral is measured from the stamped arrival, so
+					// it surfaces as Wait on the completion.
+					r.arrival = schedAt
+				}
+			}
+		}
 		r.end = r.arrival
 		for _, op := range ops {
-			if e := c.schedule(op, r.arrival, ticket, opIdx); e > r.end {
+			e := c.schedule(op, schedAt, ticket, opIdx, deferred)
+			if !detached && e > r.end {
 				r.end = e
 			}
 			opIdx++
@@ -773,6 +918,25 @@ func (c *ConcurrentDevice) ftlStage(ticket uint64, reqs []Request, sc *submitScr
 		}
 		if err != nil {
 			return err
+		}
+		if shape != nil {
+			// Charge the run's chip work (and its bus transfer) against the
+			// owning tenant's virtual clock at 1/quota speed. A detached
+			// flush charges its owner the programs only — the bus transfer
+			// belongs to the submitter.
+			var work float64
+			for _, op := range ops {
+				work += op.Dur
+			}
+			xfer := r.xfer
+			if detached {
+				xfer = 0
+			}
+			base := shape.vt
+			if schedAt > base {
+				base = schedAt
+			}
+			shape.vt = base + (work+xfer)/shape.quota
 		}
 		first += n
 	}
@@ -794,8 +958,11 @@ func (c *ConcurrentDevice) ftlStage(ticket uint64, reqs []Request, sc *submitScr
 				steps = 0
 			}
 		}
+		// Debt paid behind a quota-deferred ticket rides that tenant's
+		// reservation track: the churn is the shaped tenant's, so its cost
+		// must not land in front of everyone else's arrivals.
 		for i := 0; i < steps && c.f.GCNeeded(); i++ {
-			worked, err := c.gcStepRun(ticket, c.clock, reqs[0].Trace, sc)
+			worked, err := c.gcStepRun(ticket, c.clock, reqs[0].Trace, sc, batchDeferred)
 			if err != nil {
 				return err
 			}
@@ -809,7 +976,9 @@ func (c *ConcurrentDevice) ftlStage(ticket uint64, reqs []Request, sc *submitScr
 
 // runLen returns the length of the coalescible run at the head of reqs: a
 // maximal sequence of same-kind read or write requests whose LPNs ascend by
-// exactly one (writes must also share a hint). Anything else is a singleton.
+// exactly one (writes must also share a hint, and members must share a
+// tenant so shaping and quota accounting stay per-namespace). Anything else
+// is a singleton.
 func runLen(reqs []Request) int {
 	head := reqs[0]
 	if head.Kind != OpWrite && head.Kind != OpRead {
@@ -818,7 +987,7 @@ func runLen(reqs []Request) int {
 	n := 1
 	for n < len(reqs) {
 		next := reqs[n]
-		if next.Kind != head.Kind || next.LPN != head.LPN+int64(n) {
+		if next.Kind != head.Kind || next.LPN != head.LPN+int64(n) || next.Tenant != head.Tenant {
 			break
 		}
 		if head.Kind == OpWrite && next.Hint != head.Hint {
@@ -861,6 +1030,90 @@ func (c *ConcurrentDevice) Stats() Stats {
 		s.Latencies[i] = r.latency
 	}
 	return s
+}
+
+// PowerCycleReport describes one simulated power cut + restore.
+type PowerCycleReport struct {
+	CutAt           float64 // simulated instant the power failed, µs
+	CheckpointUS    float64 // flash time of the pre-cut GC drain + flush
+	CheckpointBytes int     // size of the checkpoint image
+	RecoveredAt     float64 // instant the device accepts work again, µs
+}
+
+// PowerCycle simulates a power cut with a checkpoint-backed restart: the
+// FTL drains its in-flight collection, flushes open buffers and writes a
+// checkpoint (the flash work is scheduled on the chip clocks, so the
+// pre-cut drain costs simulated time); then the RAM state is discarded and
+// rebuilt from the checkpoint over the same (data-retaining) array, exactly
+// the Restore path a real controller runs at boot. Every chip clock is
+// advanced to cut + recoverUS, so the modeled outage shows up in the
+// latency of whatever requests are queued behind it. Telemetry wiring
+// (metrics, attribution, GC-ledger observer) carries over to the restored
+// FTL. Callers must quiesce submissions first — the cut lands between
+// tickets, never inside one.
+func (c *ConcurrentDevice) PowerCycle(recoverUS float64) (PowerCycleReport, error) {
+	if recoverUS < 0 {
+		return PowerCycleReport{}, fmt.Errorf("ssd: negative recovery time %v", recoverUS)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	start := c.maxTill()
+	if c.clock > start {
+		start = c.clock
+	}
+	// Completions extend past the chip clocks by their bus transfer; the
+	// cut must not land before the last byte reached the host.
+	c.statsMu.Lock()
+	if c.horizon > start {
+		start = c.horizon
+	}
+	c.statsMu.Unlock()
+	c.curTrace, c.curTicket = 0, c.next
+	var snap []byte
+	ops, err := c.f.CollectOps(func() error {
+		var e error
+		snap, e = c.f.Checkpoint()
+		return e
+	})
+	if err != nil {
+		return PowerCycleReport{}, fmt.Errorf("ssd: power-cut checkpoint: %w", err)
+	}
+	cut := start
+	for _, op := range ops {
+		if e := c.schedule(op, start, c.next, -1, false); e > cut {
+			cut = e
+		}
+	}
+	g, err := ftl.Restore(c.f.Array(), c.cfg.FTL, snap)
+	if err != nil {
+		return PowerCycleReport{}, fmt.Errorf("ssd: power-cut restore: %w", err)
+	}
+	g.EnableOpJournal()
+	g.SetPayloadOwnership(ftl.BorrowHost)
+	if c.met != nil {
+		g.SetMetrics(c.met)
+	}
+	if c.attr != nil {
+		g.SetAttribution(c.attr)
+	}
+	c.f = g
+	c.wireGCObserver()
+	recovered := cut + recoverUS
+	for i := range c.till {
+		c.till[i] = recovered
+		c.resTill[i] = recovered // pre-cut reservations died with the schedule
+		c.chips[i].Till = recovered
+	}
+	for t := range c.bufPages {
+		delete(c.bufPages, t) // the open superpage buffer died with the cut
+	}
+	if recovered > c.clock {
+		c.clock = recovered
+	}
+	return PowerCycleReport{
+		CutAt: cut, CheckpointUS: cut - start,
+		CheckpointBytes: len(snap), RecoveredAt: recovered,
+	}, nil
 }
 
 // ChipStats returns a snapshot of every chip clock's activity, in chip

@@ -87,6 +87,10 @@ type Request struct {
 	// Trace is the cluster-wide trace ID this request belongs to, carried
 	// into the device's trace events and GC ledger records. 0 = untraced.
 	Trace uint64
+	// Tenant names the namespace the request belongs to. 0 = unshaped; a
+	// positive tenant with a quota registered via SetTenantQuota is rate-
+	// shaped on the simulated clock (see ConcurrentDevice.SetTenantQuota).
+	Tenant int
 }
 
 // Completion reports a serviced request.

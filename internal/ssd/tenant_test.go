@@ -1,0 +1,202 @@
+package ssd
+
+import (
+	"fmt"
+	"testing"
+)
+
+// tenantReqs interleaves writes from two tenants with pre-stamped arrivals:
+// tenant 1 issues a request every gap µs, tenant 2 every gap/4 µs (noisy).
+func tenantReqs(pageSize, n int, gap float64) []Request {
+	reqs := make([]Request, 0, 2*n)
+	for i := 0; i < n; i++ {
+		reqs = append(reqs,
+			Request{Kind: OpWrite, LPN: int64(i % 32), Data: make([]byte, pageSize),
+				Arrival: float64(i+1) * gap, Tenant: 1},
+			Request{Kind: OpWrite, LPN: 64 + int64(i%32), Data: make([]byte, pageSize),
+				Arrival: float64(i+1) * gap / 4, Tenant: 2},
+		)
+	}
+	return reqs
+}
+
+func TestTenantQuotaShapesNoisyTenant(t *testing.T) {
+	// Run the same request sequence with and without a quota on the noisy
+	// tenant: the quiet tenant's total latency must improve (or hold) under
+	// shaping while the noisy tenant's grows.
+	sum := func(shaped bool) (quiet, noisy float64) {
+		d := concurrentDevice(t)
+		if shaped {
+			d.SetTenantQuota(2, 1)
+		}
+		reqs := tenantReqs(d.PageSize(), 150, 40)
+		first := d.ReserveBatch(len(reqs))
+		for i, r := range reqs {
+			c, err := d.SubmitTicket(first+uint64(i), r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch r.Tenant {
+			case 1:
+				quiet += c.Latency
+			case 2:
+				noisy += c.Latency
+			}
+		}
+		return
+	}
+	quietFree, noisyFree := sum(false)
+	quietShaped, noisyShaped := sum(true)
+	if noisyShaped <= noisyFree {
+		t.Fatalf("quota should slow the noisy tenant: shaped %v <= free %v", noisyShaped, noisyFree)
+	}
+	if quietShaped > quietFree {
+		t.Fatalf("quota on tenant 2 must not hurt tenant 1: shaped %v > free %v", quietShaped, quietFree)
+	}
+}
+
+func TestTenantShapingDeterministicAcrossDepths(t *testing.T) {
+	var want []Completion
+	for _, depth := range []int{1, 4, 8} {
+		d := concurrentDevice(t)
+		d.SetTenantQuota(1, 2)
+		d.SetTenantQuota(2, 1)
+		reqs := tenantReqs(d.PageSize(), 100, 35)
+		got := replayTickets(t, d, reqs, depth)
+		if want == nil {
+			want = got
+			continue
+		}
+		for i := range got {
+			if got[i].Start != want[i].Start || got[i].Finish != want[i].Finish ||
+				got[i].Wait != want[i].Wait || got[i].Latency != want[i].Latency {
+				t.Fatalf("depth %d: completion %d = %+v, want %+v", depth, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTenantShapingWorkConserving(t *testing.T) {
+	// A quota'd flood offered faster than its shaped service rate is
+	// deferred ever further into the future. Requests scheduled after those
+	// deferrals must backfill the idle windows the quota carved out of the
+	// chip schedules — not queue behind reservations sitting far ahead of
+	// the present — so a quiet tenant's latency stays near its service time
+	// while the noisy tenant's grows with its own backlog.
+	d := concurrentDevice(t)
+	d.SetTenantQuota(2, 1)
+	pageSize := d.PageSize()
+	// Seed the quiet tenant's pages so its reads have targets.
+	for lpn := int64(0); lpn < 8; lpn++ {
+		if _, err := d.Submit(Request{Kind: OpWrite, LPN: lpn, Data: make([]byte, pageSize), Tenant: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := d.Now()
+	var quietMax, noisyMax float64
+	k := 0
+	for i := 0; i < 25; i++ {
+		for j := 0; j < 8; j++ {
+			k++
+			c, err := d.Submit(Request{Kind: OpWrite, LPN: 64 + int64(k%32), Data: make([]byte, pageSize),
+				Arrival: base + float64(k), Tenant: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.Latency > noisyMax {
+				noisyMax = c.Latency
+			}
+		}
+		c, err := d.Submit(Request{Kind: OpRead, LPN: int64(i % 8), Arrival: base + float64(k), Tenant: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Latency > quietMax {
+			quietMax = c.Latency
+		}
+	}
+	if noisyMax <= 0 || quietMax <= 0 {
+		t.Fatalf("degenerate latencies: quiet %v noisy %v", quietMax, noisyMax)
+	}
+	if noisyMax < 10*quietMax {
+		t.Fatalf("quiet tenant dragged behind the deferred flood: quiet max %v, noisy max %v", quietMax, noisyMax)
+	}
+}
+
+func TestTenantQuotaRemoval(t *testing.T) {
+	d := concurrentDevice(t)
+	d.SetTenantQuota(3, 1)
+	d.SetTenantQuota(3, 0) // removed: requests run unshaped
+	reqs := tenantReqs(d.PageSize(), 20, 50)
+	for i := range reqs {
+		reqs[i].Tenant = 3
+	}
+	d2 := concurrentDevice(t)
+	for i, r := range reqs {
+		a, err := d.Submit(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := d2.Submit(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Latency != b.Latency || a.Start != b.Start {
+			t.Fatalf("req %d: removed quota still shapes: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestPowerCycleRestoresDataAndAdvancesClocks(t *testing.T) {
+	d := concurrentDevice(t)
+	pay := func(lpn int64) []byte {
+		return []byte(fmt.Sprintf("%-16d", lpn))
+	}
+	n := d.FTL().Capacity() / 2
+	for lpn := int64(0); lpn < n; lpn++ {
+		if _, err := d.Submit(Request{Kind: OpWrite, LPN: lpn, Data: pay(lpn)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := d.Now()
+	const outage = 5000.0
+	rep, err := d.PowerCycle(outage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CutAt < before {
+		t.Fatalf("cut at %v, before %v", rep.CutAt, before)
+	}
+	if rep.RecoveredAt != rep.CutAt+outage {
+		t.Fatalf("recovered at %v, want cut+%v", rep.RecoveredAt, outage)
+	}
+	if rep.CheckpointBytes <= 0 {
+		t.Fatal("checkpoint image empty")
+	}
+	// Every chip clock sits at the recovery instant: the next request's
+	// latency includes the outage.
+	c, err := d.Submit(Request{Kind: OpRead, LPN: 1, Arrival: rep.CutAt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Finish < rep.RecoveredAt {
+		t.Fatalf("post-cut read finished at %v, before recovery %v", c.Finish, rep.RecoveredAt)
+	}
+	// All data survives the cut.
+	for lpn := int64(0); lpn < n; lpn++ {
+		c, err := d.Submit(Request{Kind: OpRead, LPN: lpn})
+		if err != nil {
+			t.Fatalf("lpn %d after power cycle: %v", lpn, err)
+		}
+		if string(c.Data) != string(pay(lpn)) {
+			t.Fatalf("lpn %d corrupted across power cycle", lpn)
+		}
+	}
+}
+
+func TestPowerCycleRejectsNegativeRecovery(t *testing.T) {
+	d := concurrentDevice(t)
+	if _, err := d.PowerCycle(-1); err == nil {
+		t.Fatal("negative recovery time should be rejected")
+	}
+}

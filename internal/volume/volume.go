@@ -33,6 +33,10 @@ type Config struct {
 	VerifyReads bool
 }
 
+// ErrBackendDown marks an operation that could not reach a backend because
+// it was killed (KillBackend) and not yet restarted.
+var ErrBackendDown = errors.New("volume: backend down")
+
 // backend is one attached block-service connection plus its shard-local
 // telemetry. Latency digests are per-backend so the cluster view can merge
 // them without retaining samples.
@@ -41,6 +45,7 @@ type backend struct {
 	c      *client.Client
 	seq    uint64 // next dense sequenced ticket for this backend
 	traced bool   // the backend advertised server.TraceCap at dial time
+	down   bool   // killed and awaiting restart (guarded by Volume.mu)
 
 	lmu      sync.Mutex
 	readLat  stats.LatencyDigest
@@ -106,6 +111,7 @@ type Counters struct {
 	Retries   uint64 `json:"read_retries"` // reads retried on another replica
 	Repairs   uint64 `json:"read_repairs"` // divergent replicas rewritten
 	UnitMoves uint64 `json:"unit_moves"`   // stripe units relocated by rebalance
+	DownSkips uint64 `json:"down_skips"`   // replica legs skipped on a down backend
 }
 
 // Dial connects to every backend address, probes capacities, and builds the
@@ -227,6 +233,16 @@ func (v *Volume) backend(i int) *backend {
 	return v.bks[i]
 }
 
+// liveBackend returns the pinned entry for index i, or nil if it is down.
+func (v *Volume) liveBackend(i int) *backend {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.bks[i].down {
+		return nil
+	}
+	return v.bks[i]
+}
+
 // Call is one in-flight volume operation; Wait resolves it.
 type Call struct {
 	v    *Volume
@@ -266,6 +282,19 @@ func (v *Volume) startLocked(op server.Op, lpn int64, payload []byte, hint ftl.H
 	var lastErr error
 	for i, l := range locs {
 		b := v.bks[l.Backend]
+		if b.down {
+			// A killed backend drops out of the fan-out: reads fall through
+			// to the next replica, writes and trims skip the leg (the copy is
+			// stale until read-repair or rebalance heals it). Sequenced mode
+			// never gets here — KillBackend refuses it.
+			if plainRead {
+				v.count(func(c *Counters) { c.Retries++ })
+			} else {
+				v.count(func(c *Counters) { c.DownSkips++ })
+			}
+			lastErr = fmt.Errorf("%w: backend %d (%s)", ErrBackendDown, l.Backend, b.addr)
+			continue
+		}
 		f := server.Frame{Op: op, LPN: l.SLPN, Hint: hint, Arrival: arrival}
 		if op == server.OpWrite {
 			f.Payload = payload
@@ -431,7 +460,11 @@ func (ca *Call) waitRead() (server.Response, error) {
 			continue
 		}
 		v.count(func(c *Counters) { c.Retries++ })
-		rb := v.backend(l.Backend)
+		rb := v.liveBackend(l.Backend)
+		if rb == nil {
+			err = fmt.Errorf("%w: backend %d", ErrBackendDown, l.Backend)
+			continue
+		}
 		f := server.Frame{Op: server.OpRead, LPN: l.SLPN}
 		if ca.tr.ID != 0 && rb.traced {
 			f.Flags |= server.FlagTrace
@@ -533,7 +566,7 @@ func (v *Volume) Flush() error {
 	v.mu.Lock()
 	var cs []*client.Client
 	for i, b := range v.bks {
-		if v.place.Active(i) {
+		if v.place.Active(i) && !b.down {
 			cs = append(cs, b.c)
 		}
 	}
@@ -609,6 +642,98 @@ func (v *Volume) RemoveBackend(b int) error {
 	return nil
 }
 
+// KillBackend severs backend b as a fault campaign would: its connection is
+// closed and the backend is marked down, so reads fail over to surviving
+// replicas and writes skip the leg (counted in Counters.DownSkips) until
+// RestartBackend revives it. The placement table is untouched — unlike
+// RemoveBackend nothing is migrated, mirroring a crashed process rather than
+// a drained one. Refused in sequenced mode, where the per-backend dense
+// ticket chain cannot survive a lost connection.
+func (v *Volume) KillBackend(b int) error {
+	if v.cfg.Sequenced {
+		return fmt.Errorf("volume: kill/restart disabled in sequenced mode")
+	}
+	v.mu.Lock()
+	if b < 0 || b >= len(v.bks) {
+		v.mu.Unlock()
+		return fmt.Errorf("volume: no backend %d", b)
+	}
+	bk := v.bks[b]
+	if bk.down {
+		v.mu.Unlock()
+		return fmt.Errorf("volume: backend %d already down", b)
+	}
+	bk.down = true
+	c := bk.c
+	v.mu.Unlock()
+	c.Close()
+	return nil
+}
+
+// SetBackendDown marks backend b down (or revives it) without touching its
+// connection — the deterministic counterpart of KillBackend/RestartBackend
+// for campaign engines running sequenced replays. Call only while the volume
+// is quiescent (no ops in flight): the down-skip changes which replica legs
+// are issued, so flipping it mid-stream would perturb a deterministic
+// schedule. The per-backend dense ticket chain survives because a skipped
+// leg never consumes a ticket.
+func (v *Volume) SetBackendDown(b int, down bool) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if b < 0 || b >= len(v.bks) {
+		return fmt.Errorf("volume: no backend %d", b)
+	}
+	v.bks[b].down = down
+	return nil
+}
+
+// RestartBackend re-attaches a killed backend: dial addr (empty = the
+// backend's original address), verify the page size, and swap the connection
+// in. Writes that were skipped while the backend was down are NOT replayed —
+// the restarted replica serves whatever its process restored (checkpoint or
+// scratch); VerifyReads read-repair or a rebalance heals the divergence.
+func (v *Volume) RestartBackend(b int, addr string) error {
+	if v.cfg.Sequenced {
+		return fmt.Errorf("volume: kill/restart disabled in sequenced mode")
+	}
+	v.mu.Lock()
+	if b < 0 || b >= len(v.bks) {
+		v.mu.Unlock()
+		return fmt.Errorf("volume: no backend %d", b)
+	}
+	bk := v.bks[b]
+	if !bk.down {
+		v.mu.Unlock()
+		return fmt.Errorf("volume: backend %d is not down", b)
+	}
+	if addr == "" {
+		addr = bk.addr
+	}
+	v.mu.Unlock()
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		return fmt.Errorf("volume: restart backend %d: %w", b, err)
+	}
+	snap, err := c.Stat()
+	if err != nil {
+		c.Close()
+		return fmt.Errorf("volume: restart stat %s: %w", addr, err)
+	}
+	if snap.PageSize != v.pageSize {
+		c.Close()
+		return fmt.Errorf("volume: %s page size %d, cluster uses %d", addr, snap.PageSize, v.pageSize)
+	}
+	traced := false
+	if ok, perr := c.SupportsTrace(); perr == nil {
+		traced = ok
+	}
+	v.mu.Lock()
+	bk.addr, bk.c, bk.traced, bk.down = addr, c, traced, false
+	v.mu.Unlock()
+	return nil
+}
+
 // migrate copies each planned move's shard range and commits it. For each
 // unit: block new writers, drain the source connection's in-flight pipeline,
 // copy the pages, cut over, unblock.
@@ -665,6 +790,7 @@ type BackendStat struct {
 	Backend int                 `json:"backend"`
 	Addr    string              `json:"addr"`
 	Active  bool                `json:"active"`
+	Down    bool                `json:"down,omitempty"`
 	Slots   int64               `json:"slots_used"`
 	Error   string              `json:"error,omitempty"`
 	Reads   stats.DigestSummary `json:"read_latency_us"`
@@ -696,11 +822,12 @@ func (v *Volume) ClusterStat() ClusterSnapshot {
 		i      int
 		b      *backend
 		active bool
+		down   bool
 		slots  int64
 	}
 	var ps []probe
 	for i, b := range v.bks {
-		ps = append(ps, probe{i: i, b: b, active: v.place.Active(i), slots: v.place.SlotsUsed(i)})
+		ps = append(ps, probe{i: i, b: b, active: v.place.Active(i), down: b.down, slots: v.place.SlotsUsed(i)})
 	}
 	out := ClusterSnapshot{
 		Stripe:   v.cfg.Stripe,
@@ -717,14 +844,14 @@ func (v *Volume) ClusterStat() ClusterSnapshot {
 	writeDs := make([]*stats.LatencyDigest, 0, len(ps))
 	var hostWrites, flashWrites uint64
 	for _, p := range ps {
-		bs := BackendStat{Backend: p.i, Addr: p.b.addr, Active: p.active, Slots: p.slots}
+		bs := BackendStat{Backend: p.i, Addr: p.b.addr, Active: p.active, Down: p.down, Slots: p.slots}
 		p.b.lmu.Lock()
 		rd, wd := p.b.readLat, p.b.writeLat
 		p.b.lmu.Unlock()
 		bs.Reads, bs.Writes = rd.Summary(), wd.Summary()
 		readDs = append(readDs, &rd)
 		writeDs = append(writeDs, &wd)
-		if !p.active {
+		if !p.active || p.down {
 			out.Backends = append(out.Backends, bs)
 			continue
 		}
